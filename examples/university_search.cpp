@@ -1,0 +1,118 @@
+// University search: Sama vs the three competitor systems on a
+// generated LUBM-like graph, side by side.
+//
+// Runs one exact query and one relaxed query (synonym predicates)
+// through Sama, SAPPER, BOUNDED and DOGMA and prints what each system
+// finds — reproducing in miniature the behaviour behind the paper's
+// Figures 6 and 8: the exact systems miss relaxed answers entirely,
+// the approximate systems recover them.
+
+#include <cstdio>
+#include <memory>
+
+#include "baselines/bounded.h"
+#include "baselines/dogma.h"
+#include "baselines/exact.h"
+#include "baselines/sapper.h"
+#include "common/timer.h"
+#include "core/engine.h"
+#include "datasets/lubm.h"
+#include "index/path_index.h"
+#include "query/sparql.h"
+#include "text/thesaurus.h"
+
+namespace {
+
+constexpr char kExactQuery[] =
+    "PREFIX ub: <http://lubm.example.org/univ-bench#>\n"
+    "SELECT ?s ?p WHERE { ?s ub:advisor ?p . ?p a ub:FullProfessor . "
+    "?s ub:memberOf ?d . ?p ub:worksFor ?d }";
+
+constexpr char kRelaxedQuery[] =
+    "PREFIX ub: <http://lubm.example.org/univ-bench#>\n"
+    "SELECT ?s ?p WHERE { ?s ub:mentor ?p . ?p a ub:FullProfessor . "
+    "?s ub:belongsTo ?d . ?p ub:employedBy ?d }";
+
+void RunMatcher(sama::Matcher* matcher, const sama::QueryGraph& query) {
+  sama::WallTimer timer;
+  auto matches = matcher->Execute(query, 0);
+  double millis = timer.ElapsedMillis();
+  if (!matches.ok()) {
+    std::printf("  %-8s error: %s\n", matcher->name().c_str(),
+                matches.status().ToString().c_str());
+    return;
+  }
+  std::printf("  %-8s %5zu matches   %8.2f ms\n", matcher->name().c_str(),
+              matches->size(), millis);
+}
+
+void RunAll(const char* title, const char* sparql,
+            sama::SamaEngine* engine, sama::DataGraph* graph) {
+  std::printf("\n%s\n", title);
+  auto parsed = sama::ParseSparql(sparql);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 parsed.status().ToString().c_str());
+    return;
+  }
+
+  sama::WallTimer timer;
+  auto answers = engine->ExecuteSparql(*parsed, 50);
+  double sama_ms = timer.ElapsedMillis();
+  if (answers.ok()) {
+    std::printf("  %-8s %5zu answers   %8.2f ms", "Sama",
+                answers->size(), sama_ms);
+    if (!answers->empty()) {
+      std::printf("   best: ?s=%s ?p=%s (score %.2f)",
+                  (*answers)[0].BindingTuple({"s"})[0].DisplayLabel()
+                      .c_str(),
+                  (*answers)[0].BindingTuple({"p"})[0].DisplayLabel()
+                      .c_str(),
+                  (*answers)[0].score);
+    }
+    std::printf("\n");
+  }
+
+  sama::QueryGraph qg = parsed->ToQueryGraph(graph->shared_dict());
+  sama::ExactMatcher exact(graph);
+  sama::SapperMatcher sapper(graph);
+  sama::BoundedMatcher bounded(graph);
+  sama::DogmaMatcher dogma(graph);
+  RunMatcher(&exact, qg);
+  RunMatcher(&sapper, qg);
+  RunMatcher(&bounded, qg);
+  RunMatcher(&dogma, qg);
+}
+
+}  // namespace
+
+int main() {
+  sama::LubmConfig config;
+  config.universities = 1;
+  config.departments_per_university = 3;
+  sama::DataGraph graph =
+      sama::DataGraph::FromTriples(sama::GenerateLubm(config));
+  std::printf("LUBM-like graph: %zu nodes, %zu triples\n",
+              graph.node_count(), graph.edge_count());
+
+  sama::PathIndex index;
+  sama::Status built = index.Build(graph, sama::PathIndexOptions());
+  if (!built.ok()) {
+    std::fprintf(stderr, "index build failed: %s\n",
+                 built.ToString().c_str());
+    return 1;
+  }
+  sama::Thesaurus thesaurus = sama::Thesaurus::BuiltinEnglish();
+  sama::SamaEngine engine(&graph, &index, &thesaurus);
+
+  RunAll("Exact query (advisor/full-professor/same-department):",
+         kExactQuery, &engine, &graph);
+  RunAll("Relaxed query (mentor/belongsTo/employedBy synonyms):",
+         kRelaxedQuery, &engine, &graph);
+
+  std::printf(
+      "\nNote how the exact systems (Exact, Dogma) return nothing for\n"
+      "the relaxed form, while Sama and Sapper recover the answers —\n"
+      "the effect behind the paper's Figure 8.\n");
+  return 0;
+}

@@ -1,0 +1,240 @@
+#include "baselines/backtrack.h"
+
+#include <algorithm>
+
+namespace sama {
+namespace {
+
+// Backtracking state machine. Query nodes are processed in a static
+// order (constants first, then descending degree) so the search expands
+// outward from the most constrained nodes.
+class Searcher {
+ public:
+  Searcher(const DataGraph& graph, const QueryGraph& query, size_t k,
+           const BacktrackConfig& config)
+      : graph_(graph),
+        qg_(query.graph()),
+        query_(query),
+        k_(k),
+        config_(config) {
+    assignment_.assign(qg_.node_count(), kInvalidNodeId);
+    BuildOrder();
+  }
+
+  std::vector<Match> Run() {
+    Recurse(0, 0.0, 0);
+    std::sort(matches_.begin(), matches_.end(),
+              [](const Match& a, const Match& b) { return a.cost < b.cost; });
+    return std::move(matches_);
+  }
+
+ private:
+  void BuildOrder() {
+    order_.reserve(qg_.node_count());
+    for (NodeId n = 0; n < qg_.node_count(); ++n) order_.push_back(n);
+    const DataGraph& qg = qg_;
+    auto is_constant = [&](NodeId n) {
+      return !qg.node_term(n).is_variable();
+    };
+    std::stable_sort(order_.begin(), order_.end(),
+                     [&](NodeId a, NodeId b) {
+                       bool ca = is_constant(a), cb = is_constant(b);
+                       if (ca != cb) return ca;
+                       size_t da = qg.out_degree(a) + qg.in_degree(a);
+                       size_t db = qg.out_degree(b) + qg.in_degree(b);
+                       return da > db;
+                     });
+  }
+
+  bool Budget() {
+    ++steps_;
+    return (config_.limits.max_steps == 0 ||
+            steps_ <= config_.limits.max_steps) &&
+           (k_ == 0 || matches_.size() < k_) &&
+           (config_.limits.max_matches == 0 ||
+            matches_.size() < config_.limits.max_matches);
+  }
+
+  bool LabelCompatible(NodeId query_node, NodeId data_node) const {
+    const Term& qt = qg_.node_term(query_node);
+    if (qt.is_variable()) return true;
+    return qg_.node_label(query_node) == graph_.node_label(data_node);
+  }
+
+  bool EdgeLabelCompatible(TermId query_label, TermId data_label) const {
+    if (query_label == data_label) return true;
+    return qg_.dict().term(query_label).is_variable();
+  }
+
+  // Checks query edges between `qn` (being assigned `dn`) and already
+  // assigned nodes. Returns false on hard failure; otherwise reports
+  // the number of missing edges consumed and the variable bindings on
+  // matched edge labels.
+  bool CheckEdges(NodeId qn, NodeId dn, size_t* missing,
+                  std::vector<std::pair<std::string, Term>>* edge_binds) {
+    *missing = 0;
+    for (EdgeId qe : qg_.out_edges(qn)) {
+      const DataGraph::Edge& edge = qg_.edge(qe);
+      NodeId mapped = assignment_[edge.to];
+      if (mapped == kInvalidNodeId) continue;
+      if (!FindDataEdge(dn, mapped, edge.label, edge_binds)) ++*missing;
+    }
+    for (EdgeId qe : qg_.in_edges(qn)) {
+      const DataGraph::Edge& edge = qg_.edge(qe);
+      NodeId mapped = assignment_[edge.from];
+      if (mapped == kInvalidNodeId) continue;
+      if (!FindDataEdge(mapped, dn, edge.label, edge_binds)) ++*missing;
+    }
+    return true;
+  }
+
+  bool FindDataEdge(NodeId from, NodeId to, TermId query_label,
+                    std::vector<std::pair<std::string, Term>>* edge_binds) {
+    const std::vector<EdgeId>& outs = graph_.out_edges(from);
+    const std::vector<EdgeId>& ins = graph_.in_edges(to);
+    const std::vector<EdgeId>& smaller =
+        outs.size() <= ins.size() ? outs : ins;
+    for (EdgeId de : smaller) {
+      const DataGraph::Edge& edge = graph_.edge(de);
+      if (edge.from != from || edge.to != to) continue;
+      if (EdgeLabelCompatible(query_label, edge.label)) {
+        const Term& qt = qg_.dict().term(query_label);
+        if (qt.is_variable()) {
+          edge_binds->emplace_back(qt.value(),
+                                   qg_.dict().term(edge.label));
+        }
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Candidate data nodes for query node `qn` given current assignment.
+  // `missing_budget_left` > 0 lets the search consider every node when
+  // the anchored neighbours offer no candidate — the connecting edge
+  // itself may be one of SAPPER's tolerated misses.
+  std::vector<NodeId> Candidates(NodeId qn, size_t missing_budget_left) {
+    const Term& qt = qg_.node_term(qn);
+    if (!qt.is_variable()) {
+      NodeId n = graph_.FindNode(qt);
+      if (n == kInvalidNodeId) return {};
+      return {n};
+    }
+    // Propagate from an assigned neighbour with the fewest expansions.
+    std::vector<NodeId> best;
+    bool have = false;
+    auto consider = [&](std::vector<NodeId> cand) {
+      if (!have || cand.size() < best.size()) {
+        best = std::move(cand);
+        have = true;
+      }
+    };
+    for (EdgeId qe : qg_.in_edges(qn)) {
+      const DataGraph::Edge& edge = qg_.edge(qe);
+      NodeId mapped = assignment_[edge.from];
+      if (mapped == kInvalidNodeId) continue;
+      std::vector<NodeId> cand;
+      for (EdgeId de : graph_.out_edges(mapped)) {
+        const DataGraph::Edge& data_edge = graph_.edge(de);
+        if (EdgeLabelCompatibleNoBind(edge.label, data_edge.label)) {
+          cand.push_back(data_edge.to);
+        }
+      }
+      consider(std::move(cand));
+    }
+    for (EdgeId qe : qg_.out_edges(qn)) {
+      const DataGraph::Edge& edge = qg_.edge(qe);
+      NodeId mapped = assignment_[edge.to];
+      if (mapped == kInvalidNodeId) continue;
+      std::vector<NodeId> cand;
+      for (EdgeId de : graph_.in_edges(mapped)) {
+        const DataGraph::Edge& data_edge = graph_.edge(de);
+        if (EdgeLabelCompatibleNoBind(edge.label, data_edge.label)) {
+          cand.push_back(data_edge.from);
+        }
+      }
+      consider(std::move(cand));
+    }
+    if (have && (!best.empty() || missing_budget_left == 0)) {
+      std::sort(best.begin(), best.end());
+      best.erase(std::unique(best.begin(), best.end()), best.end());
+      return best;
+    }
+    // No anchored neighbour (or the anchoring edge may itself be a
+    // tolerated miss): every data node qualifies.
+    std::vector<NodeId> all(graph_.node_count());
+    for (NodeId n = 0; n < all.size(); ++n) all[n] = n;
+    return all;
+  }
+
+  bool EdgeLabelCompatibleNoBind(TermId query_label,
+                                 TermId data_label) const {
+    return query_label == data_label ||
+           qg_.dict().term(query_label).is_variable();
+  }
+
+  void Emit(double cost) {
+    Match m;
+    m.assignment = assignment_;
+    m.cost = cost;
+    for (NodeId qn = 0; qn < qg_.node_count(); ++qn) {
+      const Term& qt = qg_.node_term(qn);
+      if (qt.is_variable() && assignment_[qn] != kInvalidNodeId) {
+        m.binding.Bind(qt.value(), graph_.node_term(assignment_[qn]));
+      }
+    }
+    for (const auto& [var, value] : edge_bindings_) {
+      m.binding.Bind(var, value);
+    }
+    matches_.push_back(std::move(m));
+  }
+
+  void Recurse(size_t depth, double cost, size_t missing_used) {
+    if (!Budget()) return;
+    if (depth == order_.size()) {
+      Emit(cost);
+      return;
+    }
+    NodeId qn = order_[depth];
+    for (NodeId dn :
+         Candidates(qn, config_.max_missing_edges - missing_used)) {
+      if (!Budget()) return;
+      if (!LabelCompatible(qn, dn)) continue;
+      if (config_.node_filter && !config_.node_filter(qn, dn)) continue;
+      size_t missing = 0;
+      size_t binds_before = edge_bindings_.size();
+      if (!CheckEdges(qn, dn, &missing, &edge_bindings_)) continue;
+      if (missing_used + missing > config_.max_missing_edges) {
+        edge_bindings_.resize(binds_before);
+        continue;
+      }
+      assignment_[qn] = dn;
+      Recurse(depth + 1, cost + config_.missing_edge_cost *
+                                    static_cast<double>(missing),
+              missing_used + missing);
+      assignment_[qn] = kInvalidNodeId;
+      edge_bindings_.resize(binds_before);
+    }
+  }
+
+  const DataGraph& graph_;
+  const DataGraph& qg_;
+  const QueryGraph& query_;
+  size_t k_;
+  const BacktrackConfig& config_;
+  std::vector<NodeId> order_;
+  std::vector<NodeId> assignment_;
+  std::vector<std::pair<std::string, Term>> edge_bindings_;
+  std::vector<Match> matches_;
+  size_t steps_ = 0;
+};
+
+}  // namespace
+
+std::vector<Match> BacktrackSearch(const DataGraph& graph,
+                                   const QueryGraph& query, size_t k,
+                                   const BacktrackConfig& config) {
+  return Searcher(graph, query, k, config).Run();
+}
+
+}  // namespace sama

@@ -1,0 +1,39 @@
+#ifndef SAMA_BASELINES_BACKTRACK_H_
+#define SAMA_BASELINES_BACKTRACK_H_
+
+#include <functional>
+#include <vector>
+
+#include "baselines/matcher.h"
+
+namespace sama {
+
+// Configuration of the shared backtracking homomorphism search used by
+// the exact matcher, DOGMA (with distance pruning) and SAPPER (with an
+// edge-miss budget).
+struct BacktrackConfig {
+  // SAPPER's Δ: how many query edges may be absent from the data.
+  size_t max_missing_edges = 0;
+  double missing_edge_cost = 1.0;
+  // Extra pruning hook: may this (query node → data node) pair appear
+  // in any match? Null = no pruning. DOGMA plugs its distance-index
+  // check in here.
+  std::function<bool(NodeId query_node, NodeId data_node)> node_filter;
+  MatcherOptions limits;
+};
+
+// Enumerates subgraph homomorphisms of `query` into `graph` (shared
+// dictionary required): every query node maps to a data node with a
+// compatible label (constants must be equal, variables bind freely) and
+// every query edge maps to a data edge with a compatible label, except
+// for up to max_missing_edges edges which may be skipped at
+// missing_edge_cost each. Matches are emitted best-cost-last (the
+// caller sorts); enumeration stops at k matches (0 = all) or when a
+// limit fires.
+std::vector<Match> BacktrackSearch(const DataGraph& graph,
+                                   const QueryGraph& query, size_t k,
+                                   const BacktrackConfig& config);
+
+}  // namespace sama
+
+#endif  // SAMA_BASELINES_BACKTRACK_H_

@@ -1,0 +1,192 @@
+#include "baselines/bounded.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+namespace sama {
+namespace {
+
+// Bounded-reachability search state: (node, label already seen on the
+// path), encoded as node*2 + seen.
+class BoundedSearcher {
+ public:
+  BoundedSearcher(const DataGraph& graph, const QueryGraph& query, size_t k,
+                  const BoundedMatcher::Options& options)
+      : graph_(graph), qg_(query.graph()), k_(k), options_(options) {
+    assignment_.assign(qg_.node_count(), kInvalidNodeId);
+    BuildOrder();
+  }
+
+  std::vector<Match> Run() {
+    Recurse(0);
+    return std::move(matches_);
+  }
+
+ private:
+  void BuildOrder() {
+    order_.resize(qg_.node_count());
+    for (NodeId n = 0; n < qg_.node_count(); ++n) order_[n] = n;
+    std::stable_sort(order_.begin(), order_.end(), [&](NodeId a, NodeId b) {
+      bool ca = !qg_.node_term(a).is_variable();
+      bool cb = !qg_.node_term(b).is_variable();
+      if (ca != cb) return ca;
+      return qg_.out_degree(a) + qg_.in_degree(a) >
+             qg_.out_degree(b) + qg_.in_degree(b);
+    });
+  }
+
+  bool Budget() {
+    ++steps_;
+    return (options_.limits.max_steps == 0 ||
+            steps_ <= options_.limits.max_steps) &&
+           (k_ == 0 || matches_.size() < k_) &&
+           (options_.limits.max_matches == 0 ||
+            matches_.size() < options_.limits.max_matches);
+  }
+
+  bool QueryLabelIsVariable(TermId label) const {
+    return qg_.dict().term(label).is_variable();
+  }
+
+  // Nodes reachable from `start` within the hop bound along `forward`
+  // (or reverse) edges, keeping only end points whose connecting path
+  // saw `label` (always true for variable labels).
+  std::vector<NodeId> BoundedReach(NodeId start, TermId label,
+                                   bool forward) const {
+    bool label_free = QueryLabelIsVariable(label);
+    std::vector<NodeId> out;
+    // Visited states: node*2 + seen.
+    std::unordered_set<uint64_t> visited;
+    std::deque<std::pair<uint64_t, size_t>> frontier;
+    frontier.emplace_back(static_cast<uint64_t>(start) * 2 +
+                              (label_free ? 1 : 0),
+                          0);
+    visited.insert(frontier.front().first);
+    while (!frontier.empty()) {
+      auto [state, depth] = frontier.front();
+      frontier.pop_front();
+      NodeId node = static_cast<NodeId>(state / 2);
+      bool seen = (state & 1) != 0;
+      if (seen && depth > 0) out.push_back(node);
+      if (depth >= options_.bound) continue;
+      const std::vector<EdgeId>& edges =
+          forward ? graph_.out_edges(node) : graph_.in_edges(node);
+      for (EdgeId e : edges) {
+        const DataGraph::Edge& edge = graph_.edge(e);
+        NodeId next = forward ? edge.to : edge.from;
+        bool next_seen = seen || edge.label == label;
+        uint64_t next_state =
+            static_cast<uint64_t>(next) * 2 + (next_seen ? 1 : 0);
+        if (visited.insert(next_state).second) {
+          frontier.emplace_back(next_state, depth + 1);
+        }
+      }
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  }
+
+  // True when (x, y) satisfies the bounded-edge semantics for `label`.
+  bool BoundedConnected(NodeId x, NodeId y, TermId label) const {
+    std::vector<NodeId> reach = BoundedReach(x, label, /*forward=*/true);
+    return std::binary_search(reach.begin(), reach.end(), y);
+  }
+
+  bool CheckEdges(NodeId qn, NodeId dn) const {
+    for (EdgeId qe : qg_.out_edges(qn)) {
+      const DataGraph::Edge& edge = qg_.edge(qe);
+      NodeId mapped = assignment_[edge.to];
+      if (mapped == kInvalidNodeId) continue;
+      if (!BoundedConnected(dn, mapped, edge.label)) return false;
+    }
+    for (EdgeId qe : qg_.in_edges(qn)) {
+      const DataGraph::Edge& edge = qg_.edge(qe);
+      NodeId mapped = assignment_[edge.from];
+      if (mapped == kInvalidNodeId) continue;
+      if (!BoundedConnected(mapped, dn, edge.label)) return false;
+    }
+    return true;
+  }
+
+  std::vector<NodeId> Candidates(NodeId qn) const {
+    const Term& t = qg_.node_term(qn);
+    if (!t.is_variable()) {
+      NodeId n = graph_.FindNode(t);
+      if (n == kInvalidNodeId) return {};
+      return {n};
+    }
+    std::vector<NodeId> best;
+    bool have = false;
+    auto consider = [&](std::vector<NodeId> cand) {
+      if (!have || cand.size() < best.size()) {
+        best = std::move(cand);
+        have = true;
+      }
+    };
+    for (EdgeId qe : qg_.in_edges(qn)) {
+      const DataGraph::Edge& edge = qg_.edge(qe);
+      NodeId mapped = assignment_[edge.from];
+      if (mapped == kInvalidNodeId) continue;
+      consider(BoundedReach(mapped, edge.label, /*forward=*/true));
+    }
+    for (EdgeId qe : qg_.out_edges(qn)) {
+      const DataGraph::Edge& edge = qg_.edge(qe);
+      NodeId mapped = assignment_[edge.to];
+      if (mapped == kInvalidNodeId) continue;
+      consider(BoundedReach(mapped, edge.label, /*forward=*/false));
+    }
+    if (have) return best;
+    std::vector<NodeId> all(graph_.node_count());
+    for (NodeId n = 0; n < all.size(); ++n) all[n] = n;
+    return all;
+  }
+
+  void Emit() {
+    Match m;
+    m.assignment = assignment_;
+    m.cost = 0;
+    for (NodeId qn = 0; qn < qg_.node_count(); ++qn) {
+      const Term& t = qg_.node_term(qn);
+      if (t.is_variable() && assignment_[qn] != kInvalidNodeId) {
+        m.binding.Bind(t.value(), graph_.node_term(assignment_[qn]));
+      }
+    }
+    matches_.push_back(std::move(m));
+  }
+
+  void Recurse(size_t depth) {
+    if (!Budget()) return;
+    if (depth == order_.size()) {
+      Emit();
+      return;
+    }
+    NodeId qn = order_[depth];
+    for (NodeId dn : Candidates(qn)) {
+      if (!Budget()) return;
+      if (!CheckEdges(qn, dn)) continue;
+      assignment_[qn] = dn;
+      Recurse(depth + 1);
+      assignment_[qn] = kInvalidNodeId;
+    }
+  }
+
+  const DataGraph& graph_;
+  const DataGraph& qg_;
+  size_t k_;
+  const BoundedMatcher::Options& options_;
+  std::vector<NodeId> order_;
+  std::vector<NodeId> assignment_;
+  std::vector<Match> matches_;
+  size_t steps_ = 0;
+};
+
+}  // namespace
+
+Result<std::vector<Match>> BoundedMatcher::Execute(const QueryGraph& query,
+                                                   size_t k) {
+  return BoundedSearcher(*graph_, query, k, options_).Run();
+}
+
+}  // namespace sama

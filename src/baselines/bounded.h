@@ -1,0 +1,43 @@
+#ifndef SAMA_BASELINES_BOUNDED_H_
+#define SAMA_BASELINES_BOUNDED_H_
+
+#include <string>
+
+#include "baselines/matcher.h"
+
+namespace sama {
+
+// BOUNDED-style matcher (Fan et al., "Graph pattern matching: from
+// intractable to polynomial time", PVLDB 2010): each query edge denotes
+// connectivity within a bounded number of hops rather than a single
+// edge. A query edge (u, v) with label ℓ matches a data pair (x, y)
+// when y is reachable from x in at most `bound` hops along a path that
+// traverses at least one ℓ-labelled edge (variables match any path).
+// This relaxes structure but not labels, so it finds more than the
+// exact systems yet fewer relaxed answers than Sama/Sapper — the
+// paper's Figure 8 ordering.
+class BoundedMatcher : public Matcher {
+ public:
+  struct Options {
+    size_t bound = 2;  // Maximum hops per query edge.
+    MatcherOptions limits;
+  };
+
+  explicit BoundedMatcher(const DataGraph* graph)
+      : BoundedMatcher(graph, Options()) {}
+  BoundedMatcher(const DataGraph* graph, Options options)
+      : graph_(graph), options_(options) {}
+
+  std::string name() const override { return "Bounded"; }
+
+  Result<std::vector<Match>> Execute(const QueryGraph& query,
+                                     size_t k) override;
+
+ private:
+  const DataGraph* graph_;
+  Options options_;
+};
+
+}  // namespace sama
+
+#endif  // SAMA_BASELINES_BOUNDED_H_

@@ -1,0 +1,127 @@
+#include "baselines/dogma.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/timer.h"
+
+namespace sama {
+namespace {
+
+// Undirected BFS distances from `start`, capped at kMax hops.
+void UndirectedBfs(const DataGraph& graph, NodeId start, uint16_t* out,
+                   uint16_t unreachable) {
+  const size_t n = graph.node_count();
+  for (size_t i = 0; i < n; ++i) out[i] = unreachable;
+  std::deque<NodeId> frontier{start};
+  out[start] = 0;
+  while (!frontier.empty()) {
+    NodeId node = frontier.front();
+    frontier.pop_front();
+    uint16_t next = static_cast<uint16_t>(out[node] + 1);
+    auto visit = [&](NodeId other) {
+      if (out[other] != unreachable) return;
+      out[other] = next;
+      frontier.push_back(other);
+    };
+    for (EdgeId e : graph.out_edges(node)) visit(graph.edge(e).to);
+    for (EdgeId e : graph.in_edges(node)) visit(graph.edge(e).from);
+  }
+}
+
+// Undirected BFS distances within the query graph from `start`.
+std::vector<uint16_t> QueryDistances(const DataGraph& qg, NodeId start) {
+  std::vector<uint16_t> dist(qg.node_count(), 0xffff);
+  std::deque<NodeId> frontier{start};
+  dist[start] = 0;
+  while (!frontier.empty()) {
+    NodeId node = frontier.front();
+    frontier.pop_front();
+    uint16_t next = static_cast<uint16_t>(dist[node] + 1);
+    auto visit = [&](NodeId other) {
+      if (dist[other] != 0xffff) return;
+      dist[other] = next;
+      frontier.push_back(other);
+    };
+    for (EdgeId e : qg.out_edges(node)) visit(qg.edge(e).to);
+    for (EdgeId e : qg.in_edges(node)) visit(qg.edge(e).from);
+  }
+  return dist;
+}
+
+}  // namespace
+
+DogmaMatcher::DogmaMatcher(const DataGraph* graph, Options options)
+    : graph_(graph), options_(options) {
+  WallTimer timer;
+  const size_t n = graph_->node_count();
+  if (n == 0) return;
+  // Landmarks: the highest-degree nodes (the partition centres of the
+  // original system's first merge level).
+  std::vector<NodeId> by_degree(n);
+  for (NodeId i = 0; i < n; ++i) by_degree[i] = i;
+  std::stable_sort(by_degree.begin(), by_degree.end(),
+                   [&](NodeId a, NodeId b) {
+                     return graph_->out_degree(a) + graph_->in_degree(a) >
+                            graph_->out_degree(b) + graph_->in_degree(b);
+                   });
+  num_landmarks_used_ = std::min(options_.num_landmarks, n);
+  distances_.resize(num_landmarks_used_ * n);
+  for (size_t l = 0; l < num_landmarks_used_; ++l) {
+    UndirectedBfs(*graph_, by_degree[l], &distances_[l * n], kUnreachable);
+  }
+  index_build_millis_ = timer.ElapsedMillis();
+}
+
+uint16_t DogmaMatcher::DistanceLowerBound(NodeId a, NodeId b) const {
+  const size_t n = graph_->node_count();
+  uint16_t best = 0;
+  for (size_t l = 0; l < num_landmarks_used_; ++l) {
+    uint16_t da = distances_[l * n + a];
+    uint16_t db = distances_[l * n + b];
+    if (da == kUnreachable || db == kUnreachable) {
+      if (da != db) return kUnreachable;  // Different components.
+      continue;
+    }
+    uint16_t diff = da > db ? da - db : db - da;
+    best = std::max(best, diff);
+  }
+  return best;
+}
+
+Result<std::vector<Match>> DogmaMatcher::Execute(const QueryGraph& query,
+                                                 size_t k) {
+  const DataGraph& qg = query.graph();
+  // Anchor every constant query node to its (unique) data node; a
+  // missing constant means no exact match exists.
+  struct Anchor {
+    NodeId query_node;
+    NodeId data_node;
+    std::vector<uint16_t> query_dist;
+  };
+  std::vector<Anchor> anchors;
+  for (NodeId qn = 0; qn < qg.node_count(); ++qn) {
+    const Term& t = qg.node_term(qn);
+    if (t.is_variable()) continue;
+    NodeId dn = graph_->FindNode(t);
+    if (dn == kInvalidNodeId) return std::vector<Match>{};
+    anchors.push_back(Anchor{qn, dn, QueryDistances(qg, qn)});
+  }
+
+  BacktrackConfig config;
+  config.limits = options_.limits;
+  if (!anchors.empty() && num_landmarks_used_ > 0) {
+    config.node_filter = [this, anchors = std::move(anchors)](
+                             NodeId query_node, NodeId data_node) {
+      for (const Anchor& a : anchors) {
+        uint16_t qd = a.query_dist[query_node];
+        if (qd == 0xffff) continue;  // Unconnected in the query.
+        if (DistanceLowerBound(data_node, a.data_node) > qd) return false;
+      }
+      return true;
+    };
+  }
+  return BacktrackSearch(*graph_, query, k, config);
+}
+
+}  // namespace sama

@@ -1,0 +1,36 @@
+#ifndef SAMA_BASELINES_EXACT_H_
+#define SAMA_BASELINES_EXACT_H_
+
+#include <string>
+
+#include "baselines/backtrack.h"
+#include "baselines/matcher.h"
+
+namespace sama {
+
+// Exact subgraph-homomorphism matcher (SPARQL BGP semantics). Serves as
+// the ground-truth oracle for the effectiveness experiments: precision
+// and recall are computed against the exact answers of the relaxed
+// query variants.
+class ExactMatcher : public Matcher {
+ public:
+  explicit ExactMatcher(const DataGraph* graph, MatcherOptions options = {})
+      : graph_(graph), options_(options) {}
+
+  std::string name() const override { return "Exact"; }
+
+  Result<std::vector<Match>> Execute(const QueryGraph& query,
+                                     size_t k) override {
+    BacktrackConfig config;
+    config.limits = options_;
+    return BacktrackSearch(*graph_, query, k, config);
+  }
+
+ private:
+  const DataGraph* graph_;
+  MatcherOptions options_;
+};
+
+}  // namespace sama
+
+#endif  // SAMA_BASELINES_EXACT_H_

@@ -1,0 +1,62 @@
+#ifndef SAMA_BASELINES_MATCHER_H_
+#define SAMA_BASELINES_MATCHER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/data_graph.h"
+#include "query/query_graph.h"
+#include "query/transformation.h"
+
+namespace sama {
+
+// One match produced by a graph-matching system: a mapping from query
+// nodes to data nodes (standard SPARQL homomorphism semantics — two
+// query nodes may map to one data node), with the variable bindings it
+// induces and a system-specific cost (0 = exact).
+struct Match {
+  // data node chosen for each query node, indexed by query NodeId;
+  // kInvalidNodeId for query nodes the system left unmatched.
+  std::vector<NodeId> assignment;
+  Substitution binding;
+  double cost = 0;
+
+  // The bound values of `vars` (names without '?'), for cross-system
+  // comparison; unbound variables yield empty-string literals.
+  std::vector<Term> BindingTuple(const std::vector<std::string>& vars) const {
+    std::vector<Term> out;
+    out.reserve(vars.size());
+    for (const std::string& var : vars) {
+      const Term* t = binding.Lookup(var);
+      out.push_back(t != nullptr ? *t : Term::Literal(""));
+    }
+    return out;
+  }
+};
+
+// Limits shared by every matcher.
+struct MatcherOptions {
+  size_t max_matches = 100000;  // 0 = unlimited.
+  // Hard cap on backtracking steps, so worst-case exponential queries
+  // terminate. 0 = unlimited.
+  size_t max_steps = 5000000;
+};
+
+// Interface implemented by the exact matcher and the three competitor
+// systems (§6: Sapper, Bounded, Dogma). All matchers run over a data
+// graph whose dictionary is shared with the query graph.
+class Matcher {
+ public:
+  virtual ~Matcher() = default;
+
+  virtual std::string name() const = 0;
+
+  // Finds up to `k` matches (0 = all, subject to MatcherOptions caps).
+  virtual Result<std::vector<Match>> Execute(const QueryGraph& query,
+                                             size_t k) = 0;
+};
+
+}  // namespace sama
+
+#endif  // SAMA_BASELINES_MATCHER_H_

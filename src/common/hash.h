@@ -1,0 +1,29 @@
+#ifndef SAMA_COMMON_HASH_H_
+#define SAMA_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace sama {
+
+// 64-bit FNV-1a over a byte range. Deterministic across platforms, used
+// for label hashing in the index (paper §6.1 step (i)).
+inline uint64_t Fnv1a64(std::string_view data) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : data) {
+    h ^= static_cast<uint64_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// Mixes `value` into an accumulated hash (boost-style combiner widened to
+// 64 bits).
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4));
+}
+
+}  // namespace sama
+
+#endif  // SAMA_COMMON_HASH_H_

@@ -1,0 +1,59 @@
+#ifndef SAMA_COMMON_RANDOM_H_
+#define SAMA_COMMON_RANDOM_H_
+
+#include <cassert>
+#include <cstdint>
+
+namespace sama {
+
+// Deterministic xorshift128+ pseudo-random generator. The dataset
+// generators depend on determinism so that every benchmark run and test
+// sees an identical graph for a given seed.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x853c49e6748fea9bULL) {
+    state0_ = seed ^ 0x9e3779b97f4a7c15ULL;
+    state1_ = seed * 0xbf58476d1ce4e5b9ULL + 1;
+    // Warm up so that low-entropy seeds diverge.
+    for (int i = 0; i < 8; ++i) Next();
+  }
+
+  // Uniform 64-bit value.
+  uint64_t Next() {
+    uint64_t s1 = state0_;
+    const uint64_t s0 = state1_;
+    state0_ = s0;
+    s1 ^= s1 << 23;
+    state1_ = s1 ^ s0 ^ (s1 >> 17) ^ (s0 >> 26);
+    return state1_ + s0;
+  }
+
+  // Uniform value in [0, n). Requires n > 0.
+  uint64_t Uniform(uint64_t n) {
+    assert(n > 0);
+    return Next() % n;
+  }
+
+  // Uniform value in [lo, hi]. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t state0_;
+  uint64_t state1_;
+};
+
+}  // namespace sama
+
+#endif  // SAMA_COMMON_RANDOM_H_

@@ -1,0 +1,71 @@
+#ifndef SAMA_COMMON_RESULT_H_
+#define SAMA_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace sama {
+
+// Holds either a value of type T or a non-OK Status explaining why the
+// value could not be produced. The value accessors assert on misuse; call
+// ok() first.
+//
+// Example:
+//   Result<DataGraph> g = ParseNTriples(input);
+//   if (!g.ok()) return g.status();
+//   Use(g.value());
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or an error status keeps call sites
+  // terse (`return graph;` / `return Status::ParseError(...)`), matching
+  // the StatusOr convention.
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(rep_).ok() &&
+           "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  // Returns the error, or OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+// Unwraps a Result into `lhs`, propagating errors to the caller.
+#define SAMA_ASSIGN_OR_RETURN(lhs, expr)              \
+  auto sama_result_##__LINE__ = (expr);               \
+  if (!sama_result_##__LINE__.ok())                   \
+    return sama_result_##__LINE__.status();           \
+  lhs = std::move(sama_result_##__LINE__).value()
+
+}  // namespace sama
+
+#endif  // SAMA_COMMON_RESULT_H_

@@ -1,0 +1,92 @@
+#ifndef SAMA_COMMON_STATUS_H_
+#define SAMA_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace sama {
+
+// The outcome of an operation that can fail. Mirrors the Status idiom used
+// by storage engines: cheap to copy in the OK case, carries a code and a
+// message otherwise. Functions in this codebase report failure through
+// Status (or Result<T>) instead of throwing exceptions.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kAlreadyExists,
+    kOutOfRange,
+    kIoError,
+    kCorruption,
+    kParseError,
+    kUnimplemented,
+    kInternal,
+  };
+
+  // Constructs an OK status.
+  Status() : code_(Code::kOk) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(Code::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(Code::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(Code::kParseError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(Code::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Human-readable "CODE: message" string, "OK" for success.
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+// Propagates a non-OK status to the caller.
+#define SAMA_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    ::sama::Status sama_status_ = (expr);           \
+    if (!sama_status_.ok()) return sama_status_;    \
+  } while (false)
+
+}  // namespace sama
+
+#endif  // SAMA_COMMON_STATUS_H_

@@ -1,0 +1,90 @@
+#include "common/string_util.h"
+
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+
+namespace sama {
+
+std::string_view TrimWhitespace(std::string_view s) {
+  size_t begin = 0;
+  while (begin < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  size_t end = s.size();
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+std::vector<std::string_view> SplitString(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string ToLowerAscii(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+std::string HumanBytes(uint64_t bytes) {
+  static const char* kUnits[] = {"B", "KB", "MB", "GB", "TB"};
+  double value = static_cast<double>(bytes);
+  int unit = 0;
+  while (value >= 1024.0 && unit < 4) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f %s", value, kUnits[unit]);
+  return buf;
+}
+
+std::string HumanMillis(double millis) {
+  char buf[32];
+  if (millis < 1000.0) {
+    std::snprintf(buf, sizeof(buf), "%.0f ms", millis);
+  } else if (millis < 60.0 * 1000.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f sec", millis / 1000.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f min", millis / 60000.0);
+  }
+  return buf;
+}
+
+}  // namespace sama

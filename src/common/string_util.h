@@ -1,0 +1,34 @@
+#ifndef SAMA_COMMON_STRING_UTIL_H_
+#define SAMA_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sama {
+
+// Removes ASCII whitespace from both ends.
+std::string_view TrimWhitespace(std::string_view s);
+
+// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string_view> SplitString(std::string_view s, char sep);
+
+// Joins `parts` with `sep` between consecutive elements.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+// ASCII-lowercases `s`.
+std::string ToLowerAscii(std::string_view s);
+
+// Formats a byte count as "12.3 MB" style text (for Table 1 reporting).
+std::string HumanBytes(uint64_t bytes);
+
+// Formats a duration in milliseconds as "1 sec" / "4 min" style text.
+std::string HumanMillis(double millis);
+
+}  // namespace sama
+
+#endif  // SAMA_COMMON_STRING_UTIL_H_

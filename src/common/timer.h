@@ -1,0 +1,29 @@
+#ifndef SAMA_COMMON_TIMER_H_
+#define SAMA_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace sama {
+
+// Wall-clock stopwatch used by the benchmark harnesses.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  // Elapsed time since construction or the last Restart().
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+  double ElapsedSeconds() const { return ElapsedMillis() / 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace sama
+
+#endif  // SAMA_COMMON_TIMER_H_

@@ -1,0 +1,82 @@
+#ifndef SAMA_CORE_ALIGNMENT_H_
+#define SAMA_CORE_ALIGNMENT_H_
+
+#include <cstddef>
+#include <limits>
+
+#include "core/label_comparator.h"
+#include "core/score_params.h"
+#include "graph/path.h"
+#include "query/transformation.h"
+
+namespace sama {
+
+// The result of aligning a data path p against a query path q
+// (Definition 6): the substitution φ on q's variables, the
+// transformation τ (recorded basic operations), the Equation-1
+// counters, and the resulting quality cost λ(p, q).
+struct PathAlignment {
+  double lambda = 0.0;
+  Substitution phi;
+  Transformation tau;
+  // True when the scan stopped early because λ exceeded the caller's
+  // cutoff; lambda then holds the partial (≥ cutoff) value and
+  // phi/tau/counters cover only the scanned portion.
+  bool aborted = false;
+
+  // Equation 1 counters.
+  size_t nodes_of_p_not_in_q = 0;    // n̄N: label mismatches on nodes.
+  size_t edges_of_p_not_in_q = 0;    // n̄E: label mismatches on edges.
+  size_t nodes_inserted_in_q = 0;    // n↑N: nodes τ inserts into q.
+  size_t edges_inserted_in_q = 0;    // n↑E: edges τ inserts into q.
+  // Elements τ deletes from q when q is longer than p; priced with the
+  // deletion weights a and c (Theorem-1 proof: ω(ε‾N)=a, ω(ε‾E)=c).
+  size_t nodes_deleted_from_q = 0;
+  size_t edges_deleted_from_q = 0;
+
+  // True when every aligned position matched exactly, via a variable,
+  // or via a synonym — i.e. τ is empty and p is an exact answer path.
+  bool exact() const { return lambda == 0.0; }
+};
+
+// Aligns p (a data path, constants only) against q (a query path) by a
+// single backward scan from the sinks toward the sources — "contrary to
+// the direction of the edges" (§4.3) — inserting, deleting and
+// relabelling greedily. Runs in O(|p| + |q|), the paper's linearity
+// claim, because each step consumes at least one element of p or q.
+//
+// Greedy rule: positions are consumed in (edge, node) pairs after the
+// sink nodes are matched; when the remaining halves have equal length
+// the pair is matched in place (mismatches priced a/c); when p is
+// longer a non-matching pair of p is inserted into q (b+d); when q is
+// longer a non-matching pair of q is deleted (a+c).
+// `lambda_cutoff` enables the early-exit optimisation (a §7
+// score-computation improvement): the scan aborts as soon as the
+// accumulated cost reaches the cutoff, which spares full alignments
+// for candidates that can no longer make a cluster's top-n. Pass
+// +infinity (the default) for an exact result.
+PathAlignment AlignPaths(
+    const Path& p, const Path& q, const LabelComparator& cmp,
+    const ScoreParams& params,
+    double lambda_cutoff = std::numeric_limits<double>::infinity());
+
+// Exact minimum-cost alignment (AlignmentMode::kOptimalDp): a dynamic
+// program over (edge, node) pair units chooses the cheapest
+// match/insert/delete sequence, then the traceback records τ and binds
+// φ. Variable binding conflicts are charged after the fact (the DP
+// treats variables as free), so λ can exceed the DP optimum by the
+// conflict costs — exactly as in the greedy scanner. O(|p|·|q|).
+PathAlignment AlignPathsOptimal(const Path& p, const Path& q,
+                                const LabelComparator& cmp,
+                                const ScoreParams& params);
+
+// Dispatches on params.alignment_mode (the cutoff only applies to the
+// greedy scanner; the DP always computes exactly).
+PathAlignment Align(
+    const Path& p, const Path& q, const LabelComparator& cmp,
+    const ScoreParams& params,
+    double lambda_cutoff = std::numeric_limits<double>::infinity());
+
+}  // namespace sama
+
+#endif  // SAMA_CORE_ALIGNMENT_H_

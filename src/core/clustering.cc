@@ -1,0 +1,131 @@
+#include "core/clustering.h"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <mutex>
+#include <queue>
+#include <thread>
+
+namespace sama {
+namespace {
+
+// Candidate path ids for query path `q` (§5 Clustering): by sink label
+// when the sink is a constant, by the last constant in the path when
+// the sink is a variable, and — for the degenerate all-variable path —
+// every stored path.
+std::vector<PathId> Candidates(const QueryGraph& query, const Path& q,
+                               const PathIndex& index,
+                               const Thesaurus* thesaurus) {
+  TermId sink = q.sink_label();
+  const TermDictionary& dict = query.dict();
+  if (!query.IsVariableLabel(sink)) {
+    return index.PathsWithSinkMatching(dict.term(sink), thesaurus);
+  }
+  TermId last_constant = query.LastConstantFromSink(q);
+  if (last_constant != kInvalidTermId) {
+    return index.PathsContaining(dict.term(last_constant), thesaurus);
+  }
+  // All-variable query path: every path is a candidate.
+  std::vector<PathId> all(index.path_count());
+  for (PathId i = 0; i < all.size(); ++i) all[i] = i;
+  return all;
+}
+
+}  // namespace
+
+namespace {
+
+// Builds the cluster for query path `qi`. Thread-safe: every shared
+// structure it touches (index postings, stores behind their own
+// synchronisation-free read paths, the dictionary) is read-only during
+// query processing; each worker uses its own LabelComparator because
+// its memo cache mutates.
+Status BuildOneCluster(const QueryGraph& query, size_t qi,
+                       const PathIndex& index, const Thesaurus* thesaurus,
+                       const ScoreParams& params,
+                       const ClusteringOptions& options, Cluster* out) {
+  LabelComparator cmp(&query.dict(), thesaurus);
+  const Path& q = query.paths()[qi];
+  out->query_path_index = qi;
+  // With a top-n cap, track the n-th best λ seen so far; alignments
+  // provably worse than it abort early (the small epsilon keeps
+  // boundary ties completing, so results match the exact computation).
+  const size_t cap = options.max_candidates_per_cluster;
+  const bool early_exit = options.early_exit_alignment && cap != 0;
+  double cutoff = std::numeric_limits<double>::infinity();
+  std::priority_queue<double> kept_lambdas;  // Max-heap of the best n.
+  for (PathId id : Candidates(query, q, index, thesaurus)) {
+    ScoredPath sp;
+    sp.id = id;
+    SAMA_RETURN_IF_ERROR(index.GetPath(id, &sp.path));
+    sp.alignment = Align(sp.path, q, cmp, params,
+                         early_exit ? cutoff
+                                    : std::numeric_limits<
+                                          double>::infinity());
+    if (sp.alignment.aborted) continue;  // Cannot make the top n.
+    if (early_exit) {
+      kept_lambdas.push(sp.alignment.lambda);
+      if (kept_lambdas.size() > cap) kept_lambdas.pop();
+      if (kept_lambdas.size() == cap) {
+        cutoff = kept_lambdas.top() + 1e-9;
+      }
+    }
+    out->paths.push_back(std::move(sp));
+  }
+  // Best alignment first (lowest λ); ties by path id for determinism.
+  std::sort(out->paths.begin(), out->paths.end(),
+            [](const ScoredPath& a, const ScoredPath& b) {
+              if (a.lambda() != b.lambda()) return a.lambda() < b.lambda();
+              return a.id < b.id;
+            });
+  if (options.max_candidates_per_cluster != 0 &&
+      out->paths.size() > options.max_candidates_per_cluster) {
+    out->paths.resize(options.max_candidates_per_cluster);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<std::vector<Cluster>> BuildClusters(const QueryGraph& query,
+                                           const PathIndex& index,
+                                           const Thesaurus* thesaurus,
+                                           const ScoreParams& params,
+                                           const ClusteringOptions& options) {
+  const size_t n = query.paths().size();
+  std::vector<Cluster> clusters(n);
+  if (options.num_threads <= 1 || n <= 1) {
+    for (size_t qi = 0; qi < n; ++qi) {
+      SAMA_RETURN_IF_ERROR(BuildOneCluster(query, qi, index, thesaurus,
+                                           params, options, &clusters[qi]));
+    }
+    return clusters;
+  }
+  // One worker per thread pulling cluster indices from a shared counter;
+  // output slots are disjoint, so only the error status needs a lock.
+  std::atomic<size_t> next{0};
+  std::mutex error_mutex;
+  Status first_error;
+  std::vector<std::thread> workers;
+  size_t thread_count = std::min(options.num_threads, n);
+  for (size_t t = 0; t < thread_count; ++t) {
+    workers.emplace_back([&] {
+      while (true) {
+        size_t qi = next.fetch_add(1);
+        if (qi >= n) break;
+        Status s = BuildOneCluster(query, qi, index, thesaurus, params,
+                                   options, &clusters[qi]);
+        if (!s.ok()) {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (first_error.ok()) first_error = s;
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  if (!first_error.ok()) return first_error;
+  return clusters;
+}
+
+}  // namespace sama

@@ -1,0 +1,65 @@
+#ifndef SAMA_CORE_CLUSTERING_H_
+#define SAMA_CORE_CLUSTERING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "core/alignment.h"
+#include "core/score_params.h"
+#include "index/path_index.h"
+#include "query/query_graph.h"
+#include "text/thesaurus.h"
+
+namespace sama {
+
+// One candidate data path inside a cluster, with its alignment against
+// the cluster's query path.
+struct ScoredPath {
+  PathId id = 0;
+  Path path;
+  PathAlignment alignment;
+
+  double lambda() const { return alignment.lambda; }
+};
+
+// The cluster built for one query path (§5 Clustering, Figure 3):
+// candidate data paths ordered by alignment quality, best (lowest λ)
+// first.
+struct Cluster {
+  size_t query_path_index = 0;
+  std::vector<ScoredPath> paths;
+
+  bool empty() const { return paths.empty(); }
+  size_t size() const { return paths.size(); }
+};
+
+struct ClusteringOptions {
+  // Keep only the best n candidates per cluster after scoring
+  // (0 = keep all). The λ order is unaffected.
+  size_t max_candidates_per_cluster = 0;
+  // Worker threads scoring clusters concurrently (the §7 parallel
+  // deployment direction scaled to one machine). 1 = sequential.
+  // Results are identical regardless of the thread count.
+  size_t num_threads = 1;
+  // With max_candidates_per_cluster set, abort alignments as soon as
+  // their λ can no longer make the cluster's top n (the §7
+  // score-computation improvement). Results are identical; only wasted
+  // work is skipped. Ablated in bench_ablation.
+  bool early_exit_alignment = true;
+};
+
+// Builds one cluster per query path: candidates are retrieved from the
+// index by sink label (or, for variable sinks, by the last constant of
+// the path), aligned, scored with λ, and sorted best-first. The same
+// data path may appear in several clusters with different scores
+// (Figure 3's p1 in cl1 [0] and cl2 [1.5]).
+Result<std::vector<Cluster>> BuildClusters(const QueryGraph& query,
+                                           const PathIndex& index,
+                                           const Thesaurus* thesaurus,
+                                           const ScoreParams& params,
+                                           const ClusteringOptions& options);
+
+}  // namespace sama
+
+#endif  // SAMA_CORE_CLUSTERING_H_

@@ -1,0 +1,63 @@
+#include "core/engine.h"
+
+#include "common/timer.h"
+
+namespace sama {
+
+Result<std::vector<Answer>> SamaEngine::ExecuteSparql(
+    const SparqlQuery& query, size_t k, QueryStats* stats) const {
+  if (k == 0) k = query.limit;
+  QueryGraph qg = BuildQueryGraph(query.patterns);
+  SamaEngine configured = *this;
+  if ((options_.dedup_select_bindings || query.distinct) &&
+      !query.select_all) {
+    configured.options_.search.dedup_vars = query.select_vars;
+  }
+  if (!query.filters.empty()) {
+    std::vector<FilterConstraint> filters = query.filters;
+    configured.options_.search.binding_filter =
+        [filters = std::move(filters)](const Substitution& binding) {
+          return PassesFilters(filters, binding);
+        };
+  }
+  return configured.Execute(qg, k, stats);
+}
+
+Result<std::vector<Answer>> SamaEngine::Execute(const QueryGraph& query,
+                                                size_t k,
+                                                QueryStats* stats) const {
+  WallTimer total;
+  QueryStats local;
+
+  // Preprocessing: PQ is computed by the QueryGraph itself; build the
+  // intersection query graph here.
+  WallTimer phase;
+  IntersectionQueryGraph ig(query);
+  local.preprocess_millis = phase.ElapsedMillis();
+  local.num_query_paths = query.paths().size();
+
+  // Clustering.
+  phase.Restart();
+  auto clusters_or = BuildClusters(query, *index_, thesaurus_,
+                                   options_.params, options_.clustering);
+  if (!clusters_or.ok()) return clusters_or.status();
+  const std::vector<Cluster>& clusters = *clusters_or;
+  local.clustering_millis = phase.ElapsedMillis();
+  for (const Cluster& c : clusters) local.num_candidate_paths += c.size();
+
+  // Search.
+  phase.Restart();
+  ForestSearchOptions search_options = options_.search;
+  if (k != 0) search_options.k = k;
+  auto answers_or = ForestSearch(query, ig, clusters, options_.params,
+                                 search_options);
+  if (!answers_or.ok()) return answers_or.status();
+  local.search_millis = phase.ElapsedMillis();
+
+  local.total_millis = total.ElapsedMillis();
+  local.num_answers = answers_or->size();
+  if (stats != nullptr) *stats = local;
+  return answers_or;
+}
+
+}  // namespace sama

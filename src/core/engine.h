@@ -1,0 +1,84 @@
+#ifndef SAMA_CORE_ENGINE_H_
+#define SAMA_CORE_ENGINE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "core/clustering.h"
+#include "core/forest_search.h"
+#include "core/intersection_graph.h"
+#include "core/score_params.h"
+#include "index/path_index.h"
+#include "query/sparql.h"
+#include "text/thesaurus.h"
+
+namespace sama {
+
+struct EngineOptions {
+  ScoreParams params;
+  ClusteringOptions clustering;
+  ForestSearchOptions search;
+  // ExecuteSparql deduplicates answers on the SELECT variables
+  // (projection semantics); Execute on a raw QueryGraph never does.
+  bool dedup_select_bindings = true;
+};
+
+// Per-query timing/size breakdown matching the paper's phases (§5).
+struct QueryStats {
+  double preprocess_millis = 0;  // PQ + intersection query graph.
+  double clustering_millis = 0;
+  double search_millis = 0;
+  double total_millis = 0;
+  size_t num_query_paths = 0;
+  size_t num_candidate_paths = 0;  // I: paths retrieved by the index.
+  size_t num_answers = 0;
+};
+
+// The end-to-end Sama query processor (§5): preprocessing → clustering
+// → search over a pre-built PathIndex. Stateless across queries apart
+// from the shared dictionary, which grows as query constants are
+// interned.
+class SamaEngine {
+ public:
+  // All pointers are borrowed and must outlive the engine; `thesaurus`
+  // may be null to disable semantic matching.
+  SamaEngine(const DataGraph* graph, const PathIndex* index,
+             const Thesaurus* thesaurus, EngineOptions options = {})
+      : graph_(graph),
+        index_(index),
+        thesaurus_(thesaurus),
+        options_(options) {}
+
+  // Runs a parsed SPARQL query; `k` overrides options.search.k when
+  // non-zero, else the query's LIMIT applies, else the option default.
+  Result<std::vector<Answer>> ExecuteSparql(const SparqlQuery& query,
+                                            size_t k = 0,
+                                            QueryStats* stats = nullptr) const;
+
+  // Runs an already-built query graph. The query graph must have been
+  // built over this engine's shared dictionary (see BuildQueryGraph).
+  Result<std::vector<Answer>> Execute(const QueryGraph& query, size_t k,
+                                      QueryStats* stats = nullptr) const;
+
+  // Builds a query graph sharing the data graph's dictionary.
+  QueryGraph BuildQueryGraph(const std::vector<Triple>& patterns) const {
+    return QueryGraph::FromPatterns(patterns, graph_->shared_dict());
+  }
+
+  const EngineOptions& options() const { return options_; }
+  EngineOptions& mutable_options() { return options_; }
+  const DataGraph& graph() const { return *graph_; }
+  const PathIndex& index() const { return *index_; }
+  const Thesaurus* thesaurus() const { return thesaurus_; }
+
+ private:
+  const DataGraph* graph_;
+  const PathIndex* index_;
+  const Thesaurus* thesaurus_;
+  EngineOptions options_;
+};
+
+}  // namespace sama
+
+#endif  // SAMA_CORE_ENGINE_H_

@@ -1,0 +1,35 @@
+#ifndef SAMA_CORE_EXPLAIN_H_
+#define SAMA_CORE_EXPLAIN_H_
+
+#include <string>
+
+#include "core/forest_search.h"
+#include "query/query_graph.h"
+
+namespace sama {
+
+// Renders a human-readable explanation of an answer: per query path,
+// the aligned data path, the substitution φ it contributed and the
+// recorded transformation τ with its weighted cost, followed by the
+// score decomposition. Intended for debugging and for end users asking
+// "why did this answer rank here?".
+//
+// Example output:
+//   answer score 2.00 = lambda 0.00 + psi 2.00
+//   q1: CarlaBunes-sponsor-?v1-aTo-?v2-subject-Health Care
+//       aligned to CarlaBunes-sponsor-A0056-aTo-B1432-subject-Health Care
+//       lambda 0.00, exact (substitution only)
+//       ?v1 := A0056
+//       ?v2 := B1432
+//   ...
+std::string ExplainAnswer(const QueryGraph& query, const Answer& answer,
+                          const ScoreParams& params = {});
+
+// One-line rendering of a transformation τ, e.g.
+// "edge-insert + node-insert (cost 1.50)".
+std::string DescribeTransformation(const Transformation& tau,
+                                   const OpWeights& weights);
+
+}  // namespace sama
+
+#endif  // SAMA_CORE_EXPLAIN_H_

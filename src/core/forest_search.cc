@@ -1,0 +1,425 @@
+#include "core/forest_search.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "core/score.h"
+
+namespace sama {
+
+std::vector<Triple> Answer::ToTriples(const TermDictionary& dict) const {
+  std::vector<Triple> out;
+  for (const ScoredPath& part : parts) {
+    const Path& p = part.path;
+    for (size_t i = 0; i + 1 < p.node_labels.size(); ++i) {
+      out.push_back(Triple{dict.term(p.node_labels[i]),
+                           dict.term(p.edge_labels[i]),
+                           dict.term(p.node_labels[i + 1])});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Triple& a, const Triple& b) {
+    if (!(a.subject == b.subject)) return a.subject < b.subject;
+    if (!(a.predicate == b.predicate)) return a.predicate < b.predicate;
+    return a.object < b.object;
+  });
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<Term> Answer::BindingTuple(
+    const std::vector<std::string>& vars) const {
+  std::vector<Term> out;
+  out.reserve(vars.size());
+  for (const std::string& var : vars) {
+    const Term* bound = binding.Lookup(var);
+    out.push_back(bound != nullptr ? *bound : Term::Literal(""));
+  }
+  return out;
+}
+
+Result<std::vector<Answer>> ForestSearch(const QueryGraph& query,
+                                         const IntersectionQueryGraph& ig,
+                                         const std::vector<Cluster>& clusters,
+                                         const ScoreParams& params,
+                                         const ForestSearchOptions& options) {
+  // Split clusters into the active (non-empty) ones we combine over and
+  // the empty ones we charge a deletion penalty for.
+  std::vector<const Cluster*> active;
+  std::vector<size_t> active_query_path;
+  double empty_penalty = 0;
+  std::vector<size_t> empty_query_paths;
+  for (const Cluster& c : clusters) {
+    if (!c.empty()) {
+      active.push_back(&c);
+      active_query_path.push_back(c.query_path_index);
+      continue;
+    }
+    if (!options.allow_partial) return std::vector<Answer>{};
+    const Path& q = query.paths()[c.query_path_index];
+    empty_penalty +=
+        params.a() * static_cast<double>(q.node_labels.size()) +
+        params.c() * static_cast<double>(q.edge_labels.size());
+    empty_query_paths.push_back(c.query_path_index);
+  }
+  if (active.empty()) return std::vector<Answer>{};
+
+  // Ψ contribution of IG edges touching an empty cluster: the answer
+  // pair shares nothing, costing e·|χ(qi,qj)| (the |χ(pi,pj)|=0 branch).
+  double empty_psi = 0;
+  for (const IntersectionQueryGraph::SharedEdge& edge : ig.edges()) {
+    bool i_empty =
+        std::find(empty_query_paths.begin(), empty_query_paths.end(),
+                  edge.qi) != empty_query_paths.end();
+    bool j_empty =
+        std::find(empty_query_paths.begin(), empty_query_paths.end(),
+                  edge.qj) != empty_query_paths.end();
+    if (i_empty || j_empty) {
+      empty_psi += PsiCost(edge.shared.size(), 0, params);
+    }
+  }
+  const double fixed_cost = empty_penalty + empty_psi;
+
+  // Join order over the active clusters: start from the smallest,
+  // then greedily add the cluster most connected (via IG edges) to the
+  // ones already ordered, so connectivity violations surface at depth 2
+  // instead of depth m.
+  const size_t m = active.size();
+  std::vector<size_t> order;  // Positions into `active`.
+  {
+    std::vector<bool> placed(m, false);
+    size_t first = 0;
+    for (size_t i = 1; i < m; ++i) {
+      if (active[i]->size() < active[first]->size()) first = i;
+    }
+    order.push_back(first);
+    placed[first] = true;
+    while (order.size() < m) {
+      size_t best = m;
+      size_t best_links = 0;
+      for (size_t i = 0; i < m; ++i) {
+        if (placed[i]) continue;
+        size_t links = 0;
+        for (size_t j : order) {
+          if (ig.ChiQ(active_query_path[i], active_query_path[j]) > 0) {
+            ++links;
+          }
+        }
+        if (best == m || links > best_links ||
+            (links == best_links &&
+             active[i]->size() < active[best]->size())) {
+          best = i;
+          best_links = links;
+        }
+      }
+      order.push_back(best);
+      placed[best] = true;
+    }
+  }
+
+  auto candidate = [&](size_t pos, size_t idx) -> const ScoredPath& {
+    return active[order[pos]]->paths[idx];
+  };
+
+  // Sorted node-id sets per candidate, so χ(pi, pj) inside the search
+  // loop is a linear merge without sorting or allocation.
+  std::vector<std::vector<std::vector<NodeId>>> sorted_nodes(m);
+  for (size_t pos = 0; pos < m; ++pos) {
+    sorted_nodes[pos].reserve(active[order[pos]]->size());
+    for (const ScoredPath& sp : active[order[pos]]->paths) {
+      std::vector<NodeId> nodes = sp.path.nodes;
+      std::sort(nodes.begin(), nodes.end());
+      nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+      sorted_nodes[pos].push_back(std::move(nodes));
+    }
+  }
+  // node id -> candidate indices per join position (ascending, i.e. in
+  // λ order), used to enumerate only candidates that can connect to the
+  // prefix when require_connected is set.
+  std::vector<std::unordered_map<NodeId, std::vector<size_t>>>
+      candidates_by_node(m);
+  for (size_t pos = 0; pos < m; ++pos) {
+    for (size_t idx = 0; idx < sorted_nodes[pos].size(); ++idx) {
+      for (NodeId n : sorted_nodes[pos][idx]) {
+        candidates_by_node[pos][n].push_back(idx);
+      }
+    }
+  }
+
+  auto chi_between = [&](size_t pos_a, size_t idx_a, size_t pos_b,
+                         size_t idx_b) {
+    const std::vector<NodeId>& a = sorted_nodes[pos_a][idx_a];
+    const std::vector<NodeId>& b = sorted_nodes[pos_b][idx_b];
+    size_t i = 0, j = 0, common = 0;
+    while (i < a.size() && j < b.size()) {
+      if (a[i] < b[j]) {
+        ++i;
+      } else if (a[i] > b[j]) {
+        ++j;
+      } else {
+        ++common;
+        ++i;
+        ++j;
+      }
+    }
+    return common;
+  };
+
+  // Longest candidate path per join position — bounds the achievable
+  // χ(pi, pj), hence the minimum ψ of a pending edge.
+  std::vector<size_t> max_len(m, 1);
+  for (size_t pos = 0; pos < m; ++pos) {
+    for (const ScoredPath& sp : active[order[pos]]->paths) {
+      max_len[pos] = std::max(max_len[pos], sp.path.length());
+    }
+  }
+
+  // IG edges translated to join positions. An edge "completes" at its
+  // later position.
+  struct JoinEdge {
+    size_t earlier;
+    size_t chi_q;
+  };
+  std::vector<std::vector<JoinEdge>> edges_completing_at(m);
+  std::vector<double> psi_lb_suffix(m + 1, 0.0);
+  std::vector<double> psi_lb_at(m, 0.0);
+  {
+    // Map query-path index -> join position.
+    std::vector<size_t> position_of_query_path(query.paths().size(), m);
+    for (size_t pos = 0; pos < m; ++pos) {
+      position_of_query_path[active_query_path[order[pos]]] = pos;
+    }
+    std::vector<double>& lb_at = psi_lb_at;
+    for (const IntersectionQueryGraph::SharedEdge& edge : ig.edges()) {
+      size_t a = position_of_query_path[edge.qi];
+      size_t b = position_of_query_path[edge.qj];
+      if (a >= m || b >= m) continue;  // Touches an empty cluster.
+      if (a > b) std::swap(a, b);
+      edges_completing_at[b].push_back(JoinEdge{a, edge.shared.size()});
+      size_t max_chi = std::min(max_len[a], max_len[b]);
+      lb_at[b] += params.e * static_cast<double>(edge.shared.size()) /
+                  static_cast<double>(max_chi);
+    }
+    for (size_t pos = m; pos-- > 0;) {
+      psi_lb_suffix[pos] = psi_lb_suffix[pos + 1] + lb_at[pos];
+    }
+  }
+
+  // Admissible λ remainder: Σ of each unplaced cluster's best λ.
+  std::vector<double> min_lambda_suffix(m + 1, 0.0);
+  for (size_t pos = m; pos-- > 0;) {
+    min_lambda_suffix[pos] =
+        min_lambda_suffix[pos + 1] + candidate(pos, 0).lambda();
+  }
+
+  // Depth-first branch and bound over one candidate index per join
+  // position, candidates tried in ascending-λ order. A prefix is pruned
+  // when its admissible lower bound
+  //   fixed_cost + Σλ(prefix) + Σ minλ(remaining)
+  //   + exact ψ of edges inside the prefix + ψ lower bounds of pending
+  //     edges
+  // cannot beat the k-th kept answer, or when the freshly placed
+  // candidate breaks connectivity/binding requirements. Depth-first
+  // order makes the search anytime: the first complete combinations
+  // appear after m steps, so even an exhausted expansion budget returns
+  // the greedily-best solutions found so far.
+  std::vector<Answer> results;
+  std::vector<size_t> choice(m, 0);
+  std::vector<double> psi_prefix(m + 1, 0.0);   // ψ of edges within depth.
+  std::vector<double> lambda_prefix(m + 1, 0.0);
+  size_t expansions = 0;
+  // The expansion budget is split evenly across the first join level's
+  // candidate subtrees, so an exhausted budget still leaves answers
+  // spread over the whole candidate range instead of one corner of the
+  // combination space.
+  size_t expansion_limit = options.max_expansions;
+  bool out_of_budget = false;
+
+  auto threshold = [&]() {
+    return (options.k != 0 && results.size() >= options.k)
+               ? results.back().score
+               : std::numeric_limits<double>::infinity();
+  };
+
+  // Best kept score per projected binding tuple (dedup_vars mode).
+  std::unordered_map<std::string, double> best_by_tuple;
+  auto tuple_key = [&](const Answer& answer) {
+    std::string key;
+    for (const Term& t : answer.BindingTuple(options.dedup_vars)) {
+      key += t.ToString();
+      key += '\x1f';
+    }
+    return key;
+  };
+
+  auto emit = [&](double lambda_sum, double psi_sum) {
+    Answer answer;
+    answer.lambda_total = empty_penalty + lambda_sum;
+    answer.psi_total = empty_psi + psi_sum;
+    answer.score = answer.lambda_total + answer.psi_total;
+    answer.parts.resize(m);
+    answer.query_path_index.resize(m);
+    for (size_t pos = 0; pos < m; ++pos) {
+      // Restore the original cluster order in the answer.
+      answer.parts[order[pos]] = candidate(pos, choice[pos]);
+      answer.query_path_index[order[pos]] =
+          active_query_path[order[pos]];
+    }
+    // Merge φ best-alignment-first: when paths disagree on a shared
+    // variable, the binding from the better-aligned (lower λ) path wins.
+    {
+      std::vector<const ScoredPath*> by_lambda;
+      by_lambda.reserve(answer.parts.size());
+      for (const ScoredPath& part : answer.parts) by_lambda.push_back(&part);
+      std::stable_sort(by_lambda.begin(), by_lambda.end(),
+                       [](const ScoredPath* a, const ScoredPath* b) {
+                         return a->lambda() < b->lambda();
+                       });
+      for (const ScoredPath* part : by_lambda) {
+        if (!answer.binding.Merge(part->alignment.phi)) {
+          answer.consistent = false;
+        }
+      }
+    }
+    if (options.require_consistent_bindings && !answer.consistent) return;
+    if (options.binding_filter && !options.binding_filter(answer.binding)) {
+      return;
+    }
+    if (!options.dedup_vars.empty()) {
+      std::string key = tuple_key(answer);
+      auto [it, inserted] = best_by_tuple.emplace(key, answer.score);
+      if (!inserted) {
+        if (answer.score >= it->second) return;  // Existing one is better.
+        // Replace the previously kept answer for this tuple.
+        for (auto r = results.begin(); r != results.end(); ++r) {
+          if (r->score == it->second && tuple_key(*r) == key) {
+            results.erase(r);
+            break;
+          }
+        }
+        it->second = answer.score;
+      }
+    }
+    auto pos = std::upper_bound(
+        results.begin(), results.end(), answer,
+        [](const Answer& a, const Answer& b) { return a.score < b.score; });
+    results.insert(pos, std::move(answer));
+    if (options.k != 0 && results.size() > options.k) {
+      if (!options.dedup_vars.empty()) {
+        best_by_tuple.erase(tuple_key(results.back()));
+      }
+      results.pop_back();
+    }
+  };
+
+  // Recursive lambda over join positions.
+  auto descend = [&](auto&& self, size_t pos) -> void {
+    if (out_of_budget) return;
+    if (pos == m) {
+      emit(lambda_prefix[m], psi_prefix[m]);
+      return;
+    }
+    const std::vector<ScoredPath>& paths = active[order[pos]]->paths;
+    // When this position must connect to already-placed paths, only
+    // candidates sharing a node with EVERY one of them can be valid:
+    // intersect, over the back edges, the union of candidate lists of
+    // the anchor path's nodes. The result stays index-ascending, i.e.
+    // λ-ordered.
+    std::vector<size_t> narrowed;
+    bool use_narrowed = false;
+    if (options.require_connected && !edges_completing_at[pos].empty()) {
+      use_narrowed = true;
+      bool first_edge = true;
+      for (const JoinEdge& back : edges_completing_at[pos]) {
+        std::vector<size_t> sharing;
+        for (NodeId n : sorted_nodes[back.earlier][choice[back.earlier]]) {
+          auto it = candidates_by_node[pos].find(n);
+          if (it == candidates_by_node[pos].end()) continue;
+          sharing.insert(sharing.end(), it->second.begin(),
+                         it->second.end());
+        }
+        std::sort(sharing.begin(), sharing.end());
+        sharing.erase(std::unique(sharing.begin(), sharing.end()),
+                      sharing.end());
+        if (first_edge) {
+          narrowed = std::move(sharing);
+          first_edge = false;
+        } else {
+          std::vector<size_t> both;
+          std::set_intersection(narrowed.begin(), narrowed.end(),
+                                sharing.begin(), sharing.end(),
+                                std::back_inserter(both));
+          narrowed = std::move(both);
+        }
+        if (narrowed.empty()) break;
+      }
+    }
+    const size_t candidate_count =
+        use_narrowed ? narrowed.size() : paths.size();
+    for (size_t pick = 0; pick < candidate_count; ++pick) {
+      size_t idx = use_narrowed ? narrowed[pick] : pick;
+      if (pos == 0) {
+        // Refresh this subtree's budget share before the check below.
+        if (expansions >= options.max_expansions) {
+          out_of_budget = true;
+          return;
+        }
+        size_t share = std::max<size_t>(
+            64 * m,
+            options.max_expansions / std::max<size_t>(1, candidate_count));
+        expansion_limit =
+            std::min(options.max_expansions, expansions + share);
+      }
+      if (++expansions > expansion_limit) {
+        out_of_budget = true;
+        return;
+      }
+      const ScoredPath& sp = paths[idx];
+      // λ-only bound: candidates are sorted by λ, so once it fails no
+      // later candidate at this position can succeed either.
+      double lambda_sum = lambda_prefix[pos] + sp.lambda();
+      double optimistic = fixed_cost + lambda_sum +
+                          min_lambda_suffix[pos + 1] + psi_prefix[pos] +
+                          psi_lb_suffix[pos];
+      if (optimistic >= threshold()) break;
+
+      // Exact ψ of the edges this position completes, plus validity.
+      double psi_here = 0;
+      bool valid = true;
+      for (const JoinEdge& edge : edges_completing_at[pos]) {
+        size_t chi_p =
+            chi_between(edge.earlier, choice[edge.earlier], pos, idx);
+        if (chi_p == 0 && options.require_connected) {
+          valid = false;
+          break;
+        }
+        psi_here += PsiCost(edge.chi_q, chi_p, params);
+      }
+      if (valid && options.require_consistent_bindings) {
+        for (size_t j = 0; j < pos; ++j) {
+          if (!candidate(j, choice[j])
+                   .alignment.phi.CompatibleWith(sp.alignment.phi)) {
+            valid = false;
+            break;
+          }
+        }
+      }
+      if (!valid) continue;
+      double full_bound = optimistic + psi_here - psi_lb_at[pos];
+      if (full_bound >= threshold()) continue;
+
+      choice[pos] = idx;
+      lambda_prefix[pos + 1] = lambda_sum;
+      psi_prefix[pos + 1] = psi_prefix[pos] + psi_here;
+      self(self, pos + 1);
+      if (out_of_budget) {
+        if (pos != 0 || expansions > options.max_expansions) return;
+        out_of_budget = false;  // Only this subtree's share is spent.
+      }
+    }
+  };
+  descend(descend, 0);
+  return results;
+}
+
+}  // namespace sama

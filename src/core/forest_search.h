@@ -1,0 +1,90 @@
+#ifndef SAMA_CORE_FOREST_SEARCH_H_
+#define SAMA_CORE_FOREST_SEARCH_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/clustering.h"
+#include "core/intersection_graph.h"
+#include "core/score_params.h"
+#include "query/query_graph.h"
+
+namespace sama {
+
+// One generated answer: a combination of one scored path per
+// (non-empty) cluster, with the full score decomposition
+// score = Λ + Ψ (§4.1) plus the penalty for query paths whose cluster
+// was empty.
+struct Answer {
+  // One entry per non-empty cluster, parallel to `query_path_index`.
+  std::vector<ScoredPath> parts;
+  std::vector<size_t> query_path_index;
+
+  double lambda_total = 0;   // Λ(a, Q) + empty-cluster penalty.
+  double psi_total = 0;      // Ψ(a, Q).
+  double score = 0;          // lambda_total + psi_total.
+  Substitution binding;      // Merged φ (first binding wins on conflict).
+  bool consistent = true;    // No variable bound to two values.
+
+  // The answer's subgraph as triples (s, p, o) of dictionary terms,
+  // deduplicated — τ(φ(Q)) materialised.
+  std::vector<Triple> ToTriples(const TermDictionary& dict) const;
+
+  // The bound values of `vars` (names without '?'); unbound variables
+  // yield empty-string literals. Used to compare answers across
+  // systems.
+  std::vector<Term> BindingTuple(const std::vector<std::string>& vars) const;
+};
+
+struct ForestSearchOptions {
+  // Number of answers to produce; 0 = every combination the expansion
+  // budget reaches (the paper's "without imposing the number k").
+  size_t k = 10;
+  // Reject combinations whose variable bindings conflict. Off by
+  // default: the paper's approximation keeps such combinations and lets
+  // the conformity term Ψ rank them below conforming ones (the dashed
+  // forest edges of Figure 4).
+  bool require_consistent_bindings = false;
+  // Require χ(pi, pj) > 0 for every intersection-query-graph edge whose
+  // clusters are both non-empty — the paths of a solution must connect
+  // the way the query's paths do ("the intersection query graph allows
+  // us to verify efficiently if they form a solution", §5). A dashed
+  // Figure-4 edge (ψ < 1) still connects; a pair sharing no node does
+  // not. On by default.
+  bool require_connected = true;
+  // Skip query paths with empty clusters, charging the cost of deleting
+  // the whole path (a per node, c per edge). When false, one empty
+  // cluster means no answers.
+  bool allow_partial = true;
+  // Optional predicate over the merged bindings; answers failing it are
+  // not kept (SPARQL FILTER support). Null = keep everything.
+  std::function<bool(const Substitution&)> binding_filter;
+  // When non-empty, answers are deduplicated on the binding tuple of
+  // these variables (SPARQL projection semantics): for each distinct
+  // tuple only the best-scored combination is kept. ExecuteSparql sets
+  // this to the SELECT variables.
+  std::vector<std::string> dedup_vars;
+  // Budget on branch-and-bound steps. Within the budget the returned
+  // top-k ranking is provably exact; once it is exhausted the search
+  // returns the best combinations found so far (the paper's own search
+  // likewise generates the top-k heuristically, §5).
+  size_t max_expansions = 50000;
+};
+
+// The Search step (§5): organises the clusters' paths into a forest
+// whose edges carry ⟨(qi,qj):[ψ]⟩ labels and generates the top-k
+// solutions best-first by Σλ with exact rescoring by Λ + Ψ. Worst case
+// O(h·I²) in the paper's notation. Answers come back sorted by
+// ascending score (most relevant first).
+Result<std::vector<Answer>> ForestSearch(const QueryGraph& query,
+                                         const IntersectionQueryGraph& ig,
+                                         const std::vector<Cluster>& clusters,
+                                         const ScoreParams& params,
+                                         const ForestSearchOptions& options);
+
+}  // namespace sama
+
+#endif  // SAMA_CORE_FOREST_SEARCH_H_

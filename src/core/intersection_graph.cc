@@ -1,0 +1,30 @@
+#include "core/intersection_graph.h"
+
+#include "core/score.h"
+
+namespace sama {
+
+IntersectionQueryGraph::IntersectionQueryGraph(const QueryGraph& query) {
+  const std::vector<Path>& paths = query.paths();
+  n_ = paths.size();
+  adjacency_.resize(n_);
+  chi_.assign(n_ * n_, 0);
+  for (size_t i = 0; i < n_; ++i) {
+    for (size_t j = i + 1; j < n_; ++j) {
+      std::vector<NodeId> shared = ChiCommonNodes(paths[i], paths[j]);
+      if (shared.empty()) continue;
+      chi_[i * n_ + j] = shared.size();
+      chi_[j * n_ + i] = shared.size();
+      adjacency_[i].push_back(j);
+      adjacency_[j].push_back(i);
+      edges_.push_back(SharedEdge{i, j, std::move(shared)});
+    }
+  }
+}
+
+size_t IntersectionQueryGraph::ChiQ(size_t qi, size_t qj) const {
+  if (qi >= n_ || qj >= n_) return 0;
+  return chi_[qi * n_ + qj];
+}
+
+}  // namespace sama

@@ -1,0 +1,50 @@
+#ifndef SAMA_CORE_INTERSECTION_GRAPH_H_
+#define SAMA_CORE_INTERSECTION_GRAPH_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "query/query_graph.h"
+
+namespace sama {
+
+// The intersection query graph IG (§5 Preprocessing, Figure 2): one
+// node per query path of PQ; an edge (qi, qj) whenever the two paths
+// share query-graph nodes, annotated with the shared node ids (e.g.
+// q1–q2 share {?v2, Health Care} in the running example). The search
+// step uses it to check that combined answer paths intersect the way
+// the query requires.
+class IntersectionQueryGraph {
+ public:
+  struct SharedEdge {
+    size_t qi;                     // Index into query.paths().
+    size_t qj;                     // qi < qj.
+    std::vector<NodeId> shared;    // Query-graph node ids in common.
+  };
+
+  explicit IntersectionQueryGraph(const QueryGraph& query);
+
+  // All pairs (qi, qj) with at least one shared node.
+  const std::vector<SharedEdge>& edges() const { return edges_; }
+
+  // Shared node count for an arbitrary pair (0 when not adjacent).
+  size_t ChiQ(size_t qi, size_t qj) const;
+
+  // Indices of paths adjacent to `q`.
+  const std::vector<size_t>& Neighbors(size_t q) const {
+    return adjacency_[q];
+  }
+
+  size_t path_count() const { return adjacency_.size(); }
+
+ private:
+  std::vector<SharedEdge> edges_;
+  std::vector<std::vector<size_t>> adjacency_;
+  // Dense chi lookup: chi_[qi * n + qj].
+  std::vector<size_t> chi_;
+  size_t n_ = 0;
+};
+
+}  // namespace sama
+
+#endif  // SAMA_CORE_INTERSECTION_GRAPH_H_

@@ -1,0 +1,21 @@
+#include "core/label_comparator.h"
+
+#include "text/tokenizer.h"
+
+namespace sama {
+
+LabelMatch LabelComparator::CompareSlow(const Term& data,
+                                        const Term& query) const {
+  std::string data_label = data.DisplayLabel();
+  std::string query_label = query.DisplayLabel();
+  if (NormalizeLabel(data_label) == NormalizeLabel(query_label)) {
+    return LabelMatch::kExact;
+  }
+  if (thesaurus_ != nullptr &&
+      thesaurus_->AreRelated(data_label, query_label)) {
+    return LabelMatch::kSynonym;
+  }
+  return LabelMatch::kMismatch;
+}
+
+}  // namespace sama

@@ -1,0 +1,57 @@
+#ifndef SAMA_CORE_LABEL_COMPARATOR_H_
+#define SAMA_CORE_LABEL_COMPARATOR_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "rdf/dictionary.h"
+#include "text/thesaurus.h"
+
+namespace sama {
+
+// How a data label relates to a query label during alignment.
+enum class LabelMatch : uint8_t {
+  kExact = 0,    // Identical term (or case-normalised equal): cost 0.
+  kVariable,     // Query side is a variable: substitution φ, cost 0.
+  kSynonym,      // Thesaurus-related: a label modification ε×, cost 0
+                 // (ω(ε×)=0 per the Theorem-1 proof).
+  kMismatch,     // Unrelated constants: node cost a / edge cost c.
+};
+
+// Compares data-side and query-side labels living in one shared
+// TermDictionary. Thesaurus checks go through DisplayLabel() and are
+// memoised per label pair, so repeated alignments stay O(1) per
+// element.
+class LabelComparator {
+ public:
+  // Both pointers are borrowed. `thesaurus` may be null (no semantic
+  // matching).
+  LabelComparator(const TermDictionary* dict, const Thesaurus* thesaurus)
+      : dict_(dict), thesaurus_(thesaurus) {}
+
+  LabelMatch Compare(TermId data_label, TermId query_label) const {
+    if (data_label == query_label) return LabelMatch::kExact;
+    const Term& q = dict_->term(query_label);
+    if (q.is_variable()) return LabelMatch::kVariable;
+    uint64_t key = (static_cast<uint64_t>(data_label) << 32) | query_label;
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+    LabelMatch m = CompareSlow(dict_->term(data_label), q);
+    cache_.emplace(key, m);
+    return m;
+  }
+
+  const TermDictionary* dict() const { return dict_; }
+  const Thesaurus* thesaurus() const { return thesaurus_; }
+
+ private:
+  LabelMatch CompareSlow(const Term& data, const Term& query) const;
+
+  const TermDictionary* dict_;
+  const Thesaurus* thesaurus_;
+  mutable std::unordered_map<uint64_t, LabelMatch> cache_;
+};
+
+}  // namespace sama
+
+#endif  // SAMA_CORE_LABEL_COMPARATOR_H_

@@ -1,0 +1,41 @@
+#include "core/score.h"
+
+#include <algorithm>
+
+namespace sama {
+
+std::vector<NodeId> ChiCommonNodes(const Path& a, const Path& b) {
+  std::vector<NodeId> sa = a.nodes;
+  std::vector<NodeId> sb = b.nodes;
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  std::vector<NodeId> out;
+  std::set_intersection(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                        std::back_inserter(out));
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+size_t ChiSize(const Path& a, const Path& b) {
+  return ChiCommonNodes(a, b).size();
+}
+
+double PsiCost(size_t chi_q, size_t chi_p, const ScoreParams& params) {
+  if (chi_q == 0) return 0.0;
+  if (chi_p == 0) return params.e * static_cast<double>(chi_q);
+  return params.e * static_cast<double>(chi_q) /
+         static_cast<double>(chi_p);
+}
+
+double ConformityRatio(size_t chi_q, size_t chi_p) {
+  if (chi_q == 0) return 1.0;
+  return static_cast<double>(chi_p) / static_cast<double>(chi_q);
+}
+
+double LambdaTotal(const std::vector<PathAlignment>& alignments) {
+  double total = 0;
+  for (const PathAlignment& a : alignments) total += a.lambda;
+  return total;
+}
+
+}  // namespace sama

@@ -1,0 +1,42 @@
+#ifndef SAMA_CORE_SCORE_H_
+#define SAMA_CORE_SCORE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/alignment.h"
+#include "core/score_params.h"
+#include "graph/path.h"
+
+namespace sama {
+
+// χ (§4.1): the set of nodes common to two paths. For data paths the
+// comparison is on concrete graph node ids; for query paths (whose
+// Path::nodes are query-graph-local) it is likewise on node ids within
+// the one query graph. Returns the common ids.
+std::vector<NodeId> ChiCommonNodes(const Path& a, const Path& b);
+
+// |χ| without materialising the set.
+size_t ChiSize(const Path& a, const Path& b);
+
+// The conformity penalty ψ(qi, qj, pi, pj) exactly as printed in §4.1:
+//   e · |χ(qi,qj)| / |χ(pi,pj)|   when |χ(pi,pj)| > 0
+//   e · |χ(qi,qj)|                when |χ(pi,pj)| = 0
+// Lower is better; a pair of answer paths that keeps all of the query
+// pair's intersections costs e·1, losing intersections costs more.
+// When the query paths share nothing (|χ(qi,qj)| = 0) the pair
+// contributes 0.
+double PsiCost(size_t chi_q, size_t chi_p, const ScoreParams& params);
+
+// The conformity ratio |χ(pi,pj)| / |χ(qi,qj)| displayed on forest
+// edges (Figure 4; edge (p7,p1) is labelled 0.5, edge (p10,p1) is 1).
+// Defined as 1 when |χ(qi,qj)| = 0.
+double ConformityRatio(size_t chi_q, size_t chi_p);
+
+// Λ(a, Q): the sum of λ(p, q) over the per-path alignments of an
+// answer.
+double LambdaTotal(const std::vector<PathAlignment>& alignments);
+
+}  // namespace sama
+
+#endif  // SAMA_CORE_SCORE_H_

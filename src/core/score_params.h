@@ -1,0 +1,36 @@
+#ifndef SAMA_CORE_SCORE_PARAMS_H_
+#define SAMA_CORE_SCORE_PARAMS_H_
+
+#include "query/transformation.h"
+
+namespace sama {
+
+// How path alignments are computed (§4.3 vs the §7 improvement).
+enum class AlignmentMode {
+  // The paper's backward greedy scan: O(|p| + |q|), may settle for a
+  // suboptimal alignment when a compatible-looking pair should have
+  // been skipped.
+  kGreedyLinear = 0,
+  // Exact minimum-cost alignment by dynamic programming over
+  // (edge, node) pairs: O(|p|·|q|), still tiny for real path lengths.
+  kOptimalDp,
+};
+
+// Parameters of the score function (§4.1): the alignment weights
+// a, b, c, d of Equation 1 (carried by OpWeights) and the conformity
+// weight e. Defaults are the paper's experimental setting (§6.2):
+// a=1, b=0.5, c=2, d=1; e is not reported and defaults to 1.
+struct ScoreParams {
+  OpWeights weights;
+  double e = 1.0;
+  AlignmentMode alignment_mode = AlignmentMode::kGreedyLinear;
+
+  double a() const { return weights.node_delete; }
+  double b() const { return weights.node_insert; }
+  double c() const { return weights.edge_delete; }
+  double d() const { return weights.edge_insert; }
+};
+
+}  // namespace sama
+
+#endif  // SAMA_CORE_SCORE_PARAMS_H_

@@ -1,0 +1,87 @@
+#include "datasets/berlin.h"
+
+#include <string>
+
+#include "common/random.h"
+
+namespace sama {
+namespace {
+
+Term Bsbm(const std::string& local) {
+  return Term::Iri(std::string(kBerlinNamespace) + local);
+}
+
+Term EntityIri(const std::string& local) {
+  return Term::Iri("http://berlin.example.org/data/" + local);
+}
+
+}  // namespace
+
+std::vector<Triple> GenerateBerlin(const BerlinConfig& config) {
+  Random rng(config.seed);
+  std::vector<Triple> triples;
+  const Term type = Bsbm("productType");
+  const Term producer = Bsbm("producer");
+  const Term country = Bsbm("country");
+  const Term product_rel = Bsbm("product");
+  const Term vendor_rel = Bsbm("vendor");
+  const Term price = Bsbm("price");
+  const Term review_for = Bsbm("reviewFor");
+  const Term reviewer_rel = Bsbm("reviewer");
+  const Term rating = Bsbm("rating");
+
+  static const char* kCountries[] = {"DE", "US", "GB", "JP", "FR"};
+
+  std::vector<Term> types;
+  for (size_t t = 0; t < config.product_types; ++t) {
+    types.push_back(EntityIri("ProductType" + std::to_string(t)));
+  }
+  std::vector<Term> producers;
+  for (size_t p = 0; p < config.producers; ++p) {
+    Term pr = EntityIri("Producer" + std::to_string(p));
+    producers.push_back(pr);
+    triples.push_back({pr, country, Term::Literal(kCountries[p % 5])});
+  }
+  std::vector<Term> vendors;
+  for (size_t v = 0; v < config.vendors; ++v) {
+    Term vd = EntityIri("Vendor" + std::to_string(v));
+    vendors.push_back(vd);
+    triples.push_back({vd, country, Term::Literal(kCountries[(v + 2) % 5])});
+  }
+  std::vector<Term> reviewers;
+  for (size_t r = 0; r < config.reviewers; ++r) {
+    Term person = EntityIri("Reviewer" + std::to_string(r));
+    reviewers.push_back(person);
+    triples.push_back(
+        {person, country, Term::Literal(kCountries[rng.Uniform(5)])});
+  }
+
+  for (size_t i = 0; i < config.products; ++i) {
+    Term product = EntityIri("Product" + std::to_string(i));
+    triples.push_back({product, type, types[rng.Uniform(types.size())]});
+    triples.push_back(
+        {product, producer, producers[rng.Uniform(producers.size())]});
+    for (size_t o = 0; o < config.offers_per_product; ++o) {
+      Term offer = EntityIri("Offer" + std::to_string(o) + "_Product" +
+                             std::to_string(i));
+      triples.push_back({offer, product_rel, product});
+      triples.push_back(
+          {offer, vendor_rel, vendors[rng.Uniform(vendors.size())]});
+      triples.push_back(
+          {offer, price,
+           Term::Literal(std::to_string(10 + rng.Uniform(990)))});
+    }
+    for (size_t r = 0; r < config.reviews_per_product; ++r) {
+      Term review = EntityIri("Review" + std::to_string(r) + "_Product" +
+                              std::to_string(i));
+      triples.push_back({review, review_for, product});
+      triples.push_back(
+          {review, reviewer_rel, reviewers[rng.Uniform(reviewers.size())]});
+      triples.push_back(
+          {review, rating, Term::Literal(std::to_string(1 + rng.Uniform(5)))});
+    }
+  }
+  return triples;
+}
+
+}  // namespace sama

@@ -1,0 +1,32 @@
+#ifndef SAMA_DATASETS_BERLIN_H_
+#define SAMA_DATASETS_BERLIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rdf/triple.h"
+
+namespace sama {
+
+// Berlin-SPARQL-Benchmark-like e-commerce data (Bizer & Schultz):
+// products, producers, vendors, offers, reviews, reviewers. Offers and
+// reviews are the graph sources; product types and country literals
+// are the sinks.
+struct BerlinConfig {
+  size_t products = 100;
+  size_t product_types = 10;
+  size_t producers = 10;
+  size_t vendors = 5;
+  size_t offers_per_product = 2;
+  size_t reviews_per_product = 2;
+  size_t reviewers = 30;
+  uint64_t seed = 7;
+};
+
+inline constexpr char kBerlinNamespace[] = "http://berlin.example.org/bsbm#";
+
+std::vector<Triple> GenerateBerlin(const BerlinConfig& config);
+
+}  // namespace sama
+
+#endif  // SAMA_DATASETS_BERLIN_H_

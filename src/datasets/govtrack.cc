@@ -1,0 +1,122 @@
+#include "datasets/govtrack.h"
+
+#include <string>
+
+namespace sama {
+namespace {
+
+constexpr char kNs[] = "http://gov.example.org/";
+
+Term Entity(const std::string& local) { return Term::Iri(kNs + local); }
+Term Rel(const std::string& local) { return Term::Iri(kNs + local); }
+
+}  // namespace
+
+std::vector<Triple> GovTrackFigure1Triples() {
+  const Term sponsor = Rel("sponsor");
+  const Term a_to = Rel("aTo");
+  const Term subject = Rel("subject");
+  const Term gender = Rel("gender");
+  const Term has_role = Rel("hasRole");
+  const Term for_office = Rel("forOffice");
+
+  const Term cb = Entity("CarlaBunes");
+  const Term jr = Entity("JeffRyser");
+  const Term kf = Entity("KeithFarmer");
+  const Term jm = Entity("JohnMcRie");
+  const Term pd = Entity("PierceDickes");
+  const Term pt = Entity("PeterTraves");
+  const Term an = Entity("AliceNimber");
+
+  const Term a0056 = Entity("A0056");
+  const Term a1589 = Entity("A1589");
+  const Term a1232 = Entity("A1232");
+  const Term a0772 = Entity("A0772");
+  const Term a0467 = Entity("A0467");
+
+  const Term b1432 = Entity("B1432");
+  const Term b0532 = Entity("B0532");
+  const Term b0045 = Entity("B0045");
+
+  const Term health_care = Term::Literal("Health Care");
+  const Term male = Term::Literal("Male");
+  const Term female = Term::Literal("Female");
+  const Term term1 = Entity("Term_1994_JR");
+  const Term term2 = Entity("Term_1994_PT");
+  const Term senate_ny = Entity("SenateNY");
+
+  return {
+      // Amendment sponsorships (cluster cl1's length-4 paths,
+      // Figure 3).
+      {cb, sponsor, a0056},
+      {jr, sponsor, a1589},
+      {kf, sponsor, a1232},
+      {jm, sponsor, a0772},
+      {jm, sponsor, a1232},
+      {pd, sponsor, a0467},
+      // Amendment -> bill.
+      {a0056, a_to, b1432},
+      {a1589, a_to, b0532},
+      {a1232, a_to, b0045},
+      {a0772, a_to, b0045},
+      {a0467, a_to, b0532},
+      // Direct bill sponsorships (cluster cl2's length-3 paths).
+      {jr, sponsor, b0045},
+      {pt, sponsor, b0532},
+      {an, sponsor, b1432},
+      {pd, sponsor, b1432},
+      // Bill subjects.
+      {b1432, subject, health_care},
+      {b0532, subject, health_care},
+      {b0045, subject, health_care},
+      // Genders (cluster cl3 = the four Male sponsors).
+      {jr, gender, male},
+      {kf, gender, male},
+      {jm, gender, male},
+      {pd, gender, male},
+      {cb, gender, female},
+      {an, gender, female},
+      {pt, gender, female},
+      // Roles.
+      {jr, has_role, term1},
+      {pt, has_role, term2},
+      {term1, for_office, senate_ny},
+      {term2, for_office, senate_ny},
+  };
+}
+
+std::vector<Triple> GovTrackQuery1Patterns() {
+  const Term sponsor = Rel("sponsor");
+  const Term a_to = Rel("aTo");
+  const Term subject = Rel("subject");
+  const Term gender = Rel("gender");
+  const Term cb = Entity("CarlaBunes");
+  const Term v1 = Term::Variable("v1");
+  const Term v2 = Term::Variable("v2");
+  const Term v3 = Term::Variable("v3");
+  return {
+      {cb, sponsor, v1},
+      {v1, a_to, v2},
+      {v2, subject, Term::Literal("Health Care")},
+      {v3, sponsor, v2},
+      {v3, gender, Term::Literal("Male")},
+  };
+}
+
+std::vector<Triple> GovTrackQuery2Patterns() {
+  const Term sponsor = Rel("sponsor");
+  const Term subject = Rel("subject");
+  const Term gender = Rel("gender");
+  const Term cb = Entity("CarlaBunes");
+  const Term e1 = Term::Variable("e1");
+  const Term v2 = Term::Variable("v2");
+  const Term v3 = Term::Variable("v3");
+  return {
+      {cb, e1, v2},
+      {v2, subject, Term::Literal("Health Care")},
+      {v3, sponsor, v2},
+      {v3, gender, Term::Literal("Male")},
+  };
+}
+
+}  // namespace sama

@@ -1,0 +1,28 @@
+#ifndef SAMA_DATASETS_GOVTRACK_H_
+#define SAMA_DATASETS_GOVTRACK_H_
+
+#include <vector>
+
+#include "rdf/triple.h"
+
+namespace sama {
+
+// The paper's running example (Figure 1): the GovTrack excerpt Gd with
+// seven sources and two sinks (Health Care, Male), plus the two example
+// queries. Node labels use the paper's display names ("Carla Bunes",
+// "A0056", "Health Care", ...).
+
+// The data graph Gd of Figure 1(a).
+std::vector<Triple> GovTrackFigure1Triples();
+
+// Q1 (Figure 1b): amendments ?v1 sponsored by Carla Bunes to a bill ?v2
+// on Health Care originally sponsored by a male person ?v3.
+std::vector<Triple> GovTrackQuery1Patterns();
+
+// Q2 (Figure 1c): the relaxed query with the variable edge ?e1, which
+// has no exact answer in Gd.
+std::vector<Triple> GovTrackQuery2Patterns();
+
+}  // namespace sama
+
+#endif  // SAMA_DATASETS_GOVTRACK_H_

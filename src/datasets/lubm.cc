@@ -1,0 +1,151 @@
+#include "datasets/lubm.h"
+
+#include <string>
+
+#include "common/random.h"
+
+namespace sama {
+namespace {
+
+constexpr char kRdfType[] =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+
+Term Ub(const std::string& local) {
+  return Term::Iri(std::string(kLubmNamespace) + local);
+}
+
+Term EntityIri(const std::string& local) {
+  return Term::Iri("http://lubm.example.org/data/" + local);
+}
+
+// Per-department entity ids, reused by both generators.
+struct Department {
+  Term dept;
+  std::vector<Term> professors;
+  std::vector<Term> courses;
+  std::vector<Term> students;
+};
+
+std::vector<Triple> GenerateCore(const LubmConfig& config,
+                                 std::vector<Department>* departments_out,
+                                 std::vector<Term>* universities_out) {
+  Random rng(config.seed);
+  std::vector<Triple> triples;
+  const Term rdf_type = Term::Iri(kRdfType);
+  const Term works_for = Ub("worksFor");
+  const Term sub_org = Ub("subOrganizationOf");
+  const Term teaches = Ub("teacherOf");
+  const Term takes = Ub("takesCourse");
+  const Term member_of = Ub("memberOf");
+  const Term advisor = Ub("advisor");
+  const Term author = Ub("publicationAuthor");
+  const Term degree_from = Ub("doctoralDegreeFrom");
+  const Term ranks[3] = {Ub("FullProfessor"), Ub("AssociateProfessor"),
+                         Ub("AssistantProfessor")};
+
+  std::vector<Term> universities;
+  for (size_t u = 0; u < config.universities; ++u) {
+    universities.push_back(EntityIri("University" + std::to_string(u)));
+  }
+
+  for (size_t u = 0; u < config.universities; ++u) {
+    for (size_t d = 0; d < config.departments_per_university; ++d) {
+      Department dept_rec;
+      std::string dept_id =
+          "Department" + std::to_string(d) + "_Univ" + std::to_string(u);
+      dept_rec.dept = EntityIri(dept_id);
+      triples.push_back({dept_rec.dept, sub_org, universities[u]});
+
+      for (size_t c = 0; c < config.courses_per_department; ++c) {
+        dept_rec.courses.push_back(
+            EntityIri("Course" + std::to_string(c) + "_" + dept_id));
+      }
+
+      for (size_t p = 0; p < config.professors_per_department; ++p) {
+        Term prof =
+            EntityIri("Professor" + std::to_string(p) + "_" + dept_id);
+        dept_rec.professors.push_back(prof);
+        triples.push_back({prof, works_for, dept_rec.dept});
+        triples.push_back({prof, rdf_type, ranks[p % 3]});
+        triples.push_back(
+            {prof, degree_from,
+             universities[rng.Uniform(universities.size())]});
+        // Each professor teaches one or two department courses.
+        size_t course_count = 1 + rng.Uniform(2);
+        for (size_t k = 0; k < course_count; ++k) {
+          triples.push_back(
+              {prof, teaches,
+               dept_rec.courses[rng.Uniform(dept_rec.courses.size())]});
+        }
+        for (size_t b = 0; b < config.publications_per_professor; ++b) {
+          Term pub = EntityIri("Publication" + std::to_string(b) + "_P" +
+                               std::to_string(p) + "_" + dept_id);
+          triples.push_back({pub, author, prof});
+        }
+      }
+
+      for (size_t s = 0; s < config.students_per_department; ++s) {
+        Term student =
+            EntityIri("Student" + std::to_string(s) + "_" + dept_id);
+        dept_rec.students.push_back(student);
+        triples.push_back({student, member_of, dept_rec.dept});
+        for (size_t k = 0; k < config.courses_per_student; ++k) {
+          triples.push_back(
+              {student, takes,
+               dept_rec.courses[rng.Uniform(dept_rec.courses.size())]});
+        }
+        if (rng.Bernoulli(config.advisor_fraction)) {
+          triples.push_back(
+              {student, advisor,
+               dept_rec.professors[rng.Uniform(
+                   dept_rec.professors.size())]});
+        }
+      }
+      departments_out->push_back(std::move(dept_rec));
+    }
+  }
+  *universities_out = std::move(universities);
+  return triples;
+}
+
+}  // namespace
+
+std::vector<Triple> GenerateLubm(const LubmConfig& config) {
+  std::vector<Department> departments;
+  std::vector<Term> universities;
+  return GenerateCore(config, &departments, &universities);
+}
+
+std::vector<Triple> GenerateUobm(const LubmConfig& config) {
+  std::vector<Department> departments;
+  std::vector<Term> universities;
+  std::vector<Triple> triples =
+      GenerateCore(config, &departments, &universities);
+  // UOBM flavour: friendships between students of different departments
+  // and cross-department course enrolment.
+  Random rng(config.seed * 31 + 7);
+  const Term is_friend_of = Ub("isFriendOf");
+  const Term takes = Ub("takesCourse");
+  if (departments.size() >= 2) {
+    for (size_t d = 0; d < departments.size(); ++d) {
+      const Department& here = departments[d];
+      const Department& there =
+          departments[rng.Uniform(departments.size())];
+      for (size_t s = 0; s < here.students.size(); s += 3) {
+        if (there.students.empty()) continue;
+        triples.push_back(
+            {here.students[s], is_friend_of,
+             there.students[rng.Uniform(there.students.size())]});
+      }
+      for (size_t s = 1; s < here.students.size(); s += 4) {
+        if (there.courses.empty()) continue;
+        triples.push_back(
+            {here.students[s], takes,
+             there.courses[rng.Uniform(there.courses.size())]});
+      }
+    }
+  }
+  return triples;
+}
+
+}  // namespace sama

@@ -1,0 +1,44 @@
+#ifndef SAMA_DATASETS_LUBM_H_
+#define SAMA_DATASETS_LUBM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rdf/triple.h"
+
+namespace sama {
+
+// LUBM-like synthetic university data (Guo et al., "LUBM: A benchmark
+// for OWL knowledge base systems"), regenerated since the original
+// UBA-generated dumps are not shipped. The schema follows univ-bench:
+// universities, departments, faculty, courses, students, publications.
+// Edge directions are chosen as in the RDF dumps (publications and
+// students have no incoming edges and act as graph sources;
+// universities, course entities and class IRIs are sinks), which keeps
+// the source→sink path decomposition well defined.
+struct LubmConfig {
+  size_t universities = 1;
+  size_t departments_per_university = 3;
+  size_t professors_per_department = 5;
+  size_t courses_per_department = 8;
+  size_t students_per_department = 20;
+  size_t publications_per_professor = 3;
+  size_t courses_per_student = 3;
+  double advisor_fraction = 0.5;
+  uint64_t seed = 42;
+};
+
+// Namespace used by the generated IRIs and by MakeLubmQueries().
+inline constexpr char kLubmNamespace[] =
+    "http://lubm.example.org/univ-bench#";
+
+std::vector<Triple> GenerateLubm(const LubmConfig& config);
+
+// UOBM-like variant (Ma et al.): LUBM plus cross-university links
+// (friendships between students, cross-department degrees) that make
+// the graph denser and less tree-like.
+std::vector<Triple> GenerateUobm(const LubmConfig& config);
+
+}  // namespace sama
+
+#endif  // SAMA_DATASETS_LUBM_H_

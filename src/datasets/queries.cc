@@ -1,0 +1,200 @@
+#include "datasets/queries.h"
+
+namespace sama {
+namespace {
+
+constexpr char kPrologue[] =
+    "PREFIX ub: <http://lubm.example.org/univ-bench#>\n"
+    "PREFIX d: <http://lubm.example.org/data/>\n";
+
+constexpr char kBerlinPrologue[] =
+    "PREFIX b: <http://berlin.example.org/bsbm#>\n"
+    "PREFIX d: <http://berlin.example.org/data/>\n";
+
+BenchmarkQuery Make(const std::string& prologue, const std::string& name,
+                    const std::string& body, int lo, int hi, bool relaxed,
+                    const std::string& strict_body = "") {
+  BenchmarkQuery q;
+  q.name = name;
+  q.sparql = prologue + body;
+  q.group_low = lo;
+  q.group_high = hi;
+  q.relaxed = relaxed;
+  q.strict_sparql =
+      strict_body.empty() ? q.sparql : prologue + strict_body;
+  return q;
+}
+
+BenchmarkQuery Make(const std::string& name, const std::string& body,
+                    int lo, int hi, bool relaxed,
+                    const std::string& strict_body = "") {
+  return Make(kPrologue, name, body, lo, hi, relaxed, strict_body);
+}
+
+}  // namespace
+
+std::vector<BenchmarkQuery> MakeLubmQueries() {
+  std::vector<BenchmarkQuery> queries;
+
+  // --- |Q| in [1,4] ---------------------------------------------------
+  queries.push_back(Make("Q1",
+                         "SELECT ?x WHERE { ?x a ub:FullProfessor }", 1, 4,
+                         false));
+  queries.push_back(
+      Make("Q2",
+           "SELECT ?x ?d WHERE { ?x ub:worksFor ?d . "
+           "?d ub:subOrganizationOf d:University0 }",
+           1, 4, false));
+  queries.push_back(Make("Q3",
+                         "SELECT ?x ?c WHERE { ?x ub:teacherOf ?c . "
+                         "?x a ub:AssociateProfessor }",
+                         1, 4, false));
+  queries.push_back(Make("Q4",
+                         "SELECT ?s WHERE { ?s ub:takesCourse ?c . "
+                         "?s ub:memberOf ?d . ?s ub:advisor ?p }",
+                         1, 4, false));
+  queries.push_back(
+      Make("Q5",
+           "SELECT ?s ?p WHERE { ?s ub:takesCourse ?c . ?s ub:memberOf ?d . "
+           "?s ub:advisor ?p . ?p ub:worksFor ?d . ?p a ub:FullProfessor }",
+           1, 4, false));
+
+  // --- |Q| in [5,10] ---------------------------------------------------
+  // Q6: synonym-relaxed (instructs/employedBy are thesaurus synonyms of
+  // teacherOf/worksFor).
+  queries.push_back(
+      Make("Q6",
+           "SELECT ?p ?c WHERE { ?s ub:advisor ?p . ?s ub:takesCourse ?c2 . "
+           "?p ub:instructs ?c . ?p ub:employedBy ?d . "
+           "?d ub:subOrganizationOf ?u . ?p a ub:FullProfessor . "
+           "?pub ub:publicationAuthor ?p }",
+           5, 10, true,
+           "SELECT ?p ?c WHERE { ?s ub:advisor ?p . ?s ub:takesCourse ?c2 . "
+           "?p ub:teacherOf ?c . ?p ub:worksFor ?d . "
+           "?d ub:subOrganizationOf ?u . ?p a ub:FullProfessor . "
+           "?pub ub:publicationAuthor ?p }"));
+  // Q7: structure-relaxed (?p subOrganizationOf ?u skips the worksFor
+  // hop through the department, like the paper's Q2 example).
+  queries.push_back(
+      Make("Q7",
+           "SELECT ?p ?u WHERE { ?pub ub:publicationAuthor ?p . "
+           "?p ub:subOrganizationOf ?u . ?p ub:teacherOf ?c . "
+           "?p a ub:AssociateProfessor . ?s ub:advisor ?p . "
+           "?s ub:memberOf ?d2 }",
+           5, 10, true,
+           "SELECT ?p ?u WHERE { ?pub ub:publicationAuthor ?p . "
+           "?p ub:worksFor ?d0 . ?d0 ub:subOrganizationOf ?u . "
+           "?p ub:teacherOf ?c . "
+           "?p a ub:AssociateProfessor . ?s ub:advisor ?p . "
+           "?s ub:memberOf ?d2 }"));
+  queries.push_back(
+      Make("Q8",
+           "SELECT ?s1 ?p WHERE { ?s1 ub:advisor ?p . "
+           "?s1 ub:takesCourse ?c . ?p ub:teacherOf ?c . "
+           "?p ub:worksFor ?d . ?d ub:subOrganizationOf ?u . "
+           "?s1 ub:memberOf ?d . ?pub ub:publicationAuthor ?p }",
+           5, 10, false));
+  queries.push_back(
+      Make("Q9",
+           "SELECT ?s1 ?s2 WHERE { ?s1 ub:advisor ?p1 . ?s2 ub:advisor ?p1 . "
+           "?s1 ub:takesCourse ?c1 . ?s2 ub:takesCourse ?c1 . "
+           "?p1 ub:teacherOf ?c1 . ?p1 ub:worksFor ?d . "
+           "?d ub:subOrganizationOf ?u . ?s1 ub:memberOf ?d . "
+           "?s2 ub:memberOf ?d }",
+           5, 10, false));
+
+  // --- |Q| in [11,17] --------------------------------------------------
+  queries.push_back(
+      Make("Q10",
+           "SELECT ?s1 ?s2 ?p1 WHERE { ?s1 ub:advisor ?p1 . "
+           "?s2 ub:advisor ?p1 . ?s1 ub:takesCourse ?c1 . "
+           "?s2 ub:takesCourse ?c1 . ?p1 ub:teacherOf ?c1 . "
+           "?p1 ub:worksFor ?d . ?d ub:subOrganizationOf ?u . "
+           "?s1 ub:memberOf ?d . ?s2 ub:memberOf ?d . "
+           "?pub1 ub:publicationAuthor ?p1 . ?p1 a ub:FullProfessor }",
+           11, 17, false));
+  // Q11: Q10 with every predicate replaced by a thesaurus synonym.
+  queries.push_back(
+      Make("Q11",
+           "SELECT ?s1 ?s2 ?p1 WHERE { ?s1 ub:mentor ?p1 . "
+           "?s2 ub:mentor ?p1 . ?s1 ub:attends ?c1 . "
+           "?s2 ub:attends ?c1 . ?p1 ub:instructs ?c1 . "
+           "?p1 ub:employedBy ?d . ?d ub:subOrganizationOf ?u . "
+           "?s1 ub:belongsTo ?d . ?s2 ub:belongsTo ?d . "
+           "?pub1 ub:authoredBy ?p1 . ?p1 a ub:FullProfessor }",
+           11, 17, true,
+           "SELECT ?s1 ?s2 ?p1 WHERE { ?s1 ub:advisor ?p1 . "
+           "?s2 ub:advisor ?p1 . ?s1 ub:takesCourse ?c1 . "
+           "?s2 ub:takesCourse ?c1 . ?p1 ub:teacherOf ?c1 . "
+           "?p1 ub:worksFor ?d . ?d ub:subOrganizationOf ?u . "
+           "?s1 ub:memberOf ?d . ?s2 ub:memberOf ?d . "
+           "?pub1 ub:publicationAuthor ?p1 . ?p1 a ub:FullProfessor }"));
+  queries.push_back(
+      Make("Q12",
+           "SELECT ?s1 ?s2 ?p1 ?p2 WHERE { ?s1 ub:advisor ?p1 . "
+           "?s2 ub:advisor ?p1 . ?s1 ub:takesCourse ?c1 . "
+           "?s2 ub:takesCourse ?c1 . ?p1 ub:teacherOf ?c1 . "
+           "?p1 ub:worksFor ?d . ?d ub:subOrganizationOf ?u . "
+           "?s1 ub:memberOf ?d . ?s2 ub:memberOf ?d . "
+           "?pub1 ub:publicationAuthor ?p1 . ?p1 a ub:FullProfessor . "
+           "?s2 ub:advisor ?p2 . ?p2 ub:teacherOf ?c2 . "
+           "?s1 ub:takesCourse ?c2 . ?p2 ub:worksFor ?d }",
+           11, 17, false));
+  return queries;
+}
+
+std::vector<BenchmarkQuery> MakeBerlinQueries() {
+  std::vector<BenchmarkQuery> queries;
+  auto make = [](const std::string& name, const std::string& body, int lo,
+                 int hi, bool relaxed, const std::string& strict = "") {
+    return Make(kBerlinPrologue, name, body, lo, hi, relaxed, strict);
+  };
+  // B1: products of one type (exact, 1 path).
+  queries.push_back(make(
+      "B1", "SELECT ?p WHERE { ?p b:productType d:ProductType0 }", 1, 4,
+      false));
+  // B2: offers for a product of a given type (exact, 2 paths).
+  queries.push_back(make(
+      "B2",
+      "SELECT ?o ?p WHERE { ?o b:product ?p . "
+      "?p b:productType d:ProductType1 . ?o b:vendor ?v }",
+      1, 4, false));
+  // B3: reviews + reviewer country star (exact, 3 paths).
+  queries.push_back(make(
+      "B3",
+      "SELECT ?r ?person WHERE { ?r b:reviewFor ?p . "
+      "?r b:reviewer ?person . ?person b:country \"DE\" . "
+      "?r b:rating ?score }",
+      1, 4, false));
+  // B4: offer + review join on the product (exact, 5-ish paths).
+  queries.push_back(make(
+      "B4",
+      "SELECT ?o ?r WHERE { ?o b:product ?p . ?r b:reviewFor ?p . "
+      "?p b:producer ?maker . ?maker b:country \"US\" . "
+      "?o b:vendor ?v . ?v b:country ?vc . ?r b:rating ?score . "
+      "?r b:reviewer ?person . ?person b:country ?pc }",
+      5, 10, false));
+  // B5: synonym-relaxed (seller is a thesaurus synonym of vendor). The
+  // relaxed variable ?v sits mid-path with its country continuation, so
+  // the alignment binds it to the vendor rather than a trailing sink.
+  queries.push_back(make(
+      "B5",
+      "SELECT ?o ?v WHERE { ?o b:product ?p . ?o b:seller ?v . "
+      "?v b:country ?c . ?p b:productType d:ProductType2 }",
+      1, 4, true,
+      "SELECT ?o ?v WHERE { ?o b:product ?p . ?o b:vendor ?v . "
+      "?v b:country ?c . ?p b:productType d:ProductType2 }"));
+  // B6: structure-relaxed — the offer "skips" the product hop to the
+  // type (a middle-hop relaxation, like the paper's Q2 example); the
+  // exact vendor path anchors ?o to the offer.
+  queries.push_back(make(
+      "B6",
+      "SELECT ?o ?t WHERE { ?o b:vendor ?v . ?v b:country \"DE\" . "
+      "?o b:productType ?t }",
+      1, 4, true,
+      "SELECT ?o ?t WHERE { ?o b:vendor ?v . ?v b:country \"DE\" . "
+      "?o b:product ?p0 . ?p0 b:productType ?t }"));
+  return queries;
+}
+
+}  // namespace sama

@@ -1,0 +1,156 @@
+#include "datasets/scale_free.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace sama {
+namespace {
+
+constexpr char kRdfType[] =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+
+Term EntityIri(const std::string& dataset, const std::string& prefix,
+               size_t i) {
+  return Term::Iri("http://" + dataset + ".example.org/" + prefix +
+                   std::to_string(i));
+}
+
+Term RelIri(const std::string& dataset, const std::string& local) {
+  return Term::Iri("http://" + dataset + ".example.org/rel#" + local);
+}
+
+// Entities needed to hit a triple target given the per-entity triple
+// rate of the profile.
+size_t EntitiesForTriples(double triples, size_t attach_edges,
+                          bool has_classes, double attribute_fraction) {
+  double per_entity = static_cast<double>(attach_edges) +
+                      (has_classes ? 1.0 : 0.0) + attribute_fraction;
+  double n = triples / per_entity;
+  return n < 8 ? 8 : static_cast<size_t>(n);
+}
+
+}  // namespace
+
+std::vector<Triple> GenerateScaleFree(const ScaleFreeProfile& profile) {
+  Random rng(profile.seed);
+  std::vector<Triple> triples;
+  const Term rdf_type = Term::Iri(kRdfType);
+
+  std::vector<Term> link_rels;
+  for (const std::string& label : profile.link_labels) {
+    link_rels.push_back(RelIri(profile.name, label));
+  }
+  const Term attr_rel = RelIri(profile.name, profile.attribute_label);
+  std::vector<Term> classes;
+  for (const std::string& c : profile.classes) {
+    classes.push_back(EntityIri(profile.name, c, 0));
+  }
+
+  // Preferential attachment: `pool` holds one entry per edge endpoint,
+  // so sampling uniformly from it is degree-biased.
+  std::vector<uint32_t> pool;
+  pool.reserve(profile.num_entities * (profile.attach_edges + 1));
+  pool.push_back(0);
+
+  for (size_t i = 0; i < profile.num_entities; ++i) {
+    Term entity = EntityIri(profile.name, profile.entity_prefix, i);
+    if (!classes.empty()) {
+      triples.push_back({entity, rdf_type, classes[i % classes.size()]});
+    }
+    if (profile.attribute_fraction > 0 &&
+        rng.Bernoulli(profile.attribute_fraction) &&
+        !profile.attribute_values.empty()) {
+      triples.push_back(
+          {entity, attr_rel,
+           Term::Literal(profile.attribute_values[rng.Uniform(
+               profile.attribute_values.size())])});
+    }
+    if (i == 0) continue;
+    size_t added = 0;
+    size_t attempts = 0;
+    while (added < profile.attach_edges &&
+           attempts < profile.attach_edges * 8) {
+      ++attempts;
+      uint32_t target = pool[rng.Uniform(pool.size())];
+      if (target >= i) continue;  // Keep the DAG orientation new→old.
+      Term target_entity =
+          EntityIri(profile.name, profile.entity_prefix, target);
+      const Term& rel = link_rels.empty()
+                            ? attr_rel
+                            : link_rels[rng.Uniform(link_rels.size())];
+      triples.push_back({entity, rel, target_entity});
+      pool.push_back(target);
+      ++added;
+    }
+    pool.push_back(static_cast<uint32_t>(i));
+  }
+  return triples;
+}
+
+namespace {
+
+ScaleFreeProfile MakeProfile(const std::string& name,
+                             const std::string& prefix,
+                             double paper_triples, double scale,
+                             size_t attach_edges,
+                             std::vector<std::string> link_labels,
+                             std::vector<std::string> classes,
+                             double attribute_fraction,
+                             std::vector<std::string> attribute_values,
+                             const std::string& attribute_label,
+                             uint64_t seed) {
+  ScaleFreeProfile p;
+  p.name = name;
+  p.entity_prefix = prefix;
+  p.attach_edges = attach_edges;
+  p.link_labels = std::move(link_labels);
+  p.classes = std::move(classes);
+  p.attribute_fraction = attribute_fraction;
+  p.attribute_values = std::move(attribute_values);
+  p.attribute_label = attribute_label;
+  p.seed = seed;
+  p.num_entities = EntitiesForTriples(paper_triples * scale, attach_edges,
+                                      !p.classes.empty(),
+                                      attribute_fraction);
+  return p;
+}
+
+}  // namespace
+
+ScaleFreeProfile PBlogProfile(double scale) {
+  return MakeProfile("pblog", "Blog", 50e3, scale, 2, {"linksTo"},
+                     {"Weblog"}, 0.1, {"politics", "tech", "life"},
+                     "topic", 101);
+}
+
+ScaleFreeProfile GovTrackProfile(double scale) {
+  return MakeProfile("gov", "Entity", 1e6, scale, 2,
+                     {"sponsor", "aTo", "vote"},
+                     {"Bill", "Amendment", "Person"}, 0.5,
+                     {"Health Care", "Defense", "Education", "Taxes"},
+                     "subject", 102);
+}
+
+ScaleFreeProfile KeggProfile(double scale) {
+  return MakeProfile("kegg", "Node", 1e6, scale, 3,
+                     {"reactsWith", "catalyzes", "partOf"},
+                     {"Gene", "Enzyme", "Pathway", "Compound"}, 0.2,
+                     {"human", "mouse", "yeast"}, "organism", 103);
+}
+
+ScaleFreeProfile ImdbProfile(double scale) {
+  return MakeProfile("imdb", "Title", 6e6, scale, 3,
+                     {"actedIn", "directed", "relatedTo"},
+                     {"Movie", "Actor", "Director"}, 0.4,
+                     {"drama", "comedy", "action", "thriller"}, "genre",
+                     104);
+}
+
+ScaleFreeProfile DblpProfile(double scale) {
+  return MakeProfile("dblp", "Pub", 26e6, scale, 3,
+                     {"cites", "authoredBy"}, {"Article", "Author"}, 0.3,
+                     {"db", "ai", "systems", "theory"}, "area", 105);
+}
+
+}  // namespace sama

@@ -1,0 +1,83 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+
+namespace sama {
+
+std::string TupleKey(const std::vector<Term>& tuple) {
+  std::string key;
+  for (const Term& t : tuple) {
+    key += t.ToString();
+    key += '\x1f';  // Unit separator: cannot appear in ToString output.
+  }
+  return key;
+}
+
+double ReciprocalRank(const std::vector<std::vector<Term>>& ranked,
+                      const RelevantSet& relevant) {
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    if (relevant.Contains(ranked[i])) {
+      return 1.0 / static_cast<double>(i + 1);
+    }
+  }
+  return 0.0;
+}
+
+std::vector<PrecisionRecallPoint> PrecisionRecallCurve(
+    const std::vector<std::vector<Term>>& ranked,
+    const RelevantSet& relevant) {
+  std::vector<PrecisionRecallPoint> curve;
+  if (relevant.empty()) return curve;
+  std::unordered_set<std::string> found;
+  size_t hits = 0;
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    const std::string key = TupleKey(ranked[i]);
+    if (relevant.Contains(ranked[i]) && found.insert(key).second) {
+      ++hits;
+    }
+    PrecisionRecallPoint point;
+    point.precision = static_cast<double>(hits) / static_cast<double>(i + 1);
+    point.recall =
+        static_cast<double>(hits) / static_cast<double>(relevant.size());
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+std::vector<PrecisionRecallPoint> InterpolateElevenPoints(
+    const std::vector<PrecisionRecallPoint>& curve) {
+  std::vector<PrecisionRecallPoint> out;
+  out.reserve(11);
+  for (int level = 0; level <= 10; ++level) {
+    double r = static_cast<double>(level) / 10.0;
+    double best = 0;
+    for (const PrecisionRecallPoint& p : curve) {
+      if (p.recall + 1e-12 >= r) best = std::max(best, p.precision);
+    }
+    out.push_back(PrecisionRecallPoint{r, best});
+  }
+  return out;
+}
+
+double Precision(const std::vector<std::vector<Term>>& results,
+                 const RelevantSet& relevant) {
+  if (results.empty()) return 0;
+  size_t hits = 0;
+  for (const auto& tuple : results) {
+    if (relevant.Contains(tuple)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(results.size());
+}
+
+double Recall(const std::vector<std::vector<Term>>& results,
+              const RelevantSet& relevant) {
+  if (relevant.empty()) return 0;
+  std::unordered_set<std::string> found;
+  for (const auto& tuple : results) {
+    if (relevant.Contains(tuple)) found.insert(TupleKey(tuple));
+  }
+  return static_cast<double>(found.size()) /
+         static_cast<double>(relevant.size());
+}
+
+}  // namespace sama

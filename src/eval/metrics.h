@@ -1,0 +1,62 @@
+#ifndef SAMA_EVAL_METRICS_H_
+#define SAMA_EVAL_METRICS_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "rdf/term.h"
+
+namespace sama {
+
+// Canonical string key of a binding tuple, so answers can be compared
+// across systems regardless of internal representation.
+std::string TupleKey(const std::vector<Term>& tuple);
+
+// A ground-truth set of relevant answers (binding tuples).
+class RelevantSet {
+ public:
+  void Add(const std::vector<Term>& tuple) { keys_.insert(TupleKey(tuple)); }
+  bool Contains(const std::vector<Term>& tuple) const {
+    return keys_.count(TupleKey(tuple)) > 0;
+  }
+  size_t size() const { return keys_.size(); }
+  bool empty() const { return keys_.empty(); }
+
+ private:
+  std::unordered_set<std::string> keys_;
+};
+
+// The reciprocal rank (§6.3): 1/rank of the first relevant answer in
+// the ranked list, 0 when none is relevant. Duplicate tuples in the
+// ranking are kept as ranked.
+double ReciprocalRank(const std::vector<std::vector<Term>>& ranked,
+                      const RelevantSet& relevant);
+
+struct PrecisionRecallPoint {
+  double recall = 0;
+  double precision = 0;
+};
+
+// The raw precision/recall curve of a ranked result list: one point per
+// rank position (precision@i, recall@i). Duplicate tuples count once
+// toward recall.
+std::vector<PrecisionRecallPoint> PrecisionRecallCurve(
+    const std::vector<std::vector<Term>>& ranked,
+    const RelevantSet& relevant);
+
+// Standard 11-point interpolated precision (Figure 9): for each recall
+// level r in {0.0, 0.1, ..., 1.0}, the maximum precision at any recall
+// ≥ r.
+std::vector<PrecisionRecallPoint> InterpolateElevenPoints(
+    const std::vector<PrecisionRecallPoint>& curve);
+
+// Set-level precision/recall of an unranked result list.
+double Precision(const std::vector<std::vector<Term>>& results,
+                 const RelevantSet& relevant);
+double Recall(const std::vector<std::vector<Term>>& results,
+              const RelevantSet& relevant);
+
+}  // namespace sama
+
+#endif  // SAMA_EVAL_METRICS_H_

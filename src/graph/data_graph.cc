@@ -1,0 +1,105 @@
+#include "graph/data_graph.h"
+
+#include <algorithm>
+
+namespace sama {
+
+DataGraph DataGraph::FromTriples(const std::vector<Triple>& triples) {
+  DataGraph g;
+  for (const Triple& t : triples) {
+    NodeId s = g.AddNode(t.subject);
+    NodeId o = g.AddNode(t.object);
+    g.AddEdge(s, o, t.predicate);
+  }
+  return g;
+}
+
+NodeId DataGraph::AddNode(const Term& term) {
+  TermId label = dict_->Intern(term);
+  auto it = node_by_term_.find(label);
+  if (it != node_by_term_.end()) return it->second;
+  NodeId id = static_cast<NodeId>(node_labels_.size());
+  node_labels_.push_back(label);
+  out_.emplace_back();
+  in_.emplace_back();
+  node_by_term_.emplace(label, id);
+  return id;
+}
+
+EdgeId DataGraph::AddEdge(NodeId from, NodeId to, const Term& label) {
+  TermId lid = dict_->Intern(label);
+  // Collapse exact duplicates; scan the smaller endpoint list.
+  const std::vector<EdgeId>& candidates =
+      out_[from].size() <= in_[to].size() ? out_[from] : in_[to];
+  for (EdgeId e : candidates) {
+    const Edge& edge = edges_[e];
+    if (edge.from == from && edge.to == to && edge.label == lid) return e;
+  }
+  EdgeId id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(Edge{from, to, lid});
+  out_[from].push_back(id);
+  in_[to].push_back(id);
+  return id;
+}
+
+NodeId DataGraph::FindNode(const Term& term) const {
+  TermId label = dict_->Find(term);
+  if (label == kInvalidTermId) return kInvalidNodeId;
+  auto it = node_by_term_.find(label);
+  return it == node_by_term_.end() ? kInvalidNodeId : it->second;
+}
+
+std::vector<NodeId> DataGraph::Sources() const {
+  std::vector<NodeId> out;
+  for (NodeId n = 0; n < node_labels_.size(); ++n) {
+    if (in_[n].empty() && !out_[n].empty()) out.push_back(n);
+  }
+  return out;
+}
+
+std::vector<NodeId> DataGraph::Sinks() const {
+  std::vector<NodeId> out;
+  for (NodeId n = 0; n < node_labels_.size(); ++n) {
+    if (out_[n].empty() && !in_[n].empty()) out.push_back(n);
+  }
+  return out;
+}
+
+std::vector<NodeId> DataGraph::Hubs() const {
+  std::vector<NodeId> hubs;
+  int64_t best = INT64_MIN;
+  for (NodeId n = 0; n < node_labels_.size(); ++n) {
+    if (out_[n].empty()) continue;
+    int64_t diff = static_cast<int64_t>(out_[n].size()) -
+                   static_cast<int64_t>(in_[n].size());
+    if (diff > best) {
+      best = diff;
+      hubs.clear();
+      hubs.push_back(n);
+    } else if (diff == best) {
+      hubs.push_back(n);
+    }
+  }
+  return hubs;
+}
+
+std::vector<NodeId> DataGraph::StartNodes() const {
+  std::vector<NodeId> starts = Sources();
+  if (!starts.empty()) return starts;
+  return Hubs();
+}
+
+uint64_t DataGraph::MemoryBytes() const {
+  uint64_t bytes = sizeof(*this);
+  bytes += node_labels_.capacity() * sizeof(TermId);
+  bytes += edges_.capacity() * sizeof(Edge);
+  for (const auto& v : out_) bytes += v.capacity() * sizeof(EdgeId);
+  for (const auto& v : in_) bytes += v.capacity() * sizeof(EdgeId);
+  bytes += (out_.capacity() + in_.capacity()) * sizeof(std::vector<EdgeId>);
+  bytes += node_by_term_.size() * (sizeof(TermId) + sizeof(NodeId) +
+                                   2 * sizeof(void*));
+  bytes += dict_->MemoryBytes();
+  return bytes;
+}
+
+}  // namespace sama

@@ -1,0 +1,108 @@
+#ifndef SAMA_GRAPH_DATA_GRAPH_H_
+#define SAMA_GRAPH_DATA_GRAPH_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "rdf/dictionary.h"
+#include "rdf/triple.h"
+
+namespace sama {
+
+using NodeId = uint32_t;
+using EdgeId = uint32_t;
+
+inline constexpr NodeId kInvalidNodeId = 0xffffffffu;
+
+// A labelled directed graph G = <N, E, LN, LE> (paper Definition 1).
+// Node and edge labels are TermIds into a TermDictionary owned by the
+// graph. Data graphs hold constants only; QueryGraph (Definition 2)
+// reuses this structure and additionally allows variable labels.
+class DataGraph {
+ public:
+  struct Edge {
+    NodeId from;
+    NodeId to;
+    TermId label;
+  };
+
+  // Creates a graph with its own fresh dictionary.
+  DataGraph() : dict_(std::make_shared<TermDictionary>()) {}
+  // Creates a graph sharing `dict` — query graphs share the data
+  // graph's dictionary so that TermIds are directly comparable across
+  // the two.
+  explicit DataGraph(std::shared_ptr<TermDictionary> dict)
+      : dict_(std::move(dict)) {}
+
+  DataGraph(const DataGraph&) = delete;
+  DataGraph& operator=(const DataGraph&) = delete;
+  DataGraph(DataGraph&&) = default;
+  DataGraph& operator=(DataGraph&&) = default;
+
+  // Builds a graph from parsed RDF triples: one node per distinct
+  // subject/object term, one edge per triple.
+  static DataGraph FromTriples(const std::vector<Triple>& triples);
+
+  // Returns the node labelled by `term`, creating it on first use.
+  NodeId AddNode(const Term& term);
+
+  // Adds a directed edge labelled by `label`. Parallel edges with
+  // distinct labels are allowed; an exact duplicate (from, to, label) is
+  // collapsed.
+  EdgeId AddEdge(NodeId from, NodeId to, const Term& label);
+
+  size_t node_count() const { return node_labels_.size(); }
+  size_t edge_count() const { return edges_.size(); }
+
+  TermId node_label(NodeId n) const { return node_labels_[n]; }
+  const Term& node_term(NodeId n) const {
+    return dict_->term(node_labels_[n]);
+  }
+  const Edge& edge(EdgeId e) const { return edges_[e]; }
+  const Term& edge_term(EdgeId e) const {
+    return dict_->term(edges_[e].label);
+  }
+
+  const std::vector<EdgeId>& out_edges(NodeId n) const { return out_[n]; }
+  const std::vector<EdgeId>& in_edges(NodeId n) const { return in_[n]; }
+  size_t out_degree(NodeId n) const { return out_[n].size(); }
+  size_t in_degree(NodeId n) const { return in_[n].size(); }
+
+  // Looks up a node by its (constant or variable) term. Returns
+  // kInvalidNodeId when absent.
+  NodeId FindNode(const Term& term) const;
+
+  // Nodes with no incoming edges (paper §3.2).
+  std::vector<NodeId> Sources() const;
+  // Nodes with no outgoing edges.
+  std::vector<NodeId> Sinks() const;
+  // Nodes maximising out_degree - in_degree; used as traversal starting
+  // points when the graph has no sources ("hub promotion", §3.2).
+  std::vector<NodeId> Hubs() const;
+  // Sources when present, otherwise hubs.
+  std::vector<NodeId> StartNodes() const;
+
+  TermDictionary& dict() { return *dict_; }
+  const TermDictionary& dict() const { return *dict_; }
+  const std::shared_ptr<TermDictionary>& shared_dict() const { return dict_; }
+
+  // Estimated resident bytes of the structure (labels + adjacency).
+  uint64_t MemoryBytes() const;
+
+ private:
+  std::shared_ptr<TermDictionary> dict_;
+  std::vector<TermId> node_labels_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> out_;
+  std::vector<std::vector<EdgeId>> in_;
+  // term id -> node id (one node per distinct term).
+  std::unordered_map<TermId, NodeId> node_by_term_;
+};
+
+}  // namespace sama
+
+#endif  // SAMA_GRAPH_DATA_GRAPH_H_

@@ -1,0 +1,103 @@
+#include "graph/graph_stats.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <unordered_set>
+#include <vector>
+
+namespace sama {
+namespace {
+
+// Union-find over node ids.
+class DisjointSets {
+ public:
+  explicit DisjointSets(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // Path halving.
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+}  // namespace
+
+GraphStats ComputeGraphStats(const DataGraph& graph) {
+  GraphStats stats;
+  stats.nodes = graph.node_count();
+  stats.edges = graph.edge_count();
+
+  std::unordered_set<TermId> predicates;
+  DisjointSets components(graph.node_count());
+  for (EdgeId e = 0; e < graph.edge_count(); ++e) {
+    const DataGraph::Edge& edge = graph.edge(e);
+    predicates.insert(edge.label);
+    components.Union(edge.from, edge.to);
+  }
+  stats.distinct_predicates = predicates.size();
+
+  size_t total_out = 0;
+  std::unordered_set<size_t> roots;
+  for (NodeId n = 0; n < graph.node_count(); ++n) {
+    size_t out = graph.out_degree(n);
+    size_t in = graph.in_degree(n);
+    total_out += out;
+    stats.max_out_degree = std::max(stats.max_out_degree, out);
+    stats.max_in_degree = std::max(stats.max_in_degree, in);
+    if (out == 0 && in == 0) {
+      ++stats.isolated;
+    } else if (in == 0) {
+      ++stats.sources;
+    } else if (out == 0) {
+      ++stats.sinks;
+    }
+    switch (graph.node_term(n).kind()) {
+      case Term::Kind::kIri:
+        ++stats.iri_nodes;
+        break;
+      case Term::Kind::kLiteral:
+        ++stats.literal_nodes;
+        break;
+      case Term::Kind::kBlank:
+        ++stats.blank_nodes;
+        break;
+      case Term::Kind::kVariable:
+        break;
+    }
+    roots.insert(components.Find(n));
+  }
+  stats.avg_out_degree =
+      stats.nodes == 0
+          ? 0
+          : static_cast<double>(total_out) / static_cast<double>(stats.nodes);
+  stats.weakly_connected_components = roots.size();
+  return stats;
+}
+
+std::string FormatGraphStats(const GraphStats& stats) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "nodes: %zu (%zu IRI, %zu literal, %zu blank, %zu isolated)\n"
+      "edges: %zu over %zu distinct predicates\n"
+      "sources: %zu, sinks: %zu\n"
+      "degree: avg out %.2f, max out %zu, max in %zu\n"
+      "weakly connected components: %zu\n",
+      stats.nodes, stats.iri_nodes, stats.literal_nodes, stats.blank_nodes,
+      stats.isolated, stats.edges, stats.distinct_predicates, stats.sources,
+      stats.sinks, stats.avg_out_degree, stats.max_out_degree,
+      stats.max_in_degree, stats.weakly_connected_components);
+  return buf;
+}
+
+}  // namespace sama

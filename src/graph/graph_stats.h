@@ -1,0 +1,38 @@
+#ifndef SAMA_GRAPH_GRAPH_STATS_H_
+#define SAMA_GRAPH_GRAPH_STATS_H_
+
+#include <cstddef>
+#include <string>
+
+#include "graph/data_graph.h"
+
+namespace sama {
+
+// Shape summary of a data graph — the quantities that drive indexing
+// cost (sources × fan-out bound the path count) and that the dataset
+// generators are tuned against.
+struct GraphStats {
+  size_t nodes = 0;
+  size_t edges = 0;
+  size_t sources = 0;
+  size_t sinks = 0;
+  size_t isolated = 0;  // No edges at all.
+  size_t max_out_degree = 0;
+  size_t max_in_degree = 0;
+  double avg_out_degree = 0;
+  size_t distinct_predicates = 0;
+  size_t literal_nodes = 0;
+  size_t iri_nodes = 0;
+  size_t blank_nodes = 0;
+  // Weakly connected components (edge direction ignored).
+  size_t weakly_connected_components = 0;
+};
+
+GraphStats ComputeGraphStats(const DataGraph& graph);
+
+// Multi-line human-readable rendering.
+std::string FormatGraphStats(const GraphStats& stats);
+
+}  // namespace sama
+
+#endif  // SAMA_GRAPH_GRAPH_STATS_H_

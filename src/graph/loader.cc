@@ -1,0 +1,66 @@
+#include "graph/loader.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "rdf/ntriples.h"
+#include "rdf/turtle.h"
+
+namespace sama {
+
+Result<LoadStats> LoadGraphFromFile(
+    const std::string& path, DataGraph* graph,
+    const std::function<void(const LoadStats&)>& progress,
+    uint64_t progress_every_lines) {
+  WallTimer timer;
+  LoadStats stats;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+
+  if (EndsWith(path, ".ttl") || EndsWith(path, ".turtle")) {
+    // Turtle statements span lines; parse the whole document.
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::string text = buffer.str();
+    stats.bytes = text.size();
+    auto triples = ParseTurtle(text);
+    if (!triples.ok()) return triples.status();
+    for (const Triple& t : *triples) {
+      NodeId s = graph->AddNode(t.subject);
+      NodeId o = graph->AddNode(t.object);
+      graph->AddEdge(s, o, t.predicate);
+      ++stats.triples;
+    }
+    stats.millis = timer.ElapsedMillis();
+    return stats;
+  }
+
+  // N-Triples / N-Quads: one statement per line, constant memory.
+  std::string line;
+  while (std::getline(in, line)) {
+    ++stats.lines;
+    stats.bytes += line.size() + 1;
+    Result<Triple> t = NTriplesParser::ParseLine(line);
+    if (!t.ok()) {
+      if (t.status().code() == Status::Code::kNotFound) continue;  // Blank.
+      return Status::ParseError(path + " line " +
+                                std::to_string(stats.lines) + ": " +
+                                t.status().message());
+    }
+    NodeId s = graph->AddNode(t->subject);
+    NodeId o = graph->AddNode(t->object);
+    graph->AddEdge(s, o, t->predicate);
+    ++stats.triples;
+    if (progress && progress_every_lines != 0 &&
+        stats.triples % progress_every_lines == 0) {
+      stats.millis = timer.ElapsedMillis();
+      progress(stats);
+    }
+  }
+  stats.millis = timer.ElapsedMillis();
+  return stats;
+}
+
+}  // namespace sama

@@ -1,0 +1,33 @@
+#ifndef SAMA_GRAPH_LOADER_H_
+#define SAMA_GRAPH_LOADER_H_
+
+#include <functional>
+#include <string>
+
+#include "common/result.h"
+#include "graph/data_graph.h"
+
+namespace sama {
+
+// Progress/outcome of a bulk load.
+struct LoadStats {
+  uint64_t triples = 0;
+  uint64_t lines = 0;
+  uint64_t bytes = 0;
+  double millis = 0;
+};
+
+// Streams an RDF file into `graph`. N-Triples / N-Quads (.nt, .nq) are
+// parsed line by line in constant memory — the paper's premise that
+// data sets are much larger than memory applies to loading too. Turtle
+// (.ttl/.turtle) requires whole-document parsing and is read in one
+// piece. The optional `progress` callback fires every
+// `progress_every_lines` statements.
+Result<LoadStats> LoadGraphFromFile(
+    const std::string& path, DataGraph* graph,
+    const std::function<void(const LoadStats&)>& progress = nullptr,
+    uint64_t progress_every_lines = 100000);
+
+}  // namespace sama
+
+#endif  // SAMA_GRAPH_LOADER_H_

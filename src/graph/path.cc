@@ -1,0 +1,29 @@
+#include "graph/path.h"
+
+#include "common/hash.h"
+
+namespace sama {
+
+std::string Path::ToString(const TermDictionary& dict) const {
+  std::string out;
+  for (size_t i = 0; i < node_labels.size(); ++i) {
+    if (i > 0) {
+      out += "-";
+      out += dict.term(edge_labels[i - 1]).DisplayLabel();
+      out += "-";
+    }
+    out += dict.term(node_labels[i]).DisplayLabel();
+  }
+  return out;
+}
+
+uint64_t PathLabelHash(const Path& p) {
+  uint64_t h = 0x9ae16a3b2f90404fULL;
+  for (size_t i = 0; i < p.node_labels.size(); ++i) {
+    h = HashCombine(h, p.node_labels[i]);
+    if (i < p.edge_labels.size()) h = HashCombine(h, ~uint64_t{p.edge_labels[i]});
+  }
+  return h;
+}
+
+}  // namespace sama

@@ -1,0 +1,56 @@
+#ifndef SAMA_GRAPH_PATH_H_
+#define SAMA_GRAPH_PATH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/data_graph.h"
+
+namespace sama {
+
+// A path in the sense of Definition 5: an alternating sequence of node
+// and edge labels ln1-le1-ln2-...-le(k-1)-lnk from a source to a sink.
+// Stored as two parallel label-id vectors plus the originating node ids
+// (node ids are kept so answers can be reassembled into subgraphs; the
+// similarity measure itself only reads labels).
+struct Path {
+  std::vector<TermId> node_labels;  // k entries.
+  std::vector<TermId> edge_labels;  // k-1 entries.
+  std::vector<NodeId> nodes;        // k entries; graph-local ids.
+
+  // Number of nodes, the paper's notion of path length (pz in §3.2 has
+  // length 4).
+  size_t length() const { return node_labels.size(); }
+  bool empty() const { return node_labels.empty(); }
+
+  // 1-based position of the first occurrence of `label`, 0 if absent.
+  size_t PositionOf(TermId label) const {
+    for (size_t i = 0; i < node_labels.size(); ++i) {
+      if (node_labels[i] == label) return i + 1;
+    }
+    return 0;
+  }
+
+  TermId sink_label() const { return node_labels.back(); }
+  TermId source_label() const { return node_labels.front(); }
+
+  // Total label count |p| = #nodes + #edges (the I in the O(I) alignment
+  // bound).
+  size_t size() const { return node_labels.size() + edge_labels.size(); }
+
+  // "CB-sponsor-A0056-aTo-B1432-subject-HC" style rendering.
+  std::string ToString(const TermDictionary& dict) const;
+
+  friend bool operator==(const Path& a, const Path& b) {
+    return a.node_labels == b.node_labels && a.edge_labels == b.edge_labels;
+  }
+};
+
+// Stable content hash over the label sequence (node ids excluded), used
+// for dedup and for the on-disk path store.
+uint64_t PathLabelHash(const Path& p);
+
+}  // namespace sama
+
+#endif  // SAMA_GRAPH_PATH_H_

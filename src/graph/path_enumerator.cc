@@ -1,0 +1,150 @@
+#include "graph/path_enumerator.h"
+
+#include <vector>
+
+namespace sama {
+namespace {
+
+// Iterative DFS over simple paths from one start node. DFS (rather than
+// the paper's literal BFS wording) visits the same path set; iteration
+// order does not matter to any consumer and DFS keeps memory linear in
+// path length instead of frontier size.
+class PathWalker {
+ public:
+  PathWalker(const DataGraph& graph, const PathEnumeratorOptions& options,
+             const std::function<bool(const Path&)>& emit)
+      : graph_(graph),
+        options_(options),
+        emit_(emit),
+        on_path_(graph.node_count(), false) {}
+
+  // Returns the number of paths emitted; sets `stopped` when the emit
+  // callback or max_paths cap requested termination.
+  size_t WalkFrom(NodeId start, bool* stopped) {
+    emitted_ = 0;
+    stopped_ = false;
+    PushNode(start);
+    // Each stack frame tracks which out-edge of the node at that depth
+    // is explored next.
+    std::vector<size_t> cursor{0};
+    while (!current_nodes_.empty() && !stopped_) {
+      NodeId node = current_nodes_.back();
+      size_t& next = cursor.back();
+      const std::vector<EdgeId>& outs = graph_.out_edges(node);
+
+      bool advanced = false;
+      bool too_long = options_.max_length != 0 &&
+                      current_nodes_.size() >= options_.max_length;
+      if (!too_long) {
+        while (next < outs.size()) {
+          const DataGraph::Edge& e = graph_.edge(outs[next]);
+          ++next;
+          if (on_path_[e.to]) continue;  // Simple paths only.
+          current_edges_.push_back(e.label);
+          PushNode(e.to);
+          cursor.push_back(0);
+          advanced = true;
+          break;
+        }
+      }
+      if (advanced) continue;
+
+      // Dead end for this frame: emit if terminal, then backtrack.
+      MaybeEmit(node, too_long);
+      PopNode();
+      cursor.pop_back();
+      if (!current_edges_.empty()) current_edges_.pop_back();
+    }
+    // Unwind any residual state after an early stop.
+    while (!current_nodes_.empty()) PopNode();
+    current_edges_.clear();
+    *stopped = stopped_;
+    return emitted_;
+  }
+
+ private:
+  void PushNode(NodeId n) {
+    current_nodes_.push_back(n);
+    on_path_[n] = true;
+  }
+
+  void PopNode() {
+    on_path_[current_nodes_.back()] = false;
+    current_nodes_.pop_back();
+  }
+
+  void MaybeEmit(NodeId terminal, bool truncated_by_length) {
+    if (current_nodes_.size() < 2) return;  // Single node: not a path.
+    bool is_sink = graph_.out_degree(terminal) == 0;
+    if (!is_sink && options_.strict_sinks) return;
+    if (!is_sink && truncated_by_length) return;
+    if (!is_sink) {
+      // Emit a non-sink terminal only when the walk is genuinely stuck —
+      // every out-neighbour already lies on the current path (a cycle).
+      // A node whose continuations were all explored is not a path end;
+      // those continuations produced their own paths.
+      for (EdgeId e : graph_.out_edges(terminal)) {
+        if (!on_path_[graph_.edge(e).to]) return;
+      }
+    }
+    Path p;
+    p.nodes = current_nodes_;
+    p.node_labels.reserve(current_nodes_.size());
+    for (NodeId n : current_nodes_) p.node_labels.push_back(graph_.node_label(n));
+    p.edge_labels = current_edges_;
+    ++emitted_;
+    if (!emit_(p)) stopped_ = true;
+    if (options_.max_paths != 0 && emitted_ >= options_.max_paths) {
+      stopped_ = true;
+    }
+  }
+
+  const DataGraph& graph_;
+  const PathEnumeratorOptions& options_;
+  const std::function<bool(const Path&)>& emit_;
+  std::vector<bool> on_path_;
+  std::vector<NodeId> current_nodes_;
+  std::vector<TermId> current_edges_;
+  size_t emitted_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace
+
+size_t EnumeratePathsFrom(const DataGraph& graph, NodeId start,
+                          const PathEnumeratorOptions& options,
+                          const std::function<bool(const Path&)>& emit) {
+  PathWalker walker(graph, options, emit);
+  bool stopped = false;
+  return walker.WalkFrom(start, &stopped);
+}
+
+size_t EnumeratePaths(const DataGraph& graph,
+                      const PathEnumeratorOptions& options,
+                      const std::function<bool(const Path&)>& emit) {
+  size_t total = 0;
+  PathEnumeratorOptions local = options;
+  for (NodeId start : graph.StartNodes()) {
+    if (options.max_paths != 0) {
+      if (total >= options.max_paths) break;
+      local.max_paths = options.max_paths - total;
+    }
+    PathWalker walker(graph, local, emit);
+    bool stopped = false;
+    total += walker.WalkFrom(start, &stopped);
+    if (stopped) break;
+  }
+  return total;
+}
+
+std::vector<Path> AllPaths(const DataGraph& graph,
+                           const PathEnumeratorOptions& options) {
+  std::vector<Path> out;
+  EnumeratePaths(graph, options, [&out](const Path& p) {
+    out.push_back(p);
+    return true;
+  });
+  return out;
+}
+
+}  // namespace sama

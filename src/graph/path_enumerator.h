@@ -1,0 +1,47 @@
+#ifndef SAMA_GRAPH_PATH_ENUMERATOR_H_
+#define SAMA_GRAPH_PATH_ENUMERATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/data_graph.h"
+#include "graph/path.h"
+
+namespace sama {
+
+// Options for path enumeration (paper §3.2/§6.1 step iii).
+struct PathEnumeratorOptions {
+  // Safety valves; 0 disables the cap. Experiments run uncapped.
+  size_t max_paths = 0;
+  size_t max_length = 0;  // Maximum node count per path.
+  // When true, only paths ending at true sinks are emitted. When false
+  // (default) a traversal that can no longer advance — every
+  // out-neighbour already on the current path, i.e. a cycle — also
+  // emits its maximal path, so cyclic graphs still produce usable
+  // paths.
+  bool strict_sinks = false;
+};
+
+// Enumerates the source→sink paths of `graph`, starting from its
+// sources (or from hub nodes when no source exists). Simple paths only:
+// a node is never revisited within one path. Invokes `emit` once per
+// path; enumeration stops early when `emit` returns false or a cap
+// fires. Returns the number of paths emitted.
+size_t EnumeratePaths(const DataGraph& graph,
+                      const PathEnumeratorOptions& options,
+                      const std::function<bool(const Path&)>& emit);
+
+// Enumerates only the paths starting at `start` (used by the concurrent
+// index builder, which shards work by source node).
+size_t EnumeratePathsFrom(const DataGraph& graph, NodeId start,
+                          const PathEnumeratorOptions& options,
+                          const std::function<bool(const Path&)>& emit);
+
+// Convenience: collects all paths into a vector.
+std::vector<Path> AllPaths(const DataGraph& graph,
+                           const PathEnumeratorOptions& options = {});
+
+}  // namespace sama
+
+#endif  // SAMA_GRAPH_PATH_ENUMERATOR_H_

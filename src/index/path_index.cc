@@ -1,0 +1,702 @@
+#include "index/path_index.h"
+
+#include <algorithm>
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "common/hash.h"
+#include "common/timer.h"
+#include "storage/coding.h"
+#include "storage/manifest.h"
+
+namespace sama {
+namespace {
+
+const std::vector<PathId> kNoPaths;
+
+std::vector<uint64_t> Merge(std::vector<uint64_t> a,
+                            const std::vector<uint64_t>& b) {
+  a.insert(a.end(), b.begin(), b.end());
+  std::sort(a.begin(), a.end());
+  a.erase(std::unique(a.begin(), a.end()), a.end());
+  return a;
+}
+
+}  // namespace
+
+Status PathIndex::Build(const DataGraph& graph,
+                        const PathIndexOptions& options) {
+  WallTimer timer;
+  graph_ = &graph;
+  options_ = options;
+  base_fingerprint_ = GraphFingerprint(graph);
+  update_journal_.clear();
+
+  PathStore::Options store_options;
+  if (!options.dir.empty()) {
+    store_options.path = options.dir + "/paths.dat";
+  }
+  store_options.buffer_pool_pages = options.buffer_pool_pages;
+  store_options.compress = options.compress_paths;
+  SAMA_RETURN_IF_ERROR(store_.Open(store_options));
+
+  // Step (i): hash every vertex and edge label (element-to-element
+  // mapping).
+  for (NodeId n = 0; n < graph.node_count(); ++n) {
+    node_index_.Add(graph.node_term(n).DisplayLabel(), n);
+  }
+  for (EdgeId e = 0; e < graph.edge_count(); ++e) {
+    edge_index_.Add(graph.edge_term(e).DisplayLabel(), e);
+  }
+
+  // Step (ii): identify sources and sinks.
+  sources_ = graph.Sources();
+  sinks_ = graph.Sinks();
+
+  // Step (iii): compute all paths, traversing concurrently from each
+  // start node.
+  std::vector<NodeId> starts = graph.StartNodes();
+  std::vector<Path> paths;
+  size_t threads = std::max<size_t>(1, options.num_threads);
+  if (threads == 1 || starts.size() <= 1) {
+    PathEnumeratorOptions enum_options = options.enumerate;
+    for (NodeId start : starts) {
+      EnumeratePathsFrom(graph, start, enum_options, [&](const Path& p) {
+        paths.push_back(p);
+        return options.enumerate.max_paths == 0 ||
+               paths.size() < options.enumerate.max_paths;
+      });
+      if (options.enumerate.max_paths != 0 &&
+          paths.size() >= options.enumerate.max_paths) {
+        break;
+      }
+    }
+  } else {
+    std::mutex mu;
+    std::vector<std::thread> workers;
+    std::atomic<size_t> next_start{0};
+    for (size_t t = 0; t < threads; ++t) {
+      workers.emplace_back([&] {
+        std::vector<Path> local;
+        while (true) {
+          size_t i = next_start.fetch_add(1);
+          if (i >= starts.size()) break;
+          EnumeratePathsFrom(graph, starts[i], options.enumerate,
+                             [&](const Path& p) {
+                               local.push_back(p);
+                               return true;
+                             });
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        for (Path& p : local) paths.push_back(std::move(p));
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    if (options.enumerate.max_paths != 0 &&
+        paths.size() > options.enumerate.max_paths) {
+      paths.resize(options.enumerate.max_paths);
+    }
+  }
+
+  // Persist the paths and index them by sink and by content.
+  for (const Path& p : paths) {
+    SAMA_RETURN_IF_ERROR(IndexOnePath(p));
+  }
+  node_index_.Finish();
+  edge_index_.Finish();
+  sink_index_.Finish();
+  content_index_.Finish();
+  SAMA_RETURN_IF_ERROR(store_.Flush());
+
+  if (options.build_hypergraph) {
+    HypergraphStore::Options hg_options;
+    if (!options.dir.empty()) {
+      hg_options.path = options.dir + "/hypergraph.dat";
+    }
+    hg_options.buffer_pool_pages = options.buffer_pool_pages;
+    SAMA_RETURN_IF_ERROR(hypergraph_.Open(hg_options));
+    SAMA_RETURN_IF_ERROR(BuildHypergraph(graph, paths));
+  }
+
+  stats_.num_triples = graph.edge_count();
+  stats_.num_paths = store_.path_count();
+  stats_.hv = hypergraph_.vertex_count();
+  stats_.he = hypergraph_.hyperedge_count();
+  stats_.build_millis = timer.ElapsedMillis();
+  stats_.disk_bytes = store_.size_bytes() + hypergraph_.size_bytes() +
+                      node_index_.MemoryBytes() + edge_index_.MemoryBytes() +
+                      sink_index_.MemoryBytes() +
+                      content_index_.MemoryBytes();
+  if (!options.dir.empty()) {
+    SAMA_RETURN_IF_ERROR(SaveMetadata(options.dir));
+  }
+  return Status::Ok();
+}
+
+uint64_t PathIndex::GraphFingerprint(const DataGraph& graph) {
+  uint64_t h = 0x5afeC0deULL;
+  h = HashCombine(h, graph.node_count());
+  h = HashCombine(h, graph.edge_count());
+  // Sample edges (all of them for small graphs) so swapped datasets are
+  // rejected without hashing every byte of a huge graph.
+  size_t step = graph.edge_count() / 1024 + 1;
+  for (EdgeId e = 0; e < graph.edge_count();
+       e += static_cast<EdgeId>(step)) {
+    const DataGraph::Edge& edge = graph.edge(e);
+    h = HashCombine(h, edge.from);
+    h = HashCombine(h, edge.to);
+    h = HashCombine(h, edge.label);
+  }
+  return h;
+}
+
+namespace {
+
+void PutString(std::vector<uint8_t>* blob, const std::string& s) {
+  PutVarint64(blob, s.size());
+  blob->insert(blob->end(), s.begin(), s.end());
+}
+
+bool GetString(const std::vector<uint8_t>& blob, size_t* pos,
+               std::string* out) {
+  uint64_t size = 0;
+  if (!GetVarint64(blob, pos, &size)) return false;
+  if (blob.size() - *pos < size) return false;
+  out->assign(blob.begin() + static_cast<long>(*pos),
+              blob.begin() + static_cast<long>(*pos + size));
+  *pos += size;
+  return true;
+}
+
+void PutTerm(std::vector<uint8_t>* blob, const Term& t) {
+  PutVarint64(blob, static_cast<uint64_t>(t.kind()));
+  PutString(blob, t.value());
+  PutString(blob, t.datatype());
+  PutString(blob, t.language());
+}
+
+bool GetTerm(const std::vector<uint8_t>& blob, size_t* pos, Term* out) {
+  uint64_t kind = 0;
+  std::string value, datatype, language;
+  if (!GetVarint64(blob, pos, &kind) || kind > 3 ||
+      !GetString(blob, pos, &value) || !GetString(blob, pos, &datatype) ||
+      !GetString(blob, pos, &language)) {
+    return false;
+  }
+  switch (static_cast<Term::Kind>(kind)) {
+    case Term::Kind::kIri:
+      *out = Term::Iri(std::move(value));
+      return true;
+    case Term::Kind::kLiteral:
+      if (!language.empty()) {
+        *out = Term::LangLiteral(std::move(value), std::move(language));
+      } else if (!datatype.empty()) {
+        *out = Term::TypedLiteral(std::move(value), std::move(datatype));
+      } else {
+        *out = Term::Literal(std::move(value));
+      }
+      return true;
+    case Term::Kind::kBlank:
+      *out = Term::Blank(std::move(value));
+      return true;
+    case Term::Kind::kVariable:
+      *out = Term::Variable(std::move(value));
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Status PathIndex::SaveMetadata(const std::string& dir) const {
+  std::vector<uint8_t> blob;
+  PutVarint64(&blob, base_fingerprint_);
+  PutVarint64(&blob, stats_.num_triples);
+  PutVarint64(&blob, stats_.num_paths);
+  PutVarint64(&blob, stats_.hv);
+  PutVarint64(&blob, stats_.he);
+  PutVarint64(&blob, static_cast<uint64_t>(stats_.build_millis * 1000));
+  PutVarint64(&blob, stats_.disk_bytes);
+  PutVarint64(&blob, sources_.size());
+  for (NodeId n : sources_) PutVarint32(&blob, n);
+  PutVarint64(&blob, sinks_.size());
+  for (NodeId n : sinks_) PutVarint32(&blob, n);
+  PutVarint64(&blob, by_sink_.size());
+  for (const auto& [label, ids] : by_sink_) {
+    PutVarint32(&blob, label);
+    PutVarint64(&blob, ids.size());
+    uint64_t previous = 0;
+    for (PathId id : ids) {
+      PutVarint64(&blob, id - previous);
+      previous = id;
+    }
+  }
+  node_index_.Serialize(&blob);
+  edge_index_.Serialize(&blob);
+  sink_index_.Serialize(&blob);
+  content_index_.Serialize(&blob);
+  // Dictionary image: restores the exact TermId space on Open.
+  const TermDictionary& dict = graph_->dict();
+  PutVarint64(&blob, dict.size());
+  for (TermId i = 0; i < dict.size(); ++i) PutTerm(&blob, dict.term(i));
+  // Journal of AddTriple updates, replayed into the base graph on Open.
+  PutVarint64(&blob, update_journal_.size());
+  for (const Triple& t : update_journal_) {
+    PutTerm(&blob, t.subject);
+    PutTerm(&blob, t.predicate);
+    PutTerm(&blob, t.object);
+  }
+  // Tombstoned path ids.
+  PutVarint64(&blob, deleted_paths_.size());
+  for (PathId id : deleted_paths_) PutVarint64(&blob, id);
+  return WriteBlobFile(dir + "/index.meta", blob);
+}
+
+Status PathIndex::LoadMetadata(const std::string& dir,
+                               uint64_t fingerprint) {
+  auto blob_or = ReadBlobFile(dir + "/index.meta");
+  if (!blob_or.ok()) return blob_or.status();
+  const std::vector<uint8_t>& blob = *blob_or;
+  size_t pos = 0;
+  uint64_t v = 0;
+  auto next = [&](uint64_t* out) { return GetVarint64(blob, &pos, out); };
+  if (!next(&v)) return Status::Corruption("index.meta header");
+  if (v != fingerprint) {
+    return Status::InvalidArgument(
+        "index.meta was built over a different data graph");
+  }
+  base_fingerprint_ = v;
+  uint64_t micros = 0;
+  if (!next(&stats_.num_triples) || !next(&stats_.num_paths) ||
+      !next(&stats_.hv) || !next(&stats_.he) || !next(&micros) ||
+      !next(&stats_.disk_bytes)) {
+    return Status::Corruption("index.meta stats");
+  }
+  stats_.build_millis = static_cast<double>(micros) / 1000.0;
+
+  uint64_t count = 0;
+  if (!next(&count)) return Status::Corruption("index.meta sources");
+  sources_.resize(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t n = 0;
+    if (!GetVarint32(blob, &pos, &n)) {
+      return Status::Corruption("index.meta sources");
+    }
+    sources_[i] = n;
+  }
+  if (!next(&count)) return Status::Corruption("index.meta sinks");
+  sinks_.resize(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t n = 0;
+    if (!GetVarint32(blob, &pos, &n)) {
+      return Status::Corruption("index.meta sinks");
+    }
+    sinks_[i] = n;
+  }
+  if (!next(&count)) return Status::Corruption("index.meta sink map");
+  by_sink_.clear();
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t label = 0;
+    uint64_t ids = 0;
+    if (!GetVarint32(blob, &pos, &label) || !next(&ids)) {
+      return Status::Corruption("index.meta sink map entry");
+    }
+    std::vector<PathId>& postings = by_sink_[label];
+    postings.resize(ids);
+    uint64_t previous = 0;
+    for (uint64_t j = 0; j < ids; ++j) {
+      uint64_t delta = 0;
+      if (!next(&delta)) return Status::Corruption("index.meta sink ids");
+      previous += delta;
+      postings[j] = previous;
+    }
+  }
+  if (!node_index_.Deserialize(blob, &pos) ||
+      !edge_index_.Deserialize(blob, &pos) ||
+      !sink_index_.Deserialize(blob, &pos) ||
+      !content_index_.Deserialize(blob, &pos)) {
+    return Status::Corruption("index.meta inverted indexes");
+  }
+
+  // Dictionary image: re-intern every saved term in order. The base
+  // graph's terms must come back with their original ids (a mismatch
+  // means this is not the graph the index was built over); terms
+  // interned later (query variables, update entities) are restored to
+  // their original slots.
+  if (!next(&count)) return Status::Corruption("index.meta dictionary");
+  // Open passes a mutable graph; graph_ stores it const for the query
+  // path. Re-obtain mutable access through the shared dictionary handle.
+  TermDictionary& dict = *graph_->shared_dict();
+  for (uint64_t i = 0; i < count; ++i) {
+    Term term;
+    if (!GetTerm(blob, &pos, &term)) {
+      return Status::Corruption("index.meta dictionary term");
+    }
+    TermId id = dict.Intern(term);
+    if (id != i) {
+      return Status::InvalidArgument(
+          "dictionary drift: the provided graph interned terms in a "
+          "different order than the indexed one");
+    }
+  }
+
+  // Update journal.
+  if (!next(&count)) return Status::Corruption("index.meta journal");
+  update_journal_.resize(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    if (!GetTerm(blob, &pos, &update_journal_[i].subject) ||
+        !GetTerm(blob, &pos, &update_journal_[i].predicate) ||
+        !GetTerm(blob, &pos, &update_journal_[i].object)) {
+      return Status::Corruption("index.meta journal triple");
+    }
+  }
+
+  // Tombstones.
+  if (!next(&count)) return Status::Corruption("index.meta tombstones");
+  deleted_paths_.clear();
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t id = 0;
+    if (!next(&id)) return Status::Corruption("index.meta tombstone id");
+    deleted_paths_.insert(id);
+  }
+  return Status::Ok();
+}
+
+Status PathIndex::Open(DataGraph* graph,
+                       const PathIndexOptions& options) {
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("PathIndex::Open requires options.dir");
+  }
+  graph_ = graph;
+  options_ = options;
+
+  PathStore::Options store_options;
+  store_options.path = options.dir + "/paths.dat";
+  store_options.truncate = false;
+  store_options.buffer_pool_pages = options.buffer_pool_pages;
+  store_options.compress = options.compress_paths;
+  SAMA_RETURN_IF_ERROR(store_.Open(store_options));
+
+  if (options.build_hypergraph) {
+    HypergraphStore::Options hg_options;
+    hg_options.path = options.dir + "/hypergraph.dat";
+    hg_options.truncate = false;
+    hg_options.buffer_pool_pages = options.buffer_pool_pages;
+    SAMA_RETURN_IF_ERROR(hypergraph_.Open(hg_options));
+  }
+  SAMA_RETURN_IF_ERROR(LoadMetadata(options.dir, GraphFingerprint(*graph)));
+  // Replay the journal: the graph returns to its checkpointed state
+  // (the index structures are already post-update from the metadata).
+  for (const Triple& t : update_journal_) {
+    NodeId s = graph->AddNode(t.subject);
+    NodeId o = graph->AddNode(t.object);
+    graph->AddEdge(s, o, t.predicate);
+  }
+  return Status::Ok();
+}
+
+Status PathIndex::BuildHypergraph(const DataGraph& graph,
+                                  const std::vector<Path>& paths) {
+  // One hypergraph vertex per graph node; ids coincide by construction.
+  for (NodeId n = 0; n < graph.node_count(); ++n) {
+    auto v = hypergraph_.AddVertex(graph.node_term(n).DisplayLabel());
+    if (!v.ok()) return v.status();
+  }
+  // One binary hyperedge per graph edge.
+  for (EdgeId e = 0; e < graph.edge_count(); ++e) {
+    const DataGraph::Edge& edge = graph.edge(e);
+    auto he = hypergraph_.AddHyperedge({edge.from, edge.to});
+    if (!he.ok()) return he.status();
+  }
+  // One wide hyperedge per path, grouping the path's vertices
+  // (Figure 5).
+  for (const Path& p : paths) {
+    std::vector<VertexId> members(p.nodes.begin(), p.nodes.end());
+    auto he = hypergraph_.AddHyperedge(members);
+    if (!he.ok()) return he.status();
+  }
+  return hypergraph_.Flush();
+}
+
+const std::vector<PathId>& PathIndex::PathsWithSinkLabel(
+    TermId label) const {
+  auto it = by_sink_.find(label);
+  return it == by_sink_.end() ? kNoPaths : it->second;
+}
+
+std::vector<PathId> PathIndex::PathsWithSinkMatching(
+    const Term& term, const Thesaurus* thesaurus) const {
+  std::vector<uint64_t> semantic =
+      sink_index_.LookupSemantic(term.DisplayLabel(), thesaurus);
+  TermId exact = graph_->dict().Find(term);
+  if (exact != kInvalidTermId) {
+    semantic = Merge(std::move(semantic), PathsWithSinkLabel(exact));
+  }
+  return FilterDeleted(std::move(semantic));
+}
+
+std::vector<PathId> PathIndex::PathsContaining(
+    const Term& term, const Thesaurus* thesaurus) const {
+  return FilterDeleted(
+      content_index_.LookupSemantic(term.DisplayLabel(), thesaurus));
+}
+
+Status PathIndex::GetPath(PathId id, Path* out) const {
+  if (deleted_paths_.count(id) > 0) {
+    return Status::NotFound("path " + std::to_string(id) +
+                            " was invalidated by an update");
+  }
+  return store_.Get(id, out);
+}
+
+std::vector<NodeId> PathIndex::NodesMatching(
+    const Term& term, const Thesaurus* thesaurus) const {
+  std::vector<uint64_t> raw =
+      node_index_.LookupSemantic(term.DisplayLabel(), thesaurus);
+  return std::vector<NodeId>(raw.begin(), raw.end());
+}
+
+std::vector<EdgeId> PathIndex::EdgesMatching(
+    const Term& term, const Thesaurus* thesaurus) const {
+  std::vector<uint64_t> raw =
+      edge_index_.LookupSemantic(term.DisplayLabel(), thesaurus);
+  return std::vector<EdgeId>(raw.begin(), raw.end());
+}
+
+Status PathIndex::IndexOnePath(const Path& p) {
+  const TermDictionary& dict = graph_->dict();
+  auto id_or = store_.Put(p);
+  if (!id_or.ok()) return id_or.status();
+  PathId id = *id_or;
+  by_sink_[p.sink_label()].push_back(id);
+  sink_index_.Add(dict.term(p.sink_label()).DisplayLabel(), id);
+  for (TermId label : p.node_labels) {
+    content_index_.Add(dict.term(label).DisplayLabel(), id);
+  }
+  for (TermId label : p.edge_labels) {
+    content_index_.Add(dict.term(label).DisplayLabel(), id);
+  }
+  return Status::Ok();
+}
+
+void PathIndex::TombstonePath(PathId id, const Path& p) {
+  deleted_paths_.insert(id);
+  auto it = by_sink_.find(p.sink_label());
+  if (it != by_sink_.end()) {
+    auto& ids = it->second;
+    ids.erase(std::remove(ids.begin(), ids.end(), id), ids.end());
+    if (ids.empty()) by_sink_.erase(it);
+  }
+  // The inverted postings keep the stale id; FilterDeleted screens it
+  // out at lookup time.
+}
+
+std::vector<PathId> PathIndex::FilterDeleted(
+    std::vector<uint64_t> ids) const {
+  if (deleted_paths_.empty()) return ids;
+  ids.erase(std::remove_if(ids.begin(), ids.end(),
+                           [this](uint64_t id) {
+                             return deleted_paths_.count(id) > 0;
+                           }),
+            ids.end());
+  return ids;
+}
+
+namespace {
+
+// Reverse simple paths from `end` back to the graph's sources; each
+// emitted prefix runs source→...→end (inclusive). Emits an empty-prefix
+// marker (just {end}) when `end` itself has no incoming edges.
+void CollectPrefixes(const DataGraph& graph, NodeId end, size_t max_length,
+                     std::vector<Path>* out) {
+  std::vector<NodeId> stack{end};
+  std::vector<TermId> edge_stack;
+  std::vector<bool> on_path(graph.node_count(), false);
+  on_path[end] = true;
+
+  // Recursive walk over in-edges.
+  std::function<void()> walk = [&] {
+    NodeId node = stack.back();
+    if (graph.in_degree(node) == 0) {
+      // Reached a source: materialise the reversed walk.
+      Path p;
+      p.nodes.assign(stack.rbegin(), stack.rend());
+      for (NodeId n : p.nodes) p.node_labels.push_back(graph.node_label(n));
+      p.edge_labels.assign(edge_stack.rbegin(), edge_stack.rend());
+      out->push_back(std::move(p));
+      return;
+    }
+    if (max_length != 0 && stack.size() >= max_length) return;
+    for (EdgeId e : graph.in_edges(node)) {
+      const DataGraph::Edge& edge = graph.edge(e);
+      if (on_path[edge.from]) continue;
+      stack.push_back(edge.from);
+      edge_stack.push_back(edge.label);
+      on_path[edge.from] = true;
+      walk();
+      on_path[edge.from] = false;
+      edge_stack.pop_back();
+      stack.pop_back();
+    }
+  };
+  walk();
+}
+
+// Forward simple paths from `start` to sinks, start inclusive. Emits a
+// single-node path when `start` is itself a sink.
+void CollectSuffixes(const DataGraph& graph, NodeId start,
+                     size_t max_length, std::vector<Path>* out) {
+  if (graph.out_degree(start) == 0) {
+    Path p;
+    p.nodes = {start};
+    p.node_labels = {graph.node_label(start)};
+    out->push_back(std::move(p));
+    return;
+  }
+  EnumeratePathsFrom(graph, start,
+                     PathEnumeratorOptions{0, max_length, false},
+                     [out](const Path& p) {
+                       out->push_back(p);
+                       return true;
+                     });
+}
+
+}  // namespace
+
+Status PathIndex::AddTriple(DataGraph* graph, const Triple& triple) {
+  if (graph != graph_) {
+    return Status::InvalidArgument(
+        "AddTriple must receive the graph the index was built over");
+  }
+  size_t nodes_before = graph->node_count();
+  size_t edges_before = graph->edge_count();
+  NodeId s = graph->AddNode(triple.subject);
+  NodeId o = graph->AddNode(triple.object);
+  bool s_was_sink =
+      s < nodes_before && graph->out_degree(s) == 0 && graph->in_degree(s) > 0;
+  bool o_was_source =
+      o < nodes_before && graph->in_degree(o) == 0 && graph->out_degree(o) > 0;
+  graph->AddEdge(s, o, triple.predicate);
+  if (graph->edge_count() == edges_before) return Status::Ok();  // Duplicate.
+  EdgeId new_edge = static_cast<EdgeId>(graph->edge_count() - 1);
+  update_journal_.push_back(triple);
+
+  // Element-to-element mapping for the new elements.
+  for (NodeId n = static_cast<NodeId>(nodes_before);
+       n < graph->node_count(); ++n) {
+    node_index_.Add(graph->node_term(n).DisplayLabel(), n);
+    if (options_.build_hypergraph && hypergraph_.vertex_count() > 0) {
+      auto v = hypergraph_.AddVertex(graph->node_term(n).DisplayLabel());
+      if (!v.ok()) return v.status();
+    }
+  }
+  edge_index_.Add(graph->edge_term(new_edge).DisplayLabel(), new_edge);
+  if (options_.build_hypergraph && hypergraph_.vertex_count() > 0) {
+    auto he = hypergraph_.AddHyperedge({s, o});
+    if (!he.ok()) return he.status();
+  }
+
+  // Tombstone paths invalidated by the new edge.
+  if (s_was_sink) {
+    // Paths used to end at s; they now continue through the new edge.
+    std::vector<PathId> stale = by_sink_[graph->node_label(s)];
+    for (PathId id : stale) {
+      Path p;
+      SAMA_RETURN_IF_ERROR(store_.Get(id, &p));
+      if (p.nodes.back() == s) TombstonePath(id, p);
+    }
+  }
+  if (o_was_source) {
+    // Paths used to start at o; the prefixes now reach further back.
+    std::vector<uint64_t> candidates = content_index_.LookupSemantic(
+        graph->node_term(o).DisplayLabel(), nullptr);
+    for (uint64_t id : FilterDeleted(std::move(candidates))) {
+      Path p;
+      SAMA_RETURN_IF_ERROR(store_.Get(id, &p));
+      if (!p.nodes.empty() && p.nodes.front() == o) TombstonePath(id, p);
+    }
+  }
+
+  // New paths: every (source→…→s) prefix composed with the new edge and
+  // every (o→…→sink) suffix, keeping the result a simple path.
+  std::vector<Path> prefixes, suffixes;
+  CollectPrefixes(*graph, s, options_.enumerate.max_length, &prefixes);
+  CollectSuffixes(*graph, o, options_.enumerate.max_length, &suffixes);
+  TermId edge_label = graph->edge(new_edge).label;
+  size_t added = 0;
+  for (const Path& prefix : prefixes) {
+    for (const Path& suffix : suffixes) {
+      // Simple-path check: prefix and suffix must not share nodes.
+      bool disjoint = true;
+      for (NodeId a : prefix.nodes) {
+        for (NodeId b : suffix.nodes) {
+          if (a == b) {
+            disjoint = false;
+            break;
+          }
+        }
+        if (!disjoint) break;
+      }
+      if (!disjoint) continue;
+      Path combined;
+      combined.nodes = prefix.nodes;
+      combined.nodes.insert(combined.nodes.end(), suffix.nodes.begin(),
+                            suffix.nodes.end());
+      combined.node_labels = prefix.node_labels;
+      combined.node_labels.insert(combined.node_labels.end(),
+                                  suffix.node_labels.begin(),
+                                  suffix.node_labels.end());
+      combined.edge_labels = prefix.edge_labels;
+      combined.edge_labels.push_back(edge_label);
+      combined.edge_labels.insert(combined.edge_labels.end(),
+                                  suffix.edge_labels.begin(),
+                                  suffix.edge_labels.end());
+      if (options_.enumerate.max_length != 0 &&
+          combined.length() > options_.enumerate.max_length) {
+        continue;
+      }
+      PathId id = store_.path_count();
+      SAMA_RETURN_IF_ERROR(IndexOnePath(combined));
+      ++added;
+      if (options_.build_hypergraph && hypergraph_.vertex_count() > 0) {
+        std::vector<VertexId> members(combined.nodes.begin(),
+                                      combined.nodes.end());
+        auto he = hypergraph_.AddHyperedge(members);
+        if (!he.ok()) return he.status();
+      }
+      (void)id;
+    }
+  }
+  node_index_.Finish();
+  edge_index_.Finish();
+  sink_index_.Finish();
+  content_index_.Finish();
+
+  sources_ = graph->Sources();
+  sinks_ = graph->Sinks();
+  stats_.num_triples = graph->edge_count();
+  stats_.num_paths = live_path_count();
+  stats_.hv = hypergraph_.vertex_count();
+  stats_.he = hypergraph_.hyperedge_count();
+  (void)added;
+  return Status::Ok();
+}
+
+Status PathIndex::Checkpoint() {
+  if (options_.dir.empty()) {
+    return Status::InvalidArgument(
+        "Checkpoint requires a disk-backed index (options.dir)");
+  }
+  SAMA_RETURN_IF_ERROR(store_.Flush());
+  SAMA_RETURN_IF_ERROR(hypergraph_.Flush());
+  return SaveMetadata(options_.dir);
+}
+
+Status PathIndex::DropCaches() {
+  SAMA_RETURN_IF_ERROR(store_.DropCaches());
+  return hypergraph_.DropCaches();
+}
+
+}  // namespace sama

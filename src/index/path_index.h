@@ -1,0 +1,174 @@
+#ifndef SAMA_INDEX_PATH_INDEX_H_
+#define SAMA_INDEX_PATH_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/data_graph.h"
+#include "graph/path.h"
+#include "graph/path_enumerator.h"
+#include "storage/hypergraph_store.h"
+#include "storage/path_store.h"
+#include "text/inverted_index.h"
+#include "text/thesaurus.h"
+
+namespace sama {
+
+// Options for the offline indexing phase.
+struct PathIndexOptions {
+  // Directory for the on-disk stores; empty keeps everything in memory
+  // (tests, small examples). The experiments always use a directory —
+  // the paper assumes the graph "cannot fit in memory" (§6.1).
+  std::string dir;
+  size_t buffer_pool_pages = 4096;  // 16 MiB page cache.
+  bool compress_paths = true;
+  // Worker threads for the concurrent BFS over sources (§6.1:
+  // "independently concurrent traversals are started from each
+  // source"). 1 = sequential.
+  size_t num_threads = 1;
+  PathEnumeratorOptions enumerate;
+  // Populate the hypergraph store (one vertex per term, one hyperedge
+  // per triple and per path — Figure 5). Needed for Table 1's |HV|/|HE|
+  // columns; adds write volume.
+  bool build_hypergraph = true;
+};
+
+// Table-1 quantities for one indexed dataset.
+struct IndexStats {
+  uint64_t num_triples = 0;
+  uint64_t num_paths = 0;
+  uint64_t hv = 0;  // |HV|: hypergraph vertices.
+  uint64_t he = 0;  // |HE|: hypergraph hyperedges.
+  double build_millis = 0;
+  uint64_t disk_bytes = 0;  // Path store + hypergraph + label indexes.
+};
+
+// The offline index of §6.1. Holds:
+//   (i)  hashed vertex/edge labels — inverted indexes from label text
+//        to node ids and edge ids (element-to-element mapping);
+//   (ii) the graph's sources and sinks;
+//   (iii) every source→sink path, persisted in a PathStore, retrievable
+//        by sink label (cluster lookup) and by contained label.
+// The in-memory postings are the Lucene substitute; path bytes live on
+// disk behind the buffer pool.
+class PathIndex {
+ public:
+  PathIndex() = default;
+  PathIndex(const PathIndex&) = delete;
+  PathIndex& operator=(const PathIndex&) = delete;
+
+  // Builds the index over `graph`. The graph must outlive the index.
+  // When options.dir is set the index is persisted there (stores,
+  // manifests and metadata), ready for Open().
+  Status Build(const DataGraph& graph, const PathIndexOptions& options);
+
+  // Opens an index previously Build()t into options.dir, without
+  // recomputing any path. `graph` must be the BASE data graph the index
+  // was built over (the same triples in the same order — FromTriples is
+  // deterministic); a fingerprint check rejects mismatched graphs.
+  // Open then restores the exact TermId space from the persisted
+  // dictionary image (so terms interned later — query variables, update
+  // entities — get their original ids back) and replays the journal of
+  // AddTriple updates into `graph`, leaving graph + index exactly as
+  // they were at the last Checkpoint(). options.dir must be set.
+  Status Open(DataGraph* graph, const PathIndexOptions& options);
+
+  // Incremental maintenance (the §7 "speed-up the update of the index"
+  // future-work item): applies `triple` to `graph` (which must be the
+  // graph this index was built over) and updates the index in place —
+  // new source→sink paths through the new edge are enumerated and
+  // stored, and paths invalidated by the edge (paths that used to end
+  // at its subject when it was a sink, or start at its object when it
+  // was a source) are tombstoned. A duplicate triple is a no-op.
+  Status AddTriple(DataGraph* graph, const Triple& triple);
+
+  // Number of live (non-tombstoned) paths.
+  uint64_t live_path_count() const {
+    return store_.path_count() - deleted_paths_.size();
+  }
+
+  // Paths whose sink carries exactly `label` (a TermId of the graph's
+  // dictionary).
+  const std::vector<PathId>& PathsWithSinkLabel(TermId label) const;
+
+  // Paths whose sink label matches `term` exactly or through the
+  // thesaurus (§5 Clustering, sink case).
+  std::vector<PathId> PathsWithSinkMatching(const Term& term,
+                                            const Thesaurus* thesaurus) const;
+
+  // Paths containing any element whose label matches `term` (§5
+  // Clustering, variable-sink case).
+  std::vector<PathId> PathsContaining(const Term& term,
+                                      const Thesaurus* thesaurus) const;
+
+  // Loads a stored path.
+  Status GetPath(PathId id, Path* out) const;
+
+  // Element-to-element mapping from the hashing step: graph nodes/edges
+  // whose label matches `term` (used by the baseline matchers too).
+  std::vector<NodeId> NodesMatching(const Term& term,
+                                    const Thesaurus* thesaurus) const;
+  std::vector<EdgeId> EdgesMatching(const Term& term,
+                                    const Thesaurus* thesaurus) const;
+
+  const std::vector<NodeId>& sources() const { return sources_; }
+  const std::vector<NodeId>& sinks() const { return sinks_; }
+
+  // Persists the current state (stores, manifests, metadata) so a
+  // later Open() sees all updates applied since Build()/Open().
+  // Requires the index to be disk-backed.
+  Status Checkpoint();
+
+  // Empties every page cache (cold-cache experiments).
+  Status DropCaches();
+
+  const IndexStats& stats() const { return stats_; }
+  const DataGraph& graph() const { return *graph_; }
+  uint64_t path_count() const { return store_.path_count(); }
+  BufferPool::Stats cache_stats() const { return store_.cache_stats(); }
+
+ private:
+  Status BuildHypergraph(const DataGraph& graph,
+                         const std::vector<Path>& paths);
+  // Serialized metadata: fingerprint, stats, sources/sinks, by_sink_
+  // and the four inverted indexes.
+  Status SaveMetadata(const std::string& dir) const;
+  Status LoadMetadata(const std::string& dir, uint64_t fingerprint);
+  static uint64_t GraphFingerprint(const DataGraph& graph);
+
+  const DataGraph* graph_ = nullptr;
+  // Fingerprint of the base graph (before any AddTriple), fixed at
+  // Build time so Checkpoint() after updates still identifies the base.
+  uint64_t base_fingerprint_ = 0;
+  // Triples applied through AddTriple since Build, replayed by Open.
+  std::vector<Triple> update_journal_;
+  PathStore store_;
+  HypergraphStore hypergraph_;
+  InvertedLabelIndex node_index_;   // label -> NodeId.
+  InvertedLabelIndex edge_index_;   // label -> EdgeId.
+  InvertedLabelIndex sink_index_;   // sink label -> PathId.
+  InvertedLabelIndex content_index_;  // any path label -> PathId.
+  // Appends `p` to the store and every lookup structure; used by both
+  // the bulk build and AddTriple.
+  Status IndexOnePath(const Path& p);
+  // Tombstones `id` everywhere it is visible.
+  void TombstonePath(PathId id, const Path& p);
+  // Removes tombstoned ids from a postings vector.
+  std::vector<PathId> FilterDeleted(std::vector<uint64_t> ids) const;
+
+  std::unordered_map<TermId, std::vector<PathId>> by_sink_;
+  std::vector<NodeId> sources_;
+  std::vector<NodeId> sinks_;
+  std::unordered_set<PathId> deleted_paths_;
+  PathIndexOptions options_;
+  IndexStats stats_;
+};
+
+}  // namespace sama
+
+#endif  // SAMA_INDEX_PATH_INDEX_H_

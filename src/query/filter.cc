@@ -1,0 +1,44 @@
+#include "query/filter.h"
+
+#include "text/tokenizer.h"
+
+namespace sama {
+
+bool FilterConstraint::Matches(const Substitution& binding) const {
+  const Term* left = binding.Lookup(left_var);
+  if (kind == Kind::kRegex) {
+    if (left == nullptr) return false;
+    // Case-insensitive substring match (the pragmatic core of the
+    // regex() calls the workloads use).
+    return NormalizeLabel(left->DisplayLabel())
+               .find(NormalizeLabel(pattern)) != std::string::npos;
+  }
+
+  const Term* right = nullptr;
+  Term right_storage;
+  if (!right_var.empty()) {
+    right = binding.Lookup(right_var);
+  } else {
+    right_storage = right_term;
+    right = &right_storage;
+  }
+
+  bool equal;
+  if (left == nullptr || right == nullptr) {
+    // Unbound variables: only two unbound sides compare equal.
+    equal = (left == nullptr && right == nullptr);
+  } else {
+    equal = (*left == *right);
+  }
+  return kind == Kind::kEquals ? equal : !equal;
+}
+
+bool PassesFilters(const std::vector<FilterConstraint>& filters,
+                   const Substitution& binding) {
+  for (const FilterConstraint& f : filters) {
+    if (!f.Matches(binding)) return false;
+  }
+  return true;
+}
+
+}  // namespace sama

@@ -1,0 +1,40 @@
+#ifndef SAMA_QUERY_FILTER_H_
+#define SAMA_QUERY_FILTER_H_
+
+#include <string>
+#include <vector>
+
+#include "query/transformation.h"
+#include "rdf/term.h"
+
+namespace sama {
+
+// One SPARQL FILTER constraint, restricted to the comparisons the
+// benchmark workloads use:
+//   FILTER(?x = ?y)  FILTER(?x != <iri>)  FILTER(?x = "literal")
+//   FILTER regex(?x, "substring")          (plain substring match)
+// Multiple FILTER clauses conjoin. Filters are evaluated on the final
+// variable bindings (answers whose relevant variables are unbound fail
+// equality/regex filters and pass inequality filters vacuously only if
+// both sides are unbound).
+struct FilterConstraint {
+  enum class Kind { kEquals, kNotEquals, kRegex };
+
+  Kind kind = Kind::kEquals;
+  std::string left_var;   // Always a variable (without '?').
+  // Exactly one of the two is used for the right-hand side:
+  std::string right_var;  // Non-empty when comparing two variables.
+  Term right_term;        // Used when right_var is empty.
+  std::string pattern;    // kRegex: the substring to look for.
+
+  // Evaluates this constraint against `binding`.
+  bool Matches(const Substitution& binding) const;
+};
+
+// Applies every constraint; true only if all pass.
+bool PassesFilters(const std::vector<FilterConstraint>& filters,
+                   const Substitution& binding);
+
+}  // namespace sama
+
+#endif  // SAMA_QUERY_FILTER_H_

@@ -1,0 +1,57 @@
+#include "query/query_graph.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace sama {
+
+QueryGraph QueryGraph::FromPatterns(const std::vector<Triple>& patterns,
+                                    std::shared_ptr<TermDictionary> dict) {
+  QueryGraph q;
+  if (dict != nullptr) q.graph_ = DataGraph(std::move(dict));
+  std::unordered_set<std::string> seen_vars;
+  auto note_variable = [&](const Term& t) {
+    if (t.is_variable() && seen_vars.insert(t.value()).second) {
+      q.variables_.push_back(t);
+    }
+  };
+  for (const Triple& t : patterns) {
+    NodeId s = q.graph_.AddNode(t.subject);
+    NodeId o = q.graph_.AddNode(t.object);
+    q.graph_.AddEdge(s, o, t.predicate);
+    note_variable(t.subject);
+    note_variable(t.predicate);
+    note_variable(t.object);
+  }
+  q.FinalizePaths();
+  return q;
+}
+
+void QueryGraph::FinalizePaths() {
+  paths_ = AllPaths(graph_);
+  // Longer (more selective) paths first: the clustering step benefits
+  // from processing the most constrained paths before the 1-edge ones.
+  std::stable_sort(paths_.begin(), paths_.end(),
+                   [](const Path& a, const Path& b) {
+                     return a.length() > b.length();
+                   });
+}
+
+size_t QueryGraph::depth() const {
+  size_t h = 0;
+  for (const Path& p : paths_) h = std::max(h, p.length());
+  return h;
+}
+
+TermId QueryGraph::LastConstantFromSink(const Path& q) const {
+  for (size_t i = q.node_labels.size(); i-- > 0;) {
+    if (!IsVariableLabel(q.node_labels[i])) return q.node_labels[i];
+    if (i > 0 && i - 1 < q.edge_labels.size() &&
+        !IsVariableLabel(q.edge_labels[i - 1])) {
+      return q.edge_labels[i - 1];
+    }
+  }
+  return kInvalidTermId;
+}
+
+}  // namespace sama

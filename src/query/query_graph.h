@@ -1,0 +1,71 @@
+#ifndef SAMA_QUERY_QUERY_GRAPH_H_
+#define SAMA_QUERY_QUERY_GRAPH_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/data_graph.h"
+#include "graph/path.h"
+#include "graph/path_enumerator.h"
+
+namespace sama {
+
+// A query graph Q (Definition 2): a data graph whose node labels range
+// over U ∪ L ∪ VAR and whose edge labels range over U ∪ VAR. Wraps a
+// DataGraph and precomputes the query's path decomposition PQ, which is
+// what the whole answering pipeline consumes.
+class QueryGraph {
+ public:
+  QueryGraph() = default;
+
+  // Builds the graph from triple patterns (variables allowed anywhere a
+  // Definition-2 label admits them). When `dict` is provided — normally
+  // the data graph's dictionary — query labels intern into the same
+  // TermId space as the data, making labels directly comparable.
+  static QueryGraph FromPatterns(const std::vector<Triple>& patterns,
+                                 std::shared_ptr<TermDictionary> dict =
+                                     nullptr);
+
+  const DataGraph& graph() const { return graph_; }
+  DataGraph& graph() { return graph_; }
+  const TermDictionary& dict() const { return graph_.dict(); }
+
+  // The set PQ of all source→sink paths of Q, computed once by BFS from
+  // every source (§5 Preprocessing).
+  const std::vector<Path>& paths() const { return paths_; }
+
+  // Distinct variables appearing in the query.
+  const std::vector<Term>& variables() const { return variables_; }
+  size_t num_variables() const { return variables_.size(); }
+
+  // Total node count (Figure 7b's x axis).
+  size_t num_nodes() const { return graph_.node_count(); }
+
+  // Depth h of the query: the maximum path length (node count) over PQ;
+  // appears in the O(h·I²) search bound.
+  size_t depth() const;
+
+  // Whether `label` (a term id in this query's dictionary) is a
+  // variable.
+  bool IsVariableLabel(TermId label) const {
+    return dict().term(label).is_variable();
+  }
+
+  // The last constant value of `q` scanning from the sink backwards —
+  // the cluster key when the sink itself is a variable (§5 Clustering).
+  // Checks node labels first at each position, then edge labels.
+  // Returns kInvalidTermId when the path is all-variable.
+  TermId LastConstantFromSink(const Path& q) const;
+
+ private:
+  void FinalizePaths();
+
+  DataGraph graph_;
+  std::vector<Path> paths_;
+  std::vector<Term> variables_;
+};
+
+}  // namespace sama
+
+#endif  // SAMA_QUERY_QUERY_GRAPH_H_

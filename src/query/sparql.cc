@@ -1,0 +1,342 @@
+#include "query/sparql.h"
+
+#include <cctype>
+#include <map>
+
+#include "common/string_util.h"
+
+namespace sama {
+namespace {
+
+constexpr std::string_view kRdfType =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+
+// Character-level scanner shared by the clause parsers.
+class SparqlScanner {
+ public:
+  explicit SparqlScanner(std::string_view text) : text_(text) {}
+
+  void SkipSpace() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '#') {
+        while (!AtEnd() && Take() != '\n') {
+        }
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return AtEnd() ? '\0' : text_[pos_]; }
+  char Take() { return text_[pos_++]; }
+
+  bool Consume(char c) {
+    if (Peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  // Case-insensitive keyword match (consumes on success). The keyword
+  // must be followed by a non-name character.
+  bool ConsumeKeyword(std::string_view kw) {
+    SkipSpace();
+    if (pos_ + kw.size() > text_.size()) return false;
+    for (size_t i = 0; i < kw.size(); ++i) {
+      if (std::tolower(static_cast<unsigned char>(text_[pos_ + i])) !=
+          std::tolower(static_cast<unsigned char>(kw[i]))) {
+        return false;
+      }
+    }
+    size_t after = pos_ + kw.size();
+    if (after < text_.size() &&
+        (std::isalnum(static_cast<unsigned char>(text_[after])) ||
+         text_[after] == '_')) {
+      return false;
+    }
+    pos_ = after;
+    return true;
+  }
+
+  std::string TakeName() {
+    std::string out;
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '-') {
+        out.push_back(Take());
+      } else {
+        break;
+      }
+    }
+    return out;
+  }
+
+  Status ErrorHere(std::string what) const {
+    size_t line = 1;
+    for (size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') ++line;
+    }
+    return Status::ParseError("line " + std::to_string(line) + ": " +
+                              std::move(what));
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+class SparqlParser {
+ public:
+  explicit SparqlParser(std::string_view text) : scan_(text) {}
+
+  Result<SparqlQuery> Parse() {
+    SparqlQuery query;
+    while (scan_.ConsumeKeyword("PREFIX")) {
+      SAMA_RETURN_IF_ERROR(ParsePrefix());
+    }
+    if (!scan_.ConsumeKeyword("SELECT")) {
+      return scan_.ErrorHere("expected SELECT");
+    }
+    if (scan_.ConsumeKeyword("DISTINCT")) query.distinct = true;
+    SAMA_RETURN_IF_ERROR(ParseProjection(&query));
+    if (!scan_.ConsumeKeyword("WHERE")) {
+      return scan_.ErrorHere("expected WHERE");
+    }
+    scan_.SkipSpace();
+    if (!scan_.Consume('{')) return scan_.ErrorHere("expected '{'");
+    SAMA_RETURN_IF_ERROR(ParsePatterns(&query));
+    if (scan_.ConsumeKeyword("LIMIT")) {
+      scan_.SkipSpace();
+      std::string digits = scan_.TakeName();
+      if (digits.empty()) return scan_.ErrorHere("expected LIMIT count");
+      query.limit = 0;
+      for (char c : digits) {
+        if (!std::isdigit(static_cast<unsigned char>(c))) {
+          return scan_.ErrorHere("malformed LIMIT count");
+        }
+        query.limit = query.limit * 10 + static_cast<size_t>(c - '0');
+      }
+    }
+    scan_.SkipSpace();
+    if (!scan_.AtEnd()) return scan_.ErrorHere("trailing input after query");
+    if (query.patterns.empty()) {
+      return scan_.ErrorHere("empty graph pattern");
+    }
+    return query;
+  }
+
+ private:
+  Status ParsePrefix() {
+    scan_.SkipSpace();
+    std::string prefix = scan_.TakeName();
+    if (!scan_.Consume(':')) return scan_.ErrorHere("expected ':' in PREFIX");
+    scan_.SkipSpace();
+    Result<std::string> iri = ParseIriRef();
+    if (!iri.ok()) return iri.status();
+    prefixes_[prefix] = *iri;
+    return Status::Ok();
+  }
+
+  Result<std::string> ParseIriRef() {
+    if (!scan_.Consume('<')) return scan_.ErrorHere("expected '<'");
+    std::string iri;
+    while (!scan_.AtEnd()) {
+      char c = scan_.Take();
+      if (c == '>') return iri;
+      iri.push_back(c);
+    }
+    return scan_.ErrorHere("unterminated IRI");
+  }
+
+  Status ParseProjection(SparqlQuery* query) {
+    scan_.SkipSpace();
+    if (scan_.Consume('*')) {
+      query->select_all = true;
+      return Status::Ok();
+    }
+    while (true) {
+      scan_.SkipSpace();
+      char c = scan_.Peek();
+      if (c != '?' && c != '$') break;
+      scan_.Take();
+      std::string name = scan_.TakeName();
+      if (name.empty()) return scan_.ErrorHere("empty variable name");
+      query->select_vars.push_back(std::move(name));
+    }
+    if (query->select_vars.empty()) {
+      return scan_.ErrorHere("SELECT needs '*' or at least one variable");
+    }
+    return Status::Ok();
+  }
+
+  Result<Term> ParseTermToken(bool as_predicate) {
+    scan_.SkipSpace();
+    char c = scan_.Peek();
+    if (c == '?' || c == '$') {
+      scan_.Take();
+      std::string name = scan_.TakeName();
+      if (name.empty()) return scan_.ErrorHere("empty variable name");
+      return Term::Variable(std::move(name));
+    }
+    if (c == '<') {
+      Result<std::string> iri = ParseIriRef();
+      if (!iri.ok()) return iri.status();
+      return Term::Iri(std::move(*iri));
+    }
+    if (c == '"') return ParseLiteral();
+    if (c == '_') {
+      scan_.Take();
+      if (!scan_.Consume(':')) return scan_.ErrorHere("expected '_:'");
+      return Term::Blank(scan_.TakeName());
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string digits = scan_.TakeName();
+      return Term::Literal(std::move(digits));
+    }
+    std::string word = scan_.TakeName();
+    if (scan_.Peek() == ':') {
+      scan_.Take();
+      std::string local = scan_.TakeName();
+      auto it = prefixes_.find(word);
+      if (it == prefixes_.end()) {
+        return scan_.ErrorHere("undeclared prefix '" + word + ":'");
+      }
+      return Term::Iri(it->second + local);
+    }
+    if (word == "a" && as_predicate) return Term::Iri(std::string(kRdfType));
+    return scan_.ErrorHere("unexpected token '" + word + "'");
+  }
+
+  Result<Term> ParseLiteral() {
+    scan_.Take();  // Opening quote.
+    std::string value;
+    bool closed = false;
+    while (!scan_.AtEnd()) {
+      char c = scan_.Take();
+      if (c == '"') {
+        closed = true;
+        break;
+      }
+      if (c == '\\' && !scan_.AtEnd()) {
+        char e = scan_.Take();
+        value.push_back(e == 'n' ? '\n' : e == 't' ? '\t' : e);
+        continue;
+      }
+      value.push_back(c);
+    }
+    if (!closed) return scan_.ErrorHere("unterminated literal");
+    if (scan_.Consume('@')) {
+      std::string lang = scan_.TakeName();
+      return Term::LangLiteral(std::move(value), std::move(lang));
+    }
+    if (scan_.Peek() == '^') {
+      scan_.Take();
+      if (!scan_.Consume('^')) return scan_.ErrorHere("expected '^^'");
+      Result<Term> dt = ParseTermToken(/*as_predicate=*/false);
+      if (!dt.ok()) return dt.status();
+      return Term::TypedLiteral(std::move(value), dt->value());
+    }
+    return Term::Literal(std::move(value));
+  }
+
+  // FILTER(?x != ?y) / FILTER(?x = <iri>) / FILTER regex(?x, "sub").
+  Status ParseFilter(SparqlQuery* query) {
+    scan_.SkipSpace();
+    FilterConstraint constraint;
+    bool is_regex = scan_.ConsumeKeyword("regex");
+    scan_.SkipSpace();
+    if (!scan_.Consume('(')) return scan_.ErrorHere("expected '('");
+    Result<Term> left = ParseTermToken(/*as_predicate=*/false);
+    if (!left.ok()) return left.status();
+    if (!left->is_variable()) {
+      return scan_.ErrorHere("FILTER left-hand side must be a variable");
+    }
+    constraint.left_var = left->value();
+    scan_.SkipSpace();
+    if (is_regex) {
+      constraint.kind = FilterConstraint::Kind::kRegex;
+      if (!scan_.Consume(',')) return scan_.ErrorHere("expected ','");
+      Result<Term> pattern = ParseTermToken(/*as_predicate=*/false);
+      if (!pattern.ok()) return pattern.status();
+      if (!pattern->is_literal()) {
+        return scan_.ErrorHere("regex pattern must be a string literal");
+      }
+      constraint.pattern = pattern->value();
+    } else {
+      if (scan_.Consume('!')) {
+        constraint.kind = FilterConstraint::Kind::kNotEquals;
+        if (!scan_.Consume('=')) return scan_.ErrorHere("expected '!='");
+      } else if (scan_.Consume('=')) {
+        constraint.kind = FilterConstraint::Kind::kEquals;
+      } else {
+        return scan_.ErrorHere("expected '=' or '!=' in FILTER");
+      }
+      Result<Term> right = ParseTermToken(/*as_predicate=*/false);
+      if (!right.ok()) return right.status();
+      if (right->is_variable()) {
+        constraint.right_var = right->value();
+      } else {
+        constraint.right_term = std::move(*right);
+      }
+    }
+    scan_.SkipSpace();
+    if (!scan_.Consume(')')) return scan_.ErrorHere("expected ')'");
+    query->filters.push_back(std::move(constraint));
+    return Status::Ok();
+  }
+
+  Status ParsePatterns(SparqlQuery* query) {
+    while (true) {
+      scan_.SkipSpace();
+      if (scan_.Consume('}')) return Status::Ok();
+      if (scan_.AtEnd()) return scan_.ErrorHere("unterminated pattern block");
+      if (scan_.ConsumeKeyword("FILTER")) {
+        SAMA_RETURN_IF_ERROR(ParseFilter(query));
+        scan_.SkipSpace();
+        scan_.Consume('.');
+        continue;
+      }
+
+      Result<Term> subject = ParseTermToken(/*as_predicate=*/false);
+      if (!subject.ok()) return subject.status();
+
+      while (true) {
+        Result<Term> predicate = ParseTermToken(/*as_predicate=*/true);
+        if (!predicate.ok()) return predicate.status();
+        while (true) {
+          Result<Term> object = ParseTermToken(/*as_predicate=*/false);
+          if (!object.ok()) return object.status();
+          query->patterns.push_back(
+              Triple{*subject, *predicate, std::move(*object)});
+          scan_.SkipSpace();
+          if (!scan_.Consume(',')) break;
+        }
+        scan_.SkipSpace();
+        if (scan_.Consume(';')) {
+          scan_.SkipSpace();
+          if (scan_.Peek() == '.' || scan_.Peek() == '}') break;
+          continue;
+        }
+        break;
+      }
+      scan_.SkipSpace();
+      scan_.Consume('.');  // Trailing '.' before '}' is optional.
+    }
+  }
+
+  SparqlScanner scan_;
+  std::map<std::string, std::string> prefixes_;
+};
+
+}  // namespace
+
+Result<SparqlQuery> ParseSparql(std::string_view text) {
+  SparqlParser parser(text);
+  return parser.Parse();
+}
+
+}  // namespace sama

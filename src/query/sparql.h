@@ -1,0 +1,42 @@
+#ifndef SAMA_QUERY_SPARQL_H_
+#define SAMA_QUERY_SPARQL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "query/filter.h"
+#include "query/query_graph.h"
+#include "rdf/triple.h"
+
+namespace sama {
+
+// A parsed SPARQL SELECT query restricted to basic graph patterns —
+// the query class the paper evaluates (conjunctive patterns, no
+// OPTIONAL/UNION/FILTER).
+struct SparqlQuery {
+  std::vector<std::string> select_vars;  // Without '?'. Empty + select_all
+  bool select_all = false;               // for SELECT *.
+  bool distinct = false;                 // SELECT DISTINCT.
+  std::vector<Triple> patterns;
+  std::vector<FilterConstraint> filters;  // Conjoined FILTER clauses.
+  size_t limit = 0;  // 0 = unlimited (the paper's "without imposing k").
+
+  // Builds the query graph, optionally interning into a shared (data
+  // graph) dictionary.
+  QueryGraph ToQueryGraph(
+      std::shared_ptr<TermDictionary> dict = nullptr) const {
+    return QueryGraph::FromPatterns(patterns, std::move(dict));
+  }
+};
+
+// Parses
+//   PREFIX ns: <iri>
+//   SELECT ?a ?b | * WHERE { triple patterns with ';' and ',' } LIMIT n
+// into a SparqlQuery. Variables are written ?name or $name.
+Result<SparqlQuery> ParseSparql(std::string_view text);
+
+}  // namespace sama
+
+#endif  // SAMA_QUERY_SPARQL_H_

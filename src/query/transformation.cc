@@ -1,0 +1,52 @@
+#include "query/transformation.h"
+
+#include <algorithm>
+
+namespace sama {
+
+const char* BasicOpName(BasicOp op) {
+  switch (op) {
+    case BasicOp::kNodeDelete:
+      return "node-delete";
+    case BasicOp::kNodeInsert:
+      return "node-insert";
+    case BasicOp::kEdgeDelete:
+      return "edge-delete";
+    case BasicOp::kEdgeInsert:
+      return "edge-insert";
+    case BasicOp::kNodeRelabel:
+      return "node-relabel";
+    case BasicOp::kEdgeRelabel:
+      return "edge-relabel";
+  }
+  return "unknown";
+}
+
+bool Substitution::CompatibleWith(const Substitution& other) const {
+  const Substitution* small = this;
+  const Substitution* large = &other;
+  if (small->bindings_.size() > large->bindings_.size()) {
+    std::swap(small, large);
+  }
+  for (const auto& [var, value] : small->bindings_) {
+    const Term* bound = large->Lookup(var);
+    if (bound != nullptr && !(*bound == value)) return false;
+  }
+  return true;
+}
+
+bool Substitution::Merge(const Substitution& other) {
+  bool consistent = true;
+  for (const auto& [var, value] : other.bindings_) {
+    // Keep merging past a conflict: the existing binding wins for the
+    // conflicting variable, every other variable still transfers.
+    if (!Bind(var, value)) consistent = false;
+  }
+  return consistent;
+}
+
+size_t Transformation::Count(BasicOp op) const {
+  return static_cast<size_t>(std::count(ops_.begin(), ops_.end(), op));
+}
+
+}  // namespace sama

@@ -1,0 +1,79 @@
+#ifndef SAMA_RDF_DICTIONARY_H_
+#define SAMA_RDF_DICTIONARY_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/term.h"
+
+namespace sama {
+
+// Dense integer id assigned to an interned Term. Ids are stable for the
+// lifetime of the dictionary and index into term(...) in O(1).
+using TermId = uint32_t;
+
+inline constexpr TermId kInvalidTermId = 0xffffffffu;
+
+// Interns Terms to dense TermIds so graphs, paths and indexes can store
+// 4-byte ids instead of strings. Not thread-safe for concurrent writes.
+class TermDictionary {
+ public:
+  TermDictionary() = default;
+
+  // Dictionaries are shared by reference between graph/query/index;
+  // accidental copies of a multi-million-entry table are almost always
+  // bugs, so copying is disabled.
+  TermDictionary(const TermDictionary&) = delete;
+  TermDictionary& operator=(const TermDictionary&) = delete;
+  TermDictionary(TermDictionary&&) = default;
+  TermDictionary& operator=(TermDictionary&&) = default;
+
+  // Returns the id of `term`, interning it on first sight.
+  TermId Intern(const Term& term) {
+    auto it = ids_.find(term);
+    if (it != ids_.end()) return it->second;
+    TermId id = static_cast<TermId>(terms_.size());
+    terms_.push_back(term);
+    ids_.emplace(terms_.back(), id);
+    return id;
+  }
+
+  // Returns the id of `term`, or kInvalidTermId when absent.
+  TermId Find(const Term& term) const {
+    auto it = ids_.find(term);
+    return it == ids_.end() ? kInvalidTermId : it->second;
+  }
+
+  // Requires id < size().
+  const Term& term(TermId id) const { return terms_[id]; }
+
+  size_t size() const { return terms_.size(); }
+
+  // Estimated resident bytes (used in Table-1-style space reporting).
+  uint64_t MemoryBytes() const {
+    uint64_t bytes = sizeof(*this);
+    for (const Term& t : terms_) {
+      bytes += sizeof(Term) + t.value().size() + t.datatype().size() +
+               t.language().size();
+    }
+    // Hash-map overhead: bucket array plus node bookkeeping.
+    bytes += ids_.bucket_count() * sizeof(void*);
+    bytes += ids_.size() * (sizeof(void*) * 2 + sizeof(TermId));
+    return bytes;
+  }
+
+ private:
+  struct TermHash {
+    size_t operator()(const Term& t) const {
+      return static_cast<size_t>(t.Hash());
+    }
+  };
+
+  std::vector<Term> terms_;
+  std::unordered_map<Term, TermId, TermHash> ids_;
+};
+
+}  // namespace sama
+
+#endif  // SAMA_RDF_DICTIONARY_H_

@@ -1,0 +1,256 @@
+#include "rdf/ntriples.h"
+
+#include <cctype>
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace sama {
+namespace {
+
+// Cursor over one statement line.
+class LineScanner {
+ public:
+  explicit LineScanner(std::string_view line) : line_(line) {}
+
+  void SkipSpace() {
+    while (pos_ < line_.size() &&
+           (line_[pos_] == ' ' || line_[pos_] == '\t')) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() const { return pos_ >= line_.size(); }
+  char Peek() const { return AtEnd() ? '\0' : line_[pos_]; }
+  char Take() { return line_[pos_++]; }
+
+  bool Consume(char c) {
+    if (Peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  size_t pos() const { return pos_; }
+
+  // Decodes a backslash escape after the '\' was consumed. Appends the
+  // decoded character(s) to `out`.
+  Status TakeEscape(std::string* out) {
+    if (AtEnd()) return Status::ParseError("dangling escape");
+    char c = Take();
+    switch (c) {
+      case 't':
+        out->push_back('\t');
+        return Status::Ok();
+      case 'n':
+        out->push_back('\n');
+        return Status::Ok();
+      case 'r':
+        out->push_back('\r');
+        return Status::Ok();
+      case '"':
+        out->push_back('"');
+        return Status::Ok();
+      case '\\':
+        out->push_back('\\');
+        return Status::Ok();
+      case 'u': {
+        uint32_t code = 0;
+        for (int i = 0; i < 4; ++i) {
+          if (AtEnd() || !std::isxdigit(static_cast<unsigned char>(Peek()))) {
+            return Status::ParseError("bad \\u escape");
+          }
+          char h = Take();
+          code = code * 16 +
+                 (std::isdigit(static_cast<unsigned char>(h))
+                      ? static_cast<uint32_t>(h - '0')
+                      : static_cast<uint32_t>(
+                            std::tolower(static_cast<unsigned char>(h)) -
+                            'a' + 10));
+        }
+        AppendUtf8(code, out);
+        return Status::Ok();
+      }
+      default:
+        return Status::ParseError("unknown escape");
+    }
+  }
+
+ private:
+  static void AppendUtf8(uint32_t code, std::string* out) {
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  std::string_view line_;
+  size_t pos_ = 0;
+};
+
+Result<Term> ParseIri(LineScanner* scan) {
+  // Caller consumed '<'.
+  std::string value;
+  while (!scan->AtEnd()) {
+    char c = scan->Take();
+    if (c == '>') return Term::Iri(std::move(value));
+    if (c == '\\') {
+      SAMA_RETURN_IF_ERROR(scan->TakeEscape(&value));
+      continue;
+    }
+    value.push_back(c);
+  }
+  return Status::ParseError("unterminated IRI");
+}
+
+Result<Term> ParseBlank(LineScanner* scan) {
+  // Caller consumed '_'.
+  if (!scan->Consume(':')) return Status::ParseError("expected ':' in blank");
+  std::string label;
+  while (!scan->AtEnd() && (std::isalnum(static_cast<unsigned char>(
+                                scan->Peek())) ||
+                            scan->Peek() == '_' || scan->Peek() == '-' ||
+                            scan->Peek() == '.')) {
+    label.push_back(scan->Take());
+  }
+  if (label.empty()) return Status::ParseError("empty blank node label");
+  return Term::Blank(std::move(label));
+}
+
+Result<Term> ParseLiteral(LineScanner* scan) {
+  // Caller consumed '"'.
+  std::string value;
+  bool closed = false;
+  while (!scan->AtEnd()) {
+    char c = scan->Take();
+    if (c == '"') {
+      closed = true;
+      break;
+    }
+    if (c == '\\') {
+      SAMA_RETURN_IF_ERROR(scan->TakeEscape(&value));
+      continue;
+    }
+    value.push_back(c);
+  }
+  if (!closed) return Status::ParseError("unterminated literal");
+  if (scan->Consume('@')) {
+    std::string lang;
+    while (!scan->AtEnd() &&
+           (std::isalnum(static_cast<unsigned char>(scan->Peek())) ||
+            scan->Peek() == '-')) {
+      lang.push_back(scan->Take());
+    }
+    if (lang.empty()) return Status::ParseError("empty language tag");
+    return Term::LangLiteral(std::move(value), std::move(lang));
+  }
+  if (scan->Consume('^')) {
+    if (!scan->Consume('^') || !scan->Consume('<')) {
+      return Status::ParseError("malformed datatype");
+    }
+    Result<Term> dt = ParseIri(scan);
+    if (!dt.ok()) return dt.status();
+    return Term::TypedLiteral(std::move(value), dt->value());
+  }
+  return Term::Literal(std::move(value));
+}
+
+Result<Term> ParseTerm(LineScanner* scan) {
+  scan->SkipSpace();
+  if (scan->AtEnd()) return Status::ParseError("unexpected end of statement");
+  char c = scan->Take();
+  switch (c) {
+    case '<':
+      return ParseIri(scan);
+    case '_':
+      return ParseBlank(scan);
+    case '"':
+      return ParseLiteral(scan);
+    default:
+      return Status::ParseError(std::string("unexpected character '") + c +
+                                "'");
+  }
+}
+
+}  // namespace
+
+Result<Triple> NTriplesParser::ParseLine(std::string_view line) {
+  std::string_view trimmed = TrimWhitespace(line);
+  if (trimmed.empty() || trimmed[0] == '#') {
+    return Status::NotFound("blank or comment line");
+  }
+  LineScanner scan(trimmed);
+
+  Result<Term> subject = ParseTerm(&scan);
+  if (!subject.ok()) return subject.status();
+  if (subject->is_literal()) {
+    return Status::ParseError("literal subject is not allowed");
+  }
+
+  Result<Term> predicate = ParseTerm(&scan);
+  if (!predicate.ok()) return predicate.status();
+  if (!predicate->is_iri()) {
+    return Status::ParseError("predicate must be an IRI");
+  }
+
+  Result<Term> object = ParseTerm(&scan);
+  if (!object.ok()) return object.status();
+
+  scan.SkipSpace();
+  if (scan.Peek() == '<' || scan.Peek() == '_') {
+    // N-Quads graph label: parsed for validity, then discarded.
+    Result<Term> graph_label = ParseTerm(&scan);
+    if (!graph_label.ok()) return graph_label.status();
+    scan.SkipSpace();
+  }
+  if (!scan.Consume('.')) {
+    return Status::ParseError("statement must end with '.'");
+  }
+  scan.SkipSpace();
+  if (!scan.AtEnd()) {
+    return Status::ParseError("trailing characters after '.'");
+  }
+  return Triple{std::move(subject).value(), std::move(predicate).value(),
+                std::move(object).value()};
+}
+
+Result<std::vector<Triple>> NTriplesParser::ParseDocument(
+    std::string_view text) {
+  std::vector<Triple> triples;
+  size_t line_number = 0;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    std::string_view line = (end == std::string_view::npos)
+                                ? text.substr(start)
+                                : text.substr(start, end - start);
+    ++line_number;
+    Result<Triple> t = ParseLine(line);
+    if (t.ok()) {
+      triples.push_back(std::move(t).value());
+    } else if (t.status().code() != Status::Code::kNotFound) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "line %zu: ", line_number);
+      return Status::ParseError(buf + t.status().message());
+    }
+    if (end == std::string_view::npos) break;
+    start = end + 1;
+  }
+  return triples;
+}
+
+std::string WriteNTriples(const std::vector<Triple>& triples) {
+  std::string out;
+  for (const Triple& t : triples) {
+    out += t.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace sama

@@ -1,0 +1,37 @@
+#ifndef SAMA_RDF_NTRIPLES_H_
+#define SAMA_RDF_NTRIPLES_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "rdf/triple.h"
+
+namespace sama {
+
+// Streaming N-Triples / N-Quads parser
+// (https://www.w3.org/TR/n-triples/, https://www.w3.org/TR/n-quads/,
+// minus UCHAR escapes beyond \uXXXX). Input is parsed line by line;
+// comments ('#' lines) and blank lines are skipped. An optional fourth
+// term (the N-Quads graph label) is accepted and discarded — the data
+// model is a single graph, as in the paper.
+class NTriplesParser {
+ public:
+  // Parses a whole document into triples. Fails on the first malformed
+  // line, reporting its 1-based line number.
+  static Result<std::vector<Triple>> ParseDocument(std::string_view text);
+
+  // Parses one statement line ("<s> <p> <o> ." or
+  // "<s> <p> <o> <g> ."). Returns NotFound for blank/comment lines so
+  // callers can skip them.
+  static Result<Triple> ParseLine(std::string_view line);
+};
+
+// Serialises triples back to N-Triples text (one statement per line).
+std::string WriteNTriples(const std::vector<Triple>& triples);
+
+}  // namespace sama
+
+#endif  // SAMA_RDF_NTRIPLES_H_

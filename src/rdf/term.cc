@@ -1,0 +1,74 @@
+#include "rdf/term.h"
+
+namespace sama {
+namespace {
+
+// Escapes a literal body per N-Triples rules.
+std::string EscapeLiteral(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Term::ToString() const {
+  switch (kind_) {
+    case Kind::kIri:
+      return "<" + value_ + ">";
+    case Kind::kLiteral: {
+      std::string out = "\"" + EscapeLiteral(value_) + "\"";
+      if (!language_.empty()) {
+        out += "@" + language_;
+      } else if (!datatype_.empty()) {
+        out += "^^<" + datatype_ + ">";
+      }
+      return out;
+    }
+    case Kind::kBlank:
+      return "_:" + value_;
+    case Kind::kVariable:
+      return "?" + value_;
+  }
+  return value_;
+}
+
+std::string Term::DisplayLabel() const {
+  if (kind_ == Kind::kIri) {
+    // Prefer the fragment, then the last path segment.
+    size_t hash = value_.rfind('#');
+    if (hash != std::string::npos && hash + 1 < value_.size()) {
+      return value_.substr(hash + 1);
+    }
+    size_t slash = value_.rfind('/');
+    if (slash != std::string::npos && slash + 1 < value_.size()) {
+      return value_.substr(slash + 1);
+    }
+    return value_;
+  }
+  if (kind_ == Kind::kVariable) return "?" + value_;
+  return value_;
+}
+
+}  // namespace sama

@@ -1,0 +1,106 @@
+#ifndef SAMA_RDF_TERM_H_
+#define SAMA_RDF_TERM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/hash.h"
+
+namespace sama {
+
+// One RDF term: an IRI, a literal, a blank node, or (in query graphs
+// only, Definition 2) a variable. The paper's node-label alphabet is
+// ΣN = U ∪ L (∪ VAR for queries) and the edge-label alphabet is
+// ΣE = U (∪ VAR); Term covers all of these.
+class Term {
+ public:
+  enum class Kind : uint8_t {
+    kIri = 0,
+    kLiteral = 1,
+    kBlank = 2,
+    kVariable = 3,
+  };
+
+  Term() : kind_(Kind::kIri) {}
+
+  static Term Iri(std::string value) {
+    return Term(Kind::kIri, std::move(value), "", "");
+  }
+  static Term Literal(std::string value) {
+    return Term(Kind::kLiteral, std::move(value), "", "");
+  }
+  static Term TypedLiteral(std::string value, std::string datatype) {
+    return Term(Kind::kLiteral, std::move(value), std::move(datatype), "");
+  }
+  static Term LangLiteral(std::string value, std::string lang) {
+    return Term(Kind::kLiteral, std::move(value), "", std::move(lang));
+  }
+  static Term Blank(std::string label) {
+    return Term(Kind::kBlank, std::move(label), "", "");
+  }
+  // `name` excludes the leading '?'.
+  static Term Variable(std::string name) {
+    return Term(Kind::kVariable, std::move(name), "", "");
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_iri() const { return kind_ == Kind::kIri; }
+  bool is_literal() const { return kind_ == Kind::kLiteral; }
+  bool is_blank() const { return kind_ == Kind::kBlank; }
+  bool is_variable() const { return kind_ == Kind::kVariable; }
+  // True for IRIs, literals and blanks — anything that can appear in a
+  // data graph (variables cannot).
+  bool is_constant() const { return kind_ != Kind::kVariable; }
+
+  // The lexical value: full IRI text, literal content, blank label, or
+  // variable name without '?'.
+  const std::string& value() const { return value_; }
+  const std::string& datatype() const { return datatype_; }
+  const std::string& language() const { return language_; }
+
+  // N-Triples surface syntax: <iri>, "literal", _:blank, ?var.
+  std::string ToString() const;
+
+  // Short human-readable label: the IRI fragment/local name for IRIs,
+  // the bare value otherwise. This is what the similarity measure
+  // compares and what the inverted label index tokenizes.
+  std::string DisplayLabel() const;
+
+  uint64_t Hash() const {
+    uint64_t h = Fnv1a64(value_);
+    h = HashCombine(h, static_cast<uint64_t>(kind_));
+    h = HashCombine(h, Fnv1a64(datatype_));
+    h = HashCombine(h, Fnv1a64(language_));
+    return h;
+  }
+
+  friend bool operator==(const Term& a, const Term& b) {
+    return a.kind_ == b.kind_ && a.value_ == b.value_ &&
+           a.datatype_ == b.datatype_ && a.language_ == b.language_;
+  }
+  friend bool operator!=(const Term& a, const Term& b) { return !(a == b); }
+  friend bool operator<(const Term& a, const Term& b) {
+    if (a.kind_ != b.kind_) return a.kind_ < b.kind_;
+    if (a.value_ != b.value_) return a.value_ < b.value_;
+    if (a.datatype_ != b.datatype_) return a.datatype_ < b.datatype_;
+    return a.language_ < b.language_;
+  }
+
+ private:
+  Term(Kind kind, std::string value, std::string datatype, std::string lang)
+      : kind_(kind),
+        value_(std::move(value)),
+        datatype_(std::move(datatype)),
+        language_(std::move(lang)) {}
+
+  Kind kind_;
+  std::string value_;
+  std::string datatype_;
+  std::string language_;
+};
+
+}  // namespace sama
+
+#endif  // SAMA_RDF_TERM_H_

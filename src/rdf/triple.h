@@ -1,0 +1,29 @@
+#ifndef SAMA_RDF_TRIPLE_H_
+#define SAMA_RDF_TRIPLE_H_
+
+#include <string>
+
+#include "rdf/term.h"
+
+namespace sama {
+
+// One RDF statement (subject, predicate, object).
+struct Triple {
+  Term subject;
+  Term predicate;
+  Term object;
+
+  std::string ToString() const {
+    return subject.ToString() + " " + predicate.ToString() + " " +
+           object.ToString() + " .";
+  }
+
+  friend bool operator==(const Triple& a, const Triple& b) {
+    return a.subject == b.subject && a.predicate == b.predicate &&
+           a.object == b.object;
+  }
+};
+
+}  // namespace sama
+
+#endif  // SAMA_RDF_TRIPLE_H_

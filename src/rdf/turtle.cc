@@ -1,0 +1,439 @@
+#include "rdf/turtle.h"
+
+#include <cctype>
+#include <map>
+#include <string>
+
+namespace sama {
+namespace {
+
+constexpr std::string_view kRdfType =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+constexpr std::string_view kXsdInteger =
+    "http://www.w3.org/2001/XMLSchema#integer";
+constexpr std::string_view kXsdDecimal =
+    "http://www.w3.org/2001/XMLSchema#decimal";
+constexpr std::string_view kXsdBoolean =
+    "http://www.w3.org/2001/XMLSchema#boolean";
+
+// Recursive-descent Turtle reader over the whole document.
+class TurtleReader {
+ public:
+  explicit TurtleReader(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Triple>> Parse() {
+    std::vector<Triple> out;
+    while (true) {
+      SkipSpaceAndComments();
+      if (AtEnd()) break;
+      if (Peek() == '@') {
+        SAMA_RETURN_IF_ERROR(ParseDirective());
+        continue;
+      }
+      SAMA_RETURN_IF_ERROR(ParseStatement(&out));
+    }
+    return out;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return AtEnd() ? '\0' : text_[pos_]; }
+  char Take() { return text_[pos_++]; }
+
+  bool Consume(char c) {
+    if (Peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  void SkipSpaceAndComments() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '#') {
+        while (!AtEnd() && Take() != '\n') {
+        }
+      } else {
+        break;
+      }
+    }
+  }
+
+  Status ErrorHere(std::string what) {
+    size_t line = 1;
+    for (size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') ++line;
+    }
+    return Status::ParseError("line " + std::to_string(line) + ": " +
+                              std::move(what));
+  }
+
+  Status ParseDirective() {
+    // Caller saw '@'.
+    ++pos_;
+    std::string keyword = TakeWord();
+    SkipSpaceAndComments();
+    if (keyword == "prefix") {
+      std::string prefix;
+      while (!AtEnd() && Peek() != ':') prefix.push_back(Take());
+      if (!Consume(':')) return ErrorHere("expected ':' in @prefix");
+      SkipSpaceAndComments();
+      Result<std::string> iri = ParseIriRef();
+      if (!iri.ok()) return iri.status();
+      prefixes_[prefix] = *iri;
+    } else if (keyword == "base") {
+      Result<std::string> iri = ParseIriRef();
+      if (!iri.ok()) return iri.status();
+      base_ = *iri;
+    } else {
+      return ErrorHere("unknown directive @" + keyword);
+    }
+    SkipSpaceAndComments();
+    if (!Consume('.')) return ErrorHere("directive must end with '.'");
+    return Status::Ok();
+  }
+
+  std::string TakeWord() {
+    std::string word;
+    while (!AtEnd() &&
+           (std::isalnum(static_cast<unsigned char>(Peek())) ||
+            Peek() == '_')) {
+      word.push_back(Take());
+    }
+    return word;
+  }
+
+  Result<std::string> ParseIriRef() {
+    if (!Consume('<')) return ErrorHere("expected '<'");
+    std::string iri;
+    while (!AtEnd()) {
+      char c = Take();
+      if (c == '>') {
+        if (!iri.empty() && iri.find("://") == std::string::npos &&
+            !base_.empty()) {
+          return base_ + iri;  // Relative IRI resolution (prefix concat).
+        }
+        return iri;
+      }
+      iri.push_back(c);
+    }
+    return ErrorHere("unterminated IRI");
+  }
+
+  Result<Term> ParseTermToken(bool as_predicate) {
+    SkipSpaceAndComments();
+    if (AtEnd()) return ErrorHere("unexpected end of input");
+    char c = Peek();
+    if (c == '<') {
+      Result<std::string> iri = ParseIriRef();
+      if (!iri.ok()) return iri.status();
+      return Term::Iri(std::move(*iri));
+    }
+    if (c == '"') return ParseQuotedLiteral();
+    if (c == '_') {
+      ++pos_;
+      if (!Consume(':')) return ErrorHere("expected ':' after '_'");
+      std::string label = TakeNameChars();
+      if (label.empty()) return ErrorHere("empty blank node label");
+      return Term::Blank(std::move(label));
+    }
+    if (c == '(' || c == '[') {
+      return ErrorHere(std::string("unsupported Turtle construct '") + c +
+                       "'");
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '+' ||
+        c == '-') {
+      return ParseNumericLiteral();
+    }
+    // Prefixed name, 'a', or boolean.
+    std::string word = TakeNameChars();
+    if (Peek() == ':') {
+      ++pos_;
+      std::string local = TakeNameChars();
+      auto it = prefixes_.find(word);
+      if (it == prefixes_.end()) {
+        return ErrorHere("undeclared prefix '" + word + ":'");
+      }
+      return Term::Iri(it->second + local);
+    }
+    if (word == "a" && !as_predicate) {
+      return ErrorHere("'a' is only valid as a predicate");
+    }
+    if (word == "a") return Term::Iri(std::string(kRdfType));
+    if (word == "true" || word == "false") {
+      return Term::TypedLiteral(word, std::string(kXsdBoolean));
+    }
+    if (word.empty()) {
+      return ErrorHere(std::string("unexpected character '") + c + "'");
+    }
+    return ErrorHere("unknown token '" + word + "'");
+  }
+
+  std::string TakeNameChars() {
+    std::string out;
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '-' || c == '.') {
+        // A '.' followed by whitespace/end terminates the statement, not
+        // the name.
+        if (c == '.') {
+          char next = pos_ + 1 < text_.size() ? text_[pos_ + 1] : '\0';
+          if (!std::isalnum(static_cast<unsigned char>(next)) &&
+              next != '_' && next != '-') {
+            break;
+          }
+        }
+        out.push_back(Take());
+      } else {
+        break;
+      }
+    }
+    return out;
+  }
+
+  Result<Term> ParseQuotedLiteral() {
+    // Caller saw '"'.
+    ++pos_;
+    std::string value;
+    bool closed = false;
+    while (!AtEnd()) {
+      char c = Take();
+      if (c == '"') {
+        closed = true;
+        break;
+      }
+      if (c == '\\') {
+        if (AtEnd()) return ErrorHere("dangling escape");
+        char e = Take();
+        switch (e) {
+          case 'n':
+            value.push_back('\n');
+            break;
+          case 't':
+            value.push_back('\t');
+            break;
+          case 'r':
+            value.push_back('\r');
+            break;
+          case '"':
+            value.push_back('"');
+            break;
+          case '\\':
+            value.push_back('\\');
+            break;
+          default:
+            return ErrorHere("unknown escape");
+        }
+        continue;
+      }
+      value.push_back(c);
+    }
+    if (!closed) return ErrorHere("unterminated literal");
+    if (Consume('@')) {
+      std::string lang;
+      while (!AtEnd() &&
+             (std::isalnum(static_cast<unsigned char>(Peek())) ||
+              Peek() == '-')) {
+        lang.push_back(Take());
+      }
+      return Term::LangLiteral(std::move(value), std::move(lang));
+    }
+    if (Peek() == '^') {
+      ++pos_;
+      if (!Consume('^')) return ErrorHere("expected '^^'");
+      Result<Term> dt = ParseTermToken(/*as_predicate=*/false);
+      if (!dt.ok()) return dt.status();
+      if (!dt->is_iri()) return ErrorHere("datatype must be an IRI");
+      return Term::TypedLiteral(std::move(value), dt->value());
+    }
+    return Term::Literal(std::move(value));
+  }
+
+  Result<Term> ParseNumericLiteral() {
+    std::string num;
+    bool is_decimal = false;
+    if (Peek() == '+' || Peek() == '-') num.push_back(Take());
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        num.push_back(Take());
+      } else if (c == '.') {
+        char next = pos_ + 1 < text_.size() ? text_[pos_ + 1] : '\0';
+        if (!std::isdigit(static_cast<unsigned char>(next))) break;
+        is_decimal = true;
+        num.push_back(Take());
+      } else {
+        break;
+      }
+    }
+    if (num.empty() || num == "+" || num == "-") {
+      return ErrorHere("malformed number");
+    }
+    return Term::TypedLiteral(
+        num, std::string(is_decimal ? kXsdDecimal : kXsdInteger));
+  }
+
+  Status ParseStatement(std::vector<Triple>* out) {
+    Result<Term> subject = ParseTermToken(/*as_predicate=*/false);
+    if (!subject.ok()) return subject.status();
+    if (subject->is_literal()) return ErrorHere("literal subject");
+
+    while (true) {
+      Result<Term> predicate = ParseTermToken(/*as_predicate=*/true);
+      if (!predicate.ok()) return predicate.status();
+      if (!predicate->is_iri()) return ErrorHere("predicate must be an IRI");
+
+      while (true) {
+        Result<Term> object = ParseTermToken(/*as_predicate=*/false);
+        if (!object.ok()) return object.status();
+        out->push_back(Triple{*subject, *predicate, std::move(*object)});
+        SkipSpaceAndComments();
+        if (!Consume(',')) break;
+      }
+      SkipSpaceAndComments();
+      if (Consume(';')) {
+        SkipSpaceAndComments();
+        // A ';' may be immediately followed by '.', ending the statement.
+        if (Consume('.')) return Status::Ok();
+        continue;
+      }
+      break;
+    }
+    SkipSpaceAndComments();
+    if (!Consume('.')) return ErrorHere("statement must end with '.'");
+    return Status::Ok();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  std::map<std::string, std::string> prefixes_;
+  std::string base_;
+};
+
+}  // namespace
+
+Result<std::vector<Triple>> ParseTurtle(std::string_view text) {
+  TurtleReader reader(text);
+  return reader.Parse();
+}
+
+namespace {
+
+// Splits an IRI at its last '#' or '/' into (namespace, local name).
+// Returns false when the local part is empty or not a plain name (so
+// the IRI must be written in full <...> form).
+bool SplitIri(const std::string& iri, std::string* ns,
+              std::string* local) {
+  size_t cut = iri.find_last_of("#/");
+  if (cut == std::string::npos || cut + 1 >= iri.size()) return false;
+  for (size_t i = cut + 1; i < iri.size(); ++i) {
+    char c = iri[i];
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
+        c != '-') {
+      return false;
+    }
+  }
+  // A local name starting with a digit would not re-parse as a name.
+  if (std::isdigit(static_cast<unsigned char>(iri[cut + 1]))) return false;
+  *ns = iri.substr(0, cut + 1);
+  *local = iri.substr(cut + 1);
+  return true;
+}
+
+std::string EscapeTurtleLiteral(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string WriteTurtle(const std::vector<Triple>& triples) {
+  // Pass 1: assign prefixes to the namespaces in use.
+  std::map<std::string, std::string> prefix_of_ns;
+  auto claim = [&prefix_of_ns](const Term& t) {
+    if (!t.is_iri()) return;
+    std::string ns, local;
+    if (!SplitIri(t.value(), &ns, &local)) return;
+    if (prefix_of_ns.count(ns)) return;
+    prefix_of_ns.emplace(ns,
+                         "ns" + std::to_string(prefix_of_ns.size()));
+  };
+  for (const Triple& t : triples) {
+    claim(t.subject);
+    claim(t.predicate);
+    claim(t.object);
+  }
+
+  auto render = [&prefix_of_ns](const Term& t) -> std::string {
+    switch (t.kind()) {
+      case Term::Kind::kIri: {
+        std::string ns, local;
+        if (SplitIri(t.value(), &ns, &local)) {
+          auto it = prefix_of_ns.find(ns);
+          if (it != prefix_of_ns.end()) return it->second + ":" + local;
+        }
+        return "<" + t.value() + ">";
+      }
+      case Term::Kind::kLiteral: {
+        std::string out = "\"" + EscapeTurtleLiteral(t.value()) + "\"";
+        if (!t.language().empty()) {
+          out += "@" + t.language();
+        } else if (!t.datatype().empty()) {
+          out += "^^<" + t.datatype() + ">";
+        }
+        return out;
+      }
+      case Term::Kind::kBlank:
+        return "_:" + t.value();
+      case Term::Kind::kVariable:
+        return "?" + t.value();  // Not valid Turtle; debugging aid only.
+    }
+    return t.ToString();
+  };
+
+  std::string out;
+  for (const auto& [ns, prefix] : prefix_of_ns) {
+    out += "@prefix " + prefix + ": <" + ns + "> .\n";
+  }
+  if (!prefix_of_ns.empty()) out += "\n";
+
+  // Pass 2: statements, folding consecutive same-subject triples.
+  for (size_t i = 0; i < triples.size(); ++i) {
+    if (i > 0 && triples[i].subject == triples[i - 1].subject) {
+      out += " ;\n    " + render(triples[i].predicate) + " " +
+             render(triples[i].object);
+    } else {
+      if (i > 0) out += " .\n";
+      out += render(triples[i].subject) + " " +
+             render(triples[i].predicate) + " " +
+             render(triples[i].object);
+    }
+  }
+  if (!triples.empty()) out += " .\n";
+  return out;
+}
+
+}  // namespace sama

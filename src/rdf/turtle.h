@@ -1,0 +1,29 @@
+#ifndef SAMA_RDF_TURTLE_H_
+#define SAMA_RDF_TURTLE_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "rdf/triple.h"
+
+namespace sama {
+
+// Parses a practical subset of Turtle (https://www.w3.org/TR/turtle/):
+//   @prefix / @base directives, prefixed names, the 'a' keyword,
+//   ';' predicate lists, ',' object lists, quoted literals with
+//   language tags and datatypes, numeric and boolean shorthand
+//   literals, blank node labels, and '#' comments.
+// Unsupported: collections '( )', anonymous blanks '[ ]', multiline
+// literals. These return a ParseError naming the construct.
+Result<std::vector<Triple>> ParseTurtle(std::string_view text);
+
+// Serialises triples as Turtle: IRIs sharing a namespace (split at the
+// last '#' or '/') are compressed through generated @prefix
+// declarations, and consecutive triples with the same subject fold into
+// ';' predicate lists. The output round-trips through ParseTurtle.
+std::string WriteTurtle(const std::vector<Triple>& triples);
+
+}  // namespace sama
+
+#endif  // SAMA_RDF_TURTLE_H_

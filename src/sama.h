@@ -1,0 +1,31 @@
+#ifndef SAMA_SAMA_H_
+#define SAMA_SAMA_H_
+
+// Umbrella header for library consumers: the public API needed to load
+// RDF data, build/open a path index, and run approximate SPARQL
+// queries. Individual headers remain includable for finer control.
+//
+//   #include "sama.h"
+//   sama::DataGraph graph;
+//   sama::LoadGraphFromFile("data.nt", &graph);
+//   sama::PathIndex index;
+//   index.Build(graph, {});
+//   sama::Thesaurus thesaurus = sama::Thesaurus::BuiltinEnglish();
+//   sama::SamaEngine engine(&graph, &index, &thesaurus);
+//   auto q = sama::ParseSparql("SELECT ?x WHERE { ... }");
+//   auto answers = engine.ExecuteSparql(*q, 10);
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/engine.h"
+#include "core/explain.h"
+#include "graph/data_graph.h"
+#include "graph/graph_stats.h"
+#include "graph/loader.h"
+#include "index/path_index.h"
+#include "query/sparql.h"
+#include "rdf/ntriples.h"
+#include "rdf/turtle.h"
+#include "text/thesaurus.h"
+
+#endif  // SAMA_SAMA_H_

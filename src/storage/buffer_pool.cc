@@ -1,0 +1,81 @@
+#include "storage/buffer_pool.h"
+
+#include <cassert>
+
+namespace sama {
+
+BufferPool::BufferPool(PageFile* file, size_t capacity)
+    : file_(file), capacity_(capacity == 0 ? 1 : capacity) {}
+
+BufferPool::~BufferPool() {
+  // Best effort: persist whatever is dirty. Errors are unreportable in a
+  // destructor; callers that care must Flush() explicitly.
+  (void)Flush();
+}
+
+BufferPool::Frame& BufferPool::Touch(std::list<Frame>::iterator it) {
+  frames_.splice(frames_.begin(), frames_, it);
+  return frames_.front();
+}
+
+Result<std::list<BufferPool::Frame>::iterator> BufferPool::Load(PageId page) {
+  auto it = frame_of_.find(page);
+  if (it != frame_of_.end()) {
+    ++stats_.hits;
+    Touch(it->second);
+    return frames_.begin();
+  }
+  ++stats_.misses;
+  while (frames_.size() >= capacity_) {
+    SAMA_RETURN_IF_ERROR(EvictOne());
+  }
+  Frame frame;
+  frame.page = page;
+  frame.dirty = false;
+  SAMA_RETURN_IF_ERROR(file_->ReadPage(page, &frame.data));
+  frames_.push_front(std::move(frame));
+  frame_of_[page] = frames_.begin();
+  return frames_.begin();
+}
+
+Status BufferPool::EvictOne() {
+  assert(!frames_.empty());
+  Frame& victim = frames_.back();
+  if (victim.dirty) {
+    SAMA_RETURN_IF_ERROR(file_->WritePage(victim.page, victim.data.data()));
+  }
+  frame_of_.erase(victim.page);
+  frames_.pop_back();
+  return Status::Ok();
+}
+
+Result<const uint8_t*> BufferPool::Fetch(PageId page) {
+  auto it_or = Load(page);
+  if (!it_or.ok()) return it_or.status();
+  return static_cast<const uint8_t*>((*it_or)->data.data());
+}
+
+Result<uint8_t*> BufferPool::MutablePage(PageId page) {
+  auto it_or = Load(page);
+  if (!it_or.ok()) return it_or.status();
+  (*it_or)->dirty = true;
+  return (*it_or)->data.data();
+}
+
+Status BufferPool::Flush() {
+  for (Frame& f : frames_) {
+    if (!f.dirty) continue;
+    SAMA_RETURN_IF_ERROR(file_->WritePage(f.page, f.data.data()));
+    f.dirty = false;
+  }
+  return Status::Ok();
+}
+
+Status BufferPool::DropAll() {
+  SAMA_RETURN_IF_ERROR(Flush());
+  frames_.clear();
+  frame_of_.clear();
+  return Status::Ok();
+}
+
+}  // namespace sama

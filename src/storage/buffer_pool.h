@@ -1,0 +1,76 @@
+#ifndef SAMA_STORAGE_BUFFER_POOL_H_
+#define SAMA_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/page_file.h"
+
+namespace sama {
+
+// LRU page cache over a PageFile. Reads go through Fetch(); writes
+// through MutablePage() + write-back on eviction/Flush(). DropAll()
+// empties the cache, which is how the benchmarks produce the paper's
+// cold-cache condition (Figure 6a) without rebooting.
+class BufferPool {
+ public:
+  // `capacity` is the maximum number of resident pages (>=1).
+  BufferPool(PageFile* file, size_t capacity);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // Returns a pointer to the cached content of `page` (kPageSize bytes).
+  // The pointer is invalidated by any subsequent pool call.
+  Result<const uint8_t*> Fetch(PageId page);
+
+  // Like Fetch but marks the page dirty; mutations are written back on
+  // eviction or Flush().
+  Result<uint8_t*> MutablePage(PageId page);
+
+  // Writes all dirty pages back to the file.
+  Status Flush();
+
+  // Flushes, then evicts everything (cold cache).
+  Status DropAll();
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    double HitRate() const {
+      uint64_t total = hits + misses;
+      return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+    }
+  };
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats(); }
+
+  size_t resident_pages() const { return frames_.size(); }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Frame {
+    PageId page;
+    bool dirty;
+    std::vector<uint8_t> data;
+  };
+
+  // Moves `it` to the MRU position and returns its frame.
+  Frame& Touch(std::list<Frame>::iterator it);
+  Result<std::list<Frame>::iterator> Load(PageId page);
+  Status EvictOne();
+
+  PageFile* file_;
+  size_t capacity_;
+  std::list<Frame> frames_;  // Front = MRU, back = LRU.
+  std::unordered_map<PageId, std::list<Frame>::iterator> frame_of_;
+  Stats stats_;
+};
+
+}  // namespace sama
+
+#endif  // SAMA_STORAGE_BUFFER_POOL_H_

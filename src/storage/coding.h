@@ -1,0 +1,74 @@
+#ifndef SAMA_STORAGE_CODING_H_
+#define SAMA_STORAGE_CODING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sama {
+
+// LEB128 varint encoding, the compression primitive of the path store
+// (the paper's §7 mentions index compression as future work; we ship it
+// and ablate it in bench_ablation).
+
+inline void PutVarint64(std::vector<uint8_t>* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+inline void PutVarint32(std::vector<uint8_t>* out, uint32_t v) {
+  PutVarint64(out, v);
+}
+
+// Decodes a varint from buf[*pos...]; advances *pos. Returns false on
+// truncated input.
+inline bool GetVarint64(const std::vector<uint8_t>& buf, std::size_t* pos,
+                        uint64_t* out) {
+  uint64_t result = 0;
+  int shift = 0;
+  while (*pos < buf.size() && shift <= 63) {
+    uint8_t byte = buf[(*pos)++];
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *out = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+inline bool GetVarint32(const std::vector<uint8_t>& buf, std::size_t* pos,
+                        uint32_t* out) {
+  uint64_t v = 0;
+  if (!GetVarint64(buf, pos, &v) || v > 0xffffffffULL) return false;
+  *out = static_cast<uint32_t>(v);
+  return true;
+}
+
+// Fixed-width little-endian 32-bit encoding (the uncompressed baseline
+// for the compression ablation).
+inline void PutFixed32(std::vector<uint8_t>* out, uint32_t v) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+  out->push_back(static_cast<uint8_t>(v >> 16));
+  out->push_back(static_cast<uint8_t>(v >> 24));
+}
+
+inline bool GetFixed32(const std::vector<uint8_t>& buf, std::size_t* pos,
+                       uint32_t* out) {
+  if (*pos + 4 > buf.size()) return false;
+  *out = static_cast<uint32_t>(buf[*pos]) |
+         static_cast<uint32_t>(buf[*pos + 1]) << 8 |
+         static_cast<uint32_t>(buf[*pos + 2]) << 16 |
+         static_cast<uint32_t>(buf[*pos + 3]) << 24;
+  *pos += 4;
+  return true;
+}
+
+}  // namespace sama
+
+#endif  // SAMA_STORAGE_CODING_H_

@@ -1,0 +1,101 @@
+#include "storage/manifest.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+
+#include "storage/coding.h"
+
+namespace sama {
+namespace {
+
+constexpr char kIdMagic[8] = {'S', 'A', 'M', 'A', 'I', 'D', 'S', '1'};
+constexpr char kBlobMagic[8] = {'S', 'A', 'M', 'A', 'B', 'L', 'B', '1'};
+
+Status WriteFileAtomically(const std::string& path,
+                           const std::vector<uint8_t>& bytes) {
+  std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IoError("cannot create " + tmp);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out) return Status::IoError("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IoError("rename to " + path + " failed");
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<uint8_t>> ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  return bytes;
+}
+
+}  // namespace
+
+Status WriteIdManifest(const std::string& path,
+                       const std::vector<uint64_t>& ids) {
+  std::vector<uint8_t> bytes(kIdMagic, kIdMagic + sizeof(kIdMagic));
+  PutVarint64(&bytes, ids.size());
+  for (uint64_t id : ids) PutVarint64(&bytes, id);
+  return WriteFileAtomically(path, bytes);
+}
+
+Result<std::vector<uint64_t>> ReadIdManifest(const std::string& path) {
+  auto bytes_or = ReadWholeFile(path);
+  if (!bytes_or.ok()) return bytes_or.status();
+  const std::vector<uint8_t>& bytes = *bytes_or;
+  if (bytes.size() < sizeof(kIdMagic) ||
+      !std::equal(kIdMagic, kIdMagic + sizeof(kIdMagic), bytes.begin())) {
+    return Status::Corruption("id manifest magic mismatch: " + path);
+  }
+  size_t pos = sizeof(kIdMagic);
+  uint64_t count = 0;
+  if (!GetVarint64(bytes, &pos, &count)) {
+    return Status::Corruption("id manifest header: " + path);
+  }
+  std::vector<uint64_t> ids(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    if (!GetVarint64(bytes, &pos, &ids[i])) {
+      return Status::Corruption("id manifest truncated: " + path);
+    }
+  }
+  return ids;
+}
+
+Status WriteBlobFile(const std::string& path,
+                     const std::vector<uint8_t>& blob) {
+  std::vector<uint8_t> bytes(kBlobMagic, kBlobMagic + sizeof(kBlobMagic));
+  PutVarint64(&bytes, blob.size());
+  bytes.insert(bytes.end(), blob.begin(), blob.end());
+  return WriteFileAtomically(path, bytes);
+}
+
+Result<std::vector<uint8_t>> ReadBlobFile(const std::string& path) {
+  auto bytes_or = ReadWholeFile(path);
+  if (!bytes_or.ok()) return bytes_or.status();
+  const std::vector<uint8_t>& bytes = *bytes_or;
+  if (bytes.size() < sizeof(kBlobMagic) ||
+      !std::equal(kBlobMagic, kBlobMagic + sizeof(kBlobMagic),
+                  bytes.begin())) {
+    return Status::Corruption("blob file magic mismatch: " + path);
+  }
+  size_t pos = sizeof(kBlobMagic);
+  uint64_t size = 0;
+  if (!GetVarint64(bytes, &pos, &size)) {
+    return Status::Corruption("blob file header: " + path);
+  }
+  if (bytes.size() - pos < size) {
+    return Status::Corruption("blob file truncated: " + path);
+  }
+  return std::vector<uint8_t>(bytes.begin() + static_cast<long>(pos),
+                              bytes.begin() + static_cast<long>(pos + size));
+}
+
+}  // namespace sama

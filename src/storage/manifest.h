@@ -1,0 +1,30 @@
+#ifndef SAMA_STORAGE_MANIFEST_H_
+#define SAMA_STORAGE_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace sama {
+
+// Sidecar manifest files: small varint-encoded id tables that map the
+// dense ids of a PathStore / HypergraphStore back to record ids after a
+// reopen, and arbitrary serialized blobs (the PathIndex metadata).
+
+// Writes `ids` to `path` atomically (write + rename).
+Status WriteIdManifest(const std::string& path,
+                       const std::vector<uint64_t>& ids);
+
+Result<std::vector<uint64_t>> ReadIdManifest(const std::string& path);
+
+// Writes an opaque blob with a magic/size envelope.
+Status WriteBlobFile(const std::string& path,
+                     const std::vector<uint8_t>& blob);
+
+Result<std::vector<uint8_t>> ReadBlobFile(const std::string& path);
+
+}  // namespace sama
+
+#endif  // SAMA_STORAGE_MANIFEST_H_

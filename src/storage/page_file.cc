@@ -1,0 +1,109 @@
+#include "storage/page_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace sama {
+namespace {
+
+std::string Errno(const std::string& op, const std::string& path) {
+  return op + " '" + path + "': " + std::strerror(errno);
+}
+
+}  // namespace
+
+PageFile::~PageFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status PageFile::Open(const std::string& path, bool truncate) {
+  if (fd_ >= 0) return Status::Internal("page file already open");
+  int flags = O_RDWR | O_CREAT | (truncate ? O_TRUNC : 0);
+  int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) return Status::IoError(Errno("open", path));
+  off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0) {
+    ::close(fd);
+    return Status::IoError(Errno("lseek", path));
+  }
+  if (size % kPageSize != 0) {
+    ::close(fd);
+    return Status::Corruption("page file size not page-aligned: " + path);
+  }
+  fd_ = fd;
+  path_ = path;
+  page_count_ = static_cast<uint32_t>(size / kPageSize);
+  return Status::Ok();
+}
+
+Status PageFile::Close() {
+  if (fd_ < 0) return Status::Ok();
+  int rc = ::close(fd_);
+  fd_ = -1;
+  if (rc != 0) return Status::IoError(Errno("close", path_));
+  return Status::Ok();
+}
+
+Result<PageId> PageFile::AllocatePage() {
+  if (fd_ < 0) return Status::Internal("page file not open");
+  if (writes_until_failure_ == 0) {
+    return Status::IoError("injected write failure (AllocatePage)");
+  }
+  static const uint8_t kZeros[kPageSize] = {};
+  PageId id = page_count_;
+  off_t offset = static_cast<off_t>(id) * kPageSize;
+  ssize_t n = ::pwrite(fd_, kZeros, kPageSize, offset);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IoError(Errno("pwrite", path_));
+  }
+  ++page_count_;
+  ++writes_;
+  if (writes_until_failure_ != UINT64_MAX) --writes_until_failure_;
+  return id;
+}
+
+Status PageFile::ReadPage(PageId id, std::vector<uint8_t>* out) const {
+  if (fd_ < 0) return Status::Internal("page file not open");
+  if (id >= page_count_) {
+    return Status::OutOfRange("page " + std::to_string(id) + " of " +
+                              std::to_string(page_count_));
+  }
+  out->resize(kPageSize);
+  off_t offset = static_cast<off_t>(id) * kPageSize;
+  ssize_t n = ::pread(fd_, out->data(), kPageSize, offset);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IoError(Errno("pread", path_));
+  }
+  ++reads_;
+  return Status::Ok();
+}
+
+Status PageFile::WritePage(PageId id, const uint8_t* data) {
+  if (fd_ < 0) return Status::Internal("page file not open");
+  if (writes_until_failure_ == 0) {
+    return Status::IoError("injected write failure (WritePage)");
+  }
+  if (id >= page_count_) {
+    return Status::OutOfRange("page " + std::to_string(id) + " of " +
+                              std::to_string(page_count_));
+  }
+  off_t offset = static_cast<off_t>(id) * kPageSize;
+  ssize_t n = ::pwrite(fd_, data, kPageSize, offset);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IoError(Errno("pwrite", path_));
+  }
+  ++writes_;
+  if (writes_until_failure_ != UINT64_MAX) --writes_until_failure_;
+  return Status::Ok();
+}
+
+Status PageFile::Sync() {
+  if (fd_ < 0) return Status::Internal("page file not open");
+  if (::fsync(fd_) != 0) return Status::IoError(Errno("fsync", path_));
+  return Status::Ok();
+}
+
+}  // namespace sama

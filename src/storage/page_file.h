@@ -1,0 +1,75 @@
+#ifndef SAMA_STORAGE_PAGE_FILE_H_
+#define SAMA_STORAGE_PAGE_FILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace sama {
+
+using PageId = uint32_t;
+
+inline constexpr size_t kPageSize = 4096;
+
+// A file of fixed-size 4 KiB pages — the disk layer under the
+// hypergraph/path stores. The paper's premise (§6.1) is that the data
+// graph "cannot fit in memory and can only be stored on disk"; every
+// index byte flows through this file and the BufferPool above it.
+class PageFile {
+ public:
+  PageFile() = default;
+  ~PageFile();
+
+  PageFile(const PageFile&) = delete;
+  PageFile& operator=(const PageFile&) = delete;
+
+  // Opens (creating if needed) the page file at `path`. Truncates when
+  // `truncate` is set.
+  Status Open(const std::string& path, bool truncate);
+  Status Close();
+  bool is_open() const { return fd_ >= 0; }
+
+  // Appends a zeroed page and returns its id.
+  Result<PageId> AllocatePage();
+
+  // Reads page `id` into `out` (resized to kPageSize).
+  Status ReadPage(PageId id, std::vector<uint8_t>* out) const;
+
+  // Writes exactly kPageSize bytes from `data` to page `id`.
+  Status WritePage(PageId id, const uint8_t* data);
+
+  // Flushes OS buffers to stable storage.
+  Status Sync();
+
+  uint32_t page_count() const { return page_count_; }
+  uint64_t size_bytes() const {
+    return static_cast<uint64_t>(page_count_) * kPageSize;
+  }
+
+  // I/O counters (page granularity), used by cache experiments.
+  uint64_t reads() const { return reads_; }
+  uint64_t writes() const { return writes_; }
+
+  // Test hook: after `writes` further successful page writes, every
+  // write fails with IoError until the injection is cleared (pass
+  // UINT64_MAX). Lets tests exercise the write-back error paths without
+  // filling the disk.
+  void InjectWriteFailureAfter(uint64_t writes) {
+    writes_until_failure_ = writes;
+  }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  uint32_t page_count_ = 0;
+  mutable uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+  uint64_t writes_until_failure_ = UINT64_MAX;
+};
+
+}  // namespace sama
+
+#endif  // SAMA_STORAGE_PAGE_FILE_H_

@@ -1,0 +1,238 @@
+#include "text/thesaurus.h"
+
+#include <algorithm>
+#include <deque>
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+#include "text/tokenizer.h"
+
+namespace sama {
+
+Thesaurus::SynsetId Thesaurus::SynsetFor(const std::string& word) {
+  auto it = synset_of_.find(word);
+  if (it != synset_of_.end()) return it->second;
+  SynsetId id = static_cast<SynsetId>(synsets_.size());
+  synsets_.push_back(Synset{{word}, {}, {}});
+  synset_of_.emplace(word, id);
+  return id;
+}
+
+Thesaurus::SynsetId Thesaurus::FindSynset(std::string_view word) const {
+  auto it = synset_of_.find(NormalizeLabel(word));
+  return it == synset_of_.end() ? static_cast<SynsetId>(-1) : it->second;
+}
+
+void Thesaurus::AddSynonyms(const std::vector<std::string>& words) {
+  if (words.empty()) return;
+  SynsetId target = SynsetFor(NormalizeLabel(words[0]));
+  for (size_t i = 1; i < words.size(); ++i) {
+    std::string norm = NormalizeLabel(words[i]);
+    SynsetId other = SynsetFor(norm);
+    if (other == target) continue;
+    // Merge `other` into `target`.
+    Synset& dst = synsets_[target];
+    Synset& src = synsets_[other];
+    for (const std::string& w : src.words) {
+      synset_of_[w] = target;
+      dst.words.push_back(w);
+    }
+    for (SynsetId h : src.hypernyms) {
+      dst.hypernyms.push_back(h);
+      auto& back = synsets_[h].hyponyms;
+      std::replace(back.begin(), back.end(), other, target);
+    }
+    for (SynsetId h : src.hyponyms) {
+      dst.hyponyms.push_back(h);
+      auto& back = synsets_[h].hypernyms;
+      std::replace(back.begin(), back.end(), other, target);
+    }
+    src = Synset{};  // Leave a tombstone; ids stay stable.
+  }
+}
+
+void Thesaurus::AddHypernym(const std::string& word,
+                            const std::string& parent_word) {
+  SynsetId child = SynsetFor(NormalizeLabel(word));
+  SynsetId parent = SynsetFor(NormalizeLabel(parent_word));
+  if (child == parent) return;
+  Synset& c = synsets_[child];
+  if (std::find(c.hypernyms.begin(), c.hypernyms.end(), parent) ==
+      c.hypernyms.end()) {
+    c.hypernyms.push_back(parent);
+    synsets_[parent].hyponyms.push_back(child);
+  }
+}
+
+bool Thesaurus::AreSynonyms(std::string_view a, std::string_view b) const {
+  SynsetId sa = FindSynset(a);
+  if (sa == static_cast<SynsetId>(-1)) return false;
+  return sa == FindSynset(b);
+}
+
+std::vector<Thesaurus::SynsetId> Thesaurus::Neighbors(SynsetId s) const {
+  std::vector<SynsetId> out = synsets_[s].hypernyms;
+  out.insert(out.end(), synsets_[s].hyponyms.begin(),
+             synsets_[s].hyponyms.end());
+  return out;
+}
+
+bool Thesaurus::AreRelated(std::string_view a, std::string_view b,
+                           int max_hops) const {
+  SynsetId sa = FindSynset(a);
+  SynsetId sb = FindSynset(b);
+  if (sa == static_cast<SynsetId>(-1) || sb == static_cast<SynsetId>(-1)) {
+    return false;
+  }
+  if (sa == sb) return true;
+  // BFS over is-a links up to max_hops.
+  std::unordered_set<SynsetId> seen{sa};
+  std::deque<std::pair<SynsetId, int>> frontier{{sa, 0}};
+  while (!frontier.empty()) {
+    auto [s, depth] = frontier.front();
+    frontier.pop_front();
+    if (depth >= max_hops) continue;
+    for (SynsetId next : Neighbors(s)) {
+      if (!seen.insert(next).second) continue;
+      if (next == sb) return true;
+      frontier.emplace_back(next, depth + 1);
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> Thesaurus::Expand(std::string_view word,
+                                           int max_hops) const {
+  std::vector<std::string> out;
+  std::string norm = NormalizeLabel(word);
+  SynsetId start = FindSynset(word);
+  if (start == static_cast<SynsetId>(-1)) {
+    out.push_back(std::move(norm));
+    return out;
+  }
+  std::unordered_set<SynsetId> seen{start};
+  std::deque<std::pair<SynsetId, int>> frontier{{start, 0}};
+  while (!frontier.empty()) {
+    auto [s, depth] = frontier.front();
+    frontier.pop_front();
+    for (const std::string& w : synsets_[s].words) out.push_back(w);
+    if (depth >= max_hops) continue;
+    for (SynsetId next : Neighbors(s)) {
+      if (seen.insert(next).second) frontier.emplace_back(next, depth + 1);
+    }
+  }
+  return out;
+}
+
+Status Thesaurus::LoadFromString(std::string_view text) {
+  size_t line_number = 0;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    std::string_view line = end == std::string_view::npos
+                                ? text.substr(start)
+                                : text.substr(start, end - start);
+    ++line_number;
+    start = end == std::string_view::npos ? text.size() + 1 : end + 1;
+
+    std::string_view trimmed = TrimWhitespace(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    auto fail = [&](const char* what) {
+      return Status::ParseError("thesaurus line " +
+                                std::to_string(line_number) + ": " + what);
+    };
+    size_t colon = trimmed.find(':');
+    if (colon == std::string_view::npos) return fail("missing ':'");
+    std::string_view kind = TrimWhitespace(trimmed.substr(0, colon));
+    std::vector<std::string> words;
+    for (std::string_view part :
+         SplitString(trimmed.substr(colon + 1), ',')) {
+      std::string_view word = TrimWhitespace(part);
+      if (!word.empty()) words.emplace_back(word);
+    }
+    if (kind == "syn") {
+      if (words.size() < 2) return fail("syn needs at least two words");
+      AddSynonyms(words);
+    } else if (kind == "isa") {
+      if (words.size() != 2) return fail("isa needs exactly two words");
+      AddHypernym(words[0], words[1]);
+    } else {
+      return fail("unknown entry kind (expected 'syn' or 'isa')");
+    }
+  }
+  return Status::Ok();
+}
+
+Status Thesaurus::LoadFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open thesaurus file " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return LoadFromString(buffer.str());
+}
+
+Thesaurus Thesaurus::BuiltinEnglish() {
+  Thesaurus t;
+  // People & gender (GovTrack-flavoured vocabulary, Figure 1).
+  t.AddSynonyms({"male", "man", "masculine"});
+  t.AddSynonyms({"female", "woman", "feminine"});
+  t.AddSynonyms({"person", "individual", "human"});
+  t.AddHypernym("man", "person");
+  t.AddHypernym("woman", "person");
+  t.AddSynonyms({"sponsor", "backer", "promoter"});
+  t.AddSynonyms({"amendment", "revision"});
+  t.AddSynonyms({"bill", "measure"});
+  t.AddHypernym("amendment", "document");
+  t.AddHypernym("bill", "document");
+  t.AddSynonyms({"subject", "topic", "theme"});
+  // Academia (LUBM/UOBM vocabulary).
+  t.AddSynonyms({"professor", "prof"});
+  t.AddSynonyms({"teacher", "instructor", "educator"});
+  t.AddHypernym("professor", "teacher");
+  t.AddHypernym("lecturer", "teacher");
+  t.AddSynonyms({"student", "pupil", "learner"});
+  t.AddSynonyms({"course", "class"});
+  t.AddSynonyms({"university", "college"});
+  t.AddHypernym("teacher", "person");
+  t.AddHypernym("student", "person");
+  t.AddSynonyms({"publication", "paper", "article"});
+  t.AddHypernym("publication", "document");
+  t.AddSynonyms({"department", "dept"});
+  t.AddSynonyms({"advisor", "adviser", "mentor"});
+  // LUBM predicate names and their colloquial synonyms, so relaxed
+  // queries can swap them (Q6/Q11 of the benchmark workload).
+  t.AddSynonyms({"teacherOf", "teaches", "instructs"});
+  t.AddSynonyms({"takesCourse", "takes", "attends", "enrolledIn"});
+  t.AddSynonyms({"worksFor", "employedBy"});
+  t.AddSynonyms({"memberOf", "belongsTo"});
+  t.AddSynonyms({"publicationAuthor", "authoredBy", "writtenBy"});
+  // Commerce (Berlin vocabulary).
+  t.AddSynonyms({"product", "item", "good"});
+  t.AddSynonyms({"producer", "manufacturer", "maker"});
+  t.AddSynonyms({"vendor", "seller", "retailer"});
+  t.AddSynonyms({"offer", "deal"});
+  t.AddSynonyms({"review", "evaluation", "critique"});
+  t.AddHypernym("review", "document");
+  t.AddSynonyms({"price", "cost"});
+  // Media (IMDB/DBLP/PBlog vocabulary).
+  t.AddSynonyms({"movie", "film", "picture"});
+  t.AddSynonyms({"actor", "performer"});
+  t.AddHypernym("actor", "person");
+  t.AddSynonyms({"director", "filmmaker"});
+  t.AddHypernym("director", "person");
+  t.AddSynonyms({"author", "writer"});
+  t.AddHypernym("author", "person");
+  t.AddSynonyms({"blog", "weblog"});
+  t.AddSynonyms({"links", "linksto", "references"});
+  // Biology (KEGG vocabulary).
+  t.AddSynonyms({"gene", "locus"});
+  t.AddSynonyms({"pathway", "route"});
+  t.AddSynonyms({"enzyme", "catalyst"});
+  t.AddSynonyms({"compound", "substance", "chemical"});
+  return t;
+}
+
+}  // namespace sama

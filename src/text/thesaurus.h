@@ -1,0 +1,80 @@
+#ifndef SAMA_TEXT_THESAURUS_H_
+#define SAMA_TEXT_THESAURUS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sama {
+
+// WordNet substitute (§6.1: "semantically similar entries such as
+// synonyms, hyponyms and hypernyms are extracted from WordNet").
+// Stores synsets (synonym rings) and is-a links between synsets;
+// queries ask whether two labels are semantically related. All lookups
+// are case-insensitive on normalised labels.
+class Thesaurus {
+ public:
+  Thesaurus() = default;
+
+  // Declares the given words to be mutual synonyms (merging any synsets
+  // they already belong to).
+  void AddSynonyms(const std::vector<std::string>& words);
+
+  // Declares `word` is-a `parent_word` (hyponym → hypernym). Both words
+  // get singleton synsets if unseen.
+  void AddHypernym(const std::string& word, const std::string& parent_word);
+
+  // True when the words share a synset.
+  bool AreSynonyms(std::string_view a, std::string_view b) const;
+
+  // True when the words are synonyms or connected through at most
+  // `max_hops` is-a links (in either direction, through synsets).
+  bool AreRelated(std::string_view a, std::string_view b,
+                  int max_hops = 1) const;
+
+  // Every word related to `word` within `max_hops` is-a links,
+  // including its synonyms (and `word` itself, normalised).
+  std::vector<std::string> Expand(std::string_view word,
+                                  int max_hops = 1) const;
+
+  size_t synset_count() const { return synsets_.size(); }
+  size_t word_count() const { return synset_of_.size(); }
+
+  // Seeds the thesaurus with a small built-in English vocabulary
+  // covering the benchmark domains (people/gender/teaching/commerce),
+  // standing in for the WordNet dump.
+  static Thesaurus BuiltinEnglish();
+
+  // Merges entries from a thesaurus file into this instance. Format,
+  // one entry per line ('#' comments allowed):
+  //   syn: word, word, word     — a synonym ring
+  //   isa: child, parent        — a hypernym link
+  // Returns ParseError naming the offending line on malformed input.
+  Status LoadFromFile(const std::string& path);
+  Status LoadFromString(std::string_view text);
+
+ private:
+  using SynsetId = uint32_t;
+
+  SynsetId SynsetFor(const std::string& normalized_word);
+  SynsetId FindSynset(std::string_view word) const;
+  // Union of hypernym/hyponym neighbour synsets of `s`.
+  std::vector<SynsetId> Neighbors(SynsetId s) const;
+
+  struct Synset {
+    std::vector<std::string> words;
+    std::vector<SynsetId> hypernyms;
+    std::vector<SynsetId> hyponyms;
+  };
+
+  std::vector<Synset> synsets_;
+  std::unordered_map<std::string, SynsetId> synset_of_;
+};
+
+}  // namespace sama
+
+#endif  // SAMA_TEXT_THESAURUS_H_

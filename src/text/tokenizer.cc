@@ -1,0 +1,48 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace sama {
+
+std::vector<std::string> TokenizeLabel(std::string_view label) {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&] {
+    if (!current.empty()) {
+      tokens.push_back(current);
+      current.clear();
+    }
+  };
+  char prev = '\0';
+  for (char c : label) {
+    unsigned char uc = static_cast<unsigned char>(c);
+    if (std::isalnum(uc)) {
+      // camelCase boundary: lower/digit followed by upper starts a new
+      // token.
+      if (std::isupper(uc) &&
+          (std::islower(static_cast<unsigned char>(prev)) ||
+           std::isdigit(static_cast<unsigned char>(prev)))) {
+        flush();
+      }
+      current.push_back(
+          static_cast<char>(std::tolower(uc)));
+    } else {
+      flush();
+    }
+    prev = c;
+  }
+  flush();
+  return tokens;
+}
+
+std::string NormalizeLabel(std::string_view label) {
+  std::string out;
+  out.reserve(label.size());
+  for (char c : label) {
+    out.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+}  // namespace sama

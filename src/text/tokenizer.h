@@ -1,0 +1,21 @@
+#ifndef SAMA_TEXT_TOKENIZER_H_
+#define SAMA_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sama {
+
+// Splits a label into lowercase alphanumeric tokens, additionally
+// breaking camelCase boundaries so IRI local names like
+// "AssociateProfessor" index as {"associate", "professor"}. This is
+// the analysis step of our Lucene-substitute label index.
+std::vector<std::string> TokenizeLabel(std::string_view label);
+
+// Lowercased whole-label normalisation (exact-match key).
+std::string NormalizeLabel(std::string_view label);
+
+}  // namespace sama
+
+#endif  // SAMA_TEXT_TOKENIZER_H_

@@ -1,0 +1,108 @@
+#include "baselines/bounded.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/exact.h"
+#include "datasets/govtrack.h"
+
+namespace sama {
+namespace {
+
+class BoundedTest : public testing::Test {
+ protected:
+  BoundedTest() : graph_(DataGraph::FromTriples(GovTrackFigure1Triples())) {}
+
+  QueryGraph Query(const std::vector<Triple>& patterns) {
+    return QueryGraph::FromPatterns(patterns, graph_.shared_dict());
+  }
+
+  DataGraph graph_;
+};
+
+TEST_F(BoundedTest, SingleEdgeBehavesLikeExactWithBoundOne) {
+  BoundedMatcher::Options options;
+  options.bound = 1;
+  BoundedMatcher bounded(&graph_, options);
+  ExactMatcher exact(&graph_);
+  QueryGraph q = Query({{Term::Variable("p"),
+                         Term::Iri("http://gov.example.org/gender"),
+                         Term::Literal("Male")}});
+  auto b = bounded.Execute(q, 0);
+  auto e = exact.Execute(q, 0);
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(b->size(), e->size());
+}
+
+TEST_F(BoundedTest, TwoHopEdgeMatchesWithinBound) {
+  // CB "sponsor" ?b: there is no direct sponsor edge from CB to a bill,
+  // but CB-sponsor-A0056-aTo-B1432 connects within 2 hops and the path
+  // carries a sponsor edge — the bounded semantics accept it.
+  BoundedMatcher bounded(&graph_);  // bound = 2.
+  QueryGraph q = Query({{Term::Iri("http://gov.example.org/CarlaBunes"),
+                         Term::Iri("http://gov.example.org/sponsor"),
+                         Term::Iri("http://gov.example.org/B1432")}});
+  auto matches = bounded.Execute(q, 0);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_EQ(matches->size(), 1u);
+  // The exact matcher rejects the same query.
+  ExactMatcher exact(&graph_);
+  auto e = exact.Execute(q, 0);
+  ASSERT_TRUE(e.ok());
+  EXPECT_TRUE(e->empty());
+}
+
+TEST_F(BoundedTest, LabelMustAppearOnPath) {
+  // CB to B1432 within 2 hops exists, but no "gender" edge lies on the
+  // connecting path.
+  BoundedMatcher bounded(&graph_);
+  QueryGraph q = Query({{Term::Iri("http://gov.example.org/CarlaBunes"),
+                         Term::Iri("http://gov.example.org/gender"),
+                         Term::Iri("http://gov.example.org/B1432")}});
+  auto matches = bounded.Execute(q, 0);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_TRUE(matches->empty());
+}
+
+TEST_F(BoundedTest, FindsMoreThanExactOnStructuralRelaxation) {
+  // Q2's CB-?e1->?v2 pattern: exact fails, bounded bridges the
+  // amendment hop.
+  BoundedMatcher bounded(&graph_);
+  ExactMatcher exact(&graph_);
+  QueryGraph q = Query(GovTrackQuery2Patterns());
+  auto b = bounded.Execute(q, 0);
+  auto e = exact.Execute(q, 0);
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(e.ok());
+  EXPECT_TRUE(e->empty());
+  EXPECT_FALSE(b->empty());
+}
+
+TEST_F(BoundedTest, VariablePredicateAcceptsAnyPath) {
+  BoundedMatcher bounded(&graph_);
+  QueryGraph q = Query({{Term::Iri("http://gov.example.org/CarlaBunes"),
+                         Term::Variable("rel"),
+                         Term::Iri("http://gov.example.org/B1432")}});
+  auto matches = bounded.Execute(q, 0);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_EQ(matches->size(), 1u);
+}
+
+TEST_F(BoundedTest, KLimitsResults) {
+  BoundedMatcher bounded(&graph_);
+  QueryGraph q = Query({{Term::Variable("p"),
+                         Term::Iri("http://gov.example.org/sponsor"),
+                         Term::Variable("x")}});
+  auto all = bounded.Execute(q, 0);
+  auto limited = bounded.Execute(q, 3);
+  ASSERT_TRUE(all.ok());
+  ASSERT_TRUE(limited.ok());
+  EXPECT_EQ(limited->size(), 3u);
+  EXPECT_GT(all->size(), limited->size());
+  // Bounded connectivity yields strictly more sponsor pairs than the 10
+  // direct edges (2-hop reach through amendments).
+  EXPECT_GT(all->size(), 10u);
+}
+
+}  // namespace
+}  // namespace sama

@@ -1,0 +1,122 @@
+#include "baselines/exact.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datasets/govtrack.h"
+
+namespace sama {
+namespace {
+
+class ExactMatcherTest : public testing::Test {
+ protected:
+  ExactMatcherTest()
+      : graph_(DataGraph::FromTriples(GovTrackFigure1Triples())),
+        matcher_(&graph_) {}
+
+  QueryGraph Query(const std::vector<Triple>& patterns) {
+    return QueryGraph::FromPatterns(patterns, graph_.shared_dict());
+  }
+
+  DataGraph graph_;
+  ExactMatcher matcher_;
+};
+
+TEST_F(ExactMatcherTest, Query1HasExactlyOneAnswer) {
+  QueryGraph q = Query(GovTrackQuery1Patterns());
+  auto matches = matcher_.Execute(q, 0);
+  ASSERT_TRUE(matches.ok());
+  ASSERT_EQ(matches->size(), 1u);
+  const Match& m = (*matches)[0];
+  EXPECT_EQ(m.binding.Lookup("v1")->value(),
+            "http://gov.example.org/A0056");
+  EXPECT_EQ(m.binding.Lookup("v2")->value(),
+            "http://gov.example.org/B1432");
+  EXPECT_EQ(m.binding.Lookup("v3")->value(),
+            "http://gov.example.org/PierceDickes");
+  EXPECT_DOUBLE_EQ(m.cost, 0.0);
+}
+
+TEST_F(ExactMatcherTest, RelaxedQuery2HasNoExactAnswer) {
+  QueryGraph q = Query(GovTrackQuery2Patterns());
+  auto matches = matcher_.Execute(q, 0);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_TRUE(matches->empty());
+}
+
+TEST_F(ExactMatcherTest, SinglePatternEnumeratesAll) {
+  QueryGraph q = Query({{Term::Variable("p"),
+                         Term::Iri("http://gov.example.org/gender"),
+                         Term::Literal("Male")}});
+  auto matches = matcher_.Execute(q, 0);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_EQ(matches->size(), 4u);
+}
+
+TEST_F(ExactMatcherTest, VariablePredicateBinds) {
+  QueryGraph q =
+      Query({{Term::Iri("http://gov.example.org/CarlaBunes"),
+              Term::Variable("rel"), Term::Variable("what")}});
+  auto matches = matcher_.Execute(q, 0);
+  ASSERT_TRUE(matches.ok());
+  // CB: sponsor A0056, gender Female.
+  ASSERT_EQ(matches->size(), 2u);
+  std::set<std::string> rels;
+  for (const Match& m : *matches) {
+    rels.insert(m.binding.Lookup("rel")->DisplayLabel());
+  }
+  EXPECT_EQ(rels, (std::set<std::string>{"sponsor", "gender"}));
+}
+
+TEST_F(ExactMatcherTest, KLimitsResults) {
+  QueryGraph q = Query({{Term::Variable("p"),
+                         Term::Iri("http://gov.example.org/gender"),
+                         Term::Variable("g")}});
+  auto matches = matcher_.Execute(q, 2);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_EQ(matches->size(), 2u);
+}
+
+TEST_F(ExactMatcherTest, UnknownConstantMeansNoMatch) {
+  QueryGraph q = Query({{Term::Iri("http://gov.example.org/Nobody"),
+                         Term::Iri("http://gov.example.org/gender"),
+                         Term::Variable("g")}});
+  auto matches = matcher_.Execute(q, 0);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_TRUE(matches->empty());
+}
+
+TEST_F(ExactMatcherTest, HomomorphismAllowsSharedTargets) {
+  // ?a sponsor ?x . ?b sponsor ?x: ?a and ?b may bind to the same
+  // person (SPARQL semantics).
+  QueryGraph q = Query({
+      {Term::Variable("a"), Term::Iri("http://gov.example.org/sponsor"),
+       Term::Variable("x")},
+      {Term::Variable("b"), Term::Iri("http://gov.example.org/sponsor"),
+       Term::Variable("x")},
+  });
+  auto matches = matcher_.Execute(q, 0);
+  ASSERT_TRUE(matches.ok());
+  bool same_person = false;
+  for (const Match& m : *matches) {
+    if (m.binding.Lookup("a")->value() == m.binding.Lookup("b")->value()) {
+      same_person = true;
+    }
+  }
+  EXPECT_TRUE(same_person);
+}
+
+TEST_F(ExactMatcherTest, StepBudgetTerminatesSearch) {
+  MatcherOptions limits;
+  limits.max_steps = 5;
+  ExactMatcher bounded(&graph_, limits);
+  QueryGraph q = Query({{Term::Variable("a"), Term::Variable("p"),
+                         Term::Variable("b")}});
+  auto matches = bounded.Execute(q, 0);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_LE(matches->size(), 5u);
+}
+
+}  // namespace
+}  // namespace sama

@@ -1,0 +1,106 @@
+#include "baselines/sapper.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/exact.h"
+#include "datasets/govtrack.h"
+
+namespace sama {
+namespace {
+
+class SapperTest : public testing::Test {
+ protected:
+  SapperTest() : graph_(DataGraph::FromTriples(GovTrackFigure1Triples())) {}
+
+  QueryGraph Query(const std::vector<Triple>& patterns) {
+    return QueryGraph::FromPatterns(patterns, graph_.shared_dict());
+  }
+
+  DataGraph graph_;
+};
+
+TEST_F(SapperTest, FindsExactMatchesAtCostZero) {
+  SapperMatcher sapper(&graph_);
+  QueryGraph q = Query(GovTrackQuery1Patterns());
+  auto matches = sapper.Execute(q, 0);
+  ASSERT_TRUE(matches.ok());
+  ASSERT_FALSE(matches->empty());
+  // Matches are sorted by cost; the first is the exact one.
+  EXPECT_DOUBLE_EQ((*matches)[0].cost, 0.0);
+  EXPECT_EQ((*matches)[0].binding.Lookup("v3")->value(),
+            "http://gov.example.org/PierceDickes");
+}
+
+TEST_F(SapperTest, ToleratesMissingEdges) {
+  // ?p sponsors two bills directly; only PierceDickes sponsors both a
+  // bill and an amendment... require an edge nobody has and let the
+  // miss budget absorb it.
+  SapperMatcher::Options options;
+  options.max_missing_edges = 1;
+  SapperMatcher sapper(&graph_, options);
+  QueryGraph q = Query({
+      {Term::Variable("p"), Term::Iri("http://gov.example.org/gender"),
+       Term::Literal("Male")},
+      {Term::Variable("p"), Term::Iri("http://gov.example.org/chairs"),
+       Term::Variable("c")},
+  });
+  auto matches = sapper.Execute(q, 0);
+  ASSERT_TRUE(matches.ok());
+  // The exact matcher finds nothing; SAPPER returns the gender matches
+  // with one missing edge each.
+  ExactMatcher exact(&graph_);
+  auto exact_matches = exact.Execute(q, 0);
+  ASSERT_TRUE(exact_matches.ok());
+  EXPECT_TRUE(exact_matches->empty());
+  ASSERT_FALSE(matches->empty());
+  for (const Match& m : *matches) {
+    EXPECT_DOUBLE_EQ(m.cost, 1.0);
+  }
+}
+
+TEST_F(SapperTest, FindsAtLeastAsManyAsExact) {
+  QueryGraph q = Query(GovTrackQuery1Patterns());
+  SapperMatcher sapper(&graph_);
+  ExactMatcher exact(&graph_);
+  auto approx = sapper.Execute(q, 0);
+  auto strict = exact.Execute(q, 0);
+  ASSERT_TRUE(approx.ok());
+  ASSERT_TRUE(strict.ok());
+  EXPECT_GE(approx->size(), strict->size());
+}
+
+TEST_F(SapperTest, DefaultDeltaScalesWithQuerySize) {
+  // A 5-edge query gets Δ = 5/4 + 1 = 2 by default: two-edge misses
+  // are admitted, so a query with two bogus edges still yields results.
+  SapperMatcher sapper(&graph_);
+  QueryGraph q = Query({
+      {Term::Variable("p"), Term::Iri("http://gov.example.org/gender"),
+       Term::Literal("Male")},
+      {Term::Variable("p"), Term::Iri("http://gov.example.org/x1"),
+       Term::Variable("a")},
+      {Term::Variable("p"), Term::Iri("http://gov.example.org/sponsor"),
+       Term::Variable("b")},
+      {Term::Variable("b"), Term::Iri("http://gov.example.org/subject"),
+       Term::Literal("Health Care")},
+      {Term::Variable("p"), Term::Iri("http://gov.example.org/x2"),
+       Term::Variable("c")},
+  });
+  auto matches = sapper.Execute(q, 0);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_FALSE(matches->empty());
+}
+
+TEST_F(SapperTest, CostOrderingIsMonotone) {
+  SapperMatcher::Options options;
+  options.max_missing_edges = 2;
+  SapperMatcher sapper(&graph_, options);
+  QueryGraph q = Query(GovTrackQuery2Patterns());
+  auto matches = sapper.Execute(q, 0);
+  ASSERT_TRUE(matches.ok());
+  for (size_t i = 1; i < matches->size(); ++i) {
+    EXPECT_LE((*matches)[i - 1].cost, (*matches)[i].cost);
+  }
+}
+
+}  // namespace
+}  // namespace sama

@@ -1,0 +1,33 @@
+#include "common/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace sama {
+namespace {
+
+TEST(HashTest, Fnv1aKnownValues) {
+  // Standard FNV-1a 64-bit vectors.
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(Fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(HashTest, DistinctStringsDistinctHashes) {
+  std::set<uint64_t> hashes;
+  for (int i = 0; i < 1000; ++i) {
+    hashes.insert(Fnv1a64("label" + std::to_string(i)));
+  }
+  EXPECT_EQ(hashes.size(), 1000u);
+}
+
+TEST(HashTest, HashCombineOrderSensitive) {
+  uint64_t ab = HashCombine(HashCombine(0, 1), 2);
+  uint64_t ba = HashCombine(HashCombine(0, 2), 1);
+  EXPECT_NE(ab, ba);
+}
+
+}  // namespace
+}  // namespace sama

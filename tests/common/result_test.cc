@@ -1,0 +1,50 @@
+#include "common/result.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace sama {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::vector<int>> r = std::vector<int>{1, 2, 3};
+  std::vector<int> v = std::move(r).value();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r = std::string("hello");
+  EXPECT_EQ(r->size(), 5u);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto producer = [](bool fail) -> Result<int> {
+    if (fail) return Status::Internal("boom");
+    return 7;
+  };
+  auto consumer = [&](bool fail) -> Result<int> {
+    SAMA_ASSIGN_OR_RETURN(int v, producer(fail));
+    return v + 1;
+  };
+  EXPECT_EQ(consumer(false).value(), 8);
+  EXPECT_EQ(consumer(true).status().code(), Status::Code::kInternal);
+}
+
+}  // namespace
+}  // namespace sama

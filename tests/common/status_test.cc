@@ -1,0 +1,58 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace sama {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kNotFound);
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: missing thing");
+}
+
+TEST(StatusTest, EqualityComparesCodesOnly) {
+  EXPECT_EQ(Status::IoError("a"), Status::IoError("b"));
+  EXPECT_FALSE(Status::IoError("a") == Status::Corruption("a"));
+}
+
+TEST(StatusTest, AllCodesHaveDistinctNames) {
+  const Status statuses[] = {
+      Status::InvalidArgument(""), Status::NotFound(""),
+      Status::AlreadyExists(""),   Status::OutOfRange(""),
+      Status::IoError(""),         Status::Corruption(""),
+      Status::ParseError(""),      Status::Unimplemented(""),
+      Status::Internal(""),
+  };
+  std::set<std::string> names;
+  for (const Status& s : statuses) names.insert(s.ToString());
+  EXPECT_EQ(names.size(), std::size(statuses));
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto fails = [] { return Status::Internal("boom"); };
+  auto wrapper = [&]() -> Status {
+    SAMA_RETURN_IF_ERROR(fails());
+    return Status::Ok();
+  };
+  EXPECT_EQ(wrapper().code(), Status::Code::kInternal);
+
+  auto succeeds = [] { return Status::Ok(); };
+  auto wrapper2 = [&]() -> Status {
+    SAMA_RETURN_IF_ERROR(succeeds());
+    return Status::AlreadyExists("reached end");
+  };
+  EXPECT_EQ(wrapper2().code(), Status::Code::kAlreadyExists);
+}
+
+}  // namespace
+}  // namespace sama

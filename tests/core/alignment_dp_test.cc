@@ -1,0 +1,152 @@
+// Oracle test: the greedy linear-time alignment can never report a λ
+// below the optimal alignment cost (computed here by an O(n·m) dynamic
+// program over the same cost model). A greedy λ below the optimum would
+// mean the cost accounting is broken; equality on clean instances
+// checks the greedy finds the optimum when no realignment is needed.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "core/alignment.h"
+
+namespace sama {
+namespace {
+
+// DP reference: end-anchored alignment over (edge, node) pair units
+// after the mandatory sink-node match, with
+//   match cost  = edge mismatch (c) + node mismatch (a),
+//   insert cost = b + d  (pair of p inserted into q),
+//   delete cost = a + c  (pair of q deleted).
+// Variables match anything at cost 0 (binding consistency ignored, as
+// an optimistic lower bound).
+class DpReference {
+ public:
+  DpReference(const LabelComparator* cmp, const ScoreParams* params)
+      : cmp_(cmp), w_(&params->weights) {}
+
+  double Optimal(const Path& p, const Path& q) const {
+    double sink = NodeCost(p.node_labels.back(), q.node_labels.back());
+    size_t np = p.length() - 1;  // Pair counts.
+    size_t nq = q.length() - 1;
+    // dp[i][j]: cost of aligning the last i pairs of p with the last j
+    // pairs of q.
+    std::vector<std::vector<double>> dp(np + 1,
+                                        std::vector<double>(nq + 1, 0));
+    const double insert_cost = w_->node_insert + w_->edge_insert;
+    const double delete_cost = w_->node_delete + w_->edge_delete;
+    for (size_t i = 1; i <= np; ++i) {
+      dp[i][0] = static_cast<double>(i) * insert_cost;
+    }
+    for (size_t j = 1; j <= nq; ++j) {
+      dp[0][j] = static_cast<double>(j) * delete_cost;
+    }
+    for (size_t i = 1; i <= np; ++i) {
+      for (size_t j = 1; j <= nq; ++j) {
+        // Pair i from the end of p: index np - i.
+        size_t pi = np - i;
+        size_t qj = nq - j;
+        double match = dp[i - 1][j - 1] +
+                       EdgeCost(p.edge_labels[pi], q.edge_labels[qj]) +
+                       NodeCost(p.node_labels[pi], q.node_labels[qj]);
+        double insert = dp[i - 1][j] + insert_cost;
+        double erase = dp[i][j - 1] + delete_cost;
+        dp[i][j] = std::min({match, insert, erase});
+      }
+    }
+    return sink + dp[np][nq];
+  }
+
+ private:
+  double NodeCost(TermId data, TermId query) const {
+    return cmp_->Compare(data, query) == LabelMatch::kMismatch
+               ? w_->node_delete
+               : 0.0;
+  }
+  double EdgeCost(TermId data, TermId query) const {
+    return cmp_->Compare(data, query) == LabelMatch::kMismatch
+               ? w_->edge_delete
+               : 0.0;
+  }
+
+  const LabelComparator* cmp_;
+  const OpWeights* w_;
+};
+
+class AlignmentDpTest : public testing::TestWithParam<uint64_t> {
+ protected:
+  AlignmentDpTest() : dict_(std::make_shared<TermDictionary>()) {}
+
+  TermId Label(const std::string& s) {
+    return dict_->Intern(s[0] == '?' ? Term::Variable(s.substr(1))
+                                     : Term::Literal(s));
+  }
+
+  Path RandomPath(Random* rng, size_t length, bool allow_variables) {
+    Path p;
+    for (size_t i = 0; i < length; ++i) {
+      bool variable = allow_variables && rng->Bernoulli(0.3) &&
+                      i + 1 < length;
+      p.node_labels.push_back(Label(
+          variable ? "?v" + std::to_string(i)
+                   : "N" + std::to_string(rng->Uniform(6))));
+      p.nodes.push_back(static_cast<NodeId>(i));
+      if (i + 1 < length) {
+        p.edge_labels.push_back(
+            Label("e" + std::to_string(rng->Uniform(3))));
+      }
+    }
+    return p;
+  }
+
+  std::shared_ptr<TermDictionary> dict_;
+  ScoreParams params_;
+};
+
+TEST_P(AlignmentDpTest, GreedyNeverBeatsOptimal) {
+  Random rng(GetParam() * 7919 + 13);
+  LabelComparator cmp(dict_.get(), nullptr);
+  DpReference reference(&cmp, &params_);
+  for (int round = 0; round < 20; ++round) {
+    Path p = RandomPath(&rng, 2 + rng.Uniform(6), /*allow_variables=*/false);
+    Path q = RandomPath(&rng, 2 + rng.Uniform(6), /*allow_variables=*/true);
+    double greedy = AlignPaths(p, q, cmp, params_).lambda;
+    double optimal = reference.Optimal(p, q);
+    EXPECT_GE(greedy + 1e-9, optimal)
+        << "greedy reported an impossible λ for\n  p=" << p.ToString(*dict_)
+        << "\n  q=" << q.ToString(*dict_);
+  }
+}
+
+TEST_P(AlignmentDpTest, GreedyIsOptimalOnCleanInstances) {
+  // An exact instantiation plus pure suffix extension: no realignment
+  // choice exists, so greedy must equal the DP optimum.
+  Random rng(GetParam() * 104729 + 7);
+  LabelComparator cmp(dict_.get(), nullptr);
+  DpReference reference(&cmp, &params_);
+  Path q = RandomPath(&rng, 3 + rng.Uniform(3), /*allow_variables=*/true);
+  Path p = q;
+  for (TermId& label : p.node_labels) {
+    if (dict_->term(label).is_variable()) {
+      label = Label("C" + std::to_string(rng.Uniform(100)));
+    }
+  }
+  // Prepend extra pairs to p (data path longer toward the source).
+  for (int extra = 0; extra < 3; ++extra) {
+    p.node_labels.insert(p.node_labels.begin(),
+                         Label("X" + std::to_string(extra)));
+    p.edge_labels.insert(p.edge_labels.begin(),
+                         Label("xe" + std::to_string(extra)));
+    p.nodes.push_back(static_cast<NodeId>(100 + extra));
+    double greedy = AlignPaths(p, q, cmp, params_).lambda;
+    EXPECT_DOUBLE_EQ(greedy, reference.Optimal(p, q));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AlignmentDpTest,
+                         testing::Range<uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace sama

@@ -1,0 +1,203 @@
+#include "core/alignment.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "text/thesaurus.h"
+
+namespace sama {
+namespace {
+
+// Builds a path whose labels alternate node, edge, node, ... Variables
+// are written "?name", literals "label", IRIs "<label>".
+class AlignmentTest : public testing::Test {
+ protected:
+  AlignmentTest() : dict_(std::make_shared<TermDictionary>()) {}
+
+  Term ParseLabel(const std::string& s) {
+    if (!s.empty() && s[0] == '?') return Term::Variable(s.substr(1));
+    if (s.size() > 2 && s.front() == '<') {
+      return Term::Iri(s.substr(1, s.size() - 2));
+    }
+    return Term::Literal(s);
+  }
+
+  Path MakePath(const std::vector<std::string>& elements) {
+    Path p;
+    for (size_t i = 0; i < elements.size(); ++i) {
+      TermId id = dict_->Intern(ParseLabel(elements[i]));
+      if (i % 2 == 0) {
+        p.node_labels.push_back(id);
+        p.nodes.push_back(static_cast<NodeId>(i));
+      } else {
+        p.edge_labels.push_back(id);
+      }
+    }
+    return p;
+  }
+
+  PathAlignment Align(const Path& p, const Path& q,
+                      const Thesaurus* thesaurus = nullptr) {
+    LabelComparator cmp(dict_.get(), thesaurus);
+    return AlignPaths(p, q, cmp, params_);
+  }
+
+  std::shared_ptr<TermDictionary> dict_;
+  ScoreParams params_;  // Paper defaults a=1, b=0.5, c=2, d=1.
+};
+
+TEST_F(AlignmentTest, ExactAnswerHasLambdaZero) {
+  // §4.3: p aligned with q1 needs only the substitution φ.
+  Path p = MakePath({"CB", "sponsor", "A0056", "aTo", "B1432", "subject",
+                     "HC"});
+  Path q1 = MakePath({"CB", "sponsor", "?v1", "aTo", "?v2", "subject",
+                      "HC"});
+  PathAlignment a = Align(p, q1);
+  EXPECT_DOUBLE_EQ(a.lambda, 0.0);
+  EXPECT_TRUE(a.exact());
+  EXPECT_EQ(a.phi.size(), 2u);
+  EXPECT_EQ(a.phi.Lookup("v1")->value(), "A0056");
+  EXPECT_EQ(a.phi.Lookup("v2")->value(), "B1432");
+}
+
+TEST_F(AlignmentTest, InsertionCostsBPlusD) {
+  // §4.3: aligning p with q2 inserts one node and one edge into q2:
+  // λ = (0 + b) + (0 + d) = 1.5.
+  Path p = MakePath({"CB", "sponsor", "A0056", "aTo", "B1432", "subject",
+                     "HC"});
+  Path q2 = MakePath({"?v3", "sponsor", "?v2", "subject", "HC"});
+  PathAlignment a = Align(p, q2);
+  EXPECT_DOUBLE_EQ(a.lambda, 1.5);
+  EXPECT_EQ(a.nodes_inserted_in_q, 1u);
+  EXPECT_EQ(a.edges_inserted_in_q, 1u);
+  EXPECT_EQ(a.nodes_of_p_not_in_q, 0u);
+  // The scan binds ?v2 to the bill-side node and ?v3 to the sponsor.
+  EXPECT_EQ(a.phi.Lookup("v3")->value(), "CB");
+}
+
+TEST_F(AlignmentTest, NodeMismatchCostsA) {
+  // §4.3: λ(p', q1) = a = 1 due to the CB/JR mismatch.
+  Path p_prime = MakePath({"JR", "sponsor", "A1589", "aTo", "B0532",
+                           "subject", "HC"});
+  Path q1 = MakePath({"CB", "sponsor", "?v1", "aTo", "?v2", "subject",
+                      "HC"});
+  PathAlignment a = Align(p_prime, q1);
+  EXPECT_DOUBLE_EQ(a.lambda, 1.0);
+  EXPECT_EQ(a.nodes_of_p_not_in_q, 1u);
+  EXPECT_EQ(a.tau.Count(BasicOp::kNodeDelete), 1u);
+}
+
+TEST_F(AlignmentTest, EdgeMismatchCostsC) {
+  Path p = MakePath({"X", "wrongEdge", "Y"});
+  Path q = MakePath({"X", "rightEdge", "Y"});
+  PathAlignment a = Align(p, q);
+  EXPECT_DOUBLE_EQ(a.lambda, 2.0);  // c = 2.
+  EXPECT_EQ(a.edges_of_p_not_in_q, 1u);
+}
+
+TEST_F(AlignmentTest, DeletionFromLongerQueryCostsAPlusC) {
+  // q has one pair more than p: τ deletes a node (a) and an edge (c).
+  Path p = MakePath({"?ignored", "e", "Y"});
+  Path q = MakePath({"A", "e", "B", "e", "Y"});
+  // p must be constants; rebuild properly.
+  p = MakePath({"A", "e", "Y"});
+  PathAlignment a = Align(p, q);
+  EXPECT_DOUBLE_EQ(a.lambda, 3.0);  // a + c = 1 + 2.
+  EXPECT_EQ(a.nodes_deleted_from_q, 1u);
+  EXPECT_EQ(a.edges_deleted_from_q, 1u);
+}
+
+TEST_F(AlignmentTest, VariableEdgeBinds) {
+  // Q2 of Figure 1(c) has the edge variable ?e1.
+  Path p = MakePath({"CB", "sponsor", "B1432"});
+  Path q = MakePath({"CB", "?e1", "?v2"});
+  PathAlignment a = Align(p, q);
+  EXPECT_DOUBLE_EQ(a.lambda, 0.0);
+  ASSERT_NE(a.phi.Lookup("e1"), nullptr);
+  EXPECT_EQ(a.phi.Lookup("e1")->value(), "sponsor");
+}
+
+TEST_F(AlignmentTest, SynonymIsFreeRelabel) {
+  Thesaurus t;
+  t.AddSynonyms({"male", "man"});
+  Path p = MakePath({"JR", "gender", "Man"});
+  Path q = MakePath({"?v3", "gender", "Male"});
+  PathAlignment with = Align(p, q, &t);
+  EXPECT_DOUBLE_EQ(with.lambda, 0.0);
+  EXPECT_EQ(with.tau.Count(BasicOp::kNodeRelabel), 1u);
+  // Without the thesaurus the same pair is a mismatch.
+  PathAlignment without = Align(p, q, nullptr);
+  EXPECT_DOUBLE_EQ(without.lambda, 1.0);
+}
+
+TEST_F(AlignmentTest, CaseInsensitiveLabelsMatchExactly) {
+  Path p = MakePath({"x", "SPONSOR", "y"});
+  Path q = MakePath({"x", "sponsor", "y"});
+  EXPECT_DOUBLE_EQ(Align(p, q).lambda, 0.0);
+}
+
+TEST_F(AlignmentTest, ConflictingVariableRebindCosts) {
+  // ?v repeated in q must bind to one value; p offers two.
+  Path p = MakePath({"A", "e", "B", "e", "A2"});
+  Path q = MakePath({"?v", "e", "B", "e", "?v"});
+  PathAlignment a = Align(p, q);
+  // Scanning backwards binds ?v -> A2 first; A then conflicts: cost a.
+  EXPECT_DOUBLE_EQ(a.lambda, 1.0);
+}
+
+TEST_F(AlignmentTest, SelfAlignmentIsZeroForConstantPaths) {
+  Path p = MakePath({"n0", "e0", "n1", "e1", "n2", "e2", "n3"});
+  PathAlignment a = Align(p, p);
+  EXPECT_DOUBLE_EQ(a.lambda, 0.0);
+  EXPECT_TRUE(a.tau.empty());
+}
+
+TEST_F(AlignmentTest, MuchLongerDataPathInsertsAllExtraPairs) {
+  Path p = MakePath({"A", "e", "x1", "e", "x2", "e", "x3", "e", "Z"});
+  Path q = MakePath({"?s", "e", "Z"});
+  PathAlignment a = Align(p, q);
+  // 3 pairs inserted: 3·(b + d) = 4.5.
+  EXPECT_DOUBLE_EQ(a.lambda, 4.5);
+  EXPECT_EQ(a.nodes_inserted_in_q, 3u);
+  EXPECT_EQ(a.edges_inserted_in_q, 3u);
+}
+
+TEST_F(AlignmentTest, PreferredInsertPositionFollowsCompatibility) {
+  // The greedy scan matches compatible pairs in place and inserts the
+  // incompatible middle pair (the §4.3 behaviour).
+  Path p = MakePath({"CB", "sponsor", "A0056", "aTo", "B1432", "subject",
+                     "HC"});
+  Path q2 = MakePath({"?v3", "sponsor", "?v2", "subject", "HC"});
+  PathAlignment a = Align(p, q2);
+  // ?v2 must take the value adjacent to subject-HC, i.e. B1432.
+  EXPECT_EQ(a.phi.Lookup("v2")->value(), "B1432");
+}
+
+// Property sweep: alignment cost is symmetric-free and bounded by the
+// cost of rebuilding the whole query (delete everything + insert
+// everything).
+class AlignmentBoundTest : public AlignmentTest,
+                           public testing::WithParamInterface<int> {};
+
+TEST_P(AlignmentBoundTest, LambdaIsBoundedByFullRebuild) {
+  int variant = GetParam();
+  Path p = MakePath({"A" + std::to_string(variant), "e1", "B", "e2",
+                     "C" + std::to_string(variant % 3)});
+  Path q = MakePath({"?x", "e1", "B" + std::to_string(variant % 2), "e3",
+                     "C"});
+  PathAlignment a = Align(p, q);
+  double rebuild =
+      params_.a() * static_cast<double>(q.node_labels.size()) +
+      params_.c() * static_cast<double>(q.edge_labels.size()) +
+      params_.b() * static_cast<double>(p.node_labels.size()) +
+      params_.d() * static_cast<double>(p.edge_labels.size());
+  EXPECT_GE(a.lambda, 0.0);
+  EXPECT_LE(a.lambda, rebuild);
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, AlignmentBoundTest,
+                         testing::Range(0, 20));
+
+}  // namespace
+}  // namespace sama

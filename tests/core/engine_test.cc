@@ -1,0 +1,163 @@
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "query/sparql.h"
+#include "testing/fixtures.h"
+
+namespace sama {
+namespace {
+
+class EngineTest : public testing::Test {
+ protected:
+  testing_util::GovTrackEnv env_;
+};
+
+TEST_F(EngineTest, Query1TopAnswerIsExact) {
+  QueryGraph q1 = env_.Query1();
+  QueryStats stats;
+  auto answers = env_.engine().Execute(q1, 10, &stats);
+  ASSERT_TRUE(answers.ok()) << answers.status();
+  ASSERT_FALSE(answers->empty());
+  const Answer& best = (*answers)[0];
+  EXPECT_DOUBLE_EQ(best.lambda_total, 0.0);
+  EXPECT_EQ(best.binding.Lookup("v1")->DisplayLabel(), "A0056");
+  EXPECT_EQ(best.binding.Lookup("v2")->DisplayLabel(), "B1432");
+  EXPECT_EQ(best.binding.Lookup("v3")->DisplayLabel(), "PierceDickes");
+  EXPECT_EQ(stats.num_query_paths, 3u);
+  EXPECT_GT(stats.num_candidate_paths, 0u);
+  EXPECT_EQ(stats.num_answers, answers->size());
+}
+
+TEST_F(EngineTest, RelaxedQuery2ReturnsQuery1Answer) {
+  // §1: "the same answer of Q1 can be returned to the query Q2, for
+  // which there is indeed no exact answer".
+  QueryGraph q2 = env_.Query2();
+  auto answers = env_.engine().Execute(q2, 10);
+  ASSERT_TRUE(answers.ok()) << answers.status();
+  ASSERT_FALSE(answers->empty());
+  // No exact answer exists: every returned combination needed a
+  // non-empty transformation.
+  for (const Answer& a : *answers) {
+    EXPECT_GT(a.lambda_total, 0.0);
+  }
+  // The Q1 answer entities appear among the top answers' bindings.
+  bool found_b1432 = false;
+  for (const Answer& a : *answers) {
+    const Term* v2 = a.binding.Lookup("v2");
+    if (v2 != nullptr && v2->DisplayLabel() == "B1432") found_b1432 = true;
+  }
+  EXPECT_TRUE(found_b1432);
+}
+
+TEST_F(EngineTest, ExecuteSparqlEndToEnd) {
+  auto parsed = ParseSparql(
+      "PREFIX gov: <http://gov.example.org/>\n"
+      "SELECT ?v1 ?v2 ?v3 WHERE {\n"
+      "  gov:CarlaBunes gov:sponsor ?v1 .\n"
+      "  ?v1 gov:aTo ?v2 .\n"
+      "  ?v2 gov:subject \"Health Care\" .\n"
+      "  ?v3 gov:sponsor ?v2 .\n"
+      "  ?v3 gov:gender \"Male\" .\n"
+      "} LIMIT 3");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  auto answers = env_.engine().ExecuteSparql(*parsed);
+  ASSERT_TRUE(answers.ok()) << answers.status();
+  EXPECT_LE(answers->size(), 3u);
+  ASSERT_FALSE(answers->empty());
+  EXPECT_EQ((*answers)[0].binding.Lookup("v3")->DisplayLabel(), "PierceDickes");
+}
+
+TEST_F(EngineTest, ExplicitKOverridesLimit) {
+  auto parsed = ParseSparql(
+      "PREFIX gov: <http://gov.example.org/>\n"
+      "SELECT ?p WHERE { ?p gov:gender \"Male\" } LIMIT 1");
+  ASSERT_TRUE(parsed.ok());
+  auto one = env_.engine().ExecuteSparql(*parsed);
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(one->size(), 1u);
+  auto three = env_.engine().ExecuteSparql(*parsed, 3);
+  ASSERT_TRUE(three.ok());
+  EXPECT_EQ(three->size(), 3u);
+}
+
+TEST_F(EngineTest, SynonymQueryFindsAnswers) {
+  // "Man" instead of "Male": the thesaurus bridges the labels, so the
+  // four Male sponsors still come back with λ = 0 (free relabel).
+  auto answers = env_.engine().Execute(
+      env_.engine().BuildQueryGraph(
+          {{Term::Variable("x"), Term::Iri("http://gov.example.org/gender"),
+            Term::Literal("Man")}}),
+      10);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(answers->size(), 4u);
+  for (const Answer& a : *answers) {
+    EXPECT_DOUBLE_EQ(a.lambda_total, 0.0);
+  }
+}
+
+TEST_F(EngineTest, StatsTimingsArepopulated) {
+  QueryStats stats;
+  auto answers = env_.engine().Execute(env_.Query1(), 10, &stats);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_GE(stats.total_millis, 0.0);
+  EXPECT_GE(stats.total_millis, stats.search_millis);
+}
+
+TEST_F(EngineTest, ScoreParamsAffectRanking) {
+  // With the edge-insertion weight cranked up, longer chains sink in
+  // cl2's ordering but the exact answer still wins.
+  EngineOptions options;
+  options.params.weights.edge_insert = 50.0;
+  SamaEngine heavy(&env_.graph(), &env_.index(), &env_.thesaurus(),
+                   options);
+  auto answers = heavy.Execute(env_.Query1(), 5);
+  ASSERT_TRUE(answers.ok());
+  ASSERT_FALSE(answers->empty());
+  EXPECT_DOUBLE_EQ((*answers)[0].lambda_total, 0.0);
+}
+
+TEST_F(EngineTest, FiltersRestrictAnswers) {
+  auto parsed = ParseSparql(
+      "PREFIX gov: <http://gov.example.org/>\n"
+      "SELECT ?p WHERE { ?p gov:gender \"Male\" . "
+      "FILTER(?p != gov:PierceDickes) }");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  auto answers = env_.engine().ExecuteSparql(*parsed, 10);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(answers->size(), 3u);  // 4 male sponsors minus Pierce.
+  for (const Answer& a : *answers) {
+    EXPECT_NE(a.binding.Lookup("p")->DisplayLabel(), "PierceDickes");
+  }
+}
+
+TEST_F(EngineTest, RegexFilterMatchesSubstring) {
+  auto parsed = ParseSparql(
+      "PREFIX gov: <http://gov.example.org/>\n"
+      "SELECT ?p WHERE { ?p gov:gender \"Male\" . "
+      "FILTER regex(?p, \"ryser\") }");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  auto answers = env_.engine().ExecuteSparql(*parsed, 10);
+  ASSERT_TRUE(answers.ok());
+  ASSERT_EQ(answers->size(), 1u);
+  EXPECT_EQ((*answers)[0].binding.Lookup("p")->DisplayLabel(),
+            "JeffRyser");
+}
+
+TEST_F(EngineTest, UnrelatedQueryReturnsPartialOrNothing) {
+  auto answers = env_.engine().Execute(
+      env_.engine().BuildQueryGraph(
+          {{Term::Variable("x"), Term::Iri("http://gov.example.org/owns"),
+            Term::Literal("Spaceship")}}),
+      10);
+  ASSERT_TRUE(answers.ok());
+  // Either nothing or heavily penalised partial answers.
+  for (const Answer& a : *answers) {
+    EXPECT_GT(a.score, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace sama

@@ -1,0 +1,74 @@
+#include "core/explain.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+
+namespace sama {
+namespace {
+
+class ExplainTest : public testing::Test {
+ protected:
+  testing_util::GovTrackEnv env_;
+};
+
+TEST_F(ExplainTest, ExactAnswerExplainsSubstitutionsOnly) {
+  QueryGraph q1 = env_.Query1();
+  auto answers = env_.engine().Execute(q1, 1);
+  ASSERT_TRUE(answers.ok());
+  ASSERT_FALSE(answers->empty());
+  std::string text = ExplainAnswer(q1, (*answers)[0]);
+  EXPECT_NE(text.find("answer score 2.00"), std::string::npos) << text;
+  EXPECT_NE(text.find("exact (substitution only)"), std::string::npos);
+  EXPECT_NE(text.find("?v1 := A0056"), std::string::npos);
+  EXPECT_NE(text.find("?v2 := B1432"), std::string::npos);
+  EXPECT_NE(text.find("?v3 := PierceDickes"), std::string::npos);
+  EXPECT_NE(
+      text.find("CarlaBunes-sponsor-A0056-aTo-B1432-subject-Health Care"),
+      std::string::npos);
+  EXPECT_EQ(text.find("[relaxed bindings]"), std::string::npos);
+}
+
+TEST_F(ExplainTest, RelaxedAnswerShowsTransformation) {
+  QueryGraph q2 = env_.Query2();
+  auto answers = env_.engine().Execute(q2, 1);
+  ASSERT_TRUE(answers.ok());
+  ASSERT_FALSE(answers->empty());
+  std::string text = ExplainAnswer(q2, (*answers)[0]);
+  // The relaxed query requires at least one non-exact alignment.
+  EXPECT_NE(text.find("cost"), std::string::npos) << text;
+}
+
+TEST_F(ExplainTest, UnmatchedPathsAreReported) {
+  QueryGraph q = env_.engine().BuildQueryGraph(
+      {{Term::Variable("x"), Term::Iri("http://gov.example.org/gender"),
+        Term::Literal("Robot")},
+       {Term::Variable("x"), Term::Iri("http://gov.example.org/gender"),
+        Term::Literal("Male")}});
+  auto answers = env_.engine().Execute(q, 1);
+  ASSERT_TRUE(answers.ok());
+  ASSERT_FALSE(answers->empty());
+  std::string text = ExplainAnswer(q, (*answers)[0]);
+  EXPECT_NE(text.find("unmatched (whole-path deletion penalty applied)"),
+            std::string::npos)
+      << text;
+}
+
+TEST(DescribeTransformationTest, GroupsAndPrices) {
+  Transformation tau;
+  tau.Add(BasicOp::kNodeInsert);
+  tau.Add(BasicOp::kNodeInsert);
+  tau.Add(BasicOp::kEdgeInsert);
+  std::string text = DescribeTransformation(tau, OpWeights());
+  EXPECT_NE(text.find("2×node-insert"), std::string::npos) << text;
+  EXPECT_NE(text.find("edge-insert"), std::string::npos);
+  EXPECT_NE(text.find("cost 2.00"), std::string::npos);  // 2·0.5 + 1.
+}
+
+TEST(DescribeTransformationTest, EmptyIsExact) {
+  EXPECT_EQ(DescribeTransformation(Transformation(), OpWeights()),
+            "exact (substitution only)");
+}
+
+}  // namespace
+}  // namespace sama

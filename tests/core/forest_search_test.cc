@@ -1,0 +1,179 @@
+#include "core/forest_search.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "testing/fixtures.h"
+
+namespace sama {
+namespace {
+
+class ForestSearchTest : public testing::Test {
+ protected:
+  std::vector<Answer> Search(const QueryGraph& query,
+                             ForestSearchOptions options = {}) {
+    IntersectionQueryGraph ig(query);
+    auto clusters = BuildClusters(query, env_.index(), &env_.thesaurus(),
+                                  params_, ClusteringOptions());
+    EXPECT_TRUE(clusters.ok());
+    auto answers = ForestSearch(query, ig, *clusters, params_, options);
+    EXPECT_TRUE(answers.ok());
+    return std::move(answers).value();
+  }
+
+  std::set<std::string> AnswerPathSet(const Answer& a) {
+    std::set<std::string> out;
+    for (const ScoredPath& part : a.parts) {
+      out.insert(env_.Render(part.path));
+    }
+    return out;
+  }
+
+  testing_util::GovTrackEnv env_;
+  ScoreParams params_;
+};
+
+TEST_F(ForestSearchTest, FirstSolutionIsP1P10P20) {
+  // §5: "the first solution is obtained by combining the paths p1, p10
+  // and p20".
+  QueryGraph query = env_.Query1();
+  std::vector<Answer> answers = Search(query, {});
+  ASSERT_FALSE(answers.empty());
+  EXPECT_EQ(AnswerPathSet(answers[0]),
+            (std::set<std::string>{
+                "CarlaBunes-sponsor-A0056-aTo-B1432-subject-Health Care",
+                "PierceDickes-sponsor-B1432-subject-Health Care",
+                "PierceDickes-gender-Male"}));
+  EXPECT_DOUBLE_EQ(answers[0].lambda_total, 0.0);
+  EXPECT_TRUE(answers[0].consistent);
+  // Bindings of the exact answer.
+  EXPECT_EQ(answers[0].binding.Lookup("v1")->DisplayLabel(), "A0056");
+  EXPECT_EQ(answers[0].binding.Lookup("v2")->DisplayLabel(), "B1432");
+  EXPECT_EQ(answers[0].binding.Lookup("v3")->DisplayLabel(), "PierceDickes");
+}
+
+TEST_F(ForestSearchTest, AnswersSortedByScore) {
+  QueryGraph query = env_.Query1();
+  std::vector<Answer> answers = Search(query, {});
+  for (size_t i = 1; i < answers.size(); ++i) {
+    EXPECT_LE(answers[i - 1].score, answers[i].score);
+  }
+}
+
+TEST_F(ForestSearchTest, KLimitsAnswerCount) {
+  QueryGraph query = env_.Query1();
+  ForestSearchOptions options;
+  options.k = 2;
+  EXPECT_LE(Search(query, options).size(), 2u);
+  options.k = 1;
+  EXPECT_EQ(Search(query, options).size(), 1u);
+}
+
+TEST_F(ForestSearchTest, DashedForestEdgeRanksSecond) {
+  // Figure 4: the (p7, p1) combination (ψ = 0.5 conformity) is a valid
+  // but worse solution than (p10, p1).
+  QueryGraph query = env_.Query1();
+  ForestSearchOptions options;
+  options.k = 5;
+  std::vector<Answer> answers = Search(query, options);
+  ASSERT_GE(answers.size(), 2u);
+  EXPECT_EQ(AnswerPathSet(answers[1]),
+            (std::set<std::string>{
+                "CarlaBunes-sponsor-A0056-aTo-B1432-subject-Health Care",
+                "JeffRyser-sponsor-B0045-subject-Health Care",
+                "JeffRyser-gender-Male"}));
+  EXPECT_GT(answers[1].score, answers[0].score);
+  // The dashed combination does not bind ?v2 consistently.
+  EXPECT_FALSE(answers[1].consistent);
+}
+
+TEST_F(ForestSearchTest, RequireConsistentBindingsFilters) {
+  QueryGraph query = env_.Query1();
+  ForestSearchOptions options;
+  options.k = 50;
+  std::vector<Answer> all = Search(query, options);
+  options.require_consistent_bindings = true;
+  std::vector<Answer> consistent_only = Search(query, options);
+  EXPECT_LT(consistent_only.size(), all.size());
+  for (const Answer& a : consistent_only) {
+    EXPECT_TRUE(a.consistent);
+  }
+}
+
+TEST_F(ForestSearchTest, RequireConnectedRejectsDisjointCombos) {
+  QueryGraph query = env_.Query1();
+  ForestSearchOptions options;
+  options.k = 0;  // Everything.
+  options.max_expansions = 10000;
+  std::vector<Answer> connected = Search(query, options);
+  // Among exact-alignment answers (Λ = 0), the AliceNimber chain can
+  // only stand for q2 — and Alice has no gender-Male path to connect to
+  // q3's cluster, so such combinations must have been rejected.
+  for (const Answer& a : connected) {
+    if (a.lambda_total != 0.0) continue;
+    EXPECT_EQ(AnswerPathSet(a).count(
+                  "AliceNimber-sponsor-B1432-subject-Health Care"),
+              0u);
+  }
+  options.require_connected = false;
+  std::vector<Answer> all = Search(query, options);
+  EXPECT_GT(all.size(), connected.size());
+}
+
+TEST_F(ForestSearchTest, EmptyClusterWithPartialDisallowedMeansNoAnswers) {
+  QueryGraph query = env_.engine().BuildQueryGraph(
+      {{Term::Variable("x"), Term::Iri("http://gov.example.org/gender"),
+        Term::Literal("Robot")},
+       {Term::Variable("x"), Term::Iri("http://gov.example.org/gender"),
+        Term::Literal("Male")}});
+  ForestSearchOptions options;
+  options.allow_partial = false;
+  EXPECT_TRUE(Search(query, options).empty());
+}
+
+TEST_F(ForestSearchTest, EmptyClusterPenalisedWhenPartialAllowed) {
+  QueryGraph query = env_.engine().BuildQueryGraph(
+      {{Term::Variable("x"), Term::Iri("http://gov.example.org/gender"),
+        Term::Literal("Robot")},
+       {Term::Variable("x"), Term::Iri("http://gov.example.org/gender"),
+        Term::Literal("Male")}});
+  ForestSearchOptions options;
+  options.allow_partial = true;
+  std::vector<Answer> answers = Search(query, options);
+  ASSERT_FALSE(answers.empty());
+  // The unmatched path ?x-gender-Robot costs a·2 + c·1 = 4.
+  EXPECT_DOUBLE_EQ(answers[0].lambda_total, 4.0);
+}
+
+TEST_F(ForestSearchTest, ToTriplesMaterialisesSubgraph) {
+  QueryGraph query = env_.Query1();
+  std::vector<Answer> answers = Search(query, {});
+  ASSERT_FALSE(answers.empty());
+  std::vector<Triple> triples = answers[0].ToTriples(env_.graph().dict());
+  // p1 (3 edges) + p10 (2 edges) + p20 (1 edge), with the shared
+  // B1432-subject-HC triple deduplicated = 5 distinct triples.
+  EXPECT_EQ(triples.size(), 5u);
+}
+
+TEST_F(ForestSearchTest, BindingTupleExtractsSelectedVars) {
+  QueryGraph query = env_.Query1();
+  std::vector<Answer> answers = Search(query, {});
+  ASSERT_FALSE(answers.empty());
+  std::vector<Term> tuple = answers[0].BindingTuple({"v1", "v3", "nope"});
+  ASSERT_EQ(tuple.size(), 3u);
+  EXPECT_EQ(tuple[0].DisplayLabel(), "A0056");
+  EXPECT_EQ(tuple[1].DisplayLabel(), "PierceDickes");
+  EXPECT_EQ(tuple[2], Term::Literal(""));
+}
+
+TEST_F(ForestSearchTest, ExpansionBudgetBoundsWork) {
+  QueryGraph query = env_.Query1();
+  ForestSearchOptions options;
+  options.k = 0;
+  options.max_expansions = 3;
+  EXPECT_LE(Search(query, options).size(), 3u);
+}
+
+}  // namespace
+}  // namespace sama

@@ -1,0 +1,87 @@
+#include "core/intersection_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datasets/govtrack.h"
+
+namespace sama {
+namespace {
+
+// Index of the query path with the given rendering.
+size_t IndexOf(const QueryGraph& q, const std::string& rendered) {
+  for (size_t i = 0; i < q.paths().size(); ++i) {
+    if (q.paths()[i].ToString(q.dict()) == rendered) return i;
+  }
+  ADD_FAILURE() << "path not found: " << rendered;
+  return 0;
+}
+
+TEST(IntersectionGraphTest, Figure2Shape) {
+  QueryGraph q = QueryGraph::FromPatterns(GovTrackQuery1Patterns());
+  IntersectionQueryGraph ig(q);
+  size_t q1 = IndexOf(q, "CarlaBunes-sponsor-?v1-aTo-?v2-subject-Health Care");
+  size_t q2 = IndexOf(q, "?v3-sponsor-?v2-subject-Health Care");
+  size_t q3 = IndexOf(q, "?v3-gender-Male");
+  // Figure 2: q1–q2 share {?v2, Health Care}; q2–q3 share {?v3};
+  // q1–q3 share nothing.
+  EXPECT_EQ(ig.ChiQ(q1, q2), 2u);
+  EXPECT_EQ(ig.ChiQ(q2, q3), 1u);
+  EXPECT_EQ(ig.ChiQ(q1, q3), 0u);
+  EXPECT_EQ(ig.edges().size(), 2u);
+}
+
+TEST(IntersectionGraphTest, ChiIsSymmetric) {
+  QueryGraph q = QueryGraph::FromPatterns(GovTrackQuery1Patterns());
+  IntersectionQueryGraph ig(q);
+  for (size_t i = 0; i < ig.path_count(); ++i) {
+    for (size_t j = 0; j < ig.path_count(); ++j) {
+      EXPECT_EQ(ig.ChiQ(i, j), ig.ChiQ(j, i));
+    }
+  }
+}
+
+TEST(IntersectionGraphTest, NeighborsMatchEdges) {
+  QueryGraph q = QueryGraph::FromPatterns(GovTrackQuery1Patterns());
+  IntersectionQueryGraph ig(q);
+  size_t q2 = IndexOf(q, "?v3-sponsor-?v2-subject-Health Care");
+  // q2 intersects both q1 and q3.
+  EXPECT_EQ(ig.Neighbors(q2).size(), 2u);
+}
+
+TEST(IntersectionGraphTest, SingotonQueryHasNoEdges) {
+  std::vector<Triple> patterns = {
+      {Term::Variable("a"), Term::Iri("p"), Term::Variable("b")}};
+  QueryGraph q = QueryGraph::FromPatterns(patterns);
+  IntersectionQueryGraph ig(q);
+  EXPECT_TRUE(ig.edges().empty());
+  EXPECT_EQ(ig.path_count(), 1u);
+}
+
+TEST(IntersectionGraphTest, SharedNodeIdsAreReported) {
+  QueryGraph q = QueryGraph::FromPatterns(GovTrackQuery1Patterns());
+  IntersectionQueryGraph ig(q);
+  bool found_v2_hc_edge = false;
+  for (const auto& edge : ig.edges()) {
+    if (edge.shared.size() == 2) {
+      found_v2_hc_edge = true;
+      // The shared nodes are ?v2 and Health Care.
+      std::set<std::string> labels;
+      for (NodeId n : edge.shared) {
+        labels.insert(q.graph().node_term(n).DisplayLabel());
+      }
+      EXPECT_EQ(labels, (std::set<std::string>{"?v2", "Health Care"}));
+    }
+  }
+  EXPECT_TRUE(found_v2_hc_edge);
+}
+
+TEST(IntersectionGraphTest, OutOfRangeChiIsZero) {
+  QueryGraph q = QueryGraph::FromPatterns(GovTrackQuery1Patterns());
+  IntersectionQueryGraph ig(q);
+  EXPECT_EQ(ig.ChiQ(99, 0), 0u);
+}
+
+}  // namespace
+}  // namespace sama

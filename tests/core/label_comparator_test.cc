@@ -1,0 +1,81 @@
+#include "core/label_comparator.h"
+
+#include <gtest/gtest.h>
+
+namespace sama {
+namespace {
+
+class LabelComparatorTest : public testing::Test {
+ protected:
+  TermId Id(const Term& t) { return dict_.Intern(t); }
+
+  TermDictionary dict_;
+};
+
+TEST_F(LabelComparatorTest, SameIdIsExact) {
+  LabelComparator cmp(&dict_, nullptr);
+  TermId x = Id(Term::Iri("x"));
+  EXPECT_EQ(cmp.Compare(x, x), LabelMatch::kExact);
+}
+
+TEST_F(LabelComparatorTest, VariableMatchesAnything) {
+  LabelComparator cmp(&dict_, nullptr);
+  TermId data = Id(Term::Literal("anything"));
+  TermId var = Id(Term::Variable("v"));
+  EXPECT_EQ(cmp.Compare(data, var), LabelMatch::kVariable);
+}
+
+TEST_F(LabelComparatorTest, CaseInsensitiveDisplayEqualIsExact) {
+  LabelComparator cmp(&dict_, nullptr);
+  TermId a = Id(Term::Literal("Male"));
+  TermId b = Id(Term::Literal("MALE"));
+  EXPECT_EQ(cmp.Compare(a, b), LabelMatch::kExact);
+}
+
+TEST_F(LabelComparatorTest, IriAndLiteralWithSameDisplayMatch) {
+  LabelComparator cmp(&dict_, nullptr);
+  // An IRI ...#Male displays as "Male" and matches the literal "Male" —
+  // the element-to-element mapping works on labels, not term kinds.
+  TermId iri = Id(Term::Iri("http://x.org/vocab#Male"));
+  TermId lit = Id(Term::Literal("Male"));
+  EXPECT_EQ(cmp.Compare(iri, lit), LabelMatch::kExact);
+}
+
+TEST_F(LabelComparatorTest, ThesaurusGivesSynonym) {
+  Thesaurus t;
+  t.AddSynonyms({"male", "man"});
+  LabelComparator cmp(&dict_, &t);
+  TermId man = Id(Term::Literal("Man"));
+  TermId male = Id(Term::Literal("Male"));
+  EXPECT_EQ(cmp.Compare(man, male), LabelMatch::kSynonym);
+}
+
+TEST_F(LabelComparatorTest, NoThesaurusMeansMismatch) {
+  LabelComparator cmp(&dict_, nullptr);
+  TermId man = Id(Term::Literal("Man"));
+  TermId male = Id(Term::Literal("Male"));
+  EXPECT_EQ(cmp.Compare(man, male), LabelMatch::kMismatch);
+}
+
+TEST_F(LabelComparatorTest, CacheReturnsConsistentResults) {
+  Thesaurus t;
+  t.AddSynonyms({"a", "b"});
+  LabelComparator cmp(&dict_, &t);
+  TermId a = Id(Term::Literal("a"));
+  TermId b = Id(Term::Literal("b"));
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(cmp.Compare(a, b), LabelMatch::kSynonym);
+  }
+}
+
+TEST_F(LabelComparatorTest, HypernymsWithinOneHopAreSynonymMatches) {
+  Thesaurus t;
+  t.AddHypernym("professor", "teacher");
+  LabelComparator cmp(&dict_, &t);
+  TermId prof = Id(Term::Literal("Professor"));
+  TermId teacher = Id(Term::Literal("Teacher"));
+  EXPECT_EQ(cmp.Compare(prof, teacher), LabelMatch::kSynonym);
+}
+
+}  // namespace
+}  // namespace sama

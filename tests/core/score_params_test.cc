@@ -1,0 +1,129 @@
+// Property sweeps over the score parameters a, b, c, d, e: Theorem 1's
+// coherence must hold for any positive weight assignment, and each
+// parameter must scale exactly the operation class it prices.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/alignment.h"
+#include "core/score.h"
+
+namespace sama {
+namespace {
+
+struct WeightCase {
+  double a, b, c, d, e;
+};
+
+class ScoreParamsTest : public testing::TestWithParam<WeightCase> {
+ protected:
+  ScoreParamsTest() : dict_(std::make_shared<TermDictionary>()) {}
+
+  Path MakePath(const std::vector<std::string>& elements) {
+    Path p;
+    for (size_t i = 0; i < elements.size(); ++i) {
+      const std::string& s = elements[i];
+      TermId id = dict_->Intern(s[0] == '?' ? Term::Variable(s.substr(1))
+                                            : Term::Literal(s));
+      if (i % 2 == 0) {
+        p.node_labels.push_back(id);
+        p.nodes.push_back(static_cast<NodeId>(i));
+      } else {
+        p.edge_labels.push_back(id);
+      }
+    }
+    return p;
+  }
+
+  ScoreParams Params() {
+    WeightCase w = GetParam();
+    ScoreParams params;
+    params.weights.node_delete = w.a;
+    params.weights.node_insert = w.b;
+    params.weights.edge_delete = w.c;
+    params.weights.edge_insert = w.d;
+    params.e = w.e;
+    return params;
+  }
+
+  std::shared_ptr<TermDictionary> dict_;
+};
+
+TEST_P(ScoreParamsTest, NodeMismatchCostsExactlyA) {
+  LabelComparator cmp(dict_.get(), nullptr);
+  Path q = MakePath({"X", "edge", "Sink"});
+  Path p = MakePath({"Y", "edge", "Sink"});
+  EXPECT_DOUBLE_EQ(AlignPaths(p, q, cmp, Params()).lambda, GetParam().a);
+}
+
+TEST_P(ScoreParamsTest, EdgeMismatchCostsExactlyC) {
+  LabelComparator cmp(dict_.get(), nullptr);
+  Path q = MakePath({"X", "e1", "Sink"});
+  Path p = MakePath({"X", "e2", "Sink"});
+  EXPECT_DOUBLE_EQ(AlignPaths(p, q, cmp, Params()).lambda, GetParam().c);
+}
+
+TEST_P(ScoreParamsTest, InsertionCostsExactlyBPlusD) {
+  LabelComparator cmp(dict_.get(), nullptr);
+  Path q = MakePath({"?s", "e", "Sink"});
+  Path p = MakePath({"A", "e", "Mid", "e", "Sink"});
+  EXPECT_DOUBLE_EQ(AlignPaths(p, q, cmp, Params()).lambda,
+                   GetParam().b + GetParam().d);
+}
+
+TEST_P(ScoreParamsTest, DeletionCostsExactlyAPlusC) {
+  LabelComparator cmp(dict_.get(), nullptr);
+  Path q = MakePath({"A", "e", "Mid2", "e", "Sink"});
+  Path p = MakePath({"A", "e", "Sink"});
+  EXPECT_DOUBLE_EQ(AlignPaths(p, q, cmp, Params()).lambda,
+                   GetParam().a + GetParam().c);
+}
+
+TEST_P(ScoreParamsTest, PsiScalesWithE) {
+  ScoreParams params = Params();
+  EXPECT_DOUBLE_EQ(PsiCost(3, 1, params), GetParam().e * 3.0);
+  EXPECT_DOUBLE_EQ(PsiCost(2, 2, params), GetParam().e);
+  EXPECT_DOUBLE_EQ(PsiCost(0, 1, params), 0.0);
+}
+
+TEST_P(ScoreParamsTest, Theorem1CoherenceForAnyWeights) {
+  // An answer needing a strict superset of basic operations must score
+  // strictly worse, whatever the (positive) weights are.
+  LabelComparator cmp(dict_.get(), nullptr);
+  ScoreParams params = Params();
+  Path q = MakePath({"A", "e", "?v", "e", "Sink"});
+  Path exact = MakePath({"A", "e", "B", "e", "Sink"});
+  Path one_mismatch = MakePath({"Z", "e", "B", "e", "Sink"});
+  Path mismatch_plus_insert =
+      MakePath({"Z", "e", "B", "x", "Extra", "e", "Sink"});
+  double l0 = AlignPaths(exact, q, cmp, params).lambda;
+  double l1 = AlignPaths(one_mismatch, q, cmp, params).lambda;
+  double l2 = AlignPaths(mismatch_plus_insert, q, cmp, params).lambda;
+  EXPECT_DOUBLE_EQ(l0, 0.0);
+  EXPECT_LT(l0, l1);
+  EXPECT_LT(l1, l2);
+}
+
+TEST_P(ScoreParamsTest, GammaEqualsLambdaUnderTheseWeights) {
+  LabelComparator cmp(dict_.get(), nullptr);
+  ScoreParams params = Params();
+  Path q = MakePath({"A", "e", "?v", "e", "Sink"});
+  Path p = MakePath({"Z", "e", "B", "x", "Extra", "e", "Sink"});
+  PathAlignment alignment = AlignPaths(p, q, cmp, params);
+  EXPECT_DOUBLE_EQ(alignment.lambda, alignment.tau.Cost(params.weights));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Weights, ScoreParamsTest,
+    testing::Values(WeightCase{1, 0.5, 2, 1, 1},      // Paper defaults.
+                    WeightCase{1, 1, 1, 1, 1},        // Uniform.
+                    WeightCase{5, 0.1, 0.1, 0.1, 2},  // Node-heavy.
+                    WeightCase{0.1, 0.1, 9, 4, 0.5},  // Edge-heavy.
+                    WeightCase{2, 3, 1, 7, 10}),      // Arbitrary.
+    [](const testing::TestParamInfo<WeightCase>& info) {
+      return "Case" + std::to_string(info.index);
+    });
+
+}  // namespace
+}  // namespace sama

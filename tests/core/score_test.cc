@@ -1,0 +1,110 @@
+#include "core/score.h"
+
+#include <gtest/gtest.h>
+
+namespace sama {
+namespace {
+
+Path PathWithNodes(std::initializer_list<NodeId> nodes) {
+  Path p;
+  p.nodes.assign(nodes);
+  // Labels are irrelevant for χ; fill with node ids.
+  for (NodeId n : p.nodes) p.node_labels.push_back(n);
+  for (size_t i = 0; i + 1 < p.nodes.size(); ++i) p.edge_labels.push_back(0);
+  return p;
+}
+
+TEST(ChiTest, CommonNodes) {
+  Path a = PathWithNodes({1, 2, 3, 4});
+  Path b = PathWithNodes({9, 3, 4});
+  EXPECT_EQ(ChiCommonNodes(a, b), (std::vector<NodeId>{3, 4}));
+  EXPECT_EQ(ChiSize(a, b), 2u);
+}
+
+TEST(ChiTest, DisjointPaths) {
+  Path a = PathWithNodes({1, 2});
+  Path b = PathWithNodes({3, 4});
+  EXPECT_TRUE(ChiCommonNodes(a, b).empty());
+}
+
+TEST(ChiTest, IsSymmetric) {
+  Path a = PathWithNodes({5, 6, 7});
+  Path b = PathWithNodes({7, 8, 5});
+  EXPECT_EQ(ChiSize(a, b), ChiSize(b, a));
+  EXPECT_EQ(ChiSize(a, b), 2u);
+}
+
+TEST(ChiTest, SelfIntersectionIsAllNodes) {
+  Path a = PathWithNodes({1, 2, 3});
+  EXPECT_EQ(ChiSize(a, a), 3u);
+}
+
+TEST(PsiTest, PreservedIntersectionsCostE) {
+  ScoreParams params;
+  // Figure 4 example: χ(q2,q1) = 2 (?v2, Health Care).
+  // (p10, p1) share {B1432, HC}: χp = 2 → cost e·2/2 = 1.
+  EXPECT_DOUBLE_EQ(PsiCost(2, 2, params), 1.0);
+}
+
+TEST(PsiTest, LostIntersectionsCostMore) {
+  ScoreParams params;
+  // (p7, p1) share only HC: χp = 1 → cost e·2/1 = 2.
+  EXPECT_DOUBLE_EQ(PsiCost(2, 1, params), 2.0);
+  // Entirely lost: cost e·|χq| = 2.
+  EXPECT_DOUBLE_EQ(PsiCost(2, 0, params), 2.0);
+}
+
+TEST(PsiTest, NoQueryIntersectionNoCost) {
+  ScoreParams params;
+  EXPECT_DOUBLE_EQ(PsiCost(0, 0, params), 0.0);
+  EXPECT_DOUBLE_EQ(PsiCost(0, 5, params), 0.0);
+}
+
+TEST(PsiTest, ScalesWithE) {
+  ScoreParams params;
+  params.e = 3.0;
+  EXPECT_DOUBLE_EQ(PsiCost(2, 1, params), 6.0);
+  EXPECT_DOUBLE_EQ(PsiCost(2, 0, params), 6.0);
+}
+
+TEST(PsiTest, ExtraIntersectionsReduceCost) {
+  ScoreParams params;
+  // The answer shares more nodes than the query requires: cost < e.
+  EXPECT_LT(PsiCost(1, 3, params), params.e);
+}
+
+TEST(ConformityRatioTest, MatchesFigure4Labels) {
+  // Edge (p10, p1) is labelled [1]; edge (p7, p1) is labelled [0.5].
+  EXPECT_DOUBLE_EQ(ConformityRatio(2, 2), 1.0);
+  EXPECT_DOUBLE_EQ(ConformityRatio(2, 1), 0.5);
+  EXPECT_DOUBLE_EQ(ConformityRatio(0, 0), 1.0);  // Nothing required.
+}
+
+TEST(LambdaTotalTest, SumsAlignments) {
+  PathAlignment a1, a2;
+  a1.lambda = 1.5;
+  a2.lambda = 2.0;
+  EXPECT_DOUBLE_EQ(LambdaTotal({a1, a2}), 3.5);
+  EXPECT_DOUBLE_EQ(LambdaTotal({}), 0.0);
+}
+
+// Monotonicity of ψ in the preserved-intersection count: keeping more
+// of the query's intersections never costs more.
+class PsiMonotoneTest : public testing::TestWithParam<size_t> {};
+
+TEST_P(PsiMonotoneTest, MorePreservedNeverWorse) {
+  ScoreParams params;
+  size_t chi_q = GetParam();
+  for (size_t chi_p = 1; chi_p < 6; ++chi_p) {
+    EXPECT_LE(PsiCost(chi_q, chi_p + 1, params),
+              PsiCost(chi_q, chi_p, params));
+  }
+  if (chi_q > 0) {
+    EXPECT_GE(PsiCost(chi_q, 0, params), PsiCost(chi_q, chi_q, params));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ChiQ, PsiMonotoneTest, testing::Values(0, 1, 2, 5));
+
+}  // namespace
+}  // namespace sama

@@ -1,0 +1,66 @@
+#include "datasets/berlin.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/data_graph.h"
+#include "graph/path_enumerator.h"
+
+namespace sama {
+namespace {
+
+TEST(BerlinTest, Deterministic) {
+  BerlinConfig config;
+  std::vector<Triple> a = GenerateBerlin(config);
+  std::vector<Triple> b = GenerateBerlin(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(BerlinTest, OffersAndReviewsAreSources) {
+  DataGraph g = DataGraph::FromTriples(GenerateBerlin(BerlinConfig()));
+  size_t offers = 0, reviews = 0;
+  for (NodeId n : g.Sources()) {
+    std::string label = g.node_term(n).DisplayLabel();
+    if (label.find("Offer") == 0) ++offers;
+    if (label.find("Review") == 0) ++reviews;
+  }
+  BerlinConfig config;
+  EXPECT_EQ(offers, config.products * config.offers_per_product);
+  EXPECT_EQ(reviews, config.products * config.reviews_per_product);
+}
+
+TEST(BerlinTest, EveryProductHasTypeAndProducer) {
+  BerlinConfig config;
+  config.products = 20;
+  std::vector<Triple> triples = GenerateBerlin(config);
+  size_t type_edges = 0, producer_edges = 0;
+  for (const Triple& t : triples) {
+    std::string p = t.predicate.DisplayLabel();
+    if (p == "productType") ++type_edges;
+    if (p == "producer") ++producer_edges;
+  }
+  EXPECT_EQ(type_edges, 20u);
+  EXPECT_EQ(producer_edges, 20u);
+}
+
+TEST(BerlinTest, PathsFlowToTypeAndCountrySinks) {
+  DataGraph g = DataGraph::FromTriples(GenerateBerlin(BerlinConfig()));
+  bool to_country = false, to_type = false;
+  for (const Path& p : AllPaths(g)) {
+    std::string sink = g.dict().term(p.sink_label()).DisplayLabel();
+    if (sink.find("ProductType") == 0) to_type = true;
+    if (sink.size() == 2) to_country = true;  // "DE", "US", ...
+  }
+  EXPECT_TRUE(to_type);
+  EXPECT_TRUE(to_country);
+}
+
+TEST(BerlinTest, SizeScalesWithProducts) {
+  BerlinConfig small, large;
+  large.products = small.products * 4;
+  EXPECT_GT(GenerateBerlin(large).size(),
+            3 * GenerateBerlin(small).size());
+}
+
+}  // namespace
+}  // namespace sama

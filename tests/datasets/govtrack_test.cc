@@ -1,0 +1,63 @@
+#include "datasets/govtrack.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/data_graph.h"
+
+namespace sama {
+namespace {
+
+TEST(GovTrackTest, TripleCountsAndShape) {
+  std::vector<Triple> triples = GovTrackFigure1Triples();
+  EXPECT_EQ(triples.size(), 29u);
+  DataGraph g = DataGraph::FromTriples(triples);
+  EXPECT_EQ(g.node_count(), 21u);
+  EXPECT_EQ(g.edge_count(), 29u);
+}
+
+TEST(GovTrackTest, SevenSourcesArePeople) {
+  DataGraph g = DataGraph::FromTriples(GovTrackFigure1Triples());
+  for (NodeId n : g.Sources()) {
+    std::string label = g.node_term(n).DisplayLabel();
+    // All sources are person entities (no digits in their names).
+    EXPECT_EQ(label.find_first_of("0123456789"), std::string::npos)
+        << label;
+  }
+  EXPECT_EQ(g.Sources().size(), 7u);
+}
+
+TEST(GovTrackTest, ThreeBillsOnHealthCare) {
+  DataGraph g = DataGraph::FromTriples(GovTrackFigure1Triples());
+  NodeId hc = g.FindNode(Term::Literal("Health Care"));
+  ASSERT_NE(hc, kInvalidNodeId);
+  EXPECT_EQ(g.in_degree(hc), 3u);
+}
+
+TEST(GovTrackTest, FourMaleSponsors) {
+  DataGraph g = DataGraph::FromTriples(GovTrackFigure1Triples());
+  NodeId male = g.FindNode(Term::Literal("Male"));
+  ASSERT_NE(male, kInvalidNodeId);
+  EXPECT_EQ(g.in_degree(male), 4u);
+}
+
+TEST(GovTrackTest, Query1PatternsWellFormed) {
+  std::vector<Triple> patterns = GovTrackQuery1Patterns();
+  EXPECT_EQ(patterns.size(), 5u);
+  // All predicates are constant in Q1.
+  for (const Triple& t : patterns) {
+    EXPECT_TRUE(t.predicate.is_iri());
+  }
+}
+
+TEST(GovTrackTest, Query2HasVariableEdge) {
+  std::vector<Triple> patterns = GovTrackQuery2Patterns();
+  EXPECT_EQ(patterns.size(), 4u);
+  bool has_edge_var = false;
+  for (const Triple& t : patterns) {
+    if (t.predicate.is_variable()) has_edge_var = true;
+  }
+  EXPECT_TRUE(has_edge_var);
+}
+
+}  // namespace
+}  // namespace sama

@@ -1,0 +1,88 @@
+#include "datasets/lubm.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/data_graph.h"
+#include "graph/path_enumerator.h"
+#include "rdf/ntriples.h"
+
+namespace sama {
+namespace {
+
+TEST(LubmTest, DeterministicForSeed) {
+  LubmConfig config;
+  std::vector<Triple> a = GenerateLubm(config);
+  std::vector<Triple> b = GenerateLubm(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(LubmTest, DifferentSeedsDiffer) {
+  LubmConfig a_config, b_config;
+  b_config.seed = 99;
+  std::vector<Triple> a = GenerateLubm(a_config);
+  std::vector<Triple> b = GenerateLubm(b_config);
+  EXPECT_NE(WriteNTriples(a), WriteNTriples(b));
+}
+
+TEST(LubmTest, ScalesWithUniversities) {
+  LubmConfig small, large;
+  large.universities = 3;
+  EXPECT_GT(GenerateLubm(large).size(), 2 * GenerateLubm(small).size());
+}
+
+TEST(LubmTest, GraphHasSourcesAndSinks) {
+  DataGraph g = DataGraph::FromTriples(GenerateLubm(LubmConfig()));
+  EXPECT_FALSE(g.Sources().empty());
+  EXPECT_FALSE(g.Sinks().empty());
+  // Students and publications are sources; universities/courses/ranks
+  // are sinks.
+  bool student_source = false;
+  for (NodeId n : g.Sources()) {
+    if (g.node_term(n).DisplayLabel().find("Student") == 0) {
+      student_source = true;
+    }
+  }
+  EXPECT_TRUE(student_source);
+}
+
+TEST(LubmTest, PathEnumerationStaysBounded) {
+  LubmConfig config;
+  config.universities = 2;
+  DataGraph g = DataGraph::FromTriples(GenerateLubm(config));
+  size_t paths = AllPaths(g).size();
+  // The schema bounds the paths to a small multiple of the entities.
+  EXPECT_GT(paths, g.node_count() / 2);
+  EXPECT_LT(paths, g.edge_count() * 4);
+}
+
+TEST(LubmTest, VocabularyUsesLubmNamespace) {
+  std::vector<Triple> triples = GenerateLubm(LubmConfig());
+  bool teacher_of = false;
+  for (const Triple& t : triples) {
+    if (t.predicate.value() ==
+        std::string(kLubmNamespace) + "teacherOf") {
+      teacher_of = true;
+    }
+  }
+  EXPECT_TRUE(teacher_of);
+}
+
+TEST(UobmTest, AddsCrossLinksOverLubm) {
+  LubmConfig config;
+  config.universities = 2;
+  std::vector<Triple> lubm = GenerateLubm(config);
+  std::vector<Triple> uobm = GenerateUobm(config);
+  EXPECT_GT(uobm.size(), lubm.size());
+  bool friendship = false;
+  for (const Triple& t : uobm) {
+    if (t.predicate.value() ==
+        std::string(kLubmNamespace) + "isFriendOf") {
+      friendship = true;
+    }
+  }
+  EXPECT_TRUE(friendship);
+}
+
+}  // namespace
+}  // namespace sama

@@ -1,0 +1,116 @@
+#include "datasets/queries.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "query/sparql.h"
+
+namespace sama {
+namespace {
+
+TEST(QueriesTest, TwelveQueries) {
+  std::vector<BenchmarkQuery> queries = MakeLubmQueries();
+  ASSERT_EQ(queries.size(), 12u);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(queries[i].name, "Q" + std::to_string(i + 1));
+  }
+}
+
+TEST(QueriesTest, AllParseAsSparql) {
+  for (const BenchmarkQuery& q : MakeLubmQueries()) {
+    auto parsed = ParseSparql(q.sparql);
+    EXPECT_TRUE(parsed.ok()) << q.name << ": " << parsed.status();
+  }
+}
+
+TEST(QueriesTest, PathCountsMatchDeclaredGroups) {
+  // Figure 9 buckets queries by |Q| (the number of query paths):
+  // [1,4], [5,10] and [11,17].
+  for (const BenchmarkQuery& q : MakeLubmQueries()) {
+    auto parsed = ParseSparql(q.sparql);
+    ASSERT_TRUE(parsed.ok()) << q.name;
+    QueryGraph graph = parsed->ToQueryGraph();
+    int paths = static_cast<int>(graph.paths().size());
+    EXPECT_GE(paths, q.group_low) << q.name;
+    EXPECT_LE(paths, q.group_high) << q.name;
+  }
+}
+
+TEST(QueriesTest, AllThreeGroupsCovered) {
+  std::set<std::pair<int, int>> groups;
+  for (const BenchmarkQuery& q : MakeLubmQueries()) {
+    groups.insert({q.group_low, q.group_high});
+  }
+  EXPECT_EQ(groups, (std::set<std::pair<int, int>>{
+                        {1, 4}, {5, 10}, {11, 17}}));
+}
+
+TEST(QueriesTest, ComplexityIncreases) {
+  std::vector<BenchmarkQuery> queries = MakeLubmQueries();
+  auto parsed_first = ParseSparql(queries.front().sparql);
+  auto parsed_last = ParseSparql(queries.back().sparql);
+  ASSERT_TRUE(parsed_first.ok());
+  ASSERT_TRUE(parsed_last.ok());
+  EXPECT_GT(parsed_last->patterns.size(), parsed_first->patterns.size());
+  QueryGraph g_first = parsed_first->ToQueryGraph();
+  QueryGraph g_last = parsed_last->ToQueryGraph();
+  EXPECT_GT(g_last.num_variables(), g_first.num_variables());
+  EXPECT_GT(g_last.num_nodes(), g_first.num_nodes());
+}
+
+TEST(QueriesTest, RelaxedQueriesFlagged) {
+  size_t relaxed = 0;
+  for (const BenchmarkQuery& q : MakeLubmQueries()) {
+    if (q.relaxed) ++relaxed;
+  }
+  // Q6, Q7 and Q11 use synonyms or structural relaxation.
+  EXPECT_EQ(relaxed, 3u);
+}
+
+TEST(QueriesTest, VariableCountsSpanFigure7cRange) {
+  // Figure 7(c) sweeps 1..7 variables; the workload must cover a wide
+  // range.
+  size_t max_vars = 0, min_vars = 100;
+  for (const BenchmarkQuery& q : MakeLubmQueries()) {
+    auto parsed = ParseSparql(q.sparql);
+    ASSERT_TRUE(parsed.ok());
+    QueryGraph graph = parsed->ToQueryGraph();
+    max_vars = std::max(max_vars, graph.num_variables());
+    min_vars = std::min(min_vars, graph.num_variables());
+  }
+  EXPECT_LE(min_vars, 2u);
+  EXPECT_GE(max_vars, 7u);
+}
+
+TEST(BerlinQueriesTest, SixQueriesParseAndDecompose) {
+  std::vector<BenchmarkQuery> queries = MakeBerlinQueries();
+  ASSERT_EQ(queries.size(), 6u);
+  for (const BenchmarkQuery& q : queries) {
+    auto parsed = ParseSparql(q.sparql);
+    ASSERT_TRUE(parsed.ok()) << q.name << ": " << parsed.status();
+    auto strict = ParseSparql(q.strict_sparql);
+    ASSERT_TRUE(strict.ok()) << q.name;
+    QueryGraph graph = parsed->ToQueryGraph();
+    EXPECT_GE(static_cast<int>(graph.paths().size()), q.group_low)
+        << q.name;
+    EXPECT_LE(static_cast<int>(graph.paths().size()), q.group_high)
+        << q.name;
+  }
+}
+
+TEST(BerlinQueriesTest, RelaxedQueriesHaveDistinctStrictTwins) {
+  size_t relaxed = 0;
+  for (const BenchmarkQuery& q : MakeBerlinQueries()) {
+    if (q.relaxed) {
+      ++relaxed;
+      EXPECT_NE(q.sparql, q.strict_sparql) << q.name;
+    } else {
+      EXPECT_EQ(q.sparql, q.strict_sparql) << q.name;
+    }
+  }
+  EXPECT_EQ(relaxed, 2u);
+}
+
+}  // namespace
+}  // namespace sama

@@ -1,0 +1,104 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace sama {
+namespace {
+
+std::vector<Term> Tuple(const std::string& a, const std::string& b = "") {
+  std::vector<Term> t{Term::Iri(a)};
+  if (!b.empty()) t.push_back(Term::Iri(b));
+  return t;
+}
+
+TEST(TupleKeyTest, DistinguishesOrderAndContent) {
+  EXPECT_EQ(TupleKey(Tuple("a", "b")), TupleKey(Tuple("a", "b")));
+  EXPECT_NE(TupleKey(Tuple("a", "b")), TupleKey(Tuple("b", "a")));
+  EXPECT_NE(TupleKey(Tuple("a")), TupleKey(Tuple("a", "a")));
+  EXPECT_NE(TupleKey({Term::Iri("x")}), TupleKey({Term::Literal("x")}));
+}
+
+TEST(ReciprocalRankTest, FirstHitWins) {
+  RelevantSet relevant;
+  relevant.Add(Tuple("good"));
+  EXPECT_DOUBLE_EQ(ReciprocalRank({Tuple("good")}, relevant), 1.0);
+  EXPECT_DOUBLE_EQ(
+      ReciprocalRank({Tuple("bad"), Tuple("good")}, relevant), 0.5);
+  EXPECT_DOUBLE_EQ(
+      ReciprocalRank({Tuple("x"), Tuple("y"), Tuple("good")}, relevant),
+      1.0 / 3);
+  EXPECT_DOUBLE_EQ(ReciprocalRank({Tuple("x")}, relevant), 0.0);
+  EXPECT_DOUBLE_EQ(ReciprocalRank({}, relevant), 0.0);
+}
+
+TEST(PrecisionRecallCurveTest, PerfectRanking) {
+  RelevantSet relevant;
+  relevant.Add(Tuple("a"));
+  relevant.Add(Tuple("b"));
+  auto curve = PrecisionRecallCurve({Tuple("a"), Tuple("b")}, relevant);
+  ASSERT_EQ(curve.size(), 2u);
+  EXPECT_DOUBLE_EQ(curve[0].precision, 1.0);
+  EXPECT_DOUBLE_EQ(curve[0].recall, 0.5);
+  EXPECT_DOUBLE_EQ(curve[1].precision, 1.0);
+  EXPECT_DOUBLE_EQ(curve[1].recall, 1.0);
+}
+
+TEST(PrecisionRecallCurveTest, NoiseLowersPrecision) {
+  RelevantSet relevant;
+  relevant.Add(Tuple("a"));
+  auto curve =
+      PrecisionRecallCurve({Tuple("junk"), Tuple("a")}, relevant);
+  ASSERT_EQ(curve.size(), 2u);
+  EXPECT_DOUBLE_EQ(curve[0].precision, 0.0);
+  EXPECT_DOUBLE_EQ(curve[1].precision, 0.5);
+  EXPECT_DOUBLE_EQ(curve[1].recall, 1.0);
+}
+
+TEST(PrecisionRecallCurveTest, DuplicatesCountOnceForRecall) {
+  RelevantSet relevant;
+  relevant.Add(Tuple("a"));
+  relevant.Add(Tuple("b"));
+  auto curve = PrecisionRecallCurve({Tuple("a"), Tuple("a")}, relevant);
+  EXPECT_DOUBLE_EQ(curve[1].recall, 0.5);  // Still only one of two found.
+}
+
+TEST(PrecisionRecallCurveTest, EmptyTruthYieldsEmptyCurve) {
+  RelevantSet relevant;
+  EXPECT_TRUE(PrecisionRecallCurve({Tuple("a")}, relevant).empty());
+}
+
+TEST(InterpolationTest, ElevenMonotoneLevels) {
+  RelevantSet relevant;
+  relevant.Add(Tuple("a"));
+  relevant.Add(Tuple("b"));
+  auto curve = PrecisionRecallCurve(
+      {Tuple("a"), Tuple("x"), Tuple("b"), Tuple("y")}, relevant);
+  auto interp = InterpolateElevenPoints(curve);
+  ASSERT_EQ(interp.size(), 11u);
+  EXPECT_DOUBLE_EQ(interp[0].recall, 0.0);
+  EXPECT_DOUBLE_EQ(interp[10].recall, 1.0);
+  // Interpolated precision is non-increasing in recall.
+  for (size_t i = 1; i < interp.size(); ++i) {
+    EXPECT_LE(interp[i].precision, interp[i - 1].precision);
+  }
+  // Precision at recall 0.5 (one of two found at rank 1) is 1.0.
+  EXPECT_DOUBLE_EQ(interp[5].precision, 1.0);
+  // Precision at recall 1.0: 2 relevant out of 3 ranked = 2/3.
+  EXPECT_NEAR(interp[10].precision, 2.0 / 3, 1e-9);
+}
+
+TEST(SetMetricsTest, PrecisionAndRecall) {
+  RelevantSet relevant;
+  relevant.Add(Tuple("a"));
+  relevant.Add(Tuple("b"));
+  relevant.Add(Tuple("c"));
+  std::vector<std::vector<Term>> results = {Tuple("a"), Tuple("junk"),
+                                            Tuple("b")};
+  EXPECT_NEAR(Precision(results, relevant), 2.0 / 3, 1e-9);
+  EXPECT_NEAR(Recall(results, relevant), 2.0 / 3, 1e-9);
+  EXPECT_DOUBLE_EQ(Precision({}, relevant), 0.0);
+  EXPECT_DOUBLE_EQ(Recall({Tuple("a")}, RelevantSet()), 0.0);
+}
+
+}  // namespace
+}  // namespace sama

@@ -1,0 +1,126 @@
+#include "graph/data_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "datasets/govtrack.h"
+
+namespace sama {
+namespace {
+
+DataGraph Diamond() {
+  // a -p-> b -p-> d, a -p-> c -p-> d.
+  DataGraph g;
+  NodeId a = g.AddNode(Term::Iri("a"));
+  NodeId b = g.AddNode(Term::Iri("b"));
+  NodeId c = g.AddNode(Term::Iri("c"));
+  NodeId d = g.AddNode(Term::Iri("d"));
+  Term p = Term::Iri("p");
+  g.AddEdge(a, b, p);
+  g.AddEdge(a, c, p);
+  g.AddEdge(b, d, p);
+  g.AddEdge(c, d, p);
+  return g;
+}
+
+TEST(DataGraphTest, NodesAreDedupedByTerm) {
+  DataGraph g;
+  NodeId a1 = g.AddNode(Term::Iri("a"));
+  NodeId a2 = g.AddNode(Term::Iri("a"));
+  EXPECT_EQ(a1, a2);
+  EXPECT_EQ(g.node_count(), 1u);
+}
+
+TEST(DataGraphTest, DuplicateEdgesCollapse) {
+  DataGraph g;
+  NodeId a = g.AddNode(Term::Iri("a"));
+  NodeId b = g.AddNode(Term::Iri("b"));
+  EdgeId e1 = g.AddEdge(a, b, Term::Iri("p"));
+  EdgeId e2 = g.AddEdge(a, b, Term::Iri("p"));
+  EdgeId e3 = g.AddEdge(a, b, Term::Iri("q"));  // Different label: kept.
+  EXPECT_EQ(e1, e2);
+  EXPECT_NE(e1, e3);
+  EXPECT_EQ(g.edge_count(), 2u);
+}
+
+TEST(DataGraphTest, AdjacencyListsAreConsistent) {
+  DataGraph g = Diamond();
+  NodeId a = g.FindNode(Term::Iri("a"));
+  NodeId d = g.FindNode(Term::Iri("d"));
+  EXPECT_EQ(g.out_degree(a), 2u);
+  EXPECT_EQ(g.in_degree(a), 0u);
+  EXPECT_EQ(g.out_degree(d), 0u);
+  EXPECT_EQ(g.in_degree(d), 2u);
+  for (EdgeId e : g.out_edges(a)) EXPECT_EQ(g.edge(e).from, a);
+  for (EdgeId e : g.in_edges(d)) EXPECT_EQ(g.edge(e).to, d);
+}
+
+TEST(DataGraphTest, SourcesAndSinks) {
+  DataGraph g = Diamond();
+  std::vector<NodeId> sources = g.Sources();
+  std::vector<NodeId> sinks = g.Sinks();
+  ASSERT_EQ(sources.size(), 1u);
+  ASSERT_EQ(sinks.size(), 1u);
+  EXPECT_EQ(g.node_term(sources[0]).value(), "a");
+  EXPECT_EQ(g.node_term(sinks[0]).value(), "d");
+}
+
+TEST(DataGraphTest, IsolatedNodesAreNeitherSourceNorSink) {
+  DataGraph g;
+  g.AddNode(Term::Iri("lonely"));
+  EXPECT_TRUE(g.Sources().empty());
+  EXPECT_TRUE(g.Sinks().empty());
+}
+
+TEST(DataGraphTest, HubPromotionOnCycle) {
+  // Cycle a->b->c->a plus a->d: no sources; 'a' has out 2 / in 1.
+  DataGraph g;
+  NodeId a = g.AddNode(Term::Iri("a"));
+  NodeId b = g.AddNode(Term::Iri("b"));
+  NodeId c = g.AddNode(Term::Iri("c"));
+  NodeId d = g.AddNode(Term::Iri("d"));
+  Term p = Term::Iri("p");
+  g.AddEdge(a, b, p);
+  g.AddEdge(b, c, p);
+  g.AddEdge(c, a, p);
+  g.AddEdge(a, d, p);
+  EXPECT_TRUE(g.Sources().empty());
+  std::vector<NodeId> starts = g.StartNodes();
+  ASSERT_EQ(starts.size(), 1u);
+  EXPECT_EQ(starts[0], a);
+}
+
+TEST(DataGraphTest, StartNodesPrefersSources) {
+  DataGraph g = Diamond();
+  EXPECT_EQ(g.StartNodes(), g.Sources());
+}
+
+TEST(DataGraphTest, FromTriplesBuildsFigure1Graph) {
+  DataGraph g = DataGraph::FromTriples(GovTrackFigure1Triples());
+  // 7 people + 5 amendments + 3 bills + HC + Male + Female + 2 terms +
+  // SenateNY = 21 nodes.
+  EXPECT_EQ(g.node_count(), 21u);
+  // The paper's Figure 1 has seven people as sources.
+  EXPECT_EQ(g.Sources().size(), 7u);
+  // Sinks: Health Care, Male, Female, SenateNY.
+  EXPECT_EQ(g.Sinks().size(), 4u);
+  NodeId hc = g.FindNode(Term::Literal("Health Care"));
+  ASSERT_NE(hc, kInvalidNodeId);
+  EXPECT_EQ(g.in_degree(hc), 3u);  // Three bills.
+}
+
+TEST(DataGraphTest, FindNodeMissing) {
+  DataGraph g = Diamond();
+  EXPECT_EQ(g.FindNode(Term::Iri("nope")), kInvalidNodeId);
+  EXPECT_EQ(g.FindNode(Term::Literal("a")), kInvalidNodeId);  // Wrong kind.
+}
+
+TEST(DataGraphTest, MemoryBytesGrowsWithContent) {
+  DataGraph small = Diamond();
+  DataGraph big = DataGraph::FromTriples(GovTrackFigure1Triples());
+  EXPECT_GT(big.MemoryBytes(), small.MemoryBytes());
+}
+
+}  // namespace
+}  // namespace sama

@@ -1,0 +1,85 @@
+#include "graph/graph_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "datasets/govtrack.h"
+#include "datasets/lubm.h"
+
+namespace sama {
+namespace {
+
+TEST(GraphStatsTest, EmptyGraph) {
+  DataGraph g;
+  GraphStats stats = ComputeGraphStats(g);
+  EXPECT_EQ(stats.nodes, 0u);
+  EXPECT_EQ(stats.edges, 0u);
+  EXPECT_EQ(stats.weakly_connected_components, 0u);
+  EXPECT_DOUBLE_EQ(stats.avg_out_degree, 0.0);
+}
+
+TEST(GraphStatsTest, Figure1Shape) {
+  DataGraph g = DataGraph::FromTriples(GovTrackFigure1Triples());
+  GraphStats stats = ComputeGraphStats(g);
+  EXPECT_EQ(stats.nodes, 21u);
+  EXPECT_EQ(stats.edges, 29u);
+  EXPECT_EQ(stats.sources, 7u);
+  EXPECT_EQ(stats.sinks, 4u);
+  EXPECT_EQ(stats.isolated, 0u);
+  // sponsor, aTo, subject, gender, hasRole, forOffice.
+  EXPECT_EQ(stats.distinct_predicates, 6u);
+  // Health Care, Male, Female are literals.
+  EXPECT_EQ(stats.literal_nodes, 3u);
+  EXPECT_EQ(stats.iri_nodes, 18u);
+  // The example graph is one connected blob.
+  EXPECT_EQ(stats.weakly_connected_components, 1u);
+  EXPECT_NEAR(stats.avg_out_degree, 29.0 / 21.0, 1e-9);
+}
+
+TEST(GraphStatsTest, ComponentsCounted) {
+  DataGraph g;
+  NodeId a = g.AddNode(Term::Iri("a"));
+  NodeId b = g.AddNode(Term::Iri("b"));
+  NodeId c = g.AddNode(Term::Iri("c"));
+  NodeId d = g.AddNode(Term::Iri("d"));
+  g.AddNode(Term::Iri("lonely"));
+  g.AddEdge(a, b, Term::Iri("p"));
+  g.AddEdge(c, d, Term::Iri("p"));
+  GraphStats stats = ComputeGraphStats(g);
+  // {a,b}, {c,d}, {lonely}.
+  EXPECT_EQ(stats.weakly_connected_components, 3u);
+  EXPECT_EQ(stats.isolated, 1u);
+  EXPECT_EQ(stats.distinct_predicates, 1u);
+}
+
+TEST(GraphStatsTest, DirectionIgnoredForComponents) {
+  DataGraph g;
+  NodeId a = g.AddNode(Term::Iri("a"));
+  NodeId b = g.AddNode(Term::Iri("b"));
+  NodeId c = g.AddNode(Term::Iri("c"));
+  // a -> b <- c: weakly connected despite opposing directions.
+  g.AddEdge(a, b, Term::Iri("p"));
+  g.AddEdge(c, b, Term::Iri("p"));
+  EXPECT_EQ(ComputeGraphStats(g).weakly_connected_components, 1u);
+}
+
+TEST(GraphStatsTest, LubmIsOneComponent) {
+  LubmConfig config;
+  DataGraph g = DataGraph::FromTriples(GenerateLubm(config));
+  GraphStats stats = ComputeGraphStats(g);
+  // Everything hangs off University0.
+  EXPECT_EQ(stats.weakly_connected_components, 1u);
+  EXPECT_GT(stats.sources, 0u);
+  EXPECT_GT(stats.max_in_degree, 5u);  // The university node.
+}
+
+TEST(GraphStatsTest, FormatIncludesAllQuantities) {
+  DataGraph g = DataGraph::FromTriples(GovTrackFigure1Triples());
+  std::string text = FormatGraphStats(ComputeGraphStats(g));
+  EXPECT_NE(text.find("nodes: 21"), std::string::npos) << text;
+  EXPECT_NE(text.find("edges: 29"), std::string::npos);
+  EXPECT_NE(text.find("sources: 7"), std::string::npos);
+  EXPECT_NE(text.find("components: 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sama

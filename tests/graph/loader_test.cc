@@ -1,0 +1,88 @@
+#include "graph/loader.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "datasets/govtrack.h"
+#include "rdf/ntriples.h"
+#include "rdf/turtle.h"
+
+namespace sama {
+namespace {
+
+std::string WriteTempFile(const std::string& name,
+                          const std::string& contents) {
+  std::string path = testing::TempDir() + "/" + name;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << contents;
+  return path;
+}
+
+TEST(LoaderTest, StreamsNTriples) {
+  std::string path = WriteTempFile(
+      "loader.nt", WriteNTriples(GovTrackFigure1Triples()));
+  DataGraph graph;
+  auto stats = LoadGraphFromFile(path, &graph);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->triples, 29u);
+  EXPECT_EQ(graph.edge_count(), 29u);
+  EXPECT_EQ(graph.node_count(), 21u);
+  EXPECT_GT(stats->bytes, 0u);
+}
+
+TEST(LoaderTest, LoadsTurtle) {
+  std::string path = WriteTempFile(
+      "loader.ttl", WriteTurtle(GovTrackFigure1Triples()));
+  DataGraph graph;
+  auto stats = LoadGraphFromFile(path, &graph);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->triples, 29u);
+  EXPECT_EQ(graph.node_count(), 21u);
+}
+
+TEST(LoaderTest, ProgressCallbackFires) {
+  std::string text;
+  for (int i = 0; i < 250; ++i) {
+    text += "<http://e/s" + std::to_string(i) + "> <http://e/p> \"v\" .\n";
+  }
+  std::string path = WriteTempFile("loader_progress.nt", text);
+  DataGraph graph;
+  int calls = 0;
+  auto stats = LoadGraphFromFile(
+      path, &graph, [&calls](const LoadStats&) { ++calls; },
+      /*progress_every_lines=*/100);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(calls, 2);  // At 100 and 200 triples.
+  EXPECT_EQ(stats->triples, 250u);
+}
+
+TEST(LoaderTest, ReportsLineNumbersOnErrors) {
+  std::string path = WriteTempFile(
+      "loader_bad.nt",
+      "<http://a> <http://p> <http://b> .\nbroken\n");
+  DataGraph graph;
+  auto stats = LoadGraphFromFile(path, &graph);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_NE(stats.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(LoaderTest, MissingFile) {
+  DataGraph graph;
+  EXPECT_EQ(LoadGraphFromFile("/no/such/file.nt", &graph).status().code(),
+            Status::Code::kIoError);
+}
+
+TEST(LoaderTest, SkipsCommentsAndBlankLines) {
+  std::string path = WriteTempFile(
+      "loader_comments.nt",
+      "# header\n\n<http://a> <http://p> \"x\" .\n# done\n");
+  DataGraph graph;
+  auto stats = LoadGraphFromFile(path, &graph);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->triples, 1u);
+  EXPECT_EQ(stats->lines, 4u);
+}
+
+}  // namespace
+}  // namespace sama

@@ -1,0 +1,151 @@
+#include "graph/path_enumerator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "datasets/govtrack.h"
+
+namespace sama {
+namespace {
+
+std::set<std::string> PathStrings(const DataGraph& g,
+                                  const PathEnumeratorOptions& options = {}) {
+  std::set<std::string> out;
+  for (const Path& p : AllPaths(g, options)) {
+    out.insert(p.ToString(g.dict()));
+  }
+  return out;
+}
+
+TEST(PathEnumeratorTest, DiamondYieldsTwoPaths) {
+  DataGraph g;
+  NodeId a = g.AddNode(Term::Iri("a"));
+  NodeId b = g.AddNode(Term::Iri("b"));
+  NodeId c = g.AddNode(Term::Iri("c"));
+  NodeId d = g.AddNode(Term::Iri("d"));
+  g.AddEdge(a, b, Term::Iri("p"));
+  g.AddEdge(a, c, Term::Iri("q"));
+  g.AddEdge(b, d, Term::Iri("p"));
+  g.AddEdge(c, d, Term::Iri("q"));
+  std::set<std::string> paths = PathStrings(g);
+  EXPECT_EQ(paths, (std::set<std::string>{"a-p-b-p-d", "a-q-c-q-d"}));
+}
+
+TEST(PathEnumeratorTest, Figure1PathCount) {
+  DataGraph g = DataGraph::FromTriples(GovTrackFigure1Triples());
+  std::set<std::string> paths = PathStrings(g);
+  // From the people sources: 6 amendment chains, 4 direct bill chains,
+  // 7 gender paths, 2 role chains = 19 paths.
+  EXPECT_EQ(paths.size(), 19u);
+  // The paper's example path pz (§3.2).
+  EXPECT_TRUE(
+      paths.count("JeffRyser-sponsor-A1589-aTo-B0532-subject-Health Care"));
+  // The clustering example's p1.
+  EXPECT_TRUE(paths.count(
+      "CarlaBunes-sponsor-A0056-aTo-B1432-subject-Health Care"));
+  EXPECT_TRUE(paths.count("PierceDickes-gender-Male"));
+}
+
+TEST(PathEnumeratorTest, AllPathsStartAtSourcesAndEndAtSinks) {
+  DataGraph g = DataGraph::FromTriples(GovTrackFigure1Triples());
+  for (const Path& p : AllPaths(g)) {
+    ASSERT_GE(p.length(), 2u);
+    EXPECT_EQ(g.in_degree(p.nodes.front()), 0u);
+    EXPECT_EQ(g.out_degree(p.nodes.back()), 0u);
+  }
+}
+
+TEST(PathEnumeratorTest, MaxLengthCapsPaths) {
+  DataGraph g = DataGraph::FromTriples(GovTrackFigure1Triples());
+  PathEnumeratorOptions options;
+  options.max_length = 2;
+  for (const Path& p : AllPaths(g, options)) {
+    EXPECT_LE(p.length(), 2u);
+  }
+  // Only the gender edges are 2-node source→sink paths.
+  EXPECT_EQ(PathStrings(g, options).size(), 7u);
+}
+
+TEST(PathEnumeratorTest, MaxPathsStopsEarly) {
+  DataGraph g = DataGraph::FromTriples(GovTrackFigure1Triples());
+  PathEnumeratorOptions options;
+  options.max_paths = 5;
+  EXPECT_EQ(AllPaths(g, options).size(), 5u);
+}
+
+TEST(PathEnumeratorTest, EmitReturningFalseStops) {
+  DataGraph g = DataGraph::FromTriples(GovTrackFigure1Triples());
+  size_t seen = 0;
+  EnumeratePaths(g, {}, [&seen](const Path&) {
+    ++seen;
+    return seen < 3;
+  });
+  EXPECT_EQ(seen, 3u);
+}
+
+TEST(PathEnumeratorTest, CycleWithoutSinksUsesHubAndTerminates) {
+  // Pure cycle: a -> b -> c -> a.
+  DataGraph g;
+  NodeId a = g.AddNode(Term::Iri("a"));
+  NodeId b = g.AddNode(Term::Iri("b"));
+  NodeId c = g.AddNode(Term::Iri("c"));
+  g.AddEdge(a, b, Term::Iri("p"));
+  g.AddEdge(b, c, Term::Iri("p"));
+  g.AddEdge(c, a, Term::Iri("p"));
+  std::vector<Path> paths = AllPaths(g);
+  // All nodes tie as hubs; walks end where the cycle closes.
+  ASSERT_FALSE(paths.empty());
+  for (const Path& p : paths) {
+    // Simple paths: no node repeats.
+    std::set<NodeId> distinct(p.nodes.begin(), p.nodes.end());
+    EXPECT_EQ(distinct.size(), p.nodes.size());
+  }
+}
+
+TEST(PathEnumeratorTest, StrictSinksSuppressesCyclePaths) {
+  DataGraph g;
+  NodeId a = g.AddNode(Term::Iri("a"));
+  NodeId b = g.AddNode(Term::Iri("b"));
+  g.AddEdge(a, b, Term::Iri("p"));
+  g.AddEdge(b, a, Term::Iri("p"));
+  PathEnumeratorOptions options;
+  options.strict_sinks = true;
+  EXPECT_TRUE(AllPaths(g, options).empty());
+  options.strict_sinks = false;
+  EXPECT_FALSE(AllPaths(g, options).empty());
+}
+
+TEST(PathEnumeratorTest, BranchingFanoutEnumeratesAllCombinations) {
+  // A 3-level tree: root -> 3 mids -> 2 leaves each = 6 paths.
+  DataGraph g;
+  NodeId root = g.AddNode(Term::Iri("root"));
+  Term p = Term::Iri("p");
+  for (int m = 0; m < 3; ++m) {
+    NodeId mid = g.AddNode(Term::Iri("m" + std::to_string(m)));
+    g.AddEdge(root, mid, p);
+    for (int l = 0; l < 2; ++l) {
+      NodeId leaf = g.AddNode(
+          Term::Iri("leaf" + std::to_string(m) + "_" + std::to_string(l)));
+      g.AddEdge(mid, leaf, p);
+    }
+  }
+  EXPECT_EQ(AllPaths(g).size(), 6u);
+}
+
+TEST(PathEnumeratorTest, EnumerateFromSingleStart) {
+  DataGraph g = DataGraph::FromTriples(GovTrackFigure1Triples());
+  NodeId cb = g.FindNode(Term::Iri("http://gov.example.org/CarlaBunes"));
+  ASSERT_NE(cb, kInvalidNodeId);
+  std::vector<std::string> paths;
+  EnumeratePathsFrom(g, cb, {}, [&](const Path& p) {
+    paths.push_back(p.ToString(g.dict()));
+    return true;
+  });
+  // CB: one amendment chain + one gender path.
+  EXPECT_EQ(paths.size(), 2u);
+}
+
+}  // namespace
+}  // namespace sama

@@ -1,0 +1,71 @@
+#include "graph/path.h"
+
+#include <gtest/gtest.h>
+
+namespace sama {
+namespace {
+
+Path MakePath(TermDictionary* dict, const std::vector<std::string>& nodes,
+              const std::vector<std::string>& edges) {
+  Path p;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    p.node_labels.push_back(dict->Intern(Term::Iri(nodes[i])));
+    p.nodes.push_back(static_cast<NodeId>(i));
+  }
+  for (const std::string& e : edges) {
+    p.edge_labels.push_back(dict->Intern(Term::Iri(e)));
+  }
+  return p;
+}
+
+TEST(PathTest, LengthCountsNodes) {
+  TermDictionary dict;
+  // The paper's pz = JR-sponsor-A1589-aTo-B0532-subject-HC has length 4.
+  Path pz = MakePath(&dict, {"JR", "A1589", "B0532", "HC"},
+                     {"sponsor", "aTo", "subject"});
+  EXPECT_EQ(pz.length(), 4u);
+  EXPECT_EQ(pz.size(), 7u);  // 4 nodes + 3 edges.
+}
+
+TEST(PathTest, PositionIsOneBased) {
+  TermDictionary dict;
+  Path pz = MakePath(&dict, {"JR", "A1589", "B0532", "HC"},
+                     {"sponsor", "aTo", "subject"});
+  // The paper: "the node A1589 has position 2".
+  EXPECT_EQ(pz.PositionOf(dict.Intern(Term::Iri("A1589"))), 2u);
+  EXPECT_EQ(pz.PositionOf(dict.Intern(Term::Iri("JR"))), 1u);
+  EXPECT_EQ(pz.PositionOf(dict.Intern(Term::Iri("HC"))), 4u);
+  EXPECT_EQ(pz.PositionOf(dict.Intern(Term::Iri("absent"))), 0u);
+}
+
+TEST(PathTest, SourceAndSinkLabels) {
+  TermDictionary dict;
+  Path p = MakePath(&dict, {"a", "b"}, {"e"});
+  EXPECT_EQ(p.source_label(), dict.Intern(Term::Iri("a")));
+  EXPECT_EQ(p.sink_label(), dict.Intern(Term::Iri("b")));
+}
+
+TEST(PathTest, ToStringRendersAlternating) {
+  TermDictionary dict;
+  Path p = MakePath(&dict, {"a", "b", "c"}, {"p", "q"});
+  EXPECT_EQ(p.ToString(dict), "a-p-b-q-c");
+}
+
+TEST(PathTest, EqualityIgnoresNodeIds) {
+  TermDictionary dict;
+  Path a = MakePath(&dict, {"a", "b"}, {"e"});
+  Path b = a;
+  b.nodes = {7, 9};  // Different concrete nodes, same labels.
+  EXPECT_EQ(a, b);
+}
+
+TEST(PathTest, LabelHashDistinguishesNodeVsEdgePlacement) {
+  TermDictionary dict;
+  Path a = MakePath(&dict, {"x", "y", "z"}, {"p", "q"});
+  Path b = MakePath(&dict, {"x", "q", "z"}, {"p", "y"});  // Swapped.
+  EXPECT_NE(PathLabelHash(a), PathLabelHash(b));
+  EXPECT_EQ(PathLabelHash(a), PathLabelHash(a));
+}
+
+}  // namespace
+}  // namespace sama

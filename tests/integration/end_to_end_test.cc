@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/bounded.h"
+#include "baselines/dogma.h"
+#include "baselines/exact.h"
+#include "baselines/sapper.h"
+#include "core/engine.h"
+#include "datasets/lubm.h"
+#include "datasets/queries.h"
+#include "eval/metrics.h"
+#include "index/path_index.h"
+#include "query/sparql.h"
+#include "text/thesaurus.h"
+
+namespace sama {
+namespace {
+
+// A small LUBM instance shared by the whole-pipeline tests.
+class EndToEndTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    LubmConfig config;
+    config.universities = 1;
+    config.departments_per_university = 2;
+    graph_ = new DataGraph(DataGraph::FromTriples(GenerateLubm(config)));
+    index_ = new PathIndex();
+    PathIndexOptions options;
+    ASSERT_TRUE(index_->Build(*graph_, options).ok());
+    thesaurus_ = new Thesaurus(Thesaurus::BuiltinEnglish());
+    engine_ = new SamaEngine(graph_, index_, thesaurus_);
+  }
+
+  static void TearDownTestSuite() {
+    delete engine_;
+    delete thesaurus_;
+    delete index_;
+    delete graph_;
+    engine_ = nullptr;
+    thesaurus_ = nullptr;
+    index_ = nullptr;
+    graph_ = nullptr;
+  }
+
+  static std::vector<std::vector<Term>> SamaTuples(
+      const SparqlQuery& query, size_t k) {
+    auto answers = engine_->ExecuteSparql(query, k);
+    EXPECT_TRUE(answers.ok()) << answers.status();
+    std::vector<std::vector<Term>> tuples;
+    for (const Answer& a : *answers) {
+      tuples.push_back(a.BindingTuple(query.select_vars));
+    }
+    return tuples;
+  }
+
+  static RelevantSet ExactTruth(const SparqlQuery& query) {
+    ExactMatcher exact(graph_);
+    QueryGraph qg = query.ToQueryGraph(graph_->shared_dict());
+    auto matches = exact.Execute(qg, 0);
+    EXPECT_TRUE(matches.ok());
+    RelevantSet truth;
+    for (const Match& m : *matches) {
+      truth.Add(m.BindingTuple(query.select_vars));
+    }
+    return truth;
+  }
+
+  static DataGraph* graph_;
+  static PathIndex* index_;
+  static Thesaurus* thesaurus_;
+  static SamaEngine* engine_;
+};
+
+DataGraph* EndToEndTest::graph_ = nullptr;
+PathIndex* EndToEndTest::index_ = nullptr;
+Thesaurus* EndToEndTest::thesaurus_ = nullptr;
+SamaEngine* EndToEndTest::engine_ = nullptr;
+
+TEST_F(EndToEndTest, AllTwelveQueriesReturnAnswers) {
+  for (const BenchmarkQuery& bq : MakeLubmQueries()) {
+    auto parsed = ParseSparql(bq.sparql);
+    ASSERT_TRUE(parsed.ok()) << bq.name;
+    auto answers = engine_->ExecuteSparql(*parsed, 10);
+    ASSERT_TRUE(answers.ok()) << bq.name << ": " << answers.status();
+    EXPECT_FALSE(answers->empty()) << bq.name;
+  }
+}
+
+TEST_F(EndToEndTest, AnswersAreRankedByScore) {
+  for (const BenchmarkQuery& bq : MakeLubmQueries()) {
+    auto parsed = ParseSparql(bq.sparql);
+    ASSERT_TRUE(parsed.ok());
+    auto answers = engine_->ExecuteSparql(*parsed, 10);
+    ASSERT_TRUE(answers.ok());
+    for (size_t i = 1; i < answers->size(); ++i) {
+      EXPECT_LE((*answers)[i - 1].score, (*answers)[i].score) << bq.name;
+    }
+  }
+}
+
+TEST_F(EndToEndTest, ReciprocalRankIsOneOnExactQueries) {
+  // §6.3: "In any dataset, for all 12 queries we obtained RR = 1."
+  // Checked on the exact (non-relaxed) queries that have answers.
+  for (const BenchmarkQuery& bq : MakeLubmQueries()) {
+    if (bq.relaxed) continue;
+    auto parsed = ParseSparql(bq.sparql);
+    ASSERT_TRUE(parsed.ok());
+    RelevantSet truth = ExactTruth(*parsed);
+    if (truth.empty()) continue;  // No exact answer in this instance.
+    std::vector<std::vector<Term>> ranked = SamaTuples(*parsed, 10);
+    EXPECT_DOUBLE_EQ(ReciprocalRank(ranked, truth), 1.0) << bq.name;
+  }
+}
+
+TEST_F(EndToEndTest, SynonymQueryMatchesExactOfStrictForm) {
+  // Q6 uses ub:instructs / ub:employedBy; its strict twin uses
+  // ub:teacherOf / ub:worksFor. Sama on the relaxed form must recover
+  // answers of the strict form.
+  std::vector<BenchmarkQuery> queries = MakeLubmQueries();
+  const BenchmarkQuery& q6 = queries[5];
+  ASSERT_TRUE(q6.relaxed);
+  std::string strict_sparql = q6.sparql;
+  auto replace = [&strict_sparql](const std::string& from,
+                                  const std::string& to) {
+    size_t pos;
+    while ((pos = strict_sparql.find(from)) != std::string::npos) {
+      strict_sparql.replace(pos, from.size(), to);
+    }
+  };
+  replace("ub:instructs", "ub:teacherOf");
+  replace("ub:employedBy", "ub:worksFor");
+  auto strict = ParseSparql(strict_sparql);
+  auto relaxed = ParseSparql(q6.sparql);
+  ASSERT_TRUE(strict.ok());
+  ASSERT_TRUE(relaxed.ok());
+  RelevantSet truth = ExactTruth(*strict);
+  if (truth.empty()) GTEST_SKIP() << "no exact answers at this scale";
+  std::vector<std::vector<Term>> ranked = SamaTuples(*relaxed, 20);
+  EXPECT_GT(Recall(ranked, truth), 0.0);
+}
+
+TEST_F(EndToEndTest, ApproximateSystemsFindMoreThanExactOnes) {
+  // Figure 8's shape: Sama and Sapper identify more matches than
+  // Bounded and Dogma on relaxed queries.
+  std::vector<BenchmarkQuery> queries = MakeLubmQueries();
+  const BenchmarkQuery& q7 = queries[6];  // Structure-relaxed.
+  auto parsed = ParseSparql(q7.sparql);
+  ASSERT_TRUE(parsed.ok());
+
+  size_t sama_count = SamaTuples(*parsed, 200).size();
+
+  QueryGraph qg = parsed->ToQueryGraph(graph_->shared_dict());
+  DogmaMatcher dogma(graph_);
+  auto dogma_matches = dogma.Execute(qg, 0);
+  ASSERT_TRUE(dogma_matches.ok());
+
+  EXPECT_GT(sama_count, dogma_matches->size());
+}
+
+TEST_F(EndToEndTest, ColdCacheStillAnswers) {
+  ASSERT_TRUE(index_->DropCaches().ok());
+  auto parsed = ParseSparql(MakeLubmQueries()[0].sparql);
+  ASSERT_TRUE(parsed.ok());
+  auto answers = engine_->ExecuteSparql(*parsed, 5);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_FALSE(answers->empty());
+}
+
+TEST_F(EndToEndTest, StatsCountCandidatePaths) {
+  auto parsed = ParseSparql(MakeLubmQueries()[3].sparql);  // Q4.
+  ASSERT_TRUE(parsed.ok());
+  QueryStats stats;
+  auto answers = engine_->ExecuteSparql(*parsed, 10, &stats);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_GT(stats.num_candidate_paths, 0u);
+  EXPECT_EQ(stats.num_query_paths, 3u);
+}
+
+}  // namespace
+}  // namespace sama

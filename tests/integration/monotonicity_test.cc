@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/random.h"
+#include "core/alignment.h"
+#include "core/score.h"
+#include "text/thesaurus.h"
+
+namespace sama {
+namespace {
+
+// Property tests for Theorem 1: if answer a1 is more relevant than a2
+// (its transformation is a sub-sequence of a2's, i.e. strictly fewer
+// weighted operations), then score(a1, Q) < score(a2, Q).
+class MonotonicityTest : public testing::TestWithParam<uint64_t> {
+ protected:
+  MonotonicityTest() : dict_(std::make_shared<TermDictionary>()) {}
+
+  TermId Node(const std::string& s) {
+    return dict_->Intern(s[0] == '?' ? Term::Variable(s.substr(1))
+                                     : Term::Literal(s));
+  }
+
+  Path RandomQueryPath(Random* rng, size_t length) {
+    Path q;
+    for (size_t i = 0; i < length; ++i) {
+      bool variable = rng->Bernoulli(0.5) && i + 1 < length;
+      q.node_labels.push_back(
+          Node(variable ? "?v" + std::to_string(i)
+                        : "N" + std::to_string(rng->Uniform(20))));
+      q.nodes.push_back(static_cast<NodeId>(i));
+      if (i + 1 < length) {
+        q.edge_labels.push_back(Node("e" + std::to_string(rng->Uniform(5))));
+      }
+    }
+    return q;
+  }
+
+  // Instantiates q's variables with fresh constants: an exact answer
+  // path.
+  Path Instantiate(const Path& q, Random* rng) {
+    Path p = q;
+    for (TermId& label : p.node_labels) {
+      if (dict_->term(label).is_variable()) {
+        label = Node("C" + std::to_string(rng->Uniform(1000)));
+      }
+    }
+    return p;
+  }
+
+  std::shared_ptr<TermDictionary> dict_;
+  ScoreParams params_;
+};
+
+TEST_P(MonotonicityTest, ExactInstantiationScoresZero) {
+  Random rng(GetParam());
+  Path q = RandomQueryPath(&rng, 2 + rng.Uniform(5));
+  Path p = Instantiate(q, &rng);
+  LabelComparator cmp(dict_.get(), nullptr);
+  EXPECT_DOUBLE_EQ(AlignPaths(p, q, cmp, params_).lambda, 0.0);
+}
+
+TEST_P(MonotonicityTest, EachMismatchStrictlyWorsens) {
+  Random rng(GetParam() * 977 + 1);
+  Path q = RandomQueryPath(&rng, 3 + rng.Uniform(4));
+  Path p = Instantiate(q, &rng);
+  LabelComparator cmp(dict_.get(), nullptr);
+  double previous = AlignPaths(p, q, cmp, params_).lambda;
+  // Corrupt constant node labels one at a time; λ must strictly grow.
+  for (size_t i = 0; i < p.node_labels.size(); ++i) {
+    if (dict_->term(q.node_labels[i]).is_variable()) continue;
+    p.node_labels[i] = Node("corrupt" + std::to_string(i));
+    double lambda = AlignPaths(p, q, cmp, params_).lambda;
+    EXPECT_GT(lambda, previous);
+    previous = lambda;
+  }
+}
+
+TEST_P(MonotonicityTest, InsertionsAccumulate) {
+  Random rng(GetParam() * 31 + 7);
+  Path q = RandomQueryPath(&rng, 3);
+  Path p = Instantiate(q, &rng);
+  LabelComparator cmp(dict_.get(), nullptr);
+  double previous = AlignPaths(p, q, cmp, params_).lambda;
+  // Splice extra (edge, node) hops before the sink; each adds b + d.
+  for (int extra = 0; extra < 4; ++extra) {
+    Path longer = p;
+    size_t pos = p.node_labels.size() - 1;
+    for (int k = 0; k <= extra; ++k) {
+      longer.node_labels.insert(
+          longer.node_labels.begin() + static_cast<long>(pos),
+          Node("hop" + std::to_string(k)));
+      longer.edge_labels.insert(
+          longer.edge_labels.begin() + static_cast<long>(pos - 1),
+          Node("ehop" + std::to_string(k)));
+      longer.nodes.push_back(static_cast<NodeId>(100 + k));
+    }
+    double lambda = AlignPaths(longer, q, cmp, params_).lambda;
+    EXPECT_GT(lambda, previous);
+    previous = lambda;
+  }
+}
+
+TEST_P(MonotonicityTest, LambdaEqualsGammaOfRecordedTau) {
+  // The Theorem-1 proof rests on γ(τ) = λ(p, q) for the recorded
+  // transformation.
+  Random rng(GetParam() * 131 + 3);
+  Path q = RandomQueryPath(&rng, 2 + rng.Uniform(5));
+  Path p = Instantiate(q, &rng);
+  // Random corruption.
+  if (!p.node_labels.empty() && rng.Bernoulli(0.7)) {
+    p.node_labels[rng.Uniform(p.node_labels.size())] = Node("X");
+  }
+  LabelComparator cmp(dict_.get(), nullptr);
+  PathAlignment a = AlignPaths(p, q, cmp, params_);
+  EXPECT_DOUBLE_EQ(a.lambda, a.tau.Cost(params_.weights));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MonotonicityTest,
+                         testing::Range<uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace sama

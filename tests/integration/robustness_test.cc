@@ -1,0 +1,137 @@
+// Robustness: the parsers and decoders must reject (never crash on)
+// mutated and truncated inputs.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/random.h"
+#include "datasets/govtrack.h"
+#include "query/sparql.h"
+#include "rdf/ntriples.h"
+#include "rdf/turtle.h"
+#include "storage/path_store.h"
+
+namespace sama {
+namespace {
+
+std::string MutateBytes(std::string text, Random* rng, int mutations) {
+  for (int i = 0; i < mutations && !text.empty(); ++i) {
+    size_t pos = rng->Uniform(text.size());
+    switch (rng->Uniform(3)) {
+      case 0:
+        text[pos] = static_cast<char>(rng->Uniform(256));
+        break;
+      case 1:
+        text.erase(pos, 1);
+        break;
+      default:
+        text.insert(pos, 1, static_cast<char>(rng->Uniform(128)));
+    }
+  }
+  return text;
+}
+
+class RobustnessTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(RobustnessTest, NTriplesParserNeverCrashes) {
+  Random rng(GetParam());
+  std::string base = WriteNTriples(GovTrackFigure1Triples());
+  for (int round = 0; round < 30; ++round) {
+    std::string mutated = MutateBytes(base, &rng, 1 + round);
+    auto result = NTriplesParser::ParseDocument(mutated);
+    // Either parses (the mutation was benign) or reports ParseError.
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), Status::Code::kParseError);
+    }
+  }
+}
+
+TEST_P(RobustnessTest, TurtleParserNeverCrashes) {
+  Random rng(GetParam() * 31 + 1);
+  std::string base = WriteTurtle(GovTrackFigure1Triples());
+  for (int round = 0; round < 30; ++round) {
+    std::string mutated = MutateBytes(base, &rng, 1 + round);
+    auto result = ParseTurtle(mutated);
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), Status::Code::kParseError);
+    }
+  }
+}
+
+TEST_P(RobustnessTest, SparqlParserNeverCrashes) {
+  Random rng(GetParam() * 131 + 7);
+  std::string base =
+      "PREFIX gov: <http://gov.example.org/>\n"
+      "SELECT DISTINCT ?v1 ?v2 WHERE {\n"
+      "  gov:CarlaBunes gov:sponsor ?v1 . ?v1 gov:aTo ?v2 .\n"
+      "  FILTER(?v1 != ?v2) . FILTER regex(?v2, \"b\")\n"
+      "} LIMIT 10";
+  for (int round = 0; round < 30; ++round) {
+    std::string mutated = MutateBytes(base, &rng, 1 + round);
+    auto result = ParseSparql(mutated);
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), Status::Code::kParseError);
+    }
+  }
+}
+
+TEST_P(RobustnessTest, PathDecoderNeverCrashes) {
+  Random rng(GetParam() * 977 + 3);
+  Path original;
+  original.node_labels = {5, 10, 15};
+  original.edge_labels = {100, 200};
+  original.nodes = {1, 2, 3};
+  std::vector<uint8_t> encoded;
+  PathStore::Encode(original, /*compress=*/true, &encoded);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<uint8_t> mutated = encoded;
+    if (!mutated.empty()) {
+      size_t pos = rng.Uniform(mutated.size());
+      mutated[pos] = static_cast<uint8_t>(rng.Next());
+      if (rng.Bernoulli(0.5)) mutated.resize(pos);
+    }
+    Path decoded;
+    // Must either decode or fail cleanly; never crash.
+    (void)PathStore::Decode(mutated, true, &decoded);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RobustnessTest,
+                         testing::Range<uint64_t>(1, 9));
+
+TEST(ConcurrencyTest, ParallelReadsThroughBufferPool) {
+  std::string path = testing::TempDir() + "/concurrent_reads.dat";
+  PathStore store;
+  PathStore::Options options;
+  options.path = path;
+  options.buffer_pool_pages = 2;  // Force constant eviction churn.
+  ASSERT_TRUE(store.Open(options).ok());
+  for (TermId i = 0; i < 500; ++i) {
+    Path p;
+    p.node_labels = {i, i + 1};
+    p.edge_labels = {i + 2};
+    p.nodes = {0, 1};
+    ASSERT_TRUE(store.Put(p).ok());
+  }
+  std::atomic<int> errors{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&store, &errors, t] {
+      Random rng(static_cast<uint64_t>(t) + 1);
+      Path p;
+      for (int i = 0; i < 2000; ++i) {
+        PathId id = rng.Uniform(500);
+        if (!store.Get(id, &p).ok() || p.node_labels[0] != id) {
+          ++errors;
+        }
+      }
+    });
+  }
+  for (auto& r : readers) r.join();
+  EXPECT_EQ(errors.load(), 0);
+}
+
+}  // namespace
+}  // namespace sama

@@ -1,0 +1,33 @@
+// The umbrella header must pull in the whole public API.
+
+#include "sama.h"
+
+#include <gtest/gtest.h>
+
+namespace sama {
+namespace {
+
+TEST(UmbrellaHeaderTest, FullPipelineCompilesAndRuns) {
+  auto triples = NTriplesParser::ParseDocument(
+      "<http://e/alice> <http://e/knows> <http://e/bob> .\n"
+      "<http://e/bob> <http://e/likes> \"opera\" .\n");
+  ASSERT_TRUE(triples.ok());
+  DataGraph graph = DataGraph::FromTriples(*triples);
+  EXPECT_EQ(ComputeGraphStats(graph).nodes, 3u);
+
+  PathIndex index;
+  ASSERT_TRUE(index.Build(graph, PathIndexOptions()).ok());
+  Thesaurus thesaurus = Thesaurus::BuiltinEnglish();
+  SamaEngine engine(&graph, &index, &thesaurus);
+  auto query = ParseSparql("SELECT ?x WHERE { ?x <http://e/likes> \"opera\" }");
+  ASSERT_TRUE(query.ok());
+  auto answers = engine.ExecuteSparql(*query, 5);
+  ASSERT_TRUE(answers.ok());
+  ASSERT_FALSE(answers->empty());
+  EXPECT_FALSE(
+      ExplainAnswer(engine.BuildQueryGraph(query->patterns), (*answers)[0])
+          .empty());
+}
+
+}  // namespace
+}  // namespace sama

@@ -1,0 +1,109 @@
+#include "query/filter.h"
+
+#include <gtest/gtest.h>
+
+#include "query/sparql.h"
+
+namespace sama {
+namespace {
+
+Substitution Bind(const std::string& var, const Term& value) {
+  Substitution s;
+  s.Bind(var, value);
+  return s;
+}
+
+TEST(FilterConstraintTest, EqualsAgainstTerm) {
+  FilterConstraint f;
+  f.kind = FilterConstraint::Kind::kEquals;
+  f.left_var = "x";
+  f.right_term = Term::Iri("http://e/a");
+  EXPECT_TRUE(f.Matches(Bind("x", Term::Iri("http://e/a"))));
+  EXPECT_FALSE(f.Matches(Bind("x", Term::Iri("http://e/b"))));
+  EXPECT_FALSE(f.Matches(Substitution()));  // Unbound vs constant.
+}
+
+TEST(FilterConstraintTest, NotEqualsBetweenVariables) {
+  FilterConstraint f;
+  f.kind = FilterConstraint::Kind::kNotEquals;
+  f.left_var = "x";
+  f.right_var = "y";
+  Substitution same;
+  same.Bind("x", Term::Iri("a"));
+  same.Bind("y", Term::Iri("a"));
+  EXPECT_FALSE(f.Matches(same));
+  Substitution different;
+  different.Bind("x", Term::Iri("a"));
+  different.Bind("y", Term::Iri("b"));
+  EXPECT_TRUE(f.Matches(different));
+}
+
+TEST(FilterConstraintTest, RegexIsSubstringCaseInsensitive) {
+  FilterConstraint f;
+  f.kind = FilterConstraint::Kind::kRegex;
+  f.left_var = "x";
+  f.pattern = "Professor";
+  EXPECT_TRUE(f.Matches(
+      Bind("x", Term::Iri("http://x/FullProfessor3"))));
+  EXPECT_TRUE(f.Matches(Bind("x", Term::Literal("the professor"))));
+  EXPECT_FALSE(f.Matches(Bind("x", Term::Literal("student"))));
+  EXPECT_FALSE(f.Matches(Substitution()));  // Unbound fails regex.
+}
+
+TEST(FilterConstraintTest, ConjunctionOfFilters) {
+  FilterConstraint a;
+  a.left_var = "x";
+  a.right_term = Term::Literal("v");
+  FilterConstraint b;
+  b.kind = FilterConstraint::Kind::kNotEquals;
+  b.left_var = "y";
+  b.right_term = Term::Literal("w");
+  Substitution binding;
+  binding.Bind("x", Term::Literal("v"));
+  binding.Bind("y", Term::Literal("other"));
+  EXPECT_TRUE(PassesFilters({a, b}, binding));
+  binding = Substitution();
+  binding.Bind("x", Term::Literal("v"));
+  binding.Bind("y", Term::Literal("w"));
+  EXPECT_FALSE(PassesFilters({a, b}, binding));
+  EXPECT_TRUE(PassesFilters({}, binding));  // No filters: pass.
+}
+
+TEST(SparqlFilterTest, ParsesComparisons) {
+  auto q = ParseSparql(
+      "SELECT ?x ?y WHERE { ?x <http://p> ?y . FILTER(?x != ?y) . "
+      "FILTER(?y = \"target\") }");
+  ASSERT_TRUE(q.ok()) << q.status();
+  ASSERT_EQ(q->filters.size(), 2u);
+  EXPECT_EQ(q->filters[0].kind, FilterConstraint::Kind::kNotEquals);
+  EXPECT_EQ(q->filters[0].left_var, "x");
+  EXPECT_EQ(q->filters[0].right_var, "y");
+  EXPECT_EQ(q->filters[1].kind, FilterConstraint::Kind::kEquals);
+  EXPECT_EQ(q->filters[1].right_term, Term::Literal("target"));
+}
+
+TEST(SparqlFilterTest, ParsesRegex) {
+  auto q = ParseSparql(
+      "SELECT ?x WHERE { ?x <http://p> ?y . "
+      "FILTER regex(?x, \"prof\") }");
+  ASSERT_TRUE(q.ok()) << q.status();
+  ASSERT_EQ(q->filters.size(), 1u);
+  EXPECT_EQ(q->filters[0].kind, FilterConstraint::Kind::kRegex);
+  EXPECT_EQ(q->filters[0].pattern, "prof");
+}
+
+TEST(SparqlFilterTest, MalformedFiltersRejected) {
+  EXPECT_FALSE(ParseSparql(
+                   "SELECT ?x WHERE { ?x <http://p> ?y . FILTER(?x < ?y) }")
+                   .ok());
+  EXPECT_FALSE(ParseSparql(
+                   "SELECT ?x WHERE { ?x <http://p> ?y . "
+                   "FILTER(<http://a> = ?y) }")
+                   .ok());
+  EXPECT_FALSE(ParseSparql(
+                   "SELECT ?x WHERE { ?x <http://p> ?y . FILTER(?x = ?y }")
+                   .ok());
+}
+
+}  // namespace
+}  // namespace sama

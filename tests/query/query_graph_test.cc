@@ -1,0 +1,109 @@
+#include "query/query_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datasets/govtrack.h"
+
+namespace sama {
+namespace {
+
+std::set<std::string> PathStrings(const QueryGraph& q) {
+  std::set<std::string> out;
+  for (const Path& p : q.paths()) out.insert(p.ToString(q.dict()));
+  return out;
+}
+
+TEST(QueryGraphTest, Q1DecomposesIntoThreePaths) {
+  QueryGraph q = QueryGraph::FromPatterns(GovTrackQuery1Patterns());
+  // §4.3: q1 = CB-sponsor-?v1-aTo-?v2-subject-HC,
+  //       q2 = ?v3-sponsor-?v2-subject-HC, q3 = ?v3-gender-Male.
+  EXPECT_EQ(PathStrings(q),
+            (std::set<std::string>{
+                "CarlaBunes-sponsor-?v1-aTo-?v2-subject-Health Care",
+                "?v3-sponsor-?v2-subject-Health Care",
+                "?v3-gender-Male",
+            }));
+}
+
+TEST(QueryGraphTest, PathsSortedLongestFirst) {
+  QueryGraph q = QueryGraph::FromPatterns(GovTrackQuery1Patterns());
+  ASSERT_EQ(q.paths().size(), 3u);
+  EXPECT_EQ(q.paths()[0].length(), 4u);
+  EXPECT_EQ(q.paths()[2].length(), 2u);
+}
+
+TEST(QueryGraphTest, VariablesCollected) {
+  QueryGraph q = QueryGraph::FromPatterns(GovTrackQuery1Patterns());
+  EXPECT_EQ(q.num_variables(), 3u);
+  QueryGraph q2 = QueryGraph::FromPatterns(GovTrackQuery2Patterns());
+  // ?e1, ?v2, ?v3.
+  EXPECT_EQ(q2.num_variables(), 3u);
+}
+
+TEST(QueryGraphTest, DepthIsLongestPath) {
+  QueryGraph q = QueryGraph::FromPatterns(GovTrackQuery1Patterns());
+  EXPECT_EQ(q.depth(), 4u);
+}
+
+TEST(QueryGraphTest, SharedDictionaryAlignsTermIds) {
+  auto dict = std::make_shared<TermDictionary>();
+  TermId hc = dict->Intern(Term::Literal("Health Care"));
+  QueryGraph q =
+      QueryGraph::FromPatterns(GovTrackQuery1Patterns(), dict);
+  // The query's Health Care node must reuse the pre-interned id.
+  bool found = false;
+  for (const Path& p : q.paths()) {
+    if (p.sink_label() == hc) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(QueryGraphTest, IsVariableLabel) {
+  QueryGraph q = QueryGraph::FromPatterns(GovTrackQuery1Patterns());
+  const Path& q3 = q.paths().back();  // ?v3-gender-Male.
+  EXPECT_TRUE(q.IsVariableLabel(q3.source_label()));
+  EXPECT_FALSE(q.IsVariableLabel(q3.sink_label()));
+}
+
+TEST(QueryGraphTest, LastConstantFromSinkSkipsVariables) {
+  // Path ?a -p-> ?b: no constant node; the edge label p is the answer.
+  std::vector<Triple> patterns = {
+      {Term::Variable("a"), Term::Iri("p"), Term::Variable("b")}};
+  QueryGraph q = QueryGraph::FromPatterns(patterns);
+  ASSERT_EQ(q.paths().size(), 1u);
+  TermId last = q.LastConstantFromSink(q.paths()[0]);
+  ASSERT_NE(last, kInvalidTermId);
+  EXPECT_EQ(q.dict().term(last), Term::Iri("p"));
+}
+
+TEST(QueryGraphTest, LastConstantPrefersClosestToSink) {
+  // CB -sponsor-> ?v1 -aTo-> ?v2: scanning backwards the first constant
+  // is the edge label aTo.
+  std::vector<Triple> patterns = {
+      {Term::Iri("CB"), Term::Iri("sponsor"), Term::Variable("v1")},
+      {Term::Variable("v1"), Term::Iri("aTo"), Term::Variable("v2")},
+  };
+  QueryGraph q = QueryGraph::FromPatterns(patterns);
+  ASSERT_EQ(q.paths().size(), 1u);
+  TermId last = q.LastConstantFromSink(q.paths()[0]);
+  EXPECT_EQ(q.dict().term(last), Term::Iri("aTo"));
+}
+
+TEST(QueryGraphTest, AllVariablePathHasNoConstant) {
+  std::vector<Triple> patterns = {
+      {Term::Variable("a"), Term::Variable("p"), Term::Variable("b")}};
+  QueryGraph q = QueryGraph::FromPatterns(patterns);
+  ASSERT_EQ(q.paths().size(), 1u);
+  EXPECT_EQ(q.LastConstantFromSink(q.paths()[0]), kInvalidTermId);
+}
+
+TEST(QueryGraphTest, SharedVariableMakesOneNode) {
+  // ?v2 appears in two patterns: one query-graph node.
+  QueryGraph q = QueryGraph::FromPatterns(GovTrackQuery1Patterns());
+  EXPECT_EQ(q.graph().node_count(), 6u);  // CB, ?v1, ?v2, HC, ?v3, Male.
+}
+
+}  // namespace
+}  // namespace sama

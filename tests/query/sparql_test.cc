@@ -1,0 +1,142 @@
+#include "query/sparql.h"
+
+#include <gtest/gtest.h>
+
+namespace sama {
+namespace {
+
+TEST(SparqlTest, BasicSelect) {
+  auto q = ParseSparql(
+      "SELECT ?x WHERE { ?x <http://p> <http://o> . }");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->select_vars, (std::vector<std::string>{"x"}));
+  ASSERT_EQ(q->patterns.size(), 1u);
+  EXPECT_EQ(q->patterns[0].subject, Term::Variable("x"));
+  EXPECT_EQ(q->patterns[0].predicate, Term::Iri("http://p"));
+  EXPECT_EQ(q->patterns[0].object, Term::Iri("http://o"));
+}
+
+TEST(SparqlTest, PrefixesExpand) {
+  auto q = ParseSparql(
+      "PREFIX ub: <http://u.org/#>\n"
+      "SELECT ?x WHERE { ?x ub:teaches ?c }");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->patterns[0].predicate, Term::Iri("http://u.org/#teaches"));
+}
+
+TEST(SparqlTest, SelectStar) {
+  auto q = ParseSparql("SELECT * WHERE { ?a ?p ?b }");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_TRUE(q->select_all);
+  EXPECT_TRUE(q->select_vars.empty());
+  EXPECT_EQ(q->patterns[0].predicate, Term::Variable("p"));
+}
+
+TEST(SparqlTest, AKeyword) {
+  auto q = ParseSparql(
+      "PREFIX ub: <http://u.org/#>\n"
+      "SELECT ?x WHERE { ?x a ub:Professor }");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->patterns[0].predicate,
+            Term::Iri("http://www.w3.org/1999/02/22-rdf-syntax-ns#type"));
+}
+
+TEST(SparqlTest, PredicateAndObjectLists) {
+  auto q = ParseSparql(
+      "PREFIX ex: <http://e/>\n"
+      "SELECT ?x WHERE { ?x ex:p ex:a , ex:b ; ex:q \"lit\" . }");
+  ASSERT_TRUE(q.ok()) << q.status();
+  ASSERT_EQ(q->patterns.size(), 3u);
+  EXPECT_EQ(q->patterns[1].object, Term::Iri("http://e/b"));
+  EXPECT_EQ(q->patterns[2].object, Term::Literal("lit"));
+}
+
+TEST(SparqlTest, LiteralsWithTags) {
+  auto q = ParseSparql(
+      "SELECT ?x WHERE { ?x <http://p> \"hi\"@en . "
+      "?x <http://q> \"5\"^^<http://int> }");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->patterns[0].object, Term::LangLiteral("hi", "en"));
+  EXPECT_EQ(q->patterns[1].object, Term::TypedLiteral("5", "http://int"));
+}
+
+TEST(SparqlTest, Limit) {
+  auto q = ParseSparql(
+      "SELECT ?x WHERE { ?x <http://p> ?y } LIMIT 25");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->limit, 25u);
+}
+
+TEST(SparqlTest, DollarVariables) {
+  auto q = ParseSparql("SELECT $x WHERE { $x <http://p> $y }");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->select_vars[0], "x");
+}
+
+TEST(SparqlTest, Distinct) {
+  auto q = ParseSparql(
+      "SELECT DISTINCT ?x WHERE { ?x <http://p> ?y }");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_TRUE(q->distinct);
+  EXPECT_EQ(q->select_vars, (std::vector<std::string>{"x"}));
+  auto plain = ParseSparql("SELECT ?x WHERE { ?x <http://p> ?y }");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE(plain->distinct);
+}
+
+TEST(SparqlTest, CaseInsensitiveKeywords) {
+  auto q = ParseSparql("select ?x where { ?x <http://p> ?y } limit 3");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->limit, 3u);
+}
+
+TEST(SparqlTest, CommentsSkipped) {
+  auto q = ParseSparql(
+      "# find professors\n"
+      "SELECT ?x WHERE {\n"
+      "  ?x <http://p> ?y . # pattern\n"
+      "}");
+  ASSERT_TRUE(q.ok()) << q.status();
+}
+
+TEST(SparqlTest, ToQueryGraphSharesDictionary) {
+  auto q = ParseSparql("SELECT ?x WHERE { ?x <http://p> \"v\" }");
+  ASSERT_TRUE(q.ok());
+  auto dict = std::make_shared<TermDictionary>();
+  TermId v = dict->Intern(Term::Literal("v"));
+  QueryGraph graph = q->ToQueryGraph(dict);
+  EXPECT_EQ(graph.paths()[0].sink_label(), v);
+}
+
+TEST(SparqlTest, ErrorsAreReported) {
+  EXPECT_FALSE(ParseSparql("").ok());
+  EXPECT_FALSE(ParseSparql("SELECT WHERE { ?a <p> ?b }").ok());
+  EXPECT_FALSE(ParseSparql("SELECT ?x { ?x <http://p> ?y }").ok());
+  EXPECT_FALSE(
+      ParseSparql("SELECT ?x WHERE { ?x <http://p> ?y").ok());
+  EXPECT_FALSE(
+      ParseSparql("SELECT ?x WHERE { ?x nope:p ?y }").ok());
+  EXPECT_FALSE(ParseSparql("SELECT ?x WHERE { }").ok());
+  EXPECT_FALSE(
+      ParseSparql("SELECT ?x WHERE { ?x <http://p> ?y } garbage").ok());
+}
+
+TEST(SparqlTest, GovTrackQ1Shape) {
+  auto q = ParseSparql(
+      "PREFIX gov: <http://gov.example.org/>\n"
+      "SELECT ?v1 ?v2 ?v3 WHERE {\n"
+      "  gov:CarlaBunes gov:sponsor ?v1 .\n"
+      "  ?v1 gov:aTo ?v2 .\n"
+      "  ?v2 gov:subject \"Health Care\" .\n"
+      "  ?v3 gov:sponsor ?v2 .\n"
+      "  ?v3 gov:gender \"Male\" .\n"
+      "}");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->patterns.size(), 5u);
+  EXPECT_EQ(q->select_vars.size(), 3u);
+  QueryGraph graph = q->ToQueryGraph();
+  EXPECT_EQ(graph.paths().size(), 3u);
+}
+
+}  // namespace
+}  // namespace sama

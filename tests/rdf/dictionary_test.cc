@@ -1,0 +1,62 @@
+#include "rdf/dictionary.h"
+
+#include <gtest/gtest.h>
+
+namespace sama {
+namespace {
+
+TEST(DictionaryTest, InternAssignsDenseIds) {
+  TermDictionary dict;
+  TermId a = dict.Intern(Term::Iri("a"));
+  TermId b = dict.Intern(Term::Iri("b"));
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(dict.size(), 2u);
+}
+
+TEST(DictionaryTest, InternIsIdempotent) {
+  TermDictionary dict;
+  TermId a1 = dict.Intern(Term::Literal("x"));
+  TermId a2 = dict.Intern(Term::Literal("x"));
+  EXPECT_EQ(a1, a2);
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(DictionaryTest, RoundTrip) {
+  TermDictionary dict;
+  Term original = Term::LangLiteral("hello", "en");
+  TermId id = dict.Intern(original);
+  EXPECT_EQ(dict.term(id), original);
+}
+
+TEST(DictionaryTest, FindAbsentReturnsInvalid) {
+  TermDictionary dict;
+  dict.Intern(Term::Iri("present"));
+  EXPECT_EQ(dict.Find(Term::Iri("absent")), kInvalidTermId);
+  EXPECT_NE(dict.Find(Term::Iri("present")), kInvalidTermId);
+}
+
+TEST(DictionaryTest, KindsDoNotCollide) {
+  TermDictionary dict;
+  TermId iri = dict.Intern(Term::Iri("x"));
+  TermId lit = dict.Intern(Term::Literal("x"));
+  TermId var = dict.Intern(Term::Variable("x"));
+  EXPECT_NE(iri, lit);
+  EXPECT_NE(lit, var);
+  EXPECT_EQ(dict.size(), 3u);
+}
+
+TEST(DictionaryTest, ManyTermsStayStable) {
+  TermDictionary dict;
+  std::vector<TermId> ids;
+  for (int i = 0; i < 5000; ++i) {
+    ids.push_back(dict.Intern(Term::Iri("e" + std::to_string(i))));
+  }
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_EQ(dict.term(ids[i]).value(), "e" + std::to_string(i));
+  }
+  EXPECT_GT(dict.MemoryBytes(), 5000u * 4);
+}
+
+}  // namespace
+}  // namespace sama

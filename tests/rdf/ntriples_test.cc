@@ -1,0 +1,101 @@
+#include "rdf/ntriples.h"
+
+#include <gtest/gtest.h>
+
+namespace sama {
+namespace {
+
+TEST(NTriplesTest, ParsesSimpleTriple) {
+  auto t = NTriplesParser::ParseLine(
+      "<http://a> <http://p> <http://b> .");
+  ASSERT_TRUE(t.ok()) << t.status();
+  EXPECT_EQ(t->subject, Term::Iri("http://a"));
+  EXPECT_EQ(t->predicate, Term::Iri("http://p"));
+  EXPECT_EQ(t->object, Term::Iri("http://b"));
+}
+
+TEST(NTriplesTest, ParsesLiteralObject) {
+  auto t = NTriplesParser::ParseLine("<http://a> <http://p> \"hi\" .");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->object, Term::Literal("hi"));
+}
+
+TEST(NTriplesTest, ParsesLangAndDatatype) {
+  auto lang =
+      NTriplesParser::ParseLine("<http://a> <http://p> \"hi\"@en-GB .");
+  ASSERT_TRUE(lang.ok());
+  EXPECT_EQ(lang->object, Term::LangLiteral("hi", "en-GB"));
+
+  auto typed = NTriplesParser::ParseLine(
+      "<http://a> <http://p> \"5\"^^<http://int> .");
+  ASSERT_TRUE(typed.ok());
+  EXPECT_EQ(typed->object, Term::TypedLiteral("5", "http://int"));
+}
+
+TEST(NTriplesTest, ParsesBlankNodes) {
+  auto t = NTriplesParser::ParseLine("_:b1 <http://p> _:b2 .");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->subject, Term::Blank("b1"));
+  EXPECT_EQ(t->object, Term::Blank("b2"));
+}
+
+TEST(NTriplesTest, DecodesEscapes) {
+  auto t = NTriplesParser::ParseLine(
+      "<http://a> <http://p> \"line\\nbreak \\\"q\\\" \\u0041\" .");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->object.value(), "line\nbreak \"q\" A");
+}
+
+TEST(NTriplesTest, SkipsCommentsAndBlanks) {
+  EXPECT_EQ(NTriplesParser::ParseLine("# comment").status().code(),
+            Status::Code::kNotFound);
+  EXPECT_EQ(NTriplesParser::ParseLine("   ").status().code(),
+            Status::Code::kNotFound);
+}
+
+TEST(NTriplesTest, RejectsMalformedLines) {
+  EXPECT_FALSE(NTriplesParser::ParseLine("<a> <p> <b>").ok());  // No dot.
+  EXPECT_FALSE(NTriplesParser::ParseLine("<a> <p> .").ok());
+  EXPECT_FALSE(
+      NTriplesParser::ParseLine("\"lit\" <http://p> <http://b> .").ok());
+  EXPECT_FALSE(
+      NTriplesParser::ParseLine("<http://a> \"p\" <http://b> .").ok());
+  EXPECT_FALSE(
+      NTriplesParser::ParseLine("<http://a> <http://p> <b> . junk").ok());
+  EXPECT_FALSE(NTriplesParser::ParseLine("<unterminated").ok());
+}
+
+TEST(NTriplesTest, DocumentReportsLineNumbers) {
+  auto result = NTriplesParser::ParseDocument(
+      "<http://a> <http://p> <http://b> .\nbroken line\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(NTriplesTest, DocumentRoundTrip) {
+  std::vector<Triple> triples = {
+      {Term::Iri("http://a"), Term::Iri("http://p"), Term::Literal("x y")},
+      {Term::Blank("z"), Term::Iri("http://q"),
+       Term::LangLiteral("täxt", "de")},
+  };
+  std::string text = WriteNTriples(triples);
+  auto parsed = NTriplesParser::ParseDocument(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0], triples[0]);
+  EXPECT_EQ((*parsed)[1], triples[1]);
+}
+
+TEST(NTriplesTest, DocumentSkipsInterleavedComments) {
+  auto parsed = NTriplesParser::ParseDocument(
+      "# header\n"
+      "<http://a> <http://p> <http://b> .\n"
+      "\n"
+      "# middle\n"
+      "<http://c> <http://p> \"v\" .\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), 2u);
+}
+
+}  // namespace
+}  // namespace sama

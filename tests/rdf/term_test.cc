@@ -1,0 +1,66 @@
+#include "rdf/term.h"
+
+#include <gtest/gtest.h>
+
+namespace sama {
+namespace {
+
+TEST(TermTest, Kinds) {
+  EXPECT_TRUE(Term::Iri("http://x").is_iri());
+  EXPECT_TRUE(Term::Literal("v").is_literal());
+  EXPECT_TRUE(Term::Blank("b1").is_blank());
+  EXPECT_TRUE(Term::Variable("v1").is_variable());
+  EXPECT_TRUE(Term::Iri("http://x").is_constant());
+  EXPECT_FALSE(Term::Variable("v1").is_constant());
+}
+
+TEST(TermTest, ToStringSyntax) {
+  EXPECT_EQ(Term::Iri("http://x/y").ToString(), "<http://x/y>");
+  EXPECT_EQ(Term::Literal("hi").ToString(), "\"hi\"");
+  EXPECT_EQ(Term::LangLiteral("hi", "en").ToString(), "\"hi\"@en");
+  EXPECT_EQ(Term::TypedLiteral("5", "http://t").ToString(),
+            "\"5\"^^<http://t>");
+  EXPECT_EQ(Term::Blank("b").ToString(), "_:b");
+  EXPECT_EQ(Term::Variable("x").ToString(), "?x");
+}
+
+TEST(TermTest, ToStringEscapesLiterals) {
+  EXPECT_EQ(Term::Literal("a\"b\\c\nd").ToString(),
+            "\"a\\\"b\\\\c\\nd\"");
+}
+
+TEST(TermTest, DisplayLabelUsesFragmentOrLastSegment) {
+  EXPECT_EQ(Term::Iri("http://ex.org/vocab#Professor").DisplayLabel(),
+            "Professor");
+  EXPECT_EQ(Term::Iri("http://ex.org/people/CarlaBunes").DisplayLabel(),
+            "CarlaBunes");
+  EXPECT_EQ(Term::Iri("urn:opaque").DisplayLabel(), "urn:opaque");
+  EXPECT_EQ(Term::Literal("Health Care").DisplayLabel(), "Health Care");
+  EXPECT_EQ(Term::Variable("v2").DisplayLabel(), "?v2");
+}
+
+TEST(TermTest, EqualityDistinguishesKindAndTags) {
+  EXPECT_EQ(Term::Iri("x"), Term::Iri("x"));
+  EXPECT_NE(Term::Iri("x"), Term::Literal("x"));
+  EXPECT_NE(Term::Literal("x"), Term::LangLiteral("x", "en"));
+  EXPECT_NE(Term::LangLiteral("x", "en"), Term::LangLiteral("x", "de"));
+  EXPECT_NE(Term::TypedLiteral("1", "int"), Term::TypedLiteral("1", "dec"));
+}
+
+TEST(TermTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Term::Iri("x").Hash(), Term::Iri("x").Hash());
+  EXPECT_NE(Term::Iri("x").Hash(), Term::Literal("x").Hash());
+  EXPECT_NE(Term::LangLiteral("x", "en").Hash(),
+            Term::LangLiteral("x", "de").Hash());
+}
+
+TEST(TermTest, OrderingIsTotal) {
+  Term a = Term::Iri("a");
+  Term b = Term::Iri("b");
+  EXPECT_TRUE(a < b);
+  EXPECT_FALSE(b < a);
+  EXPECT_FALSE(a < a);
+}
+
+}  // namespace
+}  // namespace sama

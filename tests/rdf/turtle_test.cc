@@ -1,0 +1,109 @@
+#include "rdf/turtle.h"
+
+#include <gtest/gtest.h>
+
+namespace sama {
+namespace {
+
+TEST(TurtleTest, PrefixedNames) {
+  auto r = ParseTurtle(
+      "@prefix ex: <http://ex.org/> .\n"
+      "ex:a ex:p ex:b .\n");
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0].subject, Term::Iri("http://ex.org/a"));
+  EXPECT_EQ((*r)[0].predicate, Term::Iri("http://ex.org/p"));
+  EXPECT_EQ((*r)[0].object, Term::Iri("http://ex.org/b"));
+}
+
+TEST(TurtleTest, AKeywordIsRdfType) {
+  auto r = ParseTurtle(
+      "@prefix ex: <http://ex.org/> .\n"
+      "ex:a a ex:Class .\n");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ((*r)[0].predicate,
+            Term::Iri("http://www.w3.org/1999/02/22-rdf-syntax-ns#type"));
+}
+
+TEST(TurtleTest, PredicateAndObjectLists) {
+  auto r = ParseTurtle(
+      "@prefix ex: <http://ex.org/> .\n"
+      "ex:a ex:p ex:b , ex:c ;\n"
+      "     ex:q \"v\" .\n");
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r->size(), 3u);
+  EXPECT_EQ((*r)[0].object, Term::Iri("http://ex.org/b"));
+  EXPECT_EQ((*r)[1].object, Term::Iri("http://ex.org/c"));
+  EXPECT_EQ((*r)[2].predicate, Term::Iri("http://ex.org/q"));
+  EXPECT_EQ((*r)[2].object, Term::Literal("v"));
+}
+
+TEST(TurtleTest, NumericAndBooleanLiterals) {
+  auto r = ParseTurtle(
+      "@prefix ex: <http://ex.org/> .\n"
+      "ex:a ex:count 42 ; ex:score 3.14 ; ex:flag true .\n");
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r->size(), 3u);
+  EXPECT_EQ((*r)[0].object.value(), "42");
+  EXPECT_EQ((*r)[0].object.datatype(),
+            "http://www.w3.org/2001/XMLSchema#integer");
+  EXPECT_EQ((*r)[1].object.value(), "3.14");
+  EXPECT_EQ((*r)[1].object.datatype(),
+            "http://www.w3.org/2001/XMLSchema#decimal");
+  EXPECT_EQ((*r)[2].object.value(), "true");
+}
+
+TEST(TurtleTest, LanguageTagsAndDatatypes) {
+  auto r = ParseTurtle(
+      "@prefix ex: <http://ex.org/> .\n"
+      "ex:a ex:label \"hallo\"@de .\n"
+      "ex:a ex:len \"5\"^^ex:int .\n");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ((*r)[0].object, Term::LangLiteral("hallo", "de"));
+  EXPECT_EQ((*r)[1].object,
+            Term::TypedLiteral("5", "http://ex.org/int"));
+}
+
+TEST(TurtleTest, BlankNodeLabels) {
+  auto r = ParseTurtle(
+      "@prefix ex: <http://ex.org/> .\n"
+      "_:x ex:p _:y .\n");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ((*r)[0].subject, Term::Blank("x"));
+  EXPECT_EQ((*r)[0].object, Term::Blank("y"));
+}
+
+TEST(TurtleTest, CommentsIgnored) {
+  auto r = ParseTurtle(
+      "# top comment\n"
+      "@prefix ex: <http://ex.org/> . # trailing\n"
+      "ex:a ex:p ex:b . # done\n");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->size(), 1u);
+}
+
+TEST(TurtleTest, UndeclaredPrefixFails) {
+  auto r = ParseTurtle("nope:a nope:p nope:b .\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("undeclared prefix"),
+            std::string::npos);
+}
+
+TEST(TurtleTest, UnsupportedConstructsReportError) {
+  auto r = ParseTurtle(
+      "@prefix ex: <http://ex.org/> .\n"
+      "ex:a ex:p [ ex:q ex:b ] .\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("unsupported"), std::string::npos);
+}
+
+TEST(TurtleTest, ErrorsCarryLineNumbers) {
+  auto r = ParseTurtle(
+      "@prefix ex: <http://ex.org/> .\n"
+      "ex:a ex:p\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sama

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "datasets/govtrack.h"
+#include "rdf/ntriples.h"
+#include "rdf/turtle.h"
+
+namespace sama {
+namespace {
+
+TEST(TurtleWriterTest, RoundTripsSimpleTriples) {
+  std::vector<Triple> triples = {
+      {Term::Iri("http://ex.org/a"), Term::Iri("http://ex.org/p"),
+       Term::Iri("http://ex.org/b")},
+      {Term::Iri("http://ex.org/a"), Term::Iri("http://ex.org/q"),
+       Term::Literal("hello world")},
+      {Term::Blank("x"), Term::Iri("http://ex.org/p"),
+       Term::LangLiteral("hallo", "de")},
+  };
+  std::string text = WriteTurtle(triples);
+  auto parsed = ParseTurtle(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status() << "\n" << text;
+  ASSERT_EQ(parsed->size(), triples.size());
+  for (size_t i = 0; i < triples.size(); ++i) {
+    EXPECT_EQ((*parsed)[i], triples[i]) << i;
+  }
+}
+
+TEST(TurtleWriterTest, UsesPrefixes) {
+  std::vector<Triple> triples = {
+      {Term::Iri("http://ex.org/vocab#a"),
+       Term::Iri("http://ex.org/vocab#p"),
+       Term::Iri("http://ex.org/vocab#b")},
+  };
+  std::string text = WriteTurtle(triples);
+  EXPECT_NE(text.find("@prefix"), std::string::npos) << text;
+  EXPECT_NE(text.find("ns0:a"), std::string::npos) << text;
+}
+
+TEST(TurtleWriterTest, FoldsSameSubject) {
+  std::vector<Triple> triples = {
+      {Term::Iri("http://e/s"), Term::Iri("http://e/p1"),
+       Term::Literal("x")},
+      {Term::Iri("http://e/s"), Term::Iri("http://e/p2"),
+       Term::Literal("y")},
+  };
+  std::string text = WriteTurtle(triples);
+  // One subject occurrence, joined by ';'.
+  EXPECT_NE(text.find(";"), std::string::npos) << text;
+  size_t first = text.find("ns0:s");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find("ns0:s", first + 1), std::string::npos) << text;
+  auto parsed = ParseTurtle(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->size(), 2u);
+}
+
+TEST(TurtleWriterTest, EscapesLiterals) {
+  std::vector<Triple> triples = {
+      {Term::Iri("http://e/s"), Term::Iri("http://e/p"),
+       Term::Literal("say \"hi\"\nnew line")},
+  };
+  std::string text = WriteTurtle(triples);
+  auto parsed = ParseTurtle(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status() << "\n" << text;
+  EXPECT_EQ((*parsed)[0].object.value(), "say \"hi\"\nnew line");
+}
+
+TEST(TurtleWriterTest, GovTrackRoundTrip) {
+  std::vector<Triple> triples = GovTrackFigure1Triples();
+  std::string text = WriteTurtle(triples);
+  auto parsed = ParseTurtle(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->size(), triples.size());
+  for (size_t i = 0; i < triples.size(); ++i) {
+    EXPECT_EQ((*parsed)[i], triples[i]) << i;
+  }
+}
+
+TEST(TurtleWriterTest, EmptyInput) {
+  EXPECT_EQ(WriteTurtle({}), "");
+}
+
+TEST(NQuadsTest, GraphLabelAcceptedAndDiscarded) {
+  auto t = NTriplesParser::ParseLine(
+      "<http://a> <http://p> <http://b> <http://graphs/g1> .");
+  ASSERT_TRUE(t.ok()) << t.status();
+  EXPECT_EQ(t->subject, Term::Iri("http://a"));
+  EXPECT_EQ(t->object, Term::Iri("http://b"));
+  auto blank_graph = NTriplesParser::ParseLine(
+      "<http://a> <http://p> \"lit\" _:g .");
+  ASSERT_TRUE(blank_graph.ok()) << blank_graph.status();
+  EXPECT_EQ(blank_graph->object, Term::Literal("lit"));
+}
+
+TEST(NQuadsTest, MalformedGraphLabelRejected) {
+  EXPECT_FALSE(NTriplesParser::ParseLine(
+                   "<http://a> <http://p> <http://b> <unterminated .")
+                   .ok());
+}
+
+}  // namespace
+}  // namespace sama

@@ -1,0 +1,113 @@
+#include "storage/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace sama {
+namespace {
+
+class BufferPoolTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = testing::TempDir() + "/bp_" +
+            testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".dat";
+    ASSERT_TRUE(file_.Open(path_, true).ok());
+    for (int i = 0; i < 8; ++i) ASSERT_TRUE(file_.AllocatePage().ok());
+  }
+
+  std::string path_;
+  PageFile file_;
+};
+
+TEST_F(BufferPoolTest, FetchCachesPages) {
+  BufferPool pool(&file_, 4);
+  uint64_t initial_reads = file_.reads();
+  ASSERT_TRUE(pool.Fetch(0).ok());
+  ASSERT_TRUE(pool.Fetch(0).ok());
+  ASSERT_TRUE(pool.Fetch(0).ok());
+  EXPECT_EQ(file_.reads(), initial_reads + 1);  // One physical read.
+  EXPECT_EQ(pool.stats().hits, 2u);
+  EXPECT_EQ(pool.stats().misses, 1u);
+}
+
+TEST_F(BufferPoolTest, EvictsLeastRecentlyUsed) {
+  BufferPool pool(&file_, 2);
+  ASSERT_TRUE(pool.Fetch(0).ok());
+  ASSERT_TRUE(pool.Fetch(1).ok());
+  ASSERT_TRUE(pool.Fetch(0).ok());  // Touch 0: now 1 is LRU.
+  ASSERT_TRUE(pool.Fetch(2).ok());  // Evicts 1.
+  EXPECT_EQ(pool.resident_pages(), 2u);
+  pool.ResetStats();
+  ASSERT_TRUE(pool.Fetch(0).ok());
+  EXPECT_EQ(pool.stats().hits, 1u);  // 0 survived.
+  ASSERT_TRUE(pool.Fetch(1).ok());
+  EXPECT_EQ(pool.stats().misses, 1u);  // 1 was evicted.
+}
+
+TEST_F(BufferPoolTest, DirtyPagesWrittenBackOnEviction) {
+  {
+    BufferPool pool(&file_, 1);
+    auto page = pool.MutablePage(3);
+    ASSERT_TRUE(page.ok());
+    (*page)[0] = 0x77;
+    ASSERT_TRUE(pool.Fetch(4).ok());  // Evicts dirty page 3.
+  }
+  std::vector<uint8_t> buf;
+  ASSERT_TRUE(file_.ReadPage(3, &buf).ok());
+  EXPECT_EQ(buf[0], 0x77);
+}
+
+TEST_F(BufferPoolTest, FlushPersistsDirtyPages) {
+  BufferPool pool(&file_, 4);
+  auto page = pool.MutablePage(2);
+  ASSERT_TRUE(page.ok());
+  (*page)[10] = 0x42;
+  ASSERT_TRUE(pool.Flush().ok());
+  std::vector<uint8_t> buf;
+  ASSERT_TRUE(file_.ReadPage(2, &buf).ok());
+  EXPECT_EQ(buf[10], 0x42);
+}
+
+TEST_F(BufferPoolTest, DropAllColdCache) {
+  BufferPool pool(&file_, 4);
+  ASSERT_TRUE(pool.Fetch(0).ok());
+  ASSERT_TRUE(pool.Fetch(1).ok());
+  EXPECT_EQ(pool.resident_pages(), 2u);
+  ASSERT_TRUE(pool.DropAll().ok());
+  EXPECT_EQ(pool.resident_pages(), 0u);
+  pool.ResetStats();
+  ASSERT_TRUE(pool.Fetch(0).ok());
+  EXPECT_EQ(pool.stats().misses, 1u);  // Cold again.
+}
+
+TEST_F(BufferPoolTest, DropAllPreservesDirtyData) {
+  BufferPool pool(&file_, 4);
+  auto page = pool.MutablePage(5);
+  ASSERT_TRUE(page.ok());
+  (*page)[0] = 0x99;
+  ASSERT_TRUE(pool.DropAll().ok());
+  auto reread = pool.Fetch(5);
+  ASSERT_TRUE(reread.ok());
+  EXPECT_EQ((*reread)[0], 0x99);
+}
+
+TEST_F(BufferPoolTest, HitRateComputation) {
+  BufferPool::Stats stats;
+  EXPECT_EQ(stats.HitRate(), 0.0);
+  stats.hits = 3;
+  stats.misses = 1;
+  EXPECT_DOUBLE_EQ(stats.HitRate(), 0.75);
+}
+
+TEST_F(BufferPoolTest, CapacityZeroClampsToOne) {
+  BufferPool pool(&file_, 0);
+  EXPECT_EQ(pool.capacity(), 1u);
+  ASSERT_TRUE(pool.Fetch(0).ok());
+  ASSERT_TRUE(pool.Fetch(1).ok());
+  EXPECT_EQ(pool.resident_pages(), 1u);
+}
+
+}  // namespace
+}  // namespace sama

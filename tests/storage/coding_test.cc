@@ -1,0 +1,87 @@
+#include "storage/coding.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace sama {
+namespace {
+
+TEST(CodingTest, Varint64RoundTrip) {
+  const uint64_t values[] = {0,
+                             1,
+                             127,
+                             128,
+                             300,
+                             16383,
+                             16384,
+                             uint64_t{1} << 32,
+                             std::numeric_limits<uint64_t>::max()};
+  std::vector<uint8_t> buf;
+  for (uint64_t v : values) PutVarint64(&buf, v);
+  size_t pos = 0;
+  for (uint64_t expected : values) {
+    uint64_t v = 0;
+    ASSERT_TRUE(GetVarint64(buf, &pos, &v));
+    EXPECT_EQ(v, expected);
+  }
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(CodingTest, VarintEncodingSizes) {
+  std::vector<uint8_t> buf;
+  PutVarint64(&buf, 127);
+  EXPECT_EQ(buf.size(), 1u);
+  buf.clear();
+  PutVarint64(&buf, 128);
+  EXPECT_EQ(buf.size(), 2u);
+  buf.clear();
+  PutVarint64(&buf, std::numeric_limits<uint64_t>::max());
+  EXPECT_EQ(buf.size(), 10u);
+}
+
+TEST(CodingTest, TruncatedVarintFails) {
+  std::vector<uint8_t> buf;
+  PutVarint64(&buf, 1'000'000);
+  buf.pop_back();
+  size_t pos = 0;
+  uint64_t v = 0;
+  EXPECT_FALSE(GetVarint64(buf, &pos, &v));
+}
+
+TEST(CodingTest, Varint32RejectsOversized) {
+  std::vector<uint8_t> buf;
+  PutVarint64(&buf, uint64_t{1} << 40);
+  size_t pos = 0;
+  uint32_t v = 0;
+  EXPECT_FALSE(GetVarint32(buf, &pos, &v));
+}
+
+TEST(CodingTest, Fixed32RoundTrip) {
+  std::vector<uint8_t> buf;
+  PutFixed32(&buf, 0);
+  PutFixed32(&buf, 0xdeadbeef);
+  PutFixed32(&buf, 0xffffffff);
+  EXPECT_EQ(buf.size(), 12u);
+  size_t pos = 0;
+  uint32_t v = 0;
+  ASSERT_TRUE(GetFixed32(buf, &pos, &v));
+  EXPECT_EQ(v, 0u);
+  ASSERT_TRUE(GetFixed32(buf, &pos, &v));
+  EXPECT_EQ(v, 0xdeadbeef);
+  ASSERT_TRUE(GetFixed32(buf, &pos, &v));
+  EXPECT_EQ(v, 0xffffffff);
+  EXPECT_FALSE(GetFixed32(buf, &pos, &v));  // Exhausted.
+}
+
+TEST(CodingTest, VarintSmallerThanFixedForSmallValues) {
+  std::vector<uint8_t> varint, fixed;
+  for (uint32_t v = 0; v < 1000; ++v) {
+    PutVarint32(&varint, v);
+    PutFixed32(&fixed, v);
+  }
+  EXPECT_LT(varint.size(), fixed.size());
+}
+
+}  // namespace
+}  // namespace sama

@@ -1,0 +1,58 @@
+// Write-failure injection: the storage stack must surface IoError
+// through every layer instead of losing data silently.
+
+#include <gtest/gtest.h>
+
+#include "storage/buffer_pool.h"
+#include "storage/record_store.h"
+
+namespace sama {
+namespace {
+
+TEST(FaultInjectionTest, PageFileWriteFailsOnCue) {
+  PageFile f;
+  ASSERT_TRUE(f.Open(testing::TempDir() + "/fi1.dat", true).ok());
+  ASSERT_TRUE(f.AllocatePage().ok());
+  f.InjectWriteFailureAfter(0);
+  uint8_t page[kPageSize] = {};
+  EXPECT_EQ(f.WritePage(0, page).code(), Status::Code::kIoError);
+  EXPECT_FALSE(f.AllocatePage().ok());
+  f.InjectWriteFailureAfter(UINT64_MAX);  // Clear.
+  EXPECT_TRUE(f.WritePage(0, page).ok());
+}
+
+TEST(FaultInjectionTest, BufferPoolEvictionSurfacesWriteErrors) {
+  PageFile f;
+  ASSERT_TRUE(f.Open(testing::TempDir() + "/fi2.dat", true).ok());
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(f.AllocatePage().ok());
+  BufferPool pool(&f, 1);
+  auto page = pool.MutablePage(0);
+  ASSERT_TRUE(page.ok());
+  (*page)[0] = 0x1;
+  f.InjectWriteFailureAfter(0);
+  // Fetching another page must evict the dirty one and fail loudly.
+  EXPECT_FALSE(pool.Fetch(1).ok());
+  f.InjectWriteFailureAfter(UINT64_MAX);
+  EXPECT_TRUE(pool.Fetch(1).ok());
+}
+
+TEST(FaultInjectionTest, BufferPoolFlushSurfacesWriteErrors) {
+  PageFile f;
+  ASSERT_TRUE(f.Open(testing::TempDir() + "/fi3.dat", true).ok());
+  ASSERT_TRUE(f.AllocatePage().ok());
+  BufferPool pool(&f, 4);
+  auto page = pool.MutablePage(0);
+  ASSERT_TRUE(page.ok());
+  (*page)[0] = 0x2;
+  f.InjectWriteFailureAfter(0);
+  EXPECT_EQ(pool.Flush().code(), Status::Code::kIoError);
+  f.InjectWriteFailureAfter(UINT64_MAX);
+  EXPECT_TRUE(pool.Flush().ok());
+  // The data survived the failed attempt.
+  std::vector<uint8_t> buf;
+  ASSERT_TRUE(f.ReadPage(0, &buf).ok());
+  EXPECT_EQ(buf[0], 0x2);
+}
+
+}  // namespace
+}  // namespace sama

@@ -1,0 +1,106 @@
+#include "storage/hypergraph_store.h"
+
+#include <gtest/gtest.h>
+
+namespace sama {
+namespace {
+
+class HypergraphStoreTest : public testing::TestWithParam<bool> {
+ protected:
+  HypergraphStore::Options Opts() {
+    HypergraphStore::Options o;
+    if (GetParam()) {
+      std::string name =
+          testing::UnitTest::GetInstance()->current_test_info()->name();
+      for (char& c : name) {
+        if (c == '/') c = '-';
+      }
+      o.path = testing::TempDir() + "/hg_" + name + ".dat";
+    }
+    return o;
+  }
+};
+
+TEST_P(HypergraphStoreTest, VerticesRoundTrip) {
+  HypergraphStore store;
+  ASSERT_TRUE(store.Open(Opts()).ok());
+  auto v0 = store.AddVertex("JeffRyser");
+  auto v1 = store.AddVertex("A1589");
+  ASSERT_TRUE(v0.ok());
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(*v0, 0u);
+  EXPECT_EQ(*v1, 1u);
+  std::string label;
+  ASSERT_TRUE(store.GetVertex(*v1, &label).ok());
+  EXPECT_EQ(label, "A1589");
+  EXPECT_EQ(store.vertex_count(), 2u);
+}
+
+TEST_P(HypergraphStoreTest, HyperedgesGroupMultipleVertices) {
+  // Figure 5: a hyperedge can connect any number of vertices — here one
+  // per path element group.
+  HypergraphStore store;
+  ASSERT_TRUE(store.Open(Opts()).ok());
+  std::vector<VertexId> members;
+  for (int i = 0; i < 4; ++i) {
+    auto v = store.AddVertex("n" + std::to_string(i));
+    ASSERT_TRUE(v.ok());
+    members.push_back(*v);
+  }
+  auto he = store.AddHyperedge(members);
+  ASSERT_TRUE(he.ok());
+  std::vector<VertexId> loaded;
+  ASSERT_TRUE(store.GetHyperedge(*he, &loaded).ok());
+  EXPECT_EQ(loaded, members);
+  EXPECT_EQ(store.hyperedge_count(), 1u);
+}
+
+TEST_P(HypergraphStoreTest, RejectsInvalidHyperedges) {
+  HypergraphStore store;
+  ASSERT_TRUE(store.Open(Opts()).ok());
+  EXPECT_FALSE(store.AddHyperedge({}).ok());           // Empty.
+  EXPECT_FALSE(store.AddHyperedge({42}).ok());         // Unknown vertex.
+  auto v = store.AddVertex("x");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(store.AddHyperedge({*v}).ok());          // Singleton OK.
+}
+
+TEST_P(HypergraphStoreTest, OutOfRangeLookups) {
+  HypergraphStore store;
+  ASSERT_TRUE(store.Open(Opts()).ok());
+  std::string label;
+  std::vector<VertexId> members;
+  EXPECT_EQ(store.GetVertex(0, &label).code(), Status::Code::kOutOfRange);
+  EXPECT_EQ(store.GetHyperedge(0, &members).code(),
+            Status::Code::kOutOfRange);
+}
+
+TEST_P(HypergraphStoreTest, ManyElements) {
+  HypergraphStore store;
+  ASSERT_TRUE(store.Open(Opts()).ok());
+  std::vector<VertexId> all;
+  for (int i = 0; i < 500; ++i) {
+    auto v = store.AddVertex("vertex_" + std::to_string(i));
+    ASSERT_TRUE(v.ok());
+    all.push_back(*v);
+  }
+  for (int i = 0; i + 1 < 500; ++i) {
+    ASSERT_TRUE(store.AddHyperedge({all[i], all[i + 1]}).ok());
+  }
+  EXPECT_EQ(store.vertex_count(), 500u);
+  EXPECT_EQ(store.hyperedge_count(), 499u);
+  ASSERT_TRUE(store.Flush().ok());
+  ASSERT_TRUE(store.DropCaches().ok());
+  std::string label;
+  ASSERT_TRUE(store.GetVertex(123, &label).ok());
+  EXPECT_EQ(label, "vertex_123");
+}
+
+INSTANTIATE_TEST_SUITE_P(DiskAndMemory, HypergraphStoreTest,
+                         testing::Bool(),
+                         [](const testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Disk" : "Memory";
+                         });
+
+}  // namespace
+}  // namespace sama

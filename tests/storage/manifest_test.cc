@@ -1,0 +1,84 @@
+#include "storage/manifest.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <iterator>
+
+namespace sama {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(ManifestTest, IdRoundTrip) {
+  std::string path = TempPath("ids.manifest");
+  std::vector<uint64_t> ids = {0, 1, 65536, uint64_t{1} << 40, 7};
+  ASSERT_TRUE(WriteIdManifest(path, ids).ok());
+  auto loaded = ReadIdManifest(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(*loaded, ids);
+}
+
+TEST(ManifestTest, EmptyIdList) {
+  std::string path = TempPath("empty.manifest");
+  ASSERT_TRUE(WriteIdManifest(path, {}).ok());
+  auto loaded = ReadIdManifest(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->empty());
+}
+
+TEST(ManifestTest, RewriteReplacesContents) {
+  std::string path = TempPath("rewrite.manifest");
+  ASSERT_TRUE(WriteIdManifest(path, {1, 2, 3}).ok());
+  ASSERT_TRUE(WriteIdManifest(path, {9}).ok());
+  auto loaded = ReadIdManifest(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, (std::vector<uint64_t>{9}));
+}
+
+TEST(ManifestTest, MissingFileIsIoError) {
+  auto loaded = ReadIdManifest(TempPath("nonexistent.manifest"));
+  EXPECT_EQ(loaded.status().code(), Status::Code::kIoError);
+}
+
+TEST(ManifestTest, WrongMagicIsCorruption) {
+  std::string path = TempPath("bad.manifest");
+  ASSERT_TRUE(WriteBlobFile(path, {1, 2, 3}).ok());  // Blob magic.
+  auto loaded = ReadIdManifest(path);                // Read as ids.
+  EXPECT_EQ(loaded.status().code(), Status::Code::kCorruption);
+}
+
+TEST(ManifestTest, BlobRoundTrip) {
+  std::string path = TempPath("blob.bin");
+  std::vector<uint8_t> blob;
+  for (int i = 0; i < 10000; ++i) blob.push_back(static_cast<uint8_t>(i));
+  ASSERT_TRUE(WriteBlobFile(path, blob).ok());
+  auto loaded = ReadBlobFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(*loaded, blob);
+}
+
+TEST(ManifestTest, TruncatedBlobIsCorruption) {
+  std::string path = TempPath("trunc.bin");
+  ASSERT_TRUE(WriteBlobFile(path, std::vector<uint8_t>(100, 0x5)).ok());
+  // Chop the file.
+  {
+    std::vector<uint8_t> raw;
+    {
+      std::ifstream in(path, std::ios::binary);
+      raw.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+    }
+    raw.resize(raw.size() / 2);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(raw.data()),
+              static_cast<std::streamsize>(raw.size()));
+  }
+  auto loaded = ReadBlobFile(path);
+  EXPECT_EQ(loaded.status().code(), Status::Code::kCorruption);
+}
+
+}  // namespace
+}  // namespace sama

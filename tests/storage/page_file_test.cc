@@ -1,0 +1,96 @@
+#include "storage/page_file.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace sama {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(PageFileTest, AllocateReadWriteRoundTrip) {
+  PageFile f;
+  ASSERT_TRUE(f.Open(TempPath("pf1.dat"), /*truncate=*/true).ok());
+  auto p0 = f.AllocatePage();
+  ASSERT_TRUE(p0.ok());
+  auto p1 = f.AllocatePage();
+  ASSERT_TRUE(p1.ok());
+  EXPECT_EQ(*p0, 0u);
+  EXPECT_EQ(*p1, 1u);
+  EXPECT_EQ(f.page_count(), 2u);
+
+  uint8_t page[kPageSize];
+  std::memset(page, 0xAB, sizeof(page));
+  ASSERT_TRUE(f.WritePage(*p1, page).ok());
+
+  std::vector<uint8_t> read;
+  ASSERT_TRUE(f.ReadPage(*p1, &read).ok());
+  ASSERT_EQ(read.size(), kPageSize);
+  EXPECT_EQ(read[0], 0xAB);
+  EXPECT_EQ(read[kPageSize - 1], 0xAB);
+
+  // Page 0 is still zeroed.
+  ASSERT_TRUE(f.ReadPage(*p0, &read).ok());
+  EXPECT_EQ(read[0], 0);
+  ASSERT_TRUE(f.Close().ok());
+}
+
+TEST(PageFileTest, OutOfRangeRead) {
+  PageFile f;
+  ASSERT_TRUE(f.Open(TempPath("pf2.dat"), true).ok());
+  std::vector<uint8_t> buf;
+  EXPECT_EQ(f.ReadPage(0, &buf).code(), Status::Code::kOutOfRange);
+}
+
+TEST(PageFileTest, OperationsRequireOpenFile) {
+  PageFile f;
+  std::vector<uint8_t> buf;
+  EXPECT_FALSE(f.AllocatePage().ok());
+  EXPECT_FALSE(f.ReadPage(0, &buf).ok());
+  EXPECT_FALSE(f.Sync().ok());
+}
+
+TEST(PageFileTest, SizeBytesTracksPages) {
+  PageFile f;
+  ASSERT_TRUE(f.Open(TempPath("pf3.dat"), true).ok());
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(f.AllocatePage().ok());
+  EXPECT_EQ(f.size_bytes(), 5 * kPageSize);
+}
+
+TEST(PageFileTest, CountsReadsAndWrites) {
+  PageFile f;
+  ASSERT_TRUE(f.Open(TempPath("pf4.dat"), true).ok());
+  ASSERT_TRUE(f.AllocatePage().ok());
+  uint64_t writes_after_alloc = f.writes();
+  EXPECT_GE(writes_after_alloc, 1u);
+  std::vector<uint8_t> buf;
+  ASSERT_TRUE(f.ReadPage(0, &buf).ok());
+  ASSERT_TRUE(f.ReadPage(0, &buf).ok());
+  EXPECT_EQ(f.reads(), 2u);
+}
+
+TEST(PageFileTest, ReopenWithoutTruncateKeepsPages) {
+  std::string path = TempPath("pf5.dat");
+  {
+    PageFile f;
+    ASSERT_TRUE(f.Open(path, true).ok());
+    ASSERT_TRUE(f.AllocatePage().ok());
+    uint8_t page[kPageSize];
+    std::memset(page, 0x5C, sizeof(page));
+    ASSERT_TRUE(f.WritePage(0, page).ok());
+    ASSERT_TRUE(f.Sync().ok());
+    ASSERT_TRUE(f.Close().ok());
+  }
+  PageFile f;
+  ASSERT_TRUE(f.Open(path, /*truncate=*/false).ok());
+  EXPECT_EQ(f.page_count(), 1u);
+  std::vector<uint8_t> buf;
+  ASSERT_TRUE(f.ReadPage(0, &buf).ok());
+  EXPECT_EQ(buf[100], 0x5C);
+}
+
+}  // namespace
+}  // namespace sama

@@ -1,0 +1,122 @@
+#include "storage/path_store.h"
+
+#include <gtest/gtest.h>
+
+namespace sama {
+namespace {
+
+Path MakePath(std::initializer_list<TermId> nodes,
+              std::initializer_list<TermId> edges) {
+  Path p;
+  p.node_labels.assign(nodes);
+  p.edge_labels.assign(edges);
+  for (size_t i = 0; i < p.node_labels.size(); ++i) {
+    p.nodes.push_back(static_cast<NodeId>(100 + i));
+  }
+  return p;
+}
+
+// Parameter: (on_disk, compress).
+class PathStoreTest
+    : public testing::TestWithParam<std::tuple<bool, bool>> {
+ protected:
+  PathStore::Options Opts() {
+    PathStore::Options o;
+    if (std::get<0>(GetParam())) {
+      std::string name =
+          testing::UnitTest::GetInstance()->current_test_info()->name();
+      for (char& c : name) {
+        if (c == '/') c = '-';
+      }
+      o.path = testing::TempDir() + "/ps_" + name + ".dat";
+    }
+    o.compress = std::get<1>(GetParam());
+    return o;
+  }
+};
+
+TEST_P(PathStoreTest, PutGetRoundTrip) {
+  PathStore store;
+  ASSERT_TRUE(store.Open(Opts()).ok());
+  Path original = MakePath({1, 2, 3}, {10, 11});
+  auto id = store.Put(original);
+  ASSERT_TRUE(id.ok());
+  Path loaded;
+  ASSERT_TRUE(store.Get(*id, &loaded).ok());
+  EXPECT_EQ(loaded, original);
+  EXPECT_EQ(loaded.nodes, original.nodes);
+}
+
+TEST_P(PathStoreTest, DenseIdsInOrder) {
+  PathStore store;
+  ASSERT_TRUE(store.Open(Opts()).ok());
+  for (TermId i = 0; i < 50; ++i) {
+    auto id = store.Put(MakePath({i, i + 1}, {1000 + i}));
+    ASSERT_TRUE(id.ok());
+    EXPECT_EQ(*id, i);
+  }
+  EXPECT_EQ(store.path_count(), 50u);
+  Path p;
+  ASSERT_TRUE(store.Get(25, &p).ok());
+  EXPECT_EQ(p.node_labels[0], 25u);
+}
+
+TEST_P(PathStoreTest, SingleNodePathRejected) {
+  PathStore store;
+  ASSERT_TRUE(store.Open(Opts()).ok());
+  Path empty;
+  EXPECT_FALSE(store.Put(empty).ok());
+}
+
+TEST_P(PathStoreTest, OutOfRangeGet) {
+  PathStore store;
+  ASSERT_TRUE(store.Open(Opts()).ok());
+  Path p;
+  EXPECT_EQ(store.Get(0, &p).code(), Status::Code::kOutOfRange);
+}
+
+TEST_P(PathStoreTest, LongPathsSurvive) {
+  PathStore store;
+  ASSERT_TRUE(store.Open(Opts()).ok());
+  Path p;
+  for (TermId i = 0; i < 200; ++i) {
+    p.node_labels.push_back(i * 3);
+    p.nodes.push_back(i);
+    if (i > 0) p.edge_labels.push_back(i * 7);
+  }
+  auto id = store.Put(p);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(store.DropCaches().ok());
+  Path loaded;
+  ASSERT_TRUE(store.Get(*id, &loaded).ok());
+  EXPECT_EQ(loaded, p);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, PathStoreTest,
+    testing::Combine(testing::Bool(), testing::Bool()),
+    [](const testing::TestParamInfo<std::tuple<bool, bool>>& info) {
+      std::string name = std::get<0>(info.param) ? "Disk" : "Memory";
+      name += std::get<1>(info.param) ? "Varint" : "Fixed";
+      return name;
+    });
+
+TEST(PathStoreEncodingTest, VarintSmallerThanFixed) {
+  Path p = MakePath({1, 2, 3, 4}, {5, 6, 7});
+  std::vector<uint8_t> varint, fixed;
+  PathStore::Encode(p, /*compress=*/true, &varint);
+  PathStore::Encode(p, /*compress=*/false, &fixed);
+  EXPECT_LT(varint.size(), fixed.size());
+}
+
+TEST(PathStoreEncodingTest, DecodeRejectsCorruptBuffers) {
+  Path p;
+  EXPECT_FALSE(PathStore::Decode({}, true, &p).ok());
+  std::vector<uint8_t> truncated;
+  PathStore::Encode(MakePath({1, 2}, {3}), true, &truncated);
+  truncated.resize(truncated.size() - 1);
+  EXPECT_FALSE(PathStore::Decode(truncated, true, &p).ok());
+}
+
+}  // namespace
+}  // namespace sama

@@ -1,0 +1,59 @@
+#ifndef SAMA_TESTS_TESTING_FIXTURES_H_
+#define SAMA_TESTS_TESTING_FIXTURES_H_
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/engine.h"
+#include "datasets/govtrack.h"
+#include "index/path_index.h"
+#include "text/thesaurus.h"
+
+namespace sama {
+namespace testing_util {
+
+// The paper's Figure-1 environment: graph Gd, an in-memory path index,
+// the builtin thesaurus, and a Sama engine — shared by the core and
+// integration tests.
+class GovTrackEnv {
+ public:
+  GovTrackEnv() {
+    graph_ = std::make_unique<DataGraph>(
+        DataGraph::FromTriples(GovTrackFigure1Triples()));
+    index_ = std::make_unique<PathIndex>();
+    PathIndexOptions options;  // In-memory.
+    Status s = index_->Build(*graph_, options);
+    if (!s.ok()) ADD_FAILURE() << "index build failed: " << s;
+    thesaurus_ = Thesaurus::BuiltinEnglish();
+    engine_ = std::make_unique<SamaEngine>(graph_.get(), index_.get(),
+                                           &thesaurus_);
+  }
+
+  DataGraph& graph() { return *graph_; }
+  PathIndex& index() { return *index_; }
+  SamaEngine& engine() { return *engine_; }
+  const Thesaurus& thesaurus() { return thesaurus_; }
+
+  QueryGraph Query1() {
+    return engine_->BuildQueryGraph(GovTrackQuery1Patterns());
+  }
+  QueryGraph Query2() {
+    return engine_->BuildQueryGraph(GovTrackQuery2Patterns());
+  }
+
+  // Renders a stored path (e.g. "CarlaBunes-sponsor-A0056-...").
+  std::string Render(const Path& p) { return p.ToString(graph_->dict()); }
+
+ private:
+  std::unique_ptr<DataGraph> graph_;
+  std::unique_ptr<PathIndex> index_;
+  Thesaurus thesaurus_;
+  std::unique_ptr<SamaEngine> engine_;
+};
+
+}  // namespace testing_util
+}  // namespace sama
+
+#endif  // SAMA_TESTS_TESTING_FIXTURES_H_

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "text/inverted_index.h"
+
+namespace sama {
+namespace {
+
+TEST(InvertedIndexSerializeTest, RoundTripPreservesLookups) {
+  InvertedLabelIndex index;
+  index.Add("Health Care", 3);
+  index.Add("Health Care", 1);
+  index.Add("AssociateProfessor", 42);
+  index.Add("Male", 7);
+  index.Finish();
+
+  std::vector<uint8_t> blob;
+  index.Serialize(&blob);
+
+  InvertedLabelIndex restored;
+  size_t pos = 0;
+  ASSERT_TRUE(restored.Deserialize(blob, &pos));
+  EXPECT_EQ(pos, blob.size());
+
+  EXPECT_EQ(restored.distinct_labels(), index.distinct_labels());
+  EXPECT_EQ(restored.distinct_tokens(), index.distinct_tokens());
+  auto drain = [](InvertedLabelIndex::Cursor c) {
+    std::vector<uint64_t> out;
+    for (; !c.Done(); c.Next()) out.push_back(c.Value());
+    return out;
+  };
+  EXPECT_EQ(drain(restored.LookupExact("health care")),
+            (std::vector<uint64_t>{1, 3}));
+  EXPECT_EQ(restored.LookupTokens("associate professor"),
+            (std::vector<uint64_t>{42}));
+  EXPECT_EQ(drain(restored.LookupExact("male")),
+            (std::vector<uint64_t>{7}));
+}
+
+TEST(InvertedIndexSerializeTest, EmptyIndexRoundTrips) {
+  InvertedLabelIndex index;
+  index.Finish();
+  std::vector<uint8_t> blob;
+  index.Serialize(&blob);
+  InvertedLabelIndex restored;
+  size_t pos = 0;
+  ASSERT_TRUE(restored.Deserialize(blob, &pos));
+  EXPECT_EQ(restored.distinct_labels(), 0u);
+}
+
+TEST(InvertedIndexSerializeTest, TwoIndexesShareOneBuffer) {
+  InvertedLabelIndex a, b;
+  a.Add("alpha", 1);
+  b.Add("beta", 2);
+  a.Finish();
+  b.Finish();
+  std::vector<uint8_t> blob;
+  a.Serialize(&blob);
+  b.Serialize(&blob);
+  InvertedLabelIndex ra, rb;
+  size_t pos = 0;
+  ASSERT_TRUE(ra.Deserialize(blob, &pos));
+  ASSERT_TRUE(rb.Deserialize(blob, &pos));
+  EXPECT_FALSE(ra.LookupExact("alpha").Done());
+  EXPECT_TRUE(ra.LookupExact("beta").Done());
+  EXPECT_FALSE(rb.LookupExact("beta").Done());
+}
+
+TEST(InvertedIndexSerializeTest, TruncatedBlobFails) {
+  InvertedLabelIndex index;
+  index.Add("some label here", 123456);
+  index.Finish();
+  std::vector<uint8_t> blob;
+  index.Serialize(&blob);
+  blob.resize(blob.size() / 2);
+  InvertedLabelIndex restored;
+  size_t pos = 0;
+  EXPECT_FALSE(restored.Deserialize(blob, &pos));
+}
+
+TEST(InvertedIndexSerializeTest, DeterministicImage) {
+  auto build = [] {
+    InvertedLabelIndex index;
+    index.Add("zebra", 9);
+    index.Add("apple pie", 2);
+    index.Add("apple", 5);
+    index.Finish();
+    std::vector<uint8_t> blob;
+    index.Serialize(&blob);
+    return blob;
+  };
+  EXPECT_EQ(build(), build());
+}
+
+}  // namespace
+}  // namespace sama

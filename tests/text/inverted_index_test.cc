@@ -1,0 +1,105 @@
+#include "text/inverted_index.h"
+
+#include <gtest/gtest.h>
+
+namespace sama {
+namespace {
+
+InvertedLabelIndex BuildSmall() {
+  InvertedLabelIndex index;
+  index.Add("Health Care", 1);
+  index.Add("Health Care", 5);
+  index.Add("Care Home", 2);
+  index.Add("Male", 3);
+  index.Add("AssociateProfessor", 4);
+  index.Finish();
+  return index;
+}
+
+std::vector<uint64_t> Drain(InvertedLabelIndex::Cursor c) {
+  std::vector<uint64_t> out;
+  for (; !c.Done(); c.Next()) out.push_back(c.Value());
+  return out;
+}
+
+TEST(InvertedIndexTest, ExactLookupIsCaseInsensitive) {
+  InvertedLabelIndex index = BuildSmall();
+  EXPECT_EQ(Drain(index.LookupExact("health care")),
+            (std::vector<uint64_t>{1, 5}));
+  EXPECT_EQ(Drain(index.LookupExact("MALE")), (std::vector<uint64_t>{3}));
+  EXPECT_TRUE(Drain(index.LookupExact("absent")).empty());
+}
+
+TEST(InvertedIndexTest, TokenLookupIntersects) {
+  InvertedLabelIndex index = BuildSmall();
+  // "care" appears in both labels; "health care" only in ids 1 and 5.
+  EXPECT_EQ(index.LookupTokens("care"), (std::vector<uint64_t>{1, 2, 5}));
+  EXPECT_EQ(index.LookupTokens("health care"),
+            (std::vector<uint64_t>{1, 5}));
+  EXPECT_TRUE(index.LookupTokens("health home").empty());
+  EXPECT_TRUE(index.LookupTokens("unknown").empty());
+}
+
+TEST(InvertedIndexTest, CamelCaseTokensSearchable) {
+  InvertedLabelIndex index = BuildSmall();
+  EXPECT_EQ(index.LookupTokens("professor"), (std::vector<uint64_t>{4}));
+  EXPECT_EQ(index.LookupTokens("associate professor"),
+            (std::vector<uint64_t>{4}));
+}
+
+TEST(InvertedIndexTest, PostingsSortedAndDeduped) {
+  InvertedLabelIndex index;
+  index.Add("x", 9);
+  index.Add("x", 3);
+  index.Add("x", 9);
+  index.Add("x", 1);
+  index.Finish();
+  EXPECT_EQ(Drain(index.LookupExact("x")), (std::vector<uint64_t>{1, 3, 9}));
+}
+
+TEST(InvertedIndexTest, CursorSeekTo) {
+  InvertedLabelIndex index;
+  for (uint64_t id = 0; id < 100; id += 7) index.Add("k", id);
+  index.Finish();
+  InvertedLabelIndex::Cursor c = index.LookupExact("k");
+  c.SeekTo(50);
+  ASSERT_FALSE(c.Done());
+  EXPECT_EQ(c.Value(), 56u);  // First multiple of 7 >= 50.
+  c.SeekTo(98);
+  ASSERT_FALSE(c.Done());
+  EXPECT_EQ(c.Value(), 98u);
+  c.SeekTo(99);
+  EXPECT_TRUE(c.Done());
+}
+
+TEST(InvertedIndexTest, SemanticLookupUsesThesaurus) {
+  Thesaurus t;
+  t.AddSynonyms({"male", "man"});
+  InvertedLabelIndex index;
+  index.Add("Man", 10);
+  index.Add("Male", 11);
+  index.Finish();
+  EXPECT_EQ(index.LookupSemantic("male", &t),
+            (std::vector<uint64_t>{10, 11}));
+  EXPECT_EQ(index.LookupSemantic("male", nullptr),
+            (std::vector<uint64_t>{11}));
+}
+
+TEST(InvertedIndexTest, SemanticFallsBackToTokens) {
+  InvertedLabelIndex index;
+  index.Add("Department3 Univ0", 7);
+  index.Finish();
+  // No exact label "univ0", but the token matches.
+  EXPECT_EQ(index.LookupSemantic("Univ0", nullptr),
+            (std::vector<uint64_t>{7}));
+}
+
+TEST(InvertedIndexTest, StatsAndMemory) {
+  InvertedLabelIndex index = BuildSmall();
+  EXPECT_EQ(index.distinct_labels(), 4u);
+  EXPECT_GT(index.distinct_tokens(), 4u);
+  EXPECT_GT(index.MemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace sama

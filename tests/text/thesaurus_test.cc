@@ -1,0 +1,145 @@
+#include "text/thesaurus.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+
+namespace sama {
+namespace {
+
+TEST(ThesaurusTest, SynonymsAreSymmetric) {
+  Thesaurus t;
+  t.AddSynonyms({"car", "automobile", "auto"});
+  EXPECT_TRUE(t.AreSynonyms("car", "automobile"));
+  EXPECT_TRUE(t.AreSynonyms("automobile", "car"));
+  EXPECT_TRUE(t.AreSynonyms("auto", "automobile"));
+  EXPECT_FALSE(t.AreSynonyms("car", "truck"));
+}
+
+TEST(ThesaurusTest, CaseInsensitive) {
+  Thesaurus t;
+  t.AddSynonyms({"Male", "Man"});
+  EXPECT_TRUE(t.AreSynonyms("MALE", "man"));
+}
+
+TEST(ThesaurusTest, MergingSynsets) {
+  Thesaurus t;
+  t.AddSynonyms({"a", "b"});
+  t.AddSynonyms({"c", "d"});
+  EXPECT_FALSE(t.AreSynonyms("a", "c"));
+  t.AddSynonyms({"b", "c"});  // Merges both rings.
+  EXPECT_TRUE(t.AreSynonyms("a", "d"));
+}
+
+TEST(ThesaurusTest, HypernymsAreRelatedNotSynonyms) {
+  Thesaurus t;
+  t.AddHypernym("dog", "animal");
+  EXPECT_FALSE(t.AreSynonyms("dog", "animal"));
+  EXPECT_TRUE(t.AreRelated("dog", "animal"));
+  EXPECT_TRUE(t.AreRelated("animal", "dog"));  // Hyponym direction too.
+}
+
+TEST(ThesaurusTest, RelatednessRespectsHopLimit) {
+  Thesaurus t;
+  t.AddHypernym("poodle", "dog");
+  t.AddHypernym("dog", "animal");
+  EXPECT_FALSE(t.AreRelated("poodle", "animal", 1));
+  EXPECT_TRUE(t.AreRelated("poodle", "animal", 2));
+}
+
+TEST(ThesaurusTest, SiblingsRelatedThroughParent) {
+  Thesaurus t;
+  t.AddHypernym("dog", "animal");
+  t.AddHypernym("cat", "animal");
+  EXPECT_FALSE(t.AreRelated("dog", "cat", 1));
+  EXPECT_TRUE(t.AreRelated("dog", "cat", 2));
+}
+
+TEST(ThesaurusTest, UnknownWordsNeverRelate) {
+  Thesaurus t;
+  t.AddSynonyms({"x", "y"});
+  EXPECT_FALSE(t.AreSynonyms("x", "unknown"));
+  EXPECT_FALSE(t.AreRelated("unknown", "alien"));
+  EXPECT_FALSE(t.AreSynonyms("unknown", "unknown2"));
+}
+
+TEST(ThesaurusTest, SameWordIsItsOwnSynonym) {
+  Thesaurus t;
+  t.AddSynonyms({"solo"});
+  EXPECT_TRUE(t.AreSynonyms("solo", "SOLO"));
+}
+
+TEST(ThesaurusTest, ExpandIncludesSynonymsAndNeighbours) {
+  Thesaurus t;
+  t.AddSynonyms({"prof", "professor"});
+  t.AddHypernym("professor", "teacher");
+  std::vector<std::string> expanded = t.Expand("prof");
+  EXPECT_NE(std::find(expanded.begin(), expanded.end(), "professor"),
+            expanded.end());
+  EXPECT_NE(std::find(expanded.begin(), expanded.end(), "teacher"),
+            expanded.end());
+}
+
+TEST(ThesaurusTest, ExpandUnknownWordReturnsItself) {
+  Thesaurus t;
+  std::vector<std::string> expanded = t.Expand("Mystery");
+  ASSERT_EQ(expanded.size(), 1u);
+  EXPECT_EQ(expanded[0], "mystery");
+}
+
+TEST(ThesaurusTest, LoadFromStringParsesEntries) {
+  Thesaurus t;
+  Status s = t.LoadFromString(
+      "# my domain vocabulary\n"
+      "syn: car, automobile, auto\n"
+      "isa: suv, car\n"
+      "\n"
+      "syn: bike, bicycle\n");
+  ASSERT_TRUE(s.ok()) << s;
+  EXPECT_TRUE(t.AreSynonyms("car", "auto"));
+  EXPECT_TRUE(t.AreRelated("suv", "automobile"));
+  EXPECT_TRUE(t.AreSynonyms("bike", "bicycle"));
+  EXPECT_FALSE(t.AreSynonyms("car", "bike"));
+}
+
+TEST(ThesaurusTest, LoadFromStringRejectsMalformed) {
+  Thesaurus t;
+  EXPECT_FALSE(t.LoadFromString("syn: onlyone\n").ok());
+  EXPECT_FALSE(t.LoadFromString("isa: a, b, c\n").ok());
+  EXPECT_FALSE(t.LoadFromString("whatis: a, b\n").ok());
+  EXPECT_FALSE(t.LoadFromString("no colon here\n").ok());
+  Status s = t.LoadFromString("syn: a, b\nbroken\n");
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("line 2"), std::string::npos);
+}
+
+TEST(ThesaurusTest, LoadFromFileRoundTrip) {
+  std::string path = testing::TempDir() + "/thesaurus.txt";
+  {
+    std::ofstream out(path);
+    out << "syn: kitten, kitty\nisa: kitten, cat\n";
+  }
+  Thesaurus t;
+  ASSERT_TRUE(t.LoadFromFile(path).ok());
+  EXPECT_TRUE(t.AreSynonyms("kitten", "kitty"));
+  EXPECT_TRUE(t.AreRelated("kitty", "cat"));
+  EXPECT_EQ(t.LoadFromFile("/nonexistent/thesaurus.txt").code(),
+            Status::Code::kIoError);
+}
+
+TEST(ThesaurusTest, BuiltinCoversPaperVocabulary) {
+  Thesaurus t = Thesaurus::BuiltinEnglish();
+  EXPECT_TRUE(t.AreSynonyms("male", "man"));
+  EXPECT_TRUE(t.AreSynonyms("sponsor", "backer"));
+  EXPECT_TRUE(t.AreSynonyms("teacherOf", "instructs"));
+  EXPECT_TRUE(t.AreSynonyms("worksFor", "employedBy"));
+  EXPECT_TRUE(t.AreSynonyms("takesCourse", "attends"));
+  EXPECT_TRUE(t.AreSynonyms("memberOf", "belongsTo"));
+  EXPECT_TRUE(t.AreSynonyms("publicationAuthor", "authoredBy"));
+  EXPECT_TRUE(t.AreRelated("professor", "teacher"));
+  EXPECT_GT(t.word_count(), 50u);
+}
+
+}  // namespace
+}  // namespace sama

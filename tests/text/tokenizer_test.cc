@@ -1,0 +1,47 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace sama {
+namespace {
+
+using testing::TestWithParam;
+
+TEST(TokenizerTest, SplitsOnNonAlnum) {
+  EXPECT_EQ(TokenizeLabel("Health Care"),
+            (std::vector<std::string>{"health", "care"}));
+  EXPECT_EQ(TokenizeLabel("a_b-c.d"),
+            (std::vector<std::string>{"a", "b", "c", "d"}));
+}
+
+TEST(TokenizerTest, SplitsCamelCase) {
+  EXPECT_EQ(TokenizeLabel("AssociateProfessor"),
+            (std::vector<std::string>{"associate", "professor"}));
+  EXPECT_EQ(TokenizeLabel("takesCourse"),
+            (std::vector<std::string>{"takes", "course"}));
+  EXPECT_EQ(TokenizeLabel("subOrganizationOf"),
+            (std::vector<std::string>{"sub", "organization", "of"}));
+}
+
+TEST(TokenizerTest, DigitsStayWithWord) {
+  EXPECT_EQ(TokenizeLabel("A1589"), (std::vector<std::string>{"a1589"}));
+  EXPECT_EQ(TokenizeLabel("Course3Dept"),
+            (std::vector<std::string>{"course3", "dept"}));
+}
+
+TEST(TokenizerTest, EmptyAndSymbolOnly) {
+  EXPECT_TRUE(TokenizeLabel("").empty());
+  EXPECT_TRUE(TokenizeLabel("---").empty());
+}
+
+TEST(TokenizerTest, AllCapsStaysTogether) {
+  EXPECT_EQ(TokenizeLabel("KEGG"), (std::vector<std::string>{"kegg"}));
+}
+
+TEST(TokenizerTest, NormalizeLabelLowercasesOnly) {
+  EXPECT_EQ(NormalizeLabel("Health Care"), "health care");
+  EXPECT_EQ(NormalizeLabel("A1589"), "a1589");
+}
+
+}  // namespace
+}  // namespace sama

@@ -1,0 +1,381 @@
+// sama_cli — load an RDF file, build the path index, and answer SPARQL
+// queries approximately.
+//
+// Usage:
+//   sama_cli --data graph.nt --query query.sparql [--k 10]
+//   sama_cli --data graph.ttl --sparql 'SELECT ?x WHERE { ... }'
+//   sama_cli --data graph.nt --interactive
+//
+// Options:
+//   --data FILE        N-Triples (.nt) or Turtle (.ttl) input (required).
+//   --query FILE       File containing one SPARQL query.
+//   --sparql TEXT      Inline SPARQL query.
+//   --interactive      Read queries from stdin (terminate each with a
+//                      blank line; EOF exits).
+//   --k N              Number of answers (default 10).
+//   --index-dir DIR    Persist the index under DIR (default: in-memory).
+//   --no-thesaurus     Disable semantic (synonym) matching.
+//   --thesaurus FILE   Merge a user thesaurus ("syn:"/"isa:" lines)
+//                      on top of the builtin vocabulary.
+//   --export FILE      Write the loaded graph back out as N-Triples
+//                      (.nt) or Turtle (.ttl) and exit.
+//   --baseline NAME    Run a competitor instead of Sama:
+//                      exact | sapper | bounded | dogma.
+//   --stats            Print index and per-query statistics.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "baselines/bounded.h"
+#include "baselines/dogma.h"
+#include "baselines/exact.h"
+#include "baselines/sapper.h"
+#include "common/string_util.h"
+#include "core/engine.h"
+#include "datasets/govtrack.h"
+#include "graph/graph_stats.h"
+#include "index/path_index.h"
+#include "query/sparql.h"
+#include "graph/loader.h"
+#include "rdf/ntriples.h"
+#include "rdf/turtle.h"
+#include "text/thesaurus.h"
+
+namespace {
+
+struct CliOptions {
+  std::string data_path;
+  std::string query_path;
+  std::string sparql;
+  std::string index_dir;
+  std::string baseline;
+  std::string thesaurus_path;
+  std::string export_path;
+  size_t k = 10;
+  bool interactive = false;
+  bool use_thesaurus = true;
+  bool stats = false;
+  bool demo = false;
+};
+
+void PrintUsage() {
+  std::fprintf(stderr,
+               "usage: sama_cli --data FILE (--query FILE | --sparql TEXT |"
+               " --interactive)\n"
+               "               [--k N] [--index-dir DIR] [--no-thesaurus]\n"
+               "               [--baseline exact|sapper|bounded|dogma]"
+               " [--stats]\n"
+               "       sama_cli --demo   (built-in Figure-1 walkthrough)\n");
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* options) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&](std::string* out) {
+      if (i + 1 >= argc) return false;
+      *out = argv[++i];
+      return true;
+    };
+    std::string value;
+    if (arg == "--data" && next(&value)) {
+      options->data_path = value;
+    } else if (arg == "--query" && next(&value)) {
+      options->query_path = value;
+    } else if (arg == "--sparql" && next(&value)) {
+      options->sparql = value;
+    } else if (arg == "--index-dir" && next(&value)) {
+      options->index_dir = value;
+    } else if (arg == "--baseline" && next(&value)) {
+      options->baseline = value;
+    } else if (arg == "--thesaurus" && next(&value)) {
+      options->thesaurus_path = value;
+    } else if (arg == "--export" && next(&value)) {
+      options->export_path = value;
+    } else if (arg == "--k" && next(&value)) {
+      options->k = static_cast<size_t>(std::strtoul(value.c_str(),
+                                                    nullptr, 10));
+    } else if (arg == "--interactive") {
+      options->interactive = true;
+    } else if (arg == "--no-thesaurus") {
+      options->use_thesaurus = false;
+    } else if (arg == "--stats") {
+      options->stats = true;
+    } else if (arg == "--demo") {
+      options->demo = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown or incomplete option: %s\n",
+                   arg.c_str());
+      return false;
+    }
+  }
+  if (options->demo) return true;
+  if (options->data_path.empty()) {
+    std::fprintf(stderr, "--data is required\n");
+    return false;
+  }
+  if (!options->export_path.empty()) return true;
+  if (options->query_path.empty() && options->sparql.empty() &&
+      !options->interactive) {
+    std::fprintf(stderr,
+                 "one of --query, --sparql or --interactive is required\n");
+    return false;
+  }
+  return true;
+}
+
+sama::Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return sama::Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void PrintAnswer(const sama::DataGraph& graph, size_t rank,
+                 const sama::Answer& answer,
+                 const std::vector<std::string>& vars) {
+  std::printf("#%zu  score=%.3f (lambda=%.3f psi=%.3f)%s\n", rank,
+              answer.score, answer.lambda_total, answer.psi_total,
+              answer.consistent ? "" : "  [relaxed bindings]");
+  for (const std::string& var : vars) {
+    const sama::Term* bound = answer.binding.Lookup(var);
+    std::printf("    ?%s = %s\n", var.c_str(),
+                bound != nullptr ? bound->ToString().c_str() : "(unbound)");
+  }
+  for (const sama::ScoredPath& part : answer.parts) {
+    std::printf("    %s [%.2f]\n",
+                part.path.ToString(graph.dict()).c_str(), part.lambda());
+  }
+}
+
+int RunBaseline(const CliOptions& options, sama::DataGraph* graph,
+                const sama::SparqlQuery& query) {
+  std::unique_ptr<sama::Matcher> matcher;
+  if (options.baseline == "exact") {
+    matcher = std::make_unique<sama::ExactMatcher>(graph);
+  } else if (options.baseline == "sapper") {
+    matcher = std::make_unique<sama::SapperMatcher>(graph);
+  } else if (options.baseline == "bounded") {
+    matcher = std::make_unique<sama::BoundedMatcher>(graph);
+  } else if (options.baseline == "dogma") {
+    matcher = std::make_unique<sama::DogmaMatcher>(graph);
+  } else {
+    std::fprintf(stderr, "unknown baseline '%s'\n",
+                 options.baseline.c_str());
+    return 1;
+  }
+  sama::QueryGraph qg = query.ToQueryGraph(graph->shared_dict());
+  auto matches = matcher->Execute(qg, options.k);
+  if (!matches.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", matcher->name().c_str(),
+                 matches.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s: %zu matches\n", matcher->name().c_str(),
+              matches->size());
+  for (size_t i = 0; i < matches->size(); ++i) {
+    std::printf("#%zu  cost=%.2f\n", i + 1, (*matches)[i].cost);
+    for (const std::string& var : query.select_vars) {
+      const sama::Term* bound = (*matches)[i].binding.Lookup(var);
+      std::printf("    ?%s = %s\n", var.c_str(),
+                  bound != nullptr ? bound->ToString().c_str()
+                                   : "(unbound)");
+    }
+  }
+  return 0;
+}
+
+int RunOneQuery(const CliOptions& options, sama::DataGraph* graph,
+                sama::SamaEngine* engine, const std::string& sparql) {
+  auto query = sama::ParseSparql(sparql);
+  if (!query.ok()) {
+    std::fprintf(stderr, "query parse error: %s\n",
+                 query.status().ToString().c_str());
+    return 1;
+  }
+  if (!options.baseline.empty()) {
+    return RunBaseline(options, graph, *query);
+  }
+  sama::QueryStats stats;
+  auto answers = engine->ExecuteSparql(*query, options.k, &stats);
+  if (!answers.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 answers.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%zu answer(s)\n", answers->size());
+  for (size_t i = 0; i < answers->size(); ++i) {
+    PrintAnswer(*graph, i + 1, (*answers)[i], query->select_vars);
+  }
+  if (options.stats) {
+    std::printf(
+        "-- query stats: %zu query paths, %zu candidate paths, "
+        "%.2f ms total (%.2f clustering, %.2f search)\n",
+        stats.num_query_paths, stats.num_candidate_paths,
+        stats.total_millis, stats.clustering_millis, stats.search_millis);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  if (!ParseArgs(argc, argv, &options)) {
+    PrintUsage();
+    return 2;
+  }
+
+  sama::DataGraph graph;
+  if (options.demo) {
+    graph = sama::DataGraph::FromTriples(sama::GovTrackFigure1Triples());
+    if (options.sparql.empty() && options.query_path.empty() &&
+        !options.interactive) {
+      options.sparql =
+          "PREFIX gov: <http://gov.example.org/>\n"
+          "SELECT ?v1 ?v2 ?v3 WHERE {\n"
+          "  gov:CarlaBunes gov:sponsor ?v1 . ?v1 gov:aTo ?v2 .\n"
+          "  ?v2 gov:subject \"Health Care\" . ?v3 gov:sponsor ?v2 .\n"
+          "  ?v3 gov:gender \"Male\" }";
+    }
+  } else {
+    // Stream the file in constant memory, reporting progress on large
+    // inputs.
+    auto loaded = sama::LoadGraphFromFile(
+        options.data_path, &graph,
+        options.stats
+            ? [](const sama::LoadStats& p) {
+                std::fprintf(stderr, "-- loaded %llu triples...\r",
+                             static_cast<unsigned long long>(p.triples));
+              }
+            : std::function<void(const sama::LoadStats&)>());
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "failed to load %s: %s\n",
+                   options.data_path.c_str(),
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    if (options.stats) {
+      std::printf("-- loaded %llu triples in %.0f ms\n",
+                  static_cast<unsigned long long>(loaded->triples),
+                  loaded->millis);
+    }
+  }
+  if (options.stats) {
+    std::printf("-- graph:\n%s",
+                sama::FormatGraphStats(sama::ComputeGraphStats(graph))
+                    .c_str());
+  }
+  if (!options.export_path.empty()) {
+    // Re-serialise the loaded graph and exit.
+    std::vector<sama::Triple> triples;
+    for (sama::EdgeId e = 0; e < graph.edge_count(); ++e) {
+      const sama::DataGraph::Edge& edge = graph.edge(e);
+      triples.push_back(sama::Triple{graph.node_term(edge.from),
+                                     graph.edge_term(e),
+                                     graph.node_term(edge.to)});
+    }
+    std::string text = sama::EndsWith(options.export_path, ".ttl")
+                           ? sama::WriteTurtle(triples)
+                           : sama::WriteNTriples(triples);
+    std::ofstream out(options.export_path,
+                      std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n",
+                   options.export_path.c_str());
+      return 1;
+    }
+    out << text;
+    std::printf("exported %zu triples to %s\n", triples.size(),
+                options.export_path.c_str());
+    return 0;
+  }
+
+  sama::PathIndexOptions index_options;
+  index_options.dir = options.index_dir;
+  sama::PathIndex index;
+  bool reused = false;
+  if (!options.index_dir.empty() &&
+      std::ifstream(options.index_dir + "/index.meta").good()) {
+    sama::Status opened = index.Open(&graph, index_options);
+    if (opened.ok()) {
+      reused = true;
+      if (options.stats) {
+        std::printf("-- reusing persisted index in %s\n",
+                    options.index_dir.c_str());
+      }
+    } else {
+      std::fprintf(stderr,
+                   "note: could not reuse index in %s (%s); rebuilding\n",
+                   options.index_dir.c_str(),
+                   opened.ToString().c_str());
+    }
+  }
+  if (!reused) {
+    sama::Status built = index.Build(graph, index_options);
+    if (!built.ok()) {
+      std::fprintf(stderr, "index build failed: %s\n",
+                   built.ToString().c_str());
+      return 1;
+    }
+  }
+  if (options.stats) {
+    const sama::IndexStats& s = index.stats();
+    std::printf(
+        "-- index: %llu triples, %llu paths, |HV|=%llu, |HE|=%llu, "
+        "built in %s, %s on disk\n",
+        static_cast<unsigned long long>(s.num_triples),
+        static_cast<unsigned long long>(s.num_paths),
+        static_cast<unsigned long long>(s.hv),
+        static_cast<unsigned long long>(s.he),
+        sama::HumanMillis(s.build_millis).c_str(),
+        sama::HumanBytes(s.disk_bytes).c_str());
+  }
+
+  sama::Thesaurus thesaurus = sama::Thesaurus::BuiltinEnglish();
+  if (!options.thesaurus_path.empty()) {
+    sama::Status loaded = thesaurus.LoadFromFile(options.thesaurus_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "failed to load thesaurus: %s\n",
+                   loaded.ToString().c_str());
+      return 1;
+    }
+  }
+  sama::SamaEngine engine(&graph, &index,
+                          options.use_thesaurus ? &thesaurus : nullptr);
+
+  if (options.interactive) {
+    std::printf("Enter SPARQL queries, blank line to run, EOF to quit.\n");
+    std::string buffer, line;
+    while (std::getline(std::cin, line)) {
+      if (!line.empty()) {
+        buffer += line;
+        buffer += '\n';
+        continue;
+      }
+      if (buffer.empty()) continue;
+      RunOneQuery(options, &graph, &engine, buffer);
+      buffer.clear();
+    }
+    if (!buffer.empty()) RunOneQuery(options, &graph, &engine, buffer);
+    return 0;
+  }
+
+  std::string sparql = options.sparql;
+  if (!options.query_path.empty()) {
+    auto text = ReadFile(options.query_path);
+    if (!text.ok()) {
+      std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+      return 1;
+    }
+    sparql = *text;
+  }
+  return RunOneQuery(options, &graph, &engine, sparql);
+}
