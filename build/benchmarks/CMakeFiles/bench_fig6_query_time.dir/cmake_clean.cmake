@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_query_time"
+  "../bench/bench_fig6_query_time.pdb"
+  "CMakeFiles/bench_fig6_query_time.dir/bench_fig6_query_time.cpp.o"
+  "CMakeFiles/bench_fig6_query_time.dir/bench_fig6_query_time.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_query_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

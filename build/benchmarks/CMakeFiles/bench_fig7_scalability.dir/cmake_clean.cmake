@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_scalability"
+  "../bench/bench_fig7_scalability.pdb"
+  "CMakeFiles/bench_fig7_scalability.dir/bench_fig7_scalability.cpp.o"
+  "CMakeFiles/bench_fig7_scalability.dir/bench_fig7_scalability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_effectiveness"
+  "../bench/bench_fig8_effectiveness.pdb"
+  "CMakeFiles/bench_fig8_effectiveness.dir/bench_fig8_effectiveness.cpp.o"
+  "CMakeFiles/bench_fig8_effectiveness.dir/bench_fig8_effectiveness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_effectiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_precision_recall"
+  "../bench/bench_fig9_precision_recall.pdb"
+  "CMakeFiles/bench_fig9_precision_recall.dir/bench_fig9_precision_recall.cpp.o"
+  "CMakeFiles/bench_fig9_precision_recall.dir/bench_fig9_precision_recall.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_precision_recall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/benchmarks/bench_table1_indexing.cpp" "benchmarks/CMakeFiles/bench_table1_indexing.dir/bench_table1_indexing.cpp.o" "gcc" "benchmarks/CMakeFiles/bench_table1_indexing.dir/bench_table1_indexing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sama_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/sama_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/sama_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/sama_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/sama_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/sama_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/sama_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/sama_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sama_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/sama_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sama_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_indexing"
+  "../bench/bench_table1_indexing.pdb"
+  "CMakeFiles/bench_table1_indexing.dir/bench_table1_indexing.cpp.o"
+  "CMakeFiles/bench_table1_indexing.dir/bench_table1_indexing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_indexing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

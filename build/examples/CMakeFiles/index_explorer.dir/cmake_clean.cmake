@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_explorer.dir/index_explorer.cpp.o"
+  "CMakeFiles/index_explorer.dir/index_explorer.cpp.o.d"
+  "index_explorer"
+  "index_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

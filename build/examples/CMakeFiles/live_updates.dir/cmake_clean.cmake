@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_updates.dir/live_updates.cpp.o"
+  "CMakeFiles/live_updates.dir/live_updates.cpp.o.d"
+  "live_updates"
+  "live_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/university_search.dir/university_search.cpp.o"
+  "CMakeFiles/university_search.dir/university_search.cpp.o.d"
+  "university_search"
+  "university_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/university_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/backtrack.cc" "src/baselines/CMakeFiles/sama_baselines.dir/backtrack.cc.o" "gcc" "src/baselines/CMakeFiles/sama_baselines.dir/backtrack.cc.o.d"
+  "/root/repo/src/baselines/bounded.cc" "src/baselines/CMakeFiles/sama_baselines.dir/bounded.cc.o" "gcc" "src/baselines/CMakeFiles/sama_baselines.dir/bounded.cc.o.d"
+  "/root/repo/src/baselines/dogma.cc" "src/baselines/CMakeFiles/sama_baselines.dir/dogma.cc.o" "gcc" "src/baselines/CMakeFiles/sama_baselines.dir/dogma.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/query/CMakeFiles/sama_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sama_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/sama_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/sama_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sama_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

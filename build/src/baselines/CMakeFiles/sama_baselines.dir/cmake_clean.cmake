@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sama_baselines.dir/backtrack.cc.o"
+  "CMakeFiles/sama_baselines.dir/backtrack.cc.o.d"
+  "CMakeFiles/sama_baselines.dir/bounded.cc.o"
+  "CMakeFiles/sama_baselines.dir/bounded.cc.o.d"
+  "CMakeFiles/sama_baselines.dir/dogma.cc.o"
+  "CMakeFiles/sama_baselines.dir/dogma.cc.o.d"
+  "libsama_baselines.a"
+  "libsama_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sama_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sama_common.dir/status.cc.o"
+  "CMakeFiles/sama_common.dir/status.cc.o.d"
+  "CMakeFiles/sama_common.dir/string_util.cc.o"
+  "CMakeFiles/sama_common.dir/string_util.cc.o.d"
+  "libsama_common.a"
+  "libsama_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sama_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/alignment.cc" "src/core/CMakeFiles/sama_core.dir/alignment.cc.o" "gcc" "src/core/CMakeFiles/sama_core.dir/alignment.cc.o.d"
+  "/root/repo/src/core/clustering.cc" "src/core/CMakeFiles/sama_core.dir/clustering.cc.o" "gcc" "src/core/CMakeFiles/sama_core.dir/clustering.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/core/CMakeFiles/sama_core.dir/engine.cc.o" "gcc" "src/core/CMakeFiles/sama_core.dir/engine.cc.o.d"
+  "/root/repo/src/core/explain.cc" "src/core/CMakeFiles/sama_core.dir/explain.cc.o" "gcc" "src/core/CMakeFiles/sama_core.dir/explain.cc.o.d"
+  "/root/repo/src/core/forest_search.cc" "src/core/CMakeFiles/sama_core.dir/forest_search.cc.o" "gcc" "src/core/CMakeFiles/sama_core.dir/forest_search.cc.o.d"
+  "/root/repo/src/core/intersection_graph.cc" "src/core/CMakeFiles/sama_core.dir/intersection_graph.cc.o" "gcc" "src/core/CMakeFiles/sama_core.dir/intersection_graph.cc.o.d"
+  "/root/repo/src/core/label_comparator.cc" "src/core/CMakeFiles/sama_core.dir/label_comparator.cc.o" "gcc" "src/core/CMakeFiles/sama_core.dir/label_comparator.cc.o.d"
+  "/root/repo/src/core/score.cc" "src/core/CMakeFiles/sama_core.dir/score.cc.o" "gcc" "src/core/CMakeFiles/sama_core.dir/score.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/query/CMakeFiles/sama_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/sama_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/sama_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/sama_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sama_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/sama_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sama_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

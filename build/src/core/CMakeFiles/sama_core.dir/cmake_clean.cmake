@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sama_core.dir/alignment.cc.o"
+  "CMakeFiles/sama_core.dir/alignment.cc.o.d"
+  "CMakeFiles/sama_core.dir/clustering.cc.o"
+  "CMakeFiles/sama_core.dir/clustering.cc.o.d"
+  "CMakeFiles/sama_core.dir/engine.cc.o"
+  "CMakeFiles/sama_core.dir/engine.cc.o.d"
+  "CMakeFiles/sama_core.dir/explain.cc.o"
+  "CMakeFiles/sama_core.dir/explain.cc.o.d"
+  "CMakeFiles/sama_core.dir/forest_search.cc.o"
+  "CMakeFiles/sama_core.dir/forest_search.cc.o.d"
+  "CMakeFiles/sama_core.dir/intersection_graph.cc.o"
+  "CMakeFiles/sama_core.dir/intersection_graph.cc.o.d"
+  "CMakeFiles/sama_core.dir/label_comparator.cc.o"
+  "CMakeFiles/sama_core.dir/label_comparator.cc.o.d"
+  "CMakeFiles/sama_core.dir/score.cc.o"
+  "CMakeFiles/sama_core.dir/score.cc.o.d"
+  "libsama_core.a"
+  "libsama_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sama_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

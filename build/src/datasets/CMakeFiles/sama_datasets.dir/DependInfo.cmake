@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datasets/berlin.cc" "src/datasets/CMakeFiles/sama_datasets.dir/berlin.cc.o" "gcc" "src/datasets/CMakeFiles/sama_datasets.dir/berlin.cc.o.d"
+  "/root/repo/src/datasets/govtrack.cc" "src/datasets/CMakeFiles/sama_datasets.dir/govtrack.cc.o" "gcc" "src/datasets/CMakeFiles/sama_datasets.dir/govtrack.cc.o.d"
+  "/root/repo/src/datasets/lubm.cc" "src/datasets/CMakeFiles/sama_datasets.dir/lubm.cc.o" "gcc" "src/datasets/CMakeFiles/sama_datasets.dir/lubm.cc.o.d"
+  "/root/repo/src/datasets/queries.cc" "src/datasets/CMakeFiles/sama_datasets.dir/queries.cc.o" "gcc" "src/datasets/CMakeFiles/sama_datasets.dir/queries.cc.o.d"
+  "/root/repo/src/datasets/scale_free.cc" "src/datasets/CMakeFiles/sama_datasets.dir/scale_free.cc.o" "gcc" "src/datasets/CMakeFiles/sama_datasets.dir/scale_free.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rdf/CMakeFiles/sama_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sama_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sama_datasets.dir/berlin.cc.o"
+  "CMakeFiles/sama_datasets.dir/berlin.cc.o.d"
+  "CMakeFiles/sama_datasets.dir/govtrack.cc.o"
+  "CMakeFiles/sama_datasets.dir/govtrack.cc.o.d"
+  "CMakeFiles/sama_datasets.dir/lubm.cc.o"
+  "CMakeFiles/sama_datasets.dir/lubm.cc.o.d"
+  "CMakeFiles/sama_datasets.dir/queries.cc.o"
+  "CMakeFiles/sama_datasets.dir/queries.cc.o.d"
+  "CMakeFiles/sama_datasets.dir/scale_free.cc.o"
+  "CMakeFiles/sama_datasets.dir/scale_free.cc.o.d"
+  "libsama_datasets.a"
+  "libsama_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sama_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sama_eval.dir/metrics.cc.o"
+  "CMakeFiles/sama_eval.dir/metrics.cc.o.d"
+  "libsama_eval.a"
+  "libsama_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sama_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

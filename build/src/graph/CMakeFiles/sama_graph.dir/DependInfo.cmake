@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/data_graph.cc" "src/graph/CMakeFiles/sama_graph.dir/data_graph.cc.o" "gcc" "src/graph/CMakeFiles/sama_graph.dir/data_graph.cc.o.d"
+  "/root/repo/src/graph/graph_stats.cc" "src/graph/CMakeFiles/sama_graph.dir/graph_stats.cc.o" "gcc" "src/graph/CMakeFiles/sama_graph.dir/graph_stats.cc.o.d"
+  "/root/repo/src/graph/loader.cc" "src/graph/CMakeFiles/sama_graph.dir/loader.cc.o" "gcc" "src/graph/CMakeFiles/sama_graph.dir/loader.cc.o.d"
+  "/root/repo/src/graph/path.cc" "src/graph/CMakeFiles/sama_graph.dir/path.cc.o" "gcc" "src/graph/CMakeFiles/sama_graph.dir/path.cc.o.d"
+  "/root/repo/src/graph/path_enumerator.cc" "src/graph/CMakeFiles/sama_graph.dir/path_enumerator.cc.o" "gcc" "src/graph/CMakeFiles/sama_graph.dir/path_enumerator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rdf/CMakeFiles/sama_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sama_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sama_graph.dir/data_graph.cc.o"
+  "CMakeFiles/sama_graph.dir/data_graph.cc.o.d"
+  "CMakeFiles/sama_graph.dir/graph_stats.cc.o"
+  "CMakeFiles/sama_graph.dir/graph_stats.cc.o.d"
+  "CMakeFiles/sama_graph.dir/loader.cc.o"
+  "CMakeFiles/sama_graph.dir/loader.cc.o.d"
+  "CMakeFiles/sama_graph.dir/path.cc.o"
+  "CMakeFiles/sama_graph.dir/path.cc.o.d"
+  "CMakeFiles/sama_graph.dir/path_enumerator.cc.o"
+  "CMakeFiles/sama_graph.dir/path_enumerator.cc.o.d"
+  "libsama_graph.a"
+  "libsama_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sama_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

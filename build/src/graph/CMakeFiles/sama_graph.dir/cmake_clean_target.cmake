@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsama_graph.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sama_index.dir/path_index.cc.o"
+  "CMakeFiles/sama_index.dir/path_index.cc.o.d"
+  "libsama_index.a"
+  "libsama_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sama_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

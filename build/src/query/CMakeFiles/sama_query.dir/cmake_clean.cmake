@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sama_query.dir/filter.cc.o"
+  "CMakeFiles/sama_query.dir/filter.cc.o.d"
+  "CMakeFiles/sama_query.dir/query_graph.cc.o"
+  "CMakeFiles/sama_query.dir/query_graph.cc.o.d"
+  "CMakeFiles/sama_query.dir/sparql.cc.o"
+  "CMakeFiles/sama_query.dir/sparql.cc.o.d"
+  "CMakeFiles/sama_query.dir/transformation.cc.o"
+  "CMakeFiles/sama_query.dir/transformation.cc.o.d"
+  "libsama_query.a"
+  "libsama_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sama_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

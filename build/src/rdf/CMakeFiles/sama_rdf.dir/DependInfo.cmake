@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rdf/ntriples.cc" "src/rdf/CMakeFiles/sama_rdf.dir/ntriples.cc.o" "gcc" "src/rdf/CMakeFiles/sama_rdf.dir/ntriples.cc.o.d"
+  "/root/repo/src/rdf/term.cc" "src/rdf/CMakeFiles/sama_rdf.dir/term.cc.o" "gcc" "src/rdf/CMakeFiles/sama_rdf.dir/term.cc.o.d"
+  "/root/repo/src/rdf/turtle.cc" "src/rdf/CMakeFiles/sama_rdf.dir/turtle.cc.o" "gcc" "src/rdf/CMakeFiles/sama_rdf.dir/turtle.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sama_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sama_rdf.dir/ntriples.cc.o"
+  "CMakeFiles/sama_rdf.dir/ntriples.cc.o.d"
+  "CMakeFiles/sama_rdf.dir/term.cc.o"
+  "CMakeFiles/sama_rdf.dir/term.cc.o.d"
+  "CMakeFiles/sama_rdf.dir/turtle.cc.o"
+  "CMakeFiles/sama_rdf.dir/turtle.cc.o.d"
+  "libsama_rdf.a"
+  "libsama_rdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sama_rdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/buffer_pool.cc" "src/storage/CMakeFiles/sama_storage.dir/buffer_pool.cc.o" "gcc" "src/storage/CMakeFiles/sama_storage.dir/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/hypergraph_store.cc" "src/storage/CMakeFiles/sama_storage.dir/hypergraph_store.cc.o" "gcc" "src/storage/CMakeFiles/sama_storage.dir/hypergraph_store.cc.o.d"
+  "/root/repo/src/storage/manifest.cc" "src/storage/CMakeFiles/sama_storage.dir/manifest.cc.o" "gcc" "src/storage/CMakeFiles/sama_storage.dir/manifest.cc.o.d"
+  "/root/repo/src/storage/page_file.cc" "src/storage/CMakeFiles/sama_storage.dir/page_file.cc.o" "gcc" "src/storage/CMakeFiles/sama_storage.dir/page_file.cc.o.d"
+  "/root/repo/src/storage/path_store.cc" "src/storage/CMakeFiles/sama_storage.dir/path_store.cc.o" "gcc" "src/storage/CMakeFiles/sama_storage.dir/path_store.cc.o.d"
+  "/root/repo/src/storage/record_store.cc" "src/storage/CMakeFiles/sama_storage.dir/record_store.cc.o" "gcc" "src/storage/CMakeFiles/sama_storage.dir/record_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/sama_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/sama_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sama_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

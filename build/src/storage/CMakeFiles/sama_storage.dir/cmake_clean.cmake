@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sama_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/sama_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/sama_storage.dir/hypergraph_store.cc.o"
+  "CMakeFiles/sama_storage.dir/hypergraph_store.cc.o.d"
+  "CMakeFiles/sama_storage.dir/manifest.cc.o"
+  "CMakeFiles/sama_storage.dir/manifest.cc.o.d"
+  "CMakeFiles/sama_storage.dir/page_file.cc.o"
+  "CMakeFiles/sama_storage.dir/page_file.cc.o.d"
+  "CMakeFiles/sama_storage.dir/path_store.cc.o"
+  "CMakeFiles/sama_storage.dir/path_store.cc.o.d"
+  "CMakeFiles/sama_storage.dir/record_store.cc.o"
+  "CMakeFiles/sama_storage.dir/record_store.cc.o.d"
+  "libsama_storage.a"
+  "libsama_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sama_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

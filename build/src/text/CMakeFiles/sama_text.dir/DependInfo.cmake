@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/inverted_index.cc" "src/text/CMakeFiles/sama_text.dir/inverted_index.cc.o" "gcc" "src/text/CMakeFiles/sama_text.dir/inverted_index.cc.o.d"
+  "/root/repo/src/text/thesaurus.cc" "src/text/CMakeFiles/sama_text.dir/thesaurus.cc.o" "gcc" "src/text/CMakeFiles/sama_text.dir/thesaurus.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/text/CMakeFiles/sama_text.dir/tokenizer.cc.o" "gcc" "src/text/CMakeFiles/sama_text.dir/tokenizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sama_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

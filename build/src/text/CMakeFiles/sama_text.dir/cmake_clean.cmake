@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sama_text.dir/inverted_index.cc.o"
+  "CMakeFiles/sama_text.dir/inverted_index.cc.o.d"
+  "CMakeFiles/sama_text.dir/thesaurus.cc.o"
+  "CMakeFiles/sama_text.dir/thesaurus.cc.o.d"
+  "CMakeFiles/sama_text.dir/tokenizer.cc.o"
+  "CMakeFiles/sama_text.dir/tokenizer.cc.o.d"
+  "libsama_text.a"
+  "libsama_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sama_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/alignment_dp_test.cc" "tests/CMakeFiles/core_test.dir/core/alignment_dp_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/alignment_dp_test.cc.o.d"
+  "/root/repo/tests/core/alignment_optimal_test.cc" "tests/CMakeFiles/core_test.dir/core/alignment_optimal_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/alignment_optimal_test.cc.o.d"
+  "/root/repo/tests/core/alignment_test.cc" "tests/CMakeFiles/core_test.dir/core/alignment_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/alignment_test.cc.o.d"
+  "/root/repo/tests/core/clustering_test.cc" "tests/CMakeFiles/core_test.dir/core/clustering_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/clustering_test.cc.o.d"
+  "/root/repo/tests/core/engine_test.cc" "tests/CMakeFiles/core_test.dir/core/engine_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/engine_test.cc.o.d"
+  "/root/repo/tests/core/explain_test.cc" "tests/CMakeFiles/core_test.dir/core/explain_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/explain_test.cc.o.d"
+  "/root/repo/tests/core/forest_search_test.cc" "tests/CMakeFiles/core_test.dir/core/forest_search_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/forest_search_test.cc.o.d"
+  "/root/repo/tests/core/intersection_graph_test.cc" "tests/CMakeFiles/core_test.dir/core/intersection_graph_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/intersection_graph_test.cc.o.d"
+  "/root/repo/tests/core/label_comparator_test.cc" "tests/CMakeFiles/core_test.dir/core/label_comparator_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/label_comparator_test.cc.o.d"
+  "/root/repo/tests/core/score_params_test.cc" "tests/CMakeFiles/core_test.dir/core/score_params_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/score_params_test.cc.o.d"
+  "/root/repo/tests/core/score_test.cc" "tests/CMakeFiles/core_test.dir/core/score_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/score_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sama_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/sama_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/sama_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/sama_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/sama_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sama_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/sama_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/sama_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sama_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

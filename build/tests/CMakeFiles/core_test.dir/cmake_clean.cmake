@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/alignment_dp_test.cc.o"
+  "CMakeFiles/core_test.dir/core/alignment_dp_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/alignment_optimal_test.cc.o"
+  "CMakeFiles/core_test.dir/core/alignment_optimal_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/alignment_test.cc.o"
+  "CMakeFiles/core_test.dir/core/alignment_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/clustering_test.cc.o"
+  "CMakeFiles/core_test.dir/core/clustering_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/engine_test.cc.o"
+  "CMakeFiles/core_test.dir/core/engine_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/explain_test.cc.o"
+  "CMakeFiles/core_test.dir/core/explain_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/forest_search_test.cc.o"
+  "CMakeFiles/core_test.dir/core/forest_search_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/intersection_graph_test.cc.o"
+  "CMakeFiles/core_test.dir/core/intersection_graph_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/label_comparator_test.cc.o"
+  "CMakeFiles/core_test.dir/core/label_comparator_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/score_params_test.cc.o"
+  "CMakeFiles/core_test.dir/core/score_params_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/score_test.cc.o"
+  "CMakeFiles/core_test.dir/core/score_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datasets_test.dir/datasets/berlin_test.cc.o"
+  "CMakeFiles/datasets_test.dir/datasets/berlin_test.cc.o.d"
+  "CMakeFiles/datasets_test.dir/datasets/govtrack_test.cc.o"
+  "CMakeFiles/datasets_test.dir/datasets/govtrack_test.cc.o.d"
+  "CMakeFiles/datasets_test.dir/datasets/lubm_test.cc.o"
+  "CMakeFiles/datasets_test.dir/datasets/lubm_test.cc.o.d"
+  "CMakeFiles/datasets_test.dir/datasets/queries_test.cc.o"
+  "CMakeFiles/datasets_test.dir/datasets/queries_test.cc.o.d"
+  "CMakeFiles/datasets_test.dir/datasets/scale_free_test.cc.o"
+  "CMakeFiles/datasets_test.dir/datasets/scale_free_test.cc.o.d"
+  "datasets_test"
+  "datasets_test.pdb"
+  "datasets_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datasets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

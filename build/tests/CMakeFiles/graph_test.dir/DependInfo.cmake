@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/graph/data_graph_test.cc" "tests/CMakeFiles/graph_test.dir/graph/data_graph_test.cc.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/data_graph_test.cc.o.d"
+  "/root/repo/tests/graph/graph_stats_test.cc" "tests/CMakeFiles/graph_test.dir/graph/graph_stats_test.cc.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/graph_stats_test.cc.o.d"
+  "/root/repo/tests/graph/loader_test.cc" "tests/CMakeFiles/graph_test.dir/graph/loader_test.cc.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/loader_test.cc.o.d"
+  "/root/repo/tests/graph/path_enumerator_test.cc" "tests/CMakeFiles/graph_test.dir/graph/path_enumerator_test.cc.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/path_enumerator_test.cc.o.d"
+  "/root/repo/tests/graph/path_test.cc" "tests/CMakeFiles/graph_test.dir/graph/path_test.cc.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/path_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/sama_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/sama_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/sama_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sama_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

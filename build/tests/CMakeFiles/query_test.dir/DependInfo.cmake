@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/query/filter_test.cc" "tests/CMakeFiles/query_test.dir/query/filter_test.cc.o" "gcc" "tests/CMakeFiles/query_test.dir/query/filter_test.cc.o.d"
+  "/root/repo/tests/query/query_graph_test.cc" "tests/CMakeFiles/query_test.dir/query/query_graph_test.cc.o" "gcc" "tests/CMakeFiles/query_test.dir/query/query_graph_test.cc.o.d"
+  "/root/repo/tests/query/sparql_test.cc" "tests/CMakeFiles/query_test.dir/query/sparql_test.cc.o" "gcc" "tests/CMakeFiles/query_test.dir/query/sparql_test.cc.o.d"
+  "/root/repo/tests/query/transformation_test.cc" "tests/CMakeFiles/query_test.dir/query/transformation_test.cc.o" "gcc" "tests/CMakeFiles/query_test.dir/query/transformation_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/query/CMakeFiles/sama_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/sama_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sama_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/sama_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/sama_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sama_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

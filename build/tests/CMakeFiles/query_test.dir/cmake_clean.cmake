@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_test.dir/query/filter_test.cc.o"
+  "CMakeFiles/query_test.dir/query/filter_test.cc.o.d"
+  "CMakeFiles/query_test.dir/query/query_graph_test.cc.o"
+  "CMakeFiles/query_test.dir/query/query_graph_test.cc.o.d"
+  "CMakeFiles/query_test.dir/query/sparql_test.cc.o"
+  "CMakeFiles/query_test.dir/query/sparql_test.cc.o.d"
+  "CMakeFiles/query_test.dir/query/transformation_test.cc.o"
+  "CMakeFiles/query_test.dir/query/transformation_test.cc.o.d"
+  "query_test"
+  "query_test.pdb"
+  "query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

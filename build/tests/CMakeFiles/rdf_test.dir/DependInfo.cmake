@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rdf/dictionary_test.cc" "tests/CMakeFiles/rdf_test.dir/rdf/dictionary_test.cc.o" "gcc" "tests/CMakeFiles/rdf_test.dir/rdf/dictionary_test.cc.o.d"
+  "/root/repo/tests/rdf/ntriples_test.cc" "tests/CMakeFiles/rdf_test.dir/rdf/ntriples_test.cc.o" "gcc" "tests/CMakeFiles/rdf_test.dir/rdf/ntriples_test.cc.o.d"
+  "/root/repo/tests/rdf/term_test.cc" "tests/CMakeFiles/rdf_test.dir/rdf/term_test.cc.o" "gcc" "tests/CMakeFiles/rdf_test.dir/rdf/term_test.cc.o.d"
+  "/root/repo/tests/rdf/turtle_test.cc" "tests/CMakeFiles/rdf_test.dir/rdf/turtle_test.cc.o" "gcc" "tests/CMakeFiles/rdf_test.dir/rdf/turtle_test.cc.o.d"
+  "/root/repo/tests/rdf/turtle_writer_test.cc" "tests/CMakeFiles/rdf_test.dir/rdf/turtle_writer_test.cc.o" "gcc" "tests/CMakeFiles/rdf_test.dir/rdf/turtle_writer_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rdf/CMakeFiles/sama_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/sama_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sama_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

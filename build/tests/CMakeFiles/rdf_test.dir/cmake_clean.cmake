@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdf_test.dir/rdf/dictionary_test.cc.o"
+  "CMakeFiles/rdf_test.dir/rdf/dictionary_test.cc.o.d"
+  "CMakeFiles/rdf_test.dir/rdf/ntriples_test.cc.o"
+  "CMakeFiles/rdf_test.dir/rdf/ntriples_test.cc.o.d"
+  "CMakeFiles/rdf_test.dir/rdf/term_test.cc.o"
+  "CMakeFiles/rdf_test.dir/rdf/term_test.cc.o.d"
+  "CMakeFiles/rdf_test.dir/rdf/turtle_test.cc.o"
+  "CMakeFiles/rdf_test.dir/rdf/turtle_test.cc.o.d"
+  "CMakeFiles/rdf_test.dir/rdf/turtle_writer_test.cc.o"
+  "CMakeFiles/rdf_test.dir/rdf/turtle_writer_test.cc.o.d"
+  "rdf_test"
+  "rdf_test.pdb"
+  "rdf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/storage/buffer_pool_test.cc" "tests/CMakeFiles/storage_test.dir/storage/buffer_pool_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/buffer_pool_test.cc.o.d"
+  "/root/repo/tests/storage/coding_test.cc" "tests/CMakeFiles/storage_test.dir/storage/coding_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/coding_test.cc.o.d"
+  "/root/repo/tests/storage/fault_injection_test.cc" "tests/CMakeFiles/storage_test.dir/storage/fault_injection_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/fault_injection_test.cc.o.d"
+  "/root/repo/tests/storage/hypergraph_store_test.cc" "tests/CMakeFiles/storage_test.dir/storage/hypergraph_store_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/hypergraph_store_test.cc.o.d"
+  "/root/repo/tests/storage/manifest_test.cc" "tests/CMakeFiles/storage_test.dir/storage/manifest_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/manifest_test.cc.o.d"
+  "/root/repo/tests/storage/page_file_test.cc" "tests/CMakeFiles/storage_test.dir/storage/page_file_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/page_file_test.cc.o.d"
+  "/root/repo/tests/storage/path_store_test.cc" "tests/CMakeFiles/storage_test.dir/storage/path_store_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/path_store_test.cc.o.d"
+  "/root/repo/tests/storage/record_store_test.cc" "tests/CMakeFiles/storage_test.dir/storage/record_store_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/record_store_test.cc.o.d"
+  "/root/repo/tests/storage/reopen_test.cc" "tests/CMakeFiles/storage_test.dir/storage/reopen_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/reopen_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/sama_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sama_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/sama_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sama_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

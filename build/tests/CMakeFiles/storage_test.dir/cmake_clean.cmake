@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_test.dir/storage/buffer_pool_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/buffer_pool_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/coding_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/coding_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/fault_injection_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/fault_injection_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/hypergraph_store_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/hypergraph_store_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/manifest_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/manifest_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/page_file_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/page_file_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/path_store_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/path_store_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/record_store_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/record_store_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/reopen_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/reopen_test.cc.o.d"
+  "storage_test"
+  "storage_test.pdb"
+  "storage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/text/inverted_index_serialize_test.cc" "tests/CMakeFiles/text_test.dir/text/inverted_index_serialize_test.cc.o" "gcc" "tests/CMakeFiles/text_test.dir/text/inverted_index_serialize_test.cc.o.d"
+  "/root/repo/tests/text/inverted_index_test.cc" "tests/CMakeFiles/text_test.dir/text/inverted_index_test.cc.o" "gcc" "tests/CMakeFiles/text_test.dir/text/inverted_index_test.cc.o.d"
+  "/root/repo/tests/text/thesaurus_test.cc" "tests/CMakeFiles/text_test.dir/text/thesaurus_test.cc.o" "gcc" "tests/CMakeFiles/text_test.dir/text/thesaurus_test.cc.o.d"
+  "/root/repo/tests/text/tokenizer_test.cc" "tests/CMakeFiles/text_test.dir/text/tokenizer_test.cc.o" "gcc" "tests/CMakeFiles/text_test.dir/text/tokenizer_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/text/CMakeFiles/sama_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sama_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sama_cli.dir/sama_cli.cc.o"
+  "CMakeFiles/sama_cli.dir/sama_cli.cc.o.d"
+  "sama_cli"
+  "sama_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sama_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
