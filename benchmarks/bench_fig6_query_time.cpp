@@ -8,6 +8,8 @@
 // warm-cache times for the disk-backed Sama index.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <vector>
 
@@ -36,9 +38,37 @@ double AverageMillis(const std::function<void()>& body, int runs) {
   return total / runs;
 }
 
+// Answers must not depend on the thread count: collapse each answer to
+// its (score, binding) signature for comparison against the serial run.
+std::vector<std::pair<double, std::string>> AnswerSignature(
+    const std::vector<sama::Answer>& answers) {
+  std::vector<std::pair<double, std::string>> sig;
+  sig.reserve(answers.size());
+  for (const sama::Answer& a : answers) {
+    std::string parts;
+    for (const sama::ScoredPath& sp : a.parts) {
+      parts += std::to_string(sp.id);
+      parts += ',';
+    }
+    sig.emplace_back(a.score, parts);
+  }
+  return sig;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  size_t threads = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = static_cast<size_t>(std::strtoul(argv[i] + 10, nullptr, 10));
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_fig6_query_time [--threads=N]  "
+                   "(N=0 means all hardware threads)\n");
+      return 1;
+    }
+  }
   size_t universities =
       static_cast<size_t>(2 * sama::bench::EnvScale()) + 1;
   LubmEnv env =
@@ -48,11 +78,19 @@ int main() {
   // generates the top-k heuristically).
   sama::EngineOptions engine_options;
   engine_options.search.max_expansions = 10000;
+  engine_options.num_threads = threads;
   sama::SamaEngine engine(env.graph.get(), env.index.get(),
                           &env.thesaurus, engine_options);
+  // Reference serial engine for the identical-answers check.
+  sama::EngineOptions serial_options = engine_options;
+  serial_options.num_threads = 1;
+  sama::SamaEngine serial_engine(env.graph.get(), env.index.get(),
+                                 &env.thesaurus, serial_options);
+  const bool check_determinism = threads != 1;
   std::printf("Figure 6: avg response time (ms) on LUBM (%zu triples), "
-              "top-%zu answers, %d runs\n\n",
-              env.graph->edge_count(), kTopK, kRuns);
+              "top-%zu answers, %d runs, %zu thread(s)\n\n",
+              env.graph->edge_count(), kTopK, kRuns,
+              threads == 0 ? sama::ThreadPool::HardwareThreads() : threads);
 
   sama::MatcherOptions limits;
   limits.max_steps = 500000;
@@ -79,6 +117,20 @@ int main() {
 
       // Warm the cache once for the warm condition.
       if (!cold) (void)engine.Execute(qg, kTopK);
+
+      if (check_determinism && !cold) {
+        auto parallel_answers = engine.Execute(qg, kTopK);
+        auto serial_answers = serial_engine.Execute(qg, kTopK);
+        if (parallel_answers.ok() && serial_answers.ok() &&
+            AnswerSignature(*parallel_answers) !=
+                AnswerSignature(*serial_answers)) {
+          std::fprintf(stderr,
+                       "DETERMINISM VIOLATION on %s: parallel answers "
+                       "differ from serial\n",
+                       bq.name.c_str());
+          return 1;
+        }
+      }
 
       double sama_ms = AverageMillis(
           [&] {

@@ -11,6 +11,8 @@
 // displays. Expected shape: mild (sub)quadratic growth in all three.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -97,8 +99,21 @@ std::string VariableQuery(size_t vars) {
 
 }  // namespace
 
-int main() {
-  std::printf("Figure 7: Sama scalability (cold numbers, median of 3)\n\n");
+int main(int argc, char** argv) {
+  size_t threads = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = static_cast<size_t>(std::strtoul(argv[i] + 10, nullptr, 10));
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_fig7_scalability [--threads=N]  "
+                   "(N=0 means all hardware threads)\n");
+      return 1;
+    }
+  }
+  std::printf("Figure 7: Sama scalability (cold numbers, median of 3, "
+              "%zu thread(s))\n\n",
+              threads == 0 ? sama::ThreadPool::HardwareThreads() : threads);
 
   // (a) time vs I = number of extracted paths: sweep the data size.
   {
@@ -107,7 +122,7 @@ int main() {
     for (size_t u : {1 * (base + 1), 2 * (base + 1), 4 * (base + 1),
                      8 * (base + 1)}) {
       LubmEnv env = sama::bench::MakeLubmEnv(u, /*on_disk=*/false,
-                                             "fig7a");
+                                             "fig7a", threads);
       auto parsed = sama::ParseSparql(
           std::string(kPrefix) +
           "SELECT ?s WHERE { ?s ub:takesCourse ?c . ?s ub:memberOf ?d . "
@@ -127,7 +142,7 @@ int main() {
   size_t universities =
       static_cast<size_t>(2 * sama::bench::EnvScale()) + 1;
   LubmEnv env = sama::bench::MakeLubmEnv(universities, /*on_disk=*/false,
-                                         "fig7bc");
+                                         "fig7bc", threads);
 
   // (b) time vs #nodes in Q (3..23).
   {

@@ -36,8 +36,10 @@ struct LubmEnv {
   std::string dir;
 };
 
+// `num_threads` configures intra-query parallelism (0 = hardware
+// concurrency); answers are identical for every value.
 inline LubmEnv MakeLubmEnv(size_t universities, bool on_disk,
-                           const std::string& tag) {
+                           const std::string& tag, size_t num_threads = 1) {
   LubmEnv env;
   LubmConfig config;
   config.universities = universities;
@@ -58,9 +60,12 @@ inline LubmEnv MakeLubmEnv(size_t universities, bool on_disk,
     std::exit(1);
   }
   env.thesaurus = Thesaurus::BuiltinEnglish();
+  EngineOptions engine_options;
+  engine_options.num_threads = num_threads;
   env.engine = std::make_unique<SamaEngine>(env.graph.get(),
                                             env.index.get(),
-                                            &env.thesaurus);
+                                            &env.thesaurus,
+                                            engine_options);
   return env;
 }
 

@@ -1,11 +1,9 @@
 #include "core/clustering.h"
 
 #include <algorithm>
-#include <atomic>
 #include <limits>
-#include <mutex>
+#include <memory>
 #include <queue>
-#include <thread>
 
 namespace sama {
 namespace {
@@ -32,37 +30,49 @@ std::vector<PathId> Candidates(const QueryGraph& query, const Path& q,
   return all;
 }
 
-}  // namespace
+// Candidates per parallel work unit. Small enough that a handful of
+// clusters still spreads across every core, large enough that the
+// per-chunk LabelComparator memo cache amortises.
+constexpr size_t kChunkSize = 128;
 
-namespace {
+// One scoring work unit: candidates[begin, end) of one cluster.
+struct ChunkWork {
+  size_t cluster = 0;
+  size_t begin = 0;
+  size_t end = 0;
+};
 
-// Builds the cluster for query path `qi`. Thread-safe: every shared
-// structure it touches (index postings, stores behind their own
-// synchronisation-free read paths, the dictionary) is read-only during
-// query processing; each worker uses its own LabelComparator because
-// its memo cache mutates.
-Status BuildOneCluster(const QueryGraph& query, size_t qi,
-                       const PathIndex& index, const Thesaurus* thesaurus,
-                       const ScoreParams& params,
-                       const ClusteringOptions& options, Cluster* out) {
+// Scores one candidate chunk. Thread-safe: every shared structure it
+// touches (index postings, stores behind their own lock-free read
+// paths, the dictionary) is read-only during query processing; each
+// chunk uses its own LabelComparator because its memo cache mutates.
+//
+// The early-exit cutoff is chunk-local: an alignment aborts only when
+// its λ provably cannot make the top `cap` of its own chunk — a subset
+// of the top `cap` overall — so dropping it can never change the final
+// cluster. The sequential path runs the whole cluster as one chunk and
+// recovers the original global cutoff exactly.
+Status ScoreChunk(const QueryGraph& query, const Path& q,
+                  const std::vector<PathId>& candidates,
+                  const ChunkWork& work, const PathIndex& index,
+                  const Thesaurus* thesaurus, const ScoreParams& params,
+                  const ClusteringOptions& options,
+                  std::vector<ScoredPath>* out) {
   LabelComparator cmp(&query.dict(), thesaurus);
-  const Path& q = query.paths()[qi];
-  out->query_path_index = qi;
-  // With a top-n cap, track the n-th best λ seen so far; alignments
-  // provably worse than it abort early (the small epsilon keeps
-  // boundary ties completing, so results match the exact computation).
   const size_t cap = options.max_candidates_per_cluster;
   const bool early_exit = options.early_exit_alignment && cap != 0;
+  // Track the cap-th best λ seen so far in this chunk; alignments
+  // provably worse abort early (the small epsilon keeps boundary ties
+  // completing, so results match the exact computation).
   double cutoff = std::numeric_limits<double>::infinity();
   std::priority_queue<double> kept_lambdas;  // Max-heap of the best n.
-  for (PathId id : Candidates(query, q, index, thesaurus)) {
+  for (size_t c = work.begin; c < work.end; ++c) {
     ScoredPath sp;
-    sp.id = id;
-    SAMA_RETURN_IF_ERROR(index.GetPath(id, &sp.path));
-    sp.alignment = Align(sp.path, q, cmp, params,
-                         early_exit ? cutoff
-                                    : std::numeric_limits<
-                                          double>::infinity());
+    sp.id = candidates[c];
+    SAMA_RETURN_IF_ERROR(index.GetPath(sp.id, &sp.path));
+    sp.alignment =
+        Align(sp.path, q, cmp, params,
+              early_exit ? cutoff : std::numeric_limits<double>::infinity());
     if (sp.alignment.aborted) continue;  // Cannot make the top n.
     if (early_exit) {
       kept_lambdas.push(sp.alignment.lambda);
@@ -71,17 +81,7 @@ Status BuildOneCluster(const QueryGraph& query, size_t qi,
         cutoff = kept_lambdas.top() + 1e-9;
       }
     }
-    out->paths.push_back(std::move(sp));
-  }
-  // Best alignment first (lowest λ); ties by path id for determinism.
-  std::sort(out->paths.begin(), out->paths.end(),
-            [](const ScoredPath& a, const ScoredPath& b) {
-              if (a.lambda() != b.lambda()) return a.lambda() < b.lambda();
-              return a.id < b.id;
-            });
-  if (options.max_candidates_per_cluster != 0 &&
-      out->paths.size() > options.max_candidates_per_cluster) {
-    out->paths.resize(options.max_candidates_per_cluster);
+    out->push_back(std::move(sp));
   }
   return Status::Ok();
 }
@@ -92,39 +92,74 @@ Result<std::vector<Cluster>> BuildClusters(const QueryGraph& query,
                                            const PathIndex& index,
                                            const Thesaurus* thesaurus,
                                            const ScoreParams& params,
-                                           const ClusteringOptions& options) {
+                                           const ClusteringOptions& options,
+                                           ThreadPool* pool,
+                                           std::atomic<uint64_t>* busy_nanos) {
+  // Honour the legacy knob: callers that ask for num_threads without
+  // providing a shared pool get a transient one.
+  std::unique_ptr<ThreadPool> transient;
+  if (pool == nullptr && options.num_threads > 1) {
+    transient = std::make_unique<ThreadPool>(options.num_threads - 1);
+    pool = transient.get();
+  }
+  const bool parallel = pool != nullptr && pool->worker_count() > 0;
+
   const size_t n = query.paths().size();
   std::vector<Cluster> clusters(n);
-  if (options.num_threads <= 1 || n <= 1) {
-    for (size_t qi = 0; qi < n; ++qi) {
-      SAMA_RETURN_IF_ERROR(BuildOneCluster(query, qi, index, thesaurus,
-                                           params, options, &clusters[qi]));
+
+  // Phase 1 (sequential, index lookups only): candidate lists + the
+  // chunked work plan. Sequential runs use one whole-cluster chunk so
+  // the early-exit cutoff spans the full candidate list, as before.
+  std::vector<std::vector<PathId>> candidates(n);
+  std::vector<ChunkWork> plan;
+  std::vector<size_t> first_chunk_of(n + 1, 0);
+  for (size_t qi = 0; qi < n; ++qi) {
+    clusters[qi].query_path_index = qi;
+    candidates[qi] =
+        Candidates(query, query.paths()[qi], index, thesaurus);
+    size_t total = candidates[qi].size();
+    size_t step = parallel ? kChunkSize : (total == 0 ? 1 : total);
+    for (size_t begin = 0; begin < total; begin += step) {
+      plan.push_back({qi, begin, std::min(begin + step, total)});
     }
-    return clusters;
+    first_chunk_of[qi + 1] = plan.size();
   }
-  // One worker per thread pulling cluster indices from a shared counter;
-  // output slots are disjoint, so only the error status needs a lock.
-  std::atomic<size_t> next{0};
-  std::mutex error_mutex;
-  Status first_error;
-  std::vector<std::thread> workers;
-  size_t thread_count = std::min(options.num_threads, n);
-  for (size_t t = 0; t < thread_count; ++t) {
-    workers.emplace_back([&] {
-      while (true) {
-        size_t qi = next.fetch_add(1);
-        if (qi >= n) break;
-        Status s = BuildOneCluster(query, qi, index, thesaurus, params,
-                                   options, &clusters[qi]);
-        if (!s.ok()) {
-          std::lock_guard<std::mutex> lock(error_mutex);
-          if (first_error.ok()) first_error = s;
-        }
+
+  // Phase 2: score every chunk, possibly across threads. Output slots
+  // are disjoint; ParallelFor reports the lowest failing chunk.
+  std::vector<std::vector<ScoredPath>> chunk_out(plan.size());
+  SAMA_RETURN_IF_ERROR(ParallelFor(
+      parallel ? pool : nullptr, plan.size(),
+      [&](size_t w) -> Status {
+        const ChunkWork& work = plan[w];
+        return ScoreChunk(query, query.paths()[work.cluster],
+                          candidates[work.cluster], work, index, thesaurus,
+                          params, options, &chunk_out[w]);
+      },
+      busy_nanos));
+
+  // Phase 3 (sequential): stitch chunks back in candidate order, then
+  // impose the canonical cluster order — best alignment first (lowest
+  // λ), ties by path id. Chunk boundaries and thread interleaving are
+  // invisible after this sort, which is what makes parallel clustering
+  // bit-identical to sequential.
+  for (size_t qi = 0; qi < n; ++qi) {
+    Cluster& cluster = clusters[qi];
+    for (size_t w = first_chunk_of[qi]; w < first_chunk_of[qi + 1]; ++w) {
+      for (ScoredPath& sp : chunk_out[w]) {
+        cluster.paths.push_back(std::move(sp));
       }
-    });
+    }
+    std::sort(cluster.paths.begin(), cluster.paths.end(),
+              [](const ScoredPath& a, const ScoredPath& b) {
+                if (a.lambda() != b.lambda()) return a.lambda() < b.lambda();
+                return a.id < b.id;
+              });
+    if (options.max_candidates_per_cluster != 0 &&
+        cluster.paths.size() > options.max_candidates_per_cluster) {
+      cluster.paths.resize(options.max_candidates_per_cluster);
+    }
   }
-  for (std::thread& w : workers) w.join();
-  if (!first_error.ok()) return first_error;
   return clusters;
 }
 

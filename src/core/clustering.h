@@ -1,10 +1,13 @@
 #ifndef SAMA_CORE_CLUSTERING_H_
 #define SAMA_CORE_CLUSTERING_H_
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "core/alignment.h"
 #include "core/score_params.h"
 #include "index/path_index.h"
@@ -38,9 +41,9 @@ struct ClusteringOptions {
   // Keep only the best n candidates per cluster after scoring
   // (0 = keep all). The λ order is unaffected.
   size_t max_candidates_per_cluster = 0;
-  // Worker threads scoring clusters concurrently (the §7 parallel
-  // deployment direction scaled to one machine). 1 = sequential.
-  // Results are identical regardless of the thread count.
+  // Worker threads scoring candidates concurrently when no shared pool
+  // is passed to BuildClusters (a transient pool is spun up). 1 =
+  // sequential. Results are identical regardless of the thread count.
   size_t num_threads = 1;
   // With max_candidates_per_cluster set, abort alignments as soon as
   // their λ can no longer make the cluster's top n (the §7
@@ -54,11 +57,18 @@ struct ClusteringOptions {
 // the path), aligned, scored with λ, and sorted best-first. The same
 // data path may appear in several clusters with different scores
 // (Figure 3's p1 in cl1 [0] and cl2 [1.5]).
-Result<std::vector<Cluster>> BuildClusters(const QueryGraph& query,
-                                           const PathIndex& index,
-                                           const Thesaurus* thesaurus,
-                                           const ScoreParams& params,
-                                           const ClusteringOptions& options);
+//
+// When `pool` is non-null (or options.num_threads > 1), candidate
+// scoring fans out over fixed-size candidate chunks; chunk outputs are
+// merged in candidate order and re-sorted by (λ, id), so the returned
+// clusters are bit-identical to the sequential run — see DESIGN.md
+// "Threading model". `busy_nanos`, when non-null, accumulates the time
+// threads spent scoring (for QueryStats speedup reporting).
+Result<std::vector<Cluster>> BuildClusters(
+    const QueryGraph& query, const PathIndex& index,
+    const Thesaurus* thesaurus, const ScoreParams& params,
+    const ClusteringOptions& options, ThreadPool* pool = nullptr,
+    std::atomic<uint64_t>* busy_nanos = nullptr);
 
 }  // namespace sama
 

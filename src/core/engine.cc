@@ -28,6 +28,8 @@ Result<std::vector<Answer>> SamaEngine::Execute(const QueryGraph& query,
                                                 QueryStats* stats) const {
   WallTimer total;
   QueryStats local;
+  local.threads_used = threads_used();
+  ThreadPool* pool = pool_.get();
 
   // Preprocessing: PQ is computed by the QueryGraph itself; build the
   // intersection query graph here.
@@ -36,23 +38,30 @@ Result<std::vector<Answer>> SamaEngine::Execute(const QueryGraph& query,
   local.preprocess_millis = phase.ElapsedMillis();
   local.num_query_paths = query.paths().size();
 
-  // Clustering.
+  // Clustering (parallel over candidate chunks when a pool exists;
+  // results are identical either way).
   phase.Restart();
-  auto clusters_or = BuildClusters(query, *index_, thesaurus_,
-                                   options_.params, options_.clustering);
+  std::atomic<uint64_t> clustering_busy{0};
+  auto clusters_or =
+      BuildClusters(query, *index_, thesaurus_, options_.params,
+                    options_.clustering, pool, &clustering_busy);
   if (!clusters_or.ok()) return clusters_or.status();
   const std::vector<Cluster>& clusters = *clusters_or;
   local.clustering_millis = phase.ElapsedMillis();
+  local.clustering_busy_millis =
+      static_cast<double>(clustering_busy.load()) / 1e6;
   for (const Cluster& c : clusters) local.num_candidate_paths += c.size();
 
-  // Search.
+  // Search (parallel over candidate subtrees in deterministic waves).
   phase.Restart();
   ForestSearchOptions search_options = options_.search;
   if (k != 0) search_options.k = k;
+  std::atomic<uint64_t> search_busy{0};
   auto answers_or = ForestSearch(query, ig, clusters, options_.params,
-                                 search_options);
+                                 search_options, pool, &search_busy);
   if (!answers_or.ok()) return answers_or.status();
   local.search_millis = phase.ElapsedMillis();
+  local.search_busy_millis = static_cast<double>(search_busy.load()) / 1e6;
 
   local.total_millis = total.ElapsedMillis();
   local.num_answers = answers_or->size();

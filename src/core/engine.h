@@ -2,9 +2,11 @@
 #define SAMA_CORE_ENGINE_H_
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "core/clustering.h"
 #include "core/forest_search.h"
 #include "core/intersection_graph.h"
@@ -22,6 +24,12 @@ struct EngineOptions {
   // ExecuteSparql deduplicates answers on the SELECT variables
   // (projection semantics); Execute on a raw QueryGraph never does.
   bool dedup_select_bindings = true;
+  // Threads used for intra-query parallelism (candidate scoring and
+  // per-cluster forest search). 0 = hardware concurrency; 1 =
+  // sequential. Answers are bit-identical for every value — the knob
+  // only trades wall-clock time. Read at engine construction (the
+  // worker pool is built once and shared across queries).
+  size_t num_threads = 1;
 };
 
 // Per-query timing/size breakdown matching the paper's phases (§5).
@@ -33,6 +41,21 @@ struct QueryStats {
   size_t num_query_paths = 0;
   size_t num_candidate_paths = 0;  // I: paths retrieved by the index.
   size_t num_answers = 0;
+
+  // Parallel execution: threads available to the query (1 =
+  // sequential) and, per parallel phase, the summed time all threads
+  // spent inside the phase's work items. busy / elapsed estimates the
+  // phase's effective speedup; ~1.0 means the phase ran serially.
+  size_t threads_used = 1;
+  double clustering_busy_millis = 0;
+  double search_busy_millis = 0;
+  double ClusteringSpeedup() const {
+    return clustering_millis > 0 ? clustering_busy_millis / clustering_millis
+                                 : 1.0;
+  }
+  double SearchSpeedup() const {
+    return search_millis > 0 ? search_busy_millis / search_millis : 1.0;
+  }
 };
 
 // The end-to-end Sama query processor (§5): preprocessing → clustering
@@ -48,7 +71,15 @@ class SamaEngine {
       : graph_(graph),
         index_(index),
         thesaurus_(thesaurus),
-        options_(options) {}
+        options_(options) {
+    size_t threads = options.num_threads == 0 ? ThreadPool::HardwareThreads()
+                                              : options.num_threads;
+    // The calling thread participates in every parallel section, so a
+    // request for N threads needs N-1 pool workers. The pool is shared
+    // (engine copies in ExecuteSparql reuse it) and lives for the
+    // engine's lifetime, not per query.
+    if (threads > 1) pool_ = std::make_shared<ThreadPool>(threads - 1);
+  }
 
   // Runs a parsed SPARQL query; `k` overrides options.search.k when
   // non-zero, else the query's LIMIT applies, else the option default.
@@ -72,11 +103,17 @@ class SamaEngine {
   const PathIndex& index() const { return *index_; }
   const Thesaurus* thesaurus() const { return thesaurus_; }
 
+  // Threads executing each query: pool workers + the calling thread.
+  size_t threads_used() const {
+    return pool_ == nullptr ? 1 : pool_->worker_count() + 1;
+  }
+
  private:
   const DataGraph* graph_;
   const PathIndex* index_;
   const Thesaurus* thesaurus_;
   EngineOptions options_;
+  std::shared_ptr<ThreadPool> pool_;
 };
 
 }  // namespace sama

@@ -38,11 +38,27 @@ std::vector<Term> Answer::BindingTuple(
   return out;
 }
 
+namespace {
+
+// Subtrees searched per scheduling wave when the join has more than one
+// level. The wave size is part of the determinism contract — it is
+// fixed by the query shape, NEVER by the thread count: every subtree in
+// a wave inherits the same pruning threshold, and the threshold/budget
+// only advance between waves, so any interleaving of a wave's subtrees
+// produces the same answers. Single-level joins (m == 1) use waves of
+// one, which recovers the classic candidate-by-candidate scan with a
+// threshold refresh after every emit.
+constexpr size_t kWaveSize = 16;
+
+}  // namespace
+
 Result<std::vector<Answer>> ForestSearch(const QueryGraph& query,
                                          const IntersectionQueryGraph& ig,
                                          const std::vector<Cluster>& clusters,
                                          const ScoreParams& params,
-                                         const ForestSearchOptions& options) {
+                                         const ForestSearchOptions& options,
+                                         ThreadPool* pool,
+                                         std::atomic<uint64_t>* busy_nanos) {
   // Split clusters into the active (non-empty) ones we combine over and
   // the empty ones we charge a deletion penalty for.
   std::vector<const Cluster*> active;
@@ -120,6 +136,10 @@ Result<std::vector<Answer>> ForestSearch(const QueryGraph& query,
   auto candidate = [&](size_t pos, size_t idx) -> const ScoredPath& {
     return active[order[pos]]->paths[idx];
   };
+
+  // ---- Shared read-only precomputation. Everything from here to the
+  // subtree searcher is immutable during the search, so concurrent
+  // subtrees capture it freely.
 
   // Sorted node-id sets per candidate, so χ(pi, pj) inside the search
   // loop is a linear merge without sorting or allocation.
@@ -212,37 +232,6 @@ Result<std::vector<Answer>> ForestSearch(const QueryGraph& query,
         min_lambda_suffix[pos + 1] + candidate(pos, 0).lambda();
   }
 
-  // Depth-first branch and bound over one candidate index per join
-  // position, candidates tried in ascending-λ order. A prefix is pruned
-  // when its admissible lower bound
-  //   fixed_cost + Σλ(prefix) + Σ minλ(remaining)
-  //   + exact ψ of edges inside the prefix + ψ lower bounds of pending
-  //     edges
-  // cannot beat the k-th kept answer, or when the freshly placed
-  // candidate breaks connectivity/binding requirements. Depth-first
-  // order makes the search anytime: the first complete combinations
-  // appear after m steps, so even an exhausted expansion budget returns
-  // the greedily-best solutions found so far.
-  std::vector<Answer> results;
-  std::vector<size_t> choice(m, 0);
-  std::vector<double> psi_prefix(m + 1, 0.0);   // ψ of edges within depth.
-  std::vector<double> lambda_prefix(m + 1, 0.0);
-  size_t expansions = 0;
-  // The expansion budget is split evenly across the first join level's
-  // candidate subtrees, so an exhausted budget still leaves answers
-  // spread over the whole candidate range instead of one corner of the
-  // combination space.
-  size_t expansion_limit = options.max_expansions;
-  bool out_of_budget = false;
-
-  auto threshold = [&]() {
-    return (options.k != 0 && results.size() >= options.k)
-               ? results.back().score
-               : std::numeric_limits<double>::infinity();
-  };
-
-  // Best kept score per projected binding tuple (dedup_vars mode).
-  std::unordered_map<std::string, double> best_by_tuple;
   auto tuple_key = [&](const Answer& answer) {
     std::string key;
     for (const Term& t : answer.BindingTuple(options.dedup_vars)) {
@@ -252,173 +241,287 @@ Result<std::vector<Answer>> ForestSearch(const QueryGraph& query,
     return key;
   };
 
-  auto emit = [&](double lambda_sum, double psi_sum) {
-    Answer answer;
-    answer.lambda_total = empty_penalty + lambda_sum;
-    answer.psi_total = empty_psi + psi_sum;
-    answer.score = answer.lambda_total + answer.psi_total;
-    answer.parts.resize(m);
-    answer.query_path_index.resize(m);
-    for (size_t pos = 0; pos < m; ++pos) {
-      // Restore the original cluster order in the answer.
-      answer.parts[order[pos]] = candidate(pos, choice[pos]);
-      answer.query_path_index[order[pos]] =
-          active_query_path[order[pos]];
-    }
-    // Merge φ best-alignment-first: when paths disagree on a shared
-    // variable, the binding from the better-aligned (lower λ) path wins.
-    {
-      std::vector<const ScoredPath*> by_lambda;
-      by_lambda.reserve(answer.parts.size());
-      for (const ScoredPath& part : answer.parts) by_lambda.push_back(&part);
-      std::stable_sort(by_lambda.begin(), by_lambda.end(),
-                       [](const ScoredPath* a, const ScoredPath* b) {
-                         return a->lambda() < b->lambda();
-                       });
-      for (const ScoredPath* part : by_lambda) {
-        if (!answer.binding.Merge(part->alignment.phi)) {
-          answer.consistent = false;
-        }
-      }
-    }
-    if (options.require_consistent_bindings && !answer.consistent) return;
-    if (options.binding_filter && !options.binding_filter(answer.binding)) {
-      return;
-    }
-    if (!options.dedup_vars.empty()) {
-      std::string key = tuple_key(answer);
-      auto [it, inserted] = best_by_tuple.emplace(key, answer.score);
-      if (!inserted) {
-        if (answer.score >= it->second) return;  // Existing one is better.
-        // Replace the previously kept answer for this tuple.
-        for (auto r = results.begin(); r != results.end(); ++r) {
-          if (r->score == it->second && tuple_key(*r) == key) {
-            results.erase(r);
-            break;
-          }
-        }
-        it->second = answer.score;
-      }
-    }
-    auto pos = std::upper_bound(
-        results.begin(), results.end(), answer,
-        [](const Answer& a, const Answer& b) { return a.score < b.score; });
-    results.insert(pos, std::move(answer));
-    if (options.k != 0 && results.size() > options.k) {
+  // Inserts `answer` into a score-sorted list with dedup-on-tuple and
+  // top-k truncation. Used both inside one subtree (local list) and
+  // when merging wave results into the global list; determinism comes
+  // from always calling it in a canonical order.
+  auto keep = [&](std::vector<Answer>&& batch, std::vector<Answer>* into,
+                  std::unordered_map<std::string, double>* best_by_tuple) {
+    for (Answer& answer : batch) {
       if (!options.dedup_vars.empty()) {
-        best_by_tuple.erase(tuple_key(results.back()));
+        std::string key = tuple_key(answer);
+        auto [it, inserted] = best_by_tuple->emplace(key, answer.score);
+        if (!inserted) {
+          if (answer.score >= it->second) continue;  // Kept one is better.
+          // Replace the previously kept answer for this tuple.
+          for (auto r = into->begin(); r != into->end(); ++r) {
+            if (r->score == it->second && tuple_key(*r) == key) {
+              into->erase(r);
+              break;
+            }
+          }
+          it->second = answer.score;
+        }
       }
-      results.pop_back();
+      auto at = std::upper_bound(
+          into->begin(), into->end(), answer,
+          [](const Answer& a, const Answer& b) { return a.score < b.score; });
+      into->insert(at, std::move(answer));
+      if (options.k != 0 && into->size() > options.k) {
+        if (!options.dedup_vars.empty()) {
+          best_by_tuple->erase(tuple_key(into->back()));
+        }
+        into->pop_back();
+      }
     }
   };
 
-  // Recursive lambda over join positions.
-  auto descend = [&](auto&& self, size_t pos) -> void {
-    if (out_of_budget) return;
-    if (pos == m) {
-      emit(lambda_prefix[m], psi_prefix[m]);
-      return;
-    }
-    const std::vector<ScoredPath>& paths = active[order[pos]]->paths;
-    // When this position must connect to already-placed paths, only
-    // candidates sharing a node with EVERY one of them can be valid:
-    // intersect, over the back edges, the union of candidate lists of
-    // the anchor path's nodes. The result stays index-ascending, i.e.
-    // λ-ordered.
-    std::vector<size_t> narrowed;
-    bool use_narrowed = false;
-    if (options.require_connected && !edges_completing_at[pos].empty()) {
-      use_narrowed = true;
-      bool first_edge = true;
-      for (const JoinEdge& back : edges_completing_at[pos]) {
-        std::vector<size_t> sharing;
-        for (NodeId n : sorted_nodes[back.earlier][choice[back.earlier]]) {
-          auto it = candidates_by_node[pos].find(n);
-          if (it == candidates_by_node[pos].end()) continue;
-          sharing.insert(sharing.end(), it->second.begin(),
-                         it->second.end());
-        }
-        std::sort(sharing.begin(), sharing.end());
-        sharing.erase(std::unique(sharing.begin(), sharing.end()),
-                      sharing.end());
-        if (first_edge) {
-          narrowed = std::move(sharing);
-          first_edge = false;
-        } else {
-          std::vector<size_t> both;
-          std::set_intersection(narrowed.begin(), narrowed.end(),
-                                sharing.begin(), sharing.end(),
-                                std::back_inserter(both));
-          narrowed = std::move(both);
-        }
-        if (narrowed.empty()) break;
+  // ---- The subtree searcher: a depth-first branch and bound with
+  // candidate `root` fixed at join position 0. It is a pure function of
+  // (root, inherited threshold, budget share) over the immutable
+  // precomputation above — the determinism contract hangs on that
+  // purity, because it makes results independent of WHICH thread runs
+  // the subtree and WHEN. A prefix is pruned when its admissible lower
+  // bound
+  //   fixed_cost + Σλ(prefix) + Σ minλ(remaining)
+  //   + exact ψ of edges inside the prefix + ψ lower bounds of pending
+  //     edges
+  // cannot beat min(inherited threshold, k-th locally kept answer), or
+  // when the freshly placed candidate breaks connectivity/binding
+  // requirements. Returns the expansions actually used (<= share).
+  auto search_subtree = [&](size_t root, double inherited_threshold,
+                            size_t share, std::vector<Answer>* out) {
+    std::vector<size_t> choice(m, 0);
+    std::vector<double> psi_prefix(m + 1, 0.0);  // ψ of edges in prefix.
+    std::vector<double> lambda_prefix(m + 1, 0.0);
+    std::unordered_map<std::string, double> local_best;
+    size_t used = 0;
+    bool out_of_budget = false;
+
+    auto threshold = [&]() {
+      double local = (options.k != 0 && out->size() >= options.k)
+                         ? out->back().score
+                         : std::numeric_limits<double>::infinity();
+      return std::min(inherited_threshold, local);
+    };
+
+    auto emit = [&](double lambda_sum, double psi_sum) {
+      Answer answer;
+      answer.lambda_total = empty_penalty + lambda_sum;
+      answer.psi_total = empty_psi + psi_sum;
+      answer.score = answer.lambda_total + answer.psi_total;
+      answer.parts.resize(m);
+      answer.query_path_index.resize(m);
+      for (size_t pos = 0; pos < m; ++pos) {
+        // Restore the original cluster order in the answer.
+        answer.parts[order[pos]] = candidate(pos, choice[pos]);
+        answer.query_path_index[order[pos]] = active_query_path[order[pos]];
       }
-    }
-    const size_t candidate_count =
-        use_narrowed ? narrowed.size() : paths.size();
-    for (size_t pick = 0; pick < candidate_count; ++pick) {
-      size_t idx = use_narrowed ? narrowed[pick] : pick;
-      if (pos == 0) {
-        // Refresh this subtree's budget share before the check below.
-        if (expansions >= options.max_expansions) {
+      // Merge φ best-alignment-first: when paths disagree on a shared
+      // variable, the binding from the better-aligned (lower λ) path
+      // wins.
+      {
+        std::vector<const ScoredPath*> by_lambda;
+        by_lambda.reserve(answer.parts.size());
+        for (const ScoredPath& part : answer.parts) {
+          by_lambda.push_back(&part);
+        }
+        std::stable_sort(by_lambda.begin(), by_lambda.end(),
+                         [](const ScoredPath* a, const ScoredPath* b) {
+                           return a->lambda() < b->lambda();
+                         });
+        for (const ScoredPath* part : by_lambda) {
+          if (!answer.binding.Merge(part->alignment.phi)) {
+            answer.consistent = false;
+          }
+        }
+      }
+      if (options.require_consistent_bindings && !answer.consistent) return;
+      if (options.binding_filter &&
+          !options.binding_filter(answer.binding)) {
+        return;
+      }
+      std::vector<Answer> one;
+      one.push_back(std::move(answer));
+      keep(std::move(one), out, &local_best);
+    };
+
+    // Recursive lambda over join positions 1..m (position 0 is fixed).
+    auto descend = [&](auto&& self, size_t pos) -> void {
+      if (out_of_budget) return;
+      if (pos == m) {
+        emit(lambda_prefix[m], psi_prefix[m]);
+        return;
+      }
+      const std::vector<ScoredPath>& paths = active[order[pos]]->paths;
+      // When this position must connect to already-placed paths, only
+      // candidates sharing a node with EVERY one of them can be valid:
+      // intersect, over the back edges, the union of candidate lists of
+      // the anchor path's nodes. The result stays index-ascending, i.e.
+      // λ-ordered.
+      std::vector<size_t> narrowed;
+      bool use_narrowed = false;
+      if (options.require_connected && !edges_completing_at[pos].empty()) {
+        use_narrowed = true;
+        bool first_edge = true;
+        for (const JoinEdge& back : edges_completing_at[pos]) {
+          std::vector<size_t> sharing;
+          for (NodeId n :
+               sorted_nodes[back.earlier][choice[back.earlier]]) {
+            auto it = candidates_by_node[pos].find(n);
+            if (it == candidates_by_node[pos].end()) continue;
+            sharing.insert(sharing.end(), it->second.begin(),
+                           it->second.end());
+          }
+          std::sort(sharing.begin(), sharing.end());
+          sharing.erase(std::unique(sharing.begin(), sharing.end()),
+                        sharing.end());
+          if (first_edge) {
+            narrowed = std::move(sharing);
+            first_edge = false;
+          } else {
+            std::vector<size_t> both;
+            std::set_intersection(narrowed.begin(), narrowed.end(),
+                                  sharing.begin(), sharing.end(),
+                                  std::back_inserter(both));
+            narrowed = std::move(both);
+          }
+          if (narrowed.empty()) break;
+        }
+      }
+      const size_t candidate_count =
+          use_narrowed ? narrowed.size() : paths.size();
+      for (size_t pick = 0; pick < candidate_count; ++pick) {
+        size_t idx = use_narrowed ? narrowed[pick] : pick;
+        if (++used > share) {
           out_of_budget = true;
           return;
         }
-        size_t share = std::max<size_t>(
-            64 * m,
-            options.max_expansions / std::max<size_t>(1, candidate_count));
-        expansion_limit =
-            std::min(options.max_expansions, expansions + share);
-      }
-      if (++expansions > expansion_limit) {
-        out_of_budget = true;
-        return;
-      }
-      const ScoredPath& sp = paths[idx];
-      // λ-only bound: candidates are sorted by λ, so once it fails no
-      // later candidate at this position can succeed either.
-      double lambda_sum = lambda_prefix[pos] + sp.lambda();
-      double optimistic = fixed_cost + lambda_sum +
-                          min_lambda_suffix[pos + 1] + psi_prefix[pos] +
-                          psi_lb_suffix[pos];
-      if (optimistic >= threshold()) break;
+        const ScoredPath& sp = paths[idx];
+        // λ-only bound: candidates are sorted by λ, so once it fails no
+        // later candidate at this position can succeed either.
+        double lambda_sum = lambda_prefix[pos] + sp.lambda();
+        double optimistic = fixed_cost + lambda_sum +
+                            min_lambda_suffix[pos + 1] + psi_prefix[pos] +
+                            psi_lb_suffix[pos];
+        if (optimistic >= threshold()) break;
 
-      // Exact ψ of the edges this position completes, plus validity.
-      double psi_here = 0;
-      bool valid = true;
-      for (const JoinEdge& edge : edges_completing_at[pos]) {
-        size_t chi_p =
-            chi_between(edge.earlier, choice[edge.earlier], pos, idx);
-        if (chi_p == 0 && options.require_connected) {
-          valid = false;
-          break;
-        }
-        psi_here += PsiCost(edge.chi_q, chi_p, params);
-      }
-      if (valid && options.require_consistent_bindings) {
-        for (size_t j = 0; j < pos; ++j) {
-          if (!candidate(j, choice[j])
-                   .alignment.phi.CompatibleWith(sp.alignment.phi)) {
+        // Exact ψ of the edges this position completes, plus validity.
+        double psi_here = 0;
+        bool valid = true;
+        for (const JoinEdge& edge : edges_completing_at[pos]) {
+          size_t chi_p =
+              chi_between(edge.earlier, choice[edge.earlier], pos, idx);
+          if (chi_p == 0 && options.require_connected) {
             valid = false;
             break;
           }
+          psi_here += PsiCost(edge.chi_q, chi_p, params);
         }
-      }
-      if (!valid) continue;
-      double full_bound = optimistic + psi_here - psi_lb_at[pos];
-      if (full_bound >= threshold()) continue;
+        if (valid && options.require_consistent_bindings) {
+          for (size_t j = 0; j < pos; ++j) {
+            if (!candidate(j, choice[j])
+                     .alignment.phi.CompatibleWith(sp.alignment.phi)) {
+              valid = false;
+              break;
+            }
+          }
+        }
+        if (!valid) continue;
+        double full_bound = optimistic + psi_here - psi_lb_at[pos];
+        if (full_bound >= threshold()) continue;
 
-      choice[pos] = idx;
-      lambda_prefix[pos + 1] = lambda_sum;
-      psi_prefix[pos + 1] = psi_prefix[pos] + psi_here;
-      self(self, pos + 1);
-      if (out_of_budget) {
-        if (pos != 0 || expansions > options.max_expansions) return;
-        out_of_budget = false;  // Only this subtree's share is spent.
+        choice[pos] = idx;
+        lambda_prefix[pos + 1] = lambda_sum;
+        psi_prefix[pos + 1] = psi_prefix[pos] + psi_here;
+        self(self, pos + 1);
+        if (out_of_budget) return;
       }
-    }
+    };
+
+    // Place the root (one expansion, like any other candidate) and
+    // recurse over the remaining positions.
+    ++used;
+    choice[0] = root;
+    lambda_prefix[1] = candidate(0, root).lambda();
+    psi_prefix[1] = 0.0;  // No edge completes at position 0.
+    descend(descend, 1);
+    return used;
   };
-  descend(descend, 0);
+
+  // ---- Wave scheduler. Subtrees run in waves; between waves the
+  // global top-k (hence the pruning threshold) and the deterministic
+  // budget account advance. All scheduling decisions depend only on
+  // query shape, options and previously merged results — never on the
+  // thread count or timing.
+  std::vector<Answer> results;
+  std::unordered_map<std::string, double> best_by_tuple;
+  const size_t num_subtrees = active[order[0]]->size();
+  // Each subtree's budget share mirrors the sequential splitter: an
+  // even slice of the total, floored so deep joins can always reach a
+  // few leaves.
+  const size_t share = std::max<size_t>(
+      64 * m, options.max_expansions / std::max<size_t>(1, num_subtrees));
+  size_t total_used = 0;
+  size_t next_subtree = 0;
+
+  while (next_subtree < num_subtrees &&
+         total_used < options.max_expansions) {
+    double theta = (options.k != 0 && results.size() >= options.k)
+                       ? results.back().score
+                       : std::numeric_limits<double>::infinity();
+    // Shrink waves near the budget boundary so the total can NEVER
+    // overshoot max_expansions: a multi-subtree wave only runs when the
+    // remaining budget covers every share in full, and the final
+    // single-subtree wave is clipped to what is left. (m == 1 always
+    // uses waves of one, which refreshes the threshold after every
+    // candidate exactly like the classic sequential scan.)
+    const size_t remaining = options.max_expansions - total_used;
+    size_t wave_size =
+        m == 1 ? 1
+               : std::min(kWaveSize, std::max<size_t>(1, remaining / share));
+    const size_t wave_share = wave_size == 1 ? std::min(share, remaining)
+                                             : share;
+    // λ-only bound of a subtree's BEST completion; subtree roots are in
+    // ascending-λ order, so the first root that fails ends the search.
+    std::vector<size_t> wave;
+    while (wave.size() < wave_size && next_subtree < num_subtrees) {
+      double optimistic = fixed_cost + candidate(0, next_subtree).lambda() +
+                          min_lambda_suffix[1] + psi_lb_suffix[0];
+      if (optimistic >= theta) {
+        next_subtree = num_subtrees;
+        break;
+      }
+      wave.push_back(next_subtree++);
+    }
+    if (wave.empty()) break;
+
+    std::vector<std::vector<Answer>> wave_out(wave.size());
+    std::vector<size_t> wave_used(wave.size(), 0);
+    if (wave.size() == 1) {
+      // Inline fast path (always taken for m == 1): no task handoff for
+      // a single-subtree wave.
+      wave_used[0] =
+          search_subtree(wave[0], theta, wave_share, &wave_out[0]);
+    } else {
+      SAMA_RETURN_IF_ERROR(ParallelFor(
+          pool, wave.size(),
+          [&](size_t w) -> Status {
+            wave_used[w] =
+                search_subtree(wave[w], theta, wave_share, &wave_out[w]);
+            return Status::Ok();
+          },
+          busy_nanos));
+    }
+
+    // Deterministic merge: subtree order, then each subtree's answers
+    // in its own emit order; `keep` resolves scores, dedup and the k
+    // cut identically to a sequential insertion stream.
+    for (size_t w = 0; w < wave.size(); ++w) {
+      total_used += wave_used[w];
+      keep(std::move(wave_out[w]), &results, &best_by_tuple);
+    }
+  }
   return results;
 }
 

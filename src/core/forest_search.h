@@ -1,12 +1,15 @@
 #ifndef SAMA_CORE_FOREST_SEARCH_H_
 #define SAMA_CORE_FOREST_SEARCH_H_
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "core/clustering.h"
 #include "core/intersection_graph.h"
 #include "core/score_params.h"
@@ -79,11 +82,20 @@ struct ForestSearchOptions {
 // solutions best-first by Σλ with exact rescoring by Λ + Ψ. Worst case
 // O(h·I²) in the paper's notation. Answers come back sorted by
 // ascending score (most relevant first).
-Result<std::vector<Answer>> ForestSearch(const QueryGraph& query,
-                                         const IntersectionQueryGraph& ig,
-                                         const std::vector<Cluster>& clusters,
-                                         const ScoreParams& params,
-                                         const ForestSearchOptions& options);
+//
+// The combination space is decomposed into one independent subtree per
+// first-join-position candidate; subtrees are searched in fixed-size
+// waves, concurrently when `pool` is non-null. Each subtree is a pure
+// function of (subtree index, inherited threshold, budget share), and
+// wave results merge in subtree order with stable score/answer-id
+// tie-breaks, so the answers are bit-identical for every thread count
+// — see DESIGN.md "Threading model". `busy_nanos`, when non-null,
+// accumulates the time threads spent searching.
+Result<std::vector<Answer>> ForestSearch(
+    const QueryGraph& query, const IntersectionQueryGraph& ig,
+    const std::vector<Cluster>& clusters, const ScoreParams& params,
+    const ForestSearchOptions& options, ThreadPool* pool = nullptr,
+    std::atomic<uint64_t>* busy_nanos = nullptr);
 
 }  // namespace sama
 

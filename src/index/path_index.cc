@@ -1,12 +1,10 @@
 #include "index/path_index.h"
 
 #include <algorithm>
-#include <atomic>
 #include <functional>
-#include <mutex>
-#include <thread>
 
 #include "common/hash.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "storage/coding.h"
 #include "storage/manifest.h"
@@ -56,7 +54,10 @@ Status PathIndex::Build(const DataGraph& graph,
   sinks_ = graph.Sinks();
 
   // Step (iii): compute all paths, traversing concurrently from each
-  // start node.
+  // start node. Every start enumerates into its own slot and the slots
+  // concatenate in start order, so path ids are IDENTICAL for every
+  // thread count — a reopened index never depends on how many cores
+  // built it.
   std::vector<NodeId> starts = graph.StartNodes();
   std::vector<Path> paths;
   size_t threads = std::max<size_t>(1, options.num_threads);
@@ -74,26 +75,20 @@ Status PathIndex::Build(const DataGraph& graph,
       }
     }
   } else {
-    std::mutex mu;
-    std::vector<std::thread> workers;
-    std::atomic<size_t> next_start{0};
-    for (size_t t = 0; t < threads; ++t) {
-      workers.emplace_back([&] {
-        std::vector<Path> local;
-        while (true) {
-          size_t i = next_start.fetch_add(1);
-          if (i >= starts.size()) break;
+    ThreadPool pool(threads - 1);
+    std::vector<std::vector<Path>> per_start(starts.size());
+    SAMA_RETURN_IF_ERROR(
+        ParallelFor(&pool, starts.size(), [&](size_t i) -> Status {
           EnumeratePathsFrom(graph, starts[i], options.enumerate,
                              [&](const Path& p) {
-                               local.push_back(p);
+                               per_start[i].push_back(p);
                                return true;
                              });
-        }
-        std::lock_guard<std::mutex> lock(mu);
-        for (Path& p : local) paths.push_back(std::move(p));
-      });
+          return Status::Ok();
+        }));
+    for (std::vector<Path>& local : per_start) {
+      for (Path& p : local) paths.push_back(std::move(p));
     }
-    for (std::thread& w : workers) w.join();
     if (options.enumerate.max_paths != 0 &&
         paths.size() > options.enumerate.max_paths) {
       paths.resize(options.enumerate.max_paths);

@@ -1,9 +1,13 @@
 #ifndef SAMA_RDF_DICTIONARY_H_
 #define SAMA_RDF_DICTIONARY_H_
 
+#include <atomic>
+#include <cassert>
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
-#include <vector>
 
 #include "rdf/term.h"
 
@@ -16,50 +20,100 @@ using TermId = uint32_t;
 inline constexpr TermId kInvalidTermId = 0xffffffffu;
 
 // Interns Terms to dense TermIds so graphs, paths and indexes can store
-// 4-byte ids instead of strings. Not thread-safe for concurrent writes.
+// 4-byte ids instead of strings.
+//
+// Thread safety: the dictionary keeps growing at query time (query
+// constants and variables intern through the shared handle), so every
+// member is safe to call concurrently. The design follows the
+// lock-free-read / serialized-write split:
+//   * term(id) is wait-free — terms live in fixed-size chunks whose
+//     slots never move, and a chunk pointer is published (release)
+//     before any id inside it can be observed, so readers need no lock;
+//   * Find() takes the shared side of a shared_mutex over the string →
+//     id hash map;
+//   * Intern() takes the exclusive side only when the term is genuinely
+//     new (double-checked after a shared-lock miss).
 class TermDictionary {
  public:
-  TermDictionary() = default;
+  TermDictionary()
+      : chunks_(new std::atomic<Term*>[kMaxChunks]()) {}
 
-  // Dictionaries are shared by reference between graph/query/index;
-  // accidental copies of a multi-million-entry table are almost always
-  // bugs, so copying is disabled.
+  ~TermDictionary() {
+    for (size_t c = 0; c < kMaxChunks; ++c) {
+      Term* chunk = chunks_[c].load(std::memory_order_relaxed);
+      if (chunk == nullptr) break;
+      delete[] chunk;
+    }
+  }
+
+  // Dictionaries are shared by reference (shared_ptr) between
+  // graph/query/index; accidental copies of a multi-million-entry table
+  // are almost always bugs, and moving would invalidate the lock-free
+  // readers, so both are disabled.
   TermDictionary(const TermDictionary&) = delete;
   TermDictionary& operator=(const TermDictionary&) = delete;
-  TermDictionary(TermDictionary&&) = default;
-  TermDictionary& operator=(TermDictionary&&) = default;
+  TermDictionary(TermDictionary&&) = delete;
+  TermDictionary& operator=(TermDictionary&&) = delete;
 
   // Returns the id of `term`, interning it on first sight.
   TermId Intern(const Term& term) {
-    auto it = ids_.find(term);
+    {
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      auto it = ids_.find(term);
+      if (it != ids_.end()) return it->second;
+    }
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    auto it = ids_.find(term);  // Re-check: we may have lost the race.
     if (it != ids_.end()) return it->second;
-    TermId id = static_cast<TermId>(terms_.size());
-    terms_.push_back(term);
-    ids_.emplace(terms_.back(), id);
+    size_t n = size_.load(std::memory_order_relaxed);
+    size_t chunk_index = n >> kChunkShift;
+    assert(chunk_index < kMaxChunks && "term dictionary full");
+    Term* chunk = chunks_[chunk_index].load(std::memory_order_relaxed);
+    if (chunk == nullptr) {
+      chunk = new Term[kChunkSize];
+      // Release: a reader that learns an id in this chunk (via the map,
+      // the size counter, or data derived from them) must see the
+      // pointer.
+      chunks_[chunk_index].store(chunk, std::memory_order_release);
+    }
+    chunk[n & kChunkMask] = term;
+    TermId id = static_cast<TermId>(n);
+    ids_.emplace(term, id);
+    size_.store(n + 1, std::memory_order_release);
     return id;
   }
 
   // Returns the id of `term`, or kInvalidTermId when absent.
   TermId Find(const Term& term) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
     auto it = ids_.find(term);
     return it == ids_.end() ? kInvalidTermId : it->second;
   }
 
-  // Requires id < size().
-  const Term& term(TermId id) const { return terms_[id]; }
+  // Requires id < size(). Wait-free; the returned reference stays valid
+  // for the dictionary's lifetime (slots never move).
+  const Term& term(TermId id) const {
+    const Term* chunk =
+        chunks_[id >> kChunkShift].load(std::memory_order_acquire);
+    return chunk[id & kChunkMask];
+  }
 
-  size_t size() const { return terms_.size(); }
+  size_t size() const { return size_.load(std::memory_order_acquire); }
 
   // Estimated resident bytes (used in Table-1-style space reporting).
   uint64_t MemoryBytes() const {
-    uint64_t bytes = sizeof(*this);
-    for (const Term& t : terms_) {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    uint64_t bytes = sizeof(*this) + kMaxChunks * sizeof(std::atomic<Term*>);
+    size_t n = size_.load(std::memory_order_acquire);
+    for (size_t i = 0; i < n; ++i) {
+      const Term& t = term(static_cast<TermId>(i));
       bytes += sizeof(Term) + t.value().size() + t.datatype().size() +
                t.language().size();
     }
     // Hash-map overhead: bucket array plus node bookkeeping.
     bytes += ids_.bucket_count() * sizeof(void*);
-    bytes += ids_.size() * (sizeof(void*) * 2 + sizeof(TermId));
+    bytes += ids_.size() * (sizeof(void*) * 2 + sizeof(TermId) +
+                            sizeof(Term));
     return bytes;
   }
 
@@ -70,7 +124,16 @@ class TermDictionary {
     }
   };
 
-  std::vector<Term> terms_;
+  // 4096 terms per chunk × 16384 chunks = up to 67M distinct terms; the
+  // chunk directory costs 128 KiB per dictionary.
+  static constexpr size_t kChunkShift = 12;
+  static constexpr size_t kChunkSize = size_t{1} << kChunkShift;
+  static constexpr size_t kChunkMask = kChunkSize - 1;
+  static constexpr size_t kMaxChunks = size_t{1} << 14;
+
+  mutable std::shared_mutex mu_;
+  std::atomic<size_t> size_{0};
+  std::unique_ptr<std::atomic<Term*>[]> chunks_;
   std::unordered_map<Term, TermId, TermHash> ids_;
 };
 

@@ -1,6 +1,7 @@
 #include "storage/buffer_pool.h"
 
 #include <cassert>
+#include <mutex>
 
 namespace sama {
 
@@ -13,69 +14,121 @@ BufferPool::~BufferPool() {
   (void)Flush();
 }
 
-BufferPool::Frame& BufferPool::Touch(std::list<Frame>::iterator it) {
-  frames_.splice(frames_.begin(), frames_, it);
-  return frames_.front();
+BufferPool::PageGuard BufferPool::PinLocked(Frame* frame, bool writable) {
+  frame->pins.fetch_add(1, std::memory_order_acquire);
+  if (writable) {
+    frame->write_pins.fetch_add(1, std::memory_order_acquire);
+    frame->dirty.store(true, std::memory_order_release);
+  }
+  frame->last_used.store(clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+                         std::memory_order_relaxed);
+  return PageGuard(frame, writable);
 }
 
-Result<std::list<BufferPool::Frame>::iterator> BufferPool::Load(PageId page) {
-  auto it = frame_of_.find(page);
-  if (it != frame_of_.end()) {
-    ++stats_.hits;
-    Touch(it->second);
-    return frames_.begin();
+Result<BufferPool::PageGuard> BufferPool::Fetch(PageId page) {
+  return FetchInternal(page, /*writable=*/false);
+}
+
+Result<BufferPool::PageGuard> BufferPool::MutablePage(PageId page) {
+  return FetchInternal(page, /*writable=*/true);
+}
+
+Result<BufferPool::PageGuard> BufferPool::FetchInternal(PageId page,
+                                                        bool writable) {
+  fetches_.fetch_add(1, std::memory_order_relaxed);
+  {
+    // Fast path: cache hit under the shared latch. Pinning and recency
+    // stamping are atomic, so concurrent hits never serialise on the
+    // exclusive side.
+    std::shared_lock<std::shared_mutex> lock(latch_);
+    auto it = frames_.find(page);
+    if (it != frames_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return PinLocked(it->second.get(), writable);
+    }
   }
-  ++stats_.misses;
+  // Miss: exclusive latch, re-check (another thread may have loaded the
+  // page between our unlock and here), evict, read from disk.
+  std::unique_lock<std::shared_mutex> lock(latch_);
+  auto it = frames_.find(page);
+  if (it != frames_.end()) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return PinLocked(it->second.get(), writable);
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
   while (frames_.size() >= capacity_) {
-    SAMA_RETURN_IF_ERROR(EvictOne());
+    bool evicted = false;
+    SAMA_RETURN_IF_ERROR(EvictOneLocked(&evicted));
+    // Every frame pinned: overflow capacity rather than fail; residency
+    // returns below capacity as guards release and later misses evict.
+    if (!evicted) break;
   }
-  Frame frame;
-  frame.page = page;
-  frame.dirty = false;
-  SAMA_RETURN_IF_ERROR(file_->ReadPage(page, &frame.data));
-  frames_.push_front(std::move(frame));
-  frame_of_[page] = frames_.begin();
-  return frames_.begin();
+  auto frame = std::make_unique<Frame>();
+  frame->page = page;
+  SAMA_RETURN_IF_ERROR(file_->ReadPage(page, &frame->data));
+  Frame* raw = frame.get();
+  frames_.emplace(page, std::move(frame));
+  return PinLocked(raw, writable);
 }
 
-Status BufferPool::EvictOne() {
-  assert(!frames_.empty());
-  Frame& victim = frames_.back();
-  if (victim.dirty) {
-    SAMA_RETURN_IF_ERROR(file_->WritePage(victim.page, victim.data.data()));
+Status BufferPool::EvictOneLocked(bool* evicted) {
+  *evicted = false;
+  Frame* victim = nullptr;
+  uint64_t oldest = UINT64_MAX;
+  for (auto& [id, frame] : frames_) {
+    if (frame->pins.load(std::memory_order_acquire) > 0) continue;
+    uint64_t used = frame->last_used.load(std::memory_order_relaxed);
+    if (used < oldest) {
+      oldest = used;
+      victim = frame.get();
+    }
   }
-  frame_of_.erase(victim.page);
-  frames_.pop_back();
+  if (victim == nullptr) return Status::Ok();
+  if (victim->dirty.load(std::memory_order_acquire)) {
+    SAMA_RETURN_IF_ERROR(file_->WritePage(victim->page, victim->data.data()));
+  }
+  frames_.erase(victim->page);
+  *evicted = true;
   return Status::Ok();
 }
 
-Result<const uint8_t*> BufferPool::Fetch(PageId page) {
-  auto it_or = Load(page);
-  if (!it_or.ok()) return it_or.status();
-  return static_cast<const uint8_t*>((*it_or)->data.data());
-}
-
-Result<uint8_t*> BufferPool::MutablePage(PageId page) {
-  auto it_or = Load(page);
-  if (!it_or.ok()) return it_or.status();
-  (*it_or)->dirty = true;
-  return (*it_or)->data.data();
+Status BufferPool::FlushLocked() {
+  for (auto& [id, frame] : frames_) {
+    if (!frame->dirty.load(std::memory_order_acquire)) continue;
+    // A live write pin means another thread may be mutating the bytes
+    // right now; skip — the page stays dirty and flushes once released.
+    if (frame->write_pins.load(std::memory_order_acquire) > 0) continue;
+    SAMA_RETURN_IF_ERROR(file_->WritePage(id, frame->data.data()));
+    frame->dirty.store(false, std::memory_order_release);
+  }
+  return Status::Ok();
 }
 
 Status BufferPool::Flush() {
-  for (Frame& f : frames_) {
-    if (!f.dirty) continue;
-    SAMA_RETURN_IF_ERROR(file_->WritePage(f.page, f.data.data()));
-    f.dirty = false;
+  std::unique_lock<std::shared_mutex> lock(latch_);
+  return FlushLocked();
+}
+
+Status BufferPool::DropAll() {
+  std::unique_lock<std::shared_mutex> lock(latch_);
+  SAMA_RETURN_IF_ERROR(FlushLocked());
+  for (auto it = frames_.begin(); it != frames_.end();) {
+    if (it->second->pins.load(std::memory_order_acquire) > 0) {
+      ++it;
+    } else {
+      it = frames_.erase(it);
+    }
   }
   return Status::Ok();
 }
 
-Status BufferPool::DropAll() {
-  SAMA_RETURN_IF_ERROR(Flush());
-  frames_.clear();
-  frame_of_.clear();
-  return Status::Ok();
+size_t BufferPool::pinned_pages() const {
+  std::shared_lock<std::shared_mutex> lock(latch_);
+  size_t pinned = 0;
+  for (const auto& [id, frame] : frames_) {
+    if (frame->pins.load(std::memory_order_acquire) > 0) ++pinned;
+  }
+  return pinned;
 }
 
 }  // namespace sama

@@ -1,8 +1,11 @@
 #ifndef SAMA_STORAGE_BUFFER_POOL_H_
 #define SAMA_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
+#include <cassert>
 #include <cstdint>
-#include <list>
+#include <memory>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -15,30 +18,112 @@ namespace sama {
 // through MutablePage() + write-back on eviction/Flush(). DropAll()
 // empties the cache, which is how the benchmarks produce the paper's
 // cold-cache condition (Figure 6a) without rebooting.
+//
+// Thread safety: every method is safe to call concurrently. The pool
+// follows the classic latch-then-pin protocol:
+//   * a shared_mutex latch guards the page table; cache hits take the
+//     shared side (reads scale across threads), misses/eviction/flush
+//     take the exclusive side;
+//   * Fetch/MutablePage return a PageGuard that pins the frame — a
+//     pinned frame is never evicted and its bytes never move, so the
+//     guard's pointer stays valid without holding the latch;
+//   * hit/miss counters are atomics, updated outside any critical
+//     section.
+// Latch order (see DESIGN.md "Threading model"): pool latch strictly
+// before frame pin; guards never re-enter the pool while the latch is
+// held. Byte-level access to one page is NOT serialised by the pool —
+// concurrent writers of the same page must coordinate above it, as in
+// any database buffer manager.
 class BufferPool {
  public:
-  // `capacity` is the maximum number of resident pages (>=1).
+  // `capacity` is the maximum number of resident pages (>=1). When
+  // every frame is pinned the pool temporarily overflows capacity
+  // rather than failing the fetch.
   BufferPool(PageFile* file, size_t capacity);
   ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
-  // Returns a pointer to the cached content of `page` (kPageSize bytes).
-  // The pointer is invalidated by any subsequent pool call.
-  Result<const uint8_t*> Fetch(PageId page);
+ private:
+  struct Frame {
+    PageId page = 0;
+    std::atomic<int> pins{0};
+    std::atomic<int> write_pins{0};
+    std::atomic<bool> dirty{false};
+    std::atomic<uint64_t> last_used{0};
+    std::vector<uint8_t> data;  // Allocated once at load; never moves.
+  };
 
-  // Like Fetch but marks the page dirty; mutations are written back on
-  // eviction or Flush().
-  Result<uint8_t*> MutablePage(PageId page);
+ public:
+  // RAII pin on one cached page. While a guard is live its frame stays
+  // resident and its data pointer stays valid; destruction unpins.
+  // Movable, not copyable.
+  class PageGuard {
+   public:
+    PageGuard() = default;
+    PageGuard(PageGuard&& o) noexcept
+        : frame_(o.frame_), writable_(o.writable_) {
+      o.frame_ = nullptr;
+    }
+    PageGuard& operator=(PageGuard&& o) noexcept {
+      if (this != &o) {
+        Release();
+        frame_ = o.frame_;
+        writable_ = o.writable_;
+        o.frame_ = nullptr;
+      }
+      return *this;
+    }
+    ~PageGuard() { Release(); }
 
-  // Writes all dirty pages back to the file.
+    bool valid() const { return frame_ != nullptr; }
+    PageId page() const { return frame_->page; }
+
+    // The page's kPageSize bytes.
+    const uint8_t* data() const { return frame_->data.data(); }
+    // Requires a guard obtained through MutablePage().
+    uint8_t* mutable_data() {
+      assert(writable_);
+      return frame_->data.data();
+    }
+
+    // Unpins early (idempotent).
+    void Release() {
+      if (frame_ == nullptr) return;
+      if (writable_) {
+        frame_->write_pins.fetch_sub(1, std::memory_order_release);
+      }
+      frame_->pins.fetch_sub(1, std::memory_order_release);
+      frame_ = nullptr;
+    }
+
+   private:
+    friend class BufferPool;
+    PageGuard(Frame* frame, bool writable)
+        : frame_(frame), writable_(writable) {}
+
+    Frame* frame_ = nullptr;
+    bool writable_ = false;
+  };
+
+  // Returns a read pin on `page`'s cached content (kPageSize bytes).
+  Result<PageGuard> Fetch(PageId page);
+
+  // Like Fetch but marks the page dirty and allows mutation through the
+  // guard; mutations are written back on eviction or Flush().
+  Result<PageGuard> MutablePage(PageId page);
+
+  // Writes all dirty pages back to the file. Pages with a live write
+  // pin are skipped (still mid-mutation; they stay dirty and flush
+  // later).
   Status Flush();
 
-  // Flushes, then evicts everything (cold cache).
+  // Flushes, then evicts every unpinned page (cold cache).
   Status DropAll();
 
   struct Stats {
+    uint64_t fetches = 0;  // Fetch + MutablePage calls.
     uint64_t hits = 0;
     uint64_t misses = 0;
     double HitRate() const {
@@ -46,29 +131,47 @@ class BufferPool {
       return total == 0 ? 0.0 : static_cast<double>(hits) / total;
     }
   };
-  const Stats& stats() const { return stats_; }
-  void ResetStats() { stats_ = Stats(); }
+  // Snapshot of the atomic counters.
+  Stats stats() const {
+    Stats s;
+    s.fetches = fetches_.load(std::memory_order_relaxed);
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    return s;
+  }
+  void ResetStats() {
+    fetches_.store(0, std::memory_order_relaxed);
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+  }
 
-  size_t resident_pages() const { return frames_.size(); }
+  size_t resident_pages() const {
+    std::shared_lock<std::shared_mutex> lock(latch_);
+    return frames_.size();
+  }
+  size_t pinned_pages() const;
   size_t capacity() const { return capacity_; }
 
  private:
-  struct Frame {
-    PageId page;
-    bool dirty;
-    std::vector<uint8_t> data;
-  };
-
-  // Moves `it` to the MRU position and returns its frame.
-  Frame& Touch(std::list<Frame>::iterator it);
-  Result<std::list<Frame>::iterator> Load(PageId page);
-  Status EvictOne();
+  Result<PageGuard> FetchInternal(PageId page, bool writable);
+  // Pins `frame` and stamps recency; caller holds the latch (either
+  // side).
+  PageGuard PinLocked(Frame* frame, bool writable);
+  // Evicts the least-recently-used unpinned frame; requires the
+  // exclusive latch. Sets *evicted=false when every frame is pinned.
+  Status EvictOneLocked(bool* evicted);
+  Status FlushLocked();
 
   PageFile* file_;
   size_t capacity_;
-  std::list<Frame> frames_;  // Front = MRU, back = LRU.
-  std::unordered_map<PageId, std::list<Frame>::iterator> frame_of_;
-  Stats stats_;
+
+  mutable std::shared_mutex latch_;
+  std::unordered_map<PageId, std::unique_ptr<Frame>> frames_;
+
+  std::atomic<uint64_t> clock_{0};  // Logical time for LRU recency.
+  std::atomic<uint64_t> fetches_{0};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
 };
 
 }  // namespace sama

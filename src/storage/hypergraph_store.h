@@ -20,6 +20,12 @@ using HyperedgeId = uint64_t;
 // (Figure 5 groups each path's elements into a hyperedge), so the
 // Table-1 quantities are |HV| = vertex_count() and
 // |HE| = hyperedge_count().
+//
+// Thread safety: GetVertex/GetHyperedge are safe to call concurrently
+// once building has finished — the record-id tables are immutable at
+// query time and the RecordStore read path is lock-free over the
+// buffer pool's pin protocol. AddVertex/AddHyperedge are single-writer
+// and must not overlap with readers.
 class HypergraphStore {
  public:
   struct Options {

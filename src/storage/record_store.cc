@@ -55,7 +55,7 @@ Status RecordStore::WriteStoreHeader() {
   if (pool_ == nullptr) return Status::Ok();
   auto buf_or = pool_->MutablePage(0);
   if (!buf_or.ok()) return buf_or.status();
-  uint8_t* buf = *buf_or;
+  uint8_t* buf = buf_or->mutable_data();
   std::memcpy(buf, kMagic, sizeof(kMagic));
   PutU64(buf + 8, record_count_);
   PutU64(buf + 16, tail_page_);
@@ -66,7 +66,7 @@ Status RecordStore::WriteStoreHeader() {
 Status RecordStore::ReadStoreHeader() {
   auto buf_or = pool_->Fetch(0);
   if (!buf_or.ok()) return buf_or.status();
-  const uint8_t* buf = *buf_or;
+  const uint8_t* buf = buf_or->data();
   if (std::memcmp(buf, kMagic, sizeof(kMagic)) != 0) {
     return Status::Corruption("record store header magic mismatch");
   }
@@ -109,7 +109,7 @@ Result<RecordId> RecordStore::Append(const std::vector<uint8_t>& data) {
   }
   auto buf_or = pool_->MutablePage(tail_page_);
   if (!buf_or.ok()) return buf_or.status();
-  uint8_t* buf = *buf_or;
+  uint8_t* buf = buf_or->mutable_data();
   size_t offset = tail_offset_;
   buf[offset] = static_cast<uint8_t>(data.size());
   buf[offset + 1] = static_cast<uint8_t>(data.size() >> 8);
@@ -120,20 +120,25 @@ Result<RecordId> RecordStore::Append(const std::vector<uint8_t>& data) {
 }
 
 Status RecordStore::Read(RecordId id, std::vector<uint8_t>* out) const {
-  std::lock_guard<std::mutex> lock(mu_);
   if (file_ == nullptr) {
+    // The memory backend's vector reallocates on Append, so reads
+    // serialise with writers.
+    std::lock_guard<std::mutex> lock(mu_);
     if (id >= mem_records_.size()) {
       return Status::OutOfRange("record " + std::to_string(id));
     }
     *out = mem_records_[id];
     return Status::Ok();
   }
+  // Disk backend: no store-level lock. The buffer pool's latch+pin
+  // protocol makes Fetch safe, and the guard keeps the frame resident
+  // while we copy out of it — parallel query workers read concurrently.
   if (RecordPage(id) == 0) {
     return Status::InvalidArgument("record id points at the header page");
   }
   auto buf_or = pool_->Fetch(RecordPage(id));
   if (!buf_or.ok()) return buf_or.status();
-  const uint8_t* buf = *buf_or;
+  const uint8_t* buf = buf_or->data();
   size_t offset = RecordOffset(id);
   if (offset + kHeaderBytes > kPageSize) {
     return Status::Corruption("record offset out of page");

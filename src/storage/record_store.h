@@ -24,9 +24,12 @@ using RecordId = uint64_t;
 // Records never span pages, so one record is limited to
 // kPageSize - kMaxHeader bytes in the disk backend.
 //
-// Thread safety: Read/Append/Flush/DropCaches serialise on an internal
-// mutex, so concurrent readers (e.g. parallel clustering workers) are
-// safe; the LRU buffer pool underneath is not otherwise shareable.
+// Thread safety: writers (Append/Flush/DropCaches) serialise on an
+// internal mutex. Disk-backend reads take no store-level lock at all —
+// they ride the BufferPool's latch-and-pin protocol, so parallel query
+// workers (clustering, forest search) fetch pages concurrently;
+// memory-backend reads serialise with Append because the backing
+// vector reallocates.
 class RecordStore {
  public:
   struct Options {

@@ -1,0 +1,155 @@
+// The determinism contract of parallel query execution: for any thread
+// count, SamaEngine::Execute returns bit-identical answers — same
+// combinations, same scores, same tie-break order — as the serial run.
+// Exercised over all three synthetic dataset generators and several k,
+// since tie density (LUBM's regular structure produces many equal-λ
+// candidates) is exactly what breaks naive parallel top-k merges.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "datasets/berlin.h"
+#include "datasets/lubm.h"
+#include "datasets/queries.h"
+#include "datasets/scale_free.h"
+#include "graph/data_graph.h"
+#include "index/path_index.h"
+#include "query/sparql.h"
+#include "text/thesaurus.h"
+
+namespace sama {
+namespace {
+
+constexpr size_t kThreadCounts[] = {2, 4, 8};
+constexpr size_t kTopK[] = {1, 5, 20};
+
+// A lossless textual signature of a result list. Scores are printed
+// with %.17g (round-trip exact for double), parts by (query path slot,
+// data path id); answer order is preserved, so any tie-break
+// divergence between runs changes the signature.
+std::string Signature(const std::vector<Answer>& answers) {
+  std::string out;
+  char buf[96];
+  for (const Answer& a : answers) {
+    std::snprintf(buf, sizeof(buf), "%.17g|%.17g|%.17g|", a.score,
+                  a.lambda_total, a.psi_total);
+    out += buf;
+    for (size_t i = 0; i < a.parts.size(); ++i) {
+      out += std::to_string(a.query_path_index[i]);
+      out += ':';
+      out += std::to_string(a.parts[i].id);
+      out += ',';
+    }
+    out += a.consistent ? ";ok\n" : ";inconsistent\n";
+  }
+  return out;
+}
+
+// One dataset + the serial reference engine and one engine per thread
+// count, all sharing the same graph/index/thesaurus.
+class Env {
+ public:
+  explicit Env(std::vector<Triple> triples)
+      : graph_(std::make_unique<DataGraph>(
+            DataGraph::FromTriples(std::move(triples)))),
+        index_(std::make_unique<PathIndex>()) {
+    Status s = index_->Build(*graph_, PathIndexOptions());
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    thesaurus_ = Thesaurus::BuiltinEnglish();
+    serial_ = MakeEngine(1);
+    for (size_t threads : kThreadCounts) {
+      parallel_.push_back(MakeEngine(threads));
+    }
+  }
+
+  QueryGraph Parse(const std::string& sparql) {
+    auto parsed = ParseSparql(sparql);
+    EXPECT_TRUE(parsed.ok()) << parsed.status() << "\n" << sparql;
+    return parsed->ToQueryGraph(graph_->shared_dict());
+  }
+
+  const DataGraph& graph() const { return *graph_; }
+
+  // Runs `query` at every k on the serial engine and on every parallel
+  // engine and asserts identical signatures.
+  void CheckQuery(const std::string& name, const QueryGraph& query) {
+    for (size_t k : kTopK) {
+      auto serial = serial_->Execute(query, k);
+      ASSERT_TRUE(serial.ok()) << name << " k=" << k << ": "
+                               << serial.status();
+      std::string expected = Signature(*serial);
+      for (size_t i = 0; i < parallel_.size(); ++i) {
+        QueryStats stats;
+        auto got = parallel_[i]->Execute(query, k, &stats);
+        ASSERT_TRUE(got.ok()) << name << " k=" << k << ": " << got.status();
+        EXPECT_EQ(stats.threads_used, kThreadCounts[i]);
+        EXPECT_EQ(Signature(*got), expected)
+            << name << " diverges from serial at k=" << k << " with "
+            << kThreadCounts[i] << " threads";
+      }
+    }
+  }
+
+ private:
+  std::unique_ptr<SamaEngine> MakeEngine(size_t threads) {
+    EngineOptions options;
+    options.num_threads = threads;
+    return std::make_unique<SamaEngine>(graph_.get(), index_.get(),
+                                        &thesaurus_, options);
+  }
+
+  std::unique_ptr<DataGraph> graph_;
+  std::unique_ptr<PathIndex> index_;
+  Thesaurus thesaurus_;
+  std::unique_ptr<SamaEngine> serial_;
+  std::vector<std::unique_ptr<SamaEngine>> parallel_;
+};
+
+TEST(ParallelDeterminismTest, LubmWorkloadMatchesSerial) {
+  LubmConfig config;
+  config.universities = 1;
+  Env env(GenerateLubm(config));
+  // Every third benchmark query: one from each |Q| complexity group,
+  // exact and relaxed alike, keeps the test minutes-safe.
+  std::vector<BenchmarkQuery> queries = MakeLubmQueries();
+  for (size_t i = 0; i < queries.size(); i += 3) {
+    env.CheckQuery(queries[i].name, env.Parse(queries[i].sparql));
+  }
+}
+
+TEST(ParallelDeterminismTest, BerlinWorkloadMatchesSerial) {
+  BerlinConfig config;
+  config.products = 100;
+  Env env(GenerateBerlin(config));
+  std::vector<BenchmarkQuery> queries = MakeBerlinQueries();
+  for (size_t i = 0; i < queries.size(); i += 2) {
+    env.CheckQuery(queries[i].name, env.Parse(queries[i].sparql));
+  }
+}
+
+TEST(ParallelDeterminismTest, ScaleFreeMatchesSerial) {
+  ScaleFreeProfile profile;
+  profile.num_entities = 600;
+  profile.seed = 42;
+  Env env(GenerateScaleFree(profile));
+  const std::string rel = "http://scale-free.example.org/rel#";
+  const std::string ent = "http://scale-free.example.org/";
+  // A chain ending in an attribute and a star aimed at the oldest
+  // (highest in-degree) hub entity.
+  env.CheckQuery(
+      "chain",
+      env.Parse("SELECT ?x WHERE { ?x <" + rel + "linksTo> ?y . ?y <" +
+                rel + "linksTo> ?z . ?z <" + rel + "tag> \"red\" }"));
+  env.CheckQuery(
+      "hub-star",
+      env.Parse("SELECT ?x WHERE { ?x <" + rel + "linksTo> <" + ent +
+                "Entity0> . ?x <" + rel + "tag> ?t }"));
+}
+
+}  // namespace
+}  // namespace sama

@@ -49,9 +49,11 @@ TEST_F(BufferPoolTest, EvictsLeastRecentlyUsed) {
 TEST_F(BufferPoolTest, DirtyPagesWrittenBackOnEviction) {
   {
     BufferPool pool(&file_, 1);
-    auto page = pool.MutablePage(3);
-    ASSERT_TRUE(page.ok());
-    (*page)[0] = 0x77;
+    {
+      auto page = pool.MutablePage(3);
+      ASSERT_TRUE(page.ok());
+      page->mutable_data()[0] = 0x77;
+    }  // Guard released: page 3 is evictable again.
     ASSERT_TRUE(pool.Fetch(4).ok());  // Evicts dirty page 3.
   }
   std::vector<uint8_t> buf;
@@ -61,9 +63,11 @@ TEST_F(BufferPoolTest, DirtyPagesWrittenBackOnEviction) {
 
 TEST_F(BufferPoolTest, FlushPersistsDirtyPages) {
   BufferPool pool(&file_, 4);
-  auto page = pool.MutablePage(2);
-  ASSERT_TRUE(page.ok());
-  (*page)[10] = 0x42;
+  {
+    auto page = pool.MutablePage(2);
+    ASSERT_TRUE(page.ok());
+    page->mutable_data()[10] = 0x42;
+  }  // Release the write pin; Flush skips actively-written pages.
   ASSERT_TRUE(pool.Flush().ok());
   std::vector<uint8_t> buf;
   ASSERT_TRUE(file_.ReadPage(2, &buf).ok());
@@ -84,13 +88,38 @@ TEST_F(BufferPoolTest, DropAllColdCache) {
 
 TEST_F(BufferPoolTest, DropAllPreservesDirtyData) {
   BufferPool pool(&file_, 4);
-  auto page = pool.MutablePage(5);
-  ASSERT_TRUE(page.ok());
-  (*page)[0] = 0x99;
+  {
+    auto page = pool.MutablePage(5);
+    ASSERT_TRUE(page.ok());
+    page->mutable_data()[0] = 0x99;
+  }
   ASSERT_TRUE(pool.DropAll().ok());
   auto reread = pool.Fetch(5);
   ASSERT_TRUE(reread.ok());
-  EXPECT_EQ((*reread)[0], 0x99);
+  EXPECT_EQ(reread->data()[0], 0x99);
+}
+
+TEST_F(BufferPoolTest, PinnedPagesSurviveEvictionPressure) {
+  BufferPool pool(&file_, 1);
+  auto pinned = pool.Fetch(0);
+  ASSERT_TRUE(pinned.ok());
+  const uint8_t* data = pinned->data();
+  // Sweep every other page through the 1-frame pool; page 0 is pinned,
+  // so the pool overflows capacity rather than evicting it.
+  for (PageId p = 1; p < 8; ++p) ASSERT_TRUE(pool.Fetch(p).ok());
+  EXPECT_EQ(pool.pinned_pages(), 1u);
+  EXPECT_EQ(pinned->data(), data);  // Frame never moved.
+  pinned->Release();
+  ASSERT_TRUE(pool.Fetch(1).ok());  // Miss: now 0 can be evicted.
+  EXPECT_EQ(pool.pinned_pages(), 0u);
+}
+
+TEST_F(BufferPoolTest, StatsAreConsistent) {
+  BufferPool pool(&file_, 2);
+  for (PageId p = 0; p < 8; ++p) ASSERT_TRUE(pool.Fetch(p % 4).ok());
+  BufferPool::Stats s = pool.stats();
+  EXPECT_EQ(s.hits + s.misses, s.fetches);
+  EXPECT_EQ(s.fetches, 8u);
 }
 
 TEST_F(BufferPoolTest, HitRateComputation) {

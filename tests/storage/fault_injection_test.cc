@@ -26,9 +26,11 @@ TEST(FaultInjectionTest, BufferPoolEvictionSurfacesWriteErrors) {
   ASSERT_TRUE(f.Open(testing::TempDir() + "/fi2.dat", true).ok());
   for (int i = 0; i < 3; ++i) ASSERT_TRUE(f.AllocatePage().ok());
   BufferPool pool(&f, 1);
-  auto page = pool.MutablePage(0);
-  ASSERT_TRUE(page.ok());
-  (*page)[0] = 0x1;
+  {
+    auto page = pool.MutablePage(0);
+    ASSERT_TRUE(page.ok());
+    page->mutable_data()[0] = 0x1;
+  }  // Unpin so page 0 is an eviction candidate.
   f.InjectWriteFailureAfter(0);
   // Fetching another page must evict the dirty one and fail loudly.
   EXPECT_FALSE(pool.Fetch(1).ok());
@@ -41,9 +43,11 @@ TEST(FaultInjectionTest, BufferPoolFlushSurfacesWriteErrors) {
   ASSERT_TRUE(f.Open(testing::TempDir() + "/fi3.dat", true).ok());
   ASSERT_TRUE(f.AllocatePage().ok());
   BufferPool pool(&f, 4);
-  auto page = pool.MutablePage(0);
-  ASSERT_TRUE(page.ok());
-  (*page)[0] = 0x2;
+  {
+    auto page = pool.MutablePage(0);
+    ASSERT_TRUE(page.ok());
+    page->mutable_data()[0] = 0x2;
+  }  // Unpin; a write-pinned page would be skipped by Flush.
   f.InjectWriteFailureAfter(0);
   EXPECT_EQ(pool.Flush().code(), Status::Code::kIoError);
   f.InjectWriteFailureAfter(UINT64_MAX);

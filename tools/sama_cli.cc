@@ -13,6 +13,9 @@
 //   --interactive      Read queries from stdin (terminate each with a
 //                      blank line; EOF exits).
 //   --k N              Number of answers (default 10).
+//   --threads N        Threads for index building and query execution
+//                      (default 1; 0 = all hardware threads). Answers
+//                      are identical for every value.
 //   --index-dir DIR    Persist the index under DIR (default: in-memory).
 //   --no-thesaurus     Disable semantic (synonym) matching.
 //   --thesaurus FILE   Merge a user thesaurus ("syn:"/"isa:" lines)
@@ -57,6 +60,7 @@ struct CliOptions {
   std::string thesaurus_path;
   std::string export_path;
   size_t k = 10;
+  size_t threads = 1;  // 0 = hardware concurrency.
   bool interactive = false;
   bool use_thesaurus = true;
   bool stats = false;
@@ -67,7 +71,8 @@ void PrintUsage() {
   std::fprintf(stderr,
                "usage: sama_cli --data FILE (--query FILE | --sparql TEXT |"
                " --interactive)\n"
-               "               [--k N] [--index-dir DIR] [--no-thesaurus]\n"
+               "               [--k N] [--threads N] [--index-dir DIR]"
+               " [--no-thesaurus]\n"
                "               [--baseline exact|sapper|bounded|dogma]"
                " [--stats]\n"
                "       sama_cli --demo   (built-in Figure-1 walkthrough)\n");
@@ -99,6 +104,9 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
     } else if (arg == "--k" && next(&value)) {
       options->k = static_cast<size_t>(std::strtoul(value.c_str(),
                                                     nullptr, 10));
+    } else if (arg == "--threads" && next(&value)) {
+      options->threads = static_cast<size_t>(std::strtoul(value.c_str(),
+                                                          nullptr, 10));
     } else if (arg == "--interactive") {
       options->interactive = true;
     } else if (arg == "--no-thesaurus") {
@@ -220,6 +228,13 @@ int RunOneQuery(const CliOptions& options, sama::DataGraph* graph,
         "%.2f ms total (%.2f clustering, %.2f search)\n",
         stats.num_query_paths, stats.num_candidate_paths,
         stats.total_millis, stats.clustering_millis, stats.search_millis);
+    if (stats.threads_used > 1) {
+      std::printf(
+          "-- parallel: %zu threads, speedup %.2fx clustering, "
+          "%.2fx search\n",
+          stats.threads_used, stats.ClusteringSpeedup(),
+          stats.SearchSpeedup());
+    }
   }
   return 0;
 }
@@ -300,6 +315,9 @@ int main(int argc, char** argv) {
 
   sama::PathIndexOptions index_options;
   index_options.dir = options.index_dir;
+  index_options.num_threads = options.threads == 0
+                                  ? sama::ThreadPool::HardwareThreads()
+                                  : options.threads;
   sama::PathIndex index;
   bool reused = false;
   if (!options.index_dir.empty() &&
@@ -348,8 +366,11 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  sama::EngineOptions engine_options;
+  engine_options.num_threads = options.threads;
   sama::SamaEngine engine(&graph, &index,
-                          options.use_thesaurus ? &thesaurus : nullptr);
+                          options.use_thesaurus ? &thesaurus : nullptr,
+                          engine_options);
 
   if (options.interactive) {
     std::printf("Enter SPARQL queries, blank line to run, EOF to quit.\n");
