@@ -1,0 +1,39 @@
+#include "common/crc32c.h"
+
+namespace sama {
+namespace {
+
+// 256-entry lookup table for the reflected Castagnoli polynomial,
+// generated once on first use.
+struct Crc32cTable {
+  uint32_t entries[256];
+  Crc32cTable() {
+    constexpr uint32_t kPolyReflected = 0x82f63b78u;
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPolyReflected : 0);
+      }
+      entries[i] = crc;
+    }
+  }
+};
+
+const Crc32cTable& Table() {
+  static const Crc32cTable table;
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  const uint32_t* table = Table().entries;
+  crc = ~crc;
+  for (size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace sama

@@ -1,0 +1,22 @@
+#ifndef SAMA_COMMON_CRC32C_H_
+#define SAMA_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sama {
+
+// CRC-32C (Castagnoli polynomial 0x1EDC6F41, bit-reflected), the page
+// checksum used by iSCSI, ext4 and most storage engines. Software
+// table-driven implementation; deterministic across platforms.
+
+// Extends a running CRC with `n` more bytes. Start from 0.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+inline uint32_t Crc32c(const void* data, size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+
+}  // namespace sama
+
+#endif  // SAMA_COMMON_CRC32C_H_

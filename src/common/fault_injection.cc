@@ -1,0 +1,408 @@
+#include "common/fault_injection.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <set>
+
+namespace sama {
+namespace {
+
+std::string Errno(const std::string& op, const std::string& path) {
+  return op + " '" + path + "': " + std::strerror(errno);
+}
+
+}  // namespace
+
+const char* IoOpName(IoOp op) {
+  switch (op) {
+    case IoOp::kOpen:
+      return "open";
+    case IoOp::kRead:
+      return "read";
+    case IoOp::kWrite:
+      return "write";
+    case IoOp::kSync:
+      return "sync";
+    case IoOp::kRename:
+      return "rename";
+    case IoOp::kRemove:
+      return "remove";
+    case IoOp::kOpCount:
+      break;
+  }
+  return "unknown";
+}
+
+// --- Env (POSIX default implementation) ---
+
+Result<int> Env::OpenFile(const std::string& path, bool truncate) {
+  int flags = O_RDWR | O_CREAT | (truncate ? O_TRUNC : 0);
+  int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) return Status::IoError(Errno("open", path));
+  return fd;
+}
+
+Status Env::CloseFile(int fd, const std::string& path) {
+  if (::close(fd) != 0) return Status::IoError(Errno("close", path));
+  return Status::Ok();
+}
+
+Result<size_t> Env::PRead(int fd, const std::string& path, uint64_t offset,
+                          void* buf, size_t n) {
+  size_t got = 0;
+  uint8_t* out = static_cast<uint8_t*>(buf);
+  while (got < n) {
+    ssize_t r = ::pread(fd, out + got, n - got,
+                        static_cast<off_t>(offset + got));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(Errno("pread", path));
+    }
+    if (r == 0) break;  // End of file.
+    got += static_cast<size_t>(r);
+  }
+  return got;
+}
+
+Status Env::PWrite(int fd, const std::string& path, uint64_t offset,
+                   const void* buf, size_t n) {
+  size_t put = 0;
+  const uint8_t* in = static_cast<const uint8_t*>(buf);
+  while (put < n) {
+    ssize_t w = ::pwrite(fd, in + put, n - put,
+                         static_cast<off_t>(offset + put));
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(Errno("pwrite", path));
+    }
+    put += static_cast<size_t>(w);
+  }
+  return Status::Ok();
+}
+
+Status Env::SyncFile(int fd, const std::string& path) {
+  if (::fsync(fd) != 0) return Status::IoError(Errno("fsync", path));
+  return Status::Ok();
+}
+
+Result<uint64_t> Env::FileSizeFd(int fd, const std::string& path) {
+  struct stat st;
+  if (::fstat(fd, &st) != 0) return Status::IoError(Errno("fstat", path));
+  return static_cast<uint64_t>(st.st_size);
+}
+
+Result<std::vector<uint8_t>> Env::ReadFileBytes(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IoError(Errno("open", path));
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    Status s = Status::IoError(Errno("fstat", path));
+    ::close(fd);
+    return s;
+  }
+  std::vector<uint8_t> bytes(static_cast<size_t>(st.st_size));
+  auto got = PRead(fd, path, 0, bytes.data(), bytes.size());
+  ::close(fd);
+  if (!got.ok()) return got.status();
+  if (*got != bytes.size()) {
+    // The file shrank between fstat and read — report both counts.
+    return Status::IoError("read '" + path + "': got " +
+                           std::to_string(*got) + " of " +
+                           std::to_string(bytes.size()) + " bytes");
+  }
+  return bytes;
+}
+
+Status Env::WriteFileBytes(const std::string& path,
+                           const std::vector<uint8_t>& bytes) {
+  auto fd = OpenFile(path, /*truncate=*/true);
+  if (!fd.ok()) return fd.status();
+  Status s = PWrite(*fd, path, 0, bytes.data(), bytes.size());
+  if (s.ok()) s = SyncFile(*fd, path);
+  Status close_status = CloseFile(*fd, path);
+  return s.ok() ? close_status : s;
+}
+
+Status Env::RenameFile(const std::string& from, const std::string& to) {
+  if (std::rename(from.c_str(), to.c_str()) != 0) {
+    return Status::IoError("rename '" + from + "' -> '" + to +
+                           "': " + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Status Env::RemoveFile(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Status::IoError(Errno("unlink", path));
+  }
+  return Status::Ok();
+}
+
+bool Env::FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Status Env::CreateDir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::IoError(Errno("mkdir", path));
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<std::string>> Env::ListDir(const std::string& path) {
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) return Status::IoError(Errno("opendir", path));
+  std::vector<std::string> names;
+  while (struct dirent* entry = ::readdir(dir)) {
+    std::string name = entry->d_name;
+    if (name != "." && name != "..") names.push_back(std::move(name));
+  }
+  ::closedir(dir);
+  return names;
+}
+
+Status Env::RemoveDir(const std::string& path) {
+  if (::rmdir(path.c_str()) != 0 && errno != ENOENT) {
+    return Status::IoError(Errno("rmdir", path));
+  }
+  return Status::Ok();
+}
+
+Status Env::SyncDir(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IoError(Errno("open dir", path));
+  Status s;
+  if (::fsync(fd) != 0) s = Status::IoError(Errno("fsync dir", path));
+  ::close(fd);
+  return s;
+}
+
+Env* Env::Default() {
+  static Env env;
+  return &env;
+}
+
+// --- FaultyEnv ---
+
+FaultyEnv::FaultyEnv(Env* base, uint64_t seed)
+    : base_(base == nullptr ? Env::Default() : base),
+      rng_state_(seed == 0 ? 1 : seed) {}
+
+void FaultyEnv::Arm(IoOp op, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  faults_[op] = spec;
+}
+
+void FaultyEnv::Disarm(IoOp op) {
+  std::lock_guard<std::mutex> lock(mu_);
+  faults_.erase(op);
+}
+
+void FaultyEnv::Reset(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  faults_.clear();
+  crashed_ = false;
+  rng_state_ = seed == 0 ? 1 : seed;
+  std::memset(counts_, 0, sizeof(counts_));
+}
+
+void FaultyEnv::Crash() {
+  std::lock_guard<std::mutex> lock(mu_);
+  crashed_ = true;
+}
+
+bool FaultyEnv::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+uint64_t FaultyEnv::op_count(IoOp op) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counts_[static_cast<size_t>(op)];
+}
+
+Status FaultyEnv::Account(IoOp op, const std::string& target, size_t n,
+                          size_t* torn_prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) {
+    return Status::IoError("injected crash: env is down (" +
+                           std::string(IoOpName(op)) + " '" + target + "')");
+  }
+  uint64_t ordinal = counts_[static_cast<size_t>(op)]++;
+  auto it = faults_.find(op);
+  if (it == faults_.end()) return Status::Ok();
+  const FaultSpec& spec = it->second;
+  bool fire = ordinal >= spec.fail_after;
+  if (!fire && spec.probability > 0.0) {
+    // xorshift64*: deterministic for a fixed seed.
+    rng_state_ ^= rng_state_ >> 12;
+    rng_state_ ^= rng_state_ << 25;
+    rng_state_ ^= rng_state_ >> 27;
+    uint64_t draw = rng_state_ * 0x2545F4914F6CDD1DULL;
+    fire = static_cast<double>(draw >> 11) / 9007199254740992.0 <
+           spec.probability;
+  }
+  if (!fire) return Status::Ok();
+  if (spec.torn && torn_prefix != nullptr && n > 0) {
+    rng_state_ ^= rng_state_ >> 12;
+    rng_state_ ^= rng_state_ << 25;
+    rng_state_ ^= rng_state_ >> 27;
+    *torn_prefix = static_cast<size_t>(
+        (rng_state_ * 0x2545F4914F6CDD1DULL) % n);
+  }
+  if (spec.crash) crashed_ = true;
+  std::string kind = spec.torn ? "torn " : "";
+  return Status::IoError("injected " + kind + std::string(IoOpName(op)) +
+                         " failure after " + std::to_string(ordinal) +
+                         " ops ('" + target + "')");
+}
+
+Result<int> FaultyEnv::OpenFile(const std::string& path, bool truncate) {
+  SAMA_RETURN_IF_ERROR(Account(IoOp::kOpen, path));
+  return base_->OpenFile(path, truncate);
+}
+
+Status FaultyEnv::CloseFile(int fd, const std::string& path) {
+  // Closing is always allowed — a dead process's descriptors close too.
+  return base_->CloseFile(fd, path);
+}
+
+Result<size_t> FaultyEnv::PRead(int fd, const std::string& path,
+                                uint64_t offset, void* buf, size_t n) {
+  SAMA_RETURN_IF_ERROR(Account(IoOp::kRead, path));
+  return base_->PRead(fd, path, offset, buf, n);
+}
+
+Status FaultyEnv::PWrite(int fd, const std::string& path, uint64_t offset,
+                         const void* buf, size_t n) {
+  size_t torn_prefix = 0;
+  Status injected = Account(IoOp::kWrite, path, n, &torn_prefix);
+  if (!injected.ok()) {
+    if (torn_prefix > 0) {
+      // Persist the torn prefix through the base env, then fail: the
+      // on-disk page now holds a mix of old and new bytes.
+      (void)base_->PWrite(fd, path, offset, buf, torn_prefix);
+    }
+    return injected;
+  }
+  return base_->PWrite(fd, path, offset, buf, n);
+}
+
+Status FaultyEnv::SyncFile(int fd, const std::string& path) {
+  SAMA_RETURN_IF_ERROR(Account(IoOp::kSync, path));
+  return base_->SyncFile(fd, path);
+}
+
+Result<uint64_t> FaultyEnv::FileSizeFd(int fd, const std::string& path) {
+  SAMA_RETURN_IF_ERROR(Account(IoOp::kRead, path));
+  return base_->FileSizeFd(fd, path);
+}
+
+Result<std::vector<uint8_t>> FaultyEnv::ReadFileBytes(
+    const std::string& path) {
+  SAMA_RETURN_IF_ERROR(Account(IoOp::kRead, path));
+  return base_->ReadFileBytes(path);
+}
+
+Status FaultyEnv::WriteFileBytes(const std::string& path,
+                                 const std::vector<uint8_t>& bytes) {
+  size_t torn_prefix = 0;
+  Status injected = Account(IoOp::kWrite, path, bytes.size(), &torn_prefix);
+  if (!injected.ok()) {
+    if (torn_prefix > 0) {
+      std::vector<uint8_t> prefix(bytes.begin(),
+                                  bytes.begin() + static_cast<long>(torn_prefix));
+      (void)base_->WriteFileBytes(path, prefix);
+    }
+    return injected;
+  }
+  return base_->WriteFileBytes(path, bytes);
+}
+
+Status FaultyEnv::RenameFile(const std::string& from, const std::string& to) {
+  SAMA_RETURN_IF_ERROR(Account(IoOp::kRename, from));
+  return base_->RenameFile(from, to);
+}
+
+Status FaultyEnv::RemoveFile(const std::string& path) {
+  SAMA_RETURN_IF_ERROR(Account(IoOp::kRemove, path));
+  return base_->RemoveFile(path);
+}
+
+bool FaultyEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+Status FaultyEnv::CreateDir(const std::string& path) {
+  SAMA_RETURN_IF_ERROR(Account(IoOp::kWrite, path));
+  return base_->CreateDir(path);
+}
+
+Result<std::vector<std::string>> FaultyEnv::ListDir(const std::string& path) {
+  SAMA_RETURN_IF_ERROR(Account(IoOp::kRead, path));
+  return base_->ListDir(path);
+}
+
+Status FaultyEnv::RemoveDir(const std::string& path) {
+  SAMA_RETURN_IF_ERROR(Account(IoOp::kRemove, path));
+  return base_->RemoveDir(path);
+}
+
+Status FaultyEnv::SyncDir(const std::string& path) {
+  SAMA_RETURN_IF_ERROR(Account(IoOp::kSync, path));
+  return base_->SyncDir(path);
+}
+
+// --- FailPoints ---
+
+namespace {
+
+struct FailPointState {
+  std::mutex mu;
+  std::map<std::string, std::pair<Status, FaultyEnv*>> armed;
+  std::set<std::string> seen;
+};
+
+FailPointState& Points() {
+  static FailPointState state;
+  return state;
+}
+
+}  // namespace
+
+Status FailPoints::Trigger(const std::string& name) {
+  FailPointState& state = Points();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.seen.insert(name);
+  auto it = state.armed.find(name);
+  if (it == state.armed.end()) return Status::Ok();
+  if (it->second.second != nullptr) it->second.second->Crash();
+  return it->second.first;
+}
+
+void FailPoints::Arm(const std::string& name, Status status, FaultyEnv* env) {
+  FailPointState& state = Points();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.armed[name] = {std::move(status), env};
+}
+
+void FailPoints::ClearAll() {
+  FailPointState& state = Points();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.armed.clear();
+}
+
+std::vector<std::string> FailPoints::Seen() {
+  FailPointState& state = Points();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return std::vector<std::string>(state.seen.begin(), state.seen.end());
+}
+
+}  // namespace sama

@@ -1,0 +1,169 @@
+#ifndef SAMA_COMMON_FAULT_INJECTION_H_
+#define SAMA_COMMON_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace sama {
+
+// The I/O seam under the storage layer. Every byte PageFile and the
+// manifest writers move to or from disk flows through an Env, so tests
+// can substitute a FaultyEnv that injects I/O errors, short/torn
+// writes, fsync failures and crash points deterministically — the
+// failure-model contract (DESIGN.md "Failure model") is enforced by
+// torture tests driving this seam, never by hoping the disk misbehaves
+// on cue.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  // --- Descriptor-based primitives (PageFile). ---
+
+  // Opens (creating if needed) `path` for read/write.
+  virtual Result<int> OpenFile(const std::string& path, bool truncate);
+  virtual Status CloseFile(int fd, const std::string& path);
+  // Positional read; returns the byte count, which is < `n` only at end
+  // of file. An I/O error is kIoError; a short count is the caller's
+  // evidence of a truncated file.
+  virtual Result<size_t> PRead(int fd, const std::string& path,
+                               uint64_t offset, void* buf, size_t n);
+  // Writes exactly `n` bytes at `offset` or fails.
+  virtual Status PWrite(int fd, const std::string& path, uint64_t offset,
+                        const void* buf, size_t n);
+  virtual Status SyncFile(int fd, const std::string& path);
+  virtual Result<uint64_t> FileSizeFd(int fd, const std::string& path);
+
+  // --- Whole-file and directory primitives (manifest writers and the
+  // index-build commit protocol). ---
+
+  virtual Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path);
+  // Creates/truncates `path` with `bytes` and fsyncs it.
+  virtual Status WriteFileBytes(const std::string& path,
+                                const std::vector<uint8_t>& bytes);
+  virtual Status RenameFile(const std::string& from, const std::string& to);
+  virtual Status RemoveFile(const std::string& path);
+  virtual bool FileExists(const std::string& path);
+  virtual Status CreateDir(const std::string& path);  // OK if it exists.
+  virtual Result<std::vector<std::string>> ListDir(const std::string& path);
+  virtual Status RemoveDir(const std::string& path);  // Must be empty.
+  // fsyncs a directory so renames inside it are durable.
+  virtual Status SyncDir(const std::string& path);
+
+  // The process-wide POSIX environment.
+  static Env* Default();
+};
+
+// The I/O operation classes a FaultyEnv can target.
+enum class IoOp {
+  kOpen = 0,
+  kRead,
+  kWrite,   // PWrite and WriteFileBytes.
+  kSync,    // SyncFile and SyncDir.
+  kRename,
+  kRemove,
+  kOpCount,
+};
+
+const char* IoOpName(IoOp op);
+
+// One armed fault: fires after a fixed number of successful calls
+// (deterministic), with a per-call probability (seeded, deterministic
+// for a fixed seed), or both.
+struct FaultSpec {
+  // The first `fail_after` calls of the op succeed; every later call
+  // fails. UINT64_MAX = never (count trigger disabled).
+  uint64_t fail_after = UINT64_MAX;
+  // Independent per-call failure probability in [0, 1].
+  double probability = 0.0;
+  // Failing writes persist a pseudo-random prefix of the buffer first —
+  // a torn write. Detected by page checksums, not by the writer.
+  bool torn = false;
+  // A firing fault also downs the whole env (see FaultyEnv::Crash),
+  // simulating the process dying at that exact operation.
+  bool crash = false;
+};
+
+// An Env wrapper that injects faults per the armed FaultSpecs. All
+// randomness derives from the constructor seed, so a given seed always
+// yields the same failure sequence. Thread-safe (the buffer pool calls
+// from query workers).
+class FaultyEnv : public Env {
+ public:
+  explicit FaultyEnv(Env* base = nullptr, uint64_t seed = 0x5a5aF417ULL);
+
+  void Arm(IoOp op, FaultSpec spec);
+  void Disarm(IoOp op);
+  // Disarms everything, zeroes counters, revives a crashed env and
+  // reseeds the RNG.
+  void Reset(uint64_t seed);
+
+  // Downs the env: every subsequent operation (reads included) fails
+  // with kIoError until Reset. Simulates a killed process — nothing the
+  // caller does afterwards reaches the disk.
+  void Crash();
+  bool crashed() const;
+
+  // Operations of class `op` attempted so far (fired faults included).
+  uint64_t op_count(IoOp op) const;
+
+  Result<int> OpenFile(const std::string& path, bool truncate) override;
+  Status CloseFile(int fd, const std::string& path) override;
+  Result<size_t> PRead(int fd, const std::string& path, uint64_t offset,
+                       void* buf, size_t n) override;
+  Status PWrite(int fd, const std::string& path, uint64_t offset,
+                const void* buf, size_t n) override;
+  Status SyncFile(int fd, const std::string& path) override;
+  Result<uint64_t> FileSizeFd(int fd, const std::string& path) override;
+  Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path) override;
+  Status WriteFileBytes(const std::string& path,
+                        const std::vector<uint8_t>& bytes) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Status CreateDir(const std::string& path) override;
+  Result<std::vector<std::string>> ListDir(const std::string& path) override;
+  Status RemoveDir(const std::string& path) override;
+  Status SyncDir(const std::string& path) override;
+
+ private:
+  // Returns the injected failure for one `op` call, OK to proceed.
+  // When a write fault is torn, *torn_prefix is set to the number of
+  // bytes (< n) the caller should persist before failing.
+  Status Account(IoOp op, const std::string& target, size_t n = 0,
+                 size_t* torn_prefix = nullptr);
+
+  Env* base_;
+  mutable std::mutex mu_;
+  uint64_t rng_state_;
+  bool crashed_ = false;
+  uint64_t counts_[static_cast<size_t>(IoOp::kOpCount)] = {};
+  std::map<IoOp, FaultSpec> faults_;
+};
+
+// Named failpoints for crash-consistency tests: code under test calls
+// Trigger(name) at interesting protocol points (see
+// PathIndex::BuildCrashPoints()); a test arms the point to make it
+// return an error and optionally down a FaultyEnv — simulating a crash
+// exactly there. Unarmed points are free no-ops beyond a mutex.
+class FailPoints {
+ public:
+  // The status armed for `name`, OK when unarmed.
+  static Status Trigger(const std::string& name);
+  // Arms `name`: the next Trigger returns `status` after crashing `env`
+  // (when non-null). Stays armed until ClearAll.
+  static void Arm(const std::string& name, Status status,
+                  FaultyEnv* env = nullptr);
+  static void ClearAll();
+  // Every point name Trigger() has ever seen (for catalogue tests).
+  static std::vector<std::string> Seen();
+};
+
+}  // namespace sama
+
+#endif  // SAMA_COMMON_FAULT_INJECTION_H_

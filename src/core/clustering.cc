@@ -1,12 +1,53 @@
 #include "core/clustering.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <memory>
 #include <queue>
+#include <thread>
 
 namespace sama {
 namespace {
+
+// Loads candidate `id` under the read-failure policy: transient
+// kIoError reads are retried with a short backoff; a candidate that
+// stays unreadable, or whose page fails its checksum, is either
+// skipped (*skip = true, counted) or — under strict_io — propagated.
+// kNotFound means the path was tombstoned between the index lookup and
+// the read; that is not damage, so it is skipped silently in both
+// policies.
+Status LoadCandidate(const PathIndex& index, PathId id,
+                     const ClusteringOptions& options, Path* out, bool* skip,
+                     std::atomic<uint64_t>* corrupt_skipped,
+                     std::atomic<uint64_t>* io_retried) {
+  *skip = false;
+  Status s = index.GetPath(id, out);
+  for (size_t attempt = 0;
+       s.code() == Status::Code::kIoError && attempt < options.max_io_retries;
+       ++attempt) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1 << attempt));
+    if (io_retried != nullptr) {
+      io_retried->fetch_add(1, std::memory_order_relaxed);
+    }
+    s = index.GetPath(id, out);
+  }
+  if (s.ok()) return s;
+  if (s.code() == Status::Code::kNotFound) {
+    *skip = true;
+    return Status::Ok();
+  }
+  bool damage = s.code() == Status::Code::kCorruption ||
+                s.code() == Status::Code::kIoError;
+  if (damage && !options.strict_io) {
+    *skip = true;
+    if (corrupt_skipped != nullptr) {
+      corrupt_skipped->fetch_add(1, std::memory_order_relaxed);
+    }
+    return Status::Ok();
+  }
+  return s;
+}
 
 // Candidate path ids for query path `q` (§5 Clustering): by sink label
 // when the sink is a constant, by the last constant in the path when
@@ -57,7 +98,9 @@ Status ScoreChunk(const QueryGraph& query, const Path& q,
                   const ChunkWork& work, const PathIndex& index,
                   const Thesaurus* thesaurus, const ScoreParams& params,
                   const ClusteringOptions& options,
-                  std::vector<ScoredPath>* out) {
+                  std::vector<ScoredPath>* out,
+                  std::atomic<uint64_t>* corrupt_skipped,
+                  std::atomic<uint64_t>* io_retried) {
   LabelComparator cmp(&query.dict(), thesaurus);
   const size_t cap = options.max_candidates_per_cluster;
   const bool early_exit = options.early_exit_alignment && cap != 0;
@@ -69,7 +112,10 @@ Status ScoreChunk(const QueryGraph& query, const Path& q,
   for (size_t c = work.begin; c < work.end; ++c) {
     ScoredPath sp;
     sp.id = candidates[c];
-    SAMA_RETURN_IF_ERROR(index.GetPath(sp.id, &sp.path));
+    bool skip = false;
+    SAMA_RETURN_IF_ERROR(LoadCandidate(index, sp.id, options, &sp.path,
+                                       &skip, corrupt_skipped, io_retried));
+    if (skip) continue;
     sp.alignment =
         Align(sp.path, q, cmp, params,
               early_exit ? cutoff : std::numeric_limits<double>::infinity());
@@ -94,7 +140,9 @@ Result<std::vector<Cluster>> BuildClusters(const QueryGraph& query,
                                            const ScoreParams& params,
                                            const ClusteringOptions& options,
                                            ThreadPool* pool,
-                                           std::atomic<uint64_t>* busy_nanos) {
+                                           std::atomic<uint64_t>* busy_nanos,
+                                           std::atomic<uint64_t>* corrupt_skipped,
+                                           std::atomic<uint64_t>* io_retried) {
   // Honour the legacy knob: callers that ask for num_threads without
   // providing a shared pool get a transient one.
   std::unique_ptr<ThreadPool> transient;
@@ -134,7 +182,8 @@ Result<std::vector<Cluster>> BuildClusters(const QueryGraph& query,
         const ChunkWork& work = plan[w];
         return ScoreChunk(query, query.paths()[work.cluster],
                           candidates[work.cluster], work, index, thesaurus,
-                          params, options, &chunk_out[w]);
+                          params, options, &chunk_out[w], corrupt_skipped,
+                          io_retried);
       },
       busy_nanos));
 

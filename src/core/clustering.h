@@ -50,6 +50,16 @@ struct ClusteringOptions {
   // score-computation improvement). Results are identical; only wasted
   // work is skipped. Ablated in bench_ablation.
   bool early_exit_alignment = true;
+  // Read-failure policy. strict_io propagates the first corrupt or
+  // unreadable candidate as an error; otherwise (the default) the
+  // candidate is skipped and counted, and clustering proceeds over the
+  // surviving paths. Skipping is per-candidate, so degraded results
+  // stay deterministic across thread counts.
+  bool strict_io = false;
+  // Transient-read retries (kIoError only) before a candidate is
+  // skipped or, under strict_io, the error propagates. Each retry
+  // backs off briefly.
+  size_t max_io_retries = 2;
 };
 
 // Builds one cluster per query path: candidates are retrieved from the
@@ -64,11 +74,18 @@ struct ClusteringOptions {
 // clusters are bit-identical to the sequential run — see DESIGN.md
 // "Threading model". `busy_nanos`, when non-null, accumulates the time
 // threads spent scoring (for QueryStats speedup reporting).
+//
+// `corrupt_skipped` and `io_retried`, when non-null, accumulate the
+// candidates dropped for corruption/unreadability and the transient
+// read retries performed (see ClusteringOptions::strict_io) — they
+// feed QueryStats.
 Result<std::vector<Cluster>> BuildClusters(
     const QueryGraph& query, const PathIndex& index,
     const Thesaurus* thesaurus, const ScoreParams& params,
     const ClusteringOptions& options, ThreadPool* pool = nullptr,
-    std::atomic<uint64_t>* busy_nanos = nullptr);
+    std::atomic<uint64_t>* busy_nanos = nullptr,
+    std::atomic<uint64_t>* corrupt_skipped = nullptr,
+    std::atomic<uint64_t>* io_retried = nullptr);
 
 }  // namespace sama
 

@@ -42,14 +42,22 @@ Result<std::vector<Answer>> SamaEngine::Execute(const QueryGraph& query,
   // results are identical either way).
   phase.Restart();
   std::atomic<uint64_t> clustering_busy{0};
+  std::atomic<uint64_t> corrupt_skipped{0};
+  std::atomic<uint64_t> io_retried{0};
+  ClusteringOptions clustering_options = options_.clustering;
+  clustering_options.strict_io = options_.strict_io;
+  clustering_options.max_io_retries = options_.max_io_retries;
   auto clusters_or =
       BuildClusters(query, *index_, thesaurus_, options_.params,
-                    options_.clustering, pool, &clustering_busy);
+                    clustering_options, pool, &clustering_busy,
+                    &corrupt_skipped, &io_retried);
   if (!clusters_or.ok()) return clusters_or.status();
   const std::vector<Cluster>& clusters = *clusters_or;
   local.clustering_millis = phase.ElapsedMillis();
   local.clustering_busy_millis =
       static_cast<double>(clustering_busy.load()) / 1e6;
+  local.corrupt_records_skipped = corrupt_skipped.load();
+  local.io_retries = io_retried.load();
   for (const Cluster& c : clusters) local.num_candidate_paths += c.size();
 
   // Search (parallel over candidate subtrees in deterministic waves).

@@ -30,6 +30,15 @@ struct EngineOptions {
   // only trades wall-clock time. Read at engine construction (the
   // worker pool is built once and shared across queries).
   size_t num_threads = 1;
+  // Read-failure policy. The default (false) degrades gracefully:
+  // candidates whose pages are corrupt or unreadable are skipped and
+  // counted in QueryStats, and top-k runs over the surviving paths —
+  // still deterministically. strict_io instead fails the query on the
+  // first damaged read. Overrides the same fields in `clustering`.
+  bool strict_io = false;
+  // Bounded retries (with backoff) for transient kIoError reads before
+  // a candidate is skipped or, under strict_io, the query fails.
+  size_t max_io_retries = 2;
 };
 
 // Per-query timing/size breakdown matching the paper's phases (§5).
@@ -49,6 +58,13 @@ struct QueryStats {
   size_t threads_used = 1;
   double clustering_busy_millis = 0;
   double search_busy_millis = 0;
+
+  // Degraded-read accounting (EngineOptions::strict_io == false):
+  // candidates dropped because their pages were corrupt or unreadable,
+  // and transient-read retries that were attempted. Both stay 0 on a
+  // healthy index.
+  uint64_t corrupt_records_skipped = 0;
+  uint64_t io_retries = 0;
   double ClusteringSpeedup() const {
     return clustering_millis > 0 ? clustering_busy_millis / clustering_millis
                                  : 1.0;

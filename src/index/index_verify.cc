@@ -1,0 +1,127 @@
+#include "index/index_verify.h"
+
+#include "storage/manifest.h"
+#include "storage/page_file.h"
+
+namespace sama {
+namespace {
+
+// Reads `path` page by page through `env`, recomputing every checksum.
+VerifyReport::FileReport ScanPageFile(const std::string& dir,
+                                      const std::string& name, Env* env) {
+  VerifyReport::FileReport report;
+  report.name = name;
+  std::string path = dir + "/" + name;
+  if (!env->FileExists(path)) return report;
+  report.present = true;
+
+  auto fd = env->OpenFile(path, /*truncate=*/false);
+  if (!fd.ok()) {
+    report.errors.push_back(fd.status().ToString());
+    return report;
+  }
+  auto size = env->FileSizeFd(*fd, path);
+  if (!size.ok()) {
+    report.errors.push_back(size.status().ToString());
+    (void)env->CloseFile(*fd, path);
+    return report;
+  }
+  if (*size % kPageSize != 0) {
+    report.errors.push_back("file size " + std::to_string(*size) +
+                            " is not a multiple of " +
+                            std::to_string(kPageSize) + " (truncated tail)");
+  }
+  uint64_t pages = *size / kPageSize;
+  uint8_t page[kPageSize];
+  for (uint64_t id = 0; id < pages; ++id) {
+    auto got = env->PRead(*fd, path, id * kPageSize, page, kPageSize);
+    if (!got.ok()) {
+      report.errors.push_back("page " + std::to_string(id) + ": " +
+                              got.status().ToString());
+      continue;
+    }
+    if (*got != kPageSize) {
+      report.errors.push_back("page " + std::to_string(id) +
+                              ": short read, got " + std::to_string(*got) +
+                              " of " + std::to_string(kPageSize) + " bytes");
+      continue;
+    }
+    Status s = VerifyPageBytes(page, static_cast<PageId>(id), path);
+    if (!s.ok()) report.errors.push_back(s.ToString());
+    ++report.pages_scanned;
+  }
+  (void)env->CloseFile(*fd, path);
+  return report;
+}
+
+VerifyReport::FileReport ScanIdManifest(const std::string& dir,
+                                        const std::string& name, Env* env) {
+  VerifyReport::FileReport report;
+  report.name = name;
+  std::string path = dir + "/" + name;
+  if (!env->FileExists(path)) return report;
+  report.present = true;
+  auto ids = ReadIdManifest(path, env);
+  if (!ids.ok()) report.errors.push_back(ids.status().ToString());
+  return report;
+}
+
+}  // namespace
+
+std::string VerifyReport::ToString() const {
+  std::string out;
+  out += committed ? "index: committed\n"
+                   : "index: NOT COMMITTED (no valid index.meta)\n";
+  if (partial_build) {
+    out += "note: leftover build.tmp from a crashed build (discarded on "
+           "next open)\n";
+  }
+  for (const FileReport& f : files) {
+    if (!f.present) {
+      out += "  " + f.name + ": absent\n";
+      continue;
+    }
+    out += "  " + f.name + ": ";
+    if (f.pages_scanned > 0 || f.errors.empty()) {
+      out += std::to_string(f.pages_scanned) + " pages scanned, ";
+    }
+    out += std::to_string(f.errors.size()) + " error(s)\n";
+    for (const std::string& e : f.errors) out += "    " + e + "\n";
+  }
+  out += clean() ? "verdict: CLEAN\n" : "verdict: DAMAGED\n";
+  return out;
+}
+
+Result<VerifyReport> VerifyIndexDir(const std::string& dir, Env* env) {
+  if (env == nullptr) env = Env::Default();
+  if (!env->FileExists(dir)) {
+    return Status::NotFound("index directory '" + dir + "' does not exist");
+  }
+  VerifyReport report;
+  report.partial_build = env->FileExists(dir + "/build.tmp");
+
+  report.files.push_back(ScanPageFile(dir, "paths.dat", env));
+  report.files.push_back(ScanIdManifest(dir, "paths.dat.manifest", env));
+  report.files.push_back(ScanPageFile(dir, "hypergraph.dat", env));
+  report.files.push_back(
+      ScanIdManifest(dir, "hypergraph.dat.vertices", env));
+  report.files.push_back(
+      ScanIdManifest(dir, "hypergraph.dat.hyperedges", env));
+
+  VerifyReport::FileReport meta;
+  meta.name = "index.meta";
+  std::string meta_path = dir + "/index.meta";
+  if (env->FileExists(meta_path)) {
+    meta.present = true;
+    auto blob = ReadBlobFile(meta_path, env);
+    if (blob.ok()) {
+      report.committed = true;
+    } else {
+      meta.errors.push_back(blob.status().ToString());
+    }
+  }
+  report.files.push_back(std::move(meta));
+  return report;
+}
+
+}  // namespace sama

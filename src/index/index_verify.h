@@ -1,0 +1,57 @@
+#ifndef SAMA_INDEX_INDEX_VERIFY_H_
+#define SAMA_INDEX_INDEX_VERIFY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "common/result.h"
+
+namespace sama {
+
+// Offline integrity scan of an index directory (`sama_cli verify`).
+// Walks every on-disk artifact without loading the index: page files
+// are read page by page and each checksum recomputed; manifests and
+// metadata have their envelope checksums verified. The scan keeps
+// going past damage so the report lists every broken page, not just
+// the first.
+struct VerifyReport {
+  struct FileReport {
+    std::string name;  // Artifact name relative to the index dir.
+    bool present = false;
+    uint64_t pages_scanned = 0;  // Page files only; 0 for manifests.
+    std::vector<std::string> errors;
+  };
+
+  // True when a valid index.meta commit record exists — without it the
+  // directory holds at most a discarded partial build.
+  bool committed = false;
+  // True when a build.tmp staging dir is left over from a crashed
+  // build (harmless: Open() discards it).
+  bool partial_build = false;
+  std::vector<FileReport> files;
+
+  bool clean() const {
+    for (const FileReport& f : files) {
+      if (!f.errors.empty()) return false;
+    }
+    return committed;
+  }
+  uint64_t error_count() const {
+    uint64_t n = 0;
+    for (const FileReport& f : files) n += f.errors.size();
+    return n;
+  }
+  std::string ToString() const;
+};
+
+// Scans the index at `dir`. Fails (rather than reporting) only when
+// the directory itself is unreadable. `env` = nullptr uses
+// Env::Default().
+Result<VerifyReport> VerifyIndexDir(const std::string& dir,
+                                    Env* env = nullptr);
+
+}  // namespace sama
+
+#endif  // SAMA_INDEX_INDEX_VERIFY_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <functional>
 
+#include "common/fault_injection.h"
 #include "common/hash.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
@@ -13,6 +14,66 @@ namespace sama {
 namespace {
 
 const std::vector<PathId> kNoPaths;
+
+// On-disk artifact names. Builds stage everything under kStageDirName
+// and rename into the index directory at commit; kMetaFile is renamed
+// LAST — its presence in the index directory IS the commit record.
+constexpr char kStageDirName[] = "build.tmp";
+constexpr char kMetaFile[] = "index.meta";
+const char* const kDataArtifacts[] = {
+    "paths.dat", "paths.dat.manifest", "hypergraph.dat",
+    "hypergraph.dat.vertices", "hypergraph.dat.hyperedges"};
+
+Env* OrDefault(Env* env) { return env == nullptr ? Env::Default() : env; }
+
+// Removes `dir` and the flat set of files inside it (build staging
+// directories never nest). Missing directory is fine.
+Status RemoveDirTree(const std::string& dir, Env* env) {
+  if (!env->FileExists(dir)) return Status::Ok();
+  auto entries = env->ListDir(dir);
+  if (!entries.ok()) return entries.status();
+  for (const std::string& name : *entries) {
+    SAMA_RETURN_IF_ERROR(env->RemoveFile(dir + "/" + name));
+  }
+  return env->RemoveDir(dir);
+}
+
+// The commit protocol: publish a complete staged build into `dir`.
+//  1. delete the old commit record (dir/index.meta) — from here until
+//     step 3 completes the directory deliberately holds NO committed
+//     index, so a crash recovers to "rebuild" rather than to a mix of
+//     old and new files;
+//  2. rename every data artifact from the staging dir into place
+//     (artifacts the new build did not produce are removed so a stale
+//     copy from the previous index cannot shadow the new state);
+//  3. rename index.meta — the atomic commit point;
+// with directory fsyncs after each batch of renames. The staging dir
+// itself is removed best-effort afterwards; Open() also clears it.
+Status CommitBuild(const std::string& dir, const std::string& stage_dir,
+                   Env* env) {
+  SAMA_RETURN_IF_ERROR(FailPoints::Trigger("path_index.commit.begin"));
+  SAMA_RETURN_IF_ERROR(env->RemoveFile(dir + "/" + kMetaFile));
+  SAMA_RETURN_IF_ERROR(env->SyncDir(dir));
+  SAMA_RETURN_IF_ERROR(
+      FailPoints::Trigger("path_index.commit.uncommitted_old"));
+  for (const char* name : kDataArtifacts) {
+    std::string staged = stage_dir + "/" + name;
+    std::string final_path = dir + "/" + name;
+    if (env->FileExists(staged)) {
+      SAMA_RETURN_IF_ERROR(env->RenameFile(staged, final_path));
+    } else {
+      SAMA_RETURN_IF_ERROR(env->RemoveFile(final_path));
+    }
+  }
+  SAMA_RETURN_IF_ERROR(env->SyncDir(dir));
+  SAMA_RETURN_IF_ERROR(FailPoints::Trigger("path_index.commit.data_renamed"));
+  SAMA_RETURN_IF_ERROR(env->RenameFile(stage_dir + "/" + kMetaFile,
+                                       dir + "/" + kMetaFile));
+  SAMA_RETURN_IF_ERROR(env->SyncDir(dir));
+  SAMA_RETURN_IF_ERROR(FailPoints::Trigger("path_index.commit.committed"));
+  (void)RemoveDirTree(stage_dir, env);  // Cosmetic; Open() also clears it.
+  return Status::Ok();
+}
 
 std::vector<uint64_t> Merge(std::vector<uint64_t> a,
                             const std::vector<uint64_t>& b) {
@@ -32,12 +93,26 @@ Status PathIndex::Build(const DataGraph& graph,
   base_fingerprint_ = GraphFingerprint(graph);
   update_journal_.clear();
 
-  PathStore::Options store_options;
+  // Disk builds are staged: every artifact is written into
+  // dir/build.tmp and published by CommitBuild() only once complete,
+  // so a build that dies at any point leaves either the previous
+  // committed index or a partial staging dir that Open() discards.
+  Env* env = OrDefault(options.env);
+  std::string stage_dir;
   if (!options.dir.empty()) {
-    store_options.path = options.dir + "/paths.dat";
+    SAMA_RETURN_IF_ERROR(env->CreateDir(options.dir));
+    stage_dir = options.dir + "/" + kStageDirName;
+    SAMA_RETURN_IF_ERROR(RemoveDirTree(stage_dir, env));
+    SAMA_RETURN_IF_ERROR(env->CreateDir(stage_dir));
+  }
+
+  PathStore::Options store_options;
+  if (!stage_dir.empty()) {
+    store_options.path = stage_dir + "/paths.dat";
   }
   store_options.buffer_pool_pages = options.buffer_pool_pages;
   store_options.compress = options.compress_paths;
+  store_options.env = options.env;
   SAMA_RETURN_IF_ERROR(store_.Open(store_options));
 
   // Step (i): hash every vertex and edge label (element-to-element
@@ -104,13 +179,18 @@ Status PathIndex::Build(const DataGraph& graph,
   sink_index_.Finish();
   content_index_.Finish();
   SAMA_RETURN_IF_ERROR(store_.Flush());
+  if (!stage_dir.empty()) {
+    SAMA_RETURN_IF_ERROR(
+        FailPoints::Trigger("path_index.build.paths_flushed"));
+  }
 
   if (options.build_hypergraph) {
     HypergraphStore::Options hg_options;
-    if (!options.dir.empty()) {
-      hg_options.path = options.dir + "/hypergraph.dat";
+    if (!stage_dir.empty()) {
+      hg_options.path = stage_dir + "/hypergraph.dat";
     }
     hg_options.buffer_pool_pages = options.buffer_pool_pages;
+    hg_options.env = options.env;
     SAMA_RETURN_IF_ERROR(hypergraph_.Open(hg_options));
     SAMA_RETURN_IF_ERROR(BuildHypergraph(graph, paths));
   }
@@ -125,9 +205,36 @@ Status PathIndex::Build(const DataGraph& graph,
                       sink_index_.MemoryBytes() +
                       content_index_.MemoryBytes();
   if (!options.dir.empty()) {
-    SAMA_RETURN_IF_ERROR(SaveMetadata(options.dir));
+    SAMA_RETURN_IF_ERROR(SaveMetadata(stage_dir));
+    SAMA_RETURN_IF_ERROR(
+        FailPoints::Trigger("path_index.build.tmp_complete"));
+    // Close the staged stores so their files are complete and synced,
+    // publish them, then reattach to the committed locations.
+    SAMA_RETURN_IF_ERROR(store_.Close());
+    SAMA_RETURN_IF_ERROR(hypergraph_.Close());
+    SAMA_RETURN_IF_ERROR(CommitBuild(options.dir, stage_dir, env));
+    store_options.path = options.dir + "/paths.dat";
+    store_options.truncate = false;
+    SAMA_RETURN_IF_ERROR(store_.Open(store_options));
+    if (options.build_hypergraph) {
+      HypergraphStore::Options hg_options;
+      hg_options.path = options.dir + "/hypergraph.dat";
+      hg_options.truncate = false;
+      hg_options.buffer_pool_pages = options.buffer_pool_pages;
+      hg_options.env = options.env;
+      SAMA_RETURN_IF_ERROR(hypergraph_.Open(hg_options));
+    }
   }
   return Status::Ok();
+}
+
+std::vector<std::string> PathIndex::BuildCrashPoints() {
+  return {"path_index.build.paths_flushed",
+          "path_index.build.tmp_complete",
+          "path_index.commit.begin",
+          "path_index.commit.uncommitted_old",
+          "path_index.commit.data_renamed",
+          "path_index.commit.committed"};
 }
 
 uint64_t PathIndex::GraphFingerprint(const DataGraph& graph) {
@@ -246,12 +353,12 @@ Status PathIndex::SaveMetadata(const std::string& dir) const {
   // Tombstoned path ids.
   PutVarint64(&blob, deleted_paths_.size());
   for (PathId id : deleted_paths_) PutVarint64(&blob, id);
-  return WriteBlobFile(dir + "/index.meta", blob);
+  return WriteBlobFile(dir + "/" + kMetaFile, blob, options_.env);
 }
 
 Status PathIndex::LoadMetadata(const std::string& dir,
                                uint64_t fingerprint) {
-  auto blob_or = ReadBlobFile(dir + "/index.meta");
+  auto blob_or = ReadBlobFile(dir + "/" + kMetaFile, options_.env);
   if (!blob_or.ok()) return blob_or.status();
   const std::vector<uint8_t>& blob = *blob_or;
   size_t pos = 0;
@@ -366,12 +473,39 @@ Status PathIndex::Open(DataGraph* graph,
   }
   graph_ = graph;
   options_ = options;
+  Env* env = OrDefault(options.env);
+
+  // Crash recovery. A leftover staging dir belongs to a build that
+  // died before its commit point — discard it. If after that there is
+  // no commit record, any data files present are partial artifacts of
+  // a crashed commit; remove them and report kNotFound so the caller
+  // rebuilds from the data graph.
+  SAMA_RETURN_IF_ERROR(
+      RemoveDirTree(options.dir + "/" + kStageDirName, env));
+  if (!env->FileExists(options.dir + "/" + kMetaFile)) {
+    bool partial = false;
+    for (const char* name : kDataArtifacts) {
+      std::string path = options.dir + "/" + name;
+      if (env->FileExists(path)) {
+        partial = true;
+        SAMA_RETURN_IF_ERROR(env->RemoveFile(path));
+      }
+    }
+    (void)env->RemoveFile(options.dir + "/" + std::string(kMetaFile) +
+                          ".tmp");
+    return Status::NotFound(
+        partial ? "no committed index in '" + options.dir +
+                      "' (a crashed build's partial artifacts were "
+                      "discarded)"
+                : "no committed index in '" + options.dir + "'");
+  }
 
   PathStore::Options store_options;
   store_options.path = options.dir + "/paths.dat";
   store_options.truncate = false;
   store_options.buffer_pool_pages = options.buffer_pool_pages;
   store_options.compress = options.compress_paths;
+  store_options.env = options.env;
   SAMA_RETURN_IF_ERROR(store_.Open(store_options));
 
   if (options.build_hypergraph) {
@@ -379,6 +513,7 @@ Status PathIndex::Open(DataGraph* graph,
     hg_options.path = options.dir + "/hypergraph.dat";
     hg_options.truncate = false;
     hg_options.buffer_pool_pages = options.buffer_pool_pages;
+    hg_options.env = options.env;
     SAMA_RETURN_IF_ERROR(hypergraph_.Open(hg_options));
   }
   SAMA_RETURN_IF_ERROR(LoadMetadata(options.dir, GraphFingerprint(*graph)));

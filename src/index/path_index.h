@@ -36,6 +36,8 @@ struct PathIndexOptions {
   // per triple and per path — Figure 5). Needed for Table 1's |HV|/|HE|
   // columns; adds write volume.
   bool build_hypergraph = true;
+  // I/O seam for fault-injection tests; nullptr = Env::Default().
+  Env* env = nullptr;
 };
 
 // Table-1 quantities for one indexed dataset.
@@ -65,7 +67,19 @@ class PathIndex {
   // Builds the index over `graph`. The graph must outlive the index.
   // When options.dir is set the index is persisted there (stores,
   // manifests and metadata), ready for Open().
+  //
+  // Crash safety: every artifact is first written into
+  // options.dir/build.tmp, fsynced, then renamed into options.dir with
+  // the index.meta rename as the atomic commit point. A build that
+  // dies at any registered crash point (BuildCrashPoints()) leaves
+  // either the previous committed index or a partial build that
+  // Open() detects and discards — never a silently corrupt mix.
   Status Build(const DataGraph& graph, const PathIndexOptions& options);
+
+  // The named failpoints the build/commit protocol passes through, in
+  // order (see common/fault_injection.h FailPoints). Torture tests
+  // crash at each one and verify recovery.
+  static std::vector<std::string> BuildCrashPoints();
 
   // Opens an index previously Build()t into options.dir, without
   // recomputing any path. `graph` must be the BASE data graph the index
@@ -76,6 +90,12 @@ class PathIndex {
   // entities — get their original ids back) and replays the journal of
   // AddTriple updates into `graph`, leaving graph + index exactly as
   // they were at the last Checkpoint(). options.dir must be set.
+  //
+  // Recovery: a leftover build.tmp from a crashed build is discarded.
+  // When no committed index.meta exists the partial artifacts are
+  // removed and kNotFound is returned — the clean empty state; callers
+  // rebuild. A pre-checksum (v0) index fails with kInvalidArgument
+  // naming the format version.
   Status Open(DataGraph* graph, const PathIndexOptions& options);
 
   // Incremental maintenance (the §7 "speed-up the update of the index"

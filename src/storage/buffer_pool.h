@@ -80,7 +80,7 @@ class BufferPool {
     bool valid() const { return frame_ != nullptr; }
     PageId page() const { return frame_->page; }
 
-    // The page's kPageSize bytes.
+    // The page's kPageDataSize payload bytes.
     const uint8_t* data() const { return frame_->data.data(); }
     // Requires a guard obtained through MutablePage().
     uint8_t* mutable_data() {
@@ -107,7 +107,8 @@ class BufferPool {
     bool writable_ = false;
   };
 
-  // Returns a read pin on `page`'s cached content (kPageSize bytes).
+  // Returns a read pin on `page`'s cached content (kPageDataSize
+  // payload bytes; the checksum header stays inside PageFile).
   Result<PageGuard> Fetch(PageId page);
 
   // Like Fetch but marks the page dirty and allows mutation through the

@@ -6,17 +6,19 @@
 namespace sama {
 
 Status HypergraphStore::Open(const Options& options) {
+  env_ = options.env;
   RecordStore::Options ro;
   ro.path = options.path;
   ro.truncate = options.truncate;
   ro.buffer_pool_pages = options.buffer_pool_pages;
+  ro.env = options.env;
   SAMA_RETURN_IF_ERROR(store_.Open(ro));
   if (!options.path.empty()) {
     manifest_base_ = options.path;
     if (!options.truncate) {
-      auto vertices = ReadIdManifest(manifest_base_ + ".vertices");
+      auto vertices = ReadIdManifest(manifest_base_ + ".vertices", env_);
       if (!vertices.ok()) return vertices.status();
-      auto edges = ReadIdManifest(manifest_base_ + ".hyperedges");
+      auto edges = ReadIdManifest(manifest_base_ + ".hyperedges", env_);
       if (!edges.ok()) return edges.status();
       vertex_records_ = std::move(*vertices);
       edge_records_ = std::move(*edges);
@@ -33,8 +35,9 @@ Status HypergraphStore::Open(const Options& options) {
 Status HypergraphStore::WriteManifests() {
   if (manifest_base_.empty()) return Status::Ok();
   SAMA_RETURN_IF_ERROR(
-      WriteIdManifest(manifest_base_ + ".vertices", vertex_records_));
-  return WriteIdManifest(manifest_base_ + ".hyperedges", edge_records_);
+      WriteIdManifest(manifest_base_ + ".vertices", vertex_records_, env_));
+  return WriteIdManifest(manifest_base_ + ".hyperedges", edge_records_,
+                         env_);
 }
 
 Status HypergraphStore::Close() {

@@ -33,6 +33,8 @@ class HypergraphStore {
     // truncate=false reopens an existing store from its manifests.
     bool truncate = true;
     size_t buffer_pool_pages = 1024;
+    // I/O seam for fault-injection tests; nullptr = Env::Default().
+    Env* env = nullptr;
   };
 
   HypergraphStore() = default;
@@ -68,6 +70,7 @@ class HypergraphStore {
   std::vector<RecordId> vertex_records_;
   std::vector<RecordId> edge_records_;
   std::string manifest_base_;
+  Env* env_ = nullptr;
 };
 
 }  // namespace sama

@@ -1,60 +1,80 @@
 #include "storage/manifest.h"
 
 #include <algorithm>
-#include <cstdio>
-#include <fstream>
-#include <iterator>
 
+#include "common/crc32c.h"
 #include "storage/coding.h"
 
 namespace sama {
 namespace {
 
-constexpr char kIdMagic[8] = {'S', 'A', 'M', 'A', 'I', 'D', 'S', '1'};
-constexpr char kBlobMagic[8] = {'S', 'A', 'M', 'A', 'B', 'L', 'B', '1'};
+constexpr char kIdMagic[8] = {'S', 'A', 'M', 'A', 'I', 'D', 'S', '2'};
+constexpr char kBlobMagic[8] = {'S', 'A', 'M', 'A', 'B', 'L', 'B', '2'};
+
+Env* OrDefault(Env* env) { return env == nullptr ? Env::Default() : env; }
 
 Status WriteFileAtomically(const std::string& path,
-                           const std::vector<uint8_t>& bytes) {
+                           const std::vector<uint8_t>& bytes, Env* env) {
   std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return Status::IoError("cannot create " + tmp);
-    out.write(reinterpret_cast<const char*>(bytes.data()),
-              static_cast<std::streamsize>(bytes.size()));
-    if (!out) return Status::IoError("short write to " + tmp);
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    return Status::IoError("rename to " + path + " failed");
-  }
-  return Status::Ok();
+  SAMA_RETURN_IF_ERROR(env->WriteFileBytes(tmp, bytes));
+  return env->RenameFile(tmp, path);
 }
 
-Result<std::vector<uint8_t>> ReadWholeFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open " + path);
-  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
-                             std::istreambuf_iterator<char>());
-  return bytes;
+// Appends the envelope checksum: CRC32C of everything after the magic.
+void SealEnvelope(std::vector<uint8_t>* bytes) {
+  uint32_t crc = Crc32c(bytes->data() + 8, bytes->size() - 8);
+  PutFixed32(bytes, crc);
+}
+
+// Validates magic + trailing checksum; returns the payload range
+// [8, size-4) via *payload_end. A pre-checksum (v1) magic is
+// kInvalidArgument; anything else malformed is kCorruption.
+Status OpenEnvelope(const std::vector<uint8_t>& bytes,
+                    const char (&magic)[8], const std::string& path,
+                    size_t* payload_end) {
+  if (bytes.size() < sizeof(magic) + 4 ||
+      !std::equal(magic, magic + 7, bytes.begin())) {
+    return Status::Corruption("manifest magic mismatch: '" + path + "' (" +
+                              std::to_string(bytes.size()) + " bytes)");
+  }
+  if (bytes[7] != static_cast<uint8_t>(magic[7])) {
+    return Status::InvalidArgument(
+        "manifest '" + path + "' has format version '" +
+        std::string(1, static_cast<char>(bytes[7])) + "' (expected '" +
+        std::string(1, magic[7]) +
+        "'); a pre-checksum v0/v1 index must be rebuilt");
+  }
+  size_t crc_pos = bytes.size() - 4;
+  uint32_t stored = 0;
+  GetFixed32(bytes, &crc_pos, &stored);
+  uint32_t computed = Crc32c(bytes.data() + 8, bytes.size() - 12);
+  if (stored != computed) {
+    return Status::Corruption("manifest checksum mismatch: '" + path +
+                              "': stored " + std::to_string(stored) +
+                              ", computed " + std::to_string(computed));
+  }
+  *payload_end = bytes.size() - 4;
+  return Status::Ok();
 }
 
 }  // namespace
 
 Status WriteIdManifest(const std::string& path,
-                       const std::vector<uint64_t>& ids) {
+                       const std::vector<uint64_t>& ids, Env* env) {
   std::vector<uint8_t> bytes(kIdMagic, kIdMagic + sizeof(kIdMagic));
   PutVarint64(&bytes, ids.size());
   for (uint64_t id : ids) PutVarint64(&bytes, id);
-  return WriteFileAtomically(path, bytes);
+  SealEnvelope(&bytes);
+  return WriteFileAtomically(path, bytes, OrDefault(env));
 }
 
-Result<std::vector<uint64_t>> ReadIdManifest(const std::string& path) {
-  auto bytes_or = ReadWholeFile(path);
+Result<std::vector<uint64_t>> ReadIdManifest(const std::string& path,
+                                             Env* env) {
+  auto bytes_or = OrDefault(env)->ReadFileBytes(path);
   if (!bytes_or.ok()) return bytes_or.status();
   const std::vector<uint8_t>& bytes = *bytes_or;
-  if (bytes.size() < sizeof(kIdMagic) ||
-      !std::equal(kIdMagic, kIdMagic + sizeof(kIdMagic), bytes.begin())) {
-    return Status::Corruption("id manifest magic mismatch: " + path);
-  }
+  size_t end = 0;
+  SAMA_RETURN_IF_ERROR(OpenEnvelope(bytes, kIdMagic, path, &end));
   size_t pos = sizeof(kIdMagic);
   uint64_t count = 0;
   if (!GetVarint64(bytes, &pos, &count)) {
@@ -62,37 +82,42 @@ Result<std::vector<uint64_t>> ReadIdManifest(const std::string& path) {
   }
   std::vector<uint64_t> ids(count);
   for (uint64_t i = 0; i < count; ++i) {
-    if (!GetVarint64(bytes, &pos, &ids[i])) {
-      return Status::Corruption("id manifest truncated: " + path);
+    if (!GetVarint64(bytes, &pos, &ids[i]) || pos > end) {
+      return Status::Corruption("id manifest truncated: '" + path +
+                                "': entry " + std::to_string(i) + " of " +
+                                std::to_string(count) + " ends past byte " +
+                                std::to_string(end));
     }
   }
   return ids;
 }
 
 Status WriteBlobFile(const std::string& path,
-                     const std::vector<uint8_t>& blob) {
+                     const std::vector<uint8_t>& blob, Env* env) {
   std::vector<uint8_t> bytes(kBlobMagic, kBlobMagic + sizeof(kBlobMagic));
   PutVarint64(&bytes, blob.size());
   bytes.insert(bytes.end(), blob.begin(), blob.end());
-  return WriteFileAtomically(path, bytes);
+  SealEnvelope(&bytes);
+  return WriteFileAtomically(path, bytes, OrDefault(env));
 }
 
-Result<std::vector<uint8_t>> ReadBlobFile(const std::string& path) {
-  auto bytes_or = ReadWholeFile(path);
+Result<std::vector<uint8_t>> ReadBlobFile(const std::string& path,
+                                          Env* env) {
+  auto bytes_or = OrDefault(env)->ReadFileBytes(path);
   if (!bytes_or.ok()) return bytes_or.status();
   const std::vector<uint8_t>& bytes = *bytes_or;
-  if (bytes.size() < sizeof(kBlobMagic) ||
-      !std::equal(kBlobMagic, kBlobMagic + sizeof(kBlobMagic),
-                  bytes.begin())) {
-    return Status::Corruption("blob file magic mismatch: " + path);
-  }
+  size_t end = 0;
+  SAMA_RETURN_IF_ERROR(OpenEnvelope(bytes, kBlobMagic, path, &end));
   size_t pos = sizeof(kBlobMagic);
   uint64_t size = 0;
   if (!GetVarint64(bytes, &pos, &size)) {
     return Status::Corruption("blob file header: " + path);
   }
-  if (bytes.size() - pos < size) {
-    return Status::Corruption("blob file truncated: " + path);
+  if (end - pos < size) {
+    return Status::Corruption("blob file truncated: '" + path + "' holds " +
+                              std::to_string(end - pos) +
+                              " payload bytes, header claims " +
+                              std::to_string(size));
   }
   return std::vector<uint8_t>(bytes.begin() + static_cast<long>(pos),
                               bytes.begin() + static_cast<long>(pos + size));

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "common/result.h"
 
 namespace sama {
@@ -12,18 +13,27 @@ namespace sama {
 // Sidecar manifest files: small varint-encoded id tables that map the
 // dense ids of a PathStore / HypergraphStore back to record ids after a
 // reopen, and arbitrary serialized blobs (the PathIndex metadata).
+//
+// Format v2 envelope: magic(8) | payload | crc32c(payload) as fixed32.
+// Readers verify the trailing checksum, so a torn manifest write or bit
+// rot surfaces as kCorruption; a v1 (pre-checksum) magic is rejected
+// with kInvalidArgument naming the version. Writers go through an Env
+// (write temp + fsync + atomic rename) so fault-injection tests can cut
+// the power at any point. `env` = nullptr uses Env::Default().
 
-// Writes `ids` to `path` atomically (write + rename).
+// Writes `ids` to `path` atomically (write + fsync + rename).
 Status WriteIdManifest(const std::string& path,
-                       const std::vector<uint64_t>& ids);
+                       const std::vector<uint64_t>& ids, Env* env = nullptr);
 
-Result<std::vector<uint64_t>> ReadIdManifest(const std::string& path);
+Result<std::vector<uint64_t>> ReadIdManifest(const std::string& path,
+                                             Env* env = nullptr);
 
-// Writes an opaque blob with a magic/size envelope.
+// Writes an opaque blob with a magic/size/checksum envelope.
 Status WriteBlobFile(const std::string& path,
-                     const std::vector<uint8_t>& blob);
+                     const std::vector<uint8_t>& blob, Env* env = nullptr);
 
-Result<std::vector<uint8_t>> ReadBlobFile(const std::string& path);
+Result<std::vector<uint8_t>> ReadBlobFile(const std::string& path,
+                                          Env* env = nullptr);
 
 }  // namespace sama
 

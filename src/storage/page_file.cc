@@ -1,67 +1,128 @@
 #include "storage/page_file.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
-#include <cerrno>
 #include <cstring>
+
+#include "common/crc32c.h"
 
 namespace sama {
 namespace {
 
-std::string Errno(const std::string& op, const std::string& path) {
-  return op + " '" + path + "': " + std::strerror(errno);
+uint32_t PageChecksum(const uint8_t* page, PageId id) {
+  uint8_t id_bytes[4] = {static_cast<uint8_t>(id),
+                         static_cast<uint8_t>(id >> 8),
+                         static_cast<uint8_t>(id >> 16),
+                         static_cast<uint8_t>(id >> 24)};
+  uint32_t crc = Crc32c(page + 4, kPageSize - 4);
+  return Crc32cExtend(crc, id_bytes, sizeof(id_bytes));
+}
+
+void PutU32(uint8_t* buf, uint32_t v) {
+  buf[0] = static_cast<uint8_t>(v);
+  buf[1] = static_cast<uint8_t>(v >> 8);
+  buf[2] = static_cast<uint8_t>(v >> 16);
+  buf[3] = static_cast<uint8_t>(v >> 24);
+}
+
+uint32_t GetU32(const uint8_t* buf) {
+  return static_cast<uint32_t>(buf[0]) | static_cast<uint32_t>(buf[1]) << 8 |
+         static_cast<uint32_t>(buf[2]) << 16 |
+         static_cast<uint32_t>(buf[3]) << 24;
 }
 
 }  // namespace
 
-PageFile::~PageFile() {
-  if (fd_ >= 0) ::close(fd_);
+Status VerifyPageBytes(const uint8_t* page, PageId id,
+                       const std::string& path) {
+  if (page[4] != kPageFormatVersion) {
+    return Status::InvalidArgument(
+        "page file '" + path + "' page " + std::to_string(id) +
+        " has unsupported format version " +
+        std::to_string(static_cast<int>(page[4])) + " (expected " +
+        std::to_string(static_cast<int>(kPageFormatVersion)) +
+        "); a pre-checksum v0 index must be rebuilt");
+  }
+  uint32_t stored = GetU32(page);
+  uint32_t computed = PageChecksum(page, id);
+  if (stored != computed) {
+    return Status::Corruption(
+        "checksum mismatch on page " + std::to_string(id) + " of '" + path +
+        "': stored " + std::to_string(stored) + ", computed " +
+        std::to_string(computed));
+  }
+  return Status::Ok();
 }
 
-Status PageFile::Open(const std::string& path, bool truncate) {
+PageFile::~PageFile() {
+  if (fd_ >= 0) (void)env_->CloseFile(fd_, path_);
+}
+
+Status PageFile::Open(const std::string& path, bool truncate, Env* env) {
   if (fd_ >= 0) return Status::Internal("page file already open");
-  int flags = O_RDWR | O_CREAT | (truncate ? O_TRUNC : 0);
-  int fd = ::open(path.c_str(), flags, 0644);
-  if (fd < 0) return Status::IoError(Errno("open", path));
-  off_t size = ::lseek(fd, 0, SEEK_END);
-  if (size < 0) {
-    ::close(fd);
-    return Status::IoError(Errno("lseek", path));
+  env_ = env == nullptr ? Env::Default() : env;
+  auto fd = env_->OpenFile(path, truncate);
+  if (!fd.ok()) return fd.status();
+  auto size = env_->FileSizeFd(*fd, path);
+  if (!size.ok()) {
+    (void)env_->CloseFile(*fd, path);
+    return size.status();
   }
-  if (size % kPageSize != 0) {
-    ::close(fd);
-    return Status::Corruption("page file size not page-aligned: " + path);
+  if (*size % kPageSize != 0) {
+    (void)env_->CloseFile(*fd, path);
+    return Status::Corruption("page file size not page-aligned: '" + path +
+                              "' is " + std::to_string(*size) + " bytes");
   }
-  fd_ = fd;
+  fd_ = *fd;
   path_ = path;
-  page_count_ = static_cast<uint32_t>(size / kPageSize);
+  page_count_ = static_cast<uint32_t>(*size / kPageSize);
+  if (page_count_ > 0) {
+    // Validate page 0 eagerly so a pre-checksum (v0) file or a torn
+    // header page is rejected at open, not at first use.
+    uint8_t page[kPageSize];
+    Status s = ReadPhysical(0, page);
+    if (!s.ok()) {
+      (void)Close();
+      return s;
+    }
+  }
   return Status::Ok();
 }
 
 Status PageFile::Close() {
   if (fd_ < 0) return Status::Ok();
-  int rc = ::close(fd_);
+  Status s = env_->CloseFile(fd_, path_);
   fd_ = -1;
-  if (rc != 0) return Status::IoError(Errno("close", path_));
+  return s;
+}
+
+Status PageFile::WritePhysical(PageId id, uint8_t* page) {
+  page[4] = kPageFormatVersion;
+  page[5] = page[6] = page[7] = 0;
+  PutU32(page, PageChecksum(page, id));
+  uint64_t offset = static_cast<uint64_t>(id) * kPageSize;
+  SAMA_RETURN_IF_ERROR(env_->PWrite(fd_, path_, offset, page, kPageSize));
+  ++writes_;
   return Status::Ok();
+}
+
+Status PageFile::ReadPhysical(PageId id, uint8_t* page) const {
+  uint64_t offset = static_cast<uint64_t>(id) * kPageSize;
+  auto got = env_->PRead(fd_, path_, offset, page, kPageSize);
+  if (!got.ok()) return got.status();
+  if (*got != kPageSize) {
+    return Status::Corruption(
+        "short read: page " + std::to_string(id) + " of '" + path_ +
+        "': got " + std::to_string(*got) + " of " +
+        std::to_string(kPageSize) + " bytes (truncated file)");
+  }
+  return VerifyPageBytes(page, id, path_);
 }
 
 Result<PageId> PageFile::AllocatePage() {
   if (fd_ < 0) return Status::Internal("page file not open");
-  if (writes_until_failure_ == 0) {
-    return Status::IoError("injected write failure (AllocatePage)");
-  }
-  static const uint8_t kZeros[kPageSize] = {};
+  uint8_t page[kPageSize] = {};
   PageId id = page_count_;
-  off_t offset = static_cast<off_t>(id) * kPageSize;
-  ssize_t n = ::pwrite(fd_, kZeros, kPageSize, offset);
-  if (n != static_cast<ssize_t>(kPageSize)) {
-    return Status::IoError(Errno("pwrite", path_));
-  }
+  SAMA_RETURN_IF_ERROR(WritePhysical(id, page));
   ++page_count_;
-  ++writes_;
-  if (writes_until_failure_ != UINT64_MAX) --writes_until_failure_;
   return id;
 }
 
@@ -71,39 +132,27 @@ Status PageFile::ReadPage(PageId id, std::vector<uint8_t>* out) const {
     return Status::OutOfRange("page " + std::to_string(id) + " of " +
                               std::to_string(page_count_));
   }
-  out->resize(kPageSize);
-  off_t offset = static_cast<off_t>(id) * kPageSize;
-  ssize_t n = ::pread(fd_, out->data(), kPageSize, offset);
-  if (n != static_cast<ssize_t>(kPageSize)) {
-    return Status::IoError(Errno("pread", path_));
-  }
+  uint8_t page[kPageSize];
+  SAMA_RETURN_IF_ERROR(ReadPhysical(id, page));
+  out->assign(page + kPageHeaderSize, page + kPageSize);
   ++reads_;
   return Status::Ok();
 }
 
 Status PageFile::WritePage(PageId id, const uint8_t* data) {
   if (fd_ < 0) return Status::Internal("page file not open");
-  if (writes_until_failure_ == 0) {
-    return Status::IoError("injected write failure (WritePage)");
-  }
   if (id >= page_count_) {
     return Status::OutOfRange("page " + std::to_string(id) + " of " +
                               std::to_string(page_count_));
   }
-  off_t offset = static_cast<off_t>(id) * kPageSize;
-  ssize_t n = ::pwrite(fd_, data, kPageSize, offset);
-  if (n != static_cast<ssize_t>(kPageSize)) {
-    return Status::IoError(Errno("pwrite", path_));
-  }
-  ++writes_;
-  if (writes_until_failure_ != UINT64_MAX) --writes_until_failure_;
-  return Status::Ok();
+  uint8_t page[kPageSize];
+  std::memcpy(page + kPageHeaderSize, data, kPageDataSize);
+  return WritePhysical(id, page);
 }
 
 Status PageFile::Sync() {
   if (fd_ < 0) return Status::Internal("page file not open");
-  if (::fsync(fd_) != 0) return Status::IoError(Errno("fsync", path_));
-  return Status::Ok();
+  return env_->SyncFile(fd_, path_);
 }
 
 }  // namespace sama

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "common/result.h"
 #include "common/status.h"
 
@@ -12,12 +13,35 @@ namespace sama {
 
 using PageId = uint32_t;
 
+// Validates a raw physical page image — version byte and checksum —
+// without an open PageFile. `page` must hold kPageSize bytes; `path`
+// only labels error messages. Used by the read path and by the
+// standalone index verifier (sama_cli verify).
+Status VerifyPageBytes(const uint8_t* page, PageId id,
+                       const std::string& path);
+
+// Physical page size on disk.
 inline constexpr size_t kPageSize = 4096;
+// Every physical page starts with an 8-byte header:
+//   [0..4)  CRC32C over bytes [4..kPageSize) plus the page id
+//   [4]     format version (kPageFormatVersion)
+//   [5..8)  reserved (zero)
+// Folding the page id into the checksum catches misdirected writes (a
+// valid page persisted at the wrong offset) as well as bit rot.
+inline constexpr size_t kPageHeaderSize = 8;
+inline constexpr size_t kPageDataSize = kPageSize - kPageHeaderSize;
+inline constexpr uint8_t kPageFormatVersion = 1;
 
 // A file of fixed-size 4 KiB pages — the disk layer under the
 // hypergraph/path stores. The paper's premise (§6.1) is that the data
 // graph "cannot fit in memory and can only be stored on disk"; every
 // index byte flows through this file and the BufferPool above it.
+//
+// Callers see kPageDataSize-byte payloads; the per-page checksum header
+// is stamped on write and verified on every read, so a torn write, a
+// truncated file or flipped bits surface as kCorruption instead of
+// silent garbage. All I/O goes through an Env, the seam fault-injection
+// tests use to simulate failing disks (see common/fault_injection.h).
 class PageFile {
  public:
   PageFile() = default;
@@ -27,18 +51,24 @@ class PageFile {
   PageFile& operator=(const PageFile&) = delete;
 
   // Opens (creating if needed) the page file at `path`. Truncates when
-  // `truncate` is set.
-  Status Open(const std::string& path, bool truncate);
+  // `truncate` is set. Reopening an existing file validates page 0's
+  // header: a pre-checksum (v0) file is rejected with kInvalidArgument
+  // naming the format version. `env` = nullptr uses Env::Default().
+  Status Open(const std::string& path, bool truncate, Env* env = nullptr);
   Status Close();
   bool is_open() const { return fd_ >= 0; }
 
   // Appends a zeroed page and returns its id.
   Result<PageId> AllocatePage();
 
-  // Reads page `id` into `out` (resized to kPageSize).
+  // Reads page `id`'s payload into `out` (resized to kPageDataSize)
+  // after verifying the checksum. A short read (truncated file) and a
+  // checksum mismatch are kCorruption with byte counts in the message;
+  // an I/O error stays kIoError.
   Status ReadPage(PageId id, std::vector<uint8_t>* out) const;
 
-  // Writes exactly kPageSize bytes from `data` to page `id`.
+  // Writes exactly kPageDataSize payload bytes from `data` to page
+  // `id`, stamping a fresh header.
   Status WritePage(PageId id, const uint8_t* data);
 
   // Flushes OS buffers to stable storage.
@@ -53,21 +83,18 @@ class PageFile {
   uint64_t reads() const { return reads_; }
   uint64_t writes() const { return writes_; }
 
-  // Test hook: after `writes` further successful page writes, every
-  // write fails with IoError until the injection is cleared (pass
-  // UINT64_MAX). Lets tests exercise the write-back error paths without
-  // filling the disk.
-  void InjectWriteFailureAfter(uint64_t writes) {
-    writes_until_failure_ = writes;
-  }
-
  private:
+  // Stamps the header into `page` (kPageSize bytes) and writes it.
+  Status WritePhysical(PageId id, uint8_t* page);
+  // Reads the raw physical page and verifies header + checksum.
+  Status ReadPhysical(PageId id, uint8_t* page) const;
+
+  Env* env_ = nullptr;
   int fd_ = -1;
   std::string path_;
   uint32_t page_count_ = 0;
   mutable uint64_t reads_ = 0;
   uint64_t writes_ = 0;
-  uint64_t writes_until_failure_ = UINT64_MAX;
 };
 
 }  // namespace sama

@@ -7,15 +7,17 @@ namespace sama {
 
 Status PathStore::Open(const Options& options) {
   compress_ = options.compress;
+  env_ = options.env;
   RecordStore::Options ro;
   ro.path = options.path;
   ro.truncate = options.truncate;
   ro.buffer_pool_pages = options.buffer_pool_pages;
+  ro.env = options.env;
   SAMA_RETURN_IF_ERROR(store_.Open(ro));
   if (!options.path.empty()) {
     manifest_path_ = options.path + ".manifest";
     if (!options.truncate) {
-      auto ids = ReadIdManifest(manifest_path_);
+      auto ids = ReadIdManifest(manifest_path_, env_);
       if (!ids.ok()) return ids.status();
       record_ids_ = std::move(*ids);
       if (record_ids_.size() != store_.record_count()) {
@@ -29,7 +31,7 @@ Status PathStore::Open(const Options& options) {
 
 Status PathStore::WriteManifest() {
   if (manifest_path_.empty()) return Status::Ok();
-  return WriteIdManifest(manifest_path_, record_ids_);
+  return WriteIdManifest(manifest_path_, record_ids_, env_);
 }
 
 Status PathStore::Close() {

@@ -31,6 +31,8 @@ class PathStore {
     // bench_ablation. Must match the value the store was created with
     // when reopening.
     bool compress = true;
+    // I/O seam for fault-injection tests; nullptr = Env::Default().
+    Env* env = nullptr;
   };
 
   PathStore() = default;
@@ -66,6 +68,7 @@ class PathStore {
   std::vector<RecordId> record_ids_;  // PathId -> RecordId.
   std::string manifest_path_;
   bool compress_ = true;
+  Env* env_ = nullptr;
 };
 
 }  // namespace sama

@@ -7,7 +7,7 @@ namespace {
 
 // Per-record page header: a 2-byte little-endian length.
 constexpr size_t kHeaderBytes = 2;
-constexpr size_t kMaxRecordBytes = kPageSize - kHeaderBytes;
+constexpr size_t kMaxRecordBytes = kPageDataSize - kHeaderBytes;
 
 // Page 0 is the store header: magic, version, record count and tail
 // position, refreshed on every Flush() so a clean shutdown can reopen.
@@ -35,7 +35,8 @@ uint64_t GetU64(const uint8_t* buf) {
 Status RecordStore::Open(const Options& options) {
   if (options.path.empty()) return Status::Ok();  // Memory backend.
   file_ = std::make_unique<PageFile>();
-  SAMA_RETURN_IF_ERROR(file_->Open(options.path, options.truncate));
+  SAMA_RETURN_IF_ERROR(
+      file_->Open(options.path, options.truncate, options.env));
   pool_ = std::make_unique<BufferPool>(file_.get(),
                                        options.buffer_pool_pages);
   if (file_->page_count() == 0) {
@@ -73,7 +74,7 @@ Status RecordStore::ReadStoreHeader() {
   record_count_ = GetU64(buf + 8);
   tail_page_ = static_cast<PageId>(GetU64(buf + 16));
   tail_offset_ = static_cast<size_t>(GetU64(buf + 24));
-  if (tail_page_ >= file_->page_count() || tail_offset_ > kPageSize) {
+  if (tail_page_ >= file_->page_count() || tail_offset_ > kPageDataSize) {
     return Status::Corruption("record store tail out of range");
   }
   return Status::Ok();
@@ -83,6 +84,10 @@ Status RecordStore::Close() {
   if (file_ == nullptr) return Status::Ok();
   SAMA_RETURN_IF_ERROR(WriteStoreHeader());
   SAMA_RETURN_IF_ERROR(pool_->Flush());
+  // A closed store must be durable: the index commit protocol renames
+  // this file right after Close(), and rename-before-sync would let a
+  // crash commit unsynced pages.
+  SAMA_RETURN_IF_ERROR(file_->Sync());
   pool_.reset();
   Status s = file_->Close();
   file_.reset();
@@ -101,7 +106,7 @@ Result<RecordId> RecordStore::Append(const std::vector<uint8_t>& data) {
     return Status::InvalidArgument("record exceeds page capacity (" +
                                    std::to_string(data.size()) + " bytes)");
   }
-  if (tail_offset_ + kHeaderBytes + data.size() > kPageSize) {
+  if (tail_offset_ + kHeaderBytes + data.size() > kPageDataSize) {
     auto page = file_->AllocatePage();
     if (!page.ok()) return page.status();
     tail_page_ = *page;
@@ -140,12 +145,12 @@ Status RecordStore::Read(RecordId id, std::vector<uint8_t>* out) const {
   if (!buf_or.ok()) return buf_or.status();
   const uint8_t* buf = buf_or->data();
   size_t offset = RecordOffset(id);
-  if (offset + kHeaderBytes > kPageSize) {
+  if (offset + kHeaderBytes > kPageDataSize) {
     return Status::Corruption("record offset out of page");
   }
   size_t length = static_cast<size_t>(buf[offset]) |
                   (static_cast<size_t>(buf[offset + 1]) << 8);
-  if (offset + kHeaderBytes + length > kPageSize) {
+  if (offset + kHeaderBytes + length > kPageDataSize) {
     return Status::Corruption("record length out of page");
   }
   out->assign(buf + offset + kHeaderBytes,

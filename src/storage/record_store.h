@@ -22,7 +22,7 @@ using RecordId = uint64_t;
 //  * memory: a plain heap vector, for unit tests and small examples.
 //
 // Records never span pages, so one record is limited to
-// kPageSize - kMaxHeader bytes in the disk backend.
+// kPageDataSize - kMaxHeader bytes in the disk backend.
 //
 // Thread safety: writers (Append/Flush/DropCaches) serialise on an
 // internal mutex. Disk-backend reads take no store-level lock at all —
@@ -40,6 +40,8 @@ class RecordStore {
     // where the last Flush() left off.
     bool truncate = true;
     size_t buffer_pool_pages = 1024;  // 4 MiB default cache.
+    // I/O seam for fault-injection tests; nullptr = Env::Default().
+    Env* env = nullptr;
   };
 
   RecordStore() = default;

@@ -36,7 +36,7 @@ TEST_F(BufferPoolConcurrencyTest, ConcurrentReadersSeeConsistentPages) {
   constexpr size_t kConstPages = 4;
   for (size_t i = 0; i < kConstPages; ++i) {
     ASSERT_TRUE(file_.AllocatePage().ok());
-    uint8_t page[kPageSize] = {};
+    uint8_t page[kPageDataSize] = {};
     page[0] = static_cast<uint8_t>(0xA0 + i);
     ASSERT_TRUE(file_.WritePage(static_cast<PageId>(i), page).ok());
   }
@@ -78,7 +78,7 @@ TEST_F(BufferPoolConcurrencyTest, MixedFetchMutateDropLosesNoWrites) {
     ASSERT_TRUE(file_.AllocatePage().ok());
   }
   for (size_t i = 0; i < kConstPages; ++i) {
-    uint8_t page[kPageSize] = {};
+    uint8_t page[kPageDataSize] = {};
     page[0] = static_cast<uint8_t>(0xB0 + i);
     ASSERT_TRUE(file_.WritePage(static_cast<PageId>(i), page).ok());
   }
@@ -150,7 +150,7 @@ TEST_F(BufferPoolConcurrencyTest, MixedFetchMutateDropLosesNoWrites) {
 TEST_F(BufferPoolConcurrencyTest, GuardsKeepFramesAliveAcrossDropAll) {
   ASSERT_TRUE(file_.AllocatePage().ok());
   ASSERT_TRUE(file_.AllocatePage().ok());
-  uint8_t page[kPageSize] = {};
+  uint8_t page[kPageDataSize] = {};
   page[7] = 0x5A;
   ASSERT_TRUE(file_.WritePage(0, page).ok());
   BufferPool pool(&file_, 2);

@@ -22,15 +22,15 @@ TEST(PageFileTest, AllocateReadWriteRoundTrip) {
   EXPECT_EQ(*p1, 1u);
   EXPECT_EQ(f.page_count(), 2u);
 
-  uint8_t page[kPageSize];
+  uint8_t page[kPageDataSize];
   std::memset(page, 0xAB, sizeof(page));
   ASSERT_TRUE(f.WritePage(*p1, page).ok());
 
   std::vector<uint8_t> read;
   ASSERT_TRUE(f.ReadPage(*p1, &read).ok());
-  ASSERT_EQ(read.size(), kPageSize);
+  ASSERT_EQ(read.size(), kPageDataSize);
   EXPECT_EQ(read[0], 0xAB);
-  EXPECT_EQ(read[kPageSize - 1], 0xAB);
+  EXPECT_EQ(read[kPageDataSize - 1], 0xAB);
 
   // Page 0 is still zeroed.
   ASSERT_TRUE(f.ReadPage(*p0, &read).ok());
@@ -78,7 +78,7 @@ TEST(PageFileTest, ReopenWithoutTruncateKeepsPages) {
     PageFile f;
     ASSERT_TRUE(f.Open(path, true).ok());
     ASSERT_TRUE(f.AllocatePage().ok());
-    uint8_t page[kPageSize];
+    uint8_t page[kPageDataSize];
     std::memset(page, 0x5C, sizeof(page));
     ASSERT_TRUE(f.WritePage(0, page).ok());
     ASSERT_TRUE(f.Sync().ok());

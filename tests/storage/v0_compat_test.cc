@@ -1,0 +1,80 @@
+// Backward-compat policy for pre-checksum (v0) index files: they are
+// REJECTED, loudly, with kInvalidArgument naming the format version —
+// never read as if their bytes were trustworthy. The fixtures under
+// tests/data/v0_index/ are checked-in binaries in the PR-1 on-disk
+// layout (raw 4096-byte pages, "SAMAREC1"/"SAMAIDS1"/"SAMABLB1"
+// magics, no page headers or checksums).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "graph/data_graph.h"
+#include "index/path_index.h"
+#include "storage/manifest.h"
+#include "storage/page_file.h"
+
+#ifndef SAMA_TEST_DATA_DIR
+#error "SAMA_TEST_DATA_DIR must point at tests/data"
+#endif
+
+namespace sama {
+namespace {
+
+// The checked-in fixtures stay pristine: every test works on a copy.
+std::string CopyFixtureDir() {
+  std::string src = std::string(SAMA_TEST_DATA_DIR) + "/v0_index";
+  std::string dst = testing::TempDir() + "/v0_compat";
+  std::filesystem::remove_all(dst);
+  std::filesystem::create_directories(dst);
+  std::filesystem::copy(src, dst,
+                        std::filesystem::copy_options::recursive |
+                            std::filesystem::copy_options::overwrite_existing);
+  return dst;
+}
+
+TEST(V0CompatTest, PageFileNamesTheUnsupportedVersion) {
+  std::string dir = CopyFixtureDir();
+  PageFile f;
+  Status s = f.Open(dir + "/paths.dat", /*truncate=*/false);
+  ASSERT_EQ(s.code(), Status::Code::kInvalidArgument) << s;
+  // The v0 header has "SAMAREC1" at offset 0, so the v1 version byte
+  // (offset 4) reads 'R' = 82; the error must name it and the remedy.
+  EXPECT_NE(s.message().find("version 82"), std::string::npos) << s;
+  EXPECT_NE(s.message().find("v0"), std::string::npos) << s;
+  EXPECT_NE(s.message().find("rebuilt"), std::string::npos) << s;
+}
+
+TEST(V0CompatTest, ManifestAndBlobNameTheOldVersion) {
+  std::string dir = CopyFixtureDir();
+  auto ids = ReadIdManifest(dir + "/paths.dat.manifest");
+  ASSERT_EQ(ids.status().code(), Status::Code::kInvalidArgument)
+      << ids.status();
+  EXPECT_NE(ids.status().message().find("version"), std::string::npos)
+      << ids.status();
+
+  auto blob = ReadBlobFile(dir + "/index.meta");
+  ASSERT_EQ(blob.status().code(), Status::Code::kInvalidArgument)
+      << blob.status();
+  EXPECT_NE(blob.status().message().find("version"), std::string::npos)
+      << blob.status();
+}
+
+TEST(V0CompatTest, IndexReopenRejectsV0WithClearError) {
+  std::string dir = CopyFixtureDir();
+  DataGraph graph;
+  PathIndexOptions options;
+  options.dir = dir;
+  PathIndex index;
+  Status s = index.Open(&graph, options);
+  ASSERT_EQ(s.code(), Status::Code::kInvalidArgument) << s;
+  EXPECT_NE(s.message().find("version"), std::string::npos) << s;
+  // Rejection is not deletion: a v0 index is the user's data, and
+  // "rebuild" must be their call, not a silent recovery sweep.
+  EXPECT_TRUE(std::filesystem::exists(dir + "/paths.dat"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/index.meta"));
+}
+
+}  // namespace
+}  // namespace sama

@@ -5,6 +5,13 @@
 //   sama_cli --data graph.nt --query query.sparql [--k 10]
 //   sama_cli --data graph.ttl --sparql 'SELECT ?x WHERE { ... }'
 //   sama_cli --data graph.nt --interactive
+//   sama_cli verify --index-dir DIR
+//
+// Subcommands:
+//   verify             Scan a persisted index directory: checksum every
+//                      page of every store, check the manifests and the
+//                      commit record, and print a corruption report.
+//                      Exits non-zero if any damage is found.
 //
 // Options:
 //   --data FILE        N-Triples (.nt) or Turtle (.ttl) input (required).
@@ -24,10 +31,15 @@
 //                      (.nt) or Turtle (.ttl) and exit.
 //   --baseline NAME    Run a competitor instead of Sama:
 //                      exact | sapper | bounded | dogma.
+//   --strict-io        Fail queries on the first corrupt or unreadable
+//                      record instead of skipping damaged candidates
+//                      (the default degrades gracefully and reports the
+//                      skip count under --stats).
 //   --stats            Print index and per-query statistics.
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -42,6 +54,7 @@
 #include "core/engine.h"
 #include "datasets/govtrack.h"
 #include "graph/graph_stats.h"
+#include "index/index_verify.h"
 #include "index/path_index.h"
 #include "query/sparql.h"
 #include "graph/loader.h"
@@ -65,6 +78,8 @@ struct CliOptions {
   bool use_thesaurus = true;
   bool stats = false;
   bool demo = false;
+  bool strict_io = false;
+  bool verify = false;
 };
 
 void PrintUsage() {
@@ -74,12 +89,19 @@ void PrintUsage() {
                "               [--k N] [--threads N] [--index-dir DIR]"
                " [--no-thesaurus]\n"
                "               [--baseline exact|sapper|bounded|dogma]"
-               " [--stats]\n"
+               " [--strict-io] [--stats]\n"
+               "       sama_cli verify --index-dir DIR   (checksum an"
+               " index, non-zero exit on damage)\n"
                "       sama_cli --demo   (built-in Figure-1 walkthrough)\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
-  for (int i = 1; i < argc; ++i) {
+  int first = 1;
+  if (argc > 1 && std::strcmp(argv[1], "verify") == 0) {
+    options->verify = true;
+    first = 2;
+  }
+  for (int i = first; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&](std::string* out) {
       if (i + 1 >= argc) return false;
@@ -111,6 +133,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->interactive = true;
     } else if (arg == "--no-thesaurus") {
       options->use_thesaurus = false;
+    } else if (arg == "--strict-io") {
+      options->strict_io = true;
     } else if (arg == "--stats") {
       options->stats = true;
     } else if (arg == "--demo") {
@@ -122,6 +146,13 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
                    arg.c_str());
       return false;
     }
+  }
+  if (options->verify) {
+    if (options->index_dir.empty()) {
+      std::fprintf(stderr, "verify requires --index-dir\n");
+      return false;
+    }
+    return true;
   }
   if (options->demo) return true;
   if (options->data_path.empty()) {
@@ -235,6 +266,14 @@ int RunOneQuery(const CliOptions& options, sama::DataGraph* graph,
           stats.threads_used, stats.ClusteringSpeedup(),
           stats.SearchSpeedup());
     }
+    if (stats.corrupt_records_skipped > 0 || stats.io_retries > 0) {
+      std::printf(
+          "-- degraded reads: %llu corrupt record(s) skipped, "
+          "%llu transient retry(ies) — run `sama_cli verify` on the "
+          "index directory\n",
+          static_cast<unsigned long long>(stats.corrupt_records_skipped),
+          static_cast<unsigned long long>(stats.io_retries));
+    }
   }
   return 0;
 }
@@ -246,6 +285,17 @@ int main(int argc, char** argv) {
   if (!ParseArgs(argc, argv, &options)) {
     PrintUsage();
     return 2;
+  }
+
+  if (options.verify) {
+    auto report = sama::VerifyIndexDir(options.index_dir);
+    if (!report.ok()) {
+      std::fprintf(stderr, "verify failed: %s\n",
+                   report.status().ToString().c_str());
+      return 2;
+    }
+    std::printf("%s", report->ToString().c_str());
+    return report->clean() ? 0 : 1;
   }
 
   sama::DataGraph graph;
@@ -320,8 +370,14 @@ int main(int argc, char** argv) {
                                   : options.threads;
   sama::PathIndex index;
   bool reused = false;
+  // Attempt a reuse whenever the directory holds a committed index OR
+  // leftovers of a crashed build — Open() also performs the recovery
+  // sweep that discards partial artifacts. kNotFound afterwards is the
+  // clean empty state (nothing committed), so the rebuild is silent;
+  // anything else (corruption, version mismatch) is worth a note.
   if (!options.index_dir.empty() &&
-      std::ifstream(options.index_dir + "/index.meta").good()) {
+      (std::filesystem::exists(options.index_dir + "/index.meta") ||
+       std::filesystem::exists(options.index_dir + "/build.tmp"))) {
     sama::Status opened = index.Open(&graph, index_options);
     if (opened.ok()) {
       reused = true;
@@ -329,7 +385,7 @@ int main(int argc, char** argv) {
         std::printf("-- reusing persisted index in %s\n",
                     options.index_dir.c_str());
       }
-    } else {
+    } else if (opened.code() != sama::Status::Code::kNotFound) {
       std::fprintf(stderr,
                    "note: could not reuse index in %s (%s); rebuilding\n",
                    options.index_dir.c_str(),
@@ -368,6 +424,7 @@ int main(int argc, char** argv) {
   }
   sama::EngineOptions engine_options;
   engine_options.num_threads = options.threads;
+  engine_options.strict_io = options.strict_io;
   sama::SamaEngine engine(&graph, &index,
                           options.use_thesaurus ? &thesaurus : nullptr,
                           engine_options);
