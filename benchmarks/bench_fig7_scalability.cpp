@@ -30,29 +30,73 @@ constexpr char kPrefix[] =
     "PREFIX ub: <http://lubm.example.org/univ-bench#>\n"
     "PREFIX d: <http://lubm.example.org/data/>\n";
 
+// Median total latency; `stats` (optional) receives the per-phase
+// breakdown of the last run — the counters are deterministic per query,
+// only the wall times jitter.
 double MedianQueryMillis(sama::SamaEngine* engine,
-                         const sama::QueryGraph& query, int runs) {
+                         const sama::QueryGraph& query, int runs,
+                         sama::QueryStats* stats = nullptr) {
   std::vector<double> times;
   for (int r = 0; r < runs; ++r) {
     sama::WallTimer timer;
-    (void)engine->Execute(query, 10);
+    (void)engine->Execute(query, 10, stats);
     times.push_back(timer.ElapsedMillis());
   }
   std::sort(times.begin(), times.end());
   return times[times.size() / 2];
 }
 
+// Per-point phase breakdown: score-bounded search vs the exhaustive
+// ablation (identical answers, different work).
+struct PhasePoint {
+  double cluster_ms = 0;
+  double search_ms = 0;
+  double noprune_ms = 0;         // Total with prune_search = false.
+  double noprune_search_ms = 0;
+  double pruning_ratio = 0;
+};
+
+PhasePoint MeasurePhases(sama::SamaEngine* pruned, sama::SamaEngine* noprune,
+                         const sama::QueryGraph& query, int runs) {
+  PhasePoint point;
+  sama::QueryStats stats;
+  (void)MedianQueryMillis(pruned, query, runs, &stats);
+  point.cluster_ms = stats.clustering_millis;
+  point.search_ms = stats.search_millis;
+  point.pruning_ratio = stats.SearchPruningRatio();
+  sama::QueryStats noprune_stats;
+  point.noprune_ms = MedianQueryMillis(noprune, query, runs, &noprune_stats);
+  point.noprune_search_ms = noprune_stats.search_millis;
+  return point;
+}
+
 void PrintSeries(const char* title, const char* x_name,
                  const std::vector<double>& xs,
-                 const std::vector<double>& ys) {
+                 const std::vector<double>& ys,
+                 const std::vector<PhasePoint>& phases) {
   std::printf("%s\n", title);
-  std::printf("  %-14s %10s\n", x_name, "ms");
+  std::printf("  %-14s %10s %10s %10s | %10s %10s %7s\n", x_name, "ms",
+              "cluster", "search", "ms*", "search*", "prune%");
   for (size_t i = 0; i < xs.size(); ++i) {
-    std::printf("  %-14.0f %10.3f\n", xs[i], ys[i]);
+    std::printf("  %-14.0f %10.3f %10.3f %10.3f | %10.3f %10.3f %6.1f%%\n",
+                xs[i], ys[i], phases[i].cluster_ms, phases[i].search_ms,
+                phases[i].noprune_ms, phases[i].noprune_search_ms,
+                100 * phases[i].pruning_ratio);
   }
   QuadraticFit fit = FitQuadratic(xs, ys);
-  std::printf("  trendline: y = %.3e*x^2 + %.3e*x + %.3e\n\n", fit.a,
-              fit.b, fit.c);
+  std::printf("  trendline: y = %.3e*x^2 + %.3e*x + %.3e\n"
+              "  (* = exhaustive-search ablation, prune_search off)\n\n",
+              fit.a, fit.b, fit.c);
+}
+
+// The ablation engine: identical options except the score bound.
+std::unique_ptr<sama::SamaEngine> MakeNoPruneEngine(const LubmEnv& env,
+                                                    size_t threads) {
+  sama::EngineOptions options;
+  options.num_threads = threads;
+  options.params.prune_search = false;
+  return std::make_unique<sama::SamaEngine>(env.graph.get(), env.index.get(),
+                                            &env.thesaurus, options);
 }
 
 // A star query around one student with `nodes` total query nodes.
@@ -118,11 +162,13 @@ int main(int argc, char** argv) {
   // (a) time vs I = number of extracted paths: sweep the data size.
   {
     std::vector<double> xs, ys;
+    std::vector<PhasePoint> phases;
     size_t base = static_cast<size_t>(sama::bench::EnvScale());
     for (size_t u : {1 * (base + 1), 2 * (base + 1), 4 * (base + 1),
                      8 * (base + 1)}) {
       LubmEnv env = sama::bench::MakeLubmEnv(u, /*on_disk=*/false,
                                              "fig7a", threads);
+      auto noprune = MakeNoPruneEngine(env, threads);
       auto parsed = sama::ParseSparql(
           std::string(kPrefix) +
           "SELECT ?s WHERE { ?s ub:takesCourse ?c . ?s ub:memberOf ?d . "
@@ -134,8 +180,9 @@ int main(int argc, char** argv) {
       double ms = MedianQueryMillis(env.engine.get(), qg, 3);
       xs.push_back(static_cast<double>(stats.num_candidate_paths));
       ys.push_back(ms);
+      phases.push_back(MeasurePhases(env.engine.get(), noprune.get(), qg, 3));
     }
-    PrintSeries("(a) time vs I (#extracted paths)", "I", xs, ys);
+    PrintSeries("(a) time vs I (#extracted paths)", "I", xs, ys, phases);
   }
 
   // Fixed environment for (b) and (c).
@@ -143,10 +190,12 @@ int main(int argc, char** argv) {
       static_cast<size_t>(2 * sama::bench::EnvScale()) + 1;
   LubmEnv env = sama::bench::MakeLubmEnv(universities, /*on_disk=*/false,
                                          "fig7bc", threads);
+  auto noprune = MakeNoPruneEngine(env, threads);
 
   // (b) time vs #nodes in Q (3..23).
   {
     std::vector<double> xs, ys;
+    std::vector<PhasePoint> phases;
     for (size_t nodes = 3; nodes <= 23; nodes += 4) {
       auto parsed = sama::ParseSparql(StarQuery(nodes));
       if (!parsed.ok()) continue;
@@ -154,13 +203,15 @@ int main(int argc, char** argv) {
           parsed->ToQueryGraph(env.graph->shared_dict());
       xs.push_back(static_cast<double>(qg.num_nodes()));
       ys.push_back(MedianQueryMillis(env.engine.get(), qg, 3));
+      phases.push_back(MeasurePhases(env.engine.get(), noprune.get(), qg, 3));
     }
-    PrintSeries("(b) time vs #nodes in Q", "#nodes", xs, ys);
+    PrintSeries("(b) time vs #nodes in Q", "#nodes", xs, ys, phases);
   }
 
   // (c) time vs #variables in Q (1..7).
   {
     std::vector<double> xs, ys;
+    std::vector<PhasePoint> phases;
     for (size_t vars = 1; vars <= 7; ++vars) {
       auto parsed = sama::ParseSparql(VariableQuery(vars));
       if (!parsed.ok()) continue;
@@ -168,8 +219,9 @@ int main(int argc, char** argv) {
           parsed->ToQueryGraph(env.graph->shared_dict());
       xs.push_back(static_cast<double>(qg.num_variables()));
       ys.push_back(MedianQueryMillis(env.engine.get(), qg, 3));
+      phases.push_back(MeasurePhases(env.engine.get(), noprune.get(), qg, 3));
     }
-    PrintSeries("(c) time vs #variables in Q", "#vars", xs, ys);
+    PrintSeries("(c) time vs #variables in Q", "#vars", xs, ys, phases);
   }
 
   std::printf(

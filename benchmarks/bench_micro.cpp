@@ -4,10 +4,15 @@
 //   * path enumeration over the data graph;
 //   * cluster construction;
 //   * buffer-pool reads (hit vs miss);
-//   * χ/ψ evaluation.
+//   * χ/ψ evaluation;
+// plus the query hot path in its three cache regimes — cold (pages and
+// query caches dropped), warm (pages resident, query memos dropped) and
+// memoized (everything resident) — isolating what the buffer pool vs
+// the query-side cache layer each buy.
 
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
 #include <memory>
 
 #include "core/alignment.h"
@@ -16,8 +21,10 @@
 #include "core/score.h"
 #include "datasets/govtrack.h"
 #include "datasets/lubm.h"
+#include "datasets/queries.h"
 #include "graph/path_enumerator.h"
 #include "index/path_index.h"
+#include "query/sparql.h"
 #include "text/thesaurus.h"
 
 namespace sama {
@@ -145,6 +152,97 @@ void BM_OptimalVsGreedyAlignment(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_OptimalVsGreedyAlignment)->Arg(0)->Arg(1);
+
+// Shared disk-backed LUBM environment for the end-to-end query-mode
+// benchmarks (built once; google-benchmark re-enters each BM_ body).
+struct QueryEnv {
+  std::unique_ptr<DataGraph> graph;
+  std::unique_ptr<PathIndex> index;
+  Thesaurus thesaurus;
+  std::unique_ptr<SamaEngine> engine;
+  QueryGraph query;
+
+  QueryEnv() {
+    LubmConfig config;
+    config.universities = 1;
+    graph = std::make_unique<DataGraph>(
+        DataGraph::FromTriples(GenerateLubm(config)));
+    index = std::make_unique<PathIndex>();
+    PathIndexOptions options;
+    std::string dir = (std::filesystem::temp_directory_path() /
+                       "sama_bench_micro_query")
+                          .string();
+    std::filesystem::create_directories(dir);
+    options.dir = dir;
+    (void)index->Build(*graph, options);
+    thesaurus = Thesaurus::BuiltinEnglish();
+    engine = std::make_unique<SamaEngine>(graph.get(), index.get(),
+                                          &thesaurus);
+    auto parsed = ParseSparql(MakeLubmQueries().front().sparql);
+    query = parsed->ToQueryGraph(graph->shared_dict());
+  }
+};
+
+QueryEnv& GlobalQueryEnv() {
+  static QueryEnv* env = new QueryEnv();
+  return *env;
+}
+
+// Cold: every page and every query-side cache entry dropped before each
+// query — the first-ever-query latency.
+void BM_QueryColdCache(benchmark::State& state) {
+  QueryEnv& env = GlobalQueryEnv();
+  for (auto _ : state) {
+    state.PauseTiming();
+    (void)env.index->DropCaches();  // Pages + query caches.
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(env.engine->Execute(env.query, 10));
+  }
+}
+BENCHMARK(BM_QueryColdCache);
+
+// Warm pages, cold memos: what the buffer pool alone buys.
+void BM_QueryWarmPages(benchmark::State& state) {
+  QueryEnv& env = GlobalQueryEnv();
+  (void)env.engine->Execute(env.query, 10);  // Fault the pages in.
+  for (auto _ : state) {
+    state.PauseTiming();
+    env.engine->DropQueryCaches();  // Memos only; pages stay resident.
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(env.engine->Execute(env.query, 10));
+  }
+}
+BENCHMARK(BM_QueryWarmPages);
+
+// Memoized: pages AND the query-side caches warm — the repeat-query
+// latency the sharded cache layer targets.
+void BM_QueryMemoized(benchmark::State& state) {
+  QueryEnv& env = GlobalQueryEnv();
+  (void)env.engine->Execute(env.query, 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env.engine->Execute(env.query, 10));
+  }
+}
+BENCHMARK(BM_QueryMemoized);
+
+// The alignment-memo hit path against recomputing the alignment.
+void BM_AlignmentMemoHitVsDirect(benchmark::State& state) {
+  AlignmentInput in = MakeAlignmentInput(64);
+  LabelComparator cmp(in.dict.get(), nullptr);
+  ScoreParams params;
+  AlignmentMemo memo(1024);
+  (void)memo.AlignCached(1, in.p, in.q, cmp, params);  // Prime.
+  if (state.range(0) == 0) {
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(Align(in.p, in.q, cmp, params));
+    }
+  } else {
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(memo.AlignCached(1, in.p, in.q, cmp, params));
+    }
+  }
+}
+BENCHMARK(BM_AlignmentMemoHitVsDirect)->Arg(0)->Arg(1);
 
 void BM_IndexLookupBySink(benchmark::State& state) {
   DataGraph graph = DataGraph::FromTriples(GovTrackFigure1Triples());

@@ -1,0 +1,41 @@
+#include "common/sharded_cache.h"
+
+#include <cstdio>
+
+namespace sama {
+
+double CacheCounters::HitRate() const {
+  uint64_t total = lookups();
+  return total == 0 ? 0.0
+                    : static_cast<double>(hits) / static_cast<double>(total);
+}
+
+std::string CacheCounters::ToString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                "%llu/%llu hits (%.1f%%), %llu evicted",
+                static_cast<unsigned long long>(hits),
+                static_cast<unsigned long long>(lookups()),
+                100.0 * HitRate(),
+                static_cast<unsigned long long>(evictions));
+  return buf;
+}
+
+CacheCounters& CacheCounters::operator+=(const CacheCounters& other) {
+  hits += other.hits;
+  misses += other.misses;
+  evictions += other.evictions;
+  insertions += other.insertions;
+  return *this;
+}
+
+CacheCounters CacheCounters::operator-(const CacheCounters& other) const {
+  CacheCounters delta;
+  delta.hits = hits - other.hits;
+  delta.misses = misses - other.misses;
+  delta.evictions = evictions - other.evictions;
+  delta.insertions = insertions - other.insertions;
+  return delta;
+}
+
+}  // namespace sama

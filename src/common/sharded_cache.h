@@ -1,0 +1,218 @@
+#ifndef SAMA_COMMON_SHARDED_CACHE_H_
+#define SAMA_COMMON_SHARDED_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace sama {
+
+// Monotonic hit/miss/eviction counters of one cache (or the aggregate
+// over its shards). Snapshots are plain values, so a caller can take
+// one before and one after a query and subtract to get the per-query
+// contribution (QueryStats does exactly that).
+struct CacheCounters {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t insertions = 0;
+
+  uint64_t lookups() const { return hits + misses; }
+  // Hits over lookups; 0 when the cache was never consulted.
+  double HitRate() const;
+  // "123/456 hits (27.0%), 78 evicted" — for --stats output.
+  std::string ToString() const;
+
+  CacheCounters& operator+=(const CacheCounters& other);
+  CacheCounters operator-(const CacheCounters& other) const;
+};
+
+// A generic thread-safe LRU cache, sharded by key hash so concurrent
+// query threads contend on different mutexes. Each shard pre-allocates
+// its node arena up front (capacity/shards slots) and recycles slots on
+// eviction, so a warm cache performs no allocation besides the value
+// payloads themselves. Values are returned by copy: the caller owns its
+// snapshot and the cache can evict freely.
+//
+// The cache is an optimisation layer only — every user must produce
+// identical results with the cache disabled. In particular a value must
+// never be Put() unless it is the verified, durable answer for its key
+// (e.g. a path record that failed its checksum is NEVER cached; see
+// PathIndex::GetPath).
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class ShardedLruCache {
+ public:
+  // `capacity` is the total entry budget across `shards` shards (each
+  // shard gets an equal slice, minimum one entry).
+  explicit ShardedLruCache(size_t capacity, size_t shards = 8)
+      : per_shard_capacity_(
+            capacity / (shards == 0 ? 1 : shards) +
+            (capacity % (shards == 0 ? 1 : shards) != 0 ? 1 : 0)) {
+    if (shards == 0) shards = 1;
+    if (per_shard_capacity_ == 0) per_shard_capacity_ = 1;
+    shards_.reserve(shards);
+    for (size_t i = 0; i < shards; ++i) {
+      shards_.push_back(std::make_unique<Shard>());
+      shards_.back()->arena.reserve(per_shard_capacity_);
+    }
+  }
+
+  ShardedLruCache(const ShardedLruCache&) = delete;
+  ShardedLruCache& operator=(const ShardedLruCache&) = delete;
+
+  // Copies the cached value for `key` into `*out` and marks the entry
+  // most-recently-used. Returns false (and counts a miss) when absent.
+  bool Get(const Key& key, Value* out) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+      shard.misses.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    MoveToFront(shard, it->second);
+    *out = shard.arena[it->second].value;
+    shard.hits.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  // Inserts or overwrites the value for `key`, evicting the
+  // least-recently-used entry of the key's shard when full.
+  void Put(const Key& key, Value value) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      shard.arena[it->second].value = std::move(value);
+      MoveToFront(shard, it->second);
+      return;
+    }
+    uint32_t slot;
+    if (shard.arena.size() < per_shard_capacity_) {
+      slot = static_cast<uint32_t>(shard.arena.size());
+      shard.arena.push_back(Node{});
+    } else {
+      // Recycle the LRU tail slot.
+      slot = shard.tail;
+      Unlink(shard, slot);
+      shard.map.erase(shard.arena[slot].key);
+      shard.evictions.fetch_add(1, std::memory_order_relaxed);
+    }
+    Node& node = shard.arena[slot];
+    node.key = key;
+    node.value = std::move(value);
+    LinkFront(shard, slot);
+    shard.map.emplace(key, slot);
+    shard.insertions.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Drops every entry (index rebuilds, DropCaches). Counters are kept:
+  // they are lifetime totals, and per-query deltas subtract out.
+  void Clear() {
+    for (auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      shard->map.clear();
+      shard->arena.clear();
+      shard->head = kNil;
+      shard->tail = kNil;
+    }
+  }
+
+  CacheCounters counters() const {
+    CacheCounters total;
+    for (const auto& shard : shards_) {
+      total.hits += shard->hits.load(std::memory_order_relaxed);
+      total.misses += shard->misses.load(std::memory_order_relaxed);
+      total.evictions += shard->evictions.load(std::memory_order_relaxed);
+      total.insertions += shard->insertions.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  size_t size() const {
+    size_t n = 0;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      n += shard->map.size();
+    }
+    return n;
+  }
+
+  size_t capacity() const { return per_shard_capacity_ * shards_.size(); }
+  size_t shard_count() const { return shards_.size(); }
+
+ private:
+  static constexpr uint32_t kNil = UINT32_MAX;
+
+  struct Node {
+    Key key{};
+    Value value{};
+    uint32_t prev = kNil;
+    uint32_t next = kNil;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<Node> arena;  // Fixed-capacity slab; slots recycled.
+    std::unordered_map<Key, uint32_t, Hash> map;
+    uint32_t head = kNil;  // Most recently used.
+    uint32_t tail = kNil;  // Least recently used.
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> evictions{0};
+    std::atomic<uint64_t> insertions{0};
+  };
+
+  Shard& ShardFor(const Key& key) {
+    // Finalizer-style mix: std::hash may be the identity on integral
+    // keys, whose low bits often carry structure.
+    uint64_t h = static_cast<uint64_t>(Hash{}(key));
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return *shards_[h % shards_.size()];
+  }
+
+  void Unlink(Shard& shard, uint32_t slot) {
+    Node& node = shard.arena[slot];
+    if (node.prev != kNil) {
+      shard.arena[node.prev].next = node.next;
+    } else {
+      shard.head = node.next;
+    }
+    if (node.next != kNil) {
+      shard.arena[node.next].prev = node.prev;
+    } else {
+      shard.tail = node.prev;
+    }
+    node.prev = kNil;
+    node.next = kNil;
+  }
+
+  void LinkFront(Shard& shard, uint32_t slot) {
+    Node& node = shard.arena[slot];
+    node.prev = kNil;
+    node.next = shard.head;
+    if (shard.head != kNil) shard.arena[shard.head].prev = slot;
+    shard.head = slot;
+    if (shard.tail == kNil) shard.tail = slot;
+  }
+
+  void MoveToFront(Shard& shard, uint32_t slot) {
+    if (shard.head == slot) return;
+    Unlink(shard, slot);
+    LinkFront(shard, slot);
+  }
+
+  size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace sama
+
+#endif  // SAMA_COMMON_SHARDED_CACHE_H_

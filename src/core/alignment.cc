@@ -294,4 +294,82 @@ PathAlignment Align(const Path& p, const Path& q,
   return AlignPaths(p, q, cmp, params, lambda_cutoff);
 }
 
+AlignmentMemo::AlignmentMemo(size_t capacity, size_t shards)
+    : cache_(capacity, shards) {}
+
+void AlignmentMemo::Clear() { cache_.Clear(); }
+
+CacheCounters AlignmentMemo::counters() const { return cache_.counters(); }
+
+namespace {
+
+void AppendRaw(std::string* key, const void* data, size_t n) {
+  key->append(static_cast<const char*>(data), n);
+}
+
+void AppendU64(std::string* key, uint64_t v) { AppendRaw(key, &v, sizeof(v)); }
+
+void AppendF64(std::string* key, double v) { AppendRaw(key, &v, sizeof(v)); }
+
+}  // namespace
+
+AlignmentMemo::QueryKey AlignmentMemo::MakeQueryKey(const Path& q,
+                                                    const LabelComparator& cmp,
+                                                    const ScoreParams& params) {
+  // Fixed-width binary encoding — unambiguous by construction (every
+  // field is fixed size or length-prefixed), so two distinct
+  // computations can never share a key. The data path id is appended
+  // per lookup in AlignCached.
+  QueryKey qk;
+  std::string& key = qk.bytes_;
+  key.reserve(64 + 4 * (q.node_labels.size() + q.edge_labels.size()));
+  key.push_back(static_cast<char>(params.alignment_mode));
+  AppendF64(&key, params.weights.node_delete);
+  AppendF64(&key, params.weights.node_insert);
+  AppendF64(&key, params.weights.edge_delete);
+  AppendF64(&key, params.weights.edge_insert);
+  const Thesaurus* thesaurus = cmp.thesaurus();
+  AppendU64(&key, thesaurus == nullptr ? 0 : thesaurus->identity());
+  AppendU64(&key, q.node_labels.size());
+  for (TermId id : q.node_labels) AppendRaw(&key, &id, sizeof(id));
+  for (TermId id : q.edge_labels) AppendRaw(&key, &id, sizeof(id));
+  return qk;
+}
+
+PathAlignment AlignmentMemo::AlignCached(const QueryKey& query_key,
+                                         uint64_t data_path_id, const Path& p,
+                                         const Path& q,
+                                         const LabelComparator& cmp,
+                                         const ScoreParams& params,
+                                         double lambda_cutoff) {
+  std::string key;
+  key.reserve(query_key.bytes_.size() + sizeof(uint64_t));
+  key.append(query_key.bytes_);
+  AppendU64(&key, data_path_id);
+  Entry entry;
+  if (cache_.Get(key, &entry)) {
+    if (!entry.alignment.aborted) {
+      // Full alignment: answers any cutoff. Cost accrual is monotone,
+      // so the direct greedy scan aborts exactly when the full λ ≥
+      // cutoff. (The DP ignores the cutoff and never aborts, so its
+      // entries are served verbatim.)
+      if (params.alignment_mode != AlignmentMode::kOptimalDp &&
+          entry.alignment.lambda >= lambda_cutoff) {
+        entry.alignment.aborted = true;  // λ stays ≥ cutoff, as direct.
+      }
+      return std::move(entry.alignment);
+    }
+    // Aborted entry: its partial λ already reached entry.cutoff_used,
+    // so any cutoff ≤ that partial λ would abort too. A larger cutoff
+    // might let the scan complete — fall through, recompute under the
+    // new cutoff, and overwrite with the more informative result.
+    if (lambda_cutoff <= entry.alignment.lambda) {
+      return std::move(entry.alignment);
+    }
+  }
+  PathAlignment fresh = Align(p, q, cmp, params, lambda_cutoff);
+  cache_.Put(key, Entry{fresh, lambda_cutoff});
+  return fresh;
+}
+
 }  // namespace sama

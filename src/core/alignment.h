@@ -2,8 +2,11 @@
 #define SAMA_CORE_ALIGNMENT_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <limits>
+#include <string>
 
+#include "common/sharded_cache.h"
 #include "core/label_comparator.h"
 #include "core/score_params.h"
 #include "graph/path.h"
@@ -76,6 +79,79 @@ PathAlignment Align(
     const Path& p, const Path& q, const LabelComparator& cmp,
     const ScoreParams& params,
     double lambda_cutoff = std::numeric_limits<double>::infinity());
+
+// A thread-safe, LRU-bounded memo over Align(). Entries are keyed by
+// (data path id, alignment mode, Equation-1 weights, thesaurus content
+// identity, the query path's full label sequence), so a hit is
+// guaranteed to describe the same computation — path ids are immutable
+// once stored, TermIds never change meaning within a store's
+// dictionary, and a mutated thesaurus gets a fresh identity.
+//
+// Cutoff handling preserves the early-exit semantics exactly
+// (alignment cost accrues monotonically, so a scan under cutoff c
+// aborts iff the full λ ≥ c):
+//   * a memoized FULL alignment answers ANY cutoff — served verbatim
+//     when λ < cutoff, reported as aborted when λ ≥ cutoff;
+//   * a memoized ABORTED alignment (partial λ ≥ the cutoff it ran
+//     under) answers any cutoff ≤ its partial λ (the new scan would
+//     abort too); stricter asks recompute and overwrite the entry.
+// Callers discard aborted results without reading φ/τ (see ScoreChunk),
+// which is why serving a full alignment with the aborted flag set is
+// indistinguishable from the direct computation.
+class AlignmentMemo {
+ public:
+  // The key material every candidate aligned against the same query
+  // path shares: alignment mode, Equation-1 weights, thesaurus
+  // identity and q's full label sequence. Serializing it is the
+  // expensive part of a lookup, so ScoreChunk builds one QueryKey per
+  // cluster and reuses it across all candidates — the per-candidate
+  // cost is then an 8-byte id append.
+  class QueryKey {
+   public:
+    QueryKey() = default;
+
+   private:
+    friend class AlignmentMemo;
+    std::string bytes_;
+  };
+  static QueryKey MakeQueryKey(const Path& q, const LabelComparator& cmp,
+                               const ScoreParams& params);
+
+  // `capacity` entries across `shards` shards (see ShardedLruCache).
+  explicit AlignmentMemo(size_t capacity, size_t shards = 8);
+
+  // Align(p, q, cmp, params, lambda_cutoff) through the memo.
+  // `data_path_id` must uniquely identify p's label content within the
+  // store this memo serves (PathStore ids qualify). `query_key` must
+  // have been built from this call's (q, cmp, params).
+  PathAlignment AlignCached(
+      const QueryKey& query_key, uint64_t data_path_id, const Path& p,
+      const Path& q, const LabelComparator& cmp, const ScoreParams& params,
+      double lambda_cutoff = std::numeric_limits<double>::infinity());
+
+  // Convenience overload for one-off lookups (tests, benchmarks).
+  PathAlignment AlignCached(
+      uint64_t data_path_id, const Path& p, const Path& q,
+      const LabelComparator& cmp, const ScoreParams& params,
+      double lambda_cutoff = std::numeric_limits<double>::infinity()) {
+    return AlignCached(MakeQueryKey(q, cmp, params), data_path_id, p, q, cmp,
+                       params, lambda_cutoff);
+  }
+
+  // Drops every entry (index rebuilds / store swaps).
+  void Clear();
+  CacheCounters counters() const;
+  size_t size() const { return cache_.size(); }
+
+ private:
+  struct Entry {
+    PathAlignment alignment;
+    // The cutoff the memoized run used; +infinity for full alignments.
+    double cutoff_used = std::numeric_limits<double>::infinity();
+  };
+
+  ShardedLruCache<std::string, Entry> cache_;
+};
 
 }  // namespace sama
 

@@ -98,10 +98,19 @@ Status ScoreChunk(const QueryGraph& query, const Path& q,
                   const ChunkWork& work, const PathIndex& index,
                   const Thesaurus* thesaurus, const ScoreParams& params,
                   const ClusteringOptions& options,
+                  const QueryCaches* caches,
                   std::vector<ScoredPath>* out,
                   std::atomic<uint64_t>* corrupt_skipped,
                   std::atomic<uint64_t>* io_retried) {
-  LabelComparator cmp(&query.dict(), thesaurus);
+  LabelComparator cmp(&query.dict(), thesaurus,
+                      caches != nullptr ? caches->label_matches : nullptr);
+  AlignmentMemo* memo =
+      caches != nullptr ? caches->alignment_memo : nullptr;
+  // One key build per chunk; candidates only append their 8-byte id.
+  AlignmentMemo::QueryKey memo_key;
+  if (memo != nullptr) {
+    memo_key = AlignmentMemo::MakeQueryKey(q, cmp, params);
+  }
   const size_t cap = options.max_candidates_per_cluster;
   const bool early_exit = options.early_exit_alignment && cap != 0;
   // Track the cap-th best λ seen so far in this chunk; alignments
@@ -116,9 +125,13 @@ Status ScoreChunk(const QueryGraph& query, const Path& q,
     SAMA_RETURN_IF_ERROR(LoadCandidate(index, sp.id, options, &sp.path,
                                        &skip, corrupt_skipped, io_retried));
     if (skip) continue;
+    double effective_cutoff =
+        early_exit ? cutoff : std::numeric_limits<double>::infinity();
     sp.alignment =
-        Align(sp.path, q, cmp, params,
-              early_exit ? cutoff : std::numeric_limits<double>::infinity());
+        memo != nullptr
+            ? memo->AlignCached(memo_key, sp.id, sp.path, q, cmp, params,
+                                effective_cutoff)
+            : Align(sp.path, q, cmp, params, effective_cutoff);
     if (sp.alignment.aborted) continue;  // Cannot make the top n.
     if (early_exit) {
       kept_lambdas.push(sp.alignment.lambda);
@@ -142,7 +155,8 @@ Result<std::vector<Cluster>> BuildClusters(const QueryGraph& query,
                                            ThreadPool* pool,
                                            std::atomic<uint64_t>* busy_nanos,
                                            std::atomic<uint64_t>* corrupt_skipped,
-                                           std::atomic<uint64_t>* io_retried) {
+                                           std::atomic<uint64_t>* io_retried,
+                                           const QueryCaches* caches) {
   // Honour the legacy knob: callers that ask for num_threads without
   // providing a shared pool get a transient one.
   std::unique_ptr<ThreadPool> transient;
@@ -182,8 +196,8 @@ Result<std::vector<Cluster>> BuildClusters(const QueryGraph& query,
         const ChunkWork& work = plan[w];
         return ScoreChunk(query, query.paths()[work.cluster],
                           candidates[work.cluster], work, index, thesaurus,
-                          params, options, &chunk_out[w], corrupt_skipped,
-                          io_retried);
+                          params, options, caches, &chunk_out[w],
+                          corrupt_skipped, io_retried);
       },
       busy_nanos));
 

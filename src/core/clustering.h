@@ -37,6 +37,19 @@ struct Cluster {
   size_t size() const { return paths.size(); }
 };
 
+// Optional engine-owned, cross-query caches threaded into candidate
+// scoring (all borrowed; null members simply disable that layer).
+// Every cache is a pure optimisation: BuildClusters output is
+// bit-identical with and without them (tests/core/engine_cache_test.cc
+// locks this in).
+struct QueryCaches {
+  // Cross-chunk memo of label-pair match results (each chunk still
+  // keeps its local lock-free memo in front).
+  ShardedLruCache<uint64_t, LabelMatch>* label_matches = nullptr;
+  // Cross-query memo of full path alignments; see AlignmentMemo.
+  AlignmentMemo* alignment_memo = nullptr;
+};
+
 struct ClusteringOptions {
   // Keep only the best n candidates per cluster after scoring
   // (0 = keep all). The λ order is unaffected.
@@ -85,7 +98,8 @@ Result<std::vector<Cluster>> BuildClusters(
     const ClusteringOptions& options, ThreadPool* pool = nullptr,
     std::atomic<uint64_t>* busy_nanos = nullptr,
     std::atomic<uint64_t>* corrupt_skipped = nullptr,
-    std::atomic<uint64_t>* io_retried = nullptr);
+    std::atomic<uint64_t>* io_retried = nullptr,
+    const QueryCaches* caches = nullptr);
 
 }  // namespace sama
 

@@ -4,6 +4,46 @@
 
 namespace sama {
 
+SamaEngine::SamaEngine(const DataGraph* graph, const PathIndex* index,
+                       const Thesaurus* thesaurus, EngineOptions options)
+    : graph_(graph),
+      index_(index),
+      thesaurus_(thesaurus),
+      options_(options) {
+  size_t threads = options.num_threads == 0 ? ThreadPool::HardwareThreads()
+                                            : options.num_threads;
+  // The calling thread participates in every parallel section, so a
+  // request for N threads needs N-1 pool workers. The pool is shared
+  // (engine copies in ExecuteSparql reuse it) and lives for the
+  // engine's lifetime, not per query.
+  if (threads > 1) pool_ = std::make_shared<ThreadPool>(threads - 1);
+
+  const QueryCacheOptions& cache = options_.cache;
+  if (cache.enabled) {
+    label_cache_ = std::make_shared<ShardedLruCache<uint64_t, LabelMatch>>(
+        cache.label_match_entries, cache.shards);
+    alignment_memo_ = std::make_shared<AlignmentMemo>(
+        cache.alignment_memo_entries, cache.shards);
+    label_cache_identity_ = std::make_shared<std::atomic<uint64_t>>(
+        thesaurus_ == nullptr ? 0 : thesaurus_->identity());
+  }
+  if (index_ != nullptr) {
+    IndexCacheConfig index_cache;
+    index_cache.enabled = cache.enabled;
+    index_cache.posting_entries = cache.posting_entries;
+    index_cache.lookup_entries = cache.path_lookup_entries;
+    index_cache.record_entries = cache.path_record_entries;
+    index_cache.shards = cache.shards;
+    index_->ConfigureQueryCache(index_cache);
+  }
+}
+
+void SamaEngine::DropQueryCaches() const {
+  if (label_cache_) label_cache_->Clear();
+  if (alignment_memo_) alignment_memo_->Clear();
+  if (index_ != nullptr) index_->DropQueryCaches();
+}
+
 Result<std::vector<Answer>> SamaEngine::ExecuteSparql(
     const SparqlQuery& query, size_t k, QueryStats* stats) const {
   if (k == 0) k = query.limit;
@@ -31,6 +71,27 @@ Result<std::vector<Answer>> SamaEngine::Execute(const QueryGraph& query,
   local.threads_used = threads_used();
   ThreadPool* pool = pool_.get();
 
+  // Cross-query caches: verify the label cache still matches the
+  // thesaurus content (mutations between queries clear it; the other
+  // caches embed the identity in their keys), then snapshot every
+  // lifetime counter so this query's activity reports as deltas.
+  if (label_cache_ != nullptr) {
+    uint64_t identity = thesaurus_ == nullptr ? 0 : thesaurus_->identity();
+    if (label_cache_identity_->exchange(identity) != identity) {
+      label_cache_->Clear();
+    }
+  }
+  QueryCaches caches;
+  caches.label_matches = label_cache_.get();
+  caches.alignment_memo = alignment_memo_.get();
+  const IndexCacheCounters index_before = index_->query_cache_counters();
+  const CacheCounters label_before =
+      label_cache_ ? label_cache_->counters() : CacheCounters{};
+  const CacheCounters memo_before =
+      alignment_memo_ ? alignment_memo_->counters() : CacheCounters{};
+  const CacheCounters thesaurus_before =
+      thesaurus_ ? thesaurus_->relatedness_cache_counters() : CacheCounters{};
+
   // Preprocessing: PQ is computed by the QueryGraph itself; build the
   // intersection query graph here.
   WallTimer phase;
@@ -50,7 +111,7 @@ Result<std::vector<Answer>> SamaEngine::Execute(const QueryGraph& query,
   auto clusters_or =
       BuildClusters(query, *index_, thesaurus_, options_.params,
                     clustering_options, pool, &clustering_busy,
-                    &corrupt_skipped, &io_retried);
+                    &corrupt_skipped, &io_retried, &caches);
   if (!clusters_or.ok()) return clusters_or.status();
   const std::vector<Cluster>& clusters = *clusters_or;
   local.clustering_millis = phase.ElapsedMillis();
@@ -65,11 +126,31 @@ Result<std::vector<Answer>> SamaEngine::Execute(const QueryGraph& query,
   ForestSearchOptions search_options = options_.search;
   if (k != 0) search_options.k = k;
   std::atomic<uint64_t> search_busy{0};
+  ForestSearchStats fstats;
   auto answers_or = ForestSearch(query, ig, clusters, options_.params,
-                                 search_options, pool, &search_busy);
+                                 search_options, pool, &search_busy, &fstats);
   if (!answers_or.ok()) return answers_or.status();
   local.search_millis = phase.ElapsedMillis();
   local.search_busy_millis = static_cast<double>(search_busy.load()) / 1e6;
+  local.search_expansions = fstats.expansions;
+  local.search_bound_pruned = fstats.bound_pruned;
+  local.search_roots_pruned = fstats.roots_pruned;
+  local.search_truncated = fstats.truncated;
+
+  const IndexCacheCounters index_after = index_->query_cache_counters();
+  local.posting_cache = index_after.postings - index_before.postings;
+  local.path_lookup_cache = index_after.lookups - index_before.lookups;
+  local.path_record_cache = index_after.records - index_before.records;
+  if (label_cache_) {
+    local.label_match_cache = label_cache_->counters() - label_before;
+  }
+  if (alignment_memo_) {
+    local.alignment_memo = alignment_memo_->counters() - memo_before;
+  }
+  if (thesaurus_ != nullptr) {
+    local.thesaurus_cache =
+        thesaurus_->relatedness_cache_counters() - thesaurus_before;
+  }
 
   local.total_millis = total.ElapsedMillis();
   local.num_answers = answers_or->size();

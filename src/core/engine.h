@@ -1,6 +1,7 @@
 #ifndef SAMA_CORE_ENGINE_H_
 #define SAMA_CORE_ENGINE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <memory>
 #include <vector>
@@ -17,10 +18,36 @@
 
 namespace sama {
 
+// Sizing/enable knobs for the engine's query-side cache layer: the
+// index caches (postings, candidate lists, path records), the shared
+// label-match memo and the alignment memo. Every layer is a pure
+// optimisation — answers are byte-identical with `enabled = false`
+// (tests/core/engine_cache_test.cc) — and entry keys embed the
+// thesaurus content identity, so vocabulary changes can never serve
+// stale results. Caches are created at engine construction and shared
+// across queries; that cross-query reuse is where the warm-path
+// speedup comes from.
+struct QueryCacheOptions {
+  bool enabled = true;
+  // Per-inverted-index memo over semantic label lookups (×4 indexes).
+  size_t posting_entries = 2048;
+  // PathIndex candidate-list lookups (term → path ids).
+  size_t path_lookup_entries = 2048;
+  // Decoded, checksum-verified path records (corrupt reads are never
+  // cached; see PathIndex::GetPath).
+  size_t path_record_entries = 16384;
+  // Cross-query label-pair match results.
+  size_t label_match_entries = 1 << 16;
+  // Memoized full path alignments (see AlignmentMemo).
+  size_t alignment_memo_entries = 1 << 15;
+  size_t shards = 8;
+};
+
 struct EngineOptions {
   ScoreParams params;
   ClusteringOptions clustering;
   ForestSearchOptions search;
+  QueryCacheOptions cache;
   // ExecuteSparql deduplicates answers on the SELECT variables
   // (projection semantics); Execute on a raw QueryGraph never does.
   bool dedup_select_bindings = true;
@@ -65,6 +92,34 @@ struct QueryStats {
   // healthy index.
   uint64_t corrupt_records_skipped = 0;
   uint64_t io_retries = 0;
+
+  // Query-side cache activity during THIS query: per-query deltas of
+  // the shared caches' monotonic lifetime counters. All zero when
+  // caching is disabled (QueryCacheOptions::enabled == false).
+  CacheCounters posting_cache;      // Inverted-index semantic lookups.
+  CacheCounters path_lookup_cache;  // Candidate-list lookups.
+  CacheCounters path_record_cache;  // GetPath records.
+  CacheCounters label_match_cache;  // Shared label-pair matches.
+  CacheCounters alignment_memo;     // Memoized path alignments.
+  CacheCounters thesaurus_cache;    // AreRelated BFS memo.
+
+  // Forest-search branch-and-bound accounting
+  // (ScoreParams::prune_search); pruning counters stay zero in the
+  // exhaustive ablation.
+  uint64_t search_expansions = 0;
+  uint64_t search_bound_pruned = 0;
+  uint64_t search_roots_pruned = 0;
+  // True when the anytime budget cut the combination space short (a
+  // subtree exhausted its share, or subtrees went unexamined); while
+  // false the ranked answers are provably exact, pruning or not.
+  bool search_truncated = false;
+  double SearchPruningRatio() const {
+    double skipped =
+        static_cast<double>(search_bound_pruned + search_roots_pruned);
+    double considered = skipped + static_cast<double>(search_expansions);
+    return considered == 0 ? 0.0 : skipped / considered;
+  }
+
   double ClusteringSpeedup() const {
     return clustering_millis > 0 ? clustering_busy_millis / clustering_millis
                                  : 1.0;
@@ -82,20 +137,11 @@ class SamaEngine {
  public:
   // All pointers are borrowed and must outlive the engine; `thesaurus`
   // may be null to disable semantic matching.
+  // Construction also installs the query-side caches (options.cache)
+  // on `index` — note that a second engine constructed over the SAME
+  // index reconfigures those shared index caches with ITS options.
   SamaEngine(const DataGraph* graph, const PathIndex* index,
-             const Thesaurus* thesaurus, EngineOptions options = {})
-      : graph_(graph),
-        index_(index),
-        thesaurus_(thesaurus),
-        options_(options) {
-    size_t threads = options.num_threads == 0 ? ThreadPool::HardwareThreads()
-                                              : options.num_threads;
-    // The calling thread participates in every parallel section, so a
-    // request for N threads needs N-1 pool workers. The pool is shared
-    // (engine copies in ExecuteSparql reuse it) and lives for the
-    // engine's lifetime, not per query.
-    if (threads > 1) pool_ = std::make_shared<ThreadPool>(threads - 1);
-  }
+             const Thesaurus* thesaurus, EngineOptions options = {});
 
   // Runs a parsed SPARQL query; `k` overrides options.search.k when
   // non-zero, else the query's LIMIT applies, else the option default.
@@ -124,12 +170,25 @@ class SamaEngine {
     return pool_ == nullptr ? 1 : pool_->worker_count() + 1;
   }
 
+  // Drops every query-side cache entry (engine-owned memos AND the
+  // index's caches) without resizing them — cold-cache experiments.
+  void DropQueryCaches() const;
+
  private:
   const DataGraph* graph_;
   const PathIndex* index_;
   const Thesaurus* thesaurus_;
   EngineOptions options_;
   std::shared_ptr<ThreadPool> pool_;
+  // Engine-owned cross-query memos, shared by the engine copies
+  // ExecuteSparql makes (hence shared_ptr).
+  std::shared_ptr<ShardedLruCache<uint64_t, LabelMatch>> label_cache_;
+  std::shared_ptr<AlignmentMemo> alignment_memo_;
+  // The thesaurus content identity the label cache's entries were
+  // computed under; a mismatch at query time (the thesaurus was
+  // mutated) clears the cache. The alignment memo embeds the identity
+  // in its keys and needs no such check.
+  std::shared_ptr<std::atomic<uint64_t>> label_cache_identity_;
 };
 
 }  // namespace sama

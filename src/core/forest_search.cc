@@ -58,7 +58,15 @@ Result<std::vector<Answer>> ForestSearch(const QueryGraph& query,
                                          const ScoreParams& params,
                                          const ForestSearchOptions& options,
                                          ThreadPool* pool,
-                                         std::atomic<uint64_t>* busy_nanos) {
+                                         std::atomic<uint64_t>* busy_nanos,
+                                         ForestSearchStats* fstats) {
+  if (fstats != nullptr) *fstats = ForestSearchStats{};
+  // Score-bounded pruning (params.prune_search) may ONLY skip work the
+  // bounds prove irrelevant: with it off, the same enumeration runs
+  // exhaustively and must produce byte-identical answers (ranked list
+  // AND tie-breaks) — tests/core/forest_pruning_test.cc compares both
+  // modes candidate for candidate.
+  const bool prune = params.prune_search;
   // Split clusters into the active (non-empty) ones we combine over and
   // the empty ones we charge a deletion penalty for.
   std::vector<const Cluster*> active;
@@ -290,12 +298,14 @@ Result<std::vector<Answer>> ForestSearch(const QueryGraph& query,
   // when the freshly placed candidate breaks connectivity/binding
   // requirements. Returns the expansions actually used (<= share).
   auto search_subtree = [&](size_t root, double inherited_threshold,
-                            size_t share, std::vector<Answer>* out) {
+                            size_t share, std::vector<Answer>* out,
+                            size_t* pruned_out, bool* truncated_out) {
     std::vector<size_t> choice(m, 0);
     std::vector<double> psi_prefix(m + 1, 0.0);  // ψ of edges in prefix.
     std::vector<double> lambda_prefix(m + 1, 0.0);
     std::unordered_map<std::string, double> local_best;
     size_t used = 0;
+    size_t pruned = 0;
     bool out_of_budget = false;
 
     auto threshold = [&]() {
@@ -404,7 +414,10 @@ Result<std::vector<Answer>> ForestSearch(const QueryGraph& query,
         double optimistic = fixed_cost + lambda_sum +
                             min_lambda_suffix[pos + 1] + psi_prefix[pos] +
                             psi_lb_suffix[pos];
-        if (optimistic >= threshold()) break;
+        if (prune && optimistic >= threshold()) {
+          pruned += candidate_count - pick;
+          break;
+        }
 
         // Exact ψ of the edges this position completes, plus validity.
         double psi_here = 0;
@@ -429,7 +442,10 @@ Result<std::vector<Answer>> ForestSearch(const QueryGraph& query,
         }
         if (!valid) continue;
         double full_bound = optimistic + psi_here - psi_lb_at[pos];
-        if (full_bound >= threshold()) continue;
+        if (prune && full_bound >= threshold()) {
+          ++pruned;
+          continue;
+        }
 
         choice[pos] = idx;
         lambda_prefix[pos + 1] = lambda_sum;
@@ -446,6 +462,8 @@ Result<std::vector<Answer>> ForestSearch(const QueryGraph& query,
     lambda_prefix[1] = candidate(0, root).lambda();
     psi_prefix[1] = 0.0;  // No edge completes at position 0.
     descend(descend, 1);
+    *pruned_out = pruned;
+    *truncated_out = out_of_budget;
     return used;
   };
 
@@ -454,73 +472,149 @@ Result<std::vector<Answer>> ForestSearch(const QueryGraph& query,
   // budget account advance. All scheduling decisions depend only on
   // query shape, options and previously merged results — never on the
   // thread count or timing.
+  // The expansion budget is dealt out in rounds of per-subtree shares
+  // with rollover and retry: each round slices the unspent budget
+  // evenly over the subtrees still unfinished, so budget a subtree did
+  // not use (or that a root-bound prune released) funds deeper shares
+  // later. A subtree that exhausts its share is retried in a later
+  // round once the share has grown past the one it was truncated at;
+  // its best-so-far answers are held back — merged only if it never
+  // completes — so a retry can never double-insert. This lets any
+  // query whose TOTAL pruned work fits the budget run to completion
+  // even when the work is concentrated in a few subtrees, where a
+  // static budget/num_subtrees split would truncate them. All
+  // scheduling state advances at wave boundaries from deterministic
+  // quantities, never from thread count or timing.
   std::vector<Answer> results;
   std::unordered_map<std::string, double> best_by_tuple;
   const size_t num_subtrees = active[order[0]]->size();
-  // Each subtree's budget share mirrors the sequential splitter: an
-  // even slice of the total, floored so deep joins can always reach a
-  // few leaves.
-  const size_t share = std::max<size_t>(
-      64 * m, options.max_expansions / std::max<size_t>(1, num_subtrees));
   size_t total_used = 0;
-  size_t next_subtree = 0;
 
-  while (next_subtree < num_subtrees &&
-         total_used < options.max_expansions) {
-    double theta = (options.k != 0 && results.size() >= options.k)
-                       ? results.back().score
-                       : std::numeric_limits<double>::infinity();
-    // Shrink waves near the budget boundary so the total can NEVER
-    // overshoot max_expansions: a multi-subtree wave only runs when the
-    // remaining budget covers every share in full, and the final
-    // single-subtree wave is clipped to what is left. (m == 1 always
-    // uses waves of one, which refreshes the threshold after every
-    // candidate exactly like the classic sequential scan.)
-    const size_t remaining = options.max_expansions - total_used;
-    size_t wave_size =
-        m == 1 ? 1
-               : std::min(kWaveSize, std::max<size_t>(1, remaining / share));
-    const size_t wave_share = wave_size == 1 ? std::min(share, remaining)
-                                             : share;
-    // λ-only bound of a subtree's BEST completion; subtree roots are in
-    // ascending-λ order, so the first root that fails ends the search.
-    std::vector<size_t> wave;
-    while (wave.size() < wave_size && next_subtree < num_subtrees) {
-      double optimistic = fixed_cost + candidate(0, next_subtree).lambda() +
-                          min_lambda_suffix[1] + psi_lb_suffix[0];
-      if (optimistic >= theta) {
-        next_subtree = num_subtrees;
-        break;
+  // Unfinished subtrees, always in ascending root index — which is
+  // ascending root λ, the order the root bound needs.
+  std::vector<size_t> queue(num_subtrees);
+  for (size_t i = 0; i < num_subtrees; ++i) queue[i] = i;
+  // Per subtree: the share its last truncated attempt ran under (0 =
+  // never truncated) and that attempt's answers.
+  std::vector<size_t> truncated_at(num_subtrees, 0);
+  std::vector<std::vector<Answer>> held(num_subtrees);
+
+  while (!queue.empty() && total_used < options.max_expansions) {
+    const size_t round_remaining = options.max_expansions - total_used;
+    const size_t round_share = std::max<size_t>(
+        64 * m, round_remaining / queue.size());
+    // Retrying a subtree at a share no larger than the one that
+    // truncated it would deterministically repeat the same attempt.
+    std::vector<size_t> runnable;
+    for (size_t id : queue) {
+      if (truncated_at[id] < round_share) runnable.push_back(id);
+    }
+    if (runnable.empty()) break;
+
+    std::vector<uint8_t> completed(num_subtrees, 0);
+    size_t refuted_from = num_subtrees;  // Root-bound cut (λ suffix).
+    size_t next = 0;
+    while (next < runnable.size() && total_used < options.max_expansions) {
+      double theta = (options.k != 0 && results.size() >= options.k)
+                         ? results.back().score
+                         : std::numeric_limits<double>::infinity();
+      // Shrink waves near the budget boundary so the total can NEVER
+      // overshoot max_expansions: a multi-subtree wave only runs when
+      // the remaining budget covers every share in full, and the final
+      // single-subtree wave is clipped to what is left. (m == 1 always
+      // uses waves of one, which refreshes the threshold after every
+      // candidate exactly like the classic sequential scan.)
+      const size_t remaining = options.max_expansions - total_used;
+      size_t wave_size =
+          m == 1 ? 1
+                 : std::min(kWaveSize,
+                            std::max<size_t>(1, remaining / round_share));
+      const size_t wave_share =
+          wave_size == 1 ? std::min(round_share, remaining) : round_share;
+      // λ-only bound of a subtree's BEST completion; runnable roots are
+      // in ascending-λ order, so the first root that fails refutes
+      // every queued subtree from it onward (higher λ, same bound).
+      std::vector<size_t> wave;
+      while (wave.size() < wave_size && next < runnable.size()) {
+        double optimistic = fixed_cost +
+                            candidate(0, runnable[next]).lambda() +
+                            min_lambda_suffix[1] + psi_lb_suffix[0];
+        if (prune && optimistic >= theta) {
+          refuted_from = runnable[next];
+          next = runnable.size();
+          break;
+        }
+        wave.push_back(runnable[next++]);
       }
-      wave.push_back(next_subtree++);
-    }
-    if (wave.empty()) break;
+      if (wave.empty()) break;
 
-    std::vector<std::vector<Answer>> wave_out(wave.size());
-    std::vector<size_t> wave_used(wave.size(), 0);
-    if (wave.size() == 1) {
-      // Inline fast path (always taken for m == 1): no task handoff for
-      // a single-subtree wave.
-      wave_used[0] =
-          search_subtree(wave[0], theta, wave_share, &wave_out[0]);
-    } else {
-      SAMA_RETURN_IF_ERROR(ParallelFor(
-          pool, wave.size(),
-          [&](size_t w) -> Status {
-            wave_used[w] =
-                search_subtree(wave[w], theta, wave_share, &wave_out[w]);
-            return Status::Ok();
-          },
-          busy_nanos));
+      std::vector<std::vector<Answer>> wave_out(wave.size());
+      std::vector<size_t> wave_used(wave.size(), 0);
+      std::vector<size_t> wave_pruned(wave.size(), 0);
+      std::vector<uint8_t> wave_truncated(wave.size(), 0);
+      if (wave.size() == 1) {
+        // Inline fast path (always taken for m == 1): no task handoff
+        // for a single-subtree wave.
+        bool t = false;
+        wave_used[0] = search_subtree(wave[0], theta, wave_share,
+                                      &wave_out[0], &wave_pruned[0], &t);
+        wave_truncated[0] = t ? 1 : 0;
+      } else {
+        SAMA_RETURN_IF_ERROR(ParallelFor(
+            pool, wave.size(),
+            [&](size_t w) -> Status {
+              bool t = false;
+              wave_used[w] =
+                  search_subtree(wave[w], theta, wave_share, &wave_out[w],
+                                 &wave_pruned[w], &t);
+              wave_truncated[w] = t ? 1 : 0;
+              return Status::Ok();
+            },
+            busy_nanos));
+      }
+
+      // Deterministic merge: subtree order, then each subtree's
+      // answers in its own emit order; `keep` resolves scores, dedup
+      // and the k cut identically to a sequential insertion stream.
+      for (size_t w = 0; w < wave.size(); ++w) {
+        total_used += wave_used[w];
+        if (fstats != nullptr) fstats->bound_pruned += wave_pruned[w];
+        if (wave_truncated[w] != 0) {
+          truncated_at[wave[w]] = wave_share;
+          held[wave[w]] = std::move(wave_out[w]);
+        } else {
+          completed[wave[w]] = 1;
+          held[wave[w]].clear();
+          keep(std::move(wave_out[w]), &results, &best_by_tuple);
+        }
+      }
     }
 
-    // Deterministic merge: subtree order, then each subtree's answers
-    // in its own emit order; `keep` resolves scores, dedup and the k
-    // cut identically to a sequential insertion stream.
-    for (size_t w = 0; w < wave.size(); ++w) {
-      total_used += wave_used[w];
-      keep(std::move(wave_out[w]), &results, &best_by_tuple);
+    // Rebuild the queue: completed subtrees leave; refuted ones (root
+    // bound ≥ θ proves every answer in them, held ones included,
+    // scores at least θ) are dropped with their held answers.
+    std::vector<size_t> new_queue;
+    for (size_t id : queue) {
+      if (completed[id] != 0) continue;
+      if (id >= refuted_from) {
+        if (fstats != nullptr) ++fstats->roots_pruned;
+        held[id].clear();
+        continue;
+      }
+      new_queue.push_back(id);
     }
+    queue = std::move(new_queue);
+  }
+
+  // Anytime leftovers: subtrees that never completed contribute their
+  // best truncated attempt, merged in λ order.
+  const bool truncated = !queue.empty();
+  for (size_t id : queue) {
+    if (!held[id].empty()) keep(std::move(held[id]), &results, &best_by_tuple);
+  }
+  if (fstats != nullptr) {
+    fstats->expansions = total_used;
+    fstats->truncated = truncated;
   }
   return results;
 }

@@ -77,6 +77,37 @@ struct ForestSearchOptions {
   size_t max_expansions = 50000;
 };
 
+// Observability counters for one ForestSearch call, reported through
+// QueryStats and sama_cli --stats. Pruning counters stay zero when
+// params.prune_search is off (the exhaustive ablation).
+struct ForestSearchStats {
+  // Branch-and-bound steps actually taken (root placements + candidate
+  // placements), i.e. the part of options.max_expansions consumed.
+  uint64_t expansions = 0;
+  // Candidate placements skipped because the admissible Λ + Ψ lower
+  // bound of their prefix could not beat the current k-th best score.
+  uint64_t bound_pruned = 0;
+  // Whole root subtrees skipped by the wave scheduler's λ-only root
+  // bound (subtree roots are λ-sorted, so one failure ends the search).
+  uint64_t roots_pruned = 0;
+  // True when any part of the combination space went unexamined for
+  // budget reasons: a subtree exhausted its per-subtree share, or the
+  // wave loop stopped with subtrees left. While false, the returned
+  // top-k is provably exact (pruning only skips bound-refuted work);
+  // once true the answers are the anytime best-so-far. Note truncation
+  // can occur even when expansions < max_expansions, because the budget
+  // is split into per-subtree shares.
+  bool truncated = false;
+
+  // Skipped work over total work considered — 0 when nothing was
+  // pruned (e.g. prune_search off).
+  double PruningRatio() const {
+    double skipped = static_cast<double>(bound_pruned + roots_pruned);
+    double considered = skipped + static_cast<double>(expansions);
+    return considered == 0 ? 0.0 : skipped / considered;
+  }
+};
+
 // The Search step (§5): organises the clusters' paths into a forest
 // whose edges carry ⟨(qi,qj):[ψ]⟩ labels and generates the top-k
 // solutions best-first by Σλ with exact rescoring by Λ + Ψ. Worst case
@@ -91,11 +122,14 @@ struct ForestSearchOptions {
 // tie-breaks, so the answers are bit-identical for every thread count
 // — see DESIGN.md "Threading model". `busy_nanos`, when non-null,
 // accumulates the time threads spent searching.
+// `fstats`, when non-null, receives the expansion/pruning counters of
+// this call (overwritten, not accumulated).
 Result<std::vector<Answer>> ForestSearch(
     const QueryGraph& query, const IntersectionQueryGraph& ig,
     const std::vector<Cluster>& clusters, const ScoreParams& params,
     const ForestSearchOptions& options, ThreadPool* pool = nullptr,
-    std::atomic<uint64_t>* busy_nanos = nullptr);
+    std::atomic<uint64_t>* busy_nanos = nullptr,
+    ForestSearchStats* fstats = nullptr);
 
 }  // namespace sama
 

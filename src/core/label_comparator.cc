@@ -8,7 +8,7 @@ LabelMatch LabelComparator::CompareSlow(const Term& data,
                                         const Term& query) const {
   std::string data_label = data.DisplayLabel();
   std::string query_label = query.DisplayLabel();
-  if (NormalizeLabel(data_label) == NormalizeLabel(query_label)) {
+  if (NormalizedLabelsEqual(data_label, query_label)) {
     return LabelMatch::kExact;
   }
   if (thesaurus_ != nullptr &&

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "common/sharded_cache.h"
 #include "rdf/dictionary.h"
 #include "text/thesaurus.h"
 
@@ -24,20 +25,31 @@ enum class LabelMatch : uint8_t {
 // element.
 class LabelComparator {
  public:
-  // Both pointers are borrowed. `thesaurus` may be null (no semantic
-  // matching).
-  LabelComparator(const TermDictionary* dict, const Thesaurus* thesaurus)
-      : dict_(dict), thesaurus_(thesaurus) {}
+  // All pointers are borrowed. `thesaurus` may be null (no semantic
+  // matching). `shared_cache` (optional) is a cross-comparator,
+  // cross-query memo of match results: valid only while every user
+  // shares the same dictionary and thesaurus content — the engine owns
+  // one per (store, thesaurus) pair and drops it when either changes.
+  LabelComparator(const TermDictionary* dict, const Thesaurus* thesaurus,
+                  ShardedLruCache<uint64_t, LabelMatch>* shared_cache = nullptr)
+      : dict_(dict), thesaurus_(thesaurus), shared_cache_(shared_cache) {}
 
   LabelMatch Compare(TermId data_label, TermId query_label) const {
     if (data_label == query_label) return LabelMatch::kExact;
     const Term& q = dict_->term(query_label);
     if (q.is_variable()) return LabelMatch::kVariable;
     uint64_t key = (static_cast<uint64_t>(data_label) << 32) | query_label;
+    // Local map first (no locks), then the shared sharded cache.
     auto it = cache_.find(key);
     if (it != cache_.end()) return it->second;
-    LabelMatch m = CompareSlow(dict_->term(data_label), q);
+    LabelMatch m;
+    if (shared_cache_ != nullptr && shared_cache_->Get(key, &m)) {
+      cache_.emplace(key, m);
+      return m;
+    }
+    m = CompareSlow(dict_->term(data_label), q);
     cache_.emplace(key, m);
+    if (shared_cache_ != nullptr) shared_cache_->Put(key, m);
     return m;
   }
 
@@ -49,6 +61,7 @@ class LabelComparator {
 
   const TermDictionary* dict_;
   const Thesaurus* thesaurus_;
+  ShardedLruCache<uint64_t, LabelMatch>* shared_cache_;
   mutable std::unordered_map<uint64_t, LabelMatch> cache_;
 };
 

@@ -24,6 +24,15 @@ struct ScoreParams {
   OpWeights weights;
   double e = 1.0;
   AlignmentMode alignment_mode = AlignmentMode::kGreedyLinear;
+  // Score-bounded top-k forest search: prune partial per-cluster
+  // combinations whose admissible Λ + Ψ lower bound already meets the
+  // current k-th best score. The bound never discards a combination
+  // that could enter the top k, so answers (scores AND tie-break order)
+  // are identical to the exhaustive enumeration — the determinism
+  // contract is locked in by tests/core/forest_pruning_test.cc. Off
+  // switches ForestSearch back to the exhaustive combination loop
+  // (ablations, the bench_fig6 pruning-off column).
+  bool prune_search = true;
 
   double a() const { return weights.node_delete; }
   double b() const { return weights.node_insert; }

@@ -92,6 +92,7 @@ Status PathIndex::Build(const DataGraph& graph,
   options_ = options;
   base_fingerprint_ = GraphFingerprint(graph);
   update_journal_.clear();
+  DropQueryCaches();  // A rebuild invalidates every memoized answer.
 
   // Disk builds are staged: every artifact is written into
   // dir/build.tmp and published by CommitBuild() only once complete,
@@ -473,6 +474,7 @@ Status PathIndex::Open(DataGraph* graph,
   }
   graph_ = graph;
   options_ = options;
+  DropQueryCaches();  // Opening replaces the contents wholesale.
   Env* env = OrDefault(options.env);
 
   // Crash recovery. A leftover staging dir belongs to a build that
@@ -556,21 +558,54 @@ const std::vector<PathId>& PathIndex::PathsWithSinkLabel(
   return it == by_sink_.end() ? kNoPaths : it->second;
 }
 
+namespace {
+
+// Lookup-cache key: a kind tag, the FULL term form (ToString — an IRI
+// <.../Male> and the literal "Male" share a display label but answer
+// differently) and the thesaurus content identity.
+std::string LookupKey(char kind, const Term& term,
+                      const Thesaurus* thesaurus) {
+  std::string key(1, kind);
+  key.push_back('\x1f');
+  key += term.ToString();
+  key.push_back('\x1f');
+  key += std::to_string(thesaurus == nullptr ? 0 : thesaurus->identity());
+  return key;
+}
+
+}  // namespace
+
 std::vector<PathId> PathIndex::PathsWithSinkMatching(
     const Term& term, const Thesaurus* thesaurus) const {
+  std::string key;
+  if (lookup_cache_) {
+    key = LookupKey('s', term, thesaurus);
+    std::vector<PathId> cached;
+    if (lookup_cache_->Get(key, &cached)) return cached;
+  }
   std::vector<uint64_t> semantic =
       sink_index_.LookupSemantic(term.DisplayLabel(), thesaurus);
   TermId exact = graph_->dict().Find(term);
   if (exact != kInvalidTermId) {
     semantic = Merge(std::move(semantic), PathsWithSinkLabel(exact));
   }
-  return FilterDeleted(std::move(semantic));
+  std::vector<PathId> out = FilterDeleted(std::move(semantic));
+  if (lookup_cache_) lookup_cache_->Put(key, out);
+  return out;
 }
 
 std::vector<PathId> PathIndex::PathsContaining(
     const Term& term, const Thesaurus* thesaurus) const {
-  return FilterDeleted(
+  std::string key;
+  if (lookup_cache_) {
+    key = LookupKey('c', term, thesaurus);
+    std::vector<PathId> cached;
+    if (lookup_cache_->Get(key, &cached)) return cached;
+  }
+  std::vector<PathId> out = FilterDeleted(
       content_index_.LookupSemantic(term.DisplayLabel(), thesaurus));
+  if (lookup_cache_) lookup_cache_->Put(key, out);
+  return out;
 }
 
 Status PathIndex::GetPath(PathId id, Path* out) const {
@@ -578,7 +613,57 @@ Status PathIndex::GetPath(PathId id, Path* out) const {
     return Status::NotFound("path " + std::to_string(id) +
                             " was invalidated by an update");
   }
-  return store_.Get(id, out);
+  if (record_cache_ != nullptr && record_cache_->Get(id, out)) {
+    return Status::Ok();
+  }
+  Status s = store_.Get(id, out);
+  // Only verified reads are memoized: a record that failed its
+  // checksum or I/O must keep failing (or keep being retried) exactly
+  // as if no cache existed — PR 2's strict-io and degraded-read
+  // semantics depend on it.
+  if (s.ok() && record_cache_ != nullptr) record_cache_->Put(id, *out);
+  return s;
+}
+
+void PathIndex::ConfigureQueryCache(const IndexCacheConfig& config) const {
+  if (!config.enabled) {
+    lookup_cache_.reset();
+    record_cache_.reset();
+    node_index_.ConfigureCache(0);
+    edge_index_.ConfigureCache(0);
+    sink_index_.ConfigureCache(0);
+    content_index_.ConfigureCache(0);
+    return;
+  }
+  lookup_cache_ =
+      std::make_unique<ShardedLruCache<std::string, std::vector<PathId>>>(
+          config.lookup_entries, config.shards);
+  record_cache_ = std::make_unique<ShardedLruCache<PathId, Path>>(
+      config.record_entries, config.shards);
+  node_index_.ConfigureCache(config.posting_entries, config.shards);
+  edge_index_.ConfigureCache(config.posting_entries, config.shards);
+  sink_index_.ConfigureCache(config.posting_entries, config.shards);
+  content_index_.ConfigureCache(config.posting_entries, config.shards);
+}
+
+void PathIndex::DropQueryCaches() const {
+  if (lookup_cache_) lookup_cache_->Clear();
+  if (record_cache_) record_cache_->Clear();
+  node_index_.DropLookupCache();
+  edge_index_.DropLookupCache();
+  sink_index_.DropLookupCache();
+  content_index_.DropLookupCache();
+}
+
+IndexCacheCounters PathIndex::query_cache_counters() const {
+  IndexCacheCounters out;
+  out.postings += node_index_.cache_counters();
+  out.postings += edge_index_.cache_counters();
+  out.postings += sink_index_.cache_counters();
+  out.postings += content_index_.cache_counters();
+  if (lookup_cache_) out.lookups = lookup_cache_->counters();
+  if (record_cache_) out.records = record_cache_->counters();
+  return out;
 }
 
 std::vector<NodeId> PathIndex::NodesMatching(
@@ -803,6 +888,11 @@ Status PathIndex::AddTriple(DataGraph* graph, const Triple& triple) {
   edge_index_.Finish();
   sink_index_.Finish();
   content_index_.Finish();
+  // Candidate lists changed (tombstones + new paths), so memoized
+  // lookups are stale; the posting memos were dropped by the Add()
+  // calls above. The record cache is safe to keep — ids are immutable
+  // and tombstones are screened before it.
+  if (lookup_cache_) lookup_cache_->Clear();
 
   sources_ = graph->Sources();
   sinks_ = graph->Sinks();
@@ -825,6 +915,7 @@ Status PathIndex::Checkpoint() {
 }
 
 Status PathIndex::DropCaches() {
+  DropQueryCaches();
   SAMA_RETURN_IF_ERROR(store_.DropCaches());
   return hypergraph_.DropCaches();
 }

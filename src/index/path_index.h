@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/sharded_cache.h"
 #include "graph/data_graph.h"
 #include "graph/path.h"
 #include "graph/path_enumerator.h"
@@ -38,6 +39,28 @@ struct PathIndexOptions {
   bool build_hypergraph = true;
   // I/O seam for fault-injection tests; nullptr = Env::Default().
   Env* env = nullptr;
+};
+
+// Sizing knobs for the index's query-side caches (ConfigureQueryCache).
+// All three layers are pure optimisations: lookups return identical
+// results with caching disabled, and a record that fails its checksum
+// or read is NEVER cached (strict-io semantics are preserved).
+struct IndexCacheConfig {
+  bool enabled = true;
+  // Per-inverted-index memo over LookupSemantic results (×4 indexes).
+  size_t posting_entries = 2048;
+  // Memo over PathsWithSinkMatching / PathsContaining candidate lists.
+  size_t lookup_entries = 2048;
+  // Memo over GetPath records (decoded, checksum-verified paths).
+  size_t record_entries = 16384;
+  size_t shards = 8;
+};
+
+// Hit/miss totals of the three query-side cache layers.
+struct IndexCacheCounters {
+  CacheCounters postings;  // The four inverted indexes, summed.
+  CacheCounters lookups;
+  CacheCounters records;
 };
 
 // Table-1 quantities for one indexed dataset.
@@ -144,8 +167,21 @@ class PathIndex {
   // Requires the index to be disk-backed.
   Status Checkpoint();
 
-  // Empties every page cache (cold-cache experiments).
+  // Empties every page cache AND the query-side caches (cold-cache
+  // experiments).
   Status DropCaches();
+
+  // Installs (or, with config.enabled == false, removes) the
+  // query-side caches: the per-inverted-index posting memos, the
+  // candidate-list lookup memo and the path-record memo. Off until
+  // called — SamaEngine enables them from EngineOptions::cache. Const
+  // because engines hold the index by const reference; the caches are
+  // internally thread-safe and invisible to results.
+  void ConfigureQueryCache(const IndexCacheConfig& config) const;
+  // Drops every query-side cache entry (Build/Open/AddTriple call this
+  // internally; exposed for tests and DropCaches).
+  void DropQueryCaches() const;
+  IndexCacheCounters query_cache_counters() const;
 
   const IndexStats& stats() const { return stats_; }
   const DataGraph& graph() const { return *graph_; }
@@ -187,6 +223,17 @@ class PathIndex {
   std::unordered_set<PathId> deleted_paths_;
   PathIndexOptions options_;
   IndexStats stats_;
+
+  // Query-side caches (ConfigureQueryCache); null when disabled.
+  // Lookup keys embed term.ToString() (never DisplayLabel — an IRI
+  // <.../Male> and the literal "Male" display alike but answer
+  // differently) plus the thesaurus content identity. The record cache
+  // holds verified paths only and is keyed by immutable PathIds, so it
+  // survives AddTriple: tombstones are screened before it, and new ids
+  // were never cached.
+  mutable std::unique_ptr<ShardedLruCache<std::string, std::vector<PathId>>>
+      lookup_cache_;
+  mutable std::unique_ptr<ShardedLruCache<PathId, Path>> record_cache_;
 };
 
 }  // namespace sama

@@ -27,10 +27,29 @@ void InvertedLabelIndex::Cursor::SeekTo(uint64_t target) {
 
 void InvertedLabelIndex::Add(std::string_view label, uint64_t id) {
   finished_ = false;
+  DropLookupCache();  // Memoized lookups predate this posting.
   exact_postings_[NormalizeLabel(label)].push_back(id);
   for (const std::string& token : TokenizeLabel(label)) {
     token_postings_[token].push_back(id);
   }
+}
+
+void InvertedLabelIndex::ConfigureCache(size_t entries, size_t shards) const {
+  if (entries == 0) {
+    semantic_cache_.reset();
+    return;
+  }
+  semantic_cache_ =
+      std::make_unique<ShardedLruCache<std::string, std::vector<uint64_t>>>(
+          entries, shards);
+}
+
+void InvertedLabelIndex::DropLookupCache() const {
+  if (semantic_cache_) semantic_cache_->Clear();
+}
+
+CacheCounters InvertedLabelIndex::cache_counters() const {
+  return semantic_cache_ ? semantic_cache_->counters() : CacheCounters{};
 }
 
 void InvertedLabelIndex::SortDedup(std::vector<uint64_t>* v) {
@@ -88,20 +107,36 @@ std::vector<uint64_t> InvertedLabelIndex::LookupTokens(
 
 std::vector<uint64_t> InvertedLabelIndex::LookupSemantic(
     std::string_view label, const Thesaurus* thesaurus) const {
+  std::string normalized = NormalizeLabel(label);
+  // Memo key: normalized label + thesaurus content identity, so a
+  // mutated or different thesaurus never aliases a cached list.
+  std::string cache_key;
+  if (semantic_cache_) {
+    cache_key = normalized;
+    cache_key.push_back('\x1f');
+    cache_key +=
+        std::to_string(thesaurus == nullptr ? 0 : thesaurus->identity());
+    std::vector<uint64_t> cached;
+    if (semantic_cache_->Get(cache_key, &cached)) return cached;
+  }
   std::vector<uint64_t> out;
   for (Cursor c = LookupExact(label); !c.Done(); c.Next()) {
     out.push_back(c.Value());
   }
   if (thesaurus != nullptr) {
     for (const std::string& alt : thesaurus->Expand(label)) {
-      if (alt == NormalizeLabel(label)) continue;
+      if (alt == normalized) continue;
       for (Cursor c = LookupExact(alt); !c.Done(); c.Next()) {
         out.push_back(c.Value());
       }
     }
   }
-  if (out.empty()) return LookupTokens(label);
-  SortDedup(&out);
+  if (out.empty()) {
+    out = LookupTokens(label);
+  } else {
+    SortDedup(&out);
+  }
+  if (semantic_cache_) semantic_cache_->Put(cache_key, out);
   return out;
 }
 
@@ -163,6 +198,7 @@ void InvertedLabelIndex::Serialize(std::vector<uint8_t>* out) const {
 
 bool InvertedLabelIndex::Deserialize(const std::vector<uint8_t>& buf,
                                      size_t* pos) {
+  DropLookupCache();  // Contents are about to be replaced wholesale.
   if (!DeserializePostingsMap(buf, pos, &exact_postings_)) return false;
   if (!DeserializePostingsMap(buf, pos, &token_postings_)) return false;
   finished_ = true;  // Serialized images are always Finish()ed.

@@ -3,11 +3,13 @@
 
 #include <cstdint>
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "common/sharded_cache.h"
 #include "text/thesaurus.h"
 #include "text/tokenizer.h"
 
@@ -69,6 +71,19 @@ class InvertedLabelIndex {
   size_t distinct_labels() const { return exact_postings_.size(); }
   uint64_t MemoryBytes() const;
 
+  // Enables (entries > 0) or disables (entries == 0) the memo over
+  // LookupSemantic's merged result lists. Purely an optimisation: hot
+  // query labels skip the expand + union + dedup work. Entries are
+  // keyed on (normalized label, thesaurus identity), so a mutated or
+  // swapped thesaurus can never be served stale postings; any Add() or
+  // Deserialize() drops the memo outright. Const because lookups are
+  // const; the cache itself is thread-safe.
+  void ConfigureCache(size_t entries, size_t shards = 8) const;
+  // Drops memoized lookups (index rebuilds; also internal on mutation).
+  void DropLookupCache() const;
+  // Lifetime hit/miss totals of the semantic-lookup memo.
+  CacheCounters cache_counters() const;
+
   // Appends a compact binary image (sorted keys, delta-coded postings)
   // to `out`. The index must be Finish()ed first.
   void Serialize(std::vector<uint8_t>* out) const;
@@ -82,6 +97,10 @@ class InvertedLabelIndex {
   std::unordered_map<std::string, std::vector<uint64_t>> token_postings_;
   std::unordered_map<std::string, std::vector<uint64_t>> exact_postings_;
   bool finished_ = false;
+  // Memoized LookupSemantic results; see ConfigureCache. Null when
+  // disabled.
+  mutable std::unique_ptr<ShardedLruCache<std::string, std::vector<uint64_t>>>
+      semantic_cache_;
 };
 
 }  // namespace sama

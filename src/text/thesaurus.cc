@@ -1,6 +1,7 @@
 #include "text/thesaurus.h"
 
 #include <algorithm>
+#include <atomic>
 #include <deque>
 #include <fstream>
 #include <sstream>
@@ -11,6 +12,57 @@
 #include "text/tokenizer.h"
 
 namespace sama {
+
+namespace {
+// Total AreRelated memo budget per thesaurus; the vocabulary is tiny,
+// so this comfortably holds every distinct (pair, hops) probe.
+constexpr size_t kRelatedCacheEntries = 1 << 14;
+constexpr size_t kRelatedCacheShards = 8;
+// Synset ids above this cannot be packed into the memo key; such pairs
+// bypass the cache (correct, just unmemoized). 2^28 synsets is far
+// beyond any realistic vocabulary.
+constexpr uint32_t kMaxPackableSynset = (1u << 28) - 1;
+}  // namespace
+
+uint64_t Thesaurus::NextIdentity() {
+  static std::atomic<uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Thesaurus::Invalidate() {
+  identity_ = NextIdentity();
+  if (related_cache_) related_cache_->Clear();
+}
+
+Thesaurus::Thesaurus()
+    : identity_(NextIdentity()),
+      related_cache_(std::make_unique<ShardedLruCache<uint64_t, bool>>(
+          kRelatedCacheEntries, kRelatedCacheShards)) {}
+
+Thesaurus::Thesaurus(const Thesaurus& other)
+    : synsets_(other.synsets_),
+      synset_of_(other.synset_of_),
+      identity_(other.identity_),
+      related_cache_(std::make_unique<ShardedLruCache<uint64_t, bool>>(
+          kRelatedCacheEntries, kRelatedCacheShards)) {}
+
+Thesaurus& Thesaurus::operator=(const Thesaurus& other) {
+  if (this == &other) return *this;
+  synsets_ = other.synsets_;
+  synset_of_ = other.synset_of_;
+  identity_ = other.identity_;
+  if (related_cache_) {
+    related_cache_->Clear();
+  } else {
+    related_cache_ = std::make_unique<ShardedLruCache<uint64_t, bool>>(
+        kRelatedCacheEntries, kRelatedCacheShards);
+  }
+  return *this;
+}
+
+CacheCounters Thesaurus::relatedness_cache_counters() const {
+  return related_cache_ ? related_cache_->counters() : CacheCounters{};
+}
 
 Thesaurus::SynsetId Thesaurus::SynsetFor(const std::string& word) {
   auto it = synset_of_.find(word);
@@ -28,6 +80,7 @@ Thesaurus::SynsetId Thesaurus::FindSynset(std::string_view word) const {
 
 void Thesaurus::AddSynonyms(const std::vector<std::string>& words) {
   if (words.empty()) return;
+  Invalidate();
   SynsetId target = SynsetFor(NormalizeLabel(words[0]));
   for (size_t i = 1; i < words.size(); ++i) {
     std::string norm = NormalizeLabel(words[i]);
@@ -56,6 +109,7 @@ void Thesaurus::AddSynonyms(const std::vector<std::string>& words) {
 
 void Thesaurus::AddHypernym(const std::string& word,
                             const std::string& parent_word) {
+  Invalidate();
   SynsetId child = SynsetFor(NormalizeLabel(word));
   SynsetId parent = SynsetFor(NormalizeLabel(parent_word));
   if (child == parent) return;
@@ -88,20 +142,41 @@ bool Thesaurus::AreRelated(std::string_view a, std::string_view b,
     return false;
   }
   if (sa == sb) return true;
+  // Relatedness is symmetric, so memoize on the ordered pair. The key
+  // packs (min synset, max synset, hops) into 28+28+8 bits; oversized
+  // inputs skip the memo rather than risk aliasing.
+  SynsetId lo = std::min(sa, sb);
+  SynsetId hi = std::max(sa, sb);
+  bool cacheable = related_cache_ != nullptr && lo <= kMaxPackableSynset &&
+                   hi <= kMaxPackableSynset && max_hops >= 0 &&
+                   max_hops < 256;
+  uint64_t key = 0;
+  if (cacheable) {
+    key = (static_cast<uint64_t>(lo) << 36) |
+          (static_cast<uint64_t>(hi) << 8) |
+          static_cast<uint64_t>(max_hops);
+    bool cached;
+    if (related_cache_->Get(key, &cached)) return cached;
+  }
   // BFS over is-a links up to max_hops.
+  bool related = false;
   std::unordered_set<SynsetId> seen{sa};
   std::deque<std::pair<SynsetId, int>> frontier{{sa, 0}};
-  while (!frontier.empty()) {
+  while (!related && !frontier.empty()) {
     auto [s, depth] = frontier.front();
     frontier.pop_front();
     if (depth >= max_hops) continue;
     for (SynsetId next : Neighbors(s)) {
       if (!seen.insert(next).second) continue;
-      if (next == sb) return true;
+      if (next == sb) {
+        related = true;
+        break;
+      }
       frontier.emplace_back(next, depth + 1);
     }
   }
-  return false;
+  if (cacheable) related_cache_->Put(key, related);
+  return related;
 }
 
 std::vector<std::string> Thesaurus::Expand(std::string_view word,

@@ -2,11 +2,13 @@
 #define SAMA_TEXT_THESAURUS_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "common/sharded_cache.h"
 #include "common/status.h"
 
 namespace sama {
@@ -18,7 +20,15 @@ namespace sama {
 // are case-insensitive on normalised labels.
 class Thesaurus {
  public:
-  Thesaurus() = default;
+  Thesaurus();
+  // Copies share the source's content identity (equal content) but get
+  // their own empty relatedness cache; a later mutation of either side
+  // assigns that side a fresh identity, so cache keys derived from
+  // identity() can never alias two different vocabularies.
+  Thesaurus(const Thesaurus& other);
+  Thesaurus& operator=(const Thesaurus& other);
+  Thesaurus(Thesaurus&&) = default;
+  Thesaurus& operator=(Thesaurus&&) = default;
 
   // Declares the given words to be mutual synonyms (merging any synsets
   // they already belong to).
@@ -43,6 +53,16 @@ class Thesaurus {
 
   size_t synset_count() const { return synsets_.size(); }
   size_t word_count() const { return synset_of_.size(); }
+
+  // A process-unique token for the current CONTENT of this thesaurus:
+  // every mutation (AddSynonyms/AddHypernym/Load*) assigns a fresh
+  // value. Query-side caches (inverted-index postings, path-index
+  // lookups, the alignment memo) fold it into their keys so entries
+  // computed under one vocabulary are never served under another.
+  uint64_t identity() const { return identity_; }
+
+  // Hit/miss totals of the internal AreRelated memo (QueryStats).
+  CacheCounters relatedness_cache_counters() const;
 
   // Seeds the thesaurus with a small built-in English vocabulary
   // covering the benchmark domains (people/gender/teaching/commerce),
@@ -71,8 +91,19 @@ class Thesaurus {
     std::vector<SynsetId> hyponyms;
   };
 
+  // Fresh process-unique identity; called on construction and on every
+  // mutation.
+  static uint64_t NextIdentity();
+  // Mutation prologue: new identity + empty relatedness cache.
+  void Invalidate();
+
   std::vector<Synset> synsets_;
   std::unordered_map<std::string, SynsetId> synset_of_;
+  uint64_t identity_ = 0;
+  // Memo over AreRelated's synset-pair BFS. Lookups are symmetric, so
+  // the key is the ordered (min, max, hops) triple. Mutable because
+  // AreRelated is logically const; internally thread-safe.
+  mutable std::unique_ptr<ShardedLruCache<uint64_t, bool>> related_cache_;
 };
 
 }  // namespace sama

@@ -37,12 +37,28 @@ std::vector<std::string> TokenizeLabel(std::string_view label) {
 
 std::string NormalizeLabel(std::string_view label) {
   std::string out;
-  out.reserve(label.size());
+  NormalizeLabelInto(label, &out);
+  return out;
+}
+
+void NormalizeLabelInto(std::string_view label, std::string* out) {
+  out->clear();
+  out->reserve(label.size());
   for (char c : label) {
-    out.push_back(
+    out->push_back(
         static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
   }
-  return out;
+}
+
+bool NormalizedLabelsEqual(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace sama

@@ -16,6 +16,15 @@ std::vector<std::string> TokenizeLabel(std::string_view label);
 // Lowercased whole-label normalisation (exact-match key).
 std::string NormalizeLabel(std::string_view label);
 
+// NormalizeLabel into a caller-owned buffer (cleared first), so hot
+// loops can reuse one allocation across calls.
+void NormalizeLabelInto(std::string_view label, std::string* out);
+
+// True when the two labels normalise to the same key, without
+// materialising either normalised string — the allocation-free form of
+// NormalizeLabel(a) == NormalizeLabel(b) for the alignment hot path.
+bool NormalizedLabelsEqual(std::string_view a, std::string_view b);
+
 }  // namespace sama
 
 #endif  // SAMA_TEXT_TOKENIZER_H_

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Gate bench_fig6 results against the committed baseline.
+
+Usage:
+    check_bench_regression.py NEW.json BASELINE.json [options]
+
+Checks, in order of importance:
+  1. Warm-path latency: summary.warm_mean_ms must not exceed the
+     baseline by more than --tolerance (default 20%).
+  2. Algorithmic speedup: summary.warm_speedup (exhaustive warm mean /
+     optimized warm mean over the exact queries) must not fall below
+     the baseline by more than --tolerance, and never below
+     --min-speedup.
+  3. Warm cache health: per-query warm hit rates of the alignment
+     memo, record cache and lookup cache must not drop more than
+     --hit-rate-slack (absolute) under the baseline. A cold-start or
+     invalidation bug shows up here before it shows up as latency.
+
+Latency is machine-dependent; the ratio checks (2, 3) are not. Pass
+--no-absolute to skip check 1 on hardware that does not match the
+baseline machine.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("new_json")
+    parser.add_argument("baseline_json")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="relative slack for latency/speedup (0.20 = 20%%)")
+    parser.add_argument("--min-speedup", type=float, default=3.0,
+                        help="hard floor for summary.warm_speedup")
+    parser.add_argument("--hit-rate-slack", type=float, default=0.05,
+                        help="absolute slack for warm cache hit rates")
+    parser.add_argument("--no-absolute", action="store_true",
+                        help="skip the absolute warm-latency check")
+    args = parser.parse_args()
+
+    new = load(args.new_json)
+    base = load(args.baseline_json)
+    failures = []
+
+    new_sum, base_sum = new["summary"], base["summary"]
+
+    if not args.no_absolute:
+        limit = base_sum["warm_mean_ms"] * (1.0 + args.tolerance)
+        if new_sum["warm_mean_ms"] > limit:
+            failures.append(
+                f"warm_mean_ms {new_sum['warm_mean_ms']:.2f} exceeds "
+                f"baseline {base_sum['warm_mean_ms']:.2f} "
+                f"+{args.tolerance:.0%} (limit {limit:.2f})")
+
+    floor = max(base_sum["warm_speedup"] * (1.0 - args.tolerance),
+                args.min_speedup)
+    if new_sum["warm_speedup"] < floor:
+        failures.append(
+            f"warm_speedup {new_sum['warm_speedup']:.2f} below floor "
+            f"{floor:.2f} (baseline {base_sum['warm_speedup']:.2f}, "
+            f"min {args.min_speedup:.2f})")
+
+    base_rows = {q["name"]: q for q in base["queries"]}
+    for q in new["queries"]:
+        b = base_rows.get(q["name"])
+        if b is None:
+            continue
+        for key in ("alignment_memo_hit_rate", "record_cache_hit_rate",
+                    "lookup_cache_hit_rate"):
+            if q[key] < b[key] - args.hit_rate_slack:
+                failures.append(
+                    f"{q['name']} {key} {q[key]:.3f} fell below baseline "
+                    f"{b[key]:.3f} - {args.hit_rate_slack}")
+
+    if failures:
+        print("BENCH REGRESSION:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print(f"bench ok: warm_mean={new_sum['warm_mean_ms']:.2f}ms "
+          f"(baseline {base_sum['warm_mean_ms']:.2f}ms), "
+          f"warm_speedup={new_sum['warm_speedup']:.2f}x "
+          f"(baseline {base_sum['warm_speedup']:.2f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

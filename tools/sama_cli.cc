@@ -35,7 +35,14 @@
 //                      record instead of skipping damaged candidates
 //                      (the default degrades gracefully and reports the
 //                      skip count under --stats).
-//   --stats            Print index and per-query statistics.
+//   --no-prune         Disable score-bounded forest-search pruning and
+//                      run the exhaustive enumeration (ablation; the
+//                      answers are identical, only slower).
+//   --no-cache         Disable the query-side caches (postings,
+//                      candidate lists, path records, label matches,
+//                      alignment memo). Answers are identical.
+//   --stats            Print index and per-query statistics, including
+//                      cache hit rates and the search pruning ratio.
 
 #include <cstdio>
 #include <cstring>
@@ -80,6 +87,8 @@ struct CliOptions {
   bool demo = false;
   bool strict_io = false;
   bool verify = false;
+  bool prune_search = true;
+  bool use_cache = true;
 };
 
 void PrintUsage() {
@@ -89,7 +98,8 @@ void PrintUsage() {
                "               [--k N] [--threads N] [--index-dir DIR]"
                " [--no-thesaurus]\n"
                "               [--baseline exact|sapper|bounded|dogma]"
-               " [--strict-io] [--stats]\n"
+               " [--strict-io] [--no-prune]\n"
+               "               [--no-cache] [--stats]\n"
                "       sama_cli verify --index-dir DIR   (checksum an"
                " index, non-zero exit on damage)\n"
                "       sama_cli --demo   (built-in Figure-1 walkthrough)\n");
@@ -135,6 +145,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->use_thesaurus = false;
     } else if (arg == "--strict-io") {
       options->strict_io = true;
+    } else if (arg == "--no-prune") {
+      options->prune_search = false;
+    } else if (arg == "--no-cache") {
+      options->use_cache = false;
     } else if (arg == "--stats") {
       options->stats = true;
     } else if (arg == "--demo") {
@@ -266,6 +280,26 @@ int RunOneQuery(const CliOptions& options, sama::DataGraph* graph,
           stats.threads_used, stats.ClusteringSpeedup(),
           stats.SearchSpeedup());
     }
+    std::printf(
+        "-- search: %llu expansion(s), %llu bound-pruned, "
+        "%llu root(s) pruned (pruning ratio %.1f%%)%s\n",
+        static_cast<unsigned long long>(stats.search_expansions),
+        static_cast<unsigned long long>(stats.search_bound_pruned),
+        static_cast<unsigned long long>(stats.search_roots_pruned),
+        100.0 * stats.SearchPruningRatio(),
+        stats.search_truncated ? ", TRUNCATED by the anytime budget" : "");
+    auto print_cache = [](const char* name,
+                          const sama::CacheCounters& counters) {
+      if (counters.lookups() == 0) return;
+      std::printf("-- cache %-12s %s\n", name,
+                  counters.ToString().c_str());
+    };
+    print_cache("postings:", stats.posting_cache);
+    print_cache("lookups:", stats.path_lookup_cache);
+    print_cache("records:", stats.path_record_cache);
+    print_cache("labels:", stats.label_match_cache);
+    print_cache("alignments:", stats.alignment_memo);
+    print_cache("thesaurus:", stats.thesaurus_cache);
     if (stats.corrupt_records_skipped > 0 || stats.io_retries > 0) {
       std::printf(
           "-- degraded reads: %llu corrupt record(s) skipped, "
@@ -425,6 +459,8 @@ int main(int argc, char** argv) {
   sama::EngineOptions engine_options;
   engine_options.num_threads = options.threads;
   engine_options.strict_io = options.strict_io;
+  engine_options.params.prune_search = options.prune_search;
+  engine_options.cache.enabled = options.use_cache;
   sama::SamaEngine engine(&graph, &index,
                           options.use_thesaurus ? &thesaurus : nullptr,
                           engine_options);
