@@ -135,10 +135,14 @@ void WriteJson(const std::string& path, size_t threads, size_t triples,
                "%.2f, \"warm_speedup_all\": %.2f, \"exact_queries\": %zu, "
                "\"cold_warm_ratio\": %.2f}\n}\n",
                cold_mean, warm_mean, noprune_mean,
-               exact_warm_sum > 0 ? exact_noprune_sum / exact_warm_sum : 0.0,
-               warm_mean > 0 ? noprune_mean / warm_mean : 0.0,
+               sama::bench::FiniteOr(
+                   exact_warm_sum > 0 ? exact_noprune_sum / exact_warm_sum
+                                      : 0.0),
+               sama::bench::FiniteOr(
+                   warm_mean > 0 ? noprune_mean / warm_mean : 0.0),
                exact_queries,
-               warm_mean > 0 ? cold_mean / warm_mean : 0.0);
+               sama::bench::FiniteOr(
+                   warm_mean > 0 ? cold_mean / warm_mean : 0.0));
   std::fclose(f);
   std::printf("wrote %s\n", path.c_str());
 }

@@ -24,6 +24,7 @@
 #include "datasets/queries.h"
 #include "graph/path_enumerator.h"
 #include "index/path_index.h"
+#include "obs/metrics.h"
 #include "query/sparql.h"
 #include "text/thesaurus.h"
 
@@ -224,6 +225,65 @@ void BM_QueryMemoized(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_QueryMemoized);
+
+// The observability overhead guard: the memoized hot path with every
+// obs feature off. DESIGN.md budgets < 5% against BM_QueryMemoized
+// (which runs with the default obs.metrics = true), and this variant
+// pairs with BENCH_pr3_baseline.json, captured before the obs layer
+// existed.
+void BM_QueryMemoizedNoObs(benchmark::State& state) {
+  QueryEnv& env = GlobalQueryEnv();
+  EngineOptions options;
+  options.obs.metrics = false;
+  SamaEngine engine(env.graph.get(), env.index.get(), &env.thesaurus,
+                    options);
+  (void)engine.Execute(env.query, 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Execute(env.query, 10));
+  }
+}
+BENCHMARK(BM_QueryMemoizedNoObs);
+
+// Full tracing on: span records for the query, each phase and every
+// scoring chunk. Bounds what `--trace` costs on the hot path.
+void BM_QueryMemoizedTraced(benchmark::State& state) {
+  QueryEnv& env = GlobalQueryEnv();
+  EngineOptions options;
+  options.obs.trace = true;
+  SamaEngine engine(env.graph.get(), env.index.get(), &env.thesaurus,
+                    options);
+  (void)engine.Execute(env.query, 10);
+  for (auto _ : state) {
+    QueryStats stats;
+    benchmark::DoNotOptimize(engine.Execute(env.query, 10, &stats));
+  }
+}
+BENCHMARK(BM_QueryMemoizedTraced);
+
+// Raw instrument cost: one relaxed counter add (the unit the engine's
+// per-query instrument updates are made of).
+void BM_MetricsCounterIncrement(benchmark::State& state) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("bench_counter_total", "bench");
+  for (auto _ : state) {
+    c->Increment();
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_MetricsCounterIncrement);
+
+// One histogram observation (binary search over 16 bounds + two adds).
+void BM_MetricsHistogramObserve(benchmark::State& state) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("bench_latency_millis", "bench",
+                                       Histogram::LatencyBucketsMillis());
+  double v = 0.1;
+  for (auto _ : state) {
+    h->Observe(v);
+    v = v < 1000 ? v * 1.1 : 0.1;
+  }
+}
+BENCHMARK(BM_MetricsHistogramObserve);
 
 // The alignment-memo hit path against recomputing the alignment.
 void BM_AlignmentMemoHitVsDirect(benchmark::State& state) {

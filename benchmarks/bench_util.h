@@ -1,6 +1,7 @@
 #ifndef SAMA_BENCH_BENCH_UTIL_H_
 #define SAMA_BENCH_BENCH_UTIL_H_
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -15,6 +16,15 @@
 
 namespace sama {
 namespace bench {
+
+// JSON has no literal for inf/nan; fprintf would happily emit "inf"
+// and break every downstream consumer (json.load in the regression
+// checker rejects it). Clamp every ratio before it reaches a %.4f.
+// Trivial queries make this real: a near-zero denominator pushes the
+// raw ratio to inf even when both operands are "guarded" against 0.
+inline double FiniteOr(double v, double fallback = 0.0) {
+  return std::isfinite(v) ? v : fallback;
+}
 
 // Global size multiplier: SAMA_BENCH_SCALE=1 approximates the paper's
 // dataset sizes (hours of indexing); the default keeps every harness

@@ -129,6 +129,17 @@ Status Env::WriteFileBytes(const std::string& path,
   return s.ok() ? close_status : s;
 }
 
+Status Env::AppendFileBytes(const std::string& path,
+                            const std::vector<uint8_t>& bytes) {
+  auto fd = OpenFile(path, /*truncate=*/false);
+  if (!fd.ok()) return fd.status();
+  auto size = FileSizeFd(*fd, path);
+  Status s = size.ok() ? Status::Ok() : size.status();
+  if (s.ok()) s = PWrite(*fd, path, *size, bytes.data(), bytes.size());
+  Status close_status = CloseFile(*fd, path);
+  return s.ok() ? close_status : s;
+}
+
 Status Env::RenameFile(const std::string& from, const std::string& to) {
   if (std::rename(from.c_str(), to.c_str()) != 0) {
     return Status::IoError("rename '" + from + "' -> '" + to +
@@ -324,6 +335,21 @@ Status FaultyEnv::WriteFileBytes(const std::string& path,
     return injected;
   }
   return base_->WriteFileBytes(path, bytes);
+}
+
+Status FaultyEnv::AppendFileBytes(const std::string& path,
+                                  const std::vector<uint8_t>& bytes) {
+  size_t torn_prefix = 0;
+  Status injected = Account(IoOp::kWrite, path, bytes.size(), &torn_prefix);
+  if (!injected.ok()) {
+    if (torn_prefix > 0) {
+      std::vector<uint8_t> prefix(bytes.begin(),
+                                  bytes.begin() + static_cast<long>(torn_prefix));
+      (void)base_->AppendFileBytes(path, prefix);
+    }
+    return injected;
+  }
+  return base_->AppendFileBytes(path, bytes);
 }
 
 Status FaultyEnv::RenameFile(const std::string& from, const std::string& to) {

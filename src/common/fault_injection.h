@@ -46,6 +46,11 @@ class Env {
   // Creates/truncates `path` with `bytes` and fsyncs it.
   virtual Status WriteFileBytes(const std::string& path,
                                 const std::vector<uint8_t>& bytes);
+  // Appends `bytes` at the end of `path` (creating it if needed). No
+  // fsync: append streams (the slow-query JSONL sink) trade durability
+  // of the tail for not paying a sync per record.
+  virtual Status AppendFileBytes(const std::string& path,
+                                 const std::vector<uint8_t>& bytes);
   virtual Status RenameFile(const std::string& from, const std::string& to);
   virtual Status RemoveFile(const std::string& path);
   virtual bool FileExists(const std::string& path);
@@ -123,6 +128,8 @@ class FaultyEnv : public Env {
   Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path) override;
   Status WriteFileBytes(const std::string& path,
                         const std::vector<uint8_t>& bytes) override;
+  Status AppendFileBytes(const std::string& path,
+                         const std::vector<uint8_t>& bytes) override;
   Status RenameFile(const std::string& from, const std::string& to) override;
   Status RemoveFile(const std::string& path) override;
   bool FileExists(const std::string& path) override;

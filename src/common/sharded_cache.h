@@ -12,10 +12,13 @@
 
 namespace sama {
 
-// Monotonic hit/miss/eviction counters of one cache (or the aggregate
-// over its shards). Snapshots are plain values, so a caller can take
-// one before and one after a query and subtract to get the per-query
-// contribution (QueryStats does exactly that).
+// Hit/miss/eviction counters of one cache (or the aggregate over its
+// shards), also used as a per-query attribution sink: Get/Put accept an
+// optional CacheCounters* that receives the same increments as the
+// shard's lifetime counters. Per-query stats MUST come from such scoped
+// sinks — diffing the shared lifetime counters around a query windows
+// in every concurrent query's traffic too (the attribution bug fixed in
+// PR 4; see tests/obs/engine_obs_test.cc).
 struct CacheCounters {
   uint64_t hits = 0;
   uint64_t misses = 0;
@@ -30,6 +33,34 @@ struct CacheCounters {
 
   CacheCounters& operator+=(const CacheCounters& other);
   CacheCounters operator-(const CacheCounters& other) const;
+};
+
+// Thread-safe accumulator for CacheCounters deltas: ParallelFor chunk
+// workers tally into plain chunk-local CacheCounters and merge them
+// here at chunk end, so the hot path stays free of shared atomics.
+struct AtomicCacheCounters {
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> misses{0};
+  std::atomic<uint64_t> evictions{0};
+  std::atomic<uint64_t> insertions{0};
+
+  void Merge(const CacheCounters& d) {
+    if (d.hits) hits.fetch_add(d.hits, std::memory_order_relaxed);
+    if (d.misses) misses.fetch_add(d.misses, std::memory_order_relaxed);
+    if (d.evictions) evictions.fetch_add(d.evictions, std::memory_order_relaxed);
+    if (d.insertions) {
+      insertions.fetch_add(d.insertions, std::memory_order_relaxed);
+    }
+  }
+
+  CacheCounters Snapshot() const {
+    CacheCounters out;
+    out.hits = hits.load(std::memory_order_relaxed);
+    out.misses = misses.load(std::memory_order_relaxed);
+    out.evictions = evictions.load(std::memory_order_relaxed);
+    out.insertions = insertions.load(std::memory_order_relaxed);
+    return out;
+  }
 };
 
 // A generic thread-safe LRU cache, sharded by key hash so concurrent
@@ -67,23 +98,27 @@ class ShardedLruCache {
 
   // Copies the cached value for `key` into `*out` and marks the entry
   // most-recently-used. Returns false (and counts a miss) when absent.
-  bool Get(const Key& key, Value* out) {
+  // `scoped` (optional) receives the same hit/miss increment, letting a
+  // query attribute traffic to itself without touching other queries.
+  bool Get(const Key& key, Value* out, CacheCounters* scoped = nullptr) {
     Shard& shard = ShardFor(key);
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.map.find(key);
     if (it == shard.map.end()) {
       shard.misses.fetch_add(1, std::memory_order_relaxed);
+      if (scoped) ++scoped->misses;
       return false;
     }
     MoveToFront(shard, it->second);
     *out = shard.arena[it->second].value;
     shard.hits.fetch_add(1, std::memory_order_relaxed);
+    if (scoped) ++scoped->hits;
     return true;
   }
 
   // Inserts or overwrites the value for `key`, evicting the
   // least-recently-used entry of the key's shard when full.
-  void Put(const Key& key, Value value) {
+  void Put(const Key& key, Value value, CacheCounters* scoped = nullptr) {
     Shard& shard = ShardFor(key);
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.map.find(key);
@@ -102,6 +137,7 @@ class ShardedLruCache {
       Unlink(shard, slot);
       shard.map.erase(shard.arena[slot].key);
       shard.evictions.fetch_add(1, std::memory_order_relaxed);
+      if (scoped) ++scoped->evictions;
     }
     Node& node = shard.arena[slot];
     node.key = key;
@@ -109,6 +145,7 @@ class ShardedLruCache {
     LinkFront(shard, slot);
     shard.map.emplace(key, slot);
     shard.insertions.fetch_add(1, std::memory_order_relaxed);
+    if (scoped) ++scoped->insertions;
   }
 
   // Drops every entry (index rebuilds, DropCaches). Counters are kept:

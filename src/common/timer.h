@@ -5,7 +5,10 @@
 
 namespace sama {
 
-// Wall-clock stopwatch used by the benchmark harnesses.
+// Elapsed-time stopwatch used by the benchmark harnesses and the
+// engine's phase timers. Deliberately steady_clock: monotonic, immune
+// to NTP steps — never read wall time for durations (the slow-query
+// log's unix_millis stamp is the one sanctioned wall-clock read).
 class WallTimer {
  public:
   WallTimer() : start_(Clock::now()) {}

@@ -341,13 +341,14 @@ PathAlignment AlignmentMemo::AlignCached(const QueryKey& query_key,
                                          const Path& q,
                                          const LabelComparator& cmp,
                                          const ScoreParams& params,
-                                         double lambda_cutoff) {
+                                         double lambda_cutoff,
+                                         CacheCounters* stats) {
   std::string key;
   key.reserve(query_key.bytes_.size() + sizeof(uint64_t));
   key.append(query_key.bytes_);
   AppendU64(&key, data_path_id);
   Entry entry;
-  if (cache_.Get(key, &entry)) {
+  if (cache_.Get(key, &entry, stats)) {
     if (!entry.alignment.aborted) {
       // Full alignment: answers any cutoff. Cost accrual is monotone,
       // so the direct greedy scan aborts exactly when the full λ ≥
@@ -368,7 +369,7 @@ PathAlignment AlignmentMemo::AlignCached(const QueryKey& query_key,
     }
   }
   PathAlignment fresh = Align(p, q, cmp, params, lambda_cutoff);
-  cache_.Put(key, Entry{fresh, lambda_cutoff});
+  cache_.Put(key, Entry{fresh, lambda_cutoff}, stats);
   return fresh;
 }
 

@@ -123,11 +123,14 @@ class AlignmentMemo {
   // Align(p, q, cmp, params, lambda_cutoff) through the memo.
   // `data_path_id` must uniquely identify p's label content within the
   // store this memo serves (PathStore ids qualify). `query_key` must
-  // have been built from this call's (q, cmp, params).
+  // have been built from this call's (q, cmp, params). `stats`
+  // (optional) receives this call's memo traffic — the per-query
+  // attribution sink.
   PathAlignment AlignCached(
       const QueryKey& query_key, uint64_t data_path_id, const Path& p,
       const Path& q, const LabelComparator& cmp, const ScoreParams& params,
-      double lambda_cutoff = std::numeric_limits<double>::infinity());
+      double lambda_cutoff = std::numeric_limits<double>::infinity(),
+      CacheCounters* stats = nullptr);
 
   // Convenience overload for one-off lookups (tests, benchmarks).
   PathAlignment AlignCached(

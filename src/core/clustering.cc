@@ -20,9 +20,10 @@ namespace {
 Status LoadCandidate(const PathIndex& index, PathId id,
                      const ClusteringOptions& options, Path* out, bool* skip,
                      std::atomic<uint64_t>* corrupt_skipped,
-                     std::atomic<uint64_t>* io_retried) {
+                     std::atomic<uint64_t>* io_retried,
+                     CacheCounters* record_stats) {
   *skip = false;
-  Status s = index.GetPath(id, out);
+  Status s = index.GetPath(id, out, record_stats);
   for (size_t attempt = 0;
        s.code() == Status::Code::kIoError && attempt < options.max_io_retries;
        ++attempt) {
@@ -30,7 +31,7 @@ Status LoadCandidate(const PathIndex& index, PathId id,
     if (io_retried != nullptr) {
       io_retried->fetch_add(1, std::memory_order_relaxed);
     }
-    s = index.GetPath(id, out);
+    s = index.GetPath(id, out, record_stats);
   }
   if (s.ok()) return s;
   if (s.code() == Status::Code::kNotFound) {
@@ -55,15 +56,18 @@ Status LoadCandidate(const PathIndex& index, PathId id,
 // every stored path.
 std::vector<PathId> Candidates(const QueryGraph& query, const Path& q,
                                const PathIndex& index,
-                               const Thesaurus* thesaurus) {
+                               const Thesaurus* thesaurus,
+                               IndexCacheCounters* lookup_stats) {
   TermId sink = q.sink_label();
   const TermDictionary& dict = query.dict();
   if (!query.IsVariableLabel(sink)) {
-    return index.PathsWithSinkMatching(dict.term(sink), thesaurus);
+    return index.PathsWithSinkMatching(dict.term(sink), thesaurus,
+                                       lookup_stats);
   }
   TermId last_constant = query.LastConstantFromSink(q);
   if (last_constant != kInvalidTermId) {
-    return index.PathsContaining(dict.term(last_constant), thesaurus);
+    return index.PathsContaining(dict.term(last_constant), thesaurus,
+                                 lookup_stats);
   }
   // All-variable query path: every path is a candidate.
   std::vector<PathId> all(index.path_count());
@@ -98,12 +102,27 @@ Status ScoreChunk(const QueryGraph& query, const Path& q,
                   const ChunkWork& work, const PathIndex& index,
                   const Thesaurus* thesaurus, const ScoreParams& params,
                   const ClusteringOptions& options,
-                  const QueryCaches* caches,
+                  const QueryCaches* caches, const QueryObs* obs,
                   std::vector<ScoredPath>* out,
                   std::atomic<uint64_t>* corrupt_skipped,
                   std::atomic<uint64_t>* io_retried) {
+  // Chunk span, parented explicitly under the clustering-phase span —
+  // this code usually runs on a pool worker, where the caller's
+  // thread-local current span is invisible.
+  ObsSpan span;
+  if (obs != nullptr && obs->trace != nullptr) {
+    span = ObsSpan(obs->trace, "score_chunk", obs->parent_span);
+  }
+  // Chunk-local attribution counters: tallied without atomics during
+  // the scan, merged into the query's deltas once at chunk end.
+  QueryCacheDeltas* deltas = obs != nullptr ? obs->deltas : nullptr;
+  CacheCounters local_records, local_labels, local_alignments,
+      local_thesaurus;
   LabelComparator cmp(&query.dict(), thesaurus,
                       caches != nullptr ? caches->label_matches : nullptr);
+  if (deltas != nullptr) {
+    cmp.SetStatsSinks(&local_labels, &local_thesaurus);
+  }
   AlignmentMemo* memo =
       caches != nullptr ? caches->alignment_memo : nullptr;
   // One key build per chunk; candidates only append their 8-byte id.
@@ -122,15 +141,17 @@ Status ScoreChunk(const QueryGraph& query, const Path& q,
     ScoredPath sp;
     sp.id = candidates[c];
     bool skip = false;
-    SAMA_RETURN_IF_ERROR(LoadCandidate(index, sp.id, options, &sp.path,
-                                       &skip, corrupt_skipped, io_retried));
+    SAMA_RETURN_IF_ERROR(
+        LoadCandidate(index, sp.id, options, &sp.path, &skip, corrupt_skipped,
+                      io_retried, deltas != nullptr ? &local_records : nullptr));
     if (skip) continue;
     double effective_cutoff =
         early_exit ? cutoff : std::numeric_limits<double>::infinity();
     sp.alignment =
         memo != nullptr
             ? memo->AlignCached(memo_key, sp.id, sp.path, q, cmp, params,
-                                effective_cutoff)
+                                effective_cutoff,
+                                deltas != nullptr ? &local_alignments : nullptr)
             : Align(sp.path, q, cmp, params, effective_cutoff);
     if (sp.alignment.aborted) continue;  // Cannot make the top n.
     if (early_exit) {
@@ -141,6 +162,12 @@ Status ScoreChunk(const QueryGraph& query, const Path& q,
       }
     }
     out->push_back(std::move(sp));
+  }
+  if (deltas != nullptr) {
+    deltas->records.Merge(local_records);
+    deltas->label_matches.Merge(local_labels);
+    deltas->alignments.Merge(local_alignments);
+    deltas->thesaurus.Merge(local_thesaurus);
   }
   return Status::Ok();
 }
@@ -156,7 +183,8 @@ Result<std::vector<Cluster>> BuildClusters(const QueryGraph& query,
                                            std::atomic<uint64_t>* busy_nanos,
                                            std::atomic<uint64_t>* corrupt_skipped,
                                            std::atomic<uint64_t>* io_retried,
-                                           const QueryCaches* caches) {
+                                           const QueryCaches* caches,
+                                           const QueryObs* obs) {
   // Honour the legacy knob: callers that ask for num_threads without
   // providing a shared pool get a transient one.
   std::unique_ptr<ThreadPool> transient;
@@ -172,19 +200,28 @@ Result<std::vector<Cluster>> BuildClusters(const QueryGraph& query,
   // Phase 1 (sequential, index lookups only): candidate lists + the
   // chunked work plan. Sequential runs use one whole-cluster chunk so
   // the early-exit cutoff spans the full candidate list, as before.
+  // Phase-1 lookups run on the calling thread, so a plain local sink
+  // suffices; merged into the query's deltas after the loop.
+  QueryCacheDeltas* deltas = obs != nullptr ? obs->deltas : nullptr;
+  IndexCacheCounters lookup_stats;
   std::vector<std::vector<PathId>> candidates(n);
   std::vector<ChunkWork> plan;
   std::vector<size_t> first_chunk_of(n + 1, 0);
   for (size_t qi = 0; qi < n; ++qi) {
     clusters[qi].query_path_index = qi;
     candidates[qi] =
-        Candidates(query, query.paths()[qi], index, thesaurus);
+        Candidates(query, query.paths()[qi], index, thesaurus,
+                   deltas != nullptr ? &lookup_stats : nullptr);
     size_t total = candidates[qi].size();
     size_t step = parallel ? kChunkSize : (total == 0 ? 1 : total);
     for (size_t begin = 0; begin < total; begin += step) {
       plan.push_back({qi, begin, std::min(begin + step, total)});
     }
     first_chunk_of[qi + 1] = plan.size();
+  }
+  if (deltas != nullptr) {
+    deltas->postings.Merge(lookup_stats.postings);
+    deltas->lookups.Merge(lookup_stats.lookups);
   }
 
   // Phase 2: score every chunk, possibly across threads. Output slots
@@ -196,7 +233,7 @@ Result<std::vector<Cluster>> BuildClusters(const QueryGraph& query,
         const ChunkWork& work = plan[w];
         return ScoreChunk(query, query.paths()[work.cluster],
                           candidates[work.cluster], work, index, thesaurus,
-                          params, options, caches, &chunk_out[w],
+                          params, options, caches, obs, &chunk_out[w],
                           corrupt_skipped, io_retried);
       },
       busy_nanos));

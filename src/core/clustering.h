@@ -11,6 +11,7 @@
 #include "core/alignment.h"
 #include "core/score_params.h"
 #include "index/path_index.h"
+#include "obs/trace.h"
 #include "query/query_graph.h"
 #include "text/thesaurus.h"
 
@@ -48,6 +49,31 @@ struct QueryCaches {
   ShardedLruCache<uint64_t, LabelMatch>* label_matches = nullptr;
   // Cross-query memo of full path alignments; see AlignmentMemo.
   AlignmentMemo* alignment_memo = nullptr;
+};
+
+// Per-query attribution sinks for every cache layer clustering touches.
+// Scoring chunks tally into chunk-local CacheCounters and merge here at
+// chunk end, so one query's QueryStats reflect exactly its own traffic
+// even with other queries running concurrently on the same engine.
+struct QueryCacheDeltas {
+  AtomicCacheCounters postings;       // Inverted-index semantic memos.
+  AtomicCacheCounters lookups;        // Candidate-list memo.
+  AtomicCacheCounters records;        // GetPath record cache.
+  AtomicCacheCounters label_matches;  // Shared label-match cache.
+  AtomicCacheCounters alignments;     // AlignmentMemo.
+  AtomicCacheCounters thesaurus;      // AreRelated relatedness memo.
+};
+
+// Per-query observability context threaded into BuildClusters (all
+// borrowed, all optional — a null/default QueryObs is free). Purely
+// observational: clustering output is bit-identical with or without it.
+struct QueryObs {
+  QueryCacheDeltas* deltas = nullptr;
+  // When set, each scoring chunk records a span parented (explicitly —
+  // thread-locals do not follow work onto pool workers) under
+  // `parent_span`, typically the engine's clustering-phase span.
+  QueryTrace* trace = nullptr;
+  uint64_t parent_span = 0;
 };
 
 struct ClusteringOptions {
@@ -99,7 +125,7 @@ Result<std::vector<Cluster>> BuildClusters(
     std::atomic<uint64_t>* busy_nanos = nullptr,
     std::atomic<uint64_t>* corrupt_skipped = nullptr,
     std::atomic<uint64_t>* io_retried = nullptr,
-    const QueryCaches* caches = nullptr);
+    const QueryCaches* caches = nullptr, const QueryObs* obs = nullptr);
 
 }  // namespace sama
 

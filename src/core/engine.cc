@@ -4,6 +4,102 @@
 
 namespace sama {
 
+// The engine's named registry instruments, resolved once per engine.
+// Naming scheme (DESIGN.md "Observability"): sama_<noun>_total for
+// counters, sama_<noun>_millis for latency histograms; per-cache series
+// share one family distinguished by the {cache="..."} label.
+struct EngineInstruments {
+  Counter* queries = nullptr;
+  Counter* answers = nullptr;
+  Histogram* latency = nullptr;
+  Histogram* phase_preprocess = nullptr;
+  Histogram* phase_clustering = nullptr;
+  Histogram* phase_search = nullptr;
+  Counter* expansions = nullptr;
+  Counter* bound_pruned = nullptr;
+  Counter* roots_pruned = nullptr;
+  Counter* truncated = nullptr;
+  Counter* io_retries = nullptr;
+  Counter* corrupt_skipped = nullptr;
+  Counter* slow_queries = nullptr;
+  Counter* slow_sink_failures = nullptr;
+
+  struct CacheSet {
+    Counter* hits = nullptr;
+    Counter* misses = nullptr;
+    Counter* evictions = nullptr;
+    Counter* insertions = nullptr;
+
+    void Add(const CacheCounters& d) const {
+      if (hits && d.hits) hits->Increment(d.hits);
+      if (misses && d.misses) misses->Increment(d.misses);
+      if (evictions && d.evictions) evictions->Increment(d.evictions);
+      if (insertions && d.insertions) insertions->Increment(d.insertions);
+    }
+  };
+  CacheSet postings, path_lookups, path_records, label_matches,
+      alignment_memo, thesaurus;
+
+  static EngineInstruments Resolve(MetricsRegistry* reg) {
+    EngineInstruments out;
+    out.queries = reg->GetCounter("sama_queries_total", "Queries executed.");
+    out.answers =
+        reg->GetCounter("sama_query_answers_total", "Answers returned.");
+    auto bounds = Histogram::LatencyBucketsMillis();
+    out.latency = reg->GetHistogram("sama_query_latency_millis",
+                                    "End-to-end query latency.", bounds);
+    const char* phase_help = "Per-phase query latency.";
+    out.phase_preprocess =
+        reg->GetHistogram("sama_query_phase_millis", phase_help, bounds,
+                          {{"phase", "preprocess"}});
+    out.phase_clustering =
+        reg->GetHistogram("sama_query_phase_millis", phase_help, bounds,
+                          {{"phase", "clustering"}});
+    out.phase_search = reg->GetHistogram("sama_query_phase_millis", phase_help,
+                                         bounds, {{"phase", "search"}});
+    out.expansions = reg->GetCounter("sama_search_expansions_total",
+                                     "Forest-search node expansions.");
+    out.bound_pruned =
+        reg->GetCounter("sama_search_bound_pruned_total",
+                        "Subtrees pruned by the score bound.");
+    out.roots_pruned = reg->GetCounter("sama_search_roots_pruned_total",
+                                       "Root candidates pruned outright.");
+    out.truncated =
+        reg->GetCounter("sama_search_truncated_total",
+                        "Queries cut short by the anytime budget.");
+    out.io_retries = reg->GetCounter("sama_io_retries_total",
+                                     "Transient read retries during queries.");
+    out.corrupt_skipped =
+        reg->GetCounter("sama_corrupt_records_skipped_total",
+                        "Candidates dropped for corrupt/unreadable pages.");
+    out.slow_queries =
+        reg->GetCounter("sama_slow_queries_total",
+                        "Queries recorded in the slow-query log.");
+    out.slow_sink_failures =
+        reg->GetCounter("sama_slow_query_sink_failures_total",
+                        "Slow-query JSONL sink write failures.");
+    auto cache_set = [reg](const char* name) {
+      CacheSet s;
+      s.hits = reg->GetCounter("sama_cache_hits_total", "Cache hits.",
+                               {{"cache", name}});
+      s.misses = reg->GetCounter("sama_cache_misses_total", "Cache misses.",
+                                 {{"cache", name}});
+      s.evictions = reg->GetCounter("sama_cache_evictions_total",
+                                    "Cache evictions.", {{"cache", name}});
+      s.insertions = reg->GetCounter("sama_cache_insertions_total",
+                                     "Cache insertions.", {{"cache", name}});
+      return s;
+    };
+    out.postings = cache_set("postings");
+    out.path_lookups = cache_set("path_lookups");
+    out.path_records = cache_set("path_records");
+    out.label_matches = cache_set("label_matches");
+    out.alignment_memo = cache_set("alignment_memo");
+    out.thesaurus = cache_set("thesaurus");
+    return out;
+  }
+};
+
 SamaEngine::SamaEngine(const DataGraph* graph, const PathIndex* index,
                        const Thesaurus* thesaurus, EngineOptions options)
     : graph_(graph),
@@ -35,6 +131,22 @@ SamaEngine::SamaEngine(const DataGraph* graph, const PathIndex* index,
     index_cache.record_entries = cache.path_record_entries;
     index_cache.shards = cache.shards;
     index_->ConfigureQueryCache(index_cache);
+  }
+
+  const ObsOptions& obs = options_.obs;
+  if (obs.metrics) {
+    MetricsRegistry* reg =
+        obs.registry != nullptr ? obs.registry : MetricsRegistry::Global();
+    instruments_ =
+        std::make_shared<EngineInstruments>(EngineInstruments::Resolve(reg));
+  }
+  if (obs.slow_query_millis > 0) {
+    SlowQueryLog::Options log_options;
+    log_options.threshold_millis = obs.slow_query_millis;
+    log_options.capacity = obs.slow_query_capacity;
+    log_options.jsonl_path = obs.slow_query_path;
+    log_options.env = obs.env;
+    slow_log_ = std::make_shared<SlowQueryLog>(log_options);
   }
 }
 
@@ -73,8 +185,7 @@ Result<std::vector<Answer>> SamaEngine::Execute(const QueryGraph& query,
 
   // Cross-query caches: verify the label cache still matches the
   // thesaurus content (mutations between queries clear it; the other
-  // caches embed the identity in their keys), then snapshot every
-  // lifetime counter so this query's activity reports as deltas.
+  // caches embed the identity in their keys).
   if (label_cache_ != nullptr) {
     uint64_t identity = thesaurus_ == nullptr ? 0 : thesaurus_->identity();
     if (label_cache_identity_->exchange(identity) != identity) {
@@ -84,18 +195,28 @@ Result<std::vector<Answer>> SamaEngine::Execute(const QueryGraph& query,
   QueryCaches caches;
   caches.label_matches = label_cache_.get();
   caches.alignment_memo = alignment_memo_.get();
-  const IndexCacheCounters index_before = index_->query_cache_counters();
-  const CacheCounters label_before =
-      label_cache_ ? label_cache_->counters() : CacheCounters{};
-  const CacheCounters memo_before =
-      alignment_memo_ ? alignment_memo_->counters() : CacheCounters{};
-  const CacheCounters thesaurus_before =
-      thesaurus_ ? thesaurus_->relatedness_cache_counters() : CacheCounters{};
+
+  // Per-query attribution: every cache layer tallies THIS query's
+  // traffic into these scoped sinks. (Diffing the shared lifetime
+  // counters instead would fold concurrent queries' traffic into this
+  // query's stats — the cross-contamination bug this replaced.)
+  QueryCacheDeltas deltas;
+  QueryObs qobs;
+  qobs.deltas = &deltas;
+
+  std::shared_ptr<QueryTrace> trace;
+  if (options_.obs.trace) {
+    trace = std::make_shared<QueryTrace>();
+    qobs.trace = trace.get();
+  }
+  ObsSpan query_span(trace.get(), "query");
 
   // Preprocessing: PQ is computed by the QueryGraph itself; build the
   // intersection query graph here.
   WallTimer phase;
+  ObsSpan preprocess_span(trace.get(), "preprocess");
   IntersectionQueryGraph ig(query);
+  preprocess_span = ObsSpan();
   local.preprocess_millis = phase.ElapsedMillis();
   local.num_query_paths = query.paths().size();
 
@@ -108,10 +229,14 @@ Result<std::vector<Answer>> SamaEngine::Execute(const QueryGraph& query,
   ClusteringOptions clustering_options = options_.clustering;
   clustering_options.strict_io = options_.strict_io;
   clustering_options.max_io_retries = options_.max_io_retries;
+  ObsSpan clustering_span(trace.get(), "clustering");
+  // Chunk spans recorded on pool workers parent here explicitly.
+  qobs.parent_span = clustering_span.id();
   auto clusters_or =
       BuildClusters(query, *index_, thesaurus_, options_.params,
                     clustering_options, pool, &clustering_busy,
-                    &corrupt_skipped, &io_retried, &caches);
+                    &corrupt_skipped, &io_retried, &caches, &qobs);
+  clustering_span = ObsSpan();
   if (!clusters_or.ok()) return clusters_or.status();
   const std::vector<Cluster>& clusters = *clusters_or;
   local.clustering_millis = phase.ElapsedMillis();
@@ -127,8 +252,10 @@ Result<std::vector<Answer>> SamaEngine::Execute(const QueryGraph& query,
   if (k != 0) search_options.k = k;
   std::atomic<uint64_t> search_busy{0};
   ForestSearchStats fstats;
+  ObsSpan search_span(trace.get(), "search");
   auto answers_or = ForestSearch(query, ig, clusters, options_.params,
                                  search_options, pool, &search_busy, &fstats);
+  search_span = ObsSpan();
   if (!answers_or.ok()) return answers_or.status();
   local.search_millis = phase.ElapsedMillis();
   local.search_busy_millis = static_cast<double>(search_busy.load()) / 1e6;
@@ -137,23 +264,70 @@ Result<std::vector<Answer>> SamaEngine::Execute(const QueryGraph& query,
   local.search_roots_pruned = fstats.roots_pruned;
   local.search_truncated = fstats.truncated;
 
-  const IndexCacheCounters index_after = index_->query_cache_counters();
-  local.posting_cache = index_after.postings - index_before.postings;
-  local.path_lookup_cache = index_after.lookups - index_before.lookups;
-  local.path_record_cache = index_after.records - index_before.records;
-  if (label_cache_) {
-    local.label_match_cache = label_cache_->counters() - label_before;
-  }
-  if (alignment_memo_) {
-    local.alignment_memo = alignment_memo_->counters() - memo_before;
-  }
-  if (thesaurus_ != nullptr) {
-    local.thesaurus_cache =
-        thesaurus_->relatedness_cache_counters() - thesaurus_before;
-  }
+  // Per-query cache stats come straight from this query's scoped sinks.
+  local.posting_cache = deltas.postings.Snapshot();
+  local.path_lookup_cache = deltas.lookups.Snapshot();
+  local.path_record_cache = deltas.records.Snapshot();
+  local.label_match_cache = deltas.label_matches.Snapshot();
+  local.alignment_memo = deltas.alignments.Snapshot();
+  local.thesaurus_cache = deltas.thesaurus.Snapshot();
 
+  query_span = ObsSpan();
   local.total_millis = total.ElapsedMillis();
   local.num_answers = answers_or->size();
+  local.trace = trace;
+
+  if (instruments_ != nullptr) {
+    const EngineInstruments& ins = *instruments_;
+    ins.queries->Increment();
+    ins.answers->Increment(local.num_answers);
+    ins.latency->Observe(local.total_millis);
+    ins.phase_preprocess->Observe(local.preprocess_millis);
+    ins.phase_clustering->Observe(local.clustering_millis);
+    ins.phase_search->Observe(local.search_millis);
+    if (local.search_expansions) ins.expansions->Increment(local.search_expansions);
+    if (local.search_bound_pruned) {
+      ins.bound_pruned->Increment(local.search_bound_pruned);
+    }
+    if (local.search_roots_pruned) {
+      ins.roots_pruned->Increment(local.search_roots_pruned);
+    }
+    if (local.search_truncated) ins.truncated->Increment();
+    if (local.io_retries) ins.io_retries->Increment(local.io_retries);
+    if (local.corrupt_records_skipped) {
+      ins.corrupt_skipped->Increment(local.corrupt_records_skipped);
+    }
+    ins.postings.Add(local.posting_cache);
+    ins.path_lookups.Add(local.path_lookup_cache);
+    ins.path_records.Add(local.path_record_cache);
+    ins.label_matches.Add(local.label_match_cache);
+    ins.alignment_memo.Add(local.alignment_memo);
+    ins.thesaurus.Add(local.thesaurus_cache);
+  }
+
+  if (slow_log_ != nullptr && slow_log_->ShouldRecord(local.total_millis)) {
+    SlowQueryRecord record;
+    record.total_millis = local.total_millis;
+    record.preprocess_millis = local.preprocess_millis;
+    record.clustering_millis = local.clustering_millis;
+    record.search_millis = local.search_millis;
+    record.num_query_paths = local.num_query_paths;
+    record.num_candidate_paths = local.num_candidate_paths;
+    record.num_answers = local.num_answers;
+    record.search_expansions = local.search_expansions;
+    record.search_truncated = local.search_truncated;
+    record.corrupt_records_skipped = local.corrupt_records_skipped;
+    record.io_retries = local.io_retries;
+    record.threads = static_cast<int>(local.threads_used);
+    uint64_t sink_failures_before = slow_log_->sink_failures();
+    slow_log_->Record(record);
+    if (instruments_ != nullptr) {
+      instruments_->slow_queries->Increment();
+      uint64_t failed = slow_log_->sink_failures() - sink_failures_before;
+      if (failed) instruments_->slow_sink_failures->Increment(failed);
+    }
+  }
+
   if (stats != nullptr) *stats = local;
   return answers_or;
 }

@@ -1,9 +1,12 @@
 #ifndef SAMA_CORE_ENGINE_H_
 #define SAMA_CORE_ENGINE_H_
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstddef>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/result.h"
@@ -13,10 +16,15 @@
 #include "core/intersection_graph.h"
 #include "core/score_params.h"
 #include "index/path_index.h"
+#include "obs/metrics.h"
+#include "obs/slow_query_log.h"
+#include "obs/trace.h"
 #include "query/sparql.h"
 #include "text/thesaurus.h"
 
 namespace sama {
+
+struct EngineInstruments;
 
 // Sizing/enable knobs for the engine's query-side cache layer: the
 // index caches (postings, candidate lists, path records), the shared
@@ -43,11 +51,39 @@ struct QueryCacheOptions {
   size_t shards = 8;
 };
 
+// Observability knobs (DESIGN.md "Observability"). Tracing and the
+// slow-query log are per-query artifacts; metrics feed the process-wide
+// MetricsRegistry. None of it affects answers: with everything off the
+// query path does zero observability work beyond the per-query stats
+// QueryStats always carried.
+struct ObsOptions {
+  // Update registry instruments (sama_* counters/histograms) after each
+  // query. Instrument pointers are resolved once at engine
+  // construction; the per-query cost is a handful of relaxed atomic
+  // adds.
+  bool metrics = true;
+  // Record a per-query span trace, attached as QueryStats::trace.
+  bool trace = false;
+  // Queries with total_millis >= this threshold are recorded in the
+  // slow-query log. <= 0 disables the log.
+  double slow_query_millis = 0;
+  // Ring capacity of the in-memory slow-query log.
+  size_t slow_query_capacity = 128;
+  // Optional JSONL sink for slow-query records, written through `env`
+  // (Env::Default() when null) so fault injection covers it.
+  std::string slow_query_path;
+  Env* env = nullptr;
+  // Registry receiving the engine's instruments;
+  // MetricsRegistry::Global() when null.
+  MetricsRegistry* registry = nullptr;
+};
+
 struct EngineOptions {
   ScoreParams params;
   ClusteringOptions clustering;
   ForestSearchOptions search;
   QueryCacheOptions cache;
+  ObsOptions obs;
   // ExecuteSparql deduplicates answers on the SELECT variables
   // (projection semantics); Execute on a raw QueryGraph never does.
   bool dedup_select_bindings = true;
@@ -93,9 +129,11 @@ struct QueryStats {
   uint64_t corrupt_records_skipped = 0;
   uint64_t io_retries = 0;
 
-  // Query-side cache activity during THIS query: per-query deltas of
-  // the shared caches' monotonic lifetime counters. All zero when
-  // caching is disabled (QueryCacheOptions::enabled == false).
+  // Query-side cache activity during THIS query, attributed through
+  // per-query scoped counter sinks (QueryCacheDeltas) — NOT by diffing
+  // the shared lifetime counters, which would absorb concurrent
+  // queries' traffic. All zero when caching is disabled
+  // (QueryCacheOptions::enabled == false).
   CacheCounters posting_cache;      // Inverted-index semantic lookups.
   CacheCounters path_lookup_cache;  // Candidate-list lookups.
   CacheCounters path_record_cache;  // GetPath records.
@@ -120,13 +158,28 @@ struct QueryStats {
     return considered == 0 ? 0.0 : skipped / considered;
   }
 
+  // busy/elapsed, clamped finite and to [0, threads_used]: a trivial
+  // query's elapsed time underflows toward zero, and the raw ratio then
+  // leaks inf/nan into --stats output and bench JSON.
+  static double PhaseSpeedup(double busy_millis, double elapsed_millis,
+                             size_t threads) {
+    if (!(elapsed_millis > 1e-6) || !(busy_millis >= 0)) return 1.0;
+    double s = busy_millis / elapsed_millis;
+    if (!std::isfinite(s)) return 1.0;
+    double cap = threads == 0 ? 1.0 : static_cast<double>(threads);
+    return std::min(s, cap);
+  }
   double ClusteringSpeedup() const {
-    return clustering_millis > 0 ? clustering_busy_millis / clustering_millis
-                                 : 1.0;
+    return PhaseSpeedup(clustering_busy_millis, clustering_millis,
+                        threads_used);
   }
   double SearchSpeedup() const {
-    return search_millis > 0 ? search_busy_millis / search_millis : 1.0;
+    return PhaseSpeedup(search_busy_millis, search_millis, threads_used);
   }
+
+  // The query's span trace; non-null only when ObsOptions::trace was
+  // set. Shared so copies of the stats stay cheap.
+  std::shared_ptr<const QueryTrace> trace;
 };
 
 // The end-to-end Sama query processor (§5): preprocessing → clustering
@@ -174,12 +227,20 @@ class SamaEngine {
   // index's caches) without resizing them — cold-cache experiments.
   void DropQueryCaches() const;
 
+  // The slow-query log, when ObsOptions::slow_query_millis > 0; null
+  // otherwise. Shared across the engine copies ExecuteSparql makes.
+  const SlowQueryLog* slow_query_log() const { return slow_log_.get(); }
+
  private:
   const DataGraph* graph_;
   const PathIndex* index_;
   const Thesaurus* thesaurus_;
   EngineOptions options_;
   std::shared_ptr<ThreadPool> pool_;
+  // Registry instruments resolved once at construction (obs.metrics);
+  // null when metrics are off. Incomplete here; defined in engine.cc.
+  std::shared_ptr<EngineInstruments> instruments_;
+  std::shared_ptr<SlowQueryLog> slow_log_;
   // Engine-owned cross-query memos, shared by the engine copies
   // ExecuteSparql makes (hence shared_ptr).
   std::shared_ptr<ShardedLruCache<uint64_t, LabelMatch>> label_cache_;

@@ -12,7 +12,8 @@ LabelMatch LabelComparator::CompareSlow(const Term& data,
     return LabelMatch::kExact;
   }
   if (thesaurus_ != nullptr &&
-      thesaurus_->AreRelated(data_label, query_label)) {
+      thesaurus_->AreRelated(data_label, query_label, /*max_hops=*/1,
+                             thesaurus_stats_)) {
     return LabelMatch::kSynonym;
   }
   return LabelMatch::kMismatch;

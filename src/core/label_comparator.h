@@ -34,6 +34,16 @@ class LabelComparator {
                   ShardedLruCache<uint64_t, LabelMatch>* shared_cache = nullptr)
       : dict_(dict), thesaurus_(thesaurus), shared_cache_(shared_cache) {}
 
+  // Per-query attribution sinks (both optional, borrowed): shared-cache
+  // traffic from this comparator lands in `label_stats`, thesaurus
+  // relatedness-cache traffic in `thesaurus_stats`. Comparators are
+  // chunk-local, so plain non-atomic counters suffice.
+  void SetStatsSinks(CacheCounters* label_stats,
+                     CacheCounters* thesaurus_stats) {
+    label_stats_ = label_stats;
+    thesaurus_stats_ = thesaurus_stats;
+  }
+
   LabelMatch Compare(TermId data_label, TermId query_label) const {
     if (data_label == query_label) return LabelMatch::kExact;
     const Term& q = dict_->term(query_label);
@@ -43,13 +53,13 @@ class LabelComparator {
     auto it = cache_.find(key);
     if (it != cache_.end()) return it->second;
     LabelMatch m;
-    if (shared_cache_ != nullptr && shared_cache_->Get(key, &m)) {
+    if (shared_cache_ != nullptr && shared_cache_->Get(key, &m, label_stats_)) {
       cache_.emplace(key, m);
       return m;
     }
     m = CompareSlow(dict_->term(data_label), q);
     cache_.emplace(key, m);
-    if (shared_cache_ != nullptr) shared_cache_->Put(key, m);
+    if (shared_cache_ != nullptr) shared_cache_->Put(key, m, label_stats_);
     return m;
   }
 
@@ -62,6 +72,8 @@ class LabelComparator {
   const TermDictionary* dict_;
   const Thesaurus* thesaurus_;
   ShardedLruCache<uint64_t, LabelMatch>* shared_cache_;
+  CacheCounters* label_stats_ = nullptr;
+  CacheCounters* thesaurus_stats_ = nullptr;
   mutable std::unordered_map<uint64_t, LabelMatch> cache_;
 };
 

@@ -576,44 +576,49 @@ std::string LookupKey(char kind, const Term& term,
 }  // namespace
 
 std::vector<PathId> PathIndex::PathsWithSinkMatching(
-    const Term& term, const Thesaurus* thesaurus) const {
+    const Term& term, const Thesaurus* thesaurus,
+    IndexCacheCounters* stats) const {
   std::string key;
+  CacheCounters* lookup_stats = stats ? &stats->lookups : nullptr;
   if (lookup_cache_) {
     key = LookupKey('s', term, thesaurus);
     std::vector<PathId> cached;
-    if (lookup_cache_->Get(key, &cached)) return cached;
+    if (lookup_cache_->Get(key, &cached, lookup_stats)) return cached;
   }
-  std::vector<uint64_t> semantic =
-      sink_index_.LookupSemantic(term.DisplayLabel(), thesaurus);
+  std::vector<uint64_t> semantic = sink_index_.LookupSemantic(
+      term.DisplayLabel(), thesaurus, stats ? &stats->postings : nullptr);
   TermId exact = graph_->dict().Find(term);
   if (exact != kInvalidTermId) {
     semantic = Merge(std::move(semantic), PathsWithSinkLabel(exact));
   }
   std::vector<PathId> out = FilterDeleted(std::move(semantic));
-  if (lookup_cache_) lookup_cache_->Put(key, out);
+  if (lookup_cache_) lookup_cache_->Put(key, out, lookup_stats);
   return out;
 }
 
 std::vector<PathId> PathIndex::PathsContaining(
-    const Term& term, const Thesaurus* thesaurus) const {
+    const Term& term, const Thesaurus* thesaurus,
+    IndexCacheCounters* stats) const {
   std::string key;
+  CacheCounters* lookup_stats = stats ? &stats->lookups : nullptr;
   if (lookup_cache_) {
     key = LookupKey('c', term, thesaurus);
     std::vector<PathId> cached;
-    if (lookup_cache_->Get(key, &cached)) return cached;
+    if (lookup_cache_->Get(key, &cached, lookup_stats)) return cached;
   }
-  std::vector<PathId> out = FilterDeleted(
-      content_index_.LookupSemantic(term.DisplayLabel(), thesaurus));
-  if (lookup_cache_) lookup_cache_->Put(key, out);
+  std::vector<PathId> out = FilterDeleted(content_index_.LookupSemantic(
+      term.DisplayLabel(), thesaurus, stats ? &stats->postings : nullptr));
+  if (lookup_cache_) lookup_cache_->Put(key, out, lookup_stats);
   return out;
 }
 
-Status PathIndex::GetPath(PathId id, Path* out) const {
+Status PathIndex::GetPath(PathId id, Path* out,
+                          CacheCounters* record_stats) const {
   if (deleted_paths_.count(id) > 0) {
     return Status::NotFound("path " + std::to_string(id) +
                             " was invalidated by an update");
   }
-  if (record_cache_ != nullptr && record_cache_->Get(id, out)) {
+  if (record_cache_ != nullptr && record_cache_->Get(id, out, record_stats)) {
     return Status::Ok();
   }
   Status s = store_.Get(id, out);
@@ -621,7 +626,9 @@ Status PathIndex::GetPath(PathId id, Path* out) const {
   // checksum or I/O must keep failing (or keep being retried) exactly
   // as if no cache existed — PR 2's strict-io and degraded-read
   // semantics depend on it.
-  if (s.ok() && record_cache_ != nullptr) record_cache_->Put(id, *out);
+  if (s.ok() && record_cache_ != nullptr) {
+    record_cache_->Put(id, *out, record_stats);
+  }
   return s;
 }
 

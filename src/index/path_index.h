@@ -56,7 +56,10 @@ struct IndexCacheConfig {
   size_t shards = 8;
 };
 
-// Hit/miss totals of the three query-side cache layers.
+// Hit/miss totals of the three query-side cache layers. Also the
+// per-query attribution sink the lookup entry points take: pass one
+// scoped to a query to receive only that query's traffic (diffing the
+// lifetime totals instead cross-attributes concurrent queries).
 struct IndexCacheCounters {
   CacheCounters postings;  // The four inverted indexes, summed.
   CacheCounters lookups;
@@ -140,17 +143,22 @@ class PathIndex {
   const std::vector<PathId>& PathsWithSinkLabel(TermId label) const;
 
   // Paths whose sink label matches `term` exactly or through the
-  // thesaurus (§5 Clustering, sink case).
-  std::vector<PathId> PathsWithSinkMatching(const Term& term,
-                                            const Thesaurus* thesaurus) const;
+  // thesaurus (§5 Clustering, sink case). `stats` (optional) receives
+  // this call's postings/lookup cache traffic.
+  std::vector<PathId> PathsWithSinkMatching(
+      const Term& term, const Thesaurus* thesaurus,
+      IndexCacheCounters* stats = nullptr) const;
 
   // Paths containing any element whose label matches `term` (§5
   // Clustering, variable-sink case).
   std::vector<PathId> PathsContaining(const Term& term,
-                                      const Thesaurus* thesaurus) const;
+                                      const Thesaurus* thesaurus,
+                                      IndexCacheCounters* stats = nullptr) const;
 
-  // Loads a stored path.
-  Status GetPath(PathId id, Path* out) const;
+  // Loads a stored path. `record_stats` (optional) receives this call's
+  // record-cache traffic.
+  Status GetPath(PathId id, Path* out,
+                 CacheCounters* record_stats = nullptr) const;
 
   // Element-to-element mapping from the hashing step: graph nodes/edges
   // whose label matches `term` (used by the baseline matchers too).

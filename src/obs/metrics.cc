@@ -1,0 +1,239 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace sama {
+namespace {
+
+// Shortest representation that round-trips a double; integers render
+// without a trailing ".0" so counter-like values stay stable in goldens.
+std::string FormatValue(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (v == static_cast<double>(static_cast<int64_t>(v)) &&
+      std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  double parsed = std::strtod(buf, nullptr);
+  if (parsed == v) {
+    // Try shorter forms for readability; keep the first that round-trips.
+    for (int prec = 6; prec < 17; ++prec) {
+      char shorter[64];
+      std::snprintf(shorter, sizeof(shorter), "%.*g", prec, v);
+      if (std::strtod(shorter, nullptr) == v) return shorter;
+    }
+  }
+  return buf;
+}
+
+std::string EscapeLabelValue(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\' || c == '"') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+const char* KindName(int kind) {
+  switch (kind) {
+    case 0: return "counter";
+    case 1: return "gauge";
+    default: return "histogram";
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  while (!bounds_.empty() && !std::isfinite(bounds_.back())) bounds_.pop_back();
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Observe(double v) {
+  if (std::isnan(v)) return;  // NaN is unattributable; drop, don't poison.
+  // First bound >= v (le semantics); above the last bound lands in +Inf.
+  size_t i = std::lower_bound(bounds_.begin(), bounds_.end(), v) -
+             bounds_.begin();
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<double> Histogram::LatencyBucketsMillis() {
+  std::vector<double> b;
+  for (double v = 0.25; v <= 8192.0; v *= 2.0) b.push_back(v);
+  return b;
+}
+
+std::string MetricsRegistry::RenderLabels(const MetricLabels& labels) {
+  if (labels.empty()) return "";
+  MetricLabels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out = "{";
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i) out.push_back(',');
+    out += sorted[i].first;
+    out += "=\"";
+    out += EscapeLabelValue(sorted[i].second);
+    out += "\"";
+  }
+  out.push_back('}');
+  return out;
+}
+
+MetricsRegistry::Family* MetricsRegistry::GetFamily(std::string_view name,
+                                                    std::string_view help,
+                                                    Kind kind) {
+  auto it = families_.find(name);
+  if (it == families_.end()) {
+    Family fam;
+    fam.kind = kind;
+    fam.help = std::string(help);
+    it = families_.emplace(std::string(name), std::move(fam)).first;
+  } else if (it->second.kind != kind) {
+    return nullptr;  // Same name, different instrument type.
+  }
+  return &it->second;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name,
+                                     std::string_view help,
+                                     MetricLabels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* fam = GetFamily(name, help, Kind::kCounter);
+  if (!fam) return nullptr;
+  std::string key = RenderLabels(labels);
+  Series& s = fam->series[key];
+  if (!s.counter) {
+    s.label_text = key;
+    s.counter.reset(new Counter());
+  }
+  return s.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name, std::string_view help,
+                                 MetricLabels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* fam = GetFamily(name, help, Kind::kGauge);
+  if (!fam) return nullptr;
+  std::string key = RenderLabels(labels);
+  Series& s = fam->series[key];
+  if (!s.gauge) {
+    s.label_text = key;
+    s.gauge.reset(new Gauge());
+  }
+  return s.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::string_view help,
+                                         std::vector<double> bounds,
+                                         MetricLabels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* fam = GetFamily(name, help, Kind::kHistogram);
+  if (!fam) return nullptr;
+  std::string key = RenderLabels(labels);
+  Series& s = fam->series[key];
+  if (!s.histogram) {
+    s.label_text = key;
+    s.histogram.reset(new Histogram(std::move(bounds)));
+  }
+  return s.histogram.get();
+}
+
+std::string MetricsRegistry::RenderText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, fam] : families_) {
+    if (!fam.help.empty()) {
+      out += "# HELP " + name + " " + fam.help + "\n";
+    }
+    out += "# TYPE " + name + " ";
+    out += KindName(static_cast<int>(fam.kind));
+    out.push_back('\n');
+    for (const auto& [label_text, s] : fam.series) {
+      switch (fam.kind) {
+        case Kind::kCounter:
+          out += name + label_text + " " +
+                 FormatValue(static_cast<double>(s.counter->Value())) + "\n";
+          break;
+        case Kind::kGauge:
+          out += name + label_text + " " + FormatValue(s.gauge->Value()) + "\n";
+          break;
+        case Kind::kHistogram: {
+          const Histogram& h = *s.histogram;
+          // _bucket series carry the extra le label; splice it into the
+          // existing label set (cumulative counts, per the text format).
+          uint64_t cum = 0;
+          for (size_t i = 0; i < h.bounds().size(); ++i) {
+            cum += h.BucketCount(i);
+            std::string le = "le=\"" + FormatValue(h.bounds()[i]) + "\"";
+            std::string lbl = label_text.empty()
+                                  ? "{" + le + "}"
+                                  : label_text.substr(0, label_text.size() - 1) +
+                                        "," + le + "}";
+            out += name + "_bucket" + lbl + " " +
+                   FormatValue(static_cast<double>(cum)) + "\n";
+          }
+          cum += h.OverflowCount();
+          std::string lbl = label_text.empty()
+                                ? "{le=\"+Inf\"}"
+                                : label_text.substr(0, label_text.size() - 1) +
+                                      ",le=\"+Inf\"}";
+          out += name + "_bucket" + lbl + " " +
+                 FormatValue(static_cast<double>(cum)) + "\n";
+          out += name + "_sum" + label_text + " " + FormatValue(h.Sum()) + "\n";
+          out += name + "_count" + label_text + " " +
+                 FormatValue(static_cast<double>(h.Count())) + "\n";
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+void MetricsRegistry::ResetValuesForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, fam] : families_) {
+    (void)name;
+    for (auto& [label_text, s] : fam.series) {
+      (void)label_text;
+      if (s.counter) s.counter->value_.store(0);
+      if (s.gauge) s.gauge->value_.store(0.0);
+      if (s.histogram) {
+        Histogram& h = *s.histogram;
+        for (size_t i = 0; i <= h.bounds_.size(); ++i) h.buckets_[i].store(0);
+        h.count_.store(0);
+        h.sum_.store(0.0);
+      }
+    }
+  }
+}
+
+MetricsRegistry* MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return registry;
+}
+
+}  // namespace sama

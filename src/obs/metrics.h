@@ -1,0 +1,146 @@
+#ifndef SAMA_OBS_METRICS_H_
+#define SAMA_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sama {
+
+// Process-wide metrics: named counters, gauges and fixed-bucket
+// histograms with Prometheus text exposition. Instrument pointers are
+// stable for the registry's lifetime, so callers resolve a name once
+// (registration takes a mutex) and then update through the pointer —
+// the update path is a relaxed atomic op, never a lock. This is the
+// single telemetry surface DESIGN.md "Observability" describes; the
+// per-query QueryStats struct is a snapshot view layered on top of it.
+
+// Label set attached to one time series, e.g. {{"cache", "postings"}}.
+// Keys are sorted at registration so the exposition order (and the
+// identity of a series) is independent of argument order.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+// Monotonic counter. Exposed as TYPE counter.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+  std::atomic<uint64_t> value_{0};
+};
+
+// Point-in-time value. Exposed as TYPE gauge.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double d) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+    }
+  }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+  std::atomic<double> value_{0.0};
+};
+
+// Fixed-bucket histogram. Bucket upper bounds are set at registration
+// and never change; Observe is a bucket search plus two relaxed atomic
+// adds. Exposition renders cumulative _bucket{le=...} counts plus _sum
+// and _count, per the Prometheus histogram convention.
+class Histogram {
+ public:
+  void Observe(double v);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  // Observations <= bounds()[i]; non-cumulative.
+  uint64_t BucketCount(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  // Observations above the last finite bound (the +Inf bucket).
+  uint64_t OverflowCount() const {
+    return buckets_[bounds_.size()].load(std::memory_order_relaxed);
+  }
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  // Default latency bounds in milliseconds: 0.25ms .. ~8s, powers of two.
+  static std::vector<double> LatencyBucketsMillis();
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::vector<double> bounds);
+
+  std::vector<double> bounds_;  // Sorted, strictly increasing, finite.
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1.
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Each getter returns the existing series when (name, labels) was
+  // registered before — `help` and histogram bounds are fixed by the
+  // first registration — and nullptr when `name` is already registered
+  // as a different instrument type. Pointers remain valid for the
+  // registry's lifetime.
+  Counter* GetCounter(std::string_view name, std::string_view help,
+                      MetricLabels labels = {});
+  Gauge* GetGauge(std::string_view name, std::string_view help,
+                  MetricLabels labels = {});
+  Histogram* GetHistogram(std::string_view name, std::string_view help,
+                          std::vector<double> bounds, MetricLabels labels = {});
+
+  // Prometheus text exposition (version 0.0.4): families sorted by
+  // name, series sorted by label string, so output is deterministic.
+  std::string RenderText() const;
+
+  // Zeroes every value while keeping all registrations (and the
+  // pointers callers hold) valid. Test/bench isolation only.
+  void ResetValuesForTest();
+
+  // The process-wide registry production code defaults to.
+  static MetricsRegistry* Global();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Series {
+    std::string label_text;  // Rendered "{k=\"v\",...}" or "".
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Family {
+    Kind kind;
+    std::string help;
+    // label_text -> series; map keeps exposition sorted.
+    std::map<std::string, Series> series;
+  };
+
+  static std::string RenderLabels(const MetricLabels& labels);
+
+  Family* GetFamily(std::string_view name, std::string_view help, Kind kind);
+
+  mutable std::mutex mu_;  // Registration and render; never the hot path.
+  std::map<std::string, Family, std::less<>> families_;
+};
+
+}  // namespace sama
+
+#endif  // SAMA_OBS_METRICS_H_

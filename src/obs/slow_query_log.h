@@ -1,0 +1,86 @@
+#ifndef SAMA_OBS_SLOW_QUERY_LOG_H_
+#define SAMA_OBS_SLOW_QUERY_LOG_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "common/status.h"
+
+namespace sama {
+
+// One slow query, as captured by the engine after execution. Durations
+// are steady-clock measurements; `unix_millis` is a wall-clock stamp
+// for the JSONL sink only and plays no part in any latency math.
+struct SlowQueryRecord {
+  std::string label;  // Optional caller-provided query label.
+  double total_millis = 0.0;
+  double preprocess_millis = 0.0;
+  double clustering_millis = 0.0;
+  double search_millis = 0.0;
+  uint64_t num_query_paths = 0;
+  uint64_t num_candidate_paths = 0;
+  uint64_t num_answers = 0;
+  uint64_t search_expansions = 0;
+  bool search_truncated = false;
+  uint64_t corrupt_records_skipped = 0;
+  uint64_t io_retries = 0;
+  int threads = 0;
+  int64_t unix_millis = 0;
+};
+
+// Bounded in-memory ring of the most recent slow queries, with an
+// optional JSONL file sink routed through Env so fault-injection tests
+// cover the sink like any other write path. Recording is off the query
+// hot path by construction — only queries over the threshold get here.
+// A sink failure never fails the query: it is counted, remembered in
+// last_sink_status(), and the in-memory ring still records.
+class SlowQueryLog {
+ public:
+  struct Options {
+    // Queries at or above this total latency are recorded. <= 0
+    // disables the log entirely (ShouldRecord always false).
+    double threshold_millis = 100.0;
+    size_t capacity = 128;  // Ring size; oldest records are overwritten.
+    std::string jsonl_path;  // Empty = in-memory ring only.
+    Env* env = nullptr;      // Defaults to Env::Default() when a path is set.
+  };
+
+  explicit SlowQueryLog(Options options);
+
+  bool enabled() const { return options_.threshold_millis > 0; }
+  bool ShouldRecord(double total_millis) const {
+    return enabled() && total_millis >= options_.threshold_millis;
+  }
+
+  // Records unconditionally (the threshold check is the caller's, via
+  // ShouldRecord, so callers can also force-record). Appends one JSON
+  // line to the sink when configured.
+  void Record(const SlowQueryRecord& record);
+
+  // Oldest-to-newest view of the ring.
+  std::vector<SlowQueryRecord> Snapshot() const;
+
+  uint64_t total_recorded() const;
+  uint64_t sink_failures() const;
+  Status last_sink_status() const;
+  const Options& options() const { return options_; }
+
+  static std::string ToJsonLine(const SlowQueryRecord& record);
+
+ private:
+  Options options_;
+  mutable std::mutex mu_;
+  std::vector<SlowQueryRecord> ring_;  // ring_[i] valid for i < filled_.
+  size_t next_ = 0;                    // Next write slot.
+  size_t filled_ = 0;
+  uint64_t total_recorded_ = 0;
+  uint64_t sink_failures_ = 0;
+  Status last_sink_status_;
+};
+
+}  // namespace sama
+
+#endif  // SAMA_OBS_SLOW_QUERY_LOG_H_

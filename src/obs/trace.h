@@ -1,0 +1,108 @@
+#ifndef SAMA_OBS_TRACE_H_
+#define SAMA_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace sama {
+
+// One recorded span. Times are steady-clock milliseconds relative to
+// the owning trace's construction, so a trace is self-contained and
+// immune to wall-clock steps. `thread` is a per-trace ordinal (0 = the
+// first thread that recorded a span), not an OS id, so traces of the
+// same query are comparable across runs.
+struct TraceSpan {
+  uint64_t id = 0;      // 1-based; 0 is "no span".
+  uint64_t parent = 0;  // 0 = root.
+  std::string name;
+  double start_millis = 0.0;
+  double duration_millis = 0.0;  // < 0 while the span is still open.
+  uint32_t thread = 0;
+};
+
+// Per-query span buffer. Thread-safe: ParallelFor workers append
+// concurrently. Spans carry explicit parent ids because thread-locals
+// do not follow work onto pool workers — a worker-side span states its
+// parent (the phase span id captured by the closure) explicitly.
+//
+// Determinism contract: tracing never alters answers. Span *timings*
+// vary run to run by nature; span *structure* (names, parent edges) is
+// deterministic for a fixed query and thread count, except that the
+// relative order of sibling spans recorded by different workers is
+// scheduling-dependent. ToJson sorts by span id, which is allocation
+// order — stable enough for the CI smoke checker, which validates
+// structure, never timings.
+class QueryTrace {
+ public:
+  QueryTrace() = default;
+  QueryTrace(const QueryTrace&) = delete;
+  QueryTrace& operator=(const QueryTrace&) = delete;
+
+  // Opens a span; returns its id. parent == 0 makes a root span.
+  uint64_t BeginSpan(std::string_view name, uint64_t parent);
+  void EndSpan(uint64_t id);
+
+  // Snapshot of all spans (open ones have duration_millis < 0).
+  std::vector<TraceSpan> Snapshot() const;
+  size_t size() const;
+
+  // {"spans":[{"id":1,"parent":0,"name":"query","thread":0,
+  //            "start_ms":0.000,"dur_ms":1.234}, ...]}
+  std::string ToJson() const;
+
+ private:
+  double NowMillis() const;
+
+  std::chrono::steady_clock::time_point anchor_ =
+      std::chrono::steady_clock::now();
+  mutable std::mutex mu_;
+  std::vector<TraceSpan> spans_;
+  std::map<std::thread::id, uint32_t> thread_ordinals_;
+};
+
+// RAII span. Two parenting modes:
+//  - ObsSpan(trace, name): parents under the calling thread's current
+//    span (thread-local), the natural mode for same-thread nesting.
+//  - ObsSpan(trace, name, parent_id): explicit parent, for spans opened
+//    on a ParallelFor worker under a phase span from the calling thread.
+// Either way the span becomes the thread's current span until it is
+// destroyed, so deeper same-thread spans nest under it. A null trace
+// makes every operation a no-op, which is how disabled tracing stays
+// off the hot path.
+class ObsSpan {
+ public:
+  ObsSpan() = default;
+  ObsSpan(QueryTrace* trace, std::string_view name);
+  ObsSpan(QueryTrace* trace, std::string_view name, uint64_t parent_id);
+  ~ObsSpan();
+
+  ObsSpan(const ObsSpan&) = delete;
+  ObsSpan& operator=(const ObsSpan&) = delete;
+  ObsSpan(ObsSpan&& other) noexcept;
+  ObsSpan& operator=(ObsSpan&& other) noexcept;
+
+  // This span's id, for handing to workers as an explicit parent.
+  uint64_t id() const { return id_; }
+
+  // The calling thread's current span id in `trace` (0 if none).
+  static uint64_t CurrentId(const QueryTrace* trace);
+
+ private:
+  void Open(QueryTrace* trace, std::string_view name, uint64_t parent);
+  void Close();
+
+  QueryTrace* trace_ = nullptr;
+  uint64_t id_ = 0;
+  // Restored as the thread's current span when this one closes.
+  uint64_t saved_current_ = 0;
+};
+
+}  // namespace sama
+
+#endif  // SAMA_OBS_TRACE_H_

@@ -3,10 +3,35 @@
 #include <cassert>
 #include <mutex>
 
+#include "obs/metrics.h"
+
 namespace sama {
 
+// Registry-side mirror of the pool counters, summed across every pool
+// in the process (each pool's constructor resolves the same series).
+struct BufferPool::Instruments {
+  Counter* hits = nullptr;
+  Counter* misses = nullptr;
+  Counter* evictions = nullptr;
+
+  static std::shared_ptr<const Instruments> Resolve() {
+    MetricsRegistry* reg = MetricsRegistry::Global();
+    auto ins = std::make_shared<Instruments>();
+    ins->hits = reg->GetCounter("sama_buffer_pool_hits_total",
+                                "Buffer pool page fetches served from cache.");
+    ins->misses = reg->GetCounter("sama_buffer_pool_misses_total",
+                                  "Buffer pool page fetches that read disk.");
+    ins->evictions =
+        reg->GetCounter("sama_buffer_pool_evictions_total",
+                        "Buffer pool frames evicted to make room.");
+    return ins;
+  }
+};
+
 BufferPool::BufferPool(PageFile* file, size_t capacity)
-    : file_(file), capacity_(capacity == 0 ? 1 : capacity) {}
+    : file_(file),
+      capacity_(capacity == 0 ? 1 : capacity),
+      instruments_(Instruments::Resolve()) {}
 
 BufferPool::~BufferPool() {
   // Best effort: persist whatever is dirty. Errors are unreportable in a
@@ -44,6 +69,7 @@ Result<BufferPool::PageGuard> BufferPool::FetchInternal(PageId page,
     auto it = frames_.find(page);
     if (it != frames_.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
+      instruments_->hits->Increment();
       return PinLocked(it->second.get(), writable);
     }
   }
@@ -53,9 +79,11 @@ Result<BufferPool::PageGuard> BufferPool::FetchInternal(PageId page,
   auto it = frames_.find(page);
   if (it != frames_.end()) {
     hits_.fetch_add(1, std::memory_order_relaxed);
+    instruments_->hits->Increment();
     return PinLocked(it->second.get(), writable);
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
+  instruments_->misses->Increment();
   while (frames_.size() >= capacity_) {
     bool evicted = false;
     SAMA_RETURN_IF_ERROR(EvictOneLocked(&evicted));
@@ -88,6 +116,8 @@ Status BufferPool::EvictOneLocked(bool* evicted) {
     SAMA_RETURN_IF_ERROR(file_->WritePage(victim->page, victim->data.data()));
   }
   frames_.erase(victim->page);
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+  instruments_->evictions->Increment();
   *evicted = true;
   return Status::Ok();
 }

@@ -127,6 +127,7 @@ class BufferPool {
     uint64_t fetches = 0;  // Fetch + MutablePage calls.
     uint64_t hits = 0;
     uint64_t misses = 0;
+    uint64_t evictions = 0;
     double HitRate() const {
       uint64_t total = hits + misses;
       return total == 0 ? 0.0 : static_cast<double>(hits) / total;
@@ -138,12 +139,14 @@ class BufferPool {
     s.fetches = fetches_.load(std::memory_order_relaxed);
     s.hits = hits_.load(std::memory_order_relaxed);
     s.misses = misses_.load(std::memory_order_relaxed);
+    s.evictions = evictions_.load(std::memory_order_relaxed);
     return s;
   }
   void ResetStats() {
     fetches_.store(0, std::memory_order_relaxed);
     hits_.store(0, std::memory_order_relaxed);
     misses_.store(0, std::memory_order_relaxed);
+    evictions_.store(0, std::memory_order_relaxed);
   }
 
   size_t resident_pages() const {
@@ -173,6 +176,13 @@ class BufferPool {
   std::atomic<uint64_t> fetches_{0};
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+
+  // Process-wide registry series (sama_buffer_pool_*), summed over all
+  // pools; resolved once in the constructor. Local Stats stay the
+  // per-pool view (ResetStats does not touch the registry).
+  struct Instruments;
+  std::shared_ptr<const Instruments> instruments_;
 };
 
 }  // namespace sama

@@ -106,7 +106,8 @@ std::vector<uint64_t> InvertedLabelIndex::LookupTokens(
 }
 
 std::vector<uint64_t> InvertedLabelIndex::LookupSemantic(
-    std::string_view label, const Thesaurus* thesaurus) const {
+    std::string_view label, const Thesaurus* thesaurus,
+    CacheCounters* stats) const {
   std::string normalized = NormalizeLabel(label);
   // Memo key: normalized label + thesaurus content identity, so a
   // mutated or different thesaurus never aliases a cached list.
@@ -117,7 +118,7 @@ std::vector<uint64_t> InvertedLabelIndex::LookupSemantic(
     cache_key +=
         std::to_string(thesaurus == nullptr ? 0 : thesaurus->identity());
     std::vector<uint64_t> cached;
-    if (semantic_cache_->Get(cache_key, &cached)) return cached;
+    if (semantic_cache_->Get(cache_key, &cached, stats)) return cached;
   }
   std::vector<uint64_t> out;
   for (Cursor c = LookupExact(label); !c.Done(); c.Next()) {
@@ -136,7 +137,7 @@ std::vector<uint64_t> InvertedLabelIndex::LookupSemantic(
   } else {
     SortDedup(&out);
   }
-  if (semantic_cache_) semantic_cache_->Put(cache_key, out);
+  if (semantic_cache_) semantic_cache_->Put(cache_key, out, stats);
   return out;
 }
 

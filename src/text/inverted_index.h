@@ -63,9 +63,11 @@ class InvertedLabelIndex {
 
   // LookupExact unioned over the thesaurus expansion of `label`; falls
   // back to token AND-matching when no exact postings exist. This is
-  // the semantic lookup the clustering step uses.
+  // the semantic lookup the clustering step uses. `stats` (optional)
+  // receives this call's memo traffic — the per-query attribution sink.
   std::vector<uint64_t> LookupSemantic(std::string_view label,
-                                       const Thesaurus* thesaurus) const;
+                                       const Thesaurus* thesaurus,
+                                       CacheCounters* stats = nullptr) const;
 
   size_t distinct_tokens() const { return token_postings_.size(); }
   size_t distinct_labels() const { return exact_postings_.size(); }

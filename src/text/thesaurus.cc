@@ -135,7 +135,7 @@ std::vector<Thesaurus::SynsetId> Thesaurus::Neighbors(SynsetId s) const {
 }
 
 bool Thesaurus::AreRelated(std::string_view a, std::string_view b,
-                           int max_hops) const {
+                           int max_hops, CacheCounters* stats) const {
   SynsetId sa = FindSynset(a);
   SynsetId sb = FindSynset(b);
   if (sa == static_cast<SynsetId>(-1) || sb == static_cast<SynsetId>(-1)) {
@@ -156,7 +156,7 @@ bool Thesaurus::AreRelated(std::string_view a, std::string_view b,
           (static_cast<uint64_t>(hi) << 8) |
           static_cast<uint64_t>(max_hops);
     bool cached;
-    if (related_cache_->Get(key, &cached)) return cached;
+    if (related_cache_->Get(key, &cached, stats)) return cached;
   }
   // BFS over is-a links up to max_hops.
   bool related = false;
@@ -175,7 +175,7 @@ bool Thesaurus::AreRelated(std::string_view a, std::string_view b,
       frontier.emplace_back(next, depth + 1);
     }
   }
-  if (cacheable) related_cache_->Put(key, related);
+  if (cacheable) related_cache_->Put(key, related, stats);
   return related;
 }
 

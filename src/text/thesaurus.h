@@ -43,8 +43,10 @@ class Thesaurus {
 
   // True when the words are synonyms or connected through at most
   // `max_hops` is-a links (in either direction, through synsets).
-  bool AreRelated(std::string_view a, std::string_view b,
-                  int max_hops = 1) const;
+  // `stats` (optional) receives this call's relatedness-memo traffic —
+  // the per-query attribution sink (see CacheCounters).
+  bool AreRelated(std::string_view a, std::string_view b, int max_hops = 1,
+                  CacheCounters* stats = nullptr) const;
 
   // Every word related to `word` within `max_hops` is-a links,
   // including its synonyms (and `word` itself, normalised).

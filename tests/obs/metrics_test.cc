@@ -1,0 +1,186 @@
+// MetricsRegistry: instrument identity and re-registration, counter
+// exactness under concurrent writers, histogram bucket-boundary
+// semantics (le = inclusive upper bound), and the Prometheus text
+// exposition locked against a golden file — the format is an external
+// contract (scrapers parse it), so it changes only deliberately.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace sama {
+namespace {
+
+TEST(MetricsRegistryTest, ReRegistrationReturnsSamePointer) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("requests_total", "Requests.");
+  Counter* b = registry.GetCounter("requests_total", "ignored");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a, b);
+
+  Counter* labelled =
+      registry.GetCounter("requests_total", "Requests.", {{"kind", "x"}});
+  ASSERT_NE(labelled, nullptr);
+  EXPECT_NE(labelled, a);  // Distinct series, same family.
+  EXPECT_EQ(labelled,
+            registry.GetCounter("requests_total", "", {{"kind", "x"}}));
+}
+
+TEST(MetricsRegistryTest, LabelOrderDoesNotSplitSeries) {
+  MetricsRegistry registry;
+  Counter* ab = registry.GetCounter("c_total", "h",
+                                    {{"a", "1"}, {"b", "2"}});
+  Counter* ba = registry.GetCounter("c_total", "h",
+                                    {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(ab, ba);
+}
+
+TEST(MetricsRegistryTest, TypeMismatchReturnsNull) {
+  MetricsRegistry registry;
+  ASSERT_NE(registry.GetCounter("thing", "h"), nullptr);
+  EXPECT_EQ(registry.GetGauge("thing", "h"), nullptr);
+  EXPECT_EQ(registry.GetHistogram("thing", "h", {1.0}), nullptr);
+}
+
+TEST(MetricsRegistryTest, CounterExactUnderConcurrentWriters) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("hammered_total", "h");
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([c] {
+      for (uint64_t i = 0; i < kPerThread; ++i) c->Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c->Value(), kThreads * kPerThread);
+}
+
+TEST(MetricsRegistryTest, GaugeSetAndAdd) {
+  MetricsRegistry registry;
+  Gauge* g = registry.GetGauge("level", "h");
+  g->Set(2.5);
+  EXPECT_DOUBLE_EQ(g->Value(), 2.5);
+  g->Add(-1.0);
+  EXPECT_DOUBLE_EQ(g->Value(), 1.5);
+}
+
+TEST(HistogramTest, BucketBoundariesAreInclusiveUpperBounds) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("lat", "h", {1.0, 2.0, 4.0});
+  // Prometheus le semantics: an observation equal to a bound belongs to
+  // that bound's bucket.
+  h->Observe(0.5);   // le=1.
+  h->Observe(1.0);   // le=1, exactly on the bound.
+  h->Observe(1.001); // le=2.
+  h->Observe(4.0);   // le=4, exactly on the last finite bound.
+  h->Observe(4.001); // +Inf.
+  h->Observe(100.0); // +Inf.
+  EXPECT_EQ(h->BucketCount(0), 2u);
+  EXPECT_EQ(h->BucketCount(1), 1u);
+  EXPECT_EQ(h->BucketCount(2), 1u);
+  EXPECT_EQ(h->OverflowCount(), 2u);
+  EXPECT_EQ(h->Count(), 6u);
+  EXPECT_DOUBLE_EQ(h->Sum(), 0.5 + 1.0 + 1.001 + 4.0 + 4.001 + 100.0);
+}
+
+TEST(HistogramTest, UnsortedBoundsAreSortedAtRegistration) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("lat2", "h", {4.0, 1.0, 2.0, 2.0});
+  ASSERT_EQ(h->bounds().size(), 3u);  // Deduplicated.
+  EXPECT_DOUBLE_EQ(h->bounds()[0], 1.0);
+  EXPECT_DOUBLE_EQ(h->bounds()[2], 4.0);
+}
+
+TEST(HistogramTest, LatencyBucketsCoverSubMillisecondToSeconds) {
+  std::vector<double> bounds = Histogram::LatencyBucketsMillis();
+  ASSERT_FALSE(bounds.empty());
+  EXPECT_LE(bounds.front(), 0.25);
+  EXPECT_GE(bounds.back(), 8000.0);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+TEST(HistogramTest, ObserveExactUnderConcurrentWriters) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("lat3", "h", {10.0, 20.0});
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([h] {
+      for (uint64_t i = 0; i < kPerThread; ++i) h->Observe(5.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h->Count(), kThreads * kPerThread);
+  EXPECT_EQ(h->BucketCount(0), kThreads * kPerThread);
+  EXPECT_DOUBLE_EQ(h->Sum(), 5.0 * kThreads * kPerThread);
+}
+
+TEST(MetricsRegistryTest, ResetValuesKeepsRegistrations) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("r_total", "h");
+  Histogram* h = registry.GetHistogram("r_lat", "h", {1.0});
+  c->Increment(7);
+  h->Observe(0.5);
+  registry.ResetValuesForTest();
+  EXPECT_EQ(c->Value(), 0u);
+  EXPECT_EQ(h->Count(), 0u);
+  EXPECT_DOUBLE_EQ(h->Sum(), 0.0);
+  // Same pointers still live and usable.
+  c->Increment();
+  EXPECT_EQ(c->Value(), 1u);
+}
+
+// Builds the registry the golden file snapshots: one of each instrument
+// kind, labelled series, escaping-hostile label values, and a histogram
+// with observations on both sides of its bounds.
+std::string GoldenExposition() {
+  MetricsRegistry registry;
+  registry.GetCounter("sama_queries_total", "Queries executed.")
+      ->Increment(3);
+  registry
+      .GetCounter("sama_cache_hits_total", "Cache hits.",
+                  {{"cache", "postings"}})
+      ->Increment(11);
+  registry
+      .GetCounter("sama_cache_hits_total", "Cache hits.",
+                  {{"cache", "label_matches"}})
+      ->Increment(2);
+  registry
+      .GetCounter("sama_odd_labels_total", "Escaping check.",
+                  {{"path", "a\\b\"c\nd"}})
+      ->Increment();
+  registry.GetGauge("sama_resident_pages", "Resident pages.")->Set(42.5);
+  Histogram* lat = registry.GetHistogram(
+      "sama_query_latency_millis", "End-to-end query latency.",
+      {0.5, 1.0, 2.0});
+  lat->Observe(0.25);
+  lat->Observe(1.0);
+  lat->Observe(7.5);
+  return registry.RenderText();
+}
+
+TEST(MetricsRegistryTest, GoldenExposition) {
+  std::string golden_path =
+      std::string(SAMA_TEST_DATA_DIR) + "/obs_exposition.golden";
+  std::ifstream in(golden_path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden file " << golden_path;
+  std::ostringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(GoldenExposition(), want.str())
+      << "Prometheus exposition drifted from the golden. If the change "
+         "is deliberate, regenerate tests/data/obs_exposition.golden.";
+}
+
+}  // namespace
+}  // namespace sama

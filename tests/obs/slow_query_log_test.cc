@@ -1,0 +1,162 @@
+// SlowQueryLog: threshold gating, ring wraparound order, the JSONL
+// sink through the Env seam, and the contract that a failing sink
+// never propagates — it is counted and remembered, the ring still
+// records, and (at the engine layer) the query itself succeeds.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "obs/slow_query_log.h"
+
+namespace sama {
+namespace {
+
+SlowQueryRecord MakeRecord(const std::string& label, double total_ms) {
+  SlowQueryRecord r;
+  r.label = label;
+  r.total_millis = total_ms;
+  r.num_answers = 10;
+  r.threads = 1;
+  return r;
+}
+
+TEST(SlowQueryLogTest, ThresholdGatesRecording) {
+  SlowQueryLog::Options options;
+  options.threshold_millis = 50.0;
+  SlowQueryLog log(options);
+  EXPECT_TRUE(log.enabled());
+  EXPECT_FALSE(log.ShouldRecord(49.9));
+  EXPECT_TRUE(log.ShouldRecord(50.0));
+  EXPECT_TRUE(log.ShouldRecord(500.0));
+}
+
+TEST(SlowQueryLogTest, NonPositiveThresholdDisables) {
+  SlowQueryLog::Options options;
+  options.threshold_millis = 0;
+  SlowQueryLog log(options);
+  EXPECT_FALSE(log.enabled());
+  EXPECT_FALSE(log.ShouldRecord(1e9));
+}
+
+TEST(SlowQueryLogTest, RingWrapsOldestFirst) {
+  SlowQueryLog::Options options;
+  options.threshold_millis = 1.0;
+  options.capacity = 3;
+  SlowQueryLog log(options);
+  for (int i = 0; i < 7; ++i) {
+    log.Record(MakeRecord("q" + std::to_string(i), 10.0 + i));
+  }
+  EXPECT_EQ(log.total_recorded(), 7u);
+  std::vector<SlowQueryRecord> ring = log.Snapshot();
+  ASSERT_EQ(ring.size(), 3u);
+  // Oldest-to-newest view of the last `capacity` records.
+  EXPECT_EQ(ring[0].label, "q4");
+  EXPECT_EQ(ring[1].label, "q5");
+  EXPECT_EQ(ring[2].label, "q6");
+}
+
+TEST(SlowQueryLogTest, SnapshotBeforeWraparoundKeepsInsertionOrder) {
+  SlowQueryLog::Options options;
+  options.threshold_millis = 1.0;
+  options.capacity = 8;
+  SlowQueryLog log(options);
+  log.Record(MakeRecord("first", 5.0));
+  log.Record(MakeRecord("second", 6.0));
+  std::vector<SlowQueryRecord> ring = log.Snapshot();
+  ASSERT_EQ(ring.size(), 2u);
+  EXPECT_EQ(ring[0].label, "first");
+  EXPECT_EQ(ring[1].label, "second");
+}
+
+TEST(SlowQueryLogTest, ToJsonLineIsOneEscapedLine) {
+  SlowQueryRecord r = MakeRecord("needs\"escape\\and\nnewline", 12.5);
+  r.search_truncated = true;
+  std::string line = SlowQueryLog::ToJsonLine(r);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  EXPECT_NE(line.find("\"total_ms\":12.5"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"truncated\":true"), std::string::npos) << line;
+  EXPECT_NE(line.find("needs\\\"escape\\\\and\\nnewline"),
+            std::string::npos)
+      << line;
+}
+
+TEST(SlowQueryLogTest, JsonlSinkAppendsOneLinePerRecord) {
+  std::string path = (std::filesystem::temp_directory_path() /
+                      "sama_slow_query_sink_test.jsonl")
+                         .string();
+  std::remove(path.c_str());
+  {
+    SlowQueryLog::Options options;
+    options.threshold_millis = 1.0;
+    options.jsonl_path = path;
+    SlowQueryLog log(options);
+    log.Record(MakeRecord("a", 10.0));
+    log.Record(MakeRecord("b", 20.0));
+    EXPECT_EQ(log.sink_failures(), 0u);
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in);
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"label\":\"a\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"label\":\"b\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(SlowQueryLogTest, SinkFailureIsCountedNeverPropagated) {
+  std::string path = (std::filesystem::temp_directory_path() /
+                      "sama_slow_query_faulty_sink.jsonl")
+                         .string();
+  std::remove(path.c_str());
+  FaultyEnv env(Env::Default());
+  FaultSpec spec;
+  spec.fail_after = 1;  // First append lands; every later one fails.
+  env.Arm(IoOp::kWrite, spec);
+
+  SlowQueryLog::Options options;
+  options.threshold_millis = 1.0;
+  options.jsonl_path = path;
+  options.env = &env;
+  SlowQueryLog log(options);
+  log.Record(MakeRecord("ok", 10.0));
+  log.Record(MakeRecord("dropped1", 20.0));
+  log.Record(MakeRecord("dropped2", 30.0));
+
+  EXPECT_EQ(log.sink_failures(), 2u);
+  EXPECT_FALSE(log.last_sink_status().ok());
+  // The in-memory ring is unaffected by the sink failing.
+  EXPECT_EQ(log.Snapshot().size(), 3u);
+  EXPECT_EQ(log.total_recorded(), 3u);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in);
+  std::string line;
+  size_t lines = 0;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 1u);  // Only the pre-fault record reached disk.
+  std::remove(path.c_str());
+}
+
+TEST(SlowQueryLogTest, CapacityClampedToAtLeastOne) {
+  SlowQueryLog::Options options;
+  options.threshold_millis = 1.0;
+  options.capacity = 0;
+  SlowQueryLog log(options);
+  log.Record(MakeRecord("only", 5.0));
+  log.Record(MakeRecord("newer", 6.0));
+  std::vector<SlowQueryRecord> ring = log.Snapshot();
+  ASSERT_EQ(ring.size(), 1u);
+  EXPECT_EQ(ring[0].label, "newer");
+}
+
+}  // namespace
+}  // namespace sama

@@ -1,0 +1,162 @@
+// QueryTrace/ObsSpan: same-thread nesting via the thread-local current
+// span, explicit parenting across ParallelFor workers (thread-locals do
+// not follow work onto the pool), per-trace thread ordinals, and the
+// JSON shape the CLI's `-- trace:` line and the CI smoke checker parse.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "obs/trace.h"
+
+namespace sama {
+namespace {
+
+std::map<uint64_t, TraceSpan> ById(const QueryTrace& trace) {
+  std::map<uint64_t, TraceSpan> out;
+  for (const TraceSpan& s : trace.Snapshot()) out[s.id] = s;
+  return out;
+}
+
+TEST(TraceTest, SameThreadSpansNestUnderCurrent) {
+  QueryTrace trace;
+  uint64_t root_id, child_id, grandchild_id;
+  {
+    ObsSpan root(&trace, "query");
+    root_id = root.id();
+    EXPECT_EQ(ObsSpan::CurrentId(&trace), root_id);
+    {
+      ObsSpan child(&trace, "clustering");
+      child_id = child.id();
+      {
+        ObsSpan grandchild(&trace, "score");
+        grandchild_id = grandchild.id();
+      }
+      EXPECT_EQ(ObsSpan::CurrentId(&trace), child_id);
+    }
+    EXPECT_EQ(ObsSpan::CurrentId(&trace), root_id);
+  }
+  EXPECT_EQ(ObsSpan::CurrentId(&trace), 0u);
+
+  auto spans = ById(trace);
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[root_id].parent, 0u);
+  EXPECT_EQ(spans[child_id].parent, root_id);
+  EXPECT_EQ(spans[grandchild_id].parent, child_id);
+  for (const auto& [id, s] : spans) {
+    EXPECT_GE(s.duration_millis, 0.0) << s.name << " left open";
+    EXPECT_GE(s.start_millis, 0.0);
+  }
+}
+
+TEST(TraceTest, SiblingSpansShareAParent) {
+  QueryTrace trace;
+  ObsSpan root(&trace, "query");
+  uint64_t a, b;
+  {
+    ObsSpan first(&trace, "preprocess");
+    a = first.id();
+  }
+  {
+    ObsSpan second(&trace, "search");
+    b = second.id();
+  }
+  auto spans = ById(trace);
+  EXPECT_EQ(spans[a].parent, root.id());
+  EXPECT_EQ(spans[b].parent, root.id());
+  EXPECT_NE(a, b);
+}
+
+TEST(TraceTest, ExplicitParentAcrossParallelFor) {
+  QueryTrace trace;
+  ObsSpan phase(&trace, "clustering");
+  const uint64_t parent = phase.id();
+  ThreadPool pool(3);
+  constexpr size_t kTasks = 64;
+  Status s = ParallelFor(&pool, kTasks, [&](size_t) -> Status {
+    // A worker's thread-local current span is empty — the phase span
+    // lives on the calling thread — so the parent must be explicit.
+    ObsSpan span(&trace, "score_chunk", parent);
+    EXPECT_EQ(ObsSpan::CurrentId(&trace), span.id());
+    return Status::Ok();
+  });
+  ASSERT_TRUE(s.ok());
+
+  size_t chunk_spans = 0;
+  for (const TraceSpan& span : trace.Snapshot()) {
+    if (span.name != "score_chunk") continue;
+    ++chunk_spans;
+    EXPECT_EQ(span.parent, parent);
+    EXPECT_GE(span.duration_millis, 0.0);
+  }
+  EXPECT_EQ(chunk_spans, kTasks);
+}
+
+TEST(TraceTest, ThreadOrdinalsArePerTraceAndSmall) {
+  QueryTrace trace;
+  ObsSpan root(&trace, "query");
+  ThreadPool pool(3);
+  ASSERT_TRUE(ParallelFor(&pool, 32, [&](size_t) -> Status {
+                ObsSpan span(&trace, "work", root.id());
+                return Status::Ok();
+              }).ok());
+  // Ordinals are dense per-trace ids, not OS thread ids: with 3 workers
+  // + the caller at most 4 distinct values, all < 4.
+  for (const TraceSpan& span : trace.Snapshot()) {
+    EXPECT_LT(span.thread, 4u);
+  }
+}
+
+TEST(TraceTest, MoveTransfersOwnership) {
+  QueryTrace trace;
+  ObsSpan a(&trace, "outer");
+  uint64_t id = a.id();
+  ObsSpan b = std::move(a);
+  EXPECT_EQ(b.id(), id);
+  b = ObsSpan();  // Closes the span.
+  auto spans = ById(trace);
+  EXPECT_GE(spans[id].duration_millis, 0.0);
+}
+
+TEST(TraceTest, SnapshotMarksOpenSpans) {
+  QueryTrace trace;
+  ObsSpan open(&trace, "still_running");
+  auto spans = ById(trace);
+  EXPECT_LT(spans[open.id()].duration_millis, 0.0);
+}
+
+TEST(TraceTest, NullTraceIsANoOp) {
+  ObsSpan span(nullptr, "nothing");
+  EXPECT_EQ(span.id(), 0u);
+  EXPECT_EQ(ObsSpan::CurrentId(nullptr), 0u);
+}
+
+TEST(TraceTest, ToJsonShape) {
+  QueryTrace trace;
+  {
+    ObsSpan root(&trace, "query");
+    ObsSpan child(&trace, "needs\"escaping\\here");
+  }
+  std::string json = trace.ToJson();
+  // Shape, not timings: starts with the spans array, ids in order,
+  // special characters escaped.
+  EXPECT_EQ(json.rfind("{\"spans\":[", 0), 0u) << json;
+  EXPECT_NE(json.find("\"id\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"id\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"parent\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("needs\\\"escaping\\\\here"), std::string::npos)
+      << json;
+  EXPECT_EQ(json.find('\n'), std::string::npos) << "must be one line";
+  // Balanced braces/brackets (cheap well-formedness proxy).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+}  // namespace
+}  // namespace sama

@@ -23,12 +23,45 @@ baseline machine.
 
 import argparse
 import json
+import math
 import sys
 
 
+def die(message):
+    print(f"error: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
 def load(path):
-    with open(path) as f:
-        return json.load(f)
+    """Parse a bench JSON artifact, rejecting non-finite values.
+
+    The C++ writers clamp every ratio to a finite value; a NaN/Infinity
+    in the artifact therefore means a writer bug, and silently letting
+    json.load() accept Python's non-standard literals would turn every
+    later comparison into a vacuous truth (NaN compares false).
+    """
+    def reject_nonfinite(literal):
+        raise ValueError(f"non-finite JSON value {literal!r}")
+
+    try:
+        with open(path) as f:
+            return json.load(f, parse_constant=reject_nonfinite)
+    except OSError as e:
+        die(f"cannot read {path}: {e}")
+    except ValueError as e:
+        die(f"{path} is not valid bench JSON: {e}")
+
+
+def get_number(obj, key, where):
+    """A required numeric field; exits with the offending key named."""
+    if not isinstance(obj, dict) or key not in obj:
+        die(f"missing key '{key}' in {where}")
+    value = obj[key]
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        die(f"key '{key}' in {where} is not a number (got {value!r})")
+    if not math.isfinite(value):
+        die(f"key '{key}' in {where} is non-finite ({value!r})")
+    return value
 
 
 def main():
@@ -49,45 +82,75 @@ def main():
     base = load(args.baseline_json)
     failures = []
 
+    for artifact, path in ((new, args.new_json), (base, args.baseline_json)):
+        if "summary" not in artifact:
+            die(f"missing key 'summary' in {path}")
+        if "queries" not in artifact:
+            die(f"missing key 'queries' in {path}")
     new_sum, base_sum = new["summary"], base["summary"]
 
+    new_warm = get_number(new_sum, "warm_mean_ms",
+                          f"{args.new_json} summary")
+    base_warm = get_number(base_sum, "warm_mean_ms",
+                           f"{args.baseline_json} summary")
+    new_speedup = get_number(new_sum, "warm_speedup",
+                             f"{args.new_json} summary")
+    base_speedup = get_number(base_sum, "warm_speedup",
+                              f"{args.baseline_json} summary")
+    # A zero baseline makes both the relative-latency and the speedup
+    # comparison vacuous — every run would "pass". That is a broken or
+    # truncated baseline artifact, not a healthy bench, so refuse it.
+    if base_warm <= 0:
+        die(f"key 'warm_mean_ms' in {args.baseline_json} summary is "
+            f"{base_warm}; a zero/negative baseline cannot gate anything "
+            f"(re-record the baseline)")
+    if base_speedup <= 0:
+        die(f"key 'warm_speedup' in {args.baseline_json} summary is "
+            f"{base_speedup}; a zero/negative baseline cannot gate "
+            f"anything (re-record the baseline)")
+
     if not args.no_absolute:
-        limit = base_sum["warm_mean_ms"] * (1.0 + args.tolerance)
-        if new_sum["warm_mean_ms"] > limit:
+        limit = base_warm * (1.0 + args.tolerance)
+        if new_warm > limit:
             failures.append(
-                f"warm_mean_ms {new_sum['warm_mean_ms']:.2f} exceeds "
-                f"baseline {base_sum['warm_mean_ms']:.2f} "
+                f"warm_mean_ms {new_warm:.2f} exceeds "
+                f"baseline {base_warm:.2f} "
                 f"+{args.tolerance:.0%} (limit {limit:.2f})")
 
-    floor = max(base_sum["warm_speedup"] * (1.0 - args.tolerance),
-                args.min_speedup)
-    if new_sum["warm_speedup"] < floor:
+    floor = max(base_speedup * (1.0 - args.tolerance), args.min_speedup)
+    if new_speedup < floor:
         failures.append(
-            f"warm_speedup {new_sum['warm_speedup']:.2f} below floor "
-            f"{floor:.2f} (baseline {base_sum['warm_speedup']:.2f}, "
+            f"warm_speedup {new_speedup:.2f} below floor "
+            f"{floor:.2f} (baseline {base_speedup:.2f}, "
             f"min {args.min_speedup:.2f})")
 
-    base_rows = {q["name"]: q for q in base["queries"]}
+    base_rows = {q.get("name"): q for q in base["queries"]}
     for q in new["queries"]:
-        b = base_rows.get(q["name"])
+        name = q.get("name")
+        if name is None:
+            die(f"a row in {args.new_json} queries has no 'name' key")
+        b = base_rows.get(name)
         if b is None:
             continue
         for key in ("alignment_memo_hit_rate", "record_cache_hit_rate",
                     "lookup_cache_hit_rate"):
-            if q[key] < b[key] - args.hit_rate_slack:
+            new_rate = get_number(q, key, f"{args.new_json} query '{name}'")
+            base_rate = get_number(b, key,
+                                   f"{args.baseline_json} query '{name}'")
+            if new_rate < base_rate - args.hit_rate_slack:
                 failures.append(
-                    f"{q['name']} {key} {q[key]:.3f} fell below baseline "
-                    f"{b[key]:.3f} - {args.hit_rate_slack}")
+                    f"{name} {key} {new_rate:.3f} fell below baseline "
+                    f"{base_rate:.3f} - {args.hit_rate_slack}")
 
     if failures:
         print("BENCH REGRESSION:", file=sys.stderr)
         for f in failures:
             print(f"  - {f}", file=sys.stderr)
         return 1
-    print(f"bench ok: warm_mean={new_sum['warm_mean_ms']:.2f}ms "
-          f"(baseline {base_sum['warm_mean_ms']:.2f}ms), "
-          f"warm_speedup={new_sum['warm_speedup']:.2f}x "
-          f"(baseline {base_sum['warm_speedup']:.2f}x)")
+    print(f"bench ok: warm_mean={new_warm:.2f}ms "
+          f"(baseline {base_warm:.2f}ms), "
+          f"warm_speedup={new_speedup:.2f}x "
+          f"(baseline {base_speedup:.2f}x)")
     return 0
 
 

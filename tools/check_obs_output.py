@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Validate sama_cli observability output (the CI obs smoke step).
+
+Usage:
+    check_obs_output.py OUTPUT_FILE
+
+Reads a capture of `sama_cli --trace --stats --metrics
+--slow-query-ms ...` and checks the three observability surfaces:
+
+  1. `-- trace:` — well-formed span JSON: unique 1-based ids, parents
+     that reference earlier spans (or 0 for the root), exactly one root
+     named "query", every phase span parented under it, durations
+     finite and non-negative.
+  2. `-- slow:` — each slow-query JSONL record parses, carries the
+     required keys, and every numeric value is finite.
+  3. `-- metrics:` — the Prometheus exposition parses line by line,
+     sama_queries_total counted at least one query, and every
+     histogram's cumulative buckets are monotonically non-decreasing
+     and consistent with its _count.
+
+Structure only, never timings: the checker must pass on any machine.
+"""
+
+import json
+import math
+import re
+import sys
+
+SERIES_RE = re.compile(
+    r'^([A-Za-z_:][A-Za-z0-9_:]*)(\{[^}]*\})?\s+(-?[0-9.eE+]+|NaN|[+-]Inf)$')
+
+
+def fail(message):
+    print(f"obs check FAILED: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_trace(line):
+    payload = line.split("-- trace:", 1)[1].strip()
+    try:
+        doc = json.loads(payload)
+    except ValueError as e:
+        fail(f"trace line is not valid JSON: {e}\n  {payload[:200]}")
+    spans = doc.get("spans")
+    if not isinstance(spans, list) or not spans:
+        fail("trace JSON has no spans array")
+    seen = set()
+    roots = []
+    by_id = {}
+    for s in spans:
+        for key in ("id", "parent", "name", "thread", "start_ms", "dur_ms"):
+            if key not in s:
+                fail(f"span missing key '{key}': {s}")
+        if s["id"] in seen:
+            fail(f"duplicate span id {s['id']}")
+        if s["id"] < 1:
+            fail(f"span id {s['id']} is not 1-based")
+        seen.add(s["id"])
+        by_id[s["id"]] = s
+        if s["parent"] == 0:
+            roots.append(s)
+        for num_key in ("start_ms", "dur_ms"):
+            v = s[num_key]
+            if not isinstance(v, (int, float)) or not math.isfinite(v):
+                fail(f"span {s['id']} {num_key} is not finite: {v!r}")
+        if s["dur_ms"] < 0:
+            fail(f"span {s['id']} ({s['name']}) was never closed")
+    for s in spans:
+        if s["parent"] != 0 and s["parent"] not in seen:
+            fail(f"span {s['id']} has dangling parent {s['parent']}")
+    if len(roots) != 1 or roots[0]["name"] != "query":
+        fail(f"expected exactly one root span named 'query', got "
+             f"{[r['name'] for r in roots]}")
+    root_id = roots[0]["id"]
+    names = {s["name"] for s in spans}
+    for phase in ("preprocess", "clustering", "search"):
+        if phase not in names:
+            fail(f"trace is missing the '{phase}' phase span")
+        for s in spans:
+            if s["name"] == phase and s["parent"] != root_id:
+                fail(f"phase span '{phase}' is not parented under the "
+                     f"root query span")
+    return len(spans)
+
+
+def check_slow(line):
+    payload = line.split("-- slow:", 1)[1].strip()
+    try:
+        record = json.loads(payload)
+    except ValueError as e:
+        fail(f"slow-query record is not valid JSON: {e}\n  {payload[:200]}")
+    required = ("unix_ms", "label", "total_ms", "preprocess_ms",
+                "clustering_ms", "search_ms", "query_paths",
+                "candidate_paths", "answers", "expansions", "truncated",
+                "corrupt_skipped", "io_retries", "threads")
+    for key in required:
+        if key not in record:
+            fail(f"slow-query record missing key '{key}': {payload[:200]}")
+    for key, value in record.items():
+        if isinstance(value, float) and not math.isfinite(value):
+            fail(f"slow-query key '{key}' is non-finite: {value!r}")
+    if record["total_ms"] < 0:
+        fail(f"slow-query total_ms is negative: {record['total_ms']}")
+
+
+def check_metrics(lines):
+    values = {}
+    histogram_buckets = {}
+    for line in lines:
+        if not line or line.startswith("# HELP") or line.startswith("# TYPE"):
+            continue
+        m = SERIES_RE.match(line)
+        if m is None:
+            fail(f"unparseable exposition line: {line!r}")
+        name, labels, raw = m.group(1), m.group(2) or "", m.group(3)
+        if raw in ("NaN", "+Inf", "-Inf"):
+            fail(f"non-finite exposition value on: {line!r}")
+        value = float(raw)
+        values[name + labels] = value
+        if name.endswith("_bucket"):
+            base = name[: -len("_bucket")]
+            le = re.search(r'le="([^"]*)"', labels)
+            if le is None:
+                fail(f"histogram bucket without le label: {line!r}")
+            # Group by base name + the labels other than le, so
+            # sama_query_phase_millis{phase="search"} and
+            # {phase="clustering"} stay separate series.
+            rest = re.sub(r'le="[^"]*",?', "", labels).replace(
+                "{,", "{").replace(",}", "}").replace("{}", "")
+            histogram_buckets.setdefault((base, rest), []).append(
+                (le.group(1), value))
+    if not values:
+        fail("no metrics series found after '-- metrics:'")
+
+    queries = values.get("sama_queries_total", 0)
+    if queries < 1:
+        fail(f"sama_queries_total is {queries}; the smoke run executed "
+             f"at least one query")
+
+    for (base, rest), buckets in histogram_buckets.items():
+        # Exposition order is the registration order of the bounds:
+        # ascending with +Inf last, so cumulative counts must be
+        # non-decreasing and end at _count.
+        series = base + rest
+        counts = [v for _, v in buckets]
+        if counts != sorted(counts):
+            fail(f"{series} cumulative buckets are not monotonic: "
+                 f"{counts}")
+        if buckets[-1][0] != "+Inf":
+            fail(f"{series} is missing its +Inf bucket")
+        count_key = base + "_count" + rest
+        if count_key not in values:
+            fail(f"{series} has buckets but no _count series")
+        if counts[-1] != values[count_key]:
+            fail(f"{series} +Inf bucket {counts[-1]} != _count "
+                 f"{values[count_key]}")
+    return len(values)
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        text = f.read()
+    lines = text.splitlines()
+
+    trace_lines = [l for l in lines if l.startswith("-- trace:")]
+    if not trace_lines:
+        fail("no '-- trace:' line in the output (was --trace passed?)")
+    spans = sum(check_trace(l) for l in trace_lines)
+
+    slow_lines = [l for l in lines if l.startswith("-- slow:")]
+    for l in slow_lines:
+        check_slow(l)
+
+    try:
+        metrics_at = lines.index("-- metrics:")
+    except ValueError:
+        fail("no '-- metrics:' section in the output (was --metrics "
+             "passed?)")
+    series = check_metrics(lines[metrics_at + 1:])
+
+    print(f"obs ok: {len(trace_lines)} trace(s) with {spans} span(s), "
+          f"{len(slow_lines)} slow-query record(s), {series} metric "
+          f"series")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

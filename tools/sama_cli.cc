@@ -43,6 +43,14 @@
 //                      alignment memo). Answers are identical.
 //   --stats            Print index and per-query statistics, including
 //                      cache hit rates and the search pruning ratio.
+//   --trace            Record a span trace per query and print it as a
+//                      single `-- trace: {...}` JSON line.
+//   --metrics          After the queries run, dump the process metrics
+//                      registry in Prometheus text format to stdout.
+//   --slow-query-ms N  Record queries slower than N ms in the slow-query
+//                      log (printed after the run; see DESIGN.md
+//                      "Observability").
+//   --slow-query-log F Also append slow-query records to F as JSONL.
 
 #include <cstdio>
 #include <cstring>
@@ -89,6 +97,10 @@ struct CliOptions {
   bool verify = false;
   bool prune_search = true;
   bool use_cache = true;
+  bool trace = false;
+  bool metrics = false;
+  double slow_query_ms = 0;
+  std::string slow_query_log_path;
 };
 
 void PrintUsage() {
@@ -99,7 +111,9 @@ void PrintUsage() {
                " [--no-thesaurus]\n"
                "               [--baseline exact|sapper|bounded|dogma]"
                " [--strict-io] [--no-prune]\n"
-               "               [--no-cache] [--stats]\n"
+               "               [--no-cache] [--stats] [--trace]"
+               " [--metrics]\n"
+               "               [--slow-query-ms N] [--slow-query-log FILE]\n"
                "       sama_cli verify --index-dir DIR   (checksum an"
                " index, non-zero exit on damage)\n"
                "       sama_cli --demo   (built-in Figure-1 walkthrough)\n");
@@ -151,6 +165,14 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->use_cache = false;
     } else if (arg == "--stats") {
       options->stats = true;
+    } else if (arg == "--trace") {
+      options->trace = true;
+    } else if (arg == "--metrics") {
+      options->metrics = true;
+    } else if (arg == "--slow-query-ms" && next(&value)) {
+      options->slow_query_ms = std::strtod(value.c_str(), nullptr);
+    } else if (arg == "--slow-query-log" && next(&value)) {
+      options->slow_query_log_path = value;
     } else if (arg == "--demo") {
       options->demo = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -266,6 +288,9 @@ int RunOneQuery(const CliOptions& options, sama::DataGraph* graph,
   std::printf("%zu answer(s)\n", answers->size());
   for (size_t i = 0; i < answers->size(); ++i) {
     PrintAnswer(*graph, i + 1, (*answers)[i], query->select_vars);
+  }
+  if (options.trace && stats.trace != nullptr) {
+    std::printf("-- trace: %s\n", stats.trace->ToJson().c_str());
   }
   if (options.stats) {
     std::printf(
@@ -461,9 +486,38 @@ int main(int argc, char** argv) {
   engine_options.strict_io = options.strict_io;
   engine_options.params.prune_search = options.prune_search;
   engine_options.cache.enabled = options.use_cache;
+  engine_options.obs.trace = options.trace;
+  engine_options.obs.slow_query_millis = options.slow_query_ms;
+  engine_options.obs.slow_query_path = options.slow_query_log_path;
   sama::SamaEngine engine(&graph, &index,
                           options.use_thesaurus ? &thesaurus : nullptr,
                           engine_options);
+
+  // Post-run observability dumps, shared by the batch and interactive
+  // paths.
+  auto dump_obs = [&]() {
+    const sama::SlowQueryLog* slow = engine.slow_query_log();
+    if (slow != nullptr) {
+      auto records = slow->Snapshot();
+      std::printf("-- slow queries (>= %.1f ms): %llu recorded\n",
+                  options.slow_query_ms,
+                  static_cast<unsigned long long>(slow->total_recorded()));
+      for (const auto& r : records) {
+        std::printf("-- slow: %s\n",
+                    sama::SlowQueryLog::ToJsonLine(r).c_str());
+      }
+      if (slow->sink_failures() > 0) {
+        std::fprintf(stderr,
+                     "note: %llu slow-query sink write(s) failed (%s)\n",
+                     static_cast<unsigned long long>(slow->sink_failures()),
+                     slow->last_sink_status().ToString().c_str());
+      }
+    }
+    if (options.metrics) {
+      std::printf("-- metrics:\n%s",
+                  sama::MetricsRegistry::Global()->RenderText().c_str());
+    }
+  };
 
   if (options.interactive) {
     std::printf("Enter SPARQL queries, blank line to run, EOF to quit.\n");
@@ -479,6 +533,7 @@ int main(int argc, char** argv) {
       buffer.clear();
     }
     if (!buffer.empty()) RunOneQuery(options, &graph, &engine, buffer);
+    dump_obs();
     return 0;
   }
 
@@ -491,5 +546,7 @@ int main(int argc, char** argv) {
     }
     sparql = *text;
   }
-  return RunOneQuery(options, &graph, &engine, sparql);
+  int rc = RunOneQuery(options, &graph, &engine, sparql);
+  dump_obs();
+  return rc;
 }
