@@ -260,6 +260,24 @@ void BM_QueryMemoizedTraced(benchmark::State& state) {
 }
 BENCHMARK(BM_QueryMemoizedTraced);
 
+// Full profiling on: span recording plus the post-query phase-tree
+// assembly, counter attribution, and ProfileLog retention. Bounds what
+// --explain / serve-mode profiling costs on the hot path; compare
+// against BM_QueryMemoizedNoObs for the total obs overhead.
+void BM_QueryProfiled(benchmark::State& state) {
+  QueryEnv& env = GlobalQueryEnv();
+  EngineOptions options;
+  options.obs.profile = true;
+  SamaEngine engine(env.graph.get(), env.index.get(), &env.thesaurus,
+                    options);
+  (void)engine.Execute(env.query, 10);
+  for (auto _ : state) {
+    QueryStats stats;
+    benchmark::DoNotOptimize(engine.Execute(env.query, 10, &stats));
+  }
+}
+BENCHMARK(BM_QueryProfiled);
+
 // Raw instrument cost: one relaxed counter add (the unit the engine's
 // per-query instrument updates are made of).
 void BM_MetricsCounterIncrement(benchmark::State& state) {

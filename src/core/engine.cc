@@ -148,6 +148,9 @@ SamaEngine::SamaEngine(const DataGraph* graph, const PathIndex* index,
     log_options.env = obs.env;
     slow_log_ = std::make_shared<SlowQueryLog>(log_options);
   }
+  if (obs.profile) {
+    profile_log_ = std::make_shared<ProfileLog>(obs.profile_capacity);
+  }
 }
 
 void SamaEngine::DropQueryCaches() const {
@@ -204,8 +207,12 @@ Result<std::vector<Answer>> SamaEngine::Execute(const QueryGraph& query,
   QueryObs qobs;
   qobs.deltas = &deltas;
 
+  // Profiling needs the span trace as raw material, so it forces span
+  // recording even when obs.trace is off (QueryStats::trace still
+  // stays null in that case — the spans live inside the profile).
+  const bool profiling = options_.obs.profile && profile_log_ != nullptr;
   std::shared_ptr<QueryTrace> trace;
-  if (options_.obs.trace) {
+  if (options_.obs.trace || profiling) {
     trace = std::make_shared<QueryTrace>();
     qobs.trace = trace.get();
   }
@@ -219,6 +226,24 @@ Result<std::vector<Answer>> SamaEngine::Execute(const QueryGraph& query,
   preprocess_span = ObsSpan();
   local.preprocess_millis = phase.ElapsedMillis();
   local.num_query_paths = query.paths().size();
+
+  // Profiler phase boundaries: buffer-pool counter snapshots (the
+  // delta over a phase window is pool-wide, so concurrent queries can
+  // contribute to it — documented caveat) plus the scoped cache sinks,
+  // which are per-query exact. The sinks accumulate across phases, so
+  // the search share is total minus the clustering share.
+  auto cache_totals = [&deltas]() {
+    CacheCounters total;
+    total += deltas.postings.Snapshot();
+    total += deltas.lookups.Snapshot();
+    total += deltas.records.Snapshot();
+    total += deltas.label_matches.Snapshot();
+    total += deltas.alignments.Snapshot();
+    total += deltas.thesaurus.Snapshot();
+    return total;
+  };
+  BufferPool::Stats pages_before{};
+  if (profiling) pages_before = index_->cache_stats();
 
   // Clustering (parallel over candidate chunks when a pool exists;
   // results are identical either way).
@@ -245,6 +270,13 @@ Result<std::vector<Answer>> SamaEngine::Execute(const QueryGraph& query,
   local.corrupt_records_skipped = corrupt_skipped.load();
   local.io_retries = io_retried.load();
   for (const Cluster& c : clusters) local.num_candidate_paths += c.size();
+
+  BufferPool::Stats pages_after_clustering = pages_before;
+  CacheCounters cache_after_clustering;
+  if (profiling) {
+    pages_after_clustering = index_->cache_stats();
+    cache_after_clustering = cache_totals();
+  }
 
   // Search (parallel over candidate subtrees in deterministic waves).
   phase.Restart();
@@ -275,7 +307,56 @@ Result<std::vector<Answer>> SamaEngine::Execute(const QueryGraph& query,
   query_span = ObsSpan();
   local.total_millis = total.ElapsedMillis();
   local.num_answers = answers_or->size();
-  local.trace = trace;
+  if (options_.obs.trace) local.trace = trace;
+
+  if (profiling) {
+    BufferPool::Stats pages_after_search = index_->cache_stats();
+    CacheCounters cache_after_search = cache_totals();
+
+    ProfileSummary summary;
+    summary.total_millis = local.total_millis;
+    summary.num_query_paths = local.num_query_paths;
+    summary.num_candidate_paths = local.num_candidate_paths;
+    summary.num_answers = local.num_answers;
+    summary.threads_used = local.threads_used;
+    summary.search_expansions = local.search_expansions;
+    summary.search_truncated = local.search_truncated;
+
+    std::vector<QueryProfile::PhaseCounters> phases(2);
+    phases[0].phase = "clustering";
+    {
+      ProfileCounters& c = phases[0].counters;
+      c.cache_hits = cache_after_clustering.hits;
+      c.cache_misses = cache_after_clustering.misses;
+      BufferPool::Stats d =
+          BufferPool::Stats::Delta(pages_before, pages_after_clustering);
+      c.pages_fetched = d.fetches;
+      c.pages_read = d.misses;
+      c.pages_evicted = d.evictions;
+      c.bytes_read = d.bytes_read;
+      // Degraded-read accounting happens inside BuildClusters only.
+      c.io_retries = local.io_retries;
+      c.corrupt_skipped = local.corrupt_records_skipped;
+    }
+    phases[1].phase = "search";
+    {
+      ProfileCounters& c = phases[1].counters;
+      c.cache_hits = cache_after_search.hits - cache_after_clustering.hits;
+      c.cache_misses =
+          cache_after_search.misses - cache_after_clustering.misses;
+      BufferPool::Stats d = BufferPool::Stats::Delta(pages_after_clustering,
+                                                     pages_after_search);
+      c.pages_fetched = d.fetches;
+      c.pages_read = d.misses;
+      c.pages_evicted = d.evictions;
+      c.bytes_read = d.bytes_read;
+      c.search_expansions = local.search_expansions;
+    }
+    auto profile = std::make_shared<QueryProfile>(
+        QueryProfile::Build(trace->Snapshot(), std::move(summary), phases));
+    profile_log_->Add(profile);
+    local.profile = profile;
+  }
 
   if (instruments_ != nullptr) {
     const EngineInstruments& ins = *instruments_;

@@ -17,6 +17,7 @@
 #include "core/score_params.h"
 #include "index/path_index.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/slow_query_log.h"
 #include "obs/trace.h"
 #include "query/sparql.h"
@@ -64,6 +65,14 @@ struct ObsOptions {
   bool metrics = true;
   // Record a per-query span trace, attached as QueryStats::trace.
   bool trace = false;
+  // Assemble a QueryProfile per query (phase tree + resource counters;
+  // DESIGN.md "Observability"): forces span recording for the query
+  // even when `trace` is off, attaches the profile as
+  // QueryStats::profile, and retains the last `profile_capacity`
+  // profiles in the engine's ProfileLog for /debug/profile. Off by
+  // default so the hot path stays profile-free.
+  bool profile = false;
+  size_t profile_capacity = 16;
   // Queries with total_millis >= this threshold are recorded in the
   // slow-query log. <= 0 disables the log.
   double slow_query_millis = 0;
@@ -180,6 +189,11 @@ struct QueryStats {
   // The query's span trace; non-null only when ObsOptions::trace was
   // set. Shared so copies of the stats stay cheap.
   std::shared_ptr<const QueryTrace> trace;
+
+  // The query's assembled profile; non-null only when
+  // ObsOptions::profile was set. Also retained by the engine's
+  // ProfileLog (its id() is the /debug/profile retention id).
+  std::shared_ptr<const QueryProfile> profile;
 };
 
 // The end-to-end Sama query processor (§5): preprocessing → clustering
@@ -231,6 +245,10 @@ class SamaEngine {
   // otherwise. Shared across the engine copies ExecuteSparql makes.
   const SlowQueryLog* slow_query_log() const { return slow_log_.get(); }
 
+  // The retained-profile ring, when ObsOptions::profile is set; null
+  // otherwise. Shared across the engine copies ExecuteSparql makes.
+  const ProfileLog* profile_log() const { return profile_log_.get(); }
+
  private:
   const DataGraph* graph_;
   const PathIndex* index_;
@@ -241,6 +259,7 @@ class SamaEngine {
   // null when metrics are off. Incomplete here; defined in engine.cc.
   std::shared_ptr<EngineInstruments> instruments_;
   std::shared_ptr<SlowQueryLog> slow_log_;
+  std::shared_ptr<ProfileLog> profile_log_;
   // Engine-owned cross-query memos, shared by the engine copies
   // ExecuteSparql makes (hence shared_ptr).
   std::shared_ptr<ShardedLruCache<uint64_t, LabelMatch>> label_cache_;

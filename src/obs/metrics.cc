@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 
 namespace sama {
 namespace {
@@ -49,6 +50,24 @@ std::string EscapeLabelValue(const std::string& v) {
   return out;
 }
 
+// HELP text escaping per the exposition format: only backslash and
+// newline (label values additionally escape the double quote, which
+// HELP text must NOT — EscapeLabelValue is not reusable here).
+std::string EscapeHelp(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
 const char* KindName(int kind) {
   switch (kind) {
     case 0: return "counter";
@@ -77,6 +96,35 @@ void Histogram::Observe(double v) {
   double cur = sum_.load(std::memory_order_relaxed);
   while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
   }
+}
+
+double Histogram::Quantile(double q) const {
+  if (std::isnan(q)) return std::numeric_limits<double>::quiet_NaN();
+  q = std::min(1.0, std::max(0.0, q));
+  std::vector<uint64_t> counts(bounds_.size() + 1);
+  uint64_t total = 0;
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return std::numeric_limits<double>::quiet_NaN();
+  double rank = q * static_cast<double>(total);
+  uint64_t cum = 0;
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    uint64_t below = cum;
+    cum += counts[i];
+    if (static_cast<double>(cum) >= rank && counts[i] > 0) {
+      if (i == 0 && bounds_[0] <= 0) return bounds_[0];
+      double lower = i == 0 ? 0.0 : bounds_[i - 1];
+      double frac = (rank - static_cast<double>(below)) /
+                    static_cast<double>(counts[i]);
+      return lower + (bounds_[i] - lower) * frac;
+    }
+  }
+  // The rank fell into the +Inf bucket; the largest finite bound is
+  // the best defensible estimate (histogram_quantile's behaviour).
+  return bounds_.empty() ? std::numeric_limits<double>::quiet_NaN()
+                         : bounds_.back();
 }
 
 std::vector<double> Histogram::LatencyBucketsMillis() {
@@ -166,7 +214,7 @@ std::string MetricsRegistry::RenderText() const {
   std::string out;
   for (const auto& [name, fam] : families_) {
     if (!fam.help.empty()) {
-      out += "# HELP " + name + " " + fam.help + "\n";
+      out += "# HELP " + name + " " + EscapeHelp(fam.help) + "\n";
     }
     out += "# TYPE " + name + " ";
     out += KindName(static_cast<int>(fam.kind));

@@ -75,6 +75,15 @@ class Histogram {
   }
   const std::vector<double>& bounds() const { return bounds_; }
 
+  // Estimates the q-quantile (q in [0,1]) with linear interpolation
+  // inside the bucket the rank lands in, matching PromQL's
+  // histogram_quantile: the first bucket interpolates from 0 (or
+  // returns its bound when that bound is <= 0), and a rank in the +Inf
+  // bucket returns the largest finite bound. NaN when the histogram
+  // has no observations. Totals come from one bucket snapshot, so a
+  // concurrent Observe cannot put the rank outside the counted mass.
+  double Quantile(double q) const;
+
   // Default latency bounds in milliseconds: 0.25ms .. ~8s, powers of two.
   static std::vector<double> LatencyBucketsMillis();
 

@@ -1,0 +1,149 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace sama {
+namespace {
+
+// Merges the sibling span group `group` (same name, same parent) into
+// one ProfileNode and recurses over their children. `children_of`
+// maps span id -> child span indices in `spans`.
+size_t MergeGroup(const std::vector<TraceSpan>& spans,
+                  const std::map<uint64_t, std::vector<size_t>>& children_of,
+                  const std::vector<size_t>& group,
+                  std::vector<ProfileNode>* nodes) {
+  ProfileNode node;
+  node.name = spans[group.front()].name;
+  node.start_millis = spans[group.front()].start_millis;
+  std::set<uint32_t> threads;
+  // Child spans of every merged sibling, regrouped by name in
+  // first-seen order so the tree shape is deterministic (span ids are
+  // allocation-ordered).
+  std::vector<std::string> child_order;
+  std::map<std::string, std::vector<size_t>> child_groups;
+  for (size_t i : group) {
+    const TraceSpan& s = spans[i];
+    node.start_millis = std::min(node.start_millis, s.start_millis);
+    node.wall_millis += s.duration_millis < 0 ? 0.0 : s.duration_millis;
+    node.spans += 1;
+    threads.insert(s.thread);
+    auto it = children_of.find(s.id);
+    if (it == children_of.end()) continue;
+    for (size_t child : it->second) {
+      auto [group_it, inserted] =
+          child_groups.try_emplace(spans[child].name);
+      if (inserted) child_order.push_back(spans[child].name);
+      group_it->second.push_back(child);
+    }
+  }
+  node.threads = static_cast<uint32_t>(threads.size());
+
+  const size_t index = nodes->size();
+  nodes->push_back(std::move(node));
+  double children_wall = 0.0;
+  for (const std::string& name : child_order) {
+    size_t child_index =
+        MergeGroup(spans, children_of, child_groups.at(name), nodes);
+    children_wall += (*nodes)[child_index].wall_millis;
+    (*nodes)[index].children.push_back(child_index);
+  }
+  // Self time: own wall minus children's. Parallel children can sum
+  // past the parent's wall (their overlap is the parallelism), in
+  // which case self clamps to zero rather than going negative.
+  ProfileNode& done = (*nodes)[index];
+  done.self_millis = std::max(0.0, done.wall_millis - children_wall);
+  return index;
+}
+
+}  // namespace
+
+QueryProfile QueryProfile::Build(
+    std::vector<TraceSpan> spans, ProfileSummary summary,
+    const std::vector<PhaseCounters>& phase_counters) {
+  QueryProfile profile;
+  std::sort(spans.begin(), spans.end(),
+            [](const TraceSpan& a, const TraceSpan& b) { return a.id < b.id; });
+  profile.spans_ = std::move(spans);
+  profile.summary_ = std::move(summary);
+
+  std::set<uint64_t> ids;
+  for (const TraceSpan& s : profile.spans_) ids.insert(s.id);
+  // Group spans by parent; a dangling parent id (its span was never
+  // recorded) makes the span a root so it still renders.
+  std::map<uint64_t, std::vector<size_t>> children_of;
+  std::vector<size_t> root_spans;
+  for (size_t i = 0; i < profile.spans_.size(); ++i) {
+    const TraceSpan& s = profile.spans_[i];
+    if (s.parent != 0 && ids.count(s.parent)) {
+      children_of[s.parent].push_back(i);
+    } else {
+      root_spans.push_back(i);
+    }
+  }
+  // Roots regrouped by name, same as every other sibling level.
+  std::vector<std::string> root_order;
+  std::map<std::string, std::vector<size_t>> root_groups;
+  for (size_t i : root_spans) {
+    auto [it, inserted] = root_groups.try_emplace(profile.spans_[i].name);
+    if (inserted) root_order.push_back(profile.spans_[i].name);
+    it->second.push_back(i);
+  }
+  for (const std::string& name : root_order) {
+    profile.roots_.push_back(MergeGroup(profile.spans_, children_of,
+                                        root_groups.at(name),
+                                        &profile.nodes_));
+  }
+
+  // Attach resource counters to the first node (depth-first) carrying
+  // the phase's name. Nodes are emitted in depth-first order already.
+  for (const PhaseCounters& pc : phase_counters) {
+    for (ProfileNode& node : profile.nodes_) {
+      if (node.name == pc.phase) {
+        node.counters += pc.counters;
+        break;
+      }
+    }
+  }
+  return profile;
+}
+
+ProfileLog::ProfileLog(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+uint64_t ProfileLog::Add(std::shared_ptr<QueryProfile> profile) {
+  std::lock_guard<std::mutex> lock(mu_);
+  profile->id_ = next_id_++;
+  uint64_t id = profile->id_;
+  ring_.push_back(std::move(profile));
+  if (ring_.size() > capacity_) ring_.erase(ring_.begin());
+  return id;
+}
+
+std::shared_ptr<const QueryProfile> ProfileLog::Get(uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& p : ring_) {
+    if (p->id() == id) return p;
+  }
+  return nullptr;
+}
+
+std::shared_ptr<const QueryProfile> ProfileLog::Latest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.empty()) return nullptr;
+  return ring_.back();
+}
+
+std::vector<std::shared_ptr<const QueryProfile>> ProfileLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<std::shared_ptr<const QueryProfile>>(ring_.begin(),
+                                                          ring_.end());
+}
+
+uint64_t ProfileLog::latest_id() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_id_ - 1;
+}
+
+}  // namespace sama

@@ -1,0 +1,153 @@
+#ifndef SAMA_OBS_PROFILE_H_
+#define SAMA_OBS_PROFILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace sama {
+
+// Per-node resource attribution folded into the profile's phase tree.
+// Cache traffic comes from the engine's scoped per-query CacheCounters
+// sinks; page traffic from BufferPool::Stats snapshots taken at phase
+// boundaries (under concurrent queries the page numbers are the pool's
+// delta over the phase window, so they can include a neighbour query's
+// traffic — the cache numbers never do). Everything here is additive,
+// so merged sibling spans simply sum.
+struct ProfileCounters {
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t pages_fetched = 0;   // Buffer-pool fetches (hits + reads).
+  uint64_t pages_read = 0;      // Fetches that went to disk (misses).
+  uint64_t pages_evicted = 0;
+  uint64_t bytes_read = 0;      // Payload bytes read from disk.
+  uint64_t io_retries = 0;
+  uint64_t corrupt_skipped = 0;
+  uint64_t search_expansions = 0;
+
+  bool any() const {
+    return cache_hits | cache_misses | pages_fetched | pages_read |
+           pages_evicted | bytes_read | io_retries | corrupt_skipped |
+           search_expansions;
+  }
+  ProfileCounters& operator+=(const ProfileCounters& o) {
+    cache_hits += o.cache_hits;
+    cache_misses += o.cache_misses;
+    pages_fetched += o.pages_fetched;
+    pages_read += o.pages_read;
+    pages_evicted += o.pages_evicted;
+    bytes_read += o.bytes_read;
+    io_retries += o.io_retries;
+    corrupt_skipped += o.corrupt_skipped;
+    search_expansions += o.search_expansions;
+    return *this;
+  }
+};
+
+// One node of the aggregated phase tree. Same-name sibling spans (the
+// N score_chunk spans under clustering, say) merge into a single node:
+// `spans` counts the merged spans, `wall_millis` sums their durations
+// (which can exceed the parent's wall time when they ran on several
+// threads — that overlap IS the parallelism), and `threads` counts the
+// distinct thread ordinals that contributed. `self_millis` is the
+// node's wall time minus its children's, clamped at zero.
+struct ProfileNode {
+  std::string name;
+  double start_millis = 0.0;  // Earliest merged span start.
+  double wall_millis = 0.0;
+  double self_millis = 0.0;
+  uint64_t spans = 0;
+  uint32_t threads = 1;
+  ProfileCounters counters;
+  std::vector<size_t> children;  // Indices into QueryProfile::nodes().
+};
+
+// Query-level facts the renderers print alongside the tree.
+struct ProfileSummary {
+  std::string label;  // Optional caller-provided query label.
+  double total_millis = 0.0;
+  uint64_t num_query_paths = 0;
+  uint64_t num_candidate_paths = 0;
+  uint64_t num_answers = 0;
+  size_t threads_used = 1;
+  uint64_t search_expansions = 0;
+  bool search_truncated = false;
+};
+
+// The per-query profile the engine assembles after execution when
+// EngineOptions::obs.profile is set: the raw span trace (kept verbatim
+// for the Chrome trace-event export) plus the aggregated phase tree
+// with per-node wall/self time and resource counters. Immutable once
+// built; retained by ProfileLog and shared via QueryStats::profile.
+class QueryProfile {
+ public:
+  // Resource counters attributed to the phase span named `phase` (the
+  // first tree node with that name, depth-first).
+  struct PhaseCounters {
+    std::string phase;
+    ProfileCounters counters;
+  };
+
+  // Builds the tree from a span snapshot. Spans with dangling parents
+  // become roots (the renderers still show them rather than losing
+  // them); open spans (duration < 0) count as zero-duration. An empty
+  // span list yields a profile with an empty tree.
+  static QueryProfile Build(std::vector<TraceSpan> spans,
+                            ProfileSummary summary,
+                            const std::vector<PhaseCounters>& phase_counters);
+
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+  const ProfileSummary& summary() const { return summary_; }
+  const std::vector<ProfileNode>& nodes() const { return nodes_; }
+  // Indices of the tree's roots (normally one: the "query" span).
+  const std::vector<size_t>& roots() const { return roots_; }
+
+  // Retention id assigned by ProfileLog::Add; 0 = never retained.
+  uint64_t id() const { return id_; }
+
+ private:
+  friend class ProfileLog;
+
+  std::vector<TraceSpan> spans_;
+  ProfileSummary summary_;
+  std::vector<ProfileNode> nodes_;
+  std::vector<size_t> roots_;
+  uint64_t id_ = 0;
+};
+
+// Bounded ring of the most recent query profiles, the backing store of
+// the /debug/profile endpoint. Ids are 1-based and monotonic across
+// the log's lifetime, so a scraper can tell "profile 7 was evicted"
+// from "profile 7 never existed" (ids above latest_id()).
+class ProfileLog {
+ public:
+  explicit ProfileLog(size_t capacity);
+
+  // Assigns the next id to `profile` and retains it (evicting the
+  // oldest beyond capacity). Returns the assigned id.
+  uint64_t Add(std::shared_ptr<QueryProfile> profile);
+
+  // The retained profile with `id`, or null if evicted/never assigned.
+  std::shared_ptr<const QueryProfile> Get(uint64_t id) const;
+  // The most recently added profile, or null when empty.
+  std::shared_ptr<const QueryProfile> Latest() const;
+  // Oldest-to-newest view of the ring.
+  std::vector<std::shared_ptr<const QueryProfile>> Snapshot() const;
+
+  uint64_t latest_id() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<QueryProfile>> ring_;  // Oldest first.
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace sama
+
+#endif  // SAMA_OBS_PROFILE_H_

@@ -94,6 +94,7 @@ Result<BufferPool::PageGuard> BufferPool::FetchInternal(PageId page,
   auto frame = std::make_unique<Frame>();
   frame->page = page;
   SAMA_RETURN_IF_ERROR(file_->ReadPage(page, &frame->data));
+  bytes_read_.fetch_add(frame->data.size(), std::memory_order_relaxed);
   Frame* raw = frame.get();
   frames_.emplace(page, std::move(frame));
   return PinLocked(raw, writable);

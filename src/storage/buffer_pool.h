@@ -128,9 +128,22 @@ class BufferPool {
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t evictions = 0;
+    uint64_t bytes_read = 0;  // Payload bytes loaded from disk (misses).
     double HitRate() const {
       uint64_t total = hits + misses;
       return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+    }
+    // Counter delta `after - before`, the profiler's per-phase page
+    // attribution (both snapshots must come from the same pool; the
+    // counters are monotonic, so the delta never underflows).
+    static Stats Delta(const Stats& before, const Stats& after) {
+      Stats d;
+      d.fetches = after.fetches - before.fetches;
+      d.hits = after.hits - before.hits;
+      d.misses = after.misses - before.misses;
+      d.evictions = after.evictions - before.evictions;
+      d.bytes_read = after.bytes_read - before.bytes_read;
+      return d;
     }
   };
   // Snapshot of the atomic counters.
@@ -140,6 +153,7 @@ class BufferPool {
     s.hits = hits_.load(std::memory_order_relaxed);
     s.misses = misses_.load(std::memory_order_relaxed);
     s.evictions = evictions_.load(std::memory_order_relaxed);
+    s.bytes_read = bytes_read_.load(std::memory_order_relaxed);
     return s;
   }
   void ResetStats() {
@@ -147,6 +161,7 @@ class BufferPool {
     hits_.store(0, std::memory_order_relaxed);
     misses_.store(0, std::memory_order_relaxed);
     evictions_.store(0, std::memory_order_relaxed);
+    bytes_read_.store(0, std::memory_order_relaxed);
   }
 
   size_t resident_pages() const {
@@ -177,6 +192,7 @@ class BufferPool {
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> bytes_read_{0};
 
   // Process-wide registry series (sama_buffer_pool_*), summed over all
   // pools; resolved once in the constructor. Local Stats stay the

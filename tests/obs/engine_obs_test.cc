@@ -18,7 +18,9 @@
 #include "datasets/govtrack.h"
 #include "graph/data_graph.h"
 #include "index/path_index.h"
+#include "obs/exporter.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "query/sparql.h"
 #include "text/thesaurus.h"
 
@@ -359,6 +361,112 @@ TEST(EngineObsTest, SpeedupsAreFiniteOnTrivialQueries) {
   EXPECT_DOUBLE_EQ(
       QueryStats::PhaseSpeedup(std::nan(""), 1.0, 4), 1.0);
   EXPECT_DOUBLE_EQ(QueryStats::PhaseSpeedup(2.0, 1.0, 4), 2.0);
+}
+
+// --- Query profiler (obs.profile) -----------------------------------
+
+const ProfileNode* FindProfileNode(const QueryProfile& profile,
+                                   const std::string& name) {
+  for (const ProfileNode& node : profile.nodes()) {
+    if (node.name == name) return &node;
+  }
+  return nullptr;
+}
+
+TEST(EngineObsTest, ProfileAttachedWithPhaseTreeAndCounters) {
+  EngineOptions options;
+  options.obs.profile = true;
+  ObsEnv env(options);
+  QueryStats stats;
+  ASSERT_TRUE(env.engine->Execute(env.Query1(), 10, &stats).ok());
+  ASSERT_NE(stats.profile, nullptr);
+  // Profile-only mode: spans live inside the profile, not on stats.
+  EXPECT_EQ(stats.trace, nullptr);
+
+  const QueryProfile& profile = *stats.profile;
+  ASSERT_EQ(profile.roots().size(), 1u);
+  EXPECT_EQ(profile.nodes()[profile.roots()[0]].name, "query");
+  for (const char* phase : {"preprocess", "clustering", "search"}) {
+    EXPECT_NE(FindProfileNode(profile, phase), nullptr) << phase;
+  }
+
+  // Summary mirrors the query's stats.
+  EXPECT_EQ(profile.summary().num_answers, stats.num_answers);
+  EXPECT_EQ(profile.summary().num_query_paths, stats.num_query_paths);
+  EXPECT_DOUBLE_EQ(profile.summary().total_millis, stats.total_millis);
+  EXPECT_EQ(profile.summary().search_truncated, stats.search_truncated);
+
+  // A cold query misses the index caches during clustering, and search
+  // expansions land on the search node.
+  const ProfileNode* clustering = FindProfileNode(profile, "clustering");
+  ASSERT_NE(clustering, nullptr);
+  EXPECT_GT(clustering->counters.cache_misses, 0u);
+  const ProfileNode* search = FindProfileNode(profile, "search");
+  ASSERT_NE(search, nullptr);
+  EXPECT_EQ(search->counters.search_expansions, stats.search_expansions);
+
+  // The rendered explain is non-trivially shaped (end-to-end sanity;
+  // the format itself is golden-locked in exporter_test).
+  std::string explain = RenderExplainAnalyze(profile);
+  EXPECT_NE(explain.find("EXPLAIN ANALYZE"), std::string::npos);
+  EXPECT_NE(explain.find("└─ search"), std::string::npos) << explain;
+}
+
+TEST(EngineObsTest, ProfileLogRetainsRecentQueriesWithMonotonicIds) {
+  EngineOptions options;
+  options.obs.profile = true;
+  options.obs.profile_capacity = 2;
+  ObsEnv env(options);
+  ASSERT_NE(env.engine->profile_log(), nullptr);
+
+  QueryStats s1, s2, s3;
+  ASSERT_TRUE(env.engine->Execute(env.Query1(), 10, &s1).ok());
+  ASSERT_TRUE(env.engine->Execute(env.Query1(), 10, &s2).ok());
+  ASSERT_TRUE(env.engine->Execute(env.Query1(), 10, &s3).ok());
+  EXPECT_EQ(s1.profile->id(), 1u);
+  EXPECT_EQ(s2.profile->id(), 2u);
+  EXPECT_EQ(s3.profile->id(), 3u);
+
+  const ProfileLog* log = env.engine->profile_log();
+  EXPECT_EQ(log->latest_id(), 3u);
+  EXPECT_EQ(log->Get(1), nullptr);  // Evicted at capacity 2...
+  ASSERT_NE(log->Get(3), nullptr);
+  EXPECT_EQ(log->Get(3).get(), s3.profile.get());  // ...shared, not copied.
+  // The caller's shared_ptr outlives eviction.
+  EXPECT_EQ(s1.profile->summary().num_answers, s1.num_answers);
+}
+
+TEST(EngineObsTest, NoProfileByDefault) {
+  ObsEnv env;
+  EXPECT_EQ(env.engine->profile_log(), nullptr);
+  QueryStats stats;
+  ASSERT_TRUE(env.engine->Execute(env.Query1(), 10, &stats).ok());
+  EXPECT_EQ(stats.profile, nullptr);
+}
+
+TEST(EngineObsTest, ProfileAndTraceComposeAndAnswersUnchanged) {
+  ObsEnv plain;
+  EngineOptions options;
+  options.obs.profile = true;
+  options.obs.trace = true;
+  ObsEnv profiled(options);
+
+  QueryStats plain_stats, profiled_stats;
+  auto a = plain.engine->Execute(plain.Query1(), 10, &plain_stats);
+  auto b = profiled.engine->Execute(profiled.Query1(), 10, &profiled_stats);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_NE(profiled_stats.trace, nullptr);
+  ASSERT_NE(profiled_stats.profile, nullptr);
+  // Both views come from the same spans.
+  EXPECT_EQ(profiled_stats.trace->Snapshot().size(),
+            profiled_stats.profile->spans().size());
+
+  // Profiling never alters answers (the determinism contract).
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_DOUBLE_EQ((*a)[i].score, (*b)[i].score);
+  }
 }
 
 }  // namespace

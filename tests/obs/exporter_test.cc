@@ -1,0 +1,143 @@
+// The two profile renderers are external contracts — humans read the
+// EXPLAIN ANALYZE tree, Perfetto parses the Chrome trace JSON — so both
+// are locked against golden files built from a fixed synthetic profile.
+// Regenerate with `./build/tools/gen_obs_goldens tests/data` (which
+// duplicates MakeGoldenProfile below — keep them in sync) only when the
+// format changes deliberately.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/exporter.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+
+namespace sama {
+namespace {
+
+// The fixed profile both goldens snapshot: the engine's canonical span
+// shape (query → preprocess / clustering{2× score_chunk on 2 threads} /
+// search) with hand-picked timings and counters that exercise every
+// renderer branch — merged siblings, multi-thread nodes, cache + page +
+// byte + io counters on clustering, expansions on search.
+QueryProfile MakeGoldenProfile(bool truncated = false) {
+  std::vector<TraceSpan> spans = {
+      {1, 0, "query", 0.0, 10.0, 0},
+      {2, 1, "preprocess", 0.1, 1.0, 0},
+      {3, 1, "clustering", 1.2, 5.0, 0},
+      {4, 3, "score_chunk", 1.3, 2.0, 0},
+      {5, 3, "score_chunk", 1.4, 2.5, 1},
+      {6, 1, "search", 6.3, 3.5, 0},
+  };
+  ProfileSummary summary;
+  summary.label = "demo";
+  summary.total_millis = 10.2;
+  summary.num_query_paths = 3;
+  summary.num_candidate_paths = 24;
+  summary.num_answers = 10;
+  summary.threads_used = 2;
+  summary.search_expansions = 78;
+  summary.search_truncated = truncated;
+
+  std::vector<QueryProfile::PhaseCounters> phases(2);
+  phases[0].phase = "clustering";
+  phases[0].counters.cache_hits = 11;
+  phases[0].counters.cache_misses = 50;
+  phases[0].counters.pages_fetched = 12;
+  phases[0].counters.pages_read = 2;
+  phases[0].counters.pages_evicted = 1;
+  phases[0].counters.bytes_read = 8192;
+  phases[0].counters.io_retries = 1;
+  phases[1].phase = "search";
+  phases[1].counters.search_expansions = 78;
+
+  return QueryProfile::Build(std::move(spans), std::move(summary), phases);
+}
+
+std::string ReadGolden(const std::string& name) {
+  std::string path = std::string(SAMA_TEST_DATA_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << "missing golden file " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(ExporterTest, ExplainAnalyzeMatchesGolden) {
+  EXPECT_EQ(RenderExplainAnalyze(MakeGoldenProfile()),
+            ReadGolden("obs_explain.golden"))
+      << "EXPLAIN ANALYZE format drifted. If deliberate, regenerate "
+         "tests/data/obs_explain.golden.";
+}
+
+TEST(ExporterTest, ChromeTraceMatchesGolden) {
+  EXPECT_EQ(RenderChromeTrace(MakeGoldenProfile()),
+            ReadGolden("obs_profile_trace.golden"))
+      << "Chrome trace-event format drifted. If deliberate, regenerate "
+         "tests/data/obs_profile_trace.golden.";
+}
+
+TEST(ExporterTest, ExplainFlagsTruncatedSearch) {
+  std::string out = RenderExplainAnalyze(MakeGoldenProfile(true));
+  EXPECT_NE(out.find("[TRUNCATED by the anytime budget]"),
+            std::string::npos)
+      << out;
+}
+
+TEST(ExporterTest, ChromeTraceEscapesSpanNames) {
+  std::vector<TraceSpan> spans = {{1, 0, "odd\"name\\here", 0.0, 1.0, 0}};
+  QueryProfile profile =
+      QueryProfile::Build(std::move(spans), ProfileSummary{}, {});
+  std::string out = RenderChromeTrace(profile);
+  EXPECT_NE(out.find("odd\\\"name\\\\here"), std::string::npos) << out;
+}
+
+TEST(ExporterTest, RefreshLatencyQuantilesPublishesSecondsGauges) {
+  MetricsRegistry registry;
+  auto bounds = Histogram::LatencyBucketsMillis();
+  Histogram* lat = registry.GetHistogram("sama_query_latency_millis",
+                                         "End-to-end query latency.",
+                                         bounds);
+  ASSERT_NE(lat, nullptr);
+  for (int i = 0; i < 100; ++i) lat->Observe(3.0);
+  Histogram* phase = registry.GetHistogram("sama_query_phase_millis",
+                                           "Per-phase query latency.",
+                                           bounds, {{"phase", "search"}});
+  ASSERT_NE(phase, nullptr);
+  phase->Observe(1.0);
+
+  RefreshLatencyQuantiles(&registry);
+
+  std::string text = registry.RenderText();
+  EXPECT_NE(text.find("sama_query_latency_seconds{quantile=\"0.5\"}"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("sama_query_latency_seconds{quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("sama_query_phase_seconds{phase=\"search\","
+                      "quantile=\"0.95\"}"),
+            std::string::npos)
+      << text;
+  // Unobserved phases publish nothing.
+  EXPECT_EQ(text.find("phase=\"clustering\",quantile"), std::string::npos);
+
+  // The gauge holds the histogram's interpolated quantile in seconds.
+  Gauge* p50 = registry.GetGauge(
+      "sama_query_latency_seconds", "", {{"quantile", "0.5"}});
+  ASSERT_NE(p50, nullptr);
+  EXPECT_DOUBLE_EQ(p50->Value(), lat->Quantile(0.5) / 1000.0);
+}
+
+TEST(ExporterTest, RefreshLatencyQuantilesSkipsEmptyHistograms) {
+  MetricsRegistry registry;
+  RefreshLatencyQuantiles(&registry);
+  RefreshLatencyQuantiles(nullptr);  // Null registry is a no-op.
+  EXPECT_EQ(registry.RenderText().find("quantile"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sama

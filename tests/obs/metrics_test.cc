@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -126,6 +127,53 @@ TEST(HistogramTest, ObserveExactUnderConcurrentWriters) {
   EXPECT_DOUBLE_EQ(h->Sum(), 5.0 * kThreads * kPerThread);
 }
 
+TEST(HistogramTest, QuantileInterpolatesInsideTheBucket) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("q_lat", "h", {1.0, 2.0, 4.0});
+  // 50 observations in (0,1], 30 in (1,2], 20 in (2,4].
+  for (int i = 0; i < 50; ++i) h->Observe(0.5);
+  for (int i = 0; i < 30; ++i) h->Observe(1.5);
+  for (int i = 0; i < 20; ++i) h->Observe(3.0);
+  // Rank 50 exhausts the first bucket exactly: 0 + 1.0 * (50/50).
+  EXPECT_DOUBLE_EQ(h->Quantile(0.5), 1.0);
+  // Rank 80 exhausts the second: 1 + (2-1) * (30/30).
+  EXPECT_DOUBLE_EQ(h->Quantile(0.8), 2.0);
+  // Rank 95 is 15/20 through the third: 2 + (4-2) * 0.75.
+  EXPECT_DOUBLE_EQ(h->Quantile(0.95), 3.5);
+  // Rank 100 is the top of the last occupied bucket.
+  EXPECT_DOUBLE_EQ(h->Quantile(1.0), 4.0);
+  // q clamps to [0,1]; q=0 interpolates to the first bucket's floor.
+  EXPECT_DOUBLE_EQ(h->Quantile(-3.0), 0.0);
+}
+
+TEST(HistogramTest, QuantileUniformSingleBucket) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("q_uni", "h", {10.0});
+  for (int i = 0; i < 100; ++i) h->Observe(4.0);
+  // All mass in (0,10]; the median interpolates to the middle.
+  EXPECT_DOUBLE_EQ(h->Quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h->Quantile(0.25), 2.5);
+}
+
+TEST(HistogramTest, QuantileEdgeCases) {
+  MetricsRegistry registry;
+  Histogram* empty = registry.GetHistogram("q_empty", "h", {1.0});
+  EXPECT_TRUE(std::isnan(empty->Quantile(0.5)));
+
+  // Everything in the +Inf bucket: the largest finite bound is the
+  // best defensible estimate (histogram_quantile semantics).
+  Histogram* overflow = registry.GetHistogram("q_over", "h", {1.0, 2.0});
+  overflow->Observe(50.0);
+  overflow->Observe(60.0);
+  EXPECT_DOUBLE_EQ(overflow->Quantile(0.5), 2.0);
+
+  // A non-positive first bound returns the bound itself rather than
+  // interpolating from an undefined floor.
+  Histogram* negative = registry.GetHistogram("q_neg", "h", {-1.0, 1.0});
+  negative->Observe(-5.0);
+  EXPECT_DOUBLE_EQ(negative->Quantile(0.5), -1.0);
+}
+
 TEST(MetricsRegistryTest, ResetValuesKeepsRegistrations) {
   MetricsRegistry registry;
   Counter* c = registry.GetCounter("r_total", "h");
@@ -160,6 +208,11 @@ std::string GoldenExposition() {
       .GetCounter("sama_odd_labels_total", "Escaping check.",
                   {{"path", "a\\b\"c\nd"}})
       ->Increment();
+  // HELP text escapes backslash and newline (but NOT the quote —
+  // that's a label-value-only escape in the exposition format).
+  registry
+      .GetCounter("sama_odd_help_total", "Line one\nline \"two\" \\ done.")
+      ->Increment(4);
   registry.GetGauge("sama_resident_pages", "Resident pages.")->Set(42.5);
   Histogram* lat = registry.GetHistogram(
       "sama_query_latency_millis", "End-to-end query latency.",

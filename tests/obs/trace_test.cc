@@ -7,6 +7,9 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
+#include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -95,6 +98,64 @@ TEST(TraceTest, ExplicitParentAcrossParallelFor) {
   }
   EXPECT_EQ(chunk_spans, kTasks);
 }
+
+// ParallelFor nested inside a ParallelFor worker (the pool is
+// nested-safe: callers participate). Span structure must stay intact:
+// inner spans parent under their worker's outer chunk span, nothing is
+// orphaned, and thread ordinals stay dense per-trace ids.
+void RunNestedParallelFor(size_t threads) {
+  QueryTrace trace;
+  ObsSpan root(&trace, "query");
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads - 1);
+  constexpr size_t kOuter = 8;
+  constexpr size_t kInner = 4;
+  std::set<uint64_t> outer_ids;
+  std::mutex mu;
+  Status s = ParallelFor(pool.get(), kOuter, [&](size_t) -> Status {
+    ObsSpan outer(&trace, "outer_chunk", root.id());
+    const uint64_t outer_id = outer.id();
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      outer_ids.insert(outer_id);
+    }
+    return ParallelFor(pool.get(), kInner,
+                       [&trace, outer_id](size_t) -> Status {
+                         ObsSpan inner(&trace, "inner_chunk", outer_id);
+                         EXPECT_EQ(ObsSpan::CurrentId(&trace), inner.id());
+                         return Status::Ok();
+                       });
+  });
+  ASSERT_TRUE(s.ok());
+
+  auto spans = trace.Snapshot();
+  std::set<uint64_t> ids;
+  for (const TraceSpan& span : spans) ids.insert(span.id);
+  size_t outer_count = 0, inner_count = 0;
+  for (const TraceSpan& span : spans) {
+    // No orphans: every non-root parent edge points at a recorded span.
+    if (span.parent != 0) {
+      EXPECT_EQ(ids.count(span.parent), 1u)
+          << span.name << " parents dangling id " << span.parent;
+    }
+    // Ordinals stay dense: workers + the caller, nothing beyond.
+    EXPECT_LT(span.thread, threads);
+    if (span.name == "outer_chunk") {
+      ++outer_count;
+      EXPECT_EQ(span.parent, root.id());
+    } else if (span.name == "inner_chunk") {
+      ++inner_count;
+      EXPECT_EQ(outer_ids.count(span.parent), 1u)
+          << "inner span parented outside the outer chunks";
+    }
+  }
+  EXPECT_EQ(outer_count, kOuter);
+  EXPECT_EQ(inner_count, kOuter * kInner);
+}
+
+TEST(TraceTest, NestedParallelForSequential) { RunNestedParallelFor(1); }
+
+TEST(TraceTest, NestedParallelForFourThreads) { RunNestedParallelFor(4); }
 
 TEST(TraceTest, ThreadOrdinalsArePerTraceAndSmall) {
   QueryTrace trace;

@@ -1,11 +1,15 @@
 #!/usr/bin/env python3
-"""Validate sama_cli observability output (the CI obs smoke step).
+"""Validate sama_cli observability output (the CI obs smoke steps).
 
 Usage:
     check_obs_output.py OUTPUT_FILE
+    check_obs_output.py --perfetto TRACE_JSON
+    check_obs_output.py --metrics METRICS_TXT
+    check_obs_output.py --queries QUERIES_JSON
 
-Reads a capture of `sama_cli --trace --stats --metrics
---slow-query-ms ...` and checks the three observability surfaces:
+Default mode reads a capture of `sama_cli --trace --stats --metrics
+--slow-query-ms ...` and checks the three inline observability
+surfaces:
 
   1. `-- trace:` — well-formed span JSON: unique 1-based ids, parents
      that reference earlier spans (or 0 for the root), exactly one root
@@ -18,9 +22,24 @@ Reads a capture of `sama_cli --trace --stats --metrics
      histogram's cumulative buckets are monotonically non-decreasing
      and consistent with its _count.
 
+The flag modes validate the profiler/HTTP surfaces:
+
+  --perfetto  A Chrome trace-event file (sama_cli --profile-out or
+              GET /debug/profile): loadable JSON with the trace-event
+              envelope, thread_name metadata covering every tid, unique
+              span ids, resolvable parents, one root "query" span
+              carrying the query-level args, finite microsecond
+              timestamps.
+  --metrics   A GET /metrics capture (bare exposition, no "-- metrics:"
+              header), plus the scrape-time quantile gauges when the
+              latency histogram has observations.
+  --queries   A GET /debug/queries capture: {"queries": [...]} where
+              every record passes the slow-query key/finiteness checks.
+
 Structure only, never timings: the checker must pass on any machine.
 """
 
+import argparse
 import json
 import math
 import re
@@ -28,6 +47,11 @@ import sys
 
 SERIES_RE = re.compile(
     r'^([A-Za-z_:][A-Za-z0-9_:]*)(\{[^}]*\})?\s+(-?[0-9.eE+]+|NaN|[+-]Inf)$')
+
+SLOW_RECORD_KEYS = ("unix_ms", "label", "total_ms", "preprocess_ms",
+                    "clustering_ms", "search_ms", "query_paths",
+                    "candidate_paths", "answers", "expansions", "truncated",
+                    "corrupt_skipped", "io_retries", "threads")
 
 
 def fail(message):
@@ -83,24 +107,25 @@ def check_trace(line):
     return len(spans)
 
 
+def check_slow_record(record, source):
+    for key in SLOW_RECORD_KEYS:
+        if key not in record:
+            fail(f"{source} record missing key '{key}': "
+                 f"{json.dumps(record)[:200]}")
+    for key, value in record.items():
+        if isinstance(value, float) and not math.isfinite(value):
+            fail(f"{source} key '{key}' is non-finite: {value!r}")
+    if record["total_ms"] < 0:
+        fail(f"{source} total_ms is negative: {record['total_ms']}")
+
+
 def check_slow(line):
     payload = line.split("-- slow:", 1)[1].strip()
     try:
         record = json.loads(payload)
     except ValueError as e:
         fail(f"slow-query record is not valid JSON: {e}\n  {payload[:200]}")
-    required = ("unix_ms", "label", "total_ms", "preprocess_ms",
-                "clustering_ms", "search_ms", "query_paths",
-                "candidate_paths", "answers", "expansions", "truncated",
-                "corrupt_skipped", "io_retries", "threads")
-    for key in required:
-        if key not in record:
-            fail(f"slow-query record missing key '{key}': {payload[:200]}")
-    for key, value in record.items():
-        if isinstance(value, float) and not math.isfinite(value):
-            fail(f"slow-query key '{key}' is non-finite: {value!r}")
-    if record["total_ms"] < 0:
-        fail(f"slow-query total_ms is negative: {record['total_ms']}")
+    check_slow_record(record, "slow-query")
 
 
 def check_metrics(lines):
@@ -130,7 +155,7 @@ def check_metrics(lines):
             histogram_buckets.setdefault((base, rest), []).append(
                 (le.group(1), value))
     if not values:
-        fail("no metrics series found after '-- metrics:'")
+        fail("no metrics series found")
 
     queries = values.get("sama_queries_total", 0)
     if queries < 1:
@@ -154,16 +179,110 @@ def check_metrics(lines):
         if counts[-1] != values[count_key]:
             fail(f"{series} +Inf bucket {counts[-1]} != _count "
                  f"{values[count_key]}")
+    return values
+
+
+def check_metrics_file(path):
+    with open(path) as f:
+        values = check_metrics(f.read().splitlines())
+    # A /metrics scrape goes through RefreshLatencyQuantiles, so once
+    # the latency histogram has observations the interpolated quantile
+    # gauges must be published alongside it.
+    if values.get("sama_query_latency_millis_count", 0) >= 1:
+        for q in ("0.5", "0.95", "0.99"):
+            key = f'sama_query_latency_seconds{{quantile="{q}"}}'
+            if key not in values:
+                fail(f"latency histogram has observations but {key} "
+                     f"is missing (RefreshLatencyQuantiles not run?)")
+            if values[key] < 0:
+                fail(f"{key} is negative: {values[key]}")
     return len(values)
 
 
-def main():
-    if len(sys.argv) != 2:
-        print(__doc__, file=sys.stderr)
-        return 2
-    with open(sys.argv[1]) as f:
-        text = f.read()
-    lines = text.splitlines()
+def check_perfetto(path):
+    with open(path) as f:
+        try:
+            doc = json.load(f)
+        except ValueError as e:
+            fail(f"{path} is not valid JSON: {e}")
+    if not isinstance(doc, dict):
+        fail("trace-event file is not a JSON object")
+    if doc.get("displayTimeUnit") != "ms":
+        fail(f"displayTimeUnit is {doc.get('displayTimeUnit')!r}, not 'ms'")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("traceEvents is missing or empty")
+
+    span_ids = set()
+    named_tids = set()
+    used_tids = set()
+    roots = []
+    complete = []
+    for e in events:
+        ph = e.get("ph")
+        if ph == "M":
+            if e.get("name") not in ("process_name", "thread_name"):
+                fail(f"unexpected metadata event: {e}")
+            if not isinstance(e.get("args", {}).get("name"), str):
+                fail(f"metadata event without args.name: {e}")
+            if e["name"] == "thread_name":
+                named_tids.add(e.get("tid"))
+        elif ph == "X":
+            for key in ("name", "cat", "ts", "dur", "pid", "tid", "args"):
+                if key not in e:
+                    fail(f"complete event missing '{key}': {e}")
+            for num_key in ("ts", "dur"):
+                v = e[num_key]
+                if not isinstance(v, (int, float)) or not math.isfinite(v):
+                    fail(f"event {e['name']} {num_key} not finite: {v!r}")
+            if e["dur"] < 0:
+                fail(f"event {e['name']} has negative dur {e['dur']}")
+            span_id = e["args"].get("span_id")
+            if not isinstance(span_id, int) or span_id < 1:
+                fail(f"event {e['name']} without a 1-based span_id: {e}")
+            if span_id in span_ids:
+                fail(f"duplicate span_id {span_id}")
+            span_ids.add(span_id)
+            used_tids.add(e["tid"])
+            if "parent" not in e["args"]:
+                roots.append(e)
+            complete.append(e)
+        else:
+            fail(f"unexpected event phase {ph!r}: {e}")
+
+    for e in complete:
+        parent = e["args"].get("parent")
+        if parent is not None and parent not in span_ids:
+            fail(f"event {e['name']} has dangling parent {parent}")
+    if len(roots) != 1 or roots[0]["name"] != "query":
+        fail(f"expected one root 'query' event, got "
+             f"{[r['name'] for r in roots]}")
+    for key in ("answers", "query_paths", "candidate_paths", "truncated"):
+        if key not in roots[0]["args"]:
+            fail(f"root query event missing summary arg '{key}'")
+    missing = used_tids - named_tids
+    if missing:
+        fail(f"tids without thread_name metadata: {sorted(missing)}")
+    return len(complete)
+
+
+def check_queries_file(path):
+    with open(path) as f:
+        try:
+            doc = json.load(f)
+        except ValueError as e:
+            fail(f"{path} is not valid JSON: {e}")
+    records = doc.get("queries") if isinstance(doc, dict) else None
+    if not isinstance(records, list):
+        fail("/debug/queries payload has no 'queries' array")
+    for record in records:
+        check_slow_record(record, "/debug/queries")
+    return len(records)
+
+
+def check_default(path):
+    with open(path) as f:
+        lines = f.read().splitlines()
 
     trace_lines = [l for l in lines if l.startswith("-- trace:")]
     if not trace_lines:
@@ -182,8 +301,38 @@ def main():
     series = check_metrics(lines[metrics_at + 1:])
 
     print(f"obs ok: {len(trace_lines)} trace(s) with {spans} span(s), "
-          f"{len(slow_lines)} slow-query record(s), {series} metric "
+          f"{len(slow_lines)} slow-query record(s), {len(series)} metric "
           f"series")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument("--perfetto", metavar="TRACE_JSON",
+                      help="validate a Chrome trace-event file")
+    mode.add_argument("--metrics", metavar="METRICS_TXT",
+                      help="validate a bare /metrics exposition capture")
+    mode.add_argument("--queries", metavar="QUERIES_JSON",
+                      help="validate a /debug/queries capture")
+    parser.add_argument("output", nargs="?",
+                        help="combined CLI capture (default mode)")
+    args = parser.parse_args()
+
+    if args.perfetto:
+        events = check_perfetto(args.perfetto)
+        print(f"obs ok: perfetto trace with {events} span event(s)")
+    elif args.metrics:
+        series = check_metrics_file(args.metrics)
+        print(f"obs ok: /metrics exposition with {series} series")
+    elif args.queries:
+        records = check_queries_file(args.queries)
+        print(f"obs ok: /debug/queries with {records} record(s)")
+    elif args.output:
+        check_default(args.output)
+    else:
+        parser.print_usage(sys.stderr)
+        return 2
     return 0
 
 

@@ -1,0 +1,85 @@
+// Regenerates the renderer golden files locked by
+// tests/obs/exporter_test.cc. The synthetic profile here MUST stay in
+// sync with MakeGoldenProfile() in that test — same spans, summary, and
+// phase counters — or the freshly written goldens will not match what
+// the test renders.
+//
+//   ./build/tools/gen_obs_goldens tests/data
+//
+// writes obs_explain.golden and obs_profile_trace.golden into the given
+// directory. Run it only when a renderer format change is deliberate,
+// and review the diff like any other contract change.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/exporter.h"
+#include "obs/profile.h"
+
+namespace {
+
+sama::QueryProfile MakeGoldenProfile() {
+  std::vector<sama::TraceSpan> spans = {
+      {1, 0, "query", 0.0, 10.0, 0},
+      {2, 1, "preprocess", 0.1, 1.0, 0},
+      {3, 1, "clustering", 1.2, 5.0, 0},
+      {4, 3, "score_chunk", 1.3, 2.0, 0},
+      {5, 3, "score_chunk", 1.4, 2.5, 1},
+      {6, 1, "search", 6.3, 3.5, 0},
+  };
+  sama::ProfileSummary summary;
+  summary.label = "demo";
+  summary.total_millis = 10.2;
+  summary.num_query_paths = 3;
+  summary.num_candidate_paths = 24;
+  summary.num_answers = 10;
+  summary.threads_used = 2;
+  summary.search_expansions = 78;
+
+  std::vector<sama::QueryProfile::PhaseCounters> phases(2);
+  phases[0].phase = "clustering";
+  phases[0].counters.cache_hits = 11;
+  phases[0].counters.cache_misses = 50;
+  phases[0].counters.pages_fetched = 12;
+  phases[0].counters.pages_read = 2;
+  phases[0].counters.pages_evicted = 1;
+  phases[0].counters.bytes_read = 8192;
+  phases[0].counters.io_retries = 1;
+  phases[1].phase = "search";
+  phases[1].counters.search_expansions = 78;
+
+  return sama::QueryProfile::Build(std::move(spans), std::move(summary),
+                                   phases);
+}
+
+bool WriteFile(const std::string& path, const std::string& body) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << body;
+  return out.good();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <tests/data directory>\n", argv[0]);
+    return 2;
+  }
+  const std::string dir = argv[1];
+  sama::QueryProfile profile = MakeGoldenProfile();
+  if (!WriteFile(dir + "/obs_explain.golden",
+                 sama::RenderExplainAnalyze(profile)) ||
+      !WriteFile(dir + "/obs_profile_trace.golden",
+                 sama::RenderChromeTrace(profile))) {
+    return 1;
+  }
+  std::printf("wrote %s/obs_explain.golden and %s/obs_profile_trace.golden\n",
+              dir.c_str(), dir.c_str());
+  return 0;
+}

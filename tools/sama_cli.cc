@@ -6,12 +6,25 @@
 //   sama_cli --data graph.ttl --sparql 'SELECT ?x WHERE { ... }'
 //   sama_cli --data graph.nt --interactive
 //   sama_cli verify --index-dir DIR
+//   sama_cli serve --demo --port 8080
 //
 // Subcommands:
 //   verify             Scan a persisted index directory: checksum every
 //                      page of every store, check the manifests and the
 //                      commit record, and print a corruption report.
 //                      Exits non-zero if any damage is found.
+//   serve              Load the data, run an optional warmup query, and
+//                      serve diagnostics over HTTP until killed:
+//                        GET  /metrics         Prometheus text format
+//                        GET  /healthz         liveness probe
+//                        GET  /debug/queries   slow-query ring as JSON
+//                        GET  /debug/profile   retained query profiles
+//                             ?id=N (default latest), ?format=text for
+//                             EXPLAIN ANALYZE instead of trace JSON
+//                        POST /query           SPARQL body -> answers
+//                      Profiling and metrics are always on under serve;
+//                      --slow-query-ms defaults to 100 so /debug/queries
+//                      has a live ring.
 //
 // Options:
 //   --data FILE        N-Triples (.nt) or Turtle (.ttl) input (required).
@@ -51,6 +64,16 @@
 //                      log (printed after the run; see DESIGN.md
 //                      "Observability").
 //   --slow-query-log F Also append slow-query records to F as JSONL.
+//   --explain          Print a postgres-style EXPLAIN ANALYZE tree per
+//                      query (phase wall/self time, cache and page
+//                      counters). Implies profiling.
+//   --profile-out F    Write the last query's profile as Chrome
+//                      trace-event JSON to F (open in Perfetto or
+//                      chrome://tracing). Implies profiling.
+//   --port N           Port for `serve` (default 8080; 0 = ephemeral).
+//   --host ADDR        Listen address for `serve` (default 127.0.0.1).
+//
+// Flags accept both `--flag value` and `--flag=value`.
 
 #include <cstdio>
 #include <cstring>
@@ -61,12 +84,16 @@
 #include <sstream>
 #include <string>
 
+#include <unistd.h>
+
 #include "baselines/bounded.h"
 #include "baselines/dogma.h"
 #include "baselines/exact.h"
 #include "baselines/sapper.h"
 #include "common/string_util.h"
 #include "core/engine.h"
+#include "obs/exporter.h"
+#include "obs/http_server.h"
 #include "datasets/govtrack.h"
 #include "graph/graph_stats.h"
 #include "index/index_verify.h"
@@ -101,6 +128,11 @@ struct CliOptions {
   bool metrics = false;
   double slow_query_ms = 0;
   std::string slow_query_log_path;
+  bool explain = false;
+  std::string profile_out;
+  bool serve = false;
+  size_t port = 8080;
+  std::string host = "127.0.0.1";
 };
 
 void PrintUsage() {
@@ -114,8 +146,11 @@ void PrintUsage() {
                "               [--no-cache] [--stats] [--trace]"
                " [--metrics]\n"
                "               [--slow-query-ms N] [--slow-query-log FILE]\n"
+               "               [--explain] [--profile-out FILE]\n"
                "       sama_cli verify --index-dir DIR   (checksum an"
                " index, non-zero exit on damage)\n"
+               "       sama_cli serve (--data FILE | --demo)"
+               " [--port N] [--host ADDR]\n"
                "       sama_cli --demo   (built-in Figure-1 walkthrough)\n");
 }
 
@@ -124,10 +159,28 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
   if (argc > 1 && std::strcmp(argv[1], "verify") == 0) {
     options->verify = true;
     first = 2;
+  } else if (argc > 1 && std::strcmp(argv[1], "serve") == 0) {
+    options->serve = true;
+    first = 2;
   }
   for (int i = first; i < argc; ++i) {
     std::string arg = argv[i];
+    // Accept --flag=value alongside --flag value.
+    std::string inline_value;
+    bool has_inline = false;
+    if (arg.size() > 2 && arg[0] == '-' && arg[1] == '-') {
+      size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        inline_value = arg.substr(eq + 1);
+        arg = arg.substr(0, eq);
+        has_inline = true;
+      }
+    }
     auto next = [&](std::string* out) {
+      if (has_inline) {
+        *out = inline_value;
+        return true;
+      }
       if (i + 1 >= argc) return false;
       *out = argv[++i];
       return true;
@@ -173,6 +226,15 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->slow_query_ms = std::strtod(value.c_str(), nullptr);
     } else if (arg == "--slow-query-log" && next(&value)) {
       options->slow_query_log_path = value;
+    } else if (arg == "--explain") {
+      options->explain = true;
+    } else if (arg == "--profile-out" && next(&value)) {
+      options->profile_out = value;
+    } else if (arg == "--port" && next(&value)) {
+      options->port = static_cast<size_t>(std::strtoul(value.c_str(),
+                                                       nullptr, 10));
+    } else if (arg == "--host" && next(&value)) {
+      options->host = value;
     } else if (arg == "--demo") {
       options->demo = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -190,6 +252,17 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
     }
     return true;
   }
+  if (options->serve) {
+    if (options->port > 65535) {
+      std::fprintf(stderr, "--port must be in [0, 65535]\n");
+      return false;
+    }
+    if (!options->demo && options->data_path.empty()) {
+      std::fprintf(stderr, "serve requires --data or --demo\n");
+      return false;
+    }
+    return true;
+  }
   if (options->demo) return true;
   if (options->data_path.empty()) {
     std::fprintf(stderr, "--data is required\n");
@@ -203,6 +276,29 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
     return false;
   }
   return true;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
 }
 
 sama::Result<std::string> ReadFile(const std::string& path) {
@@ -291,6 +387,20 @@ int RunOneQuery(const CliOptions& options, sama::DataGraph* graph,
   }
   if (options.trace && stats.trace != nullptr) {
     std::printf("-- trace: %s\n", stats.trace->ToJson().c_str());
+  }
+  if (options.explain && stats.profile != nullptr) {
+    std::printf("-- explain:\n%s",
+                sama::RenderExplainAnalyze(*stats.profile).c_str());
+  }
+  if (!options.profile_out.empty() && stats.profile != nullptr) {
+    std::ofstream out(options.profile_out,
+                      std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", options.profile_out.c_str());
+      return 1;
+    }
+    out << sama::RenderChromeTrace(*stats.profile);
+    std::printf("-- profile written to %s\n", options.profile_out.c_str());
   }
   if (options.stats) {
     std::printf(
@@ -489,6 +599,13 @@ int main(int argc, char** argv) {
   engine_options.obs.trace = options.trace;
   engine_options.obs.slow_query_millis = options.slow_query_ms;
   engine_options.obs.slow_query_path = options.slow_query_log_path;
+  engine_options.obs.profile =
+      options.explain || !options.profile_out.empty() || options.serve;
+  if (options.serve && options.slow_query_ms <= 0) {
+    // /debug/queries needs a live ring; 100ms is a serving-friendly
+    // default the operator can still override.
+    engine_options.obs.slow_query_millis = 100;
+  }
   sama::SamaEngine engine(&graph, &index,
                           options.use_thesaurus ? &thesaurus : nullptr,
                           engine_options);
@@ -518,6 +635,145 @@ int main(int argc, char** argv) {
                   sama::MetricsRegistry::Global()->RenderText().c_str());
     }
   };
+
+  if (options.serve) {
+    // Warmup query (the --sparql/--query text, or the demo default)
+    // so /debug/profile and /metrics have content from the start.
+    std::string warmup = options.sparql;
+    if (!options.query_path.empty()) {
+      auto text = ReadFile(options.query_path);
+      if (!text.ok()) {
+        std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+        return 1;
+      }
+      warmup = *text;
+    }
+    if (!warmup.empty()) RunOneQuery(options, &graph, &engine, warmup);
+
+    sama::ObsHttpServer::Options server_options;
+    server_options.host = options.host;
+    server_options.port = static_cast<uint16_t>(options.port);
+    sama::ObsHttpServer server(server_options);
+    server.Handle("/healthz", [](const sama::HttpRequest&) {
+      sama::HttpResponse r;
+      r.body = "ok\n";
+      return r;
+    });
+    server.Handle("/metrics", [](const sama::HttpRequest&) {
+      sama::MetricsRegistry* reg = sama::MetricsRegistry::Global();
+      sama::RefreshLatencyQuantiles(reg);
+      sama::HttpResponse r;
+      r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+      r.body = reg->RenderText();
+      return r;
+    });
+    server.Handle("/debug/queries", [&engine](const sama::HttpRequest&) {
+      sama::HttpResponse r;
+      r.content_type = "application/json";
+      r.body = "{\"queries\":[";
+      const sama::SlowQueryLog* slow = engine.slow_query_log();
+      if (slow != nullptr) {
+        auto records = slow->Snapshot();
+        for (size_t i = 0; i < records.size(); ++i) {
+          if (i) r.body += ",";
+          r.body += "\n";
+          r.body += sama::SlowQueryLog::ToJsonLine(records[i]);
+        }
+      }
+      r.body += "\n]}\n";
+      return r;
+    });
+    server.Handle("/debug/profile", [&engine](const sama::HttpRequest& req) {
+      const sama::ProfileLog* log = engine.profile_log();
+      std::shared_ptr<const sama::QueryProfile> profile;
+      if (log != nullptr) {
+        auto it = req.params.find("id");
+        profile = it == req.params.end()
+                      ? log->Latest()
+                      : log->Get(std::strtoull(it->second.c_str(),
+                                               nullptr, 10));
+      }
+      sama::HttpResponse r;
+      if (profile == nullptr) {
+        r.status = 404;
+        r.body = "no such profile\n";
+        return r;
+      }
+      auto fmt = req.params.find("format");
+      if (fmt != req.params.end() && fmt->second == "text") {
+        r.body = sama::RenderExplainAnalyze(*profile);
+      } else {
+        r.content_type = "application/json";
+        r.body = sama::RenderChromeTrace(*profile);
+      }
+      return r;
+    });
+    server.Handle("/query", [&engine, &options](const sama::HttpRequest& req) {
+      sama::HttpResponse r;
+      r.content_type = "application/json";
+      if (req.method != "POST") {
+        r.status = 405;
+        r.body = "{\"error\":\"POST a SPARQL query as the body\"}\n";
+        return r;
+      }
+      auto query = sama::ParseSparql(req.body);
+      if (!query.ok()) {
+        r.status = 400;
+        r.body = "{\"error\":\"" + JsonEscape(query.status().ToString()) +
+                 "\"}\n";
+        return r;
+      }
+      sama::QueryStats stats;
+      auto answers = engine.ExecuteSparql(*query, options.k, &stats);
+      if (!answers.ok()) {
+        r.status = 500;
+        r.body = "{\"error\":\"" + JsonEscape(answers.status().ToString()) +
+                 "\"}\n";
+        return r;
+      }
+      char num[64];
+      r.body = "{\"answers\":[";
+      for (size_t i = 0; i < answers->size(); ++i) {
+        const sama::Answer& a = (*answers)[i];
+        if (i) r.body += ",";
+        std::snprintf(num, sizeof(num), "%.4f", a.score);
+        r.body += "\n{\"score\":";
+        r.body += num;
+        r.body += ",\"bindings\":{";
+        for (size_t v = 0; v < query->select_vars.size(); ++v) {
+          const std::string& var = query->select_vars[v];
+          const sama::Term* bound = a.binding.Lookup(var);
+          if (v) r.body += ",";
+          r.body += "\"" + JsonEscape(var) + "\":\"" +
+                    JsonEscape(bound != nullptr ? bound->ToString()
+                                                : "") +
+                    "\"";
+        }
+        r.body += "}}";
+      }
+      std::snprintf(num, sizeof(num), "%.3f", stats.total_millis);
+      r.body += "\n],\"total_ms\":";
+      r.body += num;
+      if (stats.profile != nullptr) {
+        r.body += ",\"profile_id\":" +
+                  std::to_string(stats.profile->id());
+      }
+      r.body += "}\n";
+      return r;
+    });
+    sama::Status started = server.Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "serve failed: %s\n",
+                   started.ToString().c_str());
+      return 1;
+    }
+    std::printf("serving on http://%s:%u — endpoints: /metrics /healthz"
+                " /debug/queries /debug/profile, POST /query\n",
+                server.host().c_str(),
+                static_cast<unsigned>(server.port()));
+    std::fflush(stdout);
+    for (;;) pause();  // Until SIGINT/SIGTERM.
+  }
 
   if (options.interactive) {
     std::printf("Enter SPARQL queries, blank line to run, EOF to quit.\n");
