@@ -61,6 +61,15 @@ Result<std::vector<Answer>> ForestSearch(const QueryGraph& query,
                                          std::atomic<uint64_t>* busy_nanos,
                                          ForestSearchStats* fstats) {
   if (fstats != nullptr) *fstats = ForestSearchStats{};
+  // Per-request deadline (ForestSearchOptions::deadline): checked at
+  // wave boundaries and, inside a subtree, every 64 expansions. With no
+  // deadline set the clock is never read, so deadline support cannot
+  // perturb the deterministic path.
+  const bool has_deadline =
+      options.deadline != std::chrono::steady_clock::time_point{};
+  auto past_deadline = [&options, has_deadline]() {
+    return has_deadline && std::chrono::steady_clock::now() >= options.deadline;
+  };
   // Score-bounded pruning (params.prune_search) may ONLY skip work the
   // bounds prove irrelevant: with it off, the same enumeration runs
   // exhaustively and must produce byte-identical answers (ranked list
@@ -407,6 +416,13 @@ Result<std::vector<Answer>> ForestSearch(const QueryGraph& query,
           out_of_budget = true;
           return;
         }
+        // Deadline poll, amortised so the clock read stays off the
+        // per-expansion path. Aborting reuses the budget-exhaustion
+        // path: the attempt's answers are held as anytime leftovers.
+        if (has_deadline && (used & 63) == 0 && past_deadline()) {
+          out_of_budget = true;
+          return;
+        }
         const ScoredPath& sp = paths[idx];
         // λ-only bound: candidates are sorted by λ, so once it fails no
         // later candidate at this position can succeed either.
@@ -499,7 +515,9 @@ Result<std::vector<Answer>> ForestSearch(const QueryGraph& query,
   std::vector<size_t> truncated_at(num_subtrees, 0);
   std::vector<std::vector<Answer>> held(num_subtrees);
 
-  while (!queue.empty() && total_used < options.max_expansions) {
+  bool deadline_hit = false;
+  while (!queue.empty() && total_used < options.max_expansions &&
+         !deadline_hit) {
     const size_t round_remaining = options.max_expansions - total_used;
     const size_t round_share = std::max<size_t>(
         64 * m, round_remaining / queue.size());
@@ -515,6 +533,12 @@ Result<std::vector<Answer>> ForestSearch(const QueryGraph& query,
     size_t refuted_from = num_subtrees;  // Root-bound cut (λ suffix).
     size_t next = 0;
     while (next < runnable.size() && total_used < options.max_expansions) {
+      if (has_deadline && past_deadline()) {
+        // Subtrees not yet attempted stay queued, so the search reports
+        // truncation below exactly as budget exhaustion would.
+        deadline_hit = true;
+        break;
+      }
       double theta = (options.k != 0 && results.size() >= options.k)
                          ? results.back().score
                          : std::numeric_limits<double>::infinity();

@@ -2,6 +2,7 @@
 #define SAMA_CORE_FOREST_SEARCH_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -75,6 +76,17 @@ struct ForestSearchOptions {
   // returns the best combinations found so far (the paper's own search
   // likewise generates the top-k heuristically, §5).
   size_t max_expansions = 50000;
+  // Absolute steady-clock deadline for the anytime search; the epoch
+  // default means no deadline. Past the deadline the scheduler stops
+  // starting waves, running subtrees abort at their next periodic
+  // check, and the best answers found so far are returned with
+  // ForestSearchStats::truncated set — exactly the expansion-budget
+  // anytime semantics, driven by time. The serving layer derives this
+  // from the per-request deadline_ms. Unlike every other option a
+  // deadline makes answers scheduling-dependent (how far the search
+  // got before the clock ran out), so the determinism contract only
+  // covers searches without one.
+  std::chrono::steady_clock::time_point deadline{};
 };
 
 // Observability counters for one ForestSearch call, reported through

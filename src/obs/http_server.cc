@@ -1,10 +1,11 @@
 #include "obs/http_server.h"
 
-#include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
+
+#include "common/net.h"
 
 #include <algorithm>
 #include <cctype>
@@ -125,39 +126,16 @@ void ObsHttpServer::Handle(std::string path, Handler handler) {
 
 Status ObsHttpServer::Start() {
   if (running_.load()) return Status::Internal("server already started");
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return Status::IoError(std::string("socket: ") + std::strerror(errno));
-  }
-  int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(options_.port);
-  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd);
-    return Status::InvalidArgument("bad listen host: " + options_.host);
-  }
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    Status st = Status::IoError(std::string("bind ") + options_.host + ":" +
-                                std::to_string(options_.port) + ": " +
-                                std::strerror(errno));
-    ::close(fd);
-    return st;
-  }
-  if (::listen(fd, 16) < 0) {
-    Status st = Status::IoError(std::string("listen: ") + std::strerror(errno));
-    ::close(fd);
-    return st;
-  }
-  sockaddr_in bound{};
-  socklen_t len = sizeof(bound);
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
-    port_ = ntohs(bound.sin_port);
-  } else {
-    port_ = options_.port;
-  }
+  // Socket setup shared with the binary query server (common/net.h):
+  // SO_REUSEADDR, bind, listen, ephemeral-port resolution. This server
+  // keeps the default blocking accept.
+  ListenerOptions listener;
+  listener.host = options_.host;
+  listener.port = options_.port;
+  listener.backlog = 16;
+  int fd = -1;
+  Status bound = BindListener(listener, &fd, &port_);
+  if (!bound.ok()) return bound;
   listen_fd_.store(fd);
   running_.store(true);
   thread_ = std::thread([this] { AcceptLoop(); });

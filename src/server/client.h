@@ -1,0 +1,64 @@
+#ifndef SAMA_SERVER_CLIENT_H_
+#define SAMA_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "common/result.h"
+#include "server/protocol.h"
+
+namespace sama {
+
+// Minimal blocking client for the binary protocol, shared by the test
+// tier, the load generator and the sama_client tool. One socket, no
+// internal threads; pipelining is explicit — issue several Send*
+// calls, then ReadFrame repeatedly (responses arrive in request
+// order).
+class BinaryClient {
+ public:
+  BinaryClient() = default;
+  ~BinaryClient();
+
+  BinaryClient(const BinaryClient&) = delete;
+  BinaryClient& operator=(const BinaryClient&) = delete;
+  BinaryClient(BinaryClient&& other) noexcept;
+  BinaryClient& operator=(BinaryClient&& other) noexcept;
+
+  Status Connect(const std::string& host, uint16_t port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  // Writes one frame (or arbitrary raw bytes — malformed-input tests).
+  Status SendFrame(const Frame& frame);
+  Status SendRaw(std::string_view bytes);
+
+  // Blocks for the next complete frame. Fails with kIoError on EOF and
+  // kCorruption on an undecodable stream.
+  Result<Frame> ReadFrame();
+
+  // ---- One-round-trip conveniences (send + matching read).
+  // The ping payload is echoed; returns the echo.
+  Result<std::string> Ping(std::string_view payload,
+                           uint64_t request_id = 0);
+  // The server's stats text ("key value\n" lines).
+  Result<std::string> StatsText(uint64_t request_id = 0);
+  // A query round trip. An ERROR response (shed included) comes back
+  // as a QueryResultWire carrying that status and no answers.
+  Result<QueryResultWire> Query(const QueryRequest& request,
+                                uint64_t request_id = 0);
+  // Requests shutdown; OK once the ack arrives.
+  Status Shutdown(uint64_t request_id = 0);
+
+  // ---- Pipelining.
+  Status SendQuery(const QueryRequest& request, uint64_t request_id = 0);
+
+ private:
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace sama
+
+#endif  // SAMA_SERVER_CLIENT_H_

@@ -1,0 +1,286 @@
+#include "server/protocol.h"
+
+#include <cstring>
+
+namespace sama {
+
+const char* WireStatusName(WireStatus status) {
+  switch (status) {
+    case WireStatus::kOk: return "ok";
+    case WireStatus::kBadFrame: return "bad-frame";
+    case WireStatus::kVersionMismatch: return "version-mismatch";
+    case WireStatus::kTooLarge: return "too-large";
+    case WireStatus::kBadRequest: return "bad-request";
+    case WireStatus::kParseError: return "parse-error";
+    case WireStatus::kShed: return "shed";
+    case WireStatus::kShuttingDown: return "shutting-down";
+    case WireStatus::kInternal: return "internal";
+    case WireStatus::kUnknownType: return "unknown-type";
+  }
+  return "unknown";
+}
+
+void AppendU16(std::string* out, uint16_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void AppendU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void AppendF64(std::string* out, double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  AppendU64(out, bits);
+}
+
+bool ReadU16(std::string_view in, size_t* pos, uint16_t* v) {
+  if (*pos + 2 > in.size()) return false;
+  const auto* p = reinterpret_cast<const unsigned char*>(in.data() + *pos);
+  *v = static_cast<uint16_t>(p[0] | (p[1] << 8));
+  *pos += 2;
+  return true;
+}
+
+bool ReadU32(std::string_view in, size_t* pos, uint32_t* v) {
+  if (*pos + 4 > in.size()) return false;
+  const auto* p = reinterpret_cast<const unsigned char*>(in.data() + *pos);
+  *v = static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+       static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+  *pos += 4;
+  return true;
+}
+
+bool ReadU64(std::string_view in, size_t* pos, uint64_t* v) {
+  if (*pos + 8 > in.size()) return false;
+  const auto* p = reinterpret_cast<const unsigned char*>(in.data() + *pos);
+  uint64_t out = 0;
+  for (int i = 7; i >= 0; --i) out = (out << 8) | p[i];
+  *v = out;
+  *pos += 8;
+  return true;
+}
+
+bool ReadF64(std::string_view in, size_t* pos, double* v) {
+  uint64_t bits = 0;
+  if (!ReadU64(in, pos, &bits)) return false;
+  std::memcpy(v, &bits, sizeof(bits));
+  return true;
+}
+
+namespace {
+
+// Length-prefixed string helpers; u32 prefix (values can be long
+// literals), var names use u16.
+void AppendString32(std::string* out, std::string_view s) {
+  AppendU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+bool ReadString32(std::string_view in, size_t* pos, std::string* s) {
+  uint32_t len = 0;
+  if (!ReadU32(in, pos, &len)) return false;
+  if (*pos + len > in.size()) return false;
+  s->assign(in.substr(*pos, len));
+  *pos += len;
+  return true;
+}
+
+void AppendString16(std::string* out, std::string_view s) {
+  AppendU16(out, static_cast<uint16_t>(s.size()));
+  out->append(s);
+}
+
+bool ReadString16(std::string_view in, size_t* pos, std::string* s) {
+  uint16_t len = 0;
+  if (!ReadU16(in, pos, &len)) return false;
+  if (*pos + len > in.size()) return false;
+  s->assign(in.substr(*pos, len));
+  *pos += len;
+  return true;
+}
+
+}  // namespace
+
+std::string EncodeFrame(const Frame& frame) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + frame.payload.size());
+  out.append(kFrameMagic, sizeof(kFrameMagic));
+  out.push_back(static_cast<char>(kProtocolVersion));
+  out.push_back(static_cast<char>(frame.type));
+  AppendU16(&out, 0);  // flags
+  AppendU64(&out, frame.request_id);
+  AppendU32(&out, static_cast<uint32_t>(frame.payload.size()));
+  out.append(frame.payload);
+  return out;
+}
+
+void FrameDecoder::Feed(std::string_view bytes) {
+  if (poisoned_) return;  // The stream is dead; don't buffer more.
+  // Compact once the consumed prefix dominates, so a long-lived
+  // pipelined connection doesn't grow the buffer without bound.
+  if (pos_ > 4096 && pos_ > buffer_.size() / 2) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buffer_.append(bytes);
+}
+
+FrameDecoder::Next FrameDecoder::Pop(Frame* frame, WireStatus* code,
+                                     std::string* message) {
+  if (poisoned_) {
+    *code = poison_code_;
+    *message = poison_message_;
+    return Next::kBad;
+  }
+  std::string_view view(buffer_.data() + pos_, buffer_.size() - pos_);
+  if (view.size() < kFrameHeaderBytes) return Next::kNeedMore;
+
+  auto poison = [&](WireStatus c, std::string m) {
+    poisoned_ = true;
+    poison_code_ = c;
+    poison_message_ = std::move(m);
+    *code = poison_code_;
+    *message = poison_message_;
+    return Next::kBad;
+  };
+  if (std::memcmp(view.data(), kFrameMagic, sizeof(kFrameMagic)) != 0) {
+    return poison(WireStatus::kBadFrame, "bad frame magic");
+  }
+  uint8_t version = static_cast<uint8_t>(view[4]);
+  if (version != kProtocolVersion) {
+    return poison(WireStatus::kVersionMismatch,
+                  "unsupported protocol version " + std::to_string(version));
+  }
+  uint8_t type = static_cast<uint8_t>(view[5]);
+  size_t at = 8;  // Skip flags (bytes 6-7).
+  uint64_t request_id = 0;
+  uint32_t payload_len = 0;
+  ReadU64(view, &at, &request_id);   // Cannot fail: header is complete.
+  ReadU32(view, &at, &payload_len);  // Ditto.
+  if (payload_len > max_payload_) {
+    return poison(WireStatus::kTooLarge,
+                  "payload of " + std::to_string(payload_len) +
+                      " bytes exceeds the cap of " +
+                      std::to_string(max_payload_));
+  }
+  if (view.size() < kFrameHeaderBytes + payload_len) return Next::kNeedMore;
+
+  frame->type = static_cast<FrameType>(type);
+  frame->request_id = request_id;
+  frame->payload.assign(view.substr(kFrameHeaderBytes, payload_len));
+  pos_ += kFrameHeaderBytes + payload_len;
+  return Next::kFrame;
+}
+
+std::string EncodeQueryRequest(const QueryRequest& request) {
+  std::string out;
+  AppendU32(&out, request.k);
+  AppendU32(&out, request.deadline_ms);
+  AppendU32(&out, 0);  // flags
+  AppendString32(&out, request.sparql);
+  return out;
+}
+
+bool DecodeQueryRequest(std::string_view payload, QueryRequest* request) {
+  size_t pos = 0;
+  uint32_t flags = 0;
+  return ReadU32(payload, &pos, &request->k) &&
+         ReadU32(payload, &pos, &request->deadline_ms) &&
+         ReadU32(payload, &pos, &flags) &&
+         ReadString32(payload, &pos, &request->sparql) &&
+         pos == payload.size();
+}
+
+std::string EncodeQueryResult(const QueryResultWire& result) {
+  std::string out;
+  AppendU16(&out, static_cast<uint16_t>(result.status));
+  out.push_back(result.truncated ? 1 : 0);
+  out.push_back(0);  // reserved
+  AppendU32(&out, static_cast<uint32_t>(result.answers.size()));
+  for (const WireAnswer& answer : result.answers) {
+    AppendF64(&out, answer.score);
+    AppendF64(&out, answer.lambda);
+    AppendF64(&out, answer.psi);
+    out.push_back(answer.consistent ? 1 : 0);
+    AppendU16(&out, static_cast<uint16_t>(answer.bindings.size()));
+    for (const WireBinding& binding : answer.bindings) {
+      AppendString16(&out, binding.var);
+      AppendString32(&out, binding.value);
+    }
+  }
+  return out;
+}
+
+bool DecodeQueryResult(std::string_view payload, QueryResultWire* result) {
+  size_t pos = 0;
+  uint16_t status = 0;
+  if (!ReadU16(payload, &pos, &status)) return false;
+  if (pos + 2 > payload.size()) return false;
+  result->status = static_cast<WireStatus>(status);
+  result->truncated = payload[pos] != 0;
+  pos += 2;
+  uint32_t num_answers = 0;
+  if (!ReadU32(payload, &pos, &num_answers)) return false;
+  result->answers.clear();
+  for (uint32_t i = 0; i < num_answers; ++i) {
+    WireAnswer answer;
+    if (!ReadF64(payload, &pos, &answer.score) ||
+        !ReadF64(payload, &pos, &answer.lambda) ||
+        !ReadF64(payload, &pos, &answer.psi)) {
+      return false;
+    }
+    if (pos >= payload.size()) return false;
+    answer.consistent = payload[pos] != 0;
+    ++pos;
+    uint16_t num_bindings = 0;
+    if (!ReadU16(payload, &pos, &num_bindings)) return false;
+    for (uint16_t b = 0; b < num_bindings; ++b) {
+      WireBinding binding;
+      if (!ReadString16(payload, &pos, &binding.var) ||
+          !ReadString32(payload, &pos, &binding.value)) {
+        return false;
+      }
+      answer.bindings.push_back(std::move(binding));
+    }
+    result->answers.push_back(std::move(answer));
+  }
+  return pos == payload.size();
+}
+
+std::string EncodeErrorBody(const ErrorBody& error) {
+  std::string out;
+  AppendU16(&out, static_cast<uint16_t>(error.code));
+  AppendString32(&out, error.message);
+  return out;
+}
+
+bool DecodeErrorBody(std::string_view payload, ErrorBody* error) {
+  size_t pos = 0;
+  uint16_t code = 0;
+  if (!ReadU16(payload, &pos, &code)) return false;
+  error->code = static_cast<WireStatus>(code);
+  return ReadString32(payload, &pos, &error->message) &&
+         pos == payload.size();
+}
+
+std::string EncodeErrorFrame(uint64_t request_id, WireStatus code,
+                             std::string_view message) {
+  Frame frame;
+  frame.type = FrameType::kError;
+  frame.request_id = request_id;
+  frame.payload = EncodeErrorBody(ErrorBody{code, std::string(message)});
+  return EncodeFrame(frame);
+}
+
+}  // namespace sama

@@ -1,0 +1,182 @@
+#ifndef SAMA_SERVER_PROTOCOL_H_
+#define SAMA_SERVER_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sama {
+
+// The compact framed binary protocol spoken by BinaryQueryServer
+// (DESIGN.md "Serving"). Every message is one frame:
+//
+//   offset  size  field
+//        0     4  magic "SAMA"
+//        4     1  version (kProtocolVersion)
+//        5     1  type (FrameType)
+//        6     2  flags, little-endian (reserved; senders write 0,
+//                 receivers ignore — the version byte gates breaking
+//                 changes, flags carry compatible ones)
+//        8     8  request id, little-endian (echoed verbatim in the
+//                 response; clients pick ids, pipelining matches them)
+//       16     4  payload length, little-endian
+//       20     n  payload (frame-type specific, below)
+//
+// All integers are little-endian fixed width; doubles are IEEE-754
+// bit patterns in little-endian byte order. The encoding is
+// deliberately position-independent of the host: the conformance tier
+// pins the exact bytes of a known frame.
+//
+// A connection carries any number of pipelined frames. The server
+// responds to every request frame exactly once, in request order per
+// connection. Malformed input (bad magic, unknown version, oversized
+// payload) is answered with one ERROR frame and the connection is
+// closed — after a framing error the stream cannot be resynchronised.
+
+inline constexpr char kFrameMagic[4] = {'S', 'A', 'M', 'A'};
+inline constexpr uint8_t kProtocolVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 20;
+// Default cap on a frame payload; BinaryServerOptions can lower it.
+inline constexpr size_t kMaxPayloadBytes = 4 * 1024 * 1024;
+
+enum class FrameType : uint8_t {
+  // Requests.
+  kQuery = 1,     // QueryRequest payload -> kResult or kError.
+  kPing = 2,      // Arbitrary payload, echoed back in kPong.
+  kStats = 3,     // Empty payload -> kStatsResult ("key value\n" text).
+  kShutdown = 4,  // Empty payload -> kShutdownAck, then server drain.
+  // Responses.
+  kResult = 5,       // QueryResultWire payload.
+  kPong = 6,         // The kPing payload, echoed.
+  kStatsResult = 7,  // Text payload.
+  kError = 8,        // ErrorBody payload.
+  kShutdownAck = 9,  // Empty payload.
+};
+
+// Response status codes. kShed is deliberately distinct from every
+// other failure: load-shedding is the healthy-overload signal clients
+// back off on, not an error in the request itself.
+enum class WireStatus : uint16_t {
+  kOk = 0,
+  kBadFrame = 1,         // Magic/header damage; connection closes.
+  kVersionMismatch = 2,  // Unknown protocol version; connection closes.
+  kTooLarge = 3,         // Payload over the cap; connection closes.
+  kBadRequest = 4,       // Frame fine, payload undecodable.
+  kParseError = 5,       // SPARQL did not parse.
+  kShed = 6,             // Admission queue full; retry with backoff.
+  kShuttingDown = 7,     // Server is draining.
+  kInternal = 8,         // Engine failure.
+  kUnknownType = 9,      // Request frame type the server does not know.
+};
+
+const char* WireStatusName(WireStatus status);
+
+struct Frame {
+  FrameType type = FrameType::kPing;
+  uint64_t request_id = 0;
+  std::string payload;
+};
+
+// ---- Fixed-width little-endian primitives (wire byte order
+// regardless of host endianness). The Read* functions advance *pos and
+// return false on truncation, leaving *pos unspecified.
+void AppendU16(std::string* out, uint16_t v);
+void AppendU32(std::string* out, uint32_t v);
+void AppendU64(std::string* out, uint64_t v);
+void AppendF64(std::string* out, double v);
+bool ReadU16(std::string_view in, size_t* pos, uint16_t* v);
+bool ReadU32(std::string_view in, size_t* pos, uint32_t* v);
+bool ReadU64(std::string_view in, size_t* pos, uint64_t* v);
+bool ReadF64(std::string_view in, size_t* pos, double* v);
+
+// Serialises a complete frame (header + payload).
+std::string EncodeFrame(const Frame& frame);
+
+// Incremental frame parser over a byte stream. Feed() appends bytes;
+// Pop() yields complete frames. A framing error (bad magic, version
+// mismatch, oversized payload) poisons the decoder: every later Pop
+// reports the same error, mirroring the fact that the stream has no
+// recovery point. Decoding never throws and never reads outside the
+// buffered bytes, whatever the input — the fuzz tier feeds it garbage.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(size_t max_payload = kMaxPayloadBytes)
+      : max_payload_(max_payload) {}
+
+  void Feed(std::string_view bytes);
+
+  enum class Next {
+    kNeedMore,  // No complete frame buffered.
+    kFrame,     // *frame holds the next frame.
+    kBad,       // Framing error; *code/*message describe it.
+  };
+  Next Pop(Frame* frame, WireStatus* code, std::string* message);
+
+  // Bytes buffered but not yet consumed (tests).
+  size_t buffered() const { return buffer_.size() - pos_; }
+
+ private:
+  size_t max_payload_;
+  std::string buffer_;
+  size_t pos_ = 0;  // Consumed prefix; compacted opportunistically.
+  bool poisoned_ = false;
+  WireStatus poison_code_ = WireStatus::kOk;
+  std::string poison_message_;
+};
+
+// ---- kQuery payload.
+struct QueryRequest {
+  std::string sparql;
+  // Answers wanted; 0 = the server default.
+  uint32_t k = 0;
+  // Per-request deadline in milliseconds from server receipt; 0 = the
+  // server default (which may be "none"). Wired into the anytime
+  // search budget: a deadline-truncated answer is well-formed and
+  // flagged, never an error.
+  uint32_t deadline_ms = 0;
+};
+std::string EncodeQueryRequest(const QueryRequest& request);
+bool DecodeQueryRequest(std::string_view payload, QueryRequest* request);
+
+// ---- kResult payload. Scores are the engine's exact doubles, so a
+// result is byte-identical to one computed by a direct
+// SamaEngine::Execute call — the serving determinism contract
+// (tests/server/binary_server_test.cc pins it).
+struct WireBinding {
+  std::string var;    // SELECT variable name, without '?'.
+  std::string value;  // Term::ToString(), "" for unbound.
+};
+struct WireAnswer {
+  double score = 0;
+  double lambda = 0;
+  double psi = 0;
+  bool consistent = true;
+  std::vector<WireBinding> bindings;
+};
+struct QueryResultWire {
+  WireStatus status = WireStatus::kOk;
+  // QueryStats::search_truncated: the anytime budget or the request
+  // deadline cut the search short; the answers are best-so-far.
+  bool truncated = false;
+  std::vector<WireAnswer> answers;
+};
+std::string EncodeQueryResult(const QueryResultWire& result);
+bool DecodeQueryResult(std::string_view payload, QueryResultWire* result);
+
+// ---- kError payload.
+struct ErrorBody {
+  WireStatus code = WireStatus::kInternal;
+  std::string message;
+};
+std::string EncodeErrorBody(const ErrorBody& error);
+bool DecodeErrorBody(std::string_view payload, ErrorBody* error);
+
+// One ERROR frame, ready to write.
+std::string EncodeErrorFrame(uint64_t request_id, WireStatus code,
+                             std::string_view message);
+
+}  // namespace sama
+
+#endif  // SAMA_SERVER_PROTOCOL_H_

@@ -1,10 +1,10 @@
 #!/usr/bin/env python3
-"""Gate bench_fig6 results against the committed baseline.
+"""Gate bench results against the committed baseline.
 
 Usage:
-    check_bench_regression.py NEW.json BASELINE.json [options]
+    check_bench_regression.py NEW.json BASELINE.json [--mode=fig6|serve]
 
-Checks, in order of importance:
+--mode=fig6 (default) gates bench_fig6 artifacts:
   1. Warm-path latency: summary.warm_mean_ms must not exceed the
      baseline by more than --tolerance (default 20%).
   2. Algorithmic speedup: summary.warm_speedup (exhaustive warm mean /
@@ -16,9 +16,20 @@ Checks, in order of importance:
      --hit-rate-slack (absolute) under the baseline. A cold-start or
      invalidation bug shows up here before it shows up as latency.
 
-Latency is machine-dependent; the ratio checks (2, 3) are not. Pass
---no-absolute to skip check 1 on hardware that does not match the
-baseline machine.
+--mode=serve gates bench_serve artifacts:
+  1. Correctness (unconditional, never skipped): protocol_errors and
+     mismatches must both be exactly zero — a serving stack that
+     returns wrong bytes or malformed frames fails whatever the
+     latency numbers say.
+  2. Throughput: summary.qps must not fall below the baseline by more
+     than --tolerance, and never below --min-qps.
+  3. Tail latency: summary.p99_ms must not exceed the baseline by more
+     than --tolerance.
+
+Latency/throughput are machine-dependent; the correctness and ratio
+checks are not. Pass --no-absolute to skip the machine-dependent
+checks (fig6 check 1; serve checks 2 and 3, except the --min-qps hard
+floor) on hardware that does not match the baseline machine.
 """
 
 import argparse
@@ -64,18 +75,71 @@ def get_number(obj, key, where):
     return value
 
 
+def check_serve(new, base, args):
+    """The bench_serve gate; returns the list of failure strings."""
+    failures = []
+    new_sum, base_sum = new["summary"], base["summary"]
+
+    # Correctness first, and never skippable: these two counters are
+    # machine-independent by construction.
+    for key in ("protocol_errors", "mismatches"):
+        value = get_number(new_sum, key, f"{args.new_json} summary")
+        if value != 0:
+            failures.append(f"{key} is {value:g}; a serving bench must "
+                            f"be byte-exact and protocol-clean")
+
+    new_qps = get_number(new_sum, "qps", f"{args.new_json} summary")
+    base_qps = get_number(base_sum, "qps", f"{args.baseline_json} summary")
+    new_p99 = get_number(new_sum, "p99_ms", f"{args.new_json} summary")
+    base_p99 = get_number(base_sum, "p99_ms",
+                          f"{args.baseline_json} summary")
+    if base_qps <= 0:
+        die(f"key 'qps' in {args.baseline_json} summary is {base_qps}; "
+            f"a zero/negative baseline cannot gate anything "
+            f"(re-record the baseline)")
+
+    if new_qps < args.min_qps:
+        failures.append(f"qps {new_qps:.1f} below the hard floor "
+                        f"{args.min_qps:.1f}")
+    if not args.no_absolute:
+        floor = base_qps * (1.0 - args.tolerance)
+        if new_qps < floor:
+            failures.append(
+                f"qps {new_qps:.1f} fell below baseline {base_qps:.1f} "
+                f"-{args.tolerance:.0%} (floor {floor:.1f})")
+        if base_p99 > 0:
+            limit = base_p99 * (1.0 + args.tolerance)
+            if new_p99 > limit:
+                failures.append(
+                    f"p99_ms {new_p99:.3f} exceeds baseline "
+                    f"{base_p99:.3f} +{args.tolerance:.0%} "
+                    f"(limit {limit:.3f})")
+
+    if not failures:
+        print(f"serve bench ok: qps={new_qps:.1f} "
+              f"(baseline {base_qps:.1f}), p99={new_p99:.3f}ms "
+              f"(baseline {base_p99:.3f}ms), 0 protocol errors, "
+              f"0 mismatches")
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("new_json")
     parser.add_argument("baseline_json")
+    parser.add_argument("--mode", choices=("fig6", "serve"),
+                        default="fig6",
+                        help="which bench artifact schema to gate")
     parser.add_argument("--tolerance", type=float, default=0.20,
                         help="relative slack for latency/speedup (0.20 = 20%%)")
     parser.add_argument("--min-speedup", type=float, default=3.0,
-                        help="hard floor for summary.warm_speedup")
+                        help="hard floor for summary.warm_speedup (fig6)")
+    parser.add_argument("--min-qps", type=float, default=1000.0,
+                        help="hard floor for summary.qps (serve)")
     parser.add_argument("--hit-rate-slack", type=float, default=0.05,
                         help="absolute slack for warm cache hit rates")
     parser.add_argument("--no-absolute", action="store_true",
-                        help="skip the absolute warm-latency check")
+                        help="skip the machine-dependent checks")
     args = parser.parse_args()
 
     new = load(args.new_json)
@@ -88,6 +152,15 @@ def main():
         if "queries" not in artifact:
             die(f"missing key 'queries' in {path}")
     new_sum, base_sum = new["summary"], base["summary"]
+
+    if args.mode == "serve":
+        failures = check_serve(new, base, args)
+        if failures:
+            print("BENCH REGRESSION:", file=sys.stderr)
+            for f in failures:
+                print(f"  - {f}", file=sys.stderr)
+            return 1
+        return 0
 
     new_warm = get_number(new_sum, "warm_mean_ms",
                           f"{args.new_json} summary")

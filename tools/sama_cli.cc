@@ -94,6 +94,7 @@
 #include "core/engine.h"
 #include "obs/exporter.h"
 #include "obs/http_server.h"
+#include "server/binary_server.h"
 #include "datasets/govtrack.h"
 #include "graph/graph_stats.h"
 #include "index/index_verify.h"
@@ -133,6 +134,12 @@ struct CliOptions {
   bool serve = false;
   size_t port = 8080;
   std::string host = "127.0.0.1";
+  // serve --binary: the framed binary protocol instead of HTTP.
+  bool binary = false;
+  size_t workers = 1;
+  size_t max_conns = 64;
+  size_t max_queue = 128;
+  size_t deadline_ms = 0;  // Default per-query deadline; 0 = none.
 };
 
 void PrintUsage() {
@@ -151,6 +158,10 @@ void PrintUsage() {
                " index, non-zero exit on damage)\n"
                "       sama_cli serve (--data FILE | --demo)"
                " [--port N] [--host ADDR]\n"
+               "                      [--binary [--workers N] [--max-conns N]"
+               " [--max-queue N]\n"
+               "                       [--deadline-ms N]]   (framed binary"
+               " protocol instead of HTTP)\n"
                "       sama_cli --demo   (built-in Figure-1 walkthrough)\n");
 }
 
@@ -235,6 +246,20 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
                                                        nullptr, 10));
     } else if (arg == "--host" && next(&value)) {
       options->host = value;
+    } else if (arg == "--binary") {
+      options->binary = true;
+    } else if (arg == "--workers" && next(&value)) {
+      options->workers = static_cast<size_t>(std::strtoul(value.c_str(),
+                                                          nullptr, 10));
+    } else if (arg == "--max-conns" && next(&value)) {
+      options->max_conns = static_cast<size_t>(std::strtoul(value.c_str(),
+                                                            nullptr, 10));
+    } else if (arg == "--max-queue" && next(&value)) {
+      options->max_queue = static_cast<size_t>(std::strtoul(value.c_str(),
+                                                            nullptr, 10));
+    } else if (arg == "--deadline-ms" && next(&value)) {
+      options->deadline_ms = static_cast<size_t>(std::strtoul(value.c_str(),
+                                                              nullptr, 10));
     } else if (arg == "--demo") {
       options->demo = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -649,6 +674,39 @@ int main(int argc, char** argv) {
       warmup = *text;
     }
     if (!warmup.empty()) RunOneQuery(options, &graph, &engine, warmup);
+
+    if (options.binary) {
+      sama::BinaryQueryServer::Options server_options;
+      server_options.host = options.host;
+      server_options.port = static_cast<uint16_t>(options.port);
+      server_options.num_workers = options.workers;
+      server_options.max_connections = options.max_conns;
+      server_options.max_queue = options.max_queue;
+      server_options.default_k = options.k;
+      server_options.default_deadline_ms =
+          static_cast<uint32_t>(options.deadline_ms);
+      server_options.trace_requests = options.trace;
+      sama::BinaryQueryServer server(&engine, server_options);
+      sama::Status started = server.Start();
+      if (!started.ok()) {
+        std::fprintf(stderr, "serve failed: %s\n",
+                     started.ToString().c_str());
+        return 1;
+      }
+      std::printf("serving binary protocol on %s:%u"
+                  " (workers=%zu max-conns=%zu max-queue=%zu"
+                  " deadline-ms=%zu)\n",
+                  server.host().c_str(),
+                  static_cast<unsigned>(server.port()), options.workers,
+                  options.max_conns, options.max_queue,
+                  options.deadline_ms);
+      std::fflush(stdout);
+      server.WaitForShutdown();  // A SHUTDOWN frame ends the process.
+      server.Stop();
+      std::printf("shutdown requested; server drained\n");
+      dump_obs();
+      return 0;
+    }
 
     sama::ObsHttpServer::Options server_options;
     server_options.host = options.host;

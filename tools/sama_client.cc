@@ -1,0 +1,175 @@
+// Scripted client for the binary query protocol, used by the CI
+// serve-smoke job and handy for poking a live server:
+//
+//   sama_client --port N [--host ADDR] COMMAND...
+//
+// Commands run left to right over one connection (except `malformed`,
+// which uses a throwaway connection, since a framing error closes it):
+//   ping TEXT        round-trip TEXT, verify the echo
+//   stats            print the server's stats text
+//   query SPARQL     run a query, print status/answers
+//   malformed        send garbage bytes, expect an ERROR frame + close
+//   shutdown         ask the server to exit
+//
+// Exits non-zero the moment any command's outcome is not the expected
+// one, so a smoke script is just: sama_client ... && echo ok.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "server/client.h"
+
+namespace {
+
+void PrintUsage() {
+  std::fprintf(stderr,
+               "usage: sama_client --port N [--host ADDR] [--k N]"
+               " [--deadline-ms N]\n"
+               "                   (ping TEXT | stats | query SPARQL |"
+               " malformed | shutdown)...\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  uint32_t k = 0;
+  uint32_t deadline_ms = 0;
+  int i = 1;
+  for (; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--host" && i + 1 < argc) {
+      host = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      port = static_cast<uint16_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--k" && i + 1 < argc) {
+      k = static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--deadline-ms" && i + 1 < argc) {
+      deadline_ms =
+          static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    } else {
+      break;  // First command.
+    }
+  }
+  if (port == 0 || i >= argc) {
+    PrintUsage();
+    return 2;
+  }
+
+  sama::BinaryClient client;
+  sama::Status connected = client.Connect(host, port);
+  if (!connected.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n",
+                 connected.ToString().c_str());
+    return 1;
+  }
+
+  uint64_t request_id = 1;
+  for (; i < argc; ++i) {
+    std::string command = argv[i];
+    if (command == "ping") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "ping needs a payload\n");
+        return 2;
+      }
+      std::string payload = argv[++i];
+      auto echo = client.Ping(payload, request_id++);
+      if (!echo.ok() || *echo != payload) {
+        std::fprintf(stderr, "ping failed: %s\n",
+                     echo.ok() ? "echo mismatch"
+                               : echo.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("ping ok (%zu bytes echoed)\n", payload.size());
+    } else if (command == "stats") {
+      auto text = client.StatsText(request_id++);
+      if (!text.ok()) {
+        std::fprintf(stderr, "stats failed: %s\n",
+                     text.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("%s", text->c_str());
+    } else if (command == "query") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "query needs SPARQL text\n");
+        return 2;
+      }
+      sama::QueryRequest request;
+      request.sparql = argv[++i];
+      request.k = k;
+      request.deadline_ms = deadline_ms;
+      auto result = client.Query(request, request_id++);
+      if (!result.ok()) {
+        std::fprintf(stderr, "query failed: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      if (result->status != sama::WireStatus::kOk) {
+        std::fprintf(stderr, "query rejected: %s\n",
+                     sama::WireStatusName(result->status));
+        return 1;
+      }
+      std::printf("query ok: %zu answer(s)%s\n", result->answers.size(),
+                  result->truncated ? " (truncated)" : "");
+      for (const auto& answer : result->answers) {
+        std::printf("  score=%.4f", answer.score);
+        for (const auto& binding : answer.bindings) {
+          std::printf(" %s=%s", binding.var.c_str(),
+                      binding.value.c_str());
+        }
+        std::printf("\n");
+      }
+    } else if (command == "malformed") {
+      // A framing error poisons the connection, so use a throwaway one
+      // and expect exactly: one ERROR frame, then EOF.
+      sama::BinaryClient bad;
+      sama::Status ok = bad.Connect(host, port);
+      if (!ok.ok()) {
+        std::fprintf(stderr, "malformed: connect failed: %s\n",
+                     ok.ToString().c_str());
+        return 1;
+      }
+      ok = bad.SendRaw("this is definitely not a SAMA frame........");
+      if (!ok.ok()) {
+        std::fprintf(stderr, "malformed: send failed: %s\n",
+                     ok.ToString().c_str());
+        return 1;
+      }
+      auto reply = bad.ReadFrame();
+      if (!reply.ok() || reply->type != sama::FrameType::kError) {
+        std::fprintf(stderr,
+                     "malformed: expected an ERROR frame, got %s\n",
+                     reply.ok() ? "another frame type"
+                                : reply.status().ToString().c_str());
+        return 1;
+      }
+      auto eof = bad.ReadFrame();  // Server closes after the error.
+      if (eof.ok()) {
+        std::fprintf(stderr,
+                     "malformed: connection stayed open after a framing"
+                     " error\n");
+        return 1;
+      }
+      std::printf("malformed ok (error frame + close)\n");
+    } else if (command == "shutdown") {
+      sama::Status ok = client.Shutdown(request_id++);
+      if (!ok.ok()) {
+        std::fprintf(stderr, "shutdown failed: %s\n",
+                     ok.ToString().c_str());
+        return 1;
+      }
+      std::printf("shutdown acknowledged\n");
+    } else {
+      std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+      PrintUsage();
+      return 2;
+    }
+  }
+  return 0;
+}
