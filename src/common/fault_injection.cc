@@ -148,6 +148,13 @@ Status Env::RenameFile(const std::string& from, const std::string& to) {
   return Status::Ok();
 }
 
+Status Env::TruncateFile(const std::string& path, uint64_t size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return Status::IoError(Errno("truncate", path));
+  }
+  return Status::Ok();
+}
+
 Status Env::RemoveFile(const std::string& path) {
   if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
     return Status::IoError(Errno("unlink", path));
@@ -355,6 +362,11 @@ Status FaultyEnv::AppendFileBytes(const std::string& path,
 Status FaultyEnv::RenameFile(const std::string& from, const std::string& to) {
   SAMA_RETURN_IF_ERROR(Account(IoOp::kRename, from));
   return base_->RenameFile(from, to);
+}
+
+Status FaultyEnv::TruncateFile(const std::string& path, uint64_t size) {
+  SAMA_RETURN_IF_ERROR(Account(IoOp::kWrite, path));
+  return base_->TruncateFile(path, size);
 }
 
 Status FaultyEnv::RemoveFile(const std::string& path) {

@@ -52,6 +52,9 @@ class Env {
   virtual Status AppendFileBytes(const std::string& path,
                                  const std::vector<uint8_t>& bytes);
   virtual Status RenameFile(const std::string& from, const std::string& to);
+  // Truncates `path` to exactly `size` bytes. Used to durably discard a
+  // torn WAL tail; counted as a write by FaultyEnv.
+  virtual Status TruncateFile(const std::string& path, uint64_t size);
   virtual Status RemoveFile(const std::string& path);
   virtual bool FileExists(const std::string& path);
   virtual Status CreateDir(const std::string& path);  // OK if it exists.
@@ -131,6 +134,7 @@ class FaultyEnv : public Env {
   Status AppendFileBytes(const std::string& path,
                          const std::vector<uint8_t>& bytes) override;
   Status RenameFile(const std::string& from, const std::string& to) override;
+  Status TruncateFile(const std::string& path, uint64_t size) override;
   Status RemoveFile(const std::string& path) override;
   bool FileExists(const std::string& path) override;
   Status CreateDir(const std::string& path) override;

@@ -128,7 +128,11 @@ class ShardedLruCache {
       return;
     }
     uint32_t slot;
-    if (shard.arena.size() < per_shard_capacity_) {
+    if (!shard.free_slots.empty()) {
+      // Reuse a slot released by EraseIf before growing the arena.
+      slot = shard.free_slots.back();
+      shard.free_slots.pop_back();
+    } else if (shard.arena.size() < per_shard_capacity_) {
       slot = static_cast<uint32_t>(shard.arena.size());
       shard.arena.push_back(Node{});
     } else {
@@ -155,9 +159,36 @@ class ShardedLruCache {
       std::lock_guard<std::mutex> lock(shard->mu);
       shard->map.clear();
       shard->arena.clear();
+      shard->free_slots.clear();
       shard->head = kNil;
       shard->tail = kNil;
     }
+  }
+
+  // Removes every entry whose key satisfies `pred`, returning the
+  // number removed. Freed slots are recycled by later Puts. This is the
+  // precise-invalidation primitive for live updates: a mutation erases
+  // only the entries its touched labels could have contributed to
+  // instead of flushing the whole cache.
+  template <typename Pred>
+  size_t EraseIf(Pred pred) {
+    size_t erased = 0;
+    for (auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      for (auto it = shard->map.begin(); it != shard->map.end();) {
+        if (pred(it->first)) {
+          uint32_t slot = it->second;
+          Unlink(*shard, slot);
+          shard->arena[slot] = Node{};
+          shard->free_slots.push_back(slot);
+          it = shard->map.erase(it);
+          ++erased;
+        } else {
+          ++it;
+        }
+      }
+    }
+    return erased;
   }
 
   CacheCounters counters() const {
@@ -196,6 +227,7 @@ class ShardedLruCache {
   struct Shard {
     mutable std::mutex mu;
     std::vector<Node> arena;  // Fixed-capacity slab; slots recycled.
+    std::vector<uint32_t> free_slots;  // Slots released by EraseIf.
     std::unordered_map<Key, uint32_t, Hash> map;
     uint32_t head = kNil;  // Most recently used.
     uint32_t tail = kNil;  // Least recently used.

@@ -1,6 +1,10 @@
 #include "core/engine.h"
 
+#include <shared_mutex>
+
 #include "common/timer.h"
+#include "storage/triple_codec.h"
+#include "storage/wal.h"
 
 namespace sama {
 
@@ -100,6 +104,284 @@ struct EngineInstruments {
   }
 };
 
+// The live-update state EnableUpdates installs. One instance is shared
+// by every engine copy (ExecuteSparql, server workers), so `mu` is THE
+// ordering point between updates (exclusive) and queries (shared).
+struct SamaEngine::UpdateState {
+  std::shared_mutex mu;
+  Wal wal;
+  DataGraph* graph = nullptr;
+  PathIndex* index = nullptr;
+  UpdateOptions options;
+  // Updates applied since the last successful checkpoint (replayed
+  // recovery records count — they too are only in the WAL).
+  uint64_t since_checkpoint = 0;
+  // Set when durability became indeterminate: an fsync failed (the
+  // kernel may have dropped the dirty pages, and no later fsync can
+  // resurrect them) or an apply died midway. Further updates are
+  // refused — applying more would let the in-memory state diverge from
+  // what replay reconstructs — but the store stays fully queryable;
+  // reopening the index heals from disk.
+  bool sealed = false;
+  std::string seal_reason;
+  std::shared_ptr<const QueryTrace> recovery_trace;
+
+  Counter* inserts = nullptr;
+  Counter* deletes = nullptr;
+  Counter* io_errors = nullptr;
+  Counter* checkpoints = nullptr;
+  Gauge* recovery_millis = nullptr;
+
+  void Seal(const Status& cause) {
+    sealed = true;
+    seal_reason = cause.ToString();
+  }
+
+  // Applies one decoded mutation to the graph + index. Shared by the
+  // live path and WAL-replay redo; both are idempotent (duplicate
+  // insert and absent delete are no-ops), which is what makes
+  // crash-at-every-point replay safe.
+  Status Apply(TripleUpdate::Op op, const Triple& triple,
+               const Thesaurus* thesaurus) {
+    if (op == TripleUpdate::Op::kInsert) {
+      return index->AddTriple(graph, triple, thesaurus);
+    }
+    return index->RemoveTriple(graph, triple, thesaurus);
+  }
+
+  // Sync that upholds the seal contract: a failed fsync seals the
+  // state.
+  Status SyncOrSeal(uint64_t lsn) {
+    Status s = wal.Sync(lsn);
+    if (!s.ok()) {
+      io_errors->Increment();
+      Seal(s);
+    }
+    return s;
+  }
+
+  // Checkpoint protocol, caller holds the exclusive lock:
+  //   1. fsync the WAL through the last applied LSN (the metadata is
+  //      about to claim coverage of those records);
+  //   2. record that LSN in the index and Checkpoint() it — the staged
+  //      index.meta rename is the atomic commit point;
+  //   3. delete WAL segments the checkpoint made obsolete.
+  // A crash at any step leaves either the old checkpoint + a complete
+  // WAL, or the new checkpoint + not-yet-deleted segments replay skips.
+  Status CheckpointLocked() {
+    SAMA_RETURN_IF_ERROR(FailPoints::Trigger("engine.checkpoint.begin"));
+    uint64_t last = wal.next_lsn() - 1;
+    SAMA_RETURN_IF_ERROR(SyncOrSeal(last));
+    index->set_applied_lsn(last);
+    Status s = index->Checkpoint();
+    if (!s.ok()) {
+      // The meta rename is atomic: on failure the old checkpoint still
+      // governs and the WAL still holds every record — degraded (ENOSPC
+      // and friends) but consistent, so no seal. Retried on the next
+      // checkpoint trigger.
+      io_errors->Increment();
+      return s;
+    }
+    SAMA_RETURN_IF_ERROR(FailPoints::Trigger("engine.checkpoint.committed"));
+    SAMA_RETURN_IF_ERROR(wal.TruncateThrough(last));
+    since_checkpoint = 0;
+    checkpoints->Increment();
+    return Status::Ok();
+  }
+};
+
+Status SamaEngine::EnableUpdates(DataGraph* graph, PathIndex* index,
+                                 UpdateOptions options) {
+  if (graph != graph_ || index != index_) {
+    return Status::InvalidArgument(
+        "EnableUpdates must receive the same graph and index the engine "
+        "was constructed over");
+  }
+  if (updates_ != nullptr) {
+    return Status::InvalidArgument("updates are already enabled");
+  }
+  if (options.wal_dir.empty()) {
+    if (index->options().dir.empty()) {
+      return Status::InvalidArgument(
+          "updates need a WAL directory: set UpdateOptions::wal_dir or "
+          "use a disk-backed index");
+    }
+    options.wal_dir = index->options().dir + "/wal";
+  }
+  auto state = std::make_shared<UpdateState>();
+  state->graph = graph;
+  state->index = index;
+  state->options = options;
+
+  MetricsRegistry* reg = options.registry != nullptr ? options.registry
+                         : options_.obs.registry != nullptr
+                             ? options_.obs.registry
+                             : MetricsRegistry::Global();
+  const char* updates_help = "Triple updates applied through the WAL.";
+  state->inserts =
+      reg->GetCounter("sama_updates_total", updates_help, {{"op", "insert"}});
+  state->deletes =
+      reg->GetCounter("sama_updates_total", updates_help, {{"op", "delete"}});
+  state->io_errors = reg->GetCounter(
+      "sama_io_errors_total",
+      "I/O failures on the durability path (ENOSPC, short writes, "
+      "failed fsyncs); the store stays queryable.");
+  state->checkpoints =
+      reg->GetCounter("sama_update_checkpoints_total",
+                      "Index checkpoints taken by the update path.");
+  state->recovery_millis =
+      reg->GetGauge("sama_wal_recovery_millis",
+                    "Wall time of the last WAL recovery replay.");
+
+  Wal::Options wal_options;
+  wal_options.dir = options.wal_dir;
+  wal_options.segment_bytes = options.segment_bytes;
+  // An empty WAL dir must hand out LSNs from past the checkpoint:
+  // restarting at 1 would journal updates replay then never sees.
+  wal_options.start_lsn = index->applied_lsn() + 1;
+  wal_options.env = options.env;
+  wal_options.registry = reg;
+
+  auto trace = std::make_shared<QueryTrace>();
+  ObsSpan recovery_span(trace.get(), "wal.recovery");
+  WallTimer timer;
+  SAMA_RETURN_IF_ERROR(state->wal.Open(wal_options));
+  {
+    ObsSpan replay_span(trace.get(), "wal.replay");
+    Status replayed = state->wal.Replay(
+        index->applied_lsn(), [&](const Wal::Record& record) -> Status {
+          Triple triple;
+          size_t pos = 0;
+          if (!GetTriple(record.payload, &pos, &triple) ||
+              pos != record.payload.size()) {
+            return Status::Corruption("WAL record " +
+                                      std::to_string(record.lsn) +
+                                      " does not decode to a triple");
+          }
+          switch (record.type) {
+            case Wal::kInsertTriple:
+              return state->Apply(TripleUpdate::Op::kInsert, triple,
+                                  thesaurus_);
+            case Wal::kDeleteTriple:
+              return state->Apply(TripleUpdate::Op::kDelete, triple,
+                                  thesaurus_);
+            default:
+              return Status::Corruption(
+                  "WAL record " + std::to_string(record.lsn) +
+                  " has unknown type " + std::to_string(record.type));
+          }
+        });
+    if (!replayed.ok()) return replayed;
+  }
+  recovery_span = ObsSpan();
+  state->recovery_millis->Set(timer.ElapsedMillis());
+  // Replayed records exist only in the WAL until the next checkpoint.
+  state->since_checkpoint = state->wal.replayed_records();
+  state->recovery_trace = trace;
+  updates_ = std::move(state);
+  return Status::Ok();
+}
+
+Result<uint64_t> SamaEngine::ApplyUpdate(const TripleUpdate& update) const {
+  if (updates_ == nullptr) {
+    return Status::InvalidArgument(
+        "live updates are not enabled on this engine (EnableUpdates)");
+  }
+  UpdateState* state = updates_.get();
+  std::unique_lock<std::shared_mutex> lock(state->mu);
+  if (state->sealed) {
+    return Status::IoError(
+        "update path sealed after a durability failure (reopen the index "
+        "to recover): " +
+        state->seal_reason);
+  }
+  std::vector<uint8_t> payload;
+  PutTriple(&payload, update.triple);
+  uint8_t type = update.op == TripleUpdate::Op::kInsert ? Wal::kInsertTriple
+                                                        : Wal::kDeleteTriple;
+  auto lsn_or = state->wal.Append(type, payload);
+  if (!lsn_or.ok()) {
+    // The tail did not advance: nothing was journalled or applied, so
+    // the caller can simply retry. Degraded, not fatal.
+    state->io_errors->Increment();
+    return lsn_or.status();
+  }
+  if (state->options.durable && update.durable) {
+    SAMA_RETURN_IF_ERROR(state->SyncOrSeal(*lsn_or));
+  }
+  Status applied = state->Apply(update.op, update.triple, thesaurus_);
+  if (!applied.ok()) {
+    // The record is journalled but the in-memory apply died midway;
+    // memory can no longer be trusted to match what replay rebuilds.
+    state->io_errors->Increment();
+    state->Seal(applied);
+    return applied;
+  }
+  (update.op == TripleUpdate::Op::kInsert ? state->inserts : state->deletes)
+      ->Increment();
+  ++state->since_checkpoint;
+  if (state->options.checkpoint_every != 0 &&
+      state->since_checkpoint >= state->options.checkpoint_every) {
+    // The update itself is applied (and durable when asked); an error
+    // here reports checkpoint trouble, and replay + idempotent redo
+    // cover a retry.
+    SAMA_RETURN_IF_ERROR(state->CheckpointLocked());
+  }
+  return *lsn_or;
+}
+
+Result<uint64_t> SamaEngine::InsertTriple(const Triple& triple) const {
+  return ApplyUpdate({TripleUpdate::Op::kInsert, triple, true});
+}
+
+Result<uint64_t> SamaEngine::DeleteTriple(const Triple& triple) const {
+  return ApplyUpdate({TripleUpdate::Op::kDelete, triple, true});
+}
+
+Status SamaEngine::FlushUpdates() const {
+  if (updates_ == nullptr) return Status::Ok();
+  UpdateState* state = updates_.get();
+  std::unique_lock<std::shared_mutex> lock(state->mu);
+  if (state->sealed) {
+    return Status::IoError("update path sealed: " + state->seal_reason);
+  }
+  if (state->wal.next_lsn() <= 1) return Status::Ok();
+  return state->SyncOrSeal(state->wal.next_lsn() - 1);
+}
+
+Status SamaEngine::CheckpointUpdates() const {
+  if (updates_ == nullptr) {
+    return Status::InvalidArgument("live updates are not enabled");
+  }
+  UpdateState* state = updates_.get();
+  std::unique_lock<std::shared_mutex> lock(state->mu);
+  if (state->sealed) {
+    return Status::IoError("update path sealed: " + state->seal_reason);
+  }
+  return state->CheckpointLocked();
+}
+
+bool SamaEngine::updates_durable() const {
+  return updates_ != nullptr && updates_->options.durable;
+}
+
+uint64_t SamaEngine::last_update_lsn() const {
+  if (updates_ == nullptr) return 0;
+  std::shared_lock<std::shared_mutex> lock(updates_->mu);
+  return updates_->wal.next_lsn() - 1;
+}
+
+std::shared_ptr<const QueryTrace> SamaEngine::recovery_trace() const {
+  return updates_ == nullptr ? nullptr : updates_->recovery_trace;
+}
+
+std::vector<std::string> SamaEngine::UpdateCrashPoints() {
+  std::vector<std::string> points = Wal::CrashPoints();
+  points.push_back("engine.checkpoint.begin");
+  points.push_back("engine.checkpoint.committed");
+  return points;
+}
+
 SamaEngine::SamaEngine(const DataGraph* graph, const PathIndex* index,
                        const Thesaurus* thesaurus, EngineOptions options)
     : graph_(graph),
@@ -181,6 +463,13 @@ Result<std::vector<Answer>> SamaEngine::ExecuteSparql(
 Result<std::vector<Answer>> SamaEngine::Execute(const QueryGraph& query,
                                                 size_t k,
                                                 QueryStats* stats) const {
+  // Queries share the update lock; ApplyUpdate takes it exclusively, so
+  // every query sees either all of an update or none of it. Read-only
+  // engines (no EnableUpdates) skip the lock entirely.
+  std::shared_lock<std::shared_mutex> update_lock;
+  if (updates_ != nullptr) {
+    update_lock = std::shared_lock<std::shared_mutex>(updates_->mu);
+  }
   WallTimer total;
   QueryStats local;
   local.threads_used = threads_used();

@@ -87,6 +87,35 @@ struct ObsOptions {
   MetricsRegistry* registry = nullptr;
 };
 
+// Durability knobs for the live-update path (EnableUpdates). One WAL
+// serves the engine and every copy ExecuteSparql/the server makes.
+struct UpdateOptions {
+  // WAL directory. Empty derives "<index dir>/wal"; an in-memory index
+  // then rejects EnableUpdates (nothing durable to recover into).
+  std::string wal_dir;
+  uint64_t segment_bytes = 4 * 1024 * 1024;
+  // Checkpoint the index and truncate the WAL after this many applied
+  // updates; 0 leaves checkpoints to CheckpointUpdates().
+  uint64_t checkpoint_every = 1024;
+  // Master durability switch: false defers every fsync (bulk loads),
+  // regardless of the per-update flag.
+  bool durable = true;
+  Env* env = nullptr;                   // Env::Default() when null.
+  MetricsRegistry* registry = nullptr;  // ObsOptions / Global() when null.
+};
+
+// One mutation for ApplyUpdate.
+struct TripleUpdate {
+  enum class Op : uint8_t { kInsert = 0, kDelete = 1 };
+  Op op = Op::kInsert;
+  Triple triple;
+  // false = journal without fsync (the record rides the next durable
+  // update's group commit, a later FlushUpdates, or a checkpoint). An
+  // un-synced update can be lost to a crash — it is never acked as
+  // durable, so the server only sets this when the client asked.
+  bool durable = true;
+};
+
 struct EngineOptions {
   ScoreParams params;
   ClusteringOptions clustering;
@@ -241,6 +270,56 @@ class SamaEngine {
   // index's caches) without resizing them — cold-cache experiments.
   void DropQueryCaches() const;
 
+  // ---------------- Durable live updates (DESIGN.md §12) -------------
+  //
+  // Turns on the WAL-backed mutation path. `graph` and `index` must be
+  // the same objects the engine was constructed over (the const
+  // pointers gate queries; these mutable ones gate writes). Opens the
+  // WAL, then replays every record past the index's checkpoint LSN with
+  // idempotent redo — after any crash the reconstructed state answers
+  // queries byte-identically to a fresh offline build over the same
+  // logical triple set. Call before serving: the update state is shared
+  // by engine copies made AFTER this call.
+  Status EnableUpdates(DataGraph* graph, PathIndex* index,
+                       UpdateOptions options = {});
+  bool updates_enabled() const { return updates_ != nullptr; }
+  // Whether the update path fsyncs at all (UpdateOptions::durable);
+  // false when updates are disabled. The server reports this in acks.
+  bool updates_durable() const;
+
+  // Applies one mutation: journal → fsync (unless deferred) → apply to
+  // graph + index under the exclusive update lock (queries take the
+  // lock shared, so an update orders strictly against them). Returns
+  // the update's LSN; once returned with durable semantics the update
+  // survives any crash. Duplicate inserts and absent deletes are
+  // journalled no-ops. Const because it mutates the shared update
+  // state, not the engine value (same precedent as the query caches) —
+  // the server holds the engine const.
+  Result<uint64_t> ApplyUpdate(const TripleUpdate& update) const;
+  Result<uint64_t> InsertTriple(const Triple& triple) const;
+  Result<uint64_t> DeleteTriple(const Triple& triple) const;
+
+  // Fsyncs every journalled-but-unsynced record (deferred-durability
+  // updates). The server calls this before acknowledging SHUTDOWN so an
+  // acked update is never lost.
+  Status FlushUpdates() const;
+
+  // Checkpoints the index (stores + metadata, recording the WAL
+  // position) and truncates obsolete WAL segments.
+  Status CheckpointUpdates() const;
+
+  // LSN of the last applied update; 0 before any. Also the position a
+  // crash-free reopen would NOT need to replay past.
+  uint64_t last_update_lsn() const;
+
+  // Span trace of the EnableUpdates recovery (wal.recovery/wal.replay);
+  // null before EnableUpdates.
+  std::shared_ptr<const QueryTrace> recovery_trace() const;
+
+  // Every failpoint the update/checkpoint/recovery path passes through
+  // (WAL points included) — the crash-at-every-point test matrix.
+  static std::vector<std::string> UpdateCrashPoints();
+
   // The slow-query log, when ObsOptions::slow_query_millis > 0; null
   // otherwise. Shared across the engine copies ExecuteSparql makes.
   const SlowQueryLog* slow_query_log() const { return slow_log_.get(); }
@@ -250,6 +329,8 @@ class SamaEngine {
   const ProfileLog* profile_log() const { return profile_log_.get(); }
 
  private:
+  struct UpdateState;  // Defined in engine.cc (owns the Wal).
+
   const DataGraph* graph_;
   const PathIndex* index_;
   const Thesaurus* thesaurus_;
@@ -269,6 +350,10 @@ class SamaEngine {
   // mutated) clears the cache. The alignment memo embeds the identity
   // in its keys and needs no such check.
   std::shared_ptr<std::atomic<uint64_t>> label_cache_identity_;
+  // Live-update state (WAL + mutable graph/index + the update lock);
+  // null until EnableUpdates. Shared by engine copies so one lock
+  // orders updates against every copy's queries.
+  std::shared_ptr<UpdateState> updates_;
 };
 
 }  // namespace sama

@@ -42,6 +42,31 @@ EdgeId DataGraph::AddEdge(NodeId from, NodeId to, const Term& label) {
   return id;
 }
 
+EdgeId DataGraph::FindEdge(NodeId from, NodeId to, TermId label) const {
+  if (from >= out_.size() || to >= in_.size()) return kInvalidEdgeId;
+  const std::vector<EdgeId>& candidates =
+      out_[from].size() <= in_[to].size() ? out_[from] : in_[to];
+  for (EdgeId e : candidates) {
+    const Edge& edge = edges_[e];
+    if (edge.from == from && edge.to == to && edge.label == label) return e;
+  }
+  return kInvalidEdgeId;
+}
+
+EdgeId DataGraph::RemoveEdge(NodeId from, NodeId to, TermId label) {
+  EdgeId e = FindEdge(from, to, label);
+  if (e == kInvalidEdgeId) return kInvalidEdgeId;
+  auto unlink = [e](std::vector<EdgeId>* adj) {
+    adj->erase(std::remove(adj->begin(), adj->end(), e), adj->end());
+  };
+  unlink(&out_[from]);
+  unlink(&in_[to]);
+  if (edge_dead_.size() < edges_.size()) edge_dead_.resize(edges_.size(), 0);
+  edge_dead_[e] = 1;
+  ++dead_edges_;
+  return e;
+}
+
 NodeId DataGraph::FindNode(const Term& term) const {
   TermId label = dict_->Find(term);
   if (label == kInvalidTermId) return kInvalidNodeId;

@@ -17,6 +17,7 @@ using NodeId = uint32_t;
 using EdgeId = uint32_t;
 
 inline constexpr NodeId kInvalidNodeId = 0xffffffffu;
+inline constexpr EdgeId kInvalidEdgeId = 0xffffffffu;
 
 // A labelled directed graph G = <N, E, LN, LE> (paper Definition 1).
 // Node and edge labels are TermIds into a TermDictionary owned by the
@@ -55,8 +56,29 @@ class DataGraph {
   // collapsed.
   EdgeId AddEdge(NodeId from, NodeId to, const Term& label);
 
+  // The live edge (from, to, label), or kInvalidEdgeId when absent.
+  EdgeId FindEdge(NodeId from, NodeId to, TermId label) const;
+
+  // Removes the edge (from, to, label) if present, returning its id
+  // (kInvalidEdgeId when absent — an idempotent no-op). EdgeIds are
+  // stable: the Edge slot is retained and merely unlinked from the
+  // adjacency lists, so existing EdgeIds held elsewhere (inverted-index
+  // postings) keep resolving; edge_live() reports the slot dead. Nodes
+  // left isolated stay in the graph (they are neither sources nor
+  // sinks, so traversal never visits them).
+  EdgeId RemoveEdge(NodeId from, NodeId to, TermId label);
+
+  // False for a slot vacated by RemoveEdge.
+  bool edge_live(EdgeId e) const {
+    return e < edge_dead_.size() ? edge_dead_[e] == 0 : true;
+  }
+
   size_t node_count() const { return node_labels_.size(); }
+  // Edge SLOTS ever allocated (dead ones included); the bound for
+  // iterating EdgeIds.
   size_t edge_count() const { return edges_.size(); }
+  // Edges currently present — the logical triple count.
+  size_t live_edge_count() const { return edges_.size() - dead_edges_; }
 
   TermId node_label(NodeId n) const { return node_labels_[n]; }
   const Term& node_term(NodeId n) const {
@@ -101,6 +123,10 @@ class DataGraph {
   std::vector<std::vector<EdgeId>> in_;
   // term id -> node id (one node per distinct term).
   std::unordered_map<TermId, NodeId> node_by_term_;
+  // 1 for slots vacated by RemoveEdge; sized lazily (empty while no
+  // edge was ever removed, the common read-only case).
+  std::vector<uint8_t> edge_dead_;
+  size_t dead_edges_ = 0;
 };
 
 }  // namespace sama

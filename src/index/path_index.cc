@@ -9,6 +9,8 @@
 #include "common/timer.h"
 #include "storage/coding.h"
 #include "storage/manifest.h"
+#include "storage/triple_codec.h"
+#include "text/tokenizer.h"
 
 namespace sama {
 namespace {
@@ -171,9 +173,11 @@ Status PathIndex::Build(const DataGraph& graph,
     }
   }
 
-  // Persist the paths and index them by sink and by content.
+  // Persist the paths and index them by sink and by content. Bulk mode:
+  // no memoized lookups can exist yet, so the wholesale Add() is fine.
   for (const Path& p : paths) {
-    SAMA_RETURN_IF_ERROR(IndexOnePath(p));
+    SAMA_RETURN_IF_ERROR(
+        IndexOnePath(p, nullptr, /*precise=*/false, nullptr, nullptr));
   }
   node_index_.Finish();
   edge_index_.Finish();
@@ -196,7 +200,7 @@ Status PathIndex::Build(const DataGraph& graph,
     SAMA_RETURN_IF_ERROR(BuildHypergraph(graph, paths));
   }
 
-  stats_.num_triples = graph.edge_count();
+  stats_.num_triples = graph.live_edge_count();
   stats_.num_paths = store_.path_count();
   stats_.hv = hypergraph_.vertex_count();
   stats_.he = hypergraph_.hyperedge_count();
@@ -255,67 +259,16 @@ uint64_t PathIndex::GraphFingerprint(const DataGraph& graph) {
   return h;
 }
 
-namespace {
-
-void PutString(std::vector<uint8_t>* blob, const std::string& s) {
-  PutVarint64(blob, s.size());
-  blob->insert(blob->end(), s.begin(), s.end());
-}
-
-bool GetString(const std::vector<uint8_t>& blob, size_t* pos,
-               std::string* out) {
-  uint64_t size = 0;
-  if (!GetVarint64(blob, pos, &size)) return false;
-  if (blob.size() - *pos < size) return false;
-  out->assign(blob.begin() + static_cast<long>(*pos),
-              blob.begin() + static_cast<long>(*pos + size));
-  *pos += size;
-  return true;
-}
-
-void PutTerm(std::vector<uint8_t>* blob, const Term& t) {
-  PutVarint64(blob, static_cast<uint64_t>(t.kind()));
-  PutString(blob, t.value());
-  PutString(blob, t.datatype());
-  PutString(blob, t.language());
-}
-
-bool GetTerm(const std::vector<uint8_t>& blob, size_t* pos, Term* out) {
-  uint64_t kind = 0;
-  std::string value, datatype, language;
-  if (!GetVarint64(blob, pos, &kind) || kind > 3 ||
-      !GetString(blob, pos, &value) || !GetString(blob, pos, &datatype) ||
-      !GetString(blob, pos, &language)) {
-    return false;
-  }
-  switch (static_cast<Term::Kind>(kind)) {
-    case Term::Kind::kIri:
-      *out = Term::Iri(std::move(value));
-      return true;
-    case Term::Kind::kLiteral:
-      if (!language.empty()) {
-        *out = Term::LangLiteral(std::move(value), std::move(language));
-      } else if (!datatype.empty()) {
-        *out = Term::TypedLiteral(std::move(value), std::move(datatype));
-      } else {
-        *out = Term::Literal(std::move(value));
-      }
-      return true;
-    case Term::Kind::kBlank:
-      *out = Term::Blank(std::move(value));
-      return true;
-    case Term::Kind::kVariable:
-      *out = Term::Variable(std::move(value));
-      return true;
-  }
-  return false;
-}
-
-}  // namespace
+// Term/triple bytes come from storage/triple_codec.h, the codec shared
+// with the WAL record payloads — both sides round-trip the exact same
+// layout.
 
 Status PathIndex::SaveMetadata(const std::string& dir) const {
   std::vector<uint8_t> blob;
   PutVarint64(&blob, base_fingerprint_);
+  // The checkpoint LSN sits right after the fingerprint so
+  // ReadCheckpointLsn can stop after two varints.
+  PutVarint64(&blob, applied_lsn_);
   PutVarint64(&blob, stats_.num_triples);
   PutVarint64(&blob, stats_.num_paths);
   PutVarint64(&blob, stats_.hv);
@@ -344,12 +297,12 @@ Status PathIndex::SaveMetadata(const std::string& dir) const {
   const TermDictionary& dict = graph_->dict();
   PutVarint64(&blob, dict.size());
   for (TermId i = 0; i < dict.size(); ++i) PutTerm(&blob, dict.term(i));
-  // Journal of AddTriple updates, replayed into the base graph on Open.
+  // Journal of AddTriple/RemoveTriple updates, replayed into the base
+  // graph on Open.
   PutVarint64(&blob, update_journal_.size());
-  for (const Triple& t : update_journal_) {
-    PutTerm(&blob, t.subject);
-    PutTerm(&blob, t.predicate);
-    PutTerm(&blob, t.object);
+  for (const JournalEntry& entry : update_journal_) {
+    PutVarint64(&blob, entry.op);
+    PutTriple(&blob, entry.triple);
   }
   // Tombstoned path ids.
   PutVarint64(&blob, deleted_paths_.size());
@@ -371,6 +324,7 @@ Status PathIndex::LoadMetadata(const std::string& dir,
         "index.meta was built over a different data graph");
   }
   base_fingerprint_ = v;
+  if (!next(&applied_lsn_)) return Status::Corruption("index.meta lsn");
   uint64_t micros = 0;
   if (!next(&stats_.num_triples) || !next(&stats_.num_paths) ||
       !next(&stats_.hv) || !next(&stats_.he) || !next(&micros) ||
@@ -449,11 +403,12 @@ Status PathIndex::LoadMetadata(const std::string& dir,
   if (!next(&count)) return Status::Corruption("index.meta journal");
   update_journal_.resize(count);
   for (uint64_t i = 0; i < count; ++i) {
-    if (!GetTerm(blob, &pos, &update_journal_[i].subject) ||
-        !GetTerm(blob, &pos, &update_journal_[i].predicate) ||
-        !GetTerm(blob, &pos, &update_journal_[i].object)) {
-      return Status::Corruption("index.meta journal triple");
+    uint64_t op = 0;
+    if (!next(&op) || op > JournalEntry::kDelete ||
+        !GetTriple(blob, &pos, &update_journal_[i].triple)) {
+      return Status::Corruption("index.meta journal entry");
     }
+    update_journal_[i].op = static_cast<uint8_t>(op);
   }
 
   // Tombstones.
@@ -465,6 +420,24 @@ Status PathIndex::LoadMetadata(const std::string& dir,
     deleted_paths_.insert(id);
   }
   return Status::Ok();
+}
+
+Result<uint64_t> PathIndex::ReadCheckpointLsn(const std::string& dir,
+                                              Env* env) {
+  env = OrDefault(env);
+  if (!env->FileExists(dir + "/" + kMetaFile)) {
+    return Status::NotFound("no committed index in '" + dir + "'");
+  }
+  auto blob_or = ReadBlobFile(dir + "/" + kMetaFile, env);
+  if (!blob_or.ok()) return blob_or.status();
+  size_t pos = 0;
+  uint64_t fingerprint = 0;
+  uint64_t lsn = 0;
+  if (!GetVarint64(*blob_or, &pos, &fingerprint) ||
+      !GetVarint64(*blob_or, &pos, &lsn)) {
+    return Status::Corruption("index.meta header");
+  }
+  return lsn;
 }
 
 Status PathIndex::Open(DataGraph* graph,
@@ -521,10 +494,18 @@ Status PathIndex::Open(DataGraph* graph,
   SAMA_RETURN_IF_ERROR(LoadMetadata(options.dir, GraphFingerprint(*graph)));
   // Replay the journal: the graph returns to its checkpointed state
   // (the index structures are already post-update from the metadata).
-  for (const Triple& t : update_journal_) {
-    NodeId s = graph->AddNode(t.subject);
-    NodeId o = graph->AddNode(t.object);
-    graph->AddEdge(s, o, t.predicate);
+  // Replaying the SAME insert/delete sequence reproduces the exact
+  // edge-slot assignment of the live run — RemoveEdge tombstones a slot
+  // rather than reusing it — so the EdgeId postings loaded from the
+  // metadata resolve correctly.
+  for (const JournalEntry& entry : update_journal_) {
+    NodeId s = graph->AddNode(entry.triple.subject);
+    NodeId o = graph->AddNode(entry.triple.object);
+    if (entry.op == JournalEntry::kInsert) {
+      graph->AddEdge(s, o, entry.triple.predicate);
+    } else {
+      graph->RemoveEdge(s, o, graph->dict().Find(entry.triple.predicate));
+    }
   }
   return Status::Ok();
 }
@@ -560,17 +541,67 @@ const std::vector<PathId>& PathIndex::PathsWithSinkLabel(
 
 namespace {
 
-// Lookup-cache key: a kind tag, the FULL term form (ToString — an IRI
-// <.../Male> and the literal "Male" share a display label but answer
-// differently) and the thesaurus content identity.
-std::string LookupKey(char kind, const Term& term,
+constexpr char kKeySep = '\x1f';
+
+// Lookup-cache key. Two jobs: identify the lookup uniquely (the FULL
+// term form via ToString — an IRI <.../Male> and the literal "Male"
+// share a display label but answer differently), and let the
+// invalidation sweep recover the fields it filters on with an
+// unambiguous left-to-right parse:
+//
+//   kind  tid-dec  US  identity-dec  US  displaylen-dec  US  display  ToString
+//
+// where US is 0x1f, tid is the exact dictionary id of the term
+// (kInvalidTermId when unknown) and identity is the thesaurus content
+// identity the entry was computed under.
+std::string LookupKey(char kind, const Term& term, TermId exact,
                       const Thesaurus* thesaurus) {
+  std::string display = term.DisplayLabel();
   std::string key(1, kind);
-  key.push_back('\x1f');
-  key += term.ToString();
-  key.push_back('\x1f');
+  key += std::to_string(exact);
+  key.push_back(kKeySep);
   key += std::to_string(thesaurus == nullptr ? 0 : thesaurus->identity());
+  key.push_back(kKeySep);
+  key += std::to_string(display.size());
+  key.push_back(kKeySep);
+  key += display;
+  key += term.ToString();
   return key;
+}
+
+// Parses the invalidation-relevant fields back out of a lookup key.
+struct ParsedLookupKey {
+  char kind = 0;
+  TermId tid = kInvalidTermId;
+  uint64_t identity = 0;
+  std::string_view display;
+};
+
+bool ParseLookupKey(const std::string& key, ParsedLookupKey* out) {
+  if (key.empty()) return false;
+  out->kind = key[0];
+  size_t pos = 1;
+  auto number = [&](uint64_t* value) {
+    size_t end = key.find(kKeySep, pos);
+    if (end == std::string::npos || end == pos) return false;
+    uint64_t v = 0;
+    for (size_t i = pos; i < end; ++i) {
+      if (key[i] < '0' || key[i] > '9') return false;
+      v = v * 10 + static_cast<uint64_t>(key[i] - '0');
+    }
+    *value = v;
+    pos = end + 1;
+    return true;
+  };
+  uint64_t tid = 0;
+  uint64_t len = 0;
+  if (!number(&tid) || !number(&out->identity) || !number(&len) ||
+      key.size() - pos < len) {
+    return false;
+  }
+  out->tid = static_cast<TermId>(tid);
+  out->display = std::string_view(key.data() + pos, len);
+  return true;
 }
 
 }  // namespace
@@ -580,14 +611,14 @@ std::vector<PathId> PathIndex::PathsWithSinkMatching(
     IndexCacheCounters* stats) const {
   std::string key;
   CacheCounters* lookup_stats = stats ? &stats->lookups : nullptr;
+  TermId exact = graph_->dict().Find(term);
   if (lookup_cache_) {
-    key = LookupKey('s', term, thesaurus);
+    key = LookupKey('s', term, exact, thesaurus);
     std::vector<PathId> cached;
     if (lookup_cache_->Get(key, &cached, lookup_stats)) return cached;
   }
   std::vector<uint64_t> semantic = sink_index_.LookupSemantic(
       term.DisplayLabel(), thesaurus, stats ? &stats->postings : nullptr);
-  TermId exact = graph_->dict().Find(term);
   if (exact != kInvalidTermId) {
     semantic = Merge(std::move(semantic), PathsWithSinkLabel(exact));
   }
@@ -602,7 +633,7 @@ std::vector<PathId> PathIndex::PathsContaining(
   std::string key;
   CacheCounters* lookup_stats = stats ? &stats->lookups : nullptr;
   if (lookup_cache_) {
-    key = LookupKey('c', term, thesaurus);
+    key = LookupKey('c', term, graph_->dict().Find(term), thesaurus);
     std::vector<PathId> cached;
     if (lookup_cache_->Get(key, &cached, lookup_stats)) return cached;
   }
@@ -684,26 +715,67 @@ std::vector<EdgeId> PathIndex::EdgesMatching(
     const Term& term, const Thesaurus* thesaurus) const {
   std::vector<uint64_t> raw =
       edge_index_.LookupSemantic(term.DisplayLabel(), thesaurus);
-  return std::vector<EdgeId>(raw.begin(), raw.end());
+  std::vector<EdgeId> out;
+  out.reserve(raw.size());
+  // Postings keep ids of edges RemoveTriple tombstoned; screen them the
+  // same way FilterDeleted screens tombstoned paths.
+  for (uint64_t e : raw) {
+    if (graph_->edge_live(static_cast<EdgeId>(e))) {
+      out.push_back(static_cast<EdgeId>(e));
+    }
+  }
+  return out;
 }
 
-Status PathIndex::IndexOnePath(const Path& p) {
+void PathIndex::ChangedLabels::Add(const TermDictionary& dict, TermId tid) {
+  if (!tids.insert(tid).second) return;
+  Entry entry;
+  entry.display = dict.term(tid).DisplayLabel();
+  entry.normalized = NormalizeLabel(entry.display);
+  entry.tokens = TokenizeLabel(entry.display);
+  std::sort(entry.tokens.begin(), entry.tokens.end());
+  entries.push_back(std::move(entry));
+}
+
+Status PathIndex::IndexOnePath(const Path& p, const Thesaurus* thesaurus,
+                               bool precise, ChangedLabels* sink_labels,
+                               ChangedLabels* content_labels) {
   const TermDictionary& dict = graph_->dict();
   auto id_or = store_.Put(p);
   if (!id_or.ok()) return id_or.status();
   PathId id = *id_or;
   by_sink_[p.sink_label()].push_back(id);
-  sink_index_.Add(dict.term(p.sink_label()).DisplayLabel(), id);
-  for (TermId label : p.node_labels) {
-    content_index_.Add(dict.term(label).DisplayLabel(), id);
+  if (precise) {
+    sink_index_.AddPrecise(dict.term(p.sink_label()).DisplayLabel(), id,
+                           thesaurus);
+    for (TermId label : p.node_labels) {
+      content_index_.AddPrecise(dict.term(label).DisplayLabel(), id,
+                                thesaurus);
+    }
+    for (TermId label : p.edge_labels) {
+      content_index_.AddPrecise(dict.term(label).DisplayLabel(), id,
+                                thesaurus);
+    }
+  } else {
+    sink_index_.Add(dict.term(p.sink_label()).DisplayLabel(), id);
+    for (TermId label : p.node_labels) {
+      content_index_.Add(dict.term(label).DisplayLabel(), id);
+    }
+    for (TermId label : p.edge_labels) {
+      content_index_.Add(dict.term(label).DisplayLabel(), id);
+    }
   }
-  for (TermId label : p.edge_labels) {
-    content_index_.Add(dict.term(label).DisplayLabel(), id);
+  if (sink_labels != nullptr) sink_labels->Add(dict, p.sink_label());
+  if (content_labels != nullptr) {
+    for (TermId label : p.node_labels) content_labels->Add(dict, label);
+    for (TermId label : p.edge_labels) content_labels->Add(dict, label);
   }
   return Status::Ok();
 }
 
-void PathIndex::TombstonePath(PathId id, const Path& p) {
+void PathIndex::TombstonePath(PathId id, const Path& p,
+                              ChangedLabels* sink_labels,
+                              ChangedLabels* content_labels) {
   deleted_paths_.insert(id);
   auto it = by_sink_.find(p.sink_label());
   if (it != by_sink_.end()) {
@@ -712,7 +784,57 @@ void PathIndex::TombstonePath(PathId id, const Path& p) {
     if (ids.empty()) by_sink_.erase(it);
   }
   // The inverted postings keep the stale id; FilterDeleted screens it
-  // out at lookup time.
+  // out at lookup time. The lookup cache holds FILTERED lists, so the
+  // labels this path answered under go into the changed sets.
+  const TermDictionary& dict = graph_->dict();
+  if (sink_labels != nullptr) sink_labels->Add(dict, p.sink_label());
+  if (content_labels != nullptr) {
+    for (TermId label : p.node_labels) content_labels->Add(dict, label);
+    for (TermId label : p.edge_labels) content_labels->Add(dict, label);
+  }
+}
+
+void PathIndex::InvalidateLookups(const ChangedLabels& sink_labels,
+                                  const ChangedLabels& content_labels,
+                                  const Thesaurus* thesaurus) const {
+  if (!lookup_cache_) return;
+  if (sink_labels.empty() && content_labels.empty()) return;
+  uint64_t live_identity = thesaurus == nullptr ? 0 : thesaurus->identity();
+  lookup_cache_->EraseIf([&](const std::string& key) {
+    ParsedLookupKey parsed;
+    if (!ParseLookupKey(key, &parsed)) return true;  // Unparseable: drop.
+    const ChangedLabels& changed =
+        parsed.kind == 's' ? sink_labels : content_labels;
+    if (changed.empty()) return false;
+    if (changed.tids.count(parsed.tid) > 0) return true;
+    // Mirror LookupSemantic's layers with a sound superset: exact
+    // normalized match, token containment (the AND-fallback can only
+    // surface a label that holds EVERY lookup token), then thesaurus.
+    std::string norm = NormalizeLabel(parsed.display);
+    std::vector<std::string> tokens = TokenizeLabel(parsed.display);
+    for (const ChangedLabels::Entry& entry : changed.entries) {
+      if (norm == entry.normalized) return true;
+      if (!tokens.empty()) {
+        bool contained = true;
+        for (const std::string& token : tokens) {
+          if (!std::binary_search(entry.tokens.begin(), entry.tokens.end(),
+                                  token)) {
+            contained = false;
+            break;
+          }
+        }
+        if (contained) return true;
+      }
+    }
+    if (parsed.identity == 0) return false;  // Cached without a thesaurus.
+    if (thesaurus == nullptr || parsed.identity != live_identity) {
+      return true;  // Can't evaluate that thesaurus: drop conservatively.
+    }
+    for (const ChangedLabels::Entry& entry : changed.entries) {
+      if (thesaurus->AreRelated(norm, entry.display)) return true;
+    }
+    return false;
+  });
 }
 
 std::vector<PathId> PathIndex::FilterDeleted(
@@ -787,34 +909,38 @@ void CollectSuffixes(const DataGraph& graph, NodeId start,
 
 }  // namespace
 
-Status PathIndex::AddTriple(DataGraph* graph, const Triple& triple) {
+Status PathIndex::AddTriple(DataGraph* graph, const Triple& triple,
+                            const Thesaurus* thesaurus) {
   if (graph != graph_) {
     return Status::InvalidArgument(
         "AddTriple must receive the graph the index was built over");
   }
   size_t nodes_before = graph->node_count();
-  size_t edges_before = graph->edge_count();
+  size_t live_before = graph->live_edge_count();
   NodeId s = graph->AddNode(triple.subject);
   NodeId o = graph->AddNode(triple.object);
   bool s_was_sink =
       s < nodes_before && graph->out_degree(s) == 0 && graph->in_degree(s) > 0;
   bool o_was_source =
       o < nodes_before && graph->in_degree(o) == 0 && graph->out_degree(o) > 0;
-  graph->AddEdge(s, o, triple.predicate);
-  if (graph->edge_count() == edges_before) return Status::Ok();  // Duplicate.
-  EdgeId new_edge = static_cast<EdgeId>(graph->edge_count() - 1);
-  update_journal_.push_back(triple);
+  EdgeId new_edge = graph->AddEdge(s, o, triple.predicate);
+  if (graph->live_edge_count() == live_before) {
+    return Status::Ok();  // Duplicate.
+  }
+  update_journal_.push_back({JournalEntry::kInsert, triple});
+  ChangedLabels sink_labels, content_labels;
 
   // Element-to-element mapping for the new elements.
   for (NodeId n = static_cast<NodeId>(nodes_before);
        n < graph->node_count(); ++n) {
-    node_index_.Add(graph->node_term(n).DisplayLabel(), n);
+    node_index_.AddPrecise(graph->node_term(n).DisplayLabel(), n, thesaurus);
     if (options_.build_hypergraph && hypergraph_.vertex_count() > 0) {
       auto v = hypergraph_.AddVertex(graph->node_term(n).DisplayLabel());
       if (!v.ok()) return v.status();
     }
   }
-  edge_index_.Add(graph->edge_term(new_edge).DisplayLabel(), new_edge);
+  edge_index_.AddPrecise(graph->edge_term(new_edge).DisplayLabel(), new_edge,
+                         thesaurus);
   if (options_.build_hypergraph && hypergraph_.vertex_count() > 0) {
     auto he = hypergraph_.AddHyperedge({s, o});
     if (!he.ok()) return he.status();
@@ -827,7 +953,9 @@ Status PathIndex::AddTriple(DataGraph* graph, const Triple& triple) {
     for (PathId id : stale) {
       Path p;
       SAMA_RETURN_IF_ERROR(store_.Get(id, &p));
-      if (p.nodes.back() == s) TombstonePath(id, p);
+      if (p.nodes.back() == s) {
+        TombstonePath(id, p, &sink_labels, &content_labels);
+      }
     }
   }
   if (o_was_source) {
@@ -837,7 +965,9 @@ Status PathIndex::AddTriple(DataGraph* graph, const Triple& triple) {
     for (uint64_t id : FilterDeleted(std::move(candidates))) {
       Path p;
       SAMA_RETURN_IF_ERROR(store_.Get(id, &p));
-      if (!p.nodes.empty() && p.nodes.front() == o) TombstonePath(id, p);
+      if (!p.nodes.empty() && p.nodes.front() == o) {
+        TombstonePath(id, p, &sink_labels, &content_labels);
+      }
     }
   }
 
@@ -880,7 +1010,8 @@ Status PathIndex::AddTriple(DataGraph* graph, const Triple& triple) {
         continue;
       }
       PathId id = store_.path_count();
-      SAMA_RETURN_IF_ERROR(IndexOnePath(combined));
+      SAMA_RETURN_IF_ERROR(IndexOnePath(combined, thesaurus, /*precise=*/true,
+                                        &sink_labels, &content_labels));
       ++added;
       if (options_.build_hypergraph && hypergraph_.vertex_count() > 0) {
         std::vector<VertexId> members(combined.nodes.begin(),
@@ -895,19 +1026,106 @@ Status PathIndex::AddTriple(DataGraph* graph, const Triple& triple) {
   edge_index_.Finish();
   sink_index_.Finish();
   content_index_.Finish();
-  // Candidate lists changed (tombstones + new paths), so memoized
-  // lookups are stale; the posting memos were dropped by the Add()
-  // calls above. The record cache is safe to keep — ids are immutable
-  // and tombstones are screened before it.
-  if (lookup_cache_) lookup_cache_->Clear();
+  // Candidate lists changed for the touched labels only (tombstones +
+  // new paths): sweep exactly those entries instead of flushing the
+  // cache — concurrent queries over unrelated clusters keep their
+  // memoized lookups. The posting memos were swept per-label by the
+  // AddPrecise() calls above. The record cache is safe to keep — ids
+  // are immutable and tombstones are screened before it.
+  InvalidateLookups(sink_labels, content_labels, thesaurus);
 
   sources_ = graph->Sources();
   sinks_ = graph->Sinks();
-  stats_.num_triples = graph->edge_count();
+  stats_.num_triples = graph->live_edge_count();
   stats_.num_paths = live_path_count();
   stats_.hv = hypergraph_.vertex_count();
   stats_.he = hypergraph_.hyperedge_count();
   (void)added;
+  return Status::Ok();
+}
+
+Status PathIndex::RemoveTriple(DataGraph* graph, const Triple& triple,
+                               const Thesaurus* thesaurus) {
+  if (graph != graph_) {
+    return Status::InvalidArgument(
+        "RemoveTriple must receive the graph the index was built over");
+  }
+  NodeId s = graph->FindNode(triple.subject);
+  NodeId o = graph->FindNode(triple.object);
+  TermId predicate = graph->dict().Find(triple.predicate);
+  if (s == kInvalidNodeId || o == kInvalidNodeId ||
+      predicate == kInvalidTermId) {
+    return Status::Ok();  // Absent triple: idempotent no-op.
+  }
+  EdgeId edge = graph->FindEdge(s, o, predicate);
+  if (edge == kInvalidEdgeId) return Status::Ok();
+  update_journal_.push_back({JournalEntry::kDelete, triple});
+  ChangedLabels sink_labels, content_labels;
+
+  // Tombstone every live path that traverses the edge. Candidates:
+  // paths containing the subject's label (an exact superset of the
+  // paths through s — content postings are keyed by label, so same-
+  // label nodes add false candidates the node-id check below screens).
+  std::vector<uint64_t> candidates = content_index_.LookupSemantic(
+      graph->node_term(s).DisplayLabel(), nullptr);
+  for (uint64_t id : FilterDeleted(std::move(candidates))) {
+    Path p;
+    SAMA_RETURN_IF_ERROR(store_.Get(id, &p));
+    for (size_t i = 0; i + 1 < p.nodes.size(); ++i) {
+      if (p.nodes[i] == s && p.nodes[i + 1] == o &&
+          p.edge_labels[i] == predicate) {
+        TombstonePath(id, p, &sink_labels, &content_labels);
+        break;
+      }
+    }
+  }
+
+  graph->RemoveEdge(s, o, predicate);
+
+  // The removal can COMPLETE paths: s with no remaining out-edges is a
+  // sink again (every source→…→s walk is now a full path), and o with
+  // no remaining in-edges is a source (every o→…→sink walk is one).
+  // When both happen at once an o→…→s walk shows up from both ends, so
+  // de-duplicate by node sequence before indexing.
+  bool s_now_sink = graph->out_degree(s) == 0 && graph->in_degree(s) > 0;
+  bool o_now_source = graph->in_degree(o) == 0 && graph->out_degree(o) > 0;
+  std::vector<Path> completed;
+  if (s_now_sink) {
+    CollectPrefixes(*graph, s, options_.enumerate.max_length, &completed);
+  }
+  if (o_now_source) {
+    CollectSuffixes(*graph, o, options_.enumerate.max_length, &completed);
+  }
+  std::unordered_set<std::string> seen;
+  for (const Path& p : completed) {
+    if (options_.enumerate.max_length != 0 &&
+        p.length() > options_.enumerate.max_length) {
+      continue;
+    }
+    std::string signature;
+    for (NodeId n : p.nodes) {
+      signature += std::to_string(n);
+      signature.push_back(',');
+    }
+    if (!seen.insert(signature).second) continue;
+    SAMA_RETURN_IF_ERROR(IndexOnePath(p, thesaurus, /*precise=*/true,
+                                      &sink_labels, &content_labels));
+    if (options_.build_hypergraph && hypergraph_.vertex_count() > 0) {
+      std::vector<VertexId> members(p.nodes.begin(), p.nodes.end());
+      auto he = hypergraph_.AddHyperedge(members);
+      if (!he.ok()) return he.status();
+    }
+  }
+  sink_index_.Finish();
+  content_index_.Finish();
+  InvalidateLookups(sink_labels, content_labels, thesaurus);
+
+  sources_ = graph->Sources();
+  sinks_ = graph->Sinks();
+  stats_.num_triples = graph->live_edge_count();
+  stats_.num_paths = live_path_count();
+  stats_.hv = hypergraph_.vertex_count();
+  stats_.he = hypergraph_.hyperedge_count();
   return Status::Ok();
 }
 

@@ -131,7 +131,22 @@ class PathIndex {
   // stored, and paths invalidated by the edge (paths that used to end
   // at its subject when it was a sink, or start at its object when it
   // was a source) are tombstoned. A duplicate triple is a no-op.
-  Status AddTriple(DataGraph* graph, const Triple& triple);
+  //
+  // `thesaurus` is the thesaurus queries run with; it scopes the
+  // query-cache invalidation to entries the change can actually affect
+  // (per-touched-cluster) instead of flushing every cache. Passing
+  // nullptr stays correct — entries cached under a thesaurus are then
+  // invalidated conservatively.
+  Status AddTriple(DataGraph* graph, const Triple& triple,
+                   const Thesaurus* thesaurus = nullptr);
+
+  // Inverse of AddTriple: removes `triple`'s edge from graph and index.
+  // Paths traversing the edge are tombstoned; paths completed by the
+  // removal (the subject becomes a sink, or the object becomes a
+  // source) are enumerated and indexed. Removing an absent triple is an
+  // idempotent no-op — replaying a WAL of deletes is safe.
+  Status RemoveTriple(DataGraph* graph, const Triple& triple,
+                      const Thesaurus* thesaurus = nullptr);
 
   // Number of live (non-tombstoned) paths.
   uint64_t live_path_count() const {
@@ -175,6 +190,19 @@ class PathIndex {
   // Requires the index to be disk-backed.
   Status Checkpoint();
 
+  // WAL position this index has durably absorbed: every journalled
+  // record with lsn <= applied_lsn() is reflected in the last
+  // Checkpoint(). The engine sets it before checkpointing; recovery
+  // replays only records past it.
+  uint64_t applied_lsn() const { return applied_lsn_; }
+  void set_applied_lsn(uint64_t lsn) { applied_lsn_ = lsn; }
+
+  // Reads just the checkpoint LSN out of dir/index.meta without
+  // loading the index (recovery + sama_cli verify). kNotFound when no
+  // committed metadata exists.
+  static Result<uint64_t> ReadCheckpointLsn(const std::string& dir,
+                                            Env* env = nullptr);
+
   // Empties every page cache AND the query-side caches (cold-cache
   // experiments).
   Status DropCaches();
@@ -192,11 +220,34 @@ class PathIndex {
   IndexCacheCounters query_cache_counters() const;
 
   const IndexStats& stats() const { return stats_; }
+  const PathIndexOptions& options() const { return options_; }
   const DataGraph& graph() const { return *graph_; }
   uint64_t path_count() const { return store_.path_count(); }
   BufferPool::Stats cache_stats() const { return store_.cache_stats(); }
 
  private:
+  // One journalled mutation, replayed into the base graph by Open().
+  struct JournalEntry {
+    static constexpr uint8_t kInsert = 0;
+    static constexpr uint8_t kDelete = 1;
+    uint8_t op = kInsert;
+    Triple triple;
+  };
+
+  // Labels whose candidate lists an update touched, precomputed for the
+  // lookup-cache invalidation predicate.
+  struct ChangedLabels {
+    struct Entry {
+      std::string display;
+      std::string normalized;
+      std::vector<std::string> tokens;  // Sorted.
+    };
+    std::unordered_set<TermId> tids;
+    std::vector<Entry> entries;
+    bool empty() const { return tids.empty(); }
+    void Add(const TermDictionary& dict, TermId tid);
+  };
+
   Status BuildHypergraph(const DataGraph& graph,
                          const std::vector<Path>& paths);
   // Serialized metadata: fingerprint, stats, sources/sinks, by_sink_
@@ -209,8 +260,11 @@ class PathIndex {
   // Fingerprint of the base graph (before any AddTriple), fixed at
   // Build time so Checkpoint() after updates still identifies the base.
   uint64_t base_fingerprint_ = 0;
-  // Triples applied through AddTriple since Build, replayed by Open.
-  std::vector<Triple> update_journal_;
+  // Highest WAL LSN reflected in the last checkpoint (0 = none).
+  uint64_t applied_lsn_ = 0;
+  // Mutations applied through AddTriple/RemoveTriple since Build,
+  // replayed by Open.
+  std::vector<JournalEntry> update_journal_;
   PathStore store_;
   HypergraphStore hypergraph_;
   InvertedLabelIndex node_index_;   // label -> NodeId.
@@ -218,10 +272,26 @@ class PathIndex {
   InvertedLabelIndex sink_index_;   // sink label -> PathId.
   InvertedLabelIndex content_index_;  // any path label -> PathId.
   // Appends `p` to the store and every lookup structure; used by both
-  // the bulk build and AddTriple.
-  Status IndexOnePath(const Path& p);
-  // Tombstones `id` everywhere it is visible.
-  void TombstonePath(PathId id, const Path& p);
+  // the bulk build and the live-update paths. With `precise` set the
+  // inverted indexes invalidate their memos per-label (AddPrecise)
+  // instead of wholesale, and the touched labels are accumulated into
+  // the changed-label sets for the lookup-cache sweep.
+  Status IndexOnePath(const Path& p, const Thesaurus* thesaurus,
+                      bool precise, ChangedLabels* sink_labels,
+                      ChangedLabels* content_labels);
+  // Tombstones `id` everywhere it is visible, accumulating its labels
+  // into the changed-label sets when given.
+  void TombstonePath(PathId id, const Path& p,
+                     ChangedLabels* sink_labels = nullptr,
+                     ChangedLabels* content_labels = nullptr);
+  // Erases exactly the lookup-cache entries whose answer the changed
+  // labels can influence (same sound superset the inverted indexes use:
+  // exact TermId, normalized equality, token containment, thesaurus
+  // relation). Entries cached under a different thesaurus than
+  // `thesaurus` are dropped conservatively.
+  void InvalidateLookups(const ChangedLabels& sink_labels,
+                         const ChangedLabels& content_labels,
+                         const Thesaurus* thesaurus) const;
   // Removes tombstoned ids from a postings vector.
   std::vector<PathId> FilterDeleted(std::vector<uint64_t> ids) const;
 

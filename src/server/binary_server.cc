@@ -12,6 +12,7 @@
 
 #include "common/net.h"
 #include "query/sparql.h"
+#include "rdf/ntriples.h"
 
 namespace sama {
 
@@ -80,6 +81,7 @@ double MillisSince(std::chrono::steady_clock::time_point start) {
 
 struct BinaryQueryServer::Instruments {
   Counter* requests_query;
+  Counter* requests_update;
   Counter* requests_ping;
   Counter* requests_stats;
   Counter* requests_shutdown;
@@ -104,6 +106,7 @@ struct BinaryQueryServer::Instruments {
                              {{"type", type}});
     };
     in.requests_query = req("query");
+    in.requests_update = req("update");
     in.requests_ping = req("ping");
     in.requests_stats = req("stats");
     in.requests_shutdown = req("shutdown");
@@ -219,6 +222,13 @@ void BinaryQueryServer::Stop() {
   // worker tasks drained here find conn->closed and drop their
   // responses without touching any fd.
   pool_.reset();
+  // The loop thread is gone, so no more updates can arrive; flush any
+  // deferred-durability records it journalled. Best-effort — a failure
+  // here has nobody left to report to (the engine seals itself and the
+  // next open replays the WAL).
+  if (engine_ != nullptr && engine_->updates_enabled()) {
+    (void)engine_->FlushUpdates();
+  }
   if (event_fd_ >= 0) close(event_fd_);
   if (epoll_fd_ >= 0) close(epoll_fd_);
   if (listen_fd_ >= 0) close(listen_fd_);
@@ -253,6 +263,7 @@ BinaryQueryServer::Stats BinaryQueryServer::stats() const {
   s.requests = requests_.load();
   s.queries_ok = queries_ok_.load();
   s.queries_truncated = queries_truncated_.load();
+  s.updates_ok = updates_ok_.load();
   s.shed = shed_.load();
   s.errors = errors_.load();
   s.queue_depth = queue_depth_.load();
@@ -433,11 +444,95 @@ void BinaryQueryServer::HandleFrame(const std::shared_ptr<Conn>& conn,
       Complete(conn, seq, EncodeFrame(reply));
       return;
     }
+    case FrameType::kUpdate: {
+      instruments_->requests_update->Increment();
+      if (stopping_.load(std::memory_order_acquire)) {
+        error(WireStatus::kShuttingDown, "server is draining");
+        return;
+      }
+      if (!engine_->updates_enabled()) {
+        error(WireStatus::kReadOnly,
+              "server has no write path (serve without --updates)");
+        return;
+      }
+      UpdateRequest request;
+      if (!DecodeUpdateRequest(frame.payload, &request)) {
+        error(WireStatus::kBadRequest, "undecodable update payload");
+        return;
+      }
+      Result<Triple> triple = NTriplesParser::ParseLine(request.statement);
+      if (!triple.ok()) {
+        // ParseLine's NotFound (blank/comment line) is a bad request
+        // too: an update must carry exactly one statement.
+        error(WireStatus::kBadRequest, triple.status().ToString());
+        return;
+      }
+      TripleUpdate update;
+      update.op = request.op == UpdateRequest::kOpDelete
+                      ? TripleUpdate::Op::kDelete
+                      : TripleUpdate::Op::kInsert;
+      update.triple = std::move(triple).value();
+      update.durable =
+          (request.flags & UpdateRequest::kFlagNonDurable) == 0;
+      // The ordering contract (FrameType::kUpdate): every frame this
+      // connection pipelined earlier was already popped, and none after
+      // this one has been — but queries among the earlier frames may
+      // still be in flight on workers, racing this update to the engine
+      // lock. Wait until each of them has staged its reply (all seqs
+      // below ours are flushed or ready) so the update provably
+      // happens-after them. flushed_seq can't advance meanwhile
+      // (FlushConn runs on this thread), so the predicate is stable.
+      {
+        std::unique_lock<std::mutex> lock(conn->mu);
+        while (!conn->closed &&
+               conn->flushed_seq + conn->ready.size() < seq &&
+               !stopping_.load(std::memory_order_acquire)) {
+          conn->cv.wait_for(lock, std::chrono::milliseconds(50));
+        }
+        if (conn->closed) return;
+      }
+      // Applied inline on the event-loop thread, which also gives
+      // updates a cross-connection total order.
+      Result<uint64_t> lsn = engine_->ApplyUpdate(update);
+      if (!lsn.ok()) {
+        error(WireStatus::kInternal, lsn.status().ToString());
+        return;
+      }
+      updates_ok_.fetch_add(1);
+      UpdateResultWire result;
+      result.status = WireStatus::kOk;
+      result.lsn = *lsn;
+      result.durable =
+          update.durable && engine_->updates_durable() ? 1 : 0;
+      Frame reply;
+      reply.type = FrameType::kUpdateResult;
+      reply.request_id = frame.request_id;
+      reply.payload = EncodeUpdateResult(result);
+      Complete(conn, seq, EncodeFrame(reply));
+      return;
+    }
     case FrameType::kShutdown: {
       instruments_->requests_shutdown->Increment();
       if (!options_.allow_remote_shutdown) {
         error(WireStatus::kBadRequest, "remote shutdown is disabled");
         return;
+      }
+      // Durability barrier: an acked update must survive the shutdown
+      // this ack triggers, so deferred-durability records are fsynced
+      // BEFORE the ack is staged. A failed flush is reported instead of
+      // acked — durability is indeterminate and the client must know —
+      // but the server still drains.
+      if (engine_->updates_enabled()) {
+        Status flushed = engine_->FlushUpdates();
+        if (!flushed.ok()) {
+          error(WireStatus::kInternal, flushed.ToString());
+          {
+            std::lock_guard<std::mutex> lock(shutdown_mu_);
+            shutdown_requested_.store(true, std::memory_order_release);
+          }
+          shutdown_cv_.notify_all();
+          return;
+        }
       }
       Frame ack;
       ack.type = FrameType::kShutdownAck;
@@ -576,6 +671,7 @@ bool BinaryQueryServer::Complete(const std::shared_ptr<Conn>& conn,
     std::lock_guard<std::mutex> lock(conn->mu);
     if (conn->closed) return false;
     conn->ready.emplace(seq, std::move(wire));
+    conn->cv.notify_all();  // An UPDATE may be waiting on this seq.
   }
   {
     std::lock_guard<std::mutex> lock(dirty_mu_);
@@ -660,6 +756,7 @@ std::string BinaryQueryServer::RenderStats() const {
       << "requests " << s.requests << "\n"
       << "queries_ok " << s.queries_ok << "\n"
       << "queries_truncated " << s.queries_truncated << "\n"
+      << "updates_ok " << s.updates_ok << "\n"
       << "shed " << s.shed << "\n"
       << "errors " << s.errors << "\n"
       << "queue_depth " << s.queue_depth << "\n";

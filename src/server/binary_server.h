@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -42,6 +43,9 @@ QueryResultWire MakeQueryResultWire(const std::vector<Answer>& answers,
 // Request flow per connection:
 //   read -> FrameDecoder -> sequence number assigned in arrival order
 //     PING/STATS/SHUTDOWN  answered inline on the event loop
+//     UPDATE               applied inline on the event loop (the engine
+//                          update lock orders it against queries running
+//                          on workers; see FrameType::kUpdate)
 //     QUERY                admission check, then ThreadPool::Submit
 //   responses are staged per sequence number and flushed strictly in
 //   arrival order, so pipelined clients read answers in the order they
@@ -131,6 +135,7 @@ class BinaryQueryServer {
     uint64_t requests = 0;   // Every request frame, errors included.
     uint64_t queries_ok = 0;
     uint64_t queries_truncated = 0;
+    uint64_t updates_ok = 0;
     uint64_t shed = 0;
     uint64_t errors = 0;     // ERROR frames sent, sheds excluded.
     uint64_t queue_depth = 0;
@@ -157,6 +162,7 @@ class BinaryQueryServer {
     bool closed = false;                     // Loop sets on close.
     uint64_t flushed_seq = 0;                // Responses already staged.
     std::map<uint64_t, std::string> ready;   // seq -> encoded response.
+    std::condition_variable cv;              // Signalled by Complete().
 
     explicit Conn(size_t max_payload) : decoder(max_payload) {}
   };
@@ -212,6 +218,7 @@ class BinaryQueryServer {
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> queries_ok_{0};
   std::atomic<uint64_t> queries_truncated_{0};
+  std::atomic<uint64_t> updates_ok_{0};
   std::atomic<uint64_t> shed_{0};
   std::atomic<uint64_t> errors_{0};
 

@@ -165,6 +165,41 @@ Result<QueryResultWire> BinaryClient::Query(const QueryRequest& request,
   return result;
 }
 
+Status BinaryClient::SendUpdate(const UpdateRequest& request,
+                                uint64_t request_id) {
+  Frame frame;
+  frame.type = FrameType::kUpdate;
+  frame.request_id = request_id;
+  frame.payload = EncodeUpdateRequest(request);
+  return SendFrame(frame);
+}
+
+Result<UpdateResultWire> BinaryClient::Update(const UpdateRequest& request,
+                                              uint64_t request_id) {
+  Status sent = SendUpdate(request, request_id);
+  if (!sent.ok()) return sent;
+  Result<Frame> reply = ReadFrame();
+  if (!reply.ok()) return reply.status();
+  if (reply->type == FrameType::kError) {
+    ErrorBody error;
+    if (!DecodeErrorBody(reply->payload, &error)) {
+      return Status::Corruption("undecodable error body");
+    }
+    UpdateResultWire result;
+    result.status = error.code;
+    return result;
+  }
+  if (reply->type != FrameType::kUpdateResult) {
+    return Status::Internal("expected UPDATE_RESULT, got frame type " +
+                            std::to_string(static_cast<unsigned>(reply->type)));
+  }
+  UpdateResultWire result;
+  if (!DecodeUpdateResult(reply->payload, &result)) {
+    return Status::Corruption("undecodable update result");
+  }
+  return result;
+}
+
 Status BinaryClient::Shutdown(uint64_t request_id) {
   Frame frame;
   frame.type = FrameType::kShutdown;

@@ -48,11 +48,17 @@ class BinaryClient {
   // as a QueryResultWire carrying that status and no answers.
   Result<QueryResultWire> Query(const QueryRequest& request,
                                 uint64_t request_id = 0);
+  // An update round trip. An ERROR response (read-only servers, bad
+  // statements, sealed write path) comes back as an UpdateResultWire
+  // carrying that status and lsn 0.
+  Result<UpdateResultWire> Update(const UpdateRequest& request,
+                                  uint64_t request_id = 0);
   // Requests shutdown; OK once the ack arrives.
   Status Shutdown(uint64_t request_id = 0);
 
   // ---- Pipelining.
   Status SendQuery(const QueryRequest& request, uint64_t request_id = 0);
+  Status SendUpdate(const UpdateRequest& request, uint64_t request_id = 0);
 
  private:
   int fd_ = -1;

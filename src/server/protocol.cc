@@ -16,6 +16,7 @@ const char* WireStatusName(WireStatus status) {
     case WireStatus::kShuttingDown: return "shutting-down";
     case WireStatus::kInternal: return "internal";
     case WireStatus::kUnknownType: return "unknown-type";
+    case WireStatus::kReadOnly: return "read-only";
   }
   return "unknown";
 }
@@ -256,6 +257,46 @@ bool DecodeQueryResult(std::string_view payload, QueryResultWire* result) {
     result->answers.push_back(std::move(answer));
   }
   return pos == payload.size();
+}
+
+std::string EncodeUpdateRequest(const UpdateRequest& request) {
+  std::string out;
+  out.push_back(static_cast<char>(request.op));
+  out.push_back(0);  // reserved
+  AppendU16(&out, request.flags);
+  AppendString32(&out, request.statement);
+  return out;
+}
+
+bool DecodeUpdateRequest(std::string_view payload, UpdateRequest* request) {
+  if (payload.size() < 2) return false;
+  uint8_t op = static_cast<uint8_t>(payload[0]);
+  if (op > UpdateRequest::kOpDelete) return false;
+  request->op = op;
+  size_t pos = 2;
+  return ReadU16(payload, &pos, &request->flags) &&
+         ReadString32(payload, &pos, &request->statement) &&
+         pos == payload.size();
+}
+
+std::string EncodeUpdateResult(const UpdateResultWire& result) {
+  std::string out;
+  AppendU16(&out, static_cast<uint16_t>(result.status));
+  out.push_back(static_cast<char>(result.durable));
+  out.push_back(0);  // reserved
+  AppendU64(&out, result.lsn);
+  return out;
+}
+
+bool DecodeUpdateResult(std::string_view payload, UpdateResultWire* result) {
+  size_t pos = 0;
+  uint16_t status = 0;
+  if (!ReadU16(payload, &pos, &status)) return false;
+  result->status = static_cast<WireStatus>(status);
+  if (pos + 2 > payload.size()) return false;
+  result->durable = static_cast<uint8_t>(payload[pos]);
+  pos += 2;
+  return ReadU64(payload, &pos, &result->lsn) && pos == payload.size();
 }
 
 std::string EncodeErrorBody(const ErrorBody& error) {

@@ -53,6 +53,15 @@ enum class FrameType : uint8_t {
   kStatsResult = 7,  // Text payload.
   kError = 8,        // ErrorBody payload.
   kShutdownAck = 9,  // Empty payload.
+  // Live updates (DESIGN.md §12). Ordering contract: an UPDATE is
+  // applied on the event-loop thread at the moment it is dequeued, so
+  // it happens-after every QUERY the same connection pipelined before
+  // it was POPPED, and before every QUERY popped after it. Queries
+  // in flight on worker threads from OTHER connections (or popped
+  // earlier) order through the engine's update lock: each sees all of
+  // the update or none of it, never a torn half.
+  kUpdate = 10,        // UpdateRequest payload -> kUpdateResult or kError.
+  kUpdateResult = 11,  // UpdateResultWire payload.
 };
 
 // Response status codes. kShed is deliberately distinct from every
@@ -69,6 +78,7 @@ enum class WireStatus : uint16_t {
   kShuttingDown = 7,     // Server is draining.
   kInternal = 8,         // Engine failure.
   kUnknownType = 9,      // Request frame type the server does not know.
+  kReadOnly = 10,        // UPDATE sent to a server without a write path.
 };
 
 const char* WireStatusName(WireStatus status);
@@ -164,6 +174,35 @@ struct QueryResultWire {
 };
 std::string EncodeQueryResult(const QueryResultWire& result);
 bool DecodeQueryResult(std::string_view payload, QueryResultWire* result);
+
+// ---- kUpdate payload.
+struct UpdateRequest {
+  enum : uint8_t { kOpInsert = 0, kOpDelete = 1 };
+  uint8_t op = kOpInsert;
+  enum : uint16_t {
+    // The record is journalled but its fsync is deferred to a later
+    // durable update, FlushUpdates, or checkpoint. The ack then means
+    // "applied and journalled", NOT crash-durable — but SHUTDOWN_ACK
+    // still implies durability: the server flushes before acking it.
+    kFlagNonDurable = 1,
+  };
+  uint16_t flags = 0;
+  // One N-Triples statement line, e.g. `<s> <p> "o" .` — the server
+  // parses it with NTriplesParser::ParseLine, so anything the loader
+  // accepts is accepted here (a blank/comment line is kBadRequest).
+  std::string statement;
+};
+std::string EncodeUpdateRequest(const UpdateRequest& request);
+bool DecodeUpdateRequest(std::string_view payload, UpdateRequest* request);
+
+// ---- kUpdateResult payload.
+struct UpdateResultWire {
+  WireStatus status = WireStatus::kOk;
+  uint64_t lsn = 0;     // WAL position the update was journalled at.
+  uint8_t durable = 0;  // 1 = fsynced before this ack.
+};
+std::string EncodeUpdateResult(const UpdateResultWire& result);
+bool DecodeUpdateResult(std::string_view payload, UpdateResultWire* result);
 
 // ---- kError payload.
 struct ErrorBody {

@@ -1,0 +1,75 @@
+#include "storage/triple_codec.h"
+
+#include "storage/coding.h"
+
+namespace sama {
+
+void PutLengthPrefixedString(std::vector<uint8_t>* blob,
+                             const std::string& s) {
+  PutVarint64(blob, s.size());
+  blob->insert(blob->end(), s.begin(), s.end());
+}
+
+bool GetLengthPrefixedString(const std::vector<uint8_t>& blob, size_t* pos,
+                             std::string* out) {
+  uint64_t size = 0;
+  if (!GetVarint64(blob, pos, &size)) return false;
+  if (blob.size() - *pos < size) return false;
+  out->assign(blob.begin() + static_cast<long>(*pos),
+              blob.begin() + static_cast<long>(*pos + size));
+  *pos += size;
+  return true;
+}
+
+void PutTerm(std::vector<uint8_t>* blob, const Term& t) {
+  PutVarint64(blob, static_cast<uint64_t>(t.kind()));
+  PutLengthPrefixedString(blob, t.value());
+  PutLengthPrefixedString(blob, t.datatype());
+  PutLengthPrefixedString(blob, t.language());
+}
+
+bool GetTerm(const std::vector<uint8_t>& blob, size_t* pos, Term* out) {
+  uint64_t kind = 0;
+  std::string value, datatype, language;
+  if (!GetVarint64(blob, pos, &kind) || kind > 3 ||
+      !GetLengthPrefixedString(blob, pos, &value) ||
+      !GetLengthPrefixedString(blob, pos, &datatype) ||
+      !GetLengthPrefixedString(blob, pos, &language)) {
+    return false;
+  }
+  switch (static_cast<Term::Kind>(kind)) {
+    case Term::Kind::kIri:
+      *out = Term::Iri(std::move(value));
+      return true;
+    case Term::Kind::kLiteral:
+      if (!language.empty()) {
+        *out = Term::LangLiteral(std::move(value), std::move(language));
+      } else if (!datatype.empty()) {
+        *out = Term::TypedLiteral(std::move(value), std::move(datatype));
+      } else {
+        *out = Term::Literal(std::move(value));
+      }
+      return true;
+    case Term::Kind::kBlank:
+      *out = Term::Blank(std::move(value));
+      return true;
+    case Term::Kind::kVariable:
+      *out = Term::Variable(std::move(value));
+      return true;
+  }
+  return false;
+}
+
+void PutTriple(std::vector<uint8_t>* blob, const Triple& t) {
+  PutTerm(blob, t.subject);
+  PutTerm(blob, t.predicate);
+  PutTerm(blob, t.object);
+}
+
+bool GetTriple(const std::vector<uint8_t>& blob, size_t* pos, Triple* out) {
+  return GetTerm(blob, pos, &out->subject) &&
+         GetTerm(blob, pos, &out->predicate) &&
+         GetTerm(blob, pos, &out->object);
+}
+
+}  // namespace sama

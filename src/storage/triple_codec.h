@@ -1,0 +1,30 @@
+#ifndef SAMA_STORAGE_TRIPLE_CODEC_H_
+#define SAMA_STORAGE_TRIPLE_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rdf/triple.h"
+
+namespace sama {
+
+// Compact binary codec for terms and triples, shared by the index
+// metadata blob and the WAL record payloads so both sides round-trip
+// the exact same byte layout. Varint-framed; Get* return false on a
+// truncated or malformed buffer without advancing past the damage.
+
+void PutLengthPrefixedString(std::vector<uint8_t>* blob,
+                             const std::string& s);
+bool GetLengthPrefixedString(const std::vector<uint8_t>& blob, size_t* pos,
+                             std::string* out);
+
+void PutTerm(std::vector<uint8_t>* blob, const Term& t);
+bool GetTerm(const std::vector<uint8_t>& blob, size_t* pos, Term* out);
+
+void PutTriple(std::vector<uint8_t>* blob, const Triple& t);
+bool GetTriple(const std::vector<uint8_t>& blob, size_t* pos, Triple* out);
+
+}  // namespace sama
+
+#endif  // SAMA_STORAGE_TRIPLE_CODEC_H_

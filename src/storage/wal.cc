@@ -1,0 +1,424 @@
+#include "storage/wal.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "common/crc32c.h"
+#include "storage/coding.h"
+
+namespace sama {
+namespace {
+
+Env* OrDefault(Env* env) { return env == nullptr ? Env::Default() : env; }
+
+// Parses one record from buf[pos...]. Returns:
+//   kOk         — *record filled, *pos advanced past it;
+//   kNotFound   — clean end of buffer (pos == buf.size());
+//   kCorruption — torn or damaged record at pos (pos NOT advanced).
+Status ParseRecord(const std::vector<uint8_t>& buf, size_t* pos,
+                   Wal::Record* record) {
+  if (*pos == buf.size()) return Status::NotFound("end of segment");
+  if (buf.size() - *pos < Wal::kRecordHeaderSize) {
+    return Status::Corruption("truncated record header");
+  }
+  size_t p = *pos;
+  uint32_t crc = 0, len = 0;
+  (void)GetFixed32(buf, &p, &crc);
+  (void)GetFixed32(buf, &p, &len);
+  uint64_t lsn = 0;
+  for (int i = 0; i < 8; ++i) {
+    lsn |= static_cast<uint64_t>(buf[p + static_cast<size_t>(i)]) << (8 * i);
+  }
+  p += 8;
+  uint8_t type = buf[p++];
+  if (buf.size() - p < len) {
+    return Status::Corruption("truncated record payload");
+  }
+  // CRC covers everything after itself: len, lsn, type, payload.
+  uint32_t actual =
+      Crc32c(buf.data() + *pos + 4, Wal::kRecordHeaderSize - 4 + len);
+  if (actual != crc) {
+    return Status::Corruption("record checksum mismatch");
+  }
+  record->lsn = lsn;
+  record->type = type;
+  record->payload.assign(buf.begin() + static_cast<long>(p),
+                         buf.begin() + static_cast<long>(p + len));
+  *pos = p + len;
+  return Status::Ok();
+}
+
+void EncodeRecord(uint64_t lsn, uint8_t type,
+                  const std::vector<uint8_t>& payload,
+                  std::vector<uint8_t>* out) {
+  out->clear();
+  out->reserve(Wal::kRecordHeaderSize + payload.size());
+  PutFixed32(out, 0);  // CRC placeholder.
+  PutFixed32(out, static_cast<uint32_t>(payload.size()));
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<uint8_t>(lsn >> (8 * i)));
+  }
+  out->push_back(type);
+  out->insert(out->end(), payload.begin(), payload.end());
+  uint32_t crc = Crc32c(out->data() + 4, out->size() - 4);
+  (*out)[0] = static_cast<uint8_t>(crc);
+  (*out)[1] = static_cast<uint8_t>(crc >> 8);
+  (*out)[2] = static_cast<uint8_t>(crc >> 16);
+  (*out)[3] = static_cast<uint8_t>(crc >> 24);
+}
+
+// Sorted (first_lsn, file name) pairs of the WAL segments in `dir`.
+Result<std::vector<std::pair<uint64_t, std::string>>> ListSegments(
+    const std::string& dir, Env* env) {
+  std::vector<std::pair<uint64_t, std::string>> segments;
+  if (!env->FileExists(dir)) return segments;
+  auto entries = env->ListDir(dir);
+  if (!entries.ok()) return entries.status();
+  for (const std::string& name : *entries) {
+    uint64_t first_lsn = 0;
+    if (Wal::ParseSegmentFileName(name, &first_lsn)) {
+      segments.emplace_back(first_lsn, name);
+    }
+  }
+  std::sort(segments.begin(), segments.end());
+  return segments;
+}
+
+}  // namespace
+
+Wal::~Wal() { (void)Close(); }
+
+std::string Wal::SegmentFileName(uint64_t first_lsn) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "wal-%016" PRIx64 ".log", first_lsn);
+  return buf;
+}
+
+bool Wal::ParseSegmentFileName(const std::string& name, uint64_t* first_lsn) {
+  if (name.size() != 24 || name.compare(0, 4, "wal-") != 0 ||
+      name.compare(20, 4, ".log") != 0) {
+    return false;
+  }
+  uint64_t lsn = 0;
+  for (size_t i = 4; i < 20; ++i) {
+    char c = name[i];
+    uint64_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<uint64_t>(c - 'a') + 10;
+    } else {
+      return false;
+    }
+    lsn = lsn << 4 | digit;
+  }
+  *first_lsn = lsn;
+  return true;
+}
+
+std::vector<std::string> Wal::CrashPoints() {
+  return {"wal.append", "wal.sync", "wal.rotate", "wal.truncate",
+          "wal.replay"};
+}
+
+Status Wal::OpenActiveSegment(uint64_t first_lsn, bool create) {
+  active_first_lsn_ = first_lsn;
+  active_path_ = options_.dir + "/" + SegmentFileName(first_lsn);
+  auto fd = env_->OpenFile(active_path_, /*truncate=*/create);
+  if (!fd.ok()) return fd.status();
+  fd_ = *fd;
+  if (create) {
+    tail_offset_ = 0;
+    SAMA_RETURN_IF_ERROR(env_->SyncDir(options_.dir));
+  }
+  return Status::Ok();
+}
+
+Status Wal::Open(const Options& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ >= 0) return Status::InvalidArgument("WAL is already open");
+  options_ = options;
+  env_ = OrDefault(options.env);
+  if (options_.dir.empty()) {
+    return Status::InvalidArgument("WalOptions::dir is required");
+  }
+  MetricsRegistry* reg = options.registry != nullptr
+                             ? options.registry
+                             : MetricsRegistry::Global();
+  appends_ = reg->GetCounter("sama_wal_appends_total",
+                             "WAL records appended.");
+  appended_bytes_ = reg->GetCounter("sama_wal_appended_bytes_total",
+                                    "WAL bytes appended.");
+  fsyncs_ = reg->GetCounter("sama_wal_fsyncs_total",
+                            "WAL fsync calls (group commit batches).");
+  rotations_ = reg->GetCounter("sama_wal_rotations_total",
+                               "WAL segment rotations.");
+  replayed_total_ = reg->GetCounter("sama_wal_replayed_records_total",
+                                    "WAL records replayed at recovery.");
+  truncated_tail_bytes_ =
+      reg->GetCounter("sama_wal_truncated_tail_bytes_total",
+                      "Torn WAL tail bytes discarded at recovery.");
+  segments_deleted_ = reg->GetCounter(
+      "sama_wal_segments_deleted_total",
+      "WAL segments deleted by checkpoint truncation.");
+
+  SAMA_RETURN_IF_ERROR(env_->CreateDir(options_.dir));
+  auto segments_or = ListSegments(options_.dir, env_);
+  if (!segments_or.ok()) return segments_or.status();
+  const auto& segments = *segments_or;
+
+  if (segments.empty()) {
+    next_lsn_ = options_.start_lsn;
+    synced_lsn_ = next_lsn_ - 1;
+    return OpenActiveSegment(next_lsn_, /*create=*/true);
+  }
+
+  // Recover the tail of the LAST segment: scan to the first damage,
+  // truncate it away durably, resume appending after the last valid
+  // record. Older segments are only read by Replay.
+  uint64_t first_lsn = segments.back().first;
+  std::string path = options_.dir + "/" + segments.back().second;
+  auto bytes_or = env_->ReadFileBytes(path);
+  if (!bytes_or.ok()) return bytes_or.status();
+  const std::vector<uint8_t>& bytes = *bytes_or;
+  size_t pos = 0;
+  uint64_t last_lsn = first_lsn - 1;
+  for (;;) {
+    Record record;
+    size_t before = pos;
+    Status s = ParseRecord(bytes, &pos, &record);
+    if (s.code() == Status::Code::kNotFound) break;  // Clean end.
+    if (!s.ok()) {
+      // Torn tail: everything from `before` on is a partial append
+      // that was never acknowledged. Discard it durably so the log is
+      // byte-clean for verify and the next append.
+      SAMA_RETURN_IF_ERROR(FailPoints::Trigger("wal.truncate"));
+      SAMA_RETURN_IF_ERROR(env_->TruncateFile(path, before));
+      if (truncated_tail_bytes_ != nullptr) {
+        truncated_tail_bytes_->Increment(bytes.size() - before);
+      }
+      pos = before;
+      break;
+    }
+    last_lsn = record.lsn;
+  }
+  tail_offset_ = pos;
+  next_lsn_ = last_lsn + 1;
+  SAMA_RETURN_IF_ERROR(OpenActiveSegment(first_lsn, /*create=*/false));
+  // One fsync after recovery so the (possibly truncated) tail state is
+  // durable before anything is appended after it.
+  SAMA_RETURN_IF_ERROR(env_->SyncFile(fd_, active_path_));
+  synced_lsn_ = next_lsn_ - 1;
+  return Status::Ok();
+}
+
+Status Wal::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return Status::Ok();
+  Status s = env_->CloseFile(fd_, active_path_);
+  fd_ = -1;
+  return s;
+}
+
+Status Wal::RotateLocked() {
+  SAMA_RETURN_IF_ERROR(FailPoints::Trigger("wal.rotate"));
+  // Everything in the old segment becomes durable before we stop
+  // writing to it, so Sync() only ever needs to fsync the active one.
+  SAMA_RETURN_IF_ERROR(env_->SyncFile(fd_, active_path_));
+  synced_lsn_ = next_lsn_ - 1;
+  SAMA_RETURN_IF_ERROR(env_->CloseFile(fd_, active_path_));
+  fd_ = -1;
+  if (rotations_ != nullptr) rotations_->Increment();
+  return OpenActiveSegment(next_lsn_, /*create=*/true);
+}
+
+Result<uint64_t> Wal::Append(uint8_t type,
+                             const std::vector<uint8_t>& payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return Status::InvalidArgument("WAL is not open");
+  if (tail_offset_ >= options_.segment_bytes) {
+    SAMA_RETURN_IF_ERROR(RotateLocked());
+  }
+  SAMA_RETURN_IF_ERROR(FailPoints::Trigger("wal.append"));
+  std::vector<uint8_t> record;
+  EncodeRecord(next_lsn_, type, payload, &record);
+  // Positional write at the tracked tail: a failed or torn append does
+  // not advance it, so the next append overwrites the garbage.
+  SAMA_RETURN_IF_ERROR(
+      env_->PWrite(fd_, active_path_, tail_offset_, record.data(),
+                   record.size()));
+  tail_offset_ += record.size();
+  uint64_t lsn = next_lsn_++;
+  if (appends_ != nullptr) appends_->Increment();
+  if (appended_bytes_ != nullptr) appended_bytes_->Increment(record.size());
+  return lsn;
+}
+
+Status Wal::SyncLocked(uint64_t lsn) {
+  if (synced_lsn_ >= lsn) return Status::Ok();  // A prior batch covered it.
+  SAMA_RETURN_IF_ERROR(FailPoints::Trigger("wal.sync"));
+  SAMA_RETURN_IF_ERROR(env_->SyncFile(fd_, active_path_));
+  synced_lsn_ = next_lsn_ - 1;
+  if (fsyncs_ != nullptr) fsyncs_->Increment();
+  return Status::Ok();
+}
+
+Status Wal::Sync(uint64_t lsn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return Status::InvalidArgument("WAL is not open");
+  return SyncLocked(lsn);
+}
+
+Status Wal::Replay(uint64_t from_lsn,
+                   const std::function<Status(const Record&)>& fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return Status::InvalidArgument("WAL is not open");
+  replayed_records_ = 0;
+  replayed_bytes_ = 0;
+  auto segments_or = ListSegments(options_.dir, env_);
+  if (!segments_or.ok()) return segments_or.status();
+  const auto& segments = *segments_or;
+  uint64_t expected_lsn = 0;
+  for (size_t i = 0; i < segments.size(); ++i) {
+    const auto& [first_lsn, name] = segments[i];
+    if (expected_lsn != 0 && first_lsn != expected_lsn) {
+      return Status::Corruption(
+          "WAL segment " + name + " does not continue LSN " +
+          std::to_string(expected_lsn) + " (a segment is missing)");
+    }
+    // Skip segments entirely below the checkpoint ONLY when the next
+    // segment proves they end there; the last segment is always read.
+    if (i + 1 < segments.size() && segments[i + 1].first <= from_lsn + 1) {
+      expected_lsn = segments[i + 1].first;
+      continue;
+    }
+    std::string path = options_.dir + "/" + name;
+    auto bytes_or = env_->ReadFileBytes(path);
+    if (!bytes_or.ok()) return bytes_or.status();
+    const std::vector<uint8_t>& bytes = *bytes_or;
+    size_t pos = 0;
+    uint64_t lsn_cursor = first_lsn;
+    for (;;) {
+      Record record;
+      Status s = ParseRecord(bytes, &pos, &record);
+      if (s.code() == Status::Code::kNotFound) break;
+      if (!s.ok()) {
+        if (i + 1 == segments.size()) break;  // Torn tail: Open truncates.
+        return Status::Corruption("WAL segment " + name + ": " +
+                                  s.message());
+      }
+      if (record.lsn != lsn_cursor) {
+        return Status::Corruption(
+            "WAL segment " + name + " skips from LSN " +
+            std::to_string(lsn_cursor) + " to " +
+            std::to_string(record.lsn));
+      }
+      ++lsn_cursor;
+      if (record.lsn <= from_lsn) continue;  // Already checkpointed.
+      SAMA_RETURN_IF_ERROR(FailPoints::Trigger("wal.replay"));
+      SAMA_RETURN_IF_ERROR(fn(record));
+      ++replayed_records_;
+      replayed_bytes_ += kRecordHeaderSize + record.payload.size();
+    }
+    expected_lsn = lsn_cursor;
+  }
+  if (replayed_total_ != nullptr && replayed_records_ > 0) {
+    replayed_total_->Increment(replayed_records_);
+  }
+  return Status::Ok();
+}
+
+Status Wal::TruncateThrough(uint64_t lsn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return Status::InvalidArgument("WAL is not open");
+  auto segments_or = ListSegments(options_.dir, env_);
+  if (!segments_or.ok()) return segments_or.status();
+  const auto& segments = *segments_or;
+  bool deleted = false;
+  for (size_t i = 0; i + 1 < segments.size(); ++i) {
+    // Segment i holds LSNs [first_i, first_{i+1}); all applied iff the
+    // successor starts at or below lsn + 1. The active (last) segment
+    // is never deleted — the LSN sequence lives in its name.
+    if (segments[i + 1].first > lsn + 1) break;
+    SAMA_RETURN_IF_ERROR(FailPoints::Trigger("wal.truncate"));
+    SAMA_RETURN_IF_ERROR(
+        env_->RemoveFile(options_.dir + "/" + segments[i].second));
+    if (segments_deleted_ != nullptr) segments_deleted_->Increment();
+    deleted = true;
+  }
+  if (deleted) SAMA_RETURN_IF_ERROR(env_->SyncDir(options_.dir));
+  return Status::Ok();
+}
+
+uint64_t Wal::next_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_lsn_;
+}
+
+uint64_t Wal::synced_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return synced_lsn_;
+}
+
+Result<std::vector<Wal::SegmentScan>> Wal::ScanDir(const std::string& dir,
+                                                   Env* env) {
+  env = OrDefault(env);
+  std::vector<SegmentScan> out;
+  auto segments_or = ListSegments(dir, env);
+  if (!segments_or.ok()) return segments_or.status();
+  const auto& segments = *segments_or;
+  uint64_t expected_lsn = 0;
+  for (size_t i = 0; i < segments.size(); ++i) {
+    const auto& [first_lsn, name] = segments[i];
+    SegmentScan scan;
+    scan.name = name;
+    scan.first_lsn = first_lsn;
+    if (expected_lsn != 0 && first_lsn != expected_lsn) {
+      scan.errors.push_back("does not continue LSN " +
+                            std::to_string(expected_lsn) +
+                            " (a segment is missing or misnamed)");
+    }
+    auto bytes_or = env->ReadFileBytes(dir + "/" + name);
+    if (!bytes_or.ok()) {
+      scan.errors.push_back(bytes_or.status().ToString());
+      out.push_back(std::move(scan));
+      expected_lsn = 0;  // Cannot check continuity past unreadable data.
+      continue;
+    }
+    const std::vector<uint8_t>& bytes = *bytes_or;
+    size_t pos = 0;
+    uint64_t lsn_cursor = first_lsn;
+    for (;;) {
+      Record record;
+      Status s = ParseRecord(bytes, &pos, &record);
+      if (s.code() == Status::Code::kNotFound) break;
+      if (!s.ok()) {
+        scan.torn_tail = true;
+        if (i + 1 < segments.size()) {
+          // Damage below the tail is corruption, not a torn append.
+          scan.errors.push_back("mid-log damage at offset " +
+                                std::to_string(pos) + ": " + s.message());
+        }
+        break;
+      }
+      if (record.lsn != lsn_cursor) {
+        scan.errors.push_back("LSN skips from " +
+                              std::to_string(lsn_cursor) + " to " +
+                              std::to_string(record.lsn) + " at offset " +
+                              std::to_string(pos));
+        break;
+      }
+      ++scan.records;
+      scan.last_lsn = record.lsn;
+      scan.valid_bytes = pos;
+      ++lsn_cursor;
+    }
+    expected_lsn = lsn_cursor;
+    out.push_back(std::move(scan));
+  }
+  return out;
+}
+
+}  // namespace sama

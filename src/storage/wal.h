@@ -1,0 +1,170 @@
+#ifndef SAMA_STORAGE_WAL_H_
+#define SAMA_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "common/result.h"
+#include "obs/metrics.h"
+
+namespace sama {
+
+// A record-framed write-ahead log (DESIGN.md §12). Every mutation is
+// journalled here and fsynced BEFORE it touches the in-memory index,
+// so a crash at any point leaves either a fully durable record or a
+// torn tail that recovery detects by CRC and discards — never a
+// half-applied update.
+//
+// On-disk layout: a directory of segment files named
+// wal-<first_lsn:016x>.log. Each segment is a dense sequence of
+// records:
+//
+//   +---------+---------+---------+------+-----------------+
+//   | crc32c  | len     | lsn     | type | payload         |
+//   | 4B LE   | 4B LE   | 8B LE   | 1B   | len bytes       |
+//   +---------+---------+---------+------+-----------------+
+//
+// The CRC covers len..payload (everything after itself), folding the
+// LSN in so a record misdirected to the wrong offset cannot validate.
+// LSNs are assigned densely (1, 2, 3, ...) across segments; a
+// segment's name is the LSN of its first record.
+//
+// Appends go through Env so fault injection covers every byte; a
+// failed or torn append does NOT advance the tail, and the next append
+// overwrites the garbage (positional writes, not O_APPEND). Sync() is
+// group commit: one fsync covers every record appended since the last,
+// and callers whose LSN is already durable return without syncing.
+class Wal {
+ public:
+  // Record types are opaque to the WAL itself; these are the values the
+  // engine journals.
+  static constexpr uint8_t kInsertTriple = 1;
+  static constexpr uint8_t kDeleteTriple = 2;
+
+  static constexpr size_t kRecordHeaderSize = 17;  // crc + len + lsn + type.
+
+  struct Options {
+    std::string dir;  // Required. Created when missing.
+    // Rotate to a fresh segment once the active one reaches this size.
+    uint64_t segment_bytes = 4 * 1024 * 1024;
+    // First LSN to assign when the directory holds no segments yet:
+    // checkpoint_lsn + 1 for an index that checkpointed and truncated
+    // its whole log. Appending an update as LSN 1 under a checkpoint at
+    // 100 would make it invisible to replay forever.
+    uint64_t start_lsn = 1;
+    Env* env = nullptr;                 // Env::Default() when null.
+    MetricsRegistry* registry = nullptr;  // Global() when null.
+  };
+
+  struct Record {
+    uint64_t lsn = 0;
+    uint8_t type = 0;
+    std::vector<uint8_t> payload;
+  };
+
+  // One segment's offline scan result (ScanDir / sama_cli verify).
+  struct SegmentScan {
+    std::string name;
+    uint64_t first_lsn = 0;   // From the file name.
+    uint64_t records = 0;     // Valid records found.
+    uint64_t last_lsn = 0;    // 0 when the segment is empty.
+    uint64_t valid_bytes = 0;
+    // True when the segment ends in a partial/corrupt record — legal
+    // only at the very tail of the LAST segment (a torn append the
+    // next Open truncates).
+    bool torn_tail = false;
+    std::vector<std::string> errors;
+  };
+
+  Wal() = default;
+  ~Wal();
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  // Opens (or creates) the log, recovering the active tail: the last
+  // segment is scanned, and a torn/corrupt tail is physically truncated
+  // and fsynced away so verify sees a byte-clean log. Records before
+  // the damage are preserved.
+  Status Open(const Options& options);
+  Status Close();
+  bool is_open() const { return fd_ >= 0; }
+
+  // Appends one record WITHOUT syncing; returns its LSN. On failure the
+  // tail does not advance — the append is retryable and any torn bytes
+  // are overwritten by the next attempt.
+  Result<uint64_t> Append(uint8_t type, const std::vector<uint8_t>& payload);
+
+  // Makes every record up to `lsn` durable. Group commit: returns
+  // without an fsync when a previous call already covered `lsn`.
+  Status Sync(uint64_t lsn);
+
+  // Streams every record with lsn > from_lsn, in LSN order, into `fn`.
+  // A torn tail on the LAST segment is tolerated (replay stops there);
+  // damage anywhere else is kCorruption. LSNs must be dense and
+  // contiguous across segments.
+  Status Replay(uint64_t from_lsn,
+                const std::function<Status(const Record&)>& fn);
+
+  // Deletes segments made obsolete by a checkpoint at `lsn`: a segment
+  // whose SUCCESSOR starts at or below lsn+1 holds only applied
+  // records. The active segment is always kept so the LSN sequence
+  // survives restarts.
+  Status TruncateThrough(uint64_t lsn);
+
+  // Next LSN Append will assign / highest LSN known durable.
+  uint64_t next_lsn() const;
+  uint64_t synced_lsn() const;
+  const std::string& dir() const { return options_.dir; }
+
+  // Replay statistics of the LAST Replay() call (recovery metrics).
+  uint64_t replayed_records() const { return replayed_records_; }
+  uint64_t replayed_bytes() const { return replayed_bytes_; }
+
+  // Failpoints the WAL triggers, for crash-at-every-point suites.
+  static std::vector<std::string> CrashPoints();
+
+  static std::string SegmentFileName(uint64_t first_lsn);
+  static bool ParseSegmentFileName(const std::string& name,
+                                   uint64_t* first_lsn);
+
+  // Offline integrity scan of a WAL directory (no Wal instance needed):
+  // per-record CRCs, dense LSNs within and across segments. Segments
+  // are returned sorted by first LSN. A missing directory yields an
+  // empty list (an index without updates has no WAL).
+  static Result<std::vector<SegmentScan>> ScanDir(const std::string& dir,
+                                                  Env* env = nullptr);
+
+ private:
+  Status OpenActiveSegment(uint64_t first_lsn, bool create);
+  Status RotateLocked();
+  Status SyncLocked(uint64_t lsn);
+
+  Options options_;
+  Env* env_ = nullptr;
+  mutable std::mutex mu_;
+  int fd_ = -1;
+  std::string active_path_;
+  uint64_t active_first_lsn_ = 0;
+  uint64_t tail_offset_ = 0;  // End of valid records in the active segment.
+  uint64_t next_lsn_ = 1;
+  uint64_t synced_lsn_ = 0;
+  uint64_t replayed_records_ = 0;
+  uint64_t replayed_bytes_ = 0;
+
+  // sama_wal_* instruments; null when metrics resolution was skipped.
+  Counter* appends_ = nullptr;
+  Counter* appended_bytes_ = nullptr;
+  Counter* fsyncs_ = nullptr;
+  Counter* rotations_ = nullptr;
+  Counter* replayed_total_ = nullptr;
+  Counter* truncated_tail_bytes_ = nullptr;
+  Counter* segments_deleted_ = nullptr;
+};
+
+}  // namespace sama
+
+#endif  // SAMA_STORAGE_WAL_H_

@@ -51,6 +51,23 @@ class InvertedLabelIndex {
   // postings to stay sorted; Finish() sorts and dedups regardless.
   void Add(std::string_view label, uint64_t id);
 
+  // Add() for the live-update path: instead of dropping the whole
+  // semantic-lookup memo, erases only the entries `label` could have
+  // contributed to (see InvalidateLabel). `thesaurus` is the vocabulary
+  // live queries run with; entries memoized under a different thesaurus
+  // identity are dropped conservatively.
+  void AddPrecise(std::string_view label, uint64_t id,
+                  const Thesaurus* thesaurus);
+
+  // Precisely invalidates memoized LookupSemantic results that an
+  // element labelled `label` could appear in (or vanish from): entries
+  // whose lookup label normalizes equal, whose tokens are all contained
+  // in `label`'s tokens (the AND-fallback), or that are thesaurus-
+  // related to `label`. A sound superset of LookupSemantic's match
+  // semantics — unrelated memo entries survive the update.
+  void InvalidateLabel(std::string_view label,
+                       const Thesaurus* thesaurus) const;
+
   // Sorts and dedups every postings list. Idempotent; called once after
   // the build loop.
   void Finish();

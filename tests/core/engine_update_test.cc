@@ -1,0 +1,388 @@
+// The engine's durable update path (DESIGN.md §12): WAL-journalled
+// insert/delete visible to queries immediately and byte-identical to an
+// offline rebuild, journal replay on reopen, sealing on durability
+// failures (store stays queryable), retryable append failures, deferred
+// fsync + FlushUpdates, and checkpoint truncation.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "core/engine.h"
+#include "datasets/govtrack.h"
+#include "index/index_verify.h"
+#include "index/path_index.h"
+#include "obs/metrics.h"
+#include "text/thesaurus.h"
+
+namespace sama {
+namespace {
+
+Term Gov(const std::string& local) {
+  return Term::Iri("http://gov.example.org/" + local);
+}
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = testing::TempDir() + "/engine_update_" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+// Order-sensitive digest over scores and bindings. Deliberately does
+// NOT include path ids: the incremental index assigns different slots
+// than an offline rebuild, and the byte-identical contract is about the
+// ANSWERS, not internal ids.
+std::string AnswerDigest(const std::vector<Answer>& answers,
+                         const TermDictionary& dict) {
+  std::string d;
+  for (const Answer& a : answers) {
+    d += std::to_string(a.score) + "|";
+    std::vector<std::string> bound;
+    for (const Triple& t : a.ToTriples(dict)) {
+      bound.push_back(t.subject.ToString() + " " + t.predicate.ToString() +
+                      " " + t.object.ToString());
+    }
+    std::sort(bound.begin(), bound.end());
+    for (const std::string& b : bound) d += b + ";";
+    d += "#";
+  }
+  return d;
+}
+
+class EngineUpdateTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    FailPoints::ClearAll();
+    base_ = GovTrackFigure1Triples();
+    thesaurus_ = Thesaurus::BuiltinEnglish();
+    male_patterns_ = {
+        {Term::Variable("p"), Gov("gender"), Term::Literal("Male")}};
+  }
+  void TearDown() override { FailPoints::ClearAll(); }
+
+  // The byte-identical oracle: a fresh offline build over the logical
+  // triple set, queried with the same patterns.
+  std::string OracleDigest(const std::vector<Triple>& triples,
+                           const std::vector<Triple>& patterns, size_t k) {
+    DataGraph graph = DataGraph::FromTriples(triples);
+    PathIndex index;
+    EXPECT_TRUE(index.Build(graph, PathIndexOptions()).ok());
+    SamaEngine engine(&graph, &index, &thesaurus_);
+    auto answers = engine.Execute(engine.BuildQueryGraph(patterns), k);
+    EXPECT_TRUE(answers.ok()) << answers.status();
+    return AnswerDigest(*answers, graph.dict());
+  }
+
+  // Logical triple set after applying `updates` to the base in order.
+  std::vector<Triple> Applied(const std::vector<TripleUpdate>& updates) {
+    std::vector<Triple> triples = base_;
+    for (const TripleUpdate& u : updates) {
+      if (u.op == TripleUpdate::Op::kInsert) {
+        triples.push_back(u.triple);
+      } else {
+        for (auto it = triples.begin(); it != triples.end(); ++it) {
+          if (it->subject == u.triple.subject &&
+              it->predicate == u.triple.predicate &&
+              it->object == u.triple.object) {
+            triples.erase(it);
+            break;
+          }
+        }
+      }
+    }
+    return triples;
+  }
+
+  std::vector<Triple> base_;
+  Thesaurus thesaurus_;
+  std::vector<Triple> male_patterns_;
+};
+
+TEST_F(EngineUpdateTest, InsertAndDeleteMatchOfflineRebuild) {
+  std::string dir = FreshDir("visible");
+  DataGraph graph = DataGraph::FromTriples(base_);
+  PathIndexOptions options;
+  options.dir = dir;
+  PathIndex index;
+  ASSERT_TRUE(index.Build(graph, options).ok());
+  SamaEngine engine(&graph, &index, &thesaurus_);
+  UpdateOptions uo;
+  uo.checkpoint_every = 0;
+  ASSERT_TRUE(engine.EnableUpdates(&graph, &index, uo).ok());
+  EXPECT_TRUE(engine.updates_enabled());
+  EXPECT_TRUE(engine.updates_durable());
+
+  std::vector<TripleUpdate> updates = {
+      {TripleUpdate::Op::kInsert,
+       {Gov("NewSenator"), Gov("gender"), Term::Literal("Male")}},
+  };
+  auto lsn = engine.InsertTriple(updates[0].triple);
+  ASSERT_TRUE(lsn.ok()) << lsn.status();
+  EXPECT_EQ(*lsn, 1u);
+  auto after_insert =
+      engine.Execute(engine.BuildQueryGraph(male_patterns_), 10);
+  ASSERT_TRUE(after_insert.ok());
+  EXPECT_EQ(after_insert->size(), 5u);
+  EXPECT_EQ(AnswerDigest(*after_insert, graph.dict()),
+            OracleDigest(Applied(updates), male_patterns_, 10));
+
+  updates.push_back({TripleUpdate::Op::kDelete,
+                     {Gov("JeffRyser"), Gov("gender"),
+                      Term::Literal("Male")}});
+  auto lsn2 = engine.DeleteTriple(updates[1].triple);
+  ASSERT_TRUE(lsn2.ok()) << lsn2.status();
+  EXPECT_EQ(*lsn2, 2u);
+  auto after_delete =
+      engine.Execute(engine.BuildQueryGraph(male_patterns_), 10);
+  ASSERT_TRUE(after_delete.ok());
+  EXPECT_EQ(after_delete->size(), 4u);
+  EXPECT_EQ(AnswerDigest(*after_delete, graph.dict()),
+            OracleDigest(Applied(updates), male_patterns_, 10));
+  EXPECT_EQ(engine.last_update_lsn(), 2u);
+}
+
+TEST_F(EngineUpdateTest, ReopenReplaysTheJournal) {
+  std::string dir = FreshDir("replay");
+  std::vector<TripleUpdate> updates = {
+      {TripleUpdate::Op::kInsert,
+       {Gov("NewSenator"), Gov("gender"), Term::Literal("Male")}},
+      {TripleUpdate::Op::kDelete,
+       {Gov("JeffRyser"), Gov("gender"), Term::Literal("Male")}},
+  };
+  {
+    DataGraph graph = DataGraph::FromTriples(base_);
+    PathIndexOptions options;
+    options.dir = dir;
+    PathIndex index;
+    ASSERT_TRUE(index.Build(graph, options).ok());
+    SamaEngine engine(&graph, &index, &thesaurus_);
+    UpdateOptions uo;
+    uo.checkpoint_every = 0;  // Leave everything in the WAL.
+    ASSERT_TRUE(engine.EnableUpdates(&graph, &index, uo).ok());
+    for (const TripleUpdate& u : updates) {
+      ASSERT_TRUE(engine.ApplyUpdate(u).ok());
+    }
+    // No checkpoint: the reopen below must recover from the WAL alone.
+  }
+  {
+    DataGraph graph = DataGraph::FromTriples(base_);
+    PathIndexOptions options;
+    options.dir = dir;
+    PathIndex index;
+    ASSERT_TRUE(index.Open(&graph, options).ok());
+    SamaEngine engine(&graph, &index, &thesaurus_);
+    ASSERT_TRUE(engine.EnableUpdates(&graph, &index).ok());
+    EXPECT_EQ(engine.last_update_lsn(), 2u);
+    ASSERT_NE(engine.recovery_trace(), nullptr);
+    auto answers =
+        engine.Execute(engine.BuildQueryGraph(male_patterns_), 10);
+    ASSERT_TRUE(answers.ok());
+    EXPECT_EQ(AnswerDigest(*answers, graph.dict()),
+              OracleDigest(Applied(updates), male_patterns_, 10));
+  }
+}
+
+TEST_F(EngineUpdateTest, SyncFailureSealsUpdatesButNotQueries) {
+  std::string dir = FreshDir("sealed");
+  DataGraph graph = DataGraph::FromTriples(base_);
+  PathIndexOptions options;
+  options.dir = dir;
+  PathIndex index;
+  ASSERT_TRUE(index.Build(graph, options).ok());
+
+  FaultyEnv env;  // Healthy base env, faults armed below.
+  MetricsRegistry registry;
+  SamaEngine engine(&graph, &index, &thesaurus_);
+  UpdateOptions uo;
+  uo.checkpoint_every = 0;
+  uo.env = &env;
+  uo.registry = &registry;
+  ASSERT_TRUE(engine.EnableUpdates(&graph, &index, uo).ok());
+
+  // Every fsync fails from now on (ENOSPC-style, no crash).
+  FaultSpec spec;
+  spec.fail_after = 0;
+  env.Arm(IoOp::kSync, spec);
+  Triple t{Gov("NewSenator"), Gov("gender"), Term::Literal("Male")};
+  auto lsn = engine.InsertTriple(t);
+  ASSERT_FALSE(lsn.ok()) << "fsync failure must fail the update";
+  EXPECT_EQ(lsn.status().code(), Status::Code::kIoError);
+
+  // The updater is sealed: further writes are refused...
+  env.Disarm(IoOp::kSync);
+  auto retry = engine.InsertTriple(t);
+  ASSERT_FALSE(retry.ok());
+  EXPECT_EQ(retry.status().code(), Status::Code::kIoError);
+
+  // ...but reads keep working on the pre-failure state.
+  auto answers = engine.Execute(engine.BuildQueryGraph(male_patterns_), 10);
+  ASSERT_TRUE(answers.ok()) << answers.status();
+  EXPECT_EQ(answers->size(), 4u);
+  Counter* io_errors = registry.GetCounter("sama_io_errors_total", "");
+  EXPECT_GE(io_errors->Value(), 1u);
+
+  // A reopen with a healthy env heals: the failed update was never
+  // acked and is NOT part of the recovered state.
+  DataGraph graph2 = DataGraph::FromTriples(base_);
+  PathIndex index2;
+  ASSERT_TRUE(index2.Open(&graph2, options).ok());
+  SamaEngine engine2(&graph2, &index2, &thesaurus_);
+  ASSERT_TRUE(engine2.EnableUpdates(&graph2, &index2).ok());
+  auto healed = engine2.InsertTriple(t);
+  ASSERT_TRUE(healed.ok()) << healed.status();
+  auto after = engine2.Execute(engine2.BuildQueryGraph(male_patterns_), 10);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->size(), 5u);
+}
+
+TEST_F(EngineUpdateTest, AppendFailureIsRetryableWithoutSealing) {
+  std::string dir = FreshDir("retry");
+  DataGraph graph = DataGraph::FromTriples(base_);
+  PathIndexOptions options;
+  options.dir = dir;
+  PathIndex index;
+  ASSERT_TRUE(index.Build(graph, options).ok());
+  SamaEngine engine(&graph, &index, &thesaurus_);
+  UpdateOptions uo;
+  uo.checkpoint_every = 0;
+  ASSERT_TRUE(engine.EnableUpdates(&graph, &index, uo).ok());
+
+  // A failed append never reached the journal, so nothing is lost and
+  // nothing needs sealing — the SAME LSN is reissued on retry.
+  FailPoints::Arm("wal.append", Status::IoError("simulated ENOSPC"));
+  Triple t{Gov("NewSenator"), Gov("gender"), Term::Literal("Male")};
+  auto failed = engine.InsertTriple(t);
+  ASSERT_FALSE(failed.ok());
+  FailPoints::ClearAll();
+  auto retried = engine.InsertTriple(t);
+  ASSERT_TRUE(retried.ok()) << retried.status();
+  EXPECT_EQ(*retried, 1u);
+  auto answers = engine.Execute(engine.BuildQueryGraph(male_patterns_), 10);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(answers->size(), 5u);
+}
+
+TEST_F(EngineUpdateTest, NonDurableUpdatesDeferTheFsync) {
+  std::string dir = FreshDir("deferred");
+  DataGraph graph = DataGraph::FromTriples(base_);
+  PathIndexOptions options;
+  options.dir = dir;
+  PathIndex index;
+  ASSERT_TRUE(index.Build(graph, options).ok());
+
+  FaultyEnv env;  // Unarmed: used only to count fsyncs.
+  SamaEngine engine(&graph, &index, &thesaurus_);
+  UpdateOptions uo;
+  uo.checkpoint_every = 0;
+  uo.env = &env;
+  ASSERT_TRUE(engine.EnableUpdates(&graph, &index, uo).ok());
+
+  uint64_t syncs_before = env.op_count(IoOp::kSync);
+  TripleUpdate lazy;
+  lazy.op = TripleUpdate::Op::kInsert;
+  lazy.triple = {Gov("NewSenator"), Gov("gender"), Term::Literal("Male")};
+  lazy.durable = false;
+  ASSERT_TRUE(engine.ApplyUpdate(lazy).ok());
+  EXPECT_EQ(env.op_count(IoOp::kSync), syncs_before)
+      << "a durable=false update paid an fsync";
+
+  // The update is applied (visible) even though not yet synced.
+  auto answers = engine.Execute(engine.BuildQueryGraph(male_patterns_), 10);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(answers->size(), 5u);
+
+  // FlushUpdates makes it durable (at least one fsync happens).
+  ASSERT_TRUE(engine.FlushUpdates().ok());
+  EXPECT_GT(env.op_count(IoOp::kSync), syncs_before);
+}
+
+TEST_F(EngineUpdateTest, CheckpointTruncatesAndSurvivesReopen) {
+  std::string dir = FreshDir("checkpoint");
+  std::vector<TripleUpdate> updates = {
+      {TripleUpdate::Op::kInsert,
+       {Gov("NewSenator"), Gov("gender"), Term::Literal("Male")}},
+      {TripleUpdate::Op::kInsert,
+       {Gov("NewSenator"), Gov("sponsor"), Gov("B1432")}},
+      {TripleUpdate::Op::kDelete,
+       {Gov("JeffRyser"), Gov("gender"), Term::Literal("Male")}},
+  };
+  {
+    DataGraph graph = DataGraph::FromTriples(base_);
+    PathIndexOptions options;
+    options.dir = dir;
+    PathIndex index;
+    ASSERT_TRUE(index.Build(graph, options).ok());
+    SamaEngine engine(&graph, &index, &thesaurus_);
+    UpdateOptions uo;
+    uo.checkpoint_every = 0;
+    ASSERT_TRUE(engine.EnableUpdates(&graph, &index, uo).ok());
+    for (const TripleUpdate& u : updates) {
+      ASSERT_TRUE(engine.ApplyUpdate(u).ok());
+    }
+    ASSERT_TRUE(engine.CheckpointUpdates().ok());
+  }
+  // The checkpointed directory verifies clean (WAL included).
+  auto report = VerifyIndexDir(dir);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->clean()) << report->ToString();
+  {
+    // Reopen sees the checkpointed state without needing the journal.
+    DataGraph graph = DataGraph::FromTriples(base_);
+    PathIndexOptions options;
+    options.dir = dir;
+    PathIndex index;
+    ASSERT_TRUE(index.Open(&graph, options).ok());
+    SamaEngine engine(&graph, &index, &thesaurus_);
+    ASSERT_TRUE(engine.EnableUpdates(&graph, &index).ok());
+    auto answers =
+        engine.Execute(engine.BuildQueryGraph(male_patterns_), 10);
+    ASSERT_TRUE(answers.ok());
+    EXPECT_EQ(AnswerDigest(*answers, graph.dict()),
+              OracleDigest(Applied(updates), male_patterns_, 10));
+  }
+}
+
+TEST_F(EngineUpdateTest, UnrelatedCacheEntriesSurviveAnUpdate) {
+  std::string dir = FreshDir("invalidation");
+  DataGraph graph = DataGraph::FromTriples(base_);
+  PathIndexOptions options;
+  options.dir = dir;
+  PathIndex index;
+  ASSERT_TRUE(index.Build(graph, options).ok());
+  SamaEngine engine(&graph, &index, &thesaurus_);
+  UpdateOptions uo;
+  uo.checkpoint_every = 0;
+  ASSERT_TRUE(engine.EnableUpdates(&graph, &index, uo).ok());
+
+  std::vector<Triple> health_patterns = {
+      {Term::Variable("b"), Gov("subject"), Term::Literal("Health Care")}};
+  QueryGraph health = engine.BuildQueryGraph(health_patterns);
+  ASSERT_TRUE(engine.Execute(health, 10).ok());  // Prime the caches.
+  QueryStats warm;
+  ASSERT_TRUE(engine.Execute(health, 10, &warm).ok());
+  ASSERT_GT(warm.path_lookup_cache.hits, 0u) << "cache never primed";
+
+  // An update touching only the Male/gender cluster must not evict the
+  // Health Care candidate lists (precise per-touched-cluster sweep).
+  ASSERT_TRUE(
+      engine
+          .InsertTriple(
+              {Gov("NewSenator"), Gov("gender"), Term::Literal("Male")})
+          .ok());
+  QueryStats after;
+  ASSERT_TRUE(engine.Execute(health, 10, &after).ok());
+  EXPECT_GT(after.path_lookup_cache.hits, 0u)
+      << "an unrelated update flushed the lookup cache";
+
+  // And the touched cluster serves fresh answers, not a stale memo.
+  auto male = engine.Execute(engine.BuildQueryGraph(male_patterns_), 10);
+  ASSERT_TRUE(male.ok());
+  EXPECT_EQ(male->size(), 5u);
+}
+
+}  // namespace
+}  // namespace sama

@@ -302,6 +302,74 @@ TEST(ProtocolTest, TruncatedStructuredPayloadsRejected) {
   }
 }
 
+TEST(ProtocolTest, UpdateRequestRoundTrip) {
+  Random rng(23);
+  for (int i = 0; i < 300; ++i) {
+    UpdateRequest request;
+    request.op = rng.Bernoulli(0.5) ? UpdateRequest::kOpDelete
+                                    : UpdateRequest::kOpInsert;
+    request.flags = static_cast<uint16_t>(rng.Uniform(1 << 16));
+    request.statement.assign(rng.Uniform(256), '\0');
+    for (char& c : request.statement) c = static_cast<char>(rng.Next());
+    UpdateRequest decoded;
+    ASSERT_TRUE(
+        DecodeUpdateRequest(EncodeUpdateRequest(request), &decoded));
+    EXPECT_EQ(decoded.op, request.op);
+    EXPECT_EQ(decoded.flags, request.flags);
+    EXPECT_EQ(decoded.statement, request.statement);
+  }
+}
+
+TEST(ProtocolTest, UpdateRequestRejectsBadOpAndTrailingBytes) {
+  UpdateRequest request;
+  request.statement = "<s> <p> <o> .";
+  std::string payload = EncodeUpdateRequest(request);
+  UpdateRequest decoded;
+  ASSERT_TRUE(DecodeUpdateRequest(payload, &decoded));
+
+  std::string trailing = payload + '\0';
+  EXPECT_FALSE(DecodeUpdateRequest(trailing, &decoded));
+
+  std::string bad_op = payload;
+  bad_op[0] = 2;  // Only insert (0) and delete (1) exist.
+  EXPECT_FALSE(DecodeUpdateRequest(bad_op, &decoded));
+}
+
+TEST(ProtocolTest, UpdateResultRoundTrip) {
+  UpdateResultWire result;
+  result.status = WireStatus::kOk;
+  result.lsn = 0x1122334455667788ULL;
+  result.durable = 1;
+  UpdateResultWire decoded;
+  ASSERT_TRUE(DecodeUpdateResult(EncodeUpdateResult(result), &decoded));
+  EXPECT_EQ(decoded.status, result.status);
+  EXPECT_EQ(decoded.lsn, result.lsn);
+  EXPECT_EQ(decoded.durable, result.durable);
+}
+
+TEST(ProtocolTest, TruncatedUpdatePayloadsRejected) {
+  UpdateRequest request;
+  request.op = UpdateRequest::kOpDelete;
+  request.flags = UpdateRequest::kFlagNonDurable;
+  request.statement = "<s> <p> \"o\" .";
+  std::string req_payload = EncodeUpdateRequest(request);
+  for (size_t cut = 0; cut < req_payload.size(); ++cut) {
+    UpdateRequest decoded;
+    EXPECT_FALSE(DecodeUpdateRequest(
+        std::string_view(req_payload).substr(0, cut), &decoded))
+        << "request prefix of " << cut << " bytes decoded";
+  }
+  UpdateResultWire result;
+  result.lsn = 42;
+  std::string res_payload = EncodeUpdateResult(result);
+  for (size_t cut = 0; cut < res_payload.size(); ++cut) {
+    UpdateResultWire decoded;
+    EXPECT_FALSE(DecodeUpdateResult(
+        std::string_view(res_payload).substr(0, cut), &decoded))
+        << "result prefix of " << cut << " bytes decoded";
+  }
+}
+
 TEST(ProtocolTest, ErrorBodyRoundTrip) {
   ErrorBody error{WireStatus::kShed, "queue full"};
   ErrorBody decoded;
@@ -327,7 +395,7 @@ TEST(ProtocolTest, WireStatusNamesAreDistinct) {
       WireStatus::kTooLarge, WireStatus::kBadRequest,
       WireStatus::kParseError, WireStatus::kShed,
       WireStatus::kShuttingDown, WireStatus::kInternal,
-      WireStatus::kUnknownType,
+      WireStatus::kUnknownType, WireStatus::kReadOnly,
   };
   for (size_t i = 0; i < std::size(all); ++i) {
     for (size_t j = i + 1; j < std::size(all); ++j) {

@@ -1,0 +1,251 @@
+// The UPDATE opcode end to end: wire round trips against a live server
+// over a disk-backed index, the read-only rejection, the per-connection
+// ordering contract (an UPDATE happens-after every QUERY pipelined
+// before it and before every QUERY after it), and the shutdown drain —
+// SHUTDOWN_ACK implies every journalled update is fsynced, and a failed
+// flush is reported as an error instead of acked.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "core/engine.h"
+#include "datasets/govtrack.h"
+#include "index/path_index.h"
+#include "obs/metrics.h"
+#include "server/binary_server.h"
+#include "server/client.h"
+#include "text/thesaurus.h"
+
+namespace sama {
+namespace {
+
+constexpr char kMaleSparql[] =
+    "PREFIX gov: <http://gov.example.org/>\n"
+    "SELECT ?p WHERE { ?p gov:gender \"Male\" }";
+
+constexpr char kInsertStatement[] =
+    "<http://gov.example.org/NewSenator> "
+    "<http://gov.example.org/gender> \"Male\" .";
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = testing::TempDir() + "/update_server_" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+// A disk-backed GovTrack index with the update path enabled, plus a
+// running server. The engine outlives the server (borrowed pointer).
+struct WritableServerFixture {
+  explicit WritableServerFixture(const std::string& dir,
+                                 UpdateOptions uo = {},
+                                 BinaryQueryServer::Options options = {})
+      : graph(DataGraph::FromTriples(GovTrackFigure1Triples())),
+        thesaurus(Thesaurus::BuiltinEnglish()) {
+    PathIndexOptions po;
+    po.dir = dir;
+    Status built = index.Build(graph, po);
+    EXPECT_TRUE(built.ok()) << built;
+    engine = std::make_unique<SamaEngine>(&graph, &index, &thesaurus);
+    Status enabled = engine->EnableUpdates(&graph, &index, uo);
+    EXPECT_TRUE(enabled.ok()) << enabled;
+    options.port = 0;
+    options.registry = &registry;
+    server = std::make_unique<BinaryQueryServer>(engine.get(), options);
+    Status started = server->Start();
+    EXPECT_TRUE(started.ok()) << started;
+  }
+
+  BinaryClient Connect() {
+    BinaryClient client;
+    Status s = client.Connect(server->host(), server->port());
+    EXPECT_TRUE(s.ok()) << s;
+    return client;
+  }
+
+  DataGraph graph;
+  PathIndex index;
+  Thesaurus thesaurus;
+  MetricsRegistry registry;
+  std::unique_ptr<SamaEngine> engine;
+  std::unique_ptr<BinaryQueryServer> server;
+};
+
+size_t QueryAnswerCount(BinaryClient& client, uint64_t request_id) {
+  QueryRequest request;
+  request.sparql = kMaleSparql;
+  request.k = 10;
+  auto result = client.Query(request, request_id);
+  EXPECT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->status, WireStatus::kOk);
+  return result->answers.size();
+}
+
+TEST(UpdateServerTest, InsertAndDeleteRoundTrip) {
+  WritableServerFixture fx(FreshDir("roundtrip"));
+  BinaryClient client = fx.Connect();
+  EXPECT_EQ(QueryAnswerCount(client, 1), 4u);
+
+  UpdateRequest insert;
+  insert.op = UpdateRequest::kOpInsert;
+  insert.statement = kInsertStatement;
+  auto ack = client.Update(insert, 2);
+  ASSERT_TRUE(ack.ok()) << ack.status();
+  EXPECT_EQ(ack->status, WireStatus::kOk);
+  EXPECT_EQ(ack->lsn, 1u);
+  EXPECT_EQ(ack->durable, 1);
+  EXPECT_EQ(QueryAnswerCount(client, 3), 5u);
+
+  UpdateRequest del;
+  del.op = UpdateRequest::kOpDelete;
+  del.statement = kInsertStatement;
+  auto ack2 = client.Update(del, 4);
+  ASSERT_TRUE(ack2.ok()) << ack2.status();
+  EXPECT_EQ(ack2->status, WireStatus::kOk);
+  EXPECT_EQ(ack2->lsn, 2u);
+  EXPECT_EQ(QueryAnswerCount(client, 5), 4u);
+  EXPECT_EQ(fx.server->stats().updates_ok, 2u);
+}
+
+TEST(UpdateServerTest, ReadOnlyServerRejectsUpdates) {
+  // No EnableUpdates: the plain in-memory fixture refuses writes with a
+  // distinct wire status so clients can tell "read-only" from "broken".
+  DataGraph graph = DataGraph::FromTriples(GovTrackFigure1Triples());
+  PathIndex index;
+  ASSERT_TRUE(index.Build(graph, PathIndexOptions()).ok());
+  Thesaurus thesaurus = Thesaurus::BuiltinEnglish();
+  SamaEngine engine(&graph, &index, &thesaurus);
+  BinaryQueryServer::Options options;
+  options.port = 0;
+  BinaryQueryServer server(&engine, options);
+  ASSERT_TRUE(server.Start().ok());
+  BinaryClient client;
+  ASSERT_TRUE(client.Connect(server.host(), server.port()).ok());
+
+  UpdateRequest insert;
+  insert.statement = kInsertStatement;
+  auto ack = client.Update(insert, 1);
+  ASSERT_TRUE(ack.ok()) << ack.status();
+  EXPECT_EQ(ack->status, WireStatus::kReadOnly);
+  server.Stop();
+}
+
+TEST(UpdateServerTest, MalformedStatementIsBadRequest) {
+  WritableServerFixture fx(FreshDir("badreq"));
+  BinaryClient client = fx.Connect();
+  UpdateRequest bad;
+  bad.statement = "this is not an N-Triples line";
+  auto ack = client.Update(bad, 1);
+  ASSERT_TRUE(ack.ok()) << ack.status();
+  EXPECT_EQ(ack->status, WireStatus::kBadRequest);
+  // The connection survives a rejected update.
+  EXPECT_EQ(QueryAnswerCount(client, 2), 4u);
+}
+
+// The ordering contract: on one connection, QUERY / UPDATE / QUERY
+// pipelined back to back must observe 4 → (applied) → 5 answers even
+// though queries run on worker threads.
+TEST(UpdateServerTest, PipelinedUpdateOrdersAgainstQueries) {
+  WritableServerFixture fx(FreshDir("ordering"));
+  BinaryClient client = fx.Connect();
+
+  QueryRequest query;
+  query.sparql = kMaleSparql;
+  query.k = 10;
+  UpdateRequest insert;
+  insert.statement = kInsertStatement;
+  ASSERT_TRUE(client.SendQuery(query, 1).ok());
+  ASSERT_TRUE(client.SendUpdate(insert, 2).ok());
+  ASSERT_TRUE(client.SendQuery(query, 3).ok());
+
+  auto before = client.ReadFrame();
+  ASSERT_TRUE(before.ok()) << before.status();
+  ASSERT_EQ(before->type, FrameType::kResult);
+  EXPECT_EQ(before->request_id, 1u);
+  QueryResultWire before_result;
+  ASSERT_TRUE(DecodeQueryResult(before->payload, &before_result));
+  EXPECT_EQ(before_result.answers.size(), 4u);
+
+  auto ack = client.ReadFrame();
+  ASSERT_TRUE(ack.ok()) << ack.status();
+  ASSERT_EQ(ack->type, FrameType::kUpdateResult);
+  EXPECT_EQ(ack->request_id, 2u);
+  UpdateResultWire ack_result;
+  ASSERT_TRUE(DecodeUpdateResult(ack->payload, &ack_result));
+  EXPECT_EQ(ack_result.status, WireStatus::kOk);
+
+  auto after = client.ReadFrame();
+  ASSERT_TRUE(after.ok()) << after.status();
+  ASSERT_EQ(after->type, FrameType::kResult);
+  EXPECT_EQ(after->request_id, 3u);
+  QueryResultWire after_result;
+  ASSERT_TRUE(DecodeQueryResult(after->payload, &after_result));
+  EXPECT_EQ(after_result.answers.size(), 5u);
+}
+
+// SHUTDOWN_ACK is a durability barrier: a deferred-fsync update (acked
+// durable=0) must be on disk once the shutdown is acknowledged, so a
+// reopen replays it.
+TEST(UpdateServerTest, ShutdownAckImpliesFlushedUpdates) {
+  std::string dir = FreshDir("drain");
+  {
+    WritableServerFixture fx(dir);
+    BinaryClient client = fx.Connect();
+    UpdateRequest lazy;
+    lazy.statement = kInsertStatement;
+    lazy.flags = UpdateRequest::kFlagNonDurable;
+    auto ack = client.Update(lazy, 1);
+    ASSERT_TRUE(ack.ok()) << ack.status();
+    EXPECT_EQ(ack->status, WireStatus::kOk);
+    EXPECT_EQ(ack->durable, 0) << "a deferred fsync was acked durable";
+    ASSERT_TRUE(client.Shutdown(2).ok());
+    fx.server->WaitForShutdown();
+    fx.server->Stop();
+  }
+  DataGraph graph = DataGraph::FromTriples(GovTrackFigure1Triples());
+  PathIndexOptions po;
+  po.dir = dir;
+  PathIndex index;
+  ASSERT_TRUE(index.Open(&graph, po).ok());
+  Thesaurus thesaurus = Thesaurus::BuiltinEnglish();
+  SamaEngine engine(&graph, &index, &thesaurus);
+  ASSERT_TRUE(engine.EnableUpdates(&graph, &index).ok());
+  EXPECT_EQ(engine.last_update_lsn(), 1u)
+      << "the acked-but-unsynced update did not survive the drain";
+}
+
+// When the pre-ack flush fails, the client gets an ERROR frame instead
+// of SHUTDOWN_ACK — durability is indeterminate and silence would lie —
+// but the server still drains.
+TEST(UpdateServerTest, ShutdownFlushFailureIsReportedNotAcked) {
+  std::string dir = FreshDir("drainfail");
+  FaultyEnv env;
+  UpdateOptions uo;
+  uo.env = &env;
+  WritableServerFixture fx(dir, uo);
+  BinaryClient client = fx.Connect();
+  UpdateRequest lazy;
+  lazy.statement = kInsertStatement;
+  lazy.flags = UpdateRequest::kFlagNonDurable;
+  auto ack = client.Update(lazy, 1);
+  ASSERT_TRUE(ack.ok()) << ack.status();
+  ASSERT_EQ(ack->status, WireStatus::kOk);
+
+  FaultSpec spec;
+  spec.fail_after = 0;  // Every fsync fails from here on.
+  env.Arm(IoOp::kSync, spec);
+  Status shutdown = client.Shutdown(2);
+  EXPECT_FALSE(shutdown.ok())
+      << "a failed durability flush was acked as clean shutdown";
+  fx.server->WaitForShutdown();
+  env.Disarm(IoOp::kSync);
+  fx.server->Stop();
+}
+
+}  // namespace
+}  // namespace sama

@@ -1,0 +1,374 @@
+// Crash-at-every-point torture for the durable update path (DESIGN.md
+// §12). The contract: an update acked with durable semantics survives
+// any crash; a torn or unsynced tail is truncated, never applied; and
+// after recovery the store answers queries byte-identically to a fresh
+// offline build over the same logical triple set — at any query thread
+// count. Every registered WAL/checkpoint/replay failpoint is crashed
+// at, across several seeded workloads (override with SAMA_TORTURE_SEED,
+// as for the build torture in fault_torture_test.cc).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "core/engine.h"
+#include "datasets/govtrack.h"
+#include "index/index_verify.h"
+#include "index/path_index.h"
+#include "storage/wal.h"
+#include "text/thesaurus.h"
+
+namespace sama {
+namespace {
+
+Term Gov(const std::string& local) {
+  return Term::Iri("http://gov.example.org/" + local);
+}
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = testing::TempDir() + "/wal_torture_" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+uint64_t TortureSeed() {
+  const char* s = std::getenv("SAMA_TORTURE_SEED");
+  return s == nullptr ? 1234u : static_cast<uint64_t>(std::atoll(s));
+}
+
+// Digest over scores and bound triples only — path ids differ between
+// an incrementally maintained index and an offline rebuild, and the
+// byte-identical contract is about the answers.
+std::string AnswerDigest(const std::vector<Answer>& answers,
+                         const TermDictionary& dict) {
+  std::string d;
+  for (const Answer& a : answers) {
+    d += std::to_string(a.score) + "|";
+    std::vector<std::string> bound;
+    for (const Triple& t : a.ToTriples(dict)) {
+      bound.push_back(t.subject.ToString() + " " + t.predicate.ToString() +
+                      " " + t.object.ToString());
+    }
+    std::sort(bound.begin(), bound.end());
+    for (const std::string& b : bound) d += b + ";";
+    d += "#";
+  }
+  return d;
+}
+
+class WalTortureTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    FailPoints::ClearAll();
+    base_ = GovTrackFigure1Triples();
+    thesaurus_ = Thesaurus::BuiltinEnglish();
+    male_patterns_ = {
+        {Term::Variable("p"), Gov("gender"), Term::Literal("Male")}};
+  }
+  void TearDown() override { FailPoints::ClearAll(); }
+
+  // A seeded workload of `n` updates. Inserts attach brand-new persons
+  // (new sources) to existing bills; deletes target base gender edges
+  // or earlier inserts. No op ever strips a node of its last out-edge
+  // while leaving in-edges dangling from the query's perspective —
+  // sources stay sources.
+  std::vector<TripleUpdate> MakeWorkload(uint64_t seed, int n) {
+    std::mt19937_64 rng(seed);
+    std::vector<TripleUpdate> ops;
+    std::vector<Triple> inserted;
+    const std::vector<Term> bills = {Gov("B1432"), Gov("B0532"),
+                                     Gov("B0045")};
+    const std::vector<std::string> males = {"JeffRyser", "KeithFarmer",
+                                            "JohnMcRie", "PierceDickes"};
+    for (int i = 0; i < n; ++i) {
+      bool do_delete = !inserted.empty() && rng() % 3 == 0;
+      if (do_delete && rng() % 2 == 0) {
+        // Delete one of the base gender edges (absent repeats are
+        // journalled no-ops, which recovery must also replay benignly).
+        std::string who = males[rng() % males.size()];
+        ops.push_back({TripleUpdate::Op::kDelete,
+                       {Gov(who), Gov("gender"), Term::Literal("Male")}});
+      } else if (do_delete) {
+        Triple gone = inserted[rng() % inserted.size()];
+        ops.push_back({TripleUpdate::Op::kDelete, gone});
+      } else {
+        std::string who = "P" + std::to_string(i) + "_" +
+                          std::to_string(seed % 1000);
+        Triple t{Gov(who),
+                 rng() % 2 == 0 ? Gov("sponsor") : Gov("gender"),
+                 Term()};
+        t.object = t.predicate == Gov("gender")
+                       ? Term::Literal("Male")
+                       : bills[rng() % bills.size()];
+        inserted.push_back(t);
+        ops.push_back({TripleUpdate::Op::kInsert, t});
+      }
+    }
+    return ops;
+  }
+
+  // The logical triple set after the first `n` workload ops.
+  std::vector<Triple> Applied(const std::vector<TripleUpdate>& ops,
+                              uint64_t n) {
+    std::vector<Triple> triples = base_;
+    for (uint64_t i = 0; i < n && i < ops.size(); ++i) {
+      const TripleUpdate& u = ops[i];
+      if (u.op == TripleUpdate::Op::kInsert) {
+        triples.push_back(u.triple);
+      } else {
+        for (auto it = triples.begin(); it != triples.end(); ++it) {
+          if (it->subject == u.triple.subject &&
+              it->predicate == u.triple.predicate &&
+              it->object == u.triple.object) {
+            triples.erase(it);
+            break;
+          }
+        }
+      }
+    }
+    return triples;
+  }
+
+  std::string OracleDigest(const std::vector<Triple>& triples, size_t k) {
+    DataGraph graph = DataGraph::FromTriples(triples);
+    PathIndex index;
+    EXPECT_TRUE(index.Build(graph, PathIndexOptions()).ok());
+    SamaEngine engine(&graph, &index, &thesaurus_);
+    auto answers =
+        engine.Execute(engine.BuildQueryGraph(male_patterns_), k);
+    EXPECT_TRUE(answers.ok()) << answers.status();
+    return AnswerDigest(*answers, graph.dict());
+  }
+
+  // Builds a committed disk index over the base graph and journals the
+  // first `healthy_ops` workload ops with a healthy env, so the WAL has
+  // records for the crashed phase to replay through wal.replay.
+  void SeedIndexDir(const std::string& dir,
+                    const std::vector<TripleUpdate>& ops, int healthy_ops,
+                    uint64_t* acked_lsn) {
+    DataGraph graph = DataGraph::FromTriples(base_);
+    PathIndexOptions options;
+    options.dir = dir;
+    PathIndex index;
+    ASSERT_TRUE(index.Build(graph, options).ok());
+    SamaEngine engine(&graph, &index, &thesaurus_);
+    UpdateOptions uo;
+    uo.checkpoint_every = 0;  // Keep every record in the WAL.
+    uo.segment_bytes = 256;
+    ASSERT_TRUE(engine.EnableUpdates(&graph, &index, uo).ok());
+    for (int i = 0; i < healthy_ops; ++i) {
+      auto lsn = engine.ApplyUpdate(ops[static_cast<size_t>(i)]);
+      ASSERT_TRUE(lsn.ok()) << lsn.status();
+      *acked_lsn = *lsn;
+    }
+  }
+
+  // Healthy recovery + the full oracle battery: verify must be clean,
+  // no acked update may be lost, and answers at 1 and 4 threads must be
+  // byte-identical to an offline rebuild over base + the first
+  // last_update_lsn() workload ops.
+  void RecoverAndCheck(const std::string& dir,
+                       const std::vector<TripleUpdate>& ops,
+                       uint64_t acked_lsn) {
+    DataGraph graph = DataGraph::FromTriples(base_);
+    PathIndexOptions options;
+    options.dir = dir;
+    PathIndex index;
+    ASSERT_TRUE(index.Open(&graph, options).ok());
+    SamaEngine engine(&graph, &index, &thesaurus_);
+    ASSERT_TRUE(engine.EnableUpdates(&graph, &index).ok());
+
+    // Recovery (Open + replay) has truncated any torn tail; the store
+    // must now verify clean, WAL included.
+    auto report = VerifyIndexDir(dir);
+    ASSERT_TRUE(report.ok()) << report.status();
+    EXPECT_TRUE(report->clean()) << report->ToString();
+
+    uint64_t n = engine.last_update_lsn();
+    EXPECT_GE(n, acked_lsn) << "an acked update was lost";
+    EXPECT_LE(n, ops.size()) << "recovery invented updates";
+
+    std::string oracle = OracleDigest(Applied(ops, n), 10);
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+      EngineOptions eo;
+      eo.num_threads = threads;
+      SamaEngine reader(&graph, &index, &thesaurus_, eo);
+      auto answers =
+          reader.Execute(reader.BuildQueryGraph(male_patterns_), 10);
+      ASSERT_TRUE(answers.ok()) << answers.status();
+      EXPECT_EQ(AnswerDigest(*answers, graph.dict()), oracle)
+          << "recovered answers diverge from the offline rebuild at "
+          << threads << " thread(s), lsn " << n;
+    }
+  }
+
+  std::vector<Triple> base_;
+  Thesaurus thesaurus_;
+  std::vector<Triple> male_patterns_;
+};
+
+// The matrix: crash at every registered update-path failpoint × three
+// seeded workloads. Phase A journals 3 ops healthily (so wal.replay has
+// records to chew through), then reopens with the point armed to down
+// the env — tiny 256-byte segments force rotation and checkpoint_every
+// = 4 forces the checkpoint protocol mid-workload, so every point
+// actually fires. Phase B recovers with a healthy env and runs the full
+// byte-identical oracle.
+TEST_F(WalTortureTest, CrashAtEveryUpdatePoint) {
+  const uint64_t base_seed = TortureSeed();
+  for (const std::string& point : SamaEngine::UpdateCrashPoints()) {
+    for (uint64_t s = 0; s < 3; ++s) {
+      const uint64_t seed = base_seed + s;
+      SCOPED_TRACE(point + " seed " + std::to_string(seed));
+      std::vector<TripleUpdate> ops = MakeWorkload(seed, 12);
+      std::string dir =
+          FreshDir("point_" + point + "_" + std::to_string(seed));
+      uint64_t acked_lsn = 0;
+      SeedIndexDir(dir, ops, 3, &acked_lsn);
+      ASSERT_EQ(acked_lsn, 3u);
+
+      {
+        FaultyEnv env(nullptr, seed);
+        DataGraph graph = DataGraph::FromTriples(base_);
+        PathIndexOptions options;
+        options.dir = dir;
+        options.env = &env;
+        PathIndex index;
+        ASSERT_TRUE(index.Open(&graph, options).ok());
+        FailPoints::Arm(point,
+                        Status::IoError("simulated crash at " + point),
+                        &env);
+        SamaEngine engine(&graph, &index, &thesaurus_);
+        UpdateOptions uo;
+        uo.segment_bytes = 256;   // Rotate every couple of records.
+        uo.checkpoint_every = 4;  // Checkpoint mid-workload.
+        uo.env = &env;
+        Status enabled = engine.EnableUpdates(&graph, &index, uo);
+        if (enabled.ok()) {
+          for (size_t i = 3; i < ops.size(); ++i) {
+            auto lsn = engine.ApplyUpdate(ops[i]);
+            if (!lsn.ok()) break;
+            acked_lsn = *lsn;
+          }
+        }
+        EXPECT_TRUE(env.crashed())
+            << "armed point '" << point << "' never fired";
+        FailPoints::ClearAll();
+      }
+      RecoverAndCheck(dir, ops, acked_lsn);
+    }
+  }
+}
+
+// Every registered update crash point is reached by one healthy
+// journal → reopen → replay → rotate → checkpoint cycle, so the
+// catalogue cannot rot.
+TEST_F(WalTortureTest, UpdateCrashPointCatalogueIsLive) {
+  std::string dir = FreshDir("catalogue");
+  std::vector<TripleUpdate> ops = MakeWorkload(TortureSeed(), 10);
+  uint64_t acked = 0;
+  SeedIndexDir(dir, ops, 3, &acked);  // Journals records to replay.
+  {
+    DataGraph graph = DataGraph::FromTriples(base_);
+    PathIndexOptions options;
+    options.dir = dir;
+    PathIndex index;
+    ASSERT_TRUE(index.Open(&graph, options).ok());
+    SamaEngine engine(&graph, &index, &thesaurus_);
+    UpdateOptions uo;
+    uo.segment_bytes = 256;
+    uo.checkpoint_every = 4;
+    ASSERT_TRUE(engine.EnableUpdates(&graph, &index, uo).ok());
+    for (size_t i = 3; i < ops.size(); ++i) {
+      ASSERT_TRUE(engine.ApplyUpdate(ops[i]).ok());
+    }
+    ASSERT_TRUE(engine.CheckpointUpdates().ok());
+  }
+  std::vector<std::string> seen = FailPoints::Seen();
+  for (const std::string& point : SamaEngine::UpdateCrashPoints()) {
+    EXPECT_TRUE(std::find(seen.begin(), seen.end(), point) != seen.end())
+        << "registered update crash point '" << point
+        << "' was not reached by a healthy update cycle";
+  }
+}
+
+// `sama_cli verify` (VerifyIndexDir) flags a flipped byte inside a WAL
+// record and a torn tail; recovery then truncates the tail and the
+// store verifies clean again.
+TEST_F(WalTortureTest, VerifyFlagsWalDamageAndRecoveryHealsTheTail) {
+  std::string dir = FreshDir("verify_wal");
+  std::vector<TripleUpdate> ops = MakeWorkload(TortureSeed(), 4);
+  uint64_t acked = 0;
+  SeedIndexDir(dir, ops, 4, &acked);
+  ASSERT_EQ(acked, 4u);
+  auto clean = VerifyIndexDir(dir);
+  ASSERT_TRUE(clean.ok());
+  ASSERT_TRUE(clean->clean()) << clean->ToString();
+
+  // Torn tail: garbage appended to the last segment. Verify reports it;
+  // recovery truncates it without losing the acked updates.
+  auto segments = Wal::ScanDir(dir + "/wal", Env::Default());
+  ASSERT_TRUE(segments.ok());
+  ASSERT_FALSE(segments->empty());
+  std::string last = dir + "/wal/" + segments->back().name;
+  {
+    std::ofstream out(last, std::ios::binary | std::ios::app);
+    out << "garbage-that-is-not-a-record";
+  }
+  auto torn = VerifyIndexDir(dir);
+  ASSERT_TRUE(torn.ok());
+  EXPECT_FALSE(torn->clean()) << "torn tail went unreported";
+  RecoverAndCheck(dir, ops, acked);
+  auto healed = VerifyIndexDir(dir);
+  ASSERT_TRUE(healed.ok());
+  EXPECT_TRUE(healed->clean()) << healed->ToString();
+
+  // Corruption: flip one payload byte of the FIRST record. That record
+  // was already applied and checkpointed away by nothing (checkpoint
+  // LSN 0), so verify must flag the damage loudly.
+  std::string first = dir + "/wal/" + segments->front().name;
+  {
+    std::fstream f(first,
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(static_cast<std::streamoff>(Wal::kRecordHeaderSize));
+    char b;
+    f.seekg(static_cast<std::streamoff>(Wal::kRecordHeaderSize));
+    f.read(&b, 1);
+    b = static_cast<char>(b ^ 0x01);
+    f.seekp(static_cast<std::streamoff>(Wal::kRecordHeaderSize));
+    f.write(&b, 1);
+  }
+  auto corrupt = VerifyIndexDir(dir);
+  ASSERT_TRUE(corrupt.ok());
+  EXPECT_FALSE(corrupt->clean()) << "flipped WAL byte went undetected";
+}
+
+// Deleting a WAL segment recovery still needs (records past the
+// checkpoint) is detected as checkpoint inconsistency.
+TEST_F(WalTortureTest, VerifyFlagsMissingReplayRecords) {
+  std::string dir = FreshDir("verify_gap");
+  std::vector<TripleUpdate> ops = MakeWorkload(TortureSeed() + 7, 8);
+  uint64_t acked = 0;
+  SeedIndexDir(dir, ops, 8, &acked);  // 256-byte segments: several files.
+  auto segments = Wal::ScanDir(dir + "/wal", Env::Default());
+  ASSERT_TRUE(segments.ok());
+  ASSERT_GE(segments->size(), 2u) << "workload did not rotate";
+  ASSERT_TRUE(Env::Default()
+                  ->RemoveFile(dir + "/wal/" + segments->front().name)
+                  .ok());
+  auto report = VerifyIndexDir(dir);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->clean())
+      << "deleted replay records went undetected";
+}
+
+}  // namespace
+}  // namespace sama

@@ -2,7 +2,7 @@
 """Gate bench results against the committed baseline.
 
 Usage:
-    check_bench_regression.py NEW.json BASELINE.json [--mode=fig6|serve]
+    check_bench_regression.py NEW.json BASELINE.json [--mode=fig6|serve|wal]
 
 --mode=fig6 (default) gates bench_fig6 artifacts:
   1. Warm-path latency: summary.warm_mean_ms must not exceed the
@@ -26,10 +26,22 @@ Usage:
   3. Tail latency: summary.p99_ms must not exceed the baseline by more
      than --tolerance.
 
+--mode=wal gates bench_wal artifacts:
+  1. Correctness (unconditional, never skipped): summary.replay_errors
+     must be exactly zero — a lost acked LSN or a dirty post-recovery
+     verify fails whatever the throughput numbers say.
+  2. Append throughput: summary.appends_per_sec (deferred fsync) and
+     summary.durable_appends_per_sec (fsync per ack) must not fall
+     below the baseline by more than --tolerance; appends_per_sec
+     never below --min-appends.
+  3. Recovery: summary.recovery_ms must not exceed the baseline by
+     more than --tolerance.
+
 Latency/throughput are machine-dependent; the correctness and ratio
 checks are not. Pass --no-absolute to skip the machine-dependent
 checks (fig6 check 1; serve checks 2 and 3, except the --min-qps hard
-floor) on hardware that does not match the baseline machine.
+floor; wal checks 2 and 3, except the --min-appends hard floor) on
+hardware that does not match the baseline machine.
 """
 
 import argparse
@@ -123,11 +135,71 @@ def check_serve(new, base, args):
     return failures
 
 
+def check_wal(new, base, args):
+    """The bench_wal gate; returns the list of failure strings."""
+    failures = []
+    new_sum, base_sum = new["summary"], base["summary"]
+
+    # Correctness first, and never skippable: a recovery that loses an
+    # acked LSN is machine-independently broken.
+    errors = get_number(new_sum, "replay_errors",
+                        f"{args.new_json} summary")
+    if errors != 0:
+        failures.append(f"replay_errors is {errors:g}; recovery must "
+                        f"replay every acked update and verify clean")
+
+    new_app = get_number(new_sum, "appends_per_sec",
+                         f"{args.new_json} summary")
+    base_app = get_number(base_sum, "appends_per_sec",
+                          f"{args.baseline_json} summary")
+    new_dur = get_number(new_sum, "durable_appends_per_sec",
+                         f"{args.new_json} summary")
+    base_dur = get_number(base_sum, "durable_appends_per_sec",
+                          f"{args.baseline_json} summary")
+    new_rec = get_number(new_sum, "recovery_ms",
+                         f"{args.new_json} summary")
+    base_rec = get_number(base_sum, "recovery_ms",
+                          f"{args.baseline_json} summary")
+    if base_app <= 0 or base_dur <= 0:
+        die(f"append throughput in {args.baseline_json} summary is "
+            f"zero/negative; a broken baseline cannot gate anything "
+            f"(re-record the baseline)")
+
+    if new_app < args.min_appends:
+        failures.append(f"appends_per_sec {new_app:.1f} below the hard "
+                        f"floor {args.min_appends:.1f}")
+    if not args.no_absolute:
+        for key, value, baseline in (
+                ("appends_per_sec", new_app, base_app),
+                ("durable_appends_per_sec", new_dur, base_dur)):
+            floor = baseline * (1.0 - args.tolerance)
+            if value < floor:
+                failures.append(
+                    f"{key} {value:.1f} fell below baseline "
+                    f"{baseline:.1f} -{args.tolerance:.0%} "
+                    f"(floor {floor:.1f})")
+        if base_rec > 0:
+            limit = base_rec * (1.0 + args.tolerance)
+            if new_rec > limit:
+                failures.append(
+                    f"recovery_ms {new_rec:.3f} exceeds baseline "
+                    f"{base_rec:.3f} +{args.tolerance:.0%} "
+                    f"(limit {limit:.3f})")
+
+    if not failures:
+        print(f"wal bench ok: appends/s={new_app:.1f} "
+              f"(baseline {base_app:.1f}), durable appends/s="
+              f"{new_dur:.1f} (baseline {base_dur:.1f}), "
+              f"recovery={new_rec:.1f}ms (baseline {base_rec:.1f}ms), "
+              f"0 replay errors")
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("new_json")
     parser.add_argument("baseline_json")
-    parser.add_argument("--mode", choices=("fig6", "serve"),
+    parser.add_argument("--mode", choices=("fig6", "serve", "wal"),
                         default="fig6",
                         help="which bench artifact schema to gate")
     parser.add_argument("--tolerance", type=float, default=0.20,
@@ -136,6 +208,8 @@ def main():
                         help="hard floor for summary.warm_speedup (fig6)")
     parser.add_argument("--min-qps", type=float, default=1000.0,
                         help="hard floor for summary.qps (serve)")
+    parser.add_argument("--min-appends", type=float, default=500.0,
+                        help="hard floor for summary.appends_per_sec (wal)")
     parser.add_argument("--hit-rate-slack", type=float, default=0.05,
                         help="absolute slack for warm cache hit rates")
     parser.add_argument("--no-absolute", action="store_true",
@@ -153,8 +227,9 @@ def main():
             die(f"missing key 'queries' in {path}")
     new_sum, base_sum = new["summary"], base["summary"]
 
-    if args.mode == "serve":
-        failures = check_serve(new, base, args)
+    if args.mode in ("serve", "wal"):
+        check = check_serve if args.mode == "serve" else check_wal
+        failures = check(new, base, args)
         if failures:
             print("BENCH REGRESSION:", file=sys.stderr)
             for f in failures:

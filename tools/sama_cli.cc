@@ -6,13 +6,31 @@
 //   sama_cli --data graph.ttl --sparql 'SELECT ?x WHERE { ... }'
 //   sama_cli --data graph.nt --interactive
 //   sama_cli verify --index-dir DIR
+//   sama_cli update --data graph.nt --index-dir DIR --apply updates.txt
 //   sama_cli serve --demo --port 8080
 //
 // Subcommands:
 //   verify             Scan a persisted index directory: checksum every
 //                      page of every store, check the manifests and the
 //                      commit record, and print a corruption report.
+//                      WAL segments are scanned too (per-record CRCs,
+//                      LSN continuity, checkpoint consistency).
 //                      Exits non-zero if any damage is found.
+//   update             Apply live triple updates to a persisted index.
+//                      --data must name the ORIGINAL base file the index
+//                      was built over (updates live in the WAL + index,
+//                      never in the data file). Update lines come from
+//                      --apply FILE (or stdin): one statement per line,
+//                      '+' to insert, '-' to delete —
+//                        + <s> <p> "o" .
+//                        - <s> <p> "o" .
+//                      '#' comments and blank lines are skipped. Every
+//                      line is WAL-journalled before it is applied, and
+//                      a checkpoint runs at the end, so a crash at any
+//                      point loses nothing that was acked. --no-fsync
+//                      defers per-line fsyncs to the final checkpoint
+//                      (bulk loads); a torn tail is then possible but is
+//                      truncated, never half-applied.
 //   serve              Load the data, run an optional warmup query, and
 //                      serve diagnostics over HTTP until killed:
 //                        GET  /metrics         Prometheus text format
@@ -72,6 +90,13 @@
 //                      chrome://tracing). Implies profiling.
 //   --port N           Port for `serve` (default 8080; 0 = ephemeral).
 //   --host ADDR        Listen address for `serve` (default 127.0.0.1).
+//   --apply FILE       Update statements for `update` ("-" = stdin).
+//   --no-fsync         `update`: defer fsyncs to the final checkpoint.
+//   --updates          `serve --binary`: enable the UPDATE opcode
+//                      (requires --index-dir; opens the WAL, replays
+//                      anything a previous run left unapplied).
+//   --checkpoint-every N  Checkpoint the index every N updates
+//                      (default 1024; 0 = only at exit/shutdown).
 //
 // Flags accept both `--flag value` and `--flag=value`.
 
@@ -140,6 +165,12 @@ struct CliOptions {
   size_t max_conns = 64;
   size_t max_queue = 128;
   size_t deadline_ms = 0;  // Default per-query deadline; 0 = none.
+  // update subcommand / serve --updates.
+  bool update = false;
+  std::string apply_path;  // "" or "-" = stdin.
+  bool fsync_updates = true;
+  bool serve_updates = false;
+  size_t checkpoint_every = 1024;
 };
 
 void PrintUsage() {
@@ -155,7 +186,11 @@ void PrintUsage() {
                "               [--slow-query-ms N] [--slow-query-log FILE]\n"
                "               [--explain] [--profile-out FILE]\n"
                "       sama_cli verify --index-dir DIR   (checksum an"
-               " index, non-zero exit on damage)\n"
+               " index + WAL, non-zero exit on damage)\n"
+               "       sama_cli update --data FILE --index-dir DIR"
+               " [--apply FILE] [--no-fsync]\n"
+               "                       [--checkpoint-every N]   (apply"
+               " '+'/'-' statement lines through the WAL)\n"
                "       sama_cli serve (--data FILE | --demo)"
                " [--port N] [--host ADDR]\n"
                "                      [--binary [--workers N] [--max-conns N]"
@@ -172,6 +207,9 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
     first = 2;
   } else if (argc > 1 && std::strcmp(argv[1], "serve") == 0) {
     options->serve = true;
+    first = 2;
+  } else if (argc > 1 && std::strcmp(argv[1], "update") == 0) {
+    options->update = true;
     first = 2;
   }
   for (int i = first; i < argc; ++i) {
@@ -260,6 +298,15 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
     } else if (arg == "--deadline-ms" && next(&value)) {
       options->deadline_ms = static_cast<size_t>(std::strtoul(value.c_str(),
                                                               nullptr, 10));
+    } else if (arg == "--apply" && next(&value)) {
+      options->apply_path = value;
+    } else if (arg == "--no-fsync") {
+      options->fsync_updates = false;
+    } else if (arg == "--updates") {
+      options->serve_updates = true;
+    } else if (arg == "--checkpoint-every" && next(&value)) {
+      options->checkpoint_every = static_cast<size_t>(
+          std::strtoul(value.c_str(), nullptr, 10));
     } else if (arg == "--demo") {
       options->demo = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -277,6 +324,19 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
     }
     return true;
   }
+  if (options->update) {
+    if (options->index_dir.empty()) {
+      std::fprintf(stderr, "update requires --index-dir\n");
+      return false;
+    }
+    if (options->data_path.empty()) {
+      std::fprintf(stderr,
+                   "update requires --data (the base file the index was "
+                   "built over)\n");
+      return false;
+    }
+    return true;
+  }
   if (options->serve) {
     if (options->port > 65535) {
       std::fprintf(stderr, "--port must be in [0, 65535]\n");
@@ -284,6 +344,13 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
     }
     if (!options->demo && options->data_path.empty()) {
       std::fprintf(stderr, "serve requires --data or --demo\n");
+      return false;
+    }
+    if (options->serve_updates &&
+        (options->index_dir.empty() || !options->binary)) {
+      std::fprintf(stderr,
+                   "--updates requires serve --binary with --index-dir "
+                   "(the WAL lives in the index directory)\n");
       return false;
     }
     return true;
@@ -661,6 +728,74 @@ int main(int argc, char** argv) {
     }
   };
 
+  if (options.update) {
+    sama::UpdateOptions update_options;
+    update_options.checkpoint_every = options.checkpoint_every;
+    update_options.durable = options.fsync_updates;
+    sama::Status enabled = engine.EnableUpdates(&graph, &index,
+                                                update_options);
+    if (!enabled.ok()) {
+      std::fprintf(stderr, "cannot enable updates: %s\n",
+                   enabled.ToString().c_str());
+      return 1;
+    }
+    std::ifstream file;
+    std::istream* in = &std::cin;
+    if (!options.apply_path.empty() && options.apply_path != "-") {
+      file.open(options.apply_path);
+      if (!file) {
+        std::fprintf(stderr, "cannot open %s\n",
+                     options.apply_path.c_str());
+        return 1;
+      }
+      in = &file;
+    }
+    unsigned long long inserts = 0, deletes = 0, line_no = 0;
+    std::string line;
+    while (std::getline(*in, line)) {
+      ++line_no;
+      size_t at = line.find_first_not_of(" \t");
+      if (at == std::string::npos || line[at] == '#') continue;
+      char op = line[at];
+      if (op != '+' && op != '-') {
+        std::fprintf(stderr,
+                     "line %llu: expected '+ <statement> .' or "
+                     "'- <statement> .'\n",
+                     line_no);
+        return 1;
+      }
+      auto triple = sama::NTriplesParser::ParseLine(line.substr(at + 1));
+      if (!triple.ok()) {
+        std::fprintf(stderr, "line %llu: %s\n", line_no,
+                     triple.status().ToString().c_str());
+        return 1;
+      }
+      auto lsn = op == '+' ? engine.InsertTriple(*triple)
+                           : engine.DeleteTriple(*triple);
+      if (!lsn.ok()) {
+        // Everything acked so far is journalled; the next open replays
+        // it. Report the failing line and stop.
+        std::fprintf(stderr, "line %llu: update failed: %s\n", line_no,
+                     lsn.status().ToString().c_str());
+        return 1;
+      }
+      op == '+' ? ++inserts : ++deletes;
+    }
+    sama::Status checkpointed = engine.CheckpointUpdates();
+    if (!checkpointed.ok()) {
+      std::fprintf(stderr,
+                   "checkpoint failed: %s (every applied update is still "
+                   "in the WAL and replays on the next open)\n",
+                   checkpointed.ToString().c_str());
+      return 1;
+    }
+    std::printf("applied %llu insert(s), %llu delete(s); "
+                "checkpoint at lsn %llu\n",
+                inserts, deletes,
+                static_cast<unsigned long long>(engine.last_update_lsn()));
+    return 0;
+  }
+
   if (options.serve) {
     // Warmup query (the --sparql/--query text, or the demo default)
     // so /debug/profile and /metrics have content from the start.
@@ -676,6 +811,18 @@ int main(int argc, char** argv) {
     if (!warmup.empty()) RunOneQuery(options, &graph, &engine, warmup);
 
     if (options.binary) {
+      if (options.serve_updates) {
+        sama::UpdateOptions update_options;
+        update_options.checkpoint_every = options.checkpoint_every;
+        update_options.durable = options.fsync_updates;
+        sama::Status enabled = engine.EnableUpdates(&graph, &index,
+                                                    update_options);
+        if (!enabled.ok()) {
+          std::fprintf(stderr, "cannot enable updates: %s\n",
+                       enabled.ToString().c_str());
+          return 1;
+        }
+      }
       sama::BinaryQueryServer::Options server_options;
       server_options.host = options.host;
       server_options.port = static_cast<uint16_t>(options.port);
@@ -695,14 +842,27 @@ int main(int argc, char** argv) {
       }
       std::printf("serving binary protocol on %s:%u"
                   " (workers=%zu max-conns=%zu max-queue=%zu"
-                  " deadline-ms=%zu)\n",
+                  " deadline-ms=%zu updates=%s)\n",
                   server.host().c_str(),
                   static_cast<unsigned>(server.port()), options.workers,
                   options.max_conns, options.max_queue,
-                  options.deadline_ms);
+                  options.deadline_ms,
+                  engine.updates_enabled() ? "on" : "off");
       std::fflush(stdout);
       server.WaitForShutdown();  // A SHUTDOWN frame ends the process.
-      server.Stop();
+      server.Stop();             // Flushes journalled updates too.
+      if (engine.updates_enabled()) {
+        // Fold the WAL into the index so the next open skips replay.
+        // Failure is not fatal: the flushed WAL already holds
+        // everything, recovery just has more to do.
+        sama::Status checkpointed = engine.CheckpointUpdates();
+        if (!checkpointed.ok()) {
+          std::fprintf(stderr,
+                       "note: final checkpoint failed (%s); the WAL "
+                       "replays on the next open\n",
+                       checkpointed.ToString().c_str());
+        }
+      }
       std::printf("shutdown requested; server drained\n");
       dump_obs();
       return 0;

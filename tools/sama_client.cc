@@ -8,8 +8,11 @@
 //   ping TEXT        round-trip TEXT, verify the echo
 //   stats            print the server's stats text
 //   query SPARQL     run a query, print status/answers
+//   insert STMT      insert one N-Triples statement ('<s> <p> "o" .')
+//   delete STMT      delete one N-Triples statement
 //   malformed        send garbage bytes, expect an ERROR frame + close
-//   shutdown         ask the server to exit
+//   shutdown         ask the server to exit (flushes pending updates
+//                    before the ack)
 //
 // Exits non-zero the moment any command's outcome is not the expected
 // one, so a smoke script is just: sama_client ... && echo ok.
@@ -28,7 +31,9 @@ void PrintUsage() {
                "usage: sama_client --port N [--host ADDR] [--k N]"
                " [--deadline-ms N]\n"
                "                   (ping TEXT | stats | query SPARQL |"
-               " malformed | shutdown)...\n");
+               " insert STMT |\n"
+               "                    delete STMT | malformed |"
+               " shutdown)...\n");
 }
 
 }  // namespace
@@ -125,6 +130,30 @@ int main(int argc, char** argv) {
         }
         std::printf("\n");
       }
+    } else if (command == "insert" || command == "delete") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs an N-Triples statement\n",
+                     command.c_str());
+        return 2;
+      }
+      sama::UpdateRequest request;
+      request.op = command == "insert" ? sama::UpdateRequest::kOpInsert
+                                       : sama::UpdateRequest::kOpDelete;
+      request.statement = argv[++i];
+      auto result = client.Update(request, request_id++);
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s failed: %s\n", command.c_str(),
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      if (result->status != sama::WireStatus::kOk) {
+        std::fprintf(stderr, "%s rejected: %s\n", command.c_str(),
+                     sama::WireStatusName(result->status));
+        return 1;
+      }
+      std::printf("%s ok: lsn=%llu%s\n", command.c_str(),
+                  static_cast<unsigned long long>(result->lsn),
+                  result->durable ? " (durable)" : "");
     } else if (command == "malformed") {
       // A framing error poisons the connection, so use a throwaway one
       // and expect exactly: one ERROR frame, then EOF.
