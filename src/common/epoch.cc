@@ -1,0 +1,307 @@
+#include "common/epoch.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sama {
+namespace {
+
+// Managers that are still alive, keyed by their process-unique id.
+// Thread-exit cleanup must not touch a manager that was destroyed
+// while the thread's TLS cache still pointed at it (a test-scoped
+// manager, say), so both sides go through this registry under one
+// mutex: the manager constructor/destructor registers/unregisters, and
+// the TLS destructor releases a cached slot only when its manager id
+// is still registered.
+struct ManagerRegistry {
+  std::mutex mu;
+  std::vector<uint64_t> alive;
+
+  static ManagerRegistry* Get() {
+    static ManagerRegistry* r = new ManagerRegistry();  // Leaked.
+    return r;
+  }
+
+  void Register(uint64_t id) {
+    std::lock_guard<std::mutex> lock(mu);
+    alive.push_back(id);
+  }
+  void Unregister(uint64_t id) {
+    std::lock_guard<std::mutex> lock(mu);
+    for (size_t i = 0; i < alive.size(); ++i) {
+      if (alive[i] == id) {
+        alive[i] = alive.back();
+        alive.pop_back();
+        return;
+      }
+    }
+  }
+  bool IsAlive(uint64_t id) {
+    std::lock_guard<std::mutex> lock(mu);
+    for (uint64_t a : alive) {
+      if (a == id) return true;
+    }
+    return false;
+  }
+};
+
+std::atomic<uint64_t> next_manager_id{1};
+
+}  // namespace
+
+// Per-thread pin state: the claimed slot and nesting depth for each
+// manager this thread has pinned. A thread rarely touches more than
+// the global manager plus perhaps one test-local one, so a tiny linear
+// array beats any map.
+struct ThreadEpochState {
+  struct Entry {
+    uint64_t manager_id = 0;
+    EpochManager* manager = nullptr;
+    EpochManager::Slot* slot = nullptr;
+    uint32_t nest = 0;
+  };
+  static constexpr size_t kMaxManagers = 8;
+  Entry entries[kMaxManagers];
+  size_t used = 0;
+
+  Entry* Find(const EpochManager* manager, uint64_t id) {
+    for (size_t i = 0; i < used; ++i) {
+      if (entries[i].manager == manager && entries[i].manager_id == id) {
+        return &entries[i];
+      }
+    }
+    return nullptr;
+  }
+
+  Entry* Add(EpochManager* manager, uint64_t id, EpochManager::Slot* slot) {
+    // Compact entries whose manager has died so a long-lived thread
+    // outliving many test-scoped managers never exhausts the array.
+    if (used == kMaxManagers) {
+      ManagerRegistry* reg = ManagerRegistry::Get();
+      size_t w = 0;
+      for (size_t i = 0; i < used; ++i) {
+        if (reg->IsAlive(entries[i].manager_id)) entries[w++] = entries[i];
+      }
+      used = w;
+    }
+    if (used == kMaxManagers) {
+      std::fprintf(stderr,
+                   "EpochManager: thread pinned against more than %zu live "
+                   "managers\n",
+                   kMaxManagers);
+      std::abort();
+    }
+    entries[used] = Entry{id, manager, slot, 0};
+    return &entries[used++];
+  }
+
+  ~ThreadEpochState() {
+    ManagerRegistry* reg = ManagerRegistry::Get();
+    for (size_t i = 0; i < used; ++i) {
+      if (reg->IsAlive(entries[i].manager_id)) {
+        entries[i].manager->ReleaseSlot(entries[i].slot);
+      }
+    }
+  }
+};
+
+namespace {
+thread_local ThreadEpochState tls_epoch_state;
+}  // namespace
+
+EpochManager::EpochManager()
+    : id_(next_manager_id.fetch_add(1, std::memory_order_relaxed)) {
+  ManagerRegistry::Get()->Register(id_);
+}
+
+EpochManager::~EpochManager() { ManagerRegistry::Get()->Unregister(id_); }
+
+EpochManager* EpochManager::Global() {
+  static EpochManager* g = new EpochManager();  // Leaked on purpose.
+  return g;
+}
+
+EpochManager::Slot* EpochManager::ClaimSlot() {
+  for (size_t i = 0; i < kMaxSlots; ++i) {
+    bool expected = false;
+    if (!slots_[i].claimed.load(std::memory_order_relaxed) &&
+        slots_[i].claimed.compare_exchange_strong(
+            expected, true, std::memory_order_acq_rel)) {
+      // Grow the scan watermark to cover this slot.
+      size_t want = i + 1;
+      size_t seen = slot_watermark_.load(std::memory_order_relaxed);
+      while (seen < want && !slot_watermark_.compare_exchange_weak(
+                                seen, want, std::memory_order_acq_rel)) {
+      }
+      return &slots_[i];
+    }
+  }
+  std::fprintf(stderr,
+               "EpochManager: more than %zu live reader threads\n", kMaxSlots);
+  std::abort();
+}
+
+void EpochManager::ReleaseSlot(Slot* slot) {
+  slot->state.store(0, std::memory_order_seq_cst);
+  slot->claimed.store(false, std::memory_order_release);
+}
+
+EpochManager::Slot* EpochManager::SlotForThisThread() {
+  ThreadEpochState::Entry* e = tls_epoch_state.Find(this, id_);
+  if (e == nullptr) {
+    e = tls_epoch_state.Add(this, id_, ClaimSlot());
+  }
+  return e->slot;
+}
+
+uint64_t EpochManager::MinActiveEpoch() const {
+  uint64_t min = epoch_.load(std::memory_order_seq_cst);
+  size_t n = slot_watermark_.load(std::memory_order_acquire);
+  for (size_t i = 0; i < n; ++i) {
+    // seq_cst pairs with the pin store: either the pinned reader is
+    // seen here, or its unpin release-store happened-before this load
+    // and every access it made is ordered before any free we allow.
+    uint64_t s = slots_[i].state.load(std::memory_order_seq_cst);
+    if (s != 0 && s - 1 < min) min = s - 1;
+  }
+  return min;
+}
+
+bool EpochManager::TryAdvance() {
+  uint64_t current = epoch_.load(std::memory_order_seq_cst);
+  size_t n = slot_watermark_.load(std::memory_order_acquire);
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t s = slots_[i].state.load(std::memory_order_seq_cst);
+    if (s != 0 && s - 1 != current) return false;  // Straggler reader.
+  }
+  if (epoch_.compare_exchange_strong(current, current + 1,
+                                     std::memory_order_seq_cst)) {
+    advances_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;  // Lost the race; the other advancer did the work.
+}
+
+EpochManager::Stats EpochManager::stats() const {
+  Stats s;
+  s.epoch = epoch_.load(std::memory_order_relaxed);
+  s.advances = advances_.load(std::memory_order_relaxed);
+  s.retired = retired_.load(std::memory_order_relaxed);
+  s.reclaimed = reclaimed_.load(std::memory_order_relaxed);
+  s.pins = pins_.load(std::memory_order_relaxed);
+  return s;
+}
+
+size_t EpochManager::active_slots() const {
+  size_t n = slot_watermark_.load(std::memory_order_acquire);
+  size_t claimed = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (slots_[i].claimed.load(std::memory_order_acquire)) ++claimed;
+  }
+  return claimed;
+}
+
+EpochGuard::EpochGuard(EpochManager* manager) : manager_(manager) {
+  ThreadEpochState::Entry* e =
+      tls_epoch_state.Find(manager, manager->id_);
+  if (e == nullptr) {
+    e = tls_epoch_state.Add(manager, manager->id_, manager->ClaimSlot());
+  }
+  slot_ = e->slot;
+  nested_ = e->nest > 0;
+  ++e->nest;
+  if (nested_) return;  // Outer guard already pinned this thread.
+  manager->pins_.fetch_add(1, std::memory_order_relaxed);
+  // Publish the epoch we pin in, then re-read: the slot store must be
+  // visible before we trust the epoch value, or an advance racing
+  // between our read and our store could strand us one epoch behind
+  // without TryAdvance ever seeing it.
+  uint64_t e0 = manager->epoch_.load(std::memory_order_seq_cst);
+  for (;;) {
+    slot_->state.store(e0 + 1, std::memory_order_seq_cst);
+    uint64_t e1 = manager->epoch_.load(std::memory_order_seq_cst);
+    if (e1 == e0) break;
+    e0 = e1;
+  }
+}
+
+EpochGuard::~EpochGuard() {
+  ThreadEpochState::Entry* e =
+      tls_epoch_state.Find(manager_, manager_->id_);
+  --e->nest;
+  if (nested_) return;
+  // Release: everything this reader did inside the critical section is
+  // ordered before any reclaimer that observes the slot idle.
+  slot_->state.store(0, std::memory_order_seq_cst);
+}
+
+RetireList::RetireList(EpochManager* manager) : manager_(manager) {}
+
+RetireList::~RetireList() { DrainAll(); }
+
+void RetireList::RetireRaw(void* ptr, void (*deleter)(void*)) {
+  manager_->NoteRetired(1);
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.push_back(Entry{ptr, deleter, manager_->epoch()});
+  // Amortized housekeeping: nudge the epoch forward and reclaim every
+  // few retires, so garbage is bounded without a background thread and
+  // without any work on the read path.
+  if (++retires_since_reclaim_ >= 8) {
+    retires_since_reclaim_ = 0;
+    manager_->TryAdvance();
+    uint64_t safe = MinSafeBefore();
+    ReclaimLocked(safe);
+  }
+}
+
+// The first epoch whose garbage must be kept: entries retired at
+// epochs < this value are free to go.
+uint64_t RetireList::MinSafeBefore() const {
+  uint64_t global = manager_->epoch();
+  uint64_t min_active = manager_->MinActiveEpoch();
+  uint64_t bound = min_active < global ? min_active : global;
+  // Retired at e is safe once bound >= e + 2  <=>  e < bound - 1.
+  return bound >= 2 ? bound - 1 : 0;
+}
+
+size_t RetireList::ReclaimLocked(uint64_t safe_before) {
+  size_t freed = 0;
+  size_t w = 0;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].epoch < safe_before) {
+      entries_[i].deleter(entries_[i].ptr);
+      ++freed;
+    } else {
+      entries_[w++] = entries_[i];
+    }
+  }
+  entries_.resize(w);
+  if (freed) manager_->NoteReclaimed(freed);
+  return freed;
+}
+
+size_t RetireList::Reclaim() {
+  manager_->TryAdvance();
+  uint64_t safe = MinSafeBefore();
+  std::lock_guard<std::mutex> lock(mu_);
+  return ReclaimLocked(safe);
+}
+
+size_t RetireList::DrainAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t freed = 0;
+  for (Entry& e : entries_) {
+    e.deleter(e.ptr);
+    ++freed;
+  }
+  entries_.clear();
+  if (freed) manager_->NoteReclaimed(freed);
+  return freed;
+}
+
+size_t RetireList::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace sama

@@ -1,0 +1,201 @@
+#ifndef SAMA_COMMON_EPOCH_H_
+#define SAMA_COMMON_EPOCH_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace sama {
+
+// Epoch-based reclamation (EBR) — the concurrency kernel behind the
+// lock-free read paths (DESIGN.md §13). The pattern follows the
+// objmapper RCU index design: readers take no lock at all, writers
+// serialize on their own mutex, and memory freed by writers is only
+// reclaimed once every reader that could still hold a pointer into it
+// has provably moved on.
+//
+// Protocol:
+//   * A reader wraps each lookup in an EpochGuard. Pinning records the
+//     global epoch in the thread's slot (a handful of nanoseconds, no
+//     shared writes besides the slot itself); unpinning clears it.
+//   * A writer removes an object from its structure (making it
+//     unreachable for NEW readers), then hands it to a RetireList,
+//     which stamps it with the current global epoch.
+//   * The global epoch advances only when every pinned thread has been
+//     observed in the current epoch (TryAdvance). An object retired in
+//     epoch e is freed once the epoch has advanced twice past e AND no
+//     currently-pinned reader remains below e + 2 — at that point any
+//     reader that could have seen the object has unpinned, and its
+//     release-store/acquire-load pair on the slot orders every access
+//     it made before the free.
+//
+// Invariant table (what writers may free, when):
+//   | object state                  | may free?                        |
+//   |-------------------------------|----------------------------------|
+//   | reachable from the structure  | never — remove first             |
+//   | removed, not retired          | never — a pinned reader may hold |
+//   | retired at epoch e            | once epoch >= e+2 and            |
+//   |                               | MinActiveEpoch() >= e+2          |
+//   | retired, no reader ever pins  | DrainAll() (owner teardown)      |
+//
+// A raw pointer obtained under a guard is only valid until the guard
+// drops: copy what you need out of the protected structure before
+// unpinning, never cache protected pointers across pins.
+class EpochManager {
+ public:
+  // Per-process reader-slot budget. Slots are claimed on a thread's
+  // first pin against this manager and released when the thread exits,
+  // so the bound is on *live* threads, not lifetime thread count.
+  static constexpr size_t kMaxSlots = 512;
+
+  struct Stats {
+    uint64_t epoch = 0;      // Current global epoch (starts at 1).
+    uint64_t advances = 0;   // Successful epoch advances.
+    uint64_t retired = 0;    // Objects handed to RetireLists.
+    uint64_t reclaimed = 0;  // Objects actually freed.
+    uint64_t pins = 0;       // EpochGuard pin operations.
+    // Retired - reclaimed; deferred frees currently outstanding.
+    uint64_t pending() const { return retired - reclaimed; }
+  };
+
+  EpochManager();
+  ~EpochManager();
+
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  // The process-wide manager every hot structure uses by default.
+  // Leaked on purpose: reader threads may still unpin during static
+  // destruction.
+  static EpochManager* Global();
+
+  uint64_t epoch() const { return epoch_.load(std::memory_order_seq_cst); }
+
+  // The smallest epoch any currently-pinned thread was observed in, or
+  // the current epoch when nobody is pinned. Monotone per call site
+  // only in the sense reclamation needs: a reader pinned before the
+  // scan is either seen (blocking the free) or has unpinned (ordering
+  // the free after its reads).
+  uint64_t MinActiveEpoch() const;
+
+  // Advances the global epoch iff every pinned thread has been observed
+  // in the current epoch. Amortized O(live threads); called
+  // opportunistically by RetireList, so no background thread is needed.
+  bool TryAdvance();
+
+  Stats stats() const;
+
+  // Test hook: number of currently-claimed reader slots.
+  size_t active_slots() const;
+
+ private:
+  friend class EpochGuard;
+  friend class RetireList;
+  friend struct ThreadEpochState;
+
+  // One cache line per slot: a pinned thread spins on nothing but its
+  // own line, and the TryAdvance scan is the only cross-line traffic.
+  struct alignas(64) Slot {
+    // 0 = idle; otherwise (epoch + 1) of the pinned thread.
+    std::atomic<uint64_t> state{0};
+    std::atomic<bool> claimed{false};
+  };
+
+  Slot* ClaimSlot();              // Called from TLS on first pin.
+  void ReleaseSlot(Slot* slot);   // Called from TLS at thread exit.
+  Slot* SlotForThisThread();      // TLS lookup, claiming on first use.
+
+  void NoteRetired(uint64_t n) {
+    retired_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void NoteReclaimed(uint64_t n) {
+    reclaimed_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  const uint64_t id_;  // Process-unique, never reused (TLS staleness check).
+  std::atomic<uint64_t> epoch_{1};
+  std::atomic<uint64_t> advances_{0};
+  std::atomic<uint64_t> retired_{0};
+  std::atomic<uint64_t> reclaimed_{0};
+  std::atomic<uint64_t> pins_{0};
+  // Scan bound: slots at index >= high watermark were never claimed.
+  std::atomic<size_t> slot_watermark_{0};
+  std::vector<Slot> slots_{kMaxSlots};
+};
+
+// RAII epoch pin. Nestable (inner guards are free); neither copyable
+// nor movable — a pin belongs to the stack frame that took it.
+class EpochGuard {
+ public:
+  explicit EpochGuard(EpochManager* manager = EpochManager::Global());
+  ~EpochGuard();
+
+  EpochGuard(const EpochGuard&) = delete;
+  EpochGuard& operator=(const EpochGuard&) = delete;
+
+ private:
+  EpochManager* manager_;
+  EpochManager::Slot* slot_;
+  bool nested_;
+};
+
+// A deferred-destruction list owned by one structure (dictionary index
+// tables, cache nodes, buffer-pool frames). Retire() is called by
+// writers — which the owning structures already serialize on a write
+// mutex — so an internal mutex keeps this simple without adding reader
+// contention. Reclamation runs inline, amortized over retires: no
+// background reclaimer thread, no reclamation on the read path.
+//
+// Ownership: entries belong to this list until freed. The owner's
+// destructor runs DrainAll() (via ~RetireList), which frees everything
+// unconditionally — valid because destroying the owning structure
+// already asserts no concurrent readers exist.
+class RetireList {
+ public:
+  explicit RetireList(EpochManager* manager = EpochManager::Global());
+  ~RetireList();  // DrainAll().
+
+  RetireList(const RetireList&) = delete;
+  RetireList& operator=(const RetireList&) = delete;
+
+  // Defers `delete ptr` until no reader can hold it.
+  template <typename T>
+  void Retire(T* ptr) {
+    RetireRaw(ptr, [](void* p) { delete static_cast<T*>(p); });
+  }
+
+  // Defers an arbitrary deleter (for array or composite frees).
+  void RetireRaw(void* ptr, void (*deleter)(void*));
+
+  // Frees every entry whose grace period has passed; returns the
+  // number freed. Safe to call concurrently with readers.
+  size_t Reclaim();
+
+  // Frees everything regardless of epochs. Only valid when the caller
+  // guarantees no reader is pinned inside the owning structure
+  // (owner teardown).
+  size_t DrainAll();
+
+  size_t pending() const;
+
+ private:
+  struct Entry {
+    void* ptr;
+    void (*deleter)(void*);
+    uint64_t epoch;
+  };
+
+  uint64_t MinSafeBefore() const;
+  size_t ReclaimLocked(uint64_t safe_before);
+
+  EpochManager* manager_;
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;  // FIFO in retire-epoch order.
+  uint64_t retires_since_reclaim_ = 0;
+};
+
+}  // namespace sama
+
+#endif  // SAMA_COMMON_EPOCH_H_

@@ -145,6 +145,8 @@ class AlignmentMemo {
   void Clear();
   CacheCounters counters() const;
   size_t size() const { return cache_.size(); }
+  // Memo hits that skipped the LRU touch under write contention.
+  uint64_t lock_skips() const { return cache_.lru_lock_skips(); }
 
  private:
   struct Entry {

@@ -27,6 +27,13 @@ struct EngineInstruments {
   Counter* corrupt_skipped = nullptr;
   Counter* slow_queries = nullptr;
   Counter* slow_sink_failures = nullptr;
+  Counter* epoch_advances = nullptr;
+  Counter* epoch_retired = nullptr;
+  Counter* epoch_reclaimed = nullptr;
+  // Absolute lifetime total, refreshed after each query (Set, not
+  // Increment — the sum spans caches owned by engine, index and
+  // thesaurus, so deltas would double-count across engine copies).
+  Gauge* cache_lock_skips = nullptr;
 
   struct CacheSet {
     Counter* hits = nullptr;
@@ -82,6 +89,19 @@ struct EngineInstruments {
     out.slow_sink_failures =
         reg->GetCounter("sama_slow_query_sink_failures_total",
                         "Slow-query JSONL sink write failures.");
+    out.epoch_advances =
+        reg->GetCounter("sama_epoch_advances_total",
+                        "Global epoch advances observed during queries.");
+    out.epoch_retired = reg->GetCounter(
+        "sama_epoch_retired_total",
+        "Objects handed to epoch retire lists during queries.");
+    out.epoch_reclaimed = reg->GetCounter(
+        "sama_epoch_reclaimed_total",
+        "Epoch-retired objects actually freed during queries.");
+    out.cache_lock_skips = reg->GetGauge(
+        "sama_cache_lru_lock_skips",
+        "Cache hits that skipped the LRU touch under write contention "
+        "(lifetime total across query-side caches).");
     auto cache_set = [reg](const char* name) {
       CacheSet s;
       s.hits = reg->GetCounter("sama_cache_hits_total", "Cache hits.",
@@ -474,6 +494,9 @@ Result<std::vector<Answer>> SamaEngine::Execute(const QueryGraph& query,
   QueryStats local;
   local.threads_used = threads_used();
   ThreadPool* pool = pool_.get();
+  // Epoch-reclamation activity over the query window (global manager,
+  // so concurrent queries contribute too — see QueryStats).
+  const EpochManager::Stats epoch_before = EpochManager::Global()->stats();
 
   // Cross-query caches: verify the label cache still matches the
   // thesaurus content (mutations between queries clear it; the other
@@ -596,6 +619,12 @@ Result<std::vector<Answer>> SamaEngine::Execute(const QueryGraph& query,
   query_span = ObsSpan();
   local.total_millis = total.ElapsedMillis();
   local.num_answers = answers_or->size();
+  {
+    const EpochManager::Stats epoch_after = EpochManager::Global()->stats();
+    local.epoch_advances = epoch_after.advances - epoch_before.advances;
+    local.epoch_retired = epoch_after.retired - epoch_before.retired;
+    local.epoch_reclaimed = epoch_after.reclaimed - epoch_before.reclaimed;
+  }
   if (options_.obs.trace) local.trace = trace;
 
   if (profiling) {
@@ -673,6 +702,21 @@ Result<std::vector<Answer>> SamaEngine::Execute(const QueryGraph& query,
     ins.label_matches.Add(local.label_match_cache);
     ins.alignment_memo.Add(local.alignment_memo);
     ins.thesaurus.Add(local.thesaurus_cache);
+    if (local.epoch_advances) {
+      ins.epoch_advances->Increment(local.epoch_advances);
+    }
+    if (local.epoch_retired) ins.epoch_retired->Increment(local.epoch_retired);
+    if (local.epoch_reclaimed) {
+      ins.epoch_reclaimed->Increment(local.epoch_reclaimed);
+    }
+    uint64_t skips = 0;
+    if (label_cache_ != nullptr) skips += label_cache_->lru_lock_skips();
+    if (alignment_memo_ != nullptr) skips += alignment_memo_->lock_skips();
+    if (index_ != nullptr) skips += index_->query_cache_lock_skips();
+    if (thesaurus_ != nullptr) {
+      skips += thesaurus_->relatedness_cache_lock_skips();
+    }
+    ins.cache_lock_skips->Set(static_cast<double>(skips));
   }
 
   if (slow_log_ != nullptr && slow_log_->ShouldRecord(local.total_millis)) {

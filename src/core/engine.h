@@ -160,6 +160,17 @@ struct QueryStats {
   double clustering_busy_millis = 0;
   double search_busy_millis = 0;
 
+  // Epoch-based-reclamation activity during this query (global
+  // manager deltas, so concurrent queries' retires show up too — these
+  // are a concurrency health signal, not per-query attribution like
+  // the cache counters below): epoch advances observed, objects
+  // retired (deferred frees queued) and reclaimed (actually freed).
+  // All zero in a quiescent single-query run that never grows a table
+  // or evicts a frame.
+  uint64_t epoch_advances = 0;
+  uint64_t epoch_retired = 0;
+  uint64_t epoch_reclaimed = 0;
+
   // Degraded-read accounting (EngineOptions::strict_io == false):
   // candidates dropped because their pages were corrupt or unreadable,
   // and transient-read retries that were attempted. Both stay 0 on a

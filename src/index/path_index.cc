@@ -693,6 +693,16 @@ void PathIndex::DropQueryCaches() const {
   content_index_.DropLookupCache();
 }
 
+uint64_t PathIndex::query_cache_lock_skips() const {
+  uint64_t skips = node_index_.cache_lock_skips() +
+                   edge_index_.cache_lock_skips() +
+                   sink_index_.cache_lock_skips() +
+                   content_index_.cache_lock_skips();
+  if (lookup_cache_) skips += lookup_cache_->lru_lock_skips();
+  if (record_cache_) skips += record_cache_->lru_lock_skips();
+  return skips;
+}
+
 IndexCacheCounters PathIndex::query_cache_counters() const {
   IndexCacheCounters out;
   out.postings += node_index_.cache_counters();

@@ -218,6 +218,10 @@ class PathIndex {
   // internally; exposed for tests and DropCaches).
   void DropQueryCaches() const;
   IndexCacheCounters query_cache_counters() const;
+  // Cache hits across every query-side cache that skipped the LRU
+  // touch under write contention (ShardedLruCache::lru_lock_skips) —
+  // the read path's latch-contention signal.
+  uint64_t query_cache_lock_skips() const;
 
   const IndexStats& stats() const { return stats_; }
   const PathIndexOptions& options() const { return options_; }

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/epoch.h"
 #include "common/string_util.h"
 
 namespace sama {
@@ -266,6 +267,22 @@ void RefreshLatencyQuantiles(MetricsRegistry* registry) {
             "from the histogram at scrape time.",
             {{"phase", phase}});
   }
+}
+
+void RefreshEpochMetrics(MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  const EpochManager::Stats s = EpochManager::Global()->stats();
+  Gauge* current = registry->GetGauge(
+      "sama_epoch_current", "Current global reclamation epoch.");
+  if (current != nullptr) current->Set(static_cast<double>(s.epoch));
+  Gauge* pins = registry->GetGauge(
+      "sama_epoch_pins", "Lifetime epoch pin operations (EpochGuard).");
+  if (pins != nullptr) pins->Set(static_cast<double>(s.pins));
+  Gauge* pending = registry->GetGauge(
+      "sama_epoch_pending_reclaims",
+      "Retired objects whose grace period has not yet passed; unbounded "
+      "growth means a reader is stuck pinned.");
+  if (pending != nullptr) pending->Set(static_cast<double>(s.pending()));
 }
 
 }  // namespace sama

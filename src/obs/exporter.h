@@ -37,6 +37,15 @@ std::string RenderChromeTrace(const QueryProfile& profile);
 // keeps the query hot path free of quantile math.
 void RefreshLatencyQuantiles(MetricsRegistry* registry);
 
+// Publishes the global epoch manager's reclamation state as gauges in
+// `registry`: sama_epoch_current (the epoch number), sama_epoch_pins
+// (lifetime pin operations), and sama_epoch_pending_reclaims (retired
+// objects whose grace period has not yet passed — a stuck reader shows
+// up as this value growing without bound). Call before rendering
+// /metrics, like RefreshLatencyQuantiles: scrape-time publication
+// keeps the lock-free read paths free of metrics traffic.
+void RefreshEpochMetrics(MetricsRegistry* registry);
+
 }  // namespace sama
 
 #endif  // SAMA_OBS_EXPORTER_H_

@@ -6,9 +6,8 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
-#include <unordered_map>
 
+#include "common/epoch.h"
 #include "rdf/term.h"
 
 namespace sama {
@@ -23,22 +22,37 @@ inline constexpr TermId kInvalidTermId = 0xffffffffu;
 // 4-byte ids instead of strings.
 //
 // Thread safety: the dictionary keeps growing at query time (query
-// constants and variables intern through the shared handle), so every
-// member is safe to call concurrently. The design follows the
-// lock-free-read / serialized-write split:
+// constants, variables and live updates intern through the shared
+// handle), so every member is safe to call concurrently. The design is
+// the RCU lock-free-read / mutex-coordinated-write split (DESIGN.md
+// §13):
 //   * term(id) is wait-free — terms live in fixed-size chunks whose
 //     slots never move, and a chunk pointer is published (release)
 //     before any id inside it can be observed, so readers need no lock;
-//   * Find() takes the shared side of a shared_mutex over the string →
-//     id hash map;
-//   * Intern() takes the exclusive side only when the term is genuinely
-//     new (double-checked after a shared-lock miss).
+//   * Find() is a lock-free probe of an open-addressing index table:
+//     an epoch pin, an acquire load of the table pointer, and a short
+//     linear probe over atomic slots. No reader ever blocks on a
+//     writer, and concurrent Finds share nothing but cache lines;
+//   * Intern() serializes writers on a plain mutex. New entries are
+//     published into the live table with a single release store;
+//     growth builds a fresh table, publishes it with a release store
+//     of the table pointer, and retires the old table through the
+//     epoch manager — readers still probing it finish safely and new
+//     readers see the bigger one.
 class TermDictionary {
  public:
-  TermDictionary()
-      : chunks_(new std::atomic<Term*>[kMaxChunks]()) {}
+  explicit TermDictionary(EpochManager* epochs = EpochManager::Global())
+      : epochs_(epochs),
+        retired_(epochs),
+        chunks_(new std::atomic<Term*>[kMaxChunks]()) {
+    table_.store(IndexTable::Make(kInitialTableSlots),
+                 std::memory_order_release);
+  }
 
   ~TermDictionary() {
+    // No readers may be pinned inside a dictionary being destroyed;
+    // retired tables drain unconditionally (RetireList teardown).
+    IndexTable::Free(table_.load(std::memory_order_relaxed));
     for (size_t c = 0; c < kMaxChunks; ++c) {
       Term* chunk = chunks_[c].load(std::memory_order_relaxed);
       if (chunk == nullptr) break;
@@ -57,37 +71,51 @@ class TermDictionary {
 
   // Returns the id of `term`, interning it on first sight.
   TermId Intern(const Term& term) {
+    uint64_t hash = term.Hash();
     {
-      std::shared_lock<std::shared_mutex> lock(mu_);
-      auto it = ids_.find(term);
-      if (it != ids_.end()) return it->second;
+      // Fast path: already interned — the common case at query time —
+      // resolves with the same lock-free probe Find uses.
+      EpochGuard guard(epochs_);
+      TermId id = Probe(table_.load(std::memory_order_acquire), term, hash);
+      if (id != kInvalidTermId) return id;
     }
-    std::unique_lock<std::shared_mutex> lock(mu_);
-    auto it = ids_.find(term);  // Re-check: we may have lost the race.
-    if (it != ids_.end()) return it->second;
+    std::lock_guard<std::mutex> lock(write_mu_);
+    // Re-check: we may have lost the race to another writer. The table
+    // cannot change under us — we are the only writer now.
+    IndexTable* table = table_.load(std::memory_order_relaxed);
+    TermId id = Probe(table, term, hash);
+    if (id != kInvalidTermId) return id;
     size_t n = size_.load(std::memory_order_relaxed);
     size_t chunk_index = n >> kChunkShift;
     assert(chunk_index < kMaxChunks && "term dictionary full");
     Term* chunk = chunks_[chunk_index].load(std::memory_order_relaxed);
     if (chunk == nullptr) {
       chunk = new Term[kChunkSize];
-      // Release: a reader that learns an id in this chunk (via the map,
-      // the size counter, or data derived from them) must see the
-      // pointer.
+      // Release: a reader that learns an id in this chunk (via the
+      // index, the size counter, or data derived from them) must see
+      // the pointer.
       chunks_[chunk_index].store(chunk, std::memory_order_release);
     }
     chunk[n & kChunkMask] = term;
-    TermId id = static_cast<TermId>(n);
-    ids_.emplace(term, id);
+    id = static_cast<TermId>(n);
+    if ((table_entries_ + 1) * 4 > table->slot_count * 3) {
+      table = Grow(table);
+    }
+    // Publish: the term bytes above happen-before this release store,
+    // so a reader whose probe hits the slot sees a fully-built Term.
+    Insert(table, hash, id);
+    ++table_entries_;
     size_.store(n + 1, std::memory_order_release);
     return id;
   }
 
-  // Returns the id of `term`, or kInvalidTermId when absent.
+  // Returns the id of `term`, or kInvalidTermId when absent. Lock-free:
+  // concurrent writers never block this probe, and a racing Intern is
+  // simply either visible (id returned) or not yet (invalid returned) —
+  // both linearizable outcomes.
   TermId Find(const Term& term) const {
-    std::shared_lock<std::shared_mutex> lock(mu_);
-    auto it = ids_.find(term);
-    return it == ids_.end() ? kInvalidTermId : it->second;
+    EpochGuard guard(epochs_);
+    return Probe(table_.load(std::memory_order_acquire), term, term.Hash());
   }
 
   // Requires id < size(). Wait-free; the returned reference stays valid
@@ -102,7 +130,7 @@ class TermDictionary {
 
   // Estimated resident bytes (used in Table-1-style space reporting).
   uint64_t MemoryBytes() const {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(write_mu_);
     uint64_t bytes = sizeof(*this) + kMaxChunks * sizeof(std::atomic<Term*>);
     size_t n = size_.load(std::memory_order_acquire);
     for (size_t i = 0; i < n; ++i) {
@@ -110,19 +138,79 @@ class TermDictionary {
       bytes += sizeof(Term) + t.value().size() + t.datatype().size() +
                t.language().size();
     }
-    // Hash-map overhead: bucket array plus node bookkeeping.
-    bytes += ids_.bucket_count() * sizeof(void*);
-    bytes += ids_.size() * (sizeof(void*) * 2 + sizeof(TermId) +
-                            sizeof(Term));
+    const IndexTable* table = table_.load(std::memory_order_relaxed);
+    bytes += sizeof(IndexTable) +
+             table->slot_count * sizeof(std::atomic<uint64_t>);
     return bytes;
   }
 
+  EpochManager* epoch_manager() const { return epochs_; }
+
  private:
-  struct TermHash {
-    size_t operator()(const Term& t) const {
-      return static_cast<size_t>(t.Hash());
+  // Open-addressing index over the interned terms. Slots pack a 32-bit
+  // hash fingerprint with (id + 1) so one atomic word publishes a whole
+  // entry; 0 means empty. Entries are only ever added (terms are never
+  // un-interned), so a probe may stop at the first empty slot.
+  struct IndexTable {
+    size_t slot_count;  // Power of two.
+    size_t mask;
+    std::atomic<uint64_t>* slots;
+
+    static IndexTable* Make(size_t count) {
+      auto* t = new IndexTable();
+      t->slot_count = count;
+      t->mask = count - 1;
+      t->slots = new std::atomic<uint64_t>[count]();
+      return t;
+    }
+    static void Free(IndexTable* t) {
+      delete[] t->slots;
+      delete t;
     }
   };
+
+  static uint64_t PackSlot(uint64_t hash, TermId id) {
+    return (hash >> 32 << 32) | (static_cast<uint64_t>(id) + 1);
+  }
+
+  TermId Probe(const IndexTable* table, const Term& t, uint64_t hash) const {
+    uint32_t fingerprint = static_cast<uint32_t>(hash >> 32);
+    for (size_t i = hash & table->mask;; i = (i + 1) & table->mask) {
+      uint64_t slot = table->slots[i].load(std::memory_order_acquire);
+      if (slot == 0) return kInvalidTermId;
+      if (static_cast<uint32_t>(slot >> 32) != fingerprint) continue;
+      TermId id = static_cast<TermId>(slot & 0xffffffffu) - 1;
+      if (term(id) == t) return id;
+    }
+  }
+
+  // Requires write_mu_. Stores into the first free slot (the caller
+  // has already established absence).
+  void Insert(IndexTable* table, uint64_t hash, TermId id) {
+    for (size_t i = hash & table->mask;; i = (i + 1) & table->mask) {
+      if (table->slots[i].load(std::memory_order_relaxed) == 0) {
+        table->slots[i].store(PackSlot(hash, id), std::memory_order_release);
+        return;
+      }
+    }
+  }
+
+  // Requires write_mu_. Publishes a double-size table and retires the
+  // old one; returns the new table.
+  IndexTable* Grow(IndexTable* old) {
+    IndexTable* bigger = IndexTable::Make(old->slot_count * 2);
+    for (size_t i = 0; i < old->slot_count; ++i) {
+      uint64_t slot = old->slots[i].load(std::memory_order_relaxed);
+      if (slot == 0) continue;
+      TermId id = static_cast<TermId>(slot & 0xffffffffu) - 1;
+      Insert(bigger, term(id).Hash(), id);
+    }
+    table_.store(bigger, std::memory_order_release);
+    retired_.RetireRaw(old, [](void* p) {
+      IndexTable::Free(static_cast<IndexTable*>(p));
+    });
+    return bigger;
+  }
 
   // 4096 terms per chunk × 16384 chunks = up to 67M distinct terms; the
   // chunk directory costs 128 KiB per dictionary.
@@ -130,11 +218,15 @@ class TermDictionary {
   static constexpr size_t kChunkSize = size_t{1} << kChunkShift;
   static constexpr size_t kChunkMask = kChunkSize - 1;
   static constexpr size_t kMaxChunks = size_t{1} << 14;
+  static constexpr size_t kInitialTableSlots = 1024;
 
-  mutable std::shared_mutex mu_;
+  EpochManager* epochs_;
+  RetireList retired_;  // Superseded index tables.
+  mutable std::mutex write_mu_;
   std::atomic<size_t> size_{0};
+  size_t table_entries_ = 0;  // Occupancy; writer-side only.
   std::unique_ptr<std::atomic<Term*>[]> chunks_;
-  std::unordered_map<Term, TermId, TermHash> ids_;
+  std::atomic<IndexTable*> table_{nullptr};
 };
 
 }  // namespace sama

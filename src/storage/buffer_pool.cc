@@ -6,6 +6,24 @@
 #include "obs/metrics.h"
 
 namespace sama {
+namespace {
+
+// Finalizer-style mix: sequential PageIds must spread over the table.
+inline uint64_t MixPage(PageId page) {
+  uint64_t h = page;
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return h;
+}
+
+inline size_t NextPow2(size_t n) {
+  size_t p = 16;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
 
 // Registry-side mirror of the pool counters, summed across every pool
 // in the process (each pool's constructor resolves the same series).
@@ -13,6 +31,7 @@ struct BufferPool::Instruments {
   Counter* hits = nullptr;
   Counter* misses = nullptr;
   Counter* evictions = nullptr;
+  Counter* pin_retries = nullptr;
 
   static std::shared_ptr<const Instruments> Resolve() {
     MetricsRegistry* reg = MetricsRegistry::Global();
@@ -24,23 +43,63 @@ struct BufferPool::Instruments {
     ins->evictions =
         reg->GetCounter("sama_buffer_pool_evictions_total",
                         "Buffer pool frames evicted to make room.");
+    ins->pin_retries = reg->GetCounter(
+        "sama_buffer_pool_pin_retries_total",
+        "Lock-free page pins that lost the seqlock race with an eviction "
+        "and retried.");
     return ins;
   }
 };
 
-BufferPool::BufferPool(PageFile* file, size_t capacity)
+BufferPool::Table* BufferPool::Table::Make(size_t count) {
+  auto* t = new Table();
+  t->slot_count = count;
+  t->mask = count - 1;
+  t->slots = new std::atomic<Frame*>[count]();
+  return t;
+}
+
+void BufferPool::Table::Free(Table* t) {
+  delete[] t->slots;
+  delete t;
+}
+
+BufferPool::BufferPool(PageFile* file, size_t capacity, EpochManager* epochs)
     : file_(file),
       capacity_(capacity == 0 ? 1 : capacity),
-      instruments_(Instruments::Resolve()) {}
+      epochs_(epochs),
+      retired_(epochs),
+      instruments_(Instruments::Resolve()) {
+  table_.store(Table::Make(NextPow2(capacity_ * 2)),
+               std::memory_order_release);
+}
 
 BufferPool::~BufferPool() {
   // Best effort: persist whatever is dirty. Errors are unreportable in a
   // destructor; callers that care must Flush() explicitly.
   (void)Flush();
+  // No readers may be pinned inside a pool being destroyed; live frames
+  // are freed here, retired ones by the RetireList.
+  Table* table = table_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < table->slot_count; ++i) {
+    Frame* f = table->slots[i].load(std::memory_order_relaxed);
+    if (f != nullptr && f != Tombstone()) delete f;
+  }
+  Table::Free(table);
+}
+
+BufferPool::Frame* BufferPool::ProbeTable(const Table* table,
+                                          PageId page) const {
+  for (size_t i = MixPage(page) & table->mask;; i = (i + 1) & table->mask) {
+    Frame* f = table->slots[i].load(std::memory_order_acquire);
+    if (f == nullptr) return nullptr;
+    if (f == Tombstone()) continue;
+    if (f->page == page) return f;
+  }
 }
 
 BufferPool::PageGuard BufferPool::PinLocked(Frame* frame, bool writable) {
-  frame->pins.fetch_add(1, std::memory_order_acquire);
+  frame->pins.fetch_add(1, std::memory_order_seq_cst);
   if (writable) {
     frame->write_pins.fetch_add(1, std::memory_order_acquire);
     frame->dirty.store(true, std::memory_order_release);
@@ -51,40 +110,64 @@ BufferPool::PageGuard BufferPool::PinLocked(Frame* frame, bool writable) {
 }
 
 Result<BufferPool::PageGuard> BufferPool::Fetch(PageId page) {
-  return FetchInternal(page, /*writable=*/false);
+  fetches_.fetch_add(1, std::memory_order_relaxed);
+  // Fast path: lock-free hit. The seqlock dance with eviction (class
+  // comment) either lands the pin on a stable frame or detects the race
+  // and retries; after a few lost races we fall through to the slow
+  // path, which excludes evictors entirely.
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    EpochGuard guard(epochs_);
+    Frame* f = ProbeTable(table_.load(std::memory_order_acquire), page);
+    if (f == nullptr) break;  // Miss: load under the write mutex.
+    uint32_t s1 = f->seq.load(std::memory_order_seq_cst);
+    if ((s1 & 1u) == 0) {
+      f->pins.fetch_add(1, std::memory_order_seq_cst);
+      if (f->seq.load(std::memory_order_seq_cst) == s1) {
+        // Pinned a stable frame: it can no longer be evicted, and the
+        // epoch guard may drop — the pin itself keeps the frame alive.
+        f->last_used.store(
+            clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+            std::memory_order_relaxed);
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        instruments_->hits->Increment();
+        return PageGuard(f, /*writable=*/false);
+      }
+      // An eviction started underneath us; back out. The frame memory
+      // stays valid until our epoch guard drops (eviction retires, not
+      // frees), so the stray fetch_sub is safe even if it lost.
+      f->pins.fetch_sub(1, std::memory_order_release);
+    }
+    pin_retries_.fetch_add(1, std::memory_order_relaxed);
+    instruments_->pin_retries->Increment();
+  }
+  std::lock_guard<std::mutex> lock(write_mu_);
+  return FetchLocked(page, /*writable=*/false);
 }
 
 Result<BufferPool::PageGuard> BufferPool::MutablePage(PageId page) {
-  return FetchInternal(page, /*writable=*/true);
+  fetches_.fetch_add(1, std::memory_order_relaxed);
+  // Writable fetches always serialize: Flush's "skip frames with a live
+  // write pin" check is only sound when write pins cannot appear
+  // concurrently with it.
+  std::lock_guard<std::mutex> lock(write_mu_);
+  return FetchLocked(page, /*writable=*/true);
 }
 
-Result<BufferPool::PageGuard> BufferPool::FetchInternal(PageId page,
-                                                        bool writable) {
-  fetches_.fetch_add(1, std::memory_order_relaxed);
-  {
-    // Fast path: cache hit under the shared latch. Pinning and recency
-    // stamping are atomic, so concurrent hits never serialise on the
-    // exclusive side.
-    std::shared_lock<std::shared_mutex> lock(latch_);
-    auto it = frames_.find(page);
-    if (it != frames_.end()) {
-      hits_.fetch_add(1, std::memory_order_relaxed);
-      instruments_->hits->Increment();
-      return PinLocked(it->second.get(), writable);
-    }
-  }
-  // Miss: exclusive latch, re-check (another thread may have loaded the
-  // page between our unlock and here), evict, read from disk.
-  std::unique_lock<std::shared_mutex> lock(latch_);
-  auto it = frames_.find(page);
-  if (it != frames_.end()) {
+Result<BufferPool::PageGuard> BufferPool::FetchLocked(PageId page,
+                                                      bool writable) {
+  // Re-probe under the mutex: the page may have been loaded since the
+  // fast path gave up, and with evictors excluded no seqlock validation
+  // is needed.
+  Table* table = table_.load(std::memory_order_relaxed);
+  Frame* f = ProbeTable(table, page);
+  if (f != nullptr) {
     hits_.fetch_add(1, std::memory_order_relaxed);
     instruments_->hits->Increment();
-    return PinLocked(it->second.get(), writable);
+    return PinLocked(f, writable);
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
   instruments_->misses->Increment();
-  while (frames_.size() >= capacity_) {
+  while (live_frames_ >= capacity_) {
     bool evicted = false;
     SAMA_RETURN_IF_ERROR(EvictOneLocked(&evicted));
     // Every frame pinned: overflow capacity rather than fail; residency
@@ -95,69 +178,166 @@ Result<BufferPool::PageGuard> BufferPool::FetchInternal(PageId page,
   frame->page = page;
   SAMA_RETURN_IF_ERROR(file_->ReadPage(page, &frame->data));
   bytes_read_.fetch_add(frame->data.size(), std::memory_order_relaxed);
-  Frame* raw = frame.get();
-  frames_.emplace(page, std::move(frame));
+  Frame* raw = frame.release();
+  InsertLocked(raw);
   return PinLocked(raw, writable);
+}
+
+void BufferPool::InsertLocked(Frame* frame) {
+  Table* table = table_.load(std::memory_order_relaxed);
+  // Rebuild when live + tombstone load passes 3/4: copy live frames
+  // into a fresh table sized for the live set, publish it, and retire
+  // the old one — a reader mid-probe in the old table still finds
+  // every live frame there (eviction is excluded while we hold
+  // write_mu_).
+  if ((live_frames_ + tombstones_ + 1) * 4 > table->slot_count * 3) {
+    size_t want = NextPow2((live_frames_ + 1) * 2);
+    Table* bigger = Table::Make(want);
+    for (size_t i = 0; i < table->slot_count; ++i) {
+      Frame* f = table->slots[i].load(std::memory_order_relaxed);
+      if (f == nullptr || f == Tombstone()) continue;
+      for (size_t j = MixPage(f->page) & bigger->mask;;
+           j = (j + 1) & bigger->mask) {
+        if (bigger->slots[j].load(std::memory_order_relaxed) == nullptr) {
+          bigger->slots[j].store(f, std::memory_order_release);
+          break;
+        }
+      }
+    }
+    table_.store(bigger, std::memory_order_release);
+    retired_.RetireRaw(table,
+                       [](void* p) { Table::Free(static_cast<Table*>(p)); });
+    tombstones_ = 0;
+    table = bigger;
+  }
+  // First tombstone on the probe path is reusable: absence has been
+  // established, and the slot sits before any nullptr a reader could
+  // stop at.
+  for (size_t i = MixPage(frame->page) & table->mask;;
+       i = (i + 1) & table->mask) {
+    Frame* f = table->slots[i].load(std::memory_order_relaxed);
+    if (f == nullptr || f == Tombstone()) {
+      if (f == Tombstone()) --tombstones_;
+      table->slots[i].store(frame, std::memory_order_release);
+      ++live_frames_;
+      return;
+    }
+  }
 }
 
 Status BufferPool::EvictOneLocked(bool* evicted) {
   *evicted = false;
-  Frame* victim = nullptr;
-  uint64_t oldest = UINT64_MAX;
-  for (auto& [id, frame] : frames_) {
-    if (frame->pins.load(std::memory_order_acquire) > 0) continue;
-    uint64_t used = frame->last_used.load(std::memory_order_relaxed);
-    if (used < oldest) {
-      oldest = used;
-      victim = frame.get();
+  Table* table = table_.load(std::memory_order_relaxed);
+  // A victim can be pinned between our scan and the seqlock bump (the
+  // lock-free hit path does not take write_mu_); on a lost race, rescan
+  // for the next-best victim a few times before overflowing capacity.
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    size_t victim_slot = 0;
+    Frame* victim = nullptr;
+    uint64_t oldest = UINT64_MAX;
+    for (size_t i = 0; i < table->slot_count; ++i) {
+      Frame* f = table->slots[i].load(std::memory_order_relaxed);
+      if (f == nullptr || f == Tombstone()) continue;
+      if (f->pins.load(std::memory_order_seq_cst) > 0) continue;
+      uint64_t used = f->last_used.load(std::memory_order_relaxed);
+      if (used < oldest) {
+        oldest = used;
+        victim = f;
+        victim_slot = i;
+      }
+    }
+    if (victim == nullptr) return Status::Ok();  // Everything pinned.
+    SAMA_RETURN_IF_ERROR(EvictFrameLocked(victim_slot, /*count=*/true,
+                                          evicted));
+    if (*evicted) return Status::Ok();
+  }
+  return Status::Ok();
+}
+
+Status BufferPool::EvictFrameLocked(size_t slot, bool count, bool* evicted) {
+  *evicted = false;
+  Table* table = table_.load(std::memory_order_relaxed);
+  Frame* f = table->slots[slot].load(std::memory_order_relaxed);
+  assert(f != nullptr && f != Tombstone());
+  // Announce the eviction (seq odd), then look for pins: a reader that
+  // pinned before the bump is seen here and aborts us; one that pins
+  // after it fails its seq re-check and backs out (class comment).
+  f->seq.fetch_add(1, std::memory_order_seq_cst);
+  if (f->pins.load(std::memory_order_seq_cst) > 0) {
+    f->seq.fetch_add(1, std::memory_order_seq_cst);  // Back to stable.
+    return Status::Ok();
+  }
+  if (f->dirty.load(std::memory_order_acquire)) {
+    Status s = file_->WritePage(f->page, f->data.data());
+    if (!s.ok()) {
+      f->seq.fetch_add(1, std::memory_order_seq_cst);  // Back to stable.
+      return s;
     }
   }
-  if (victim == nullptr) return Status::Ok();
-  if (victim->dirty.load(std::memory_order_acquire)) {
-    SAMA_RETURN_IF_ERROR(file_->WritePage(victim->page, victim->data.data()));
+  table->slots[slot].store(Tombstone(), std::memory_order_release);
+  ++tombstones_;
+  --live_frames_;
+  retired_.Retire(f);
+  if (count) {
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    instruments_->evictions->Increment();
   }
-  frames_.erase(victim->page);
-  evictions_.fetch_add(1, std::memory_order_relaxed);
-  instruments_->evictions->Increment();
   *evicted = true;
   return Status::Ok();
 }
 
 Status BufferPool::FlushLocked() {
-  for (auto& [id, frame] : frames_) {
-    if (!frame->dirty.load(std::memory_order_acquire)) continue;
+  Table* table = table_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < table->slot_count; ++i) {
+    Frame* f = table->slots[i].load(std::memory_order_relaxed);
+    if (f == nullptr || f == Tombstone()) continue;
+    if (!f->dirty.load(std::memory_order_acquire)) continue;
     // A live write pin means another thread may be mutating the bytes
     // right now; skip — the page stays dirty and flushes once released.
-    if (frame->write_pins.load(std::memory_order_acquire) > 0) continue;
-    SAMA_RETURN_IF_ERROR(file_->WritePage(id, frame->data.data()));
-    frame->dirty.store(false, std::memory_order_release);
+    // Sound because new write pins only appear under write_mu_, which
+    // we hold.
+    if (f->write_pins.load(std::memory_order_acquire) > 0) continue;
+    SAMA_RETURN_IF_ERROR(file_->WritePage(f->page, f->data.data()));
+    f->dirty.store(false, std::memory_order_release);
   }
   return Status::Ok();
 }
 
 Status BufferPool::Flush() {
-  std::unique_lock<std::shared_mutex> lock(latch_);
+  std::lock_guard<std::mutex> lock(write_mu_);
   return FlushLocked();
 }
 
 Status BufferPool::DropAll() {
-  std::unique_lock<std::shared_mutex> lock(latch_);
+  std::lock_guard<std::mutex> lock(write_mu_);
   SAMA_RETURN_IF_ERROR(FlushLocked());
-  for (auto it = frames_.begin(); it != frames_.end();) {
-    if (it->second->pins.load(std::memory_order_acquire) > 0) {
-      ++it;
-    } else {
-      it = frames_.erase(it);
-    }
+  Table* table = table_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < table->slot_count; ++i) {
+    Frame* f = table->slots[i].load(std::memory_order_relaxed);
+    if (f == nullptr || f == Tombstone()) continue;
+    if (f->pins.load(std::memory_order_seq_cst) > 0) continue;
+    bool evicted = false;
+    // DropAll is not capacity pressure; the eviction counters keep
+    // meaning "evicted to make room", as before.
+    SAMA_RETURN_IF_ERROR(EvictFrameLocked(i, /*count=*/false, &evicted));
+    (void)evicted;
   }
   return Status::Ok();
 }
 
+size_t BufferPool::resident_pages() const {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  return live_frames_;
+}
+
 size_t BufferPool::pinned_pages() const {
-  std::shared_lock<std::shared_mutex> lock(latch_);
+  std::lock_guard<std::mutex> lock(write_mu_);
+  const Table* table = table_.load(std::memory_order_relaxed);
   size_t pinned = 0;
-  for (const auto& [id, frame] : frames_) {
-    if (frame->pins.load(std::memory_order_acquire) > 0) ++pinned;
+  for (size_t i = 0; i < table->slot_count; ++i) {
+    Frame* f = table->slots[i].load(std::memory_order_relaxed);
+    if (f == nullptr || f == Tombstone()) continue;
+    if (f->pins.load(std::memory_order_seq_cst) > 0) ++pinned;
   }
   return pinned;
 }

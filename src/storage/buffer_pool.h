@@ -5,10 +5,10 @@
 #include <cassert>
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
-#include <unordered_map>
+#include <mutex>
 #include <vector>
 
+#include "common/epoch.h"
 #include "common/result.h"
 #include "storage/page_file.h"
 
@@ -19,27 +19,38 @@ namespace sama {
 // empties the cache, which is how the benchmarks produce the paper's
 // cold-cache condition (Figure 6a) without rebooting.
 //
-// Thread safety: every method is safe to call concurrently. The pool
-// follows the classic latch-then-pin protocol:
-//   * a shared_mutex latch guards the page table; cache hits take the
-//     shared side (reads scale across threads), misses/eviction/flush
-//     take the exclusive side;
-//   * Fetch/MutablePage return a PageGuard that pins the frame — a
-//     pinned frame is never evicted and its bytes never move, so the
-//     guard's pointer stays valid without holding the latch;
-//   * hit/miss counters are atomics, updated outside any critical
-//     section.
-// Latch order (see DESIGN.md "Threading model"): pool latch strictly
-// before frame pin; guards never re-enter the pool while the latch is
-// held. Byte-level access to one page is NOT serialised by the pool —
-// concurrent writers of the same page must coordinate above it, as in
-// any database buffer manager.
+// Thread safety: every method is safe to call concurrently. The read
+// path is LOCK-FREE (DESIGN.md §13): a cache hit pins the epoch, probes
+// an open-addressing page table of atomic frame pointers, and takes the
+// pin through a seqlock validation — no pool-wide latch, so concurrent
+// hits share nothing but the frames they touch:
+//   * each frame carries a sequence word (even = stable, odd = being
+//     evicted). A reader pins with: read seq (must be even) → increment
+//     pins → re-read seq; if it changed, the reader backs out and
+//     retries (the frame was being evicted underneath it). The evictor
+//     mirrors this: bump seq odd → check pins == 0 → tombstone + retire
+//     or abort. Under seq_cst either the reader sees the odd seq or the
+//     evictor sees the pin — never both blind;
+//   * evicted frames and superseded tables are retired through the
+//     epoch manager, so a reader still probing old memory finishes
+//     safely before anything is freed;
+//   * misses, eviction, flush and MutablePage serialize on a plain
+//     write mutex. MutablePage deliberately takes the slow path even on
+//     a hit: write pins must be mutually ordered with Flush's
+//     "skip mid-mutation frames" check, and writes are not the hot
+//     path this pool optimises.
+// A pinned frame is never evicted and its bytes never move, so a
+// PageGuard's pointer stays valid without any lock. Byte-level access
+// to one page is NOT serialised by the pool — concurrent writers of the
+// same page must coordinate above it, as in any database buffer
+// manager.
 class BufferPool {
  public:
   // `capacity` is the maximum number of resident pages (>=1). When
   // every frame is pinned the pool temporarily overflows capacity
   // rather than failing the fetch.
-  BufferPool(PageFile* file, size_t capacity);
+  BufferPool(PageFile* file, size_t capacity,
+             EpochManager* epochs = EpochManager::Global());
   ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
@@ -47,7 +58,12 @@ class BufferPool {
 
  private:
   struct Frame {
-    PageId page = 0;
+    PageId page = 0;  // Immutable after construction; frames are never
+                      // re-used for another page (eviction retires them).
+    // Seqlock word: even = stable, odd = eviction in progress. Bumped
+    // and checked with seq_cst on both sides (Dekker pattern with
+    // `pins`, see class comment).
+    std::atomic<uint32_t> seq{0};
     std::atomic<int> pins{0};
     std::atomic<int> write_pins{0};
     std::atomic<bool> dirty{false};
@@ -109,10 +125,12 @@ class BufferPool {
 
   // Returns a read pin on `page`'s cached content (kPageDataSize
   // payload bytes; the checksum header stays inside PageFile).
+  // Lock-free on a cache hit.
   Result<PageGuard> Fetch(PageId page);
 
   // Like Fetch but marks the page dirty and allows mutation through the
-  // guard; mutations are written back on eviction or Flush().
+  // guard; mutations are written back on eviction or Flush(). Always
+  // serializes on the write mutex (see class comment).
   Result<PageGuard> MutablePage(PageId page);
 
   // Writes all dirty pages back to the file. Pages with a live write
@@ -164,28 +182,67 @@ class BufferPool {
     bytes_read_.store(0, std::memory_order_relaxed);
   }
 
-  size_t resident_pages() const {
-    std::shared_lock<std::shared_mutex> lock(latch_);
-    return frames_.size();
+  // Pin attempts that lost the seqlock race with an eviction and had
+  // to back out — the read path's contention signal (also exported as
+  // sama_buffer_pool_pin_retries_total). Not part of Stats: it is a
+  // concurrency diagnostic, not page traffic.
+  uint64_t pin_retries() const {
+    return pin_retries_.load(std::memory_order_relaxed);
   }
+
+  size_t resident_pages() const;
   size_t pinned_pages() const;
   size_t capacity() const { return capacity_; }
 
  private:
-  Result<PageGuard> FetchInternal(PageId page, bool writable);
-  // Pins `frame` and stamps recency; caller holds the latch (either
-  // side).
+  // Open-addressing page table: power-of-two array of frame pointers.
+  // nullptr = never used (probes stop), kTombstone = evicted (probes
+  // continue). Insertions reuse tombstones; the table is rebuilt (and
+  // the old one epoch-retired) when live + tombstone load grows past
+  // 3/4.
+  struct Table {
+    size_t slot_count;  // Power of two.
+    size_t mask;
+    std::atomic<Frame*>* slots;
+
+    static Table* Make(size_t count);
+    static void Free(Table* t);
+  };
+  static Frame* Tombstone() { return reinterpret_cast<Frame*>(1); }
+
+  // Lock-free probe for `page` in `table`; returns the frame or null.
+  // Caller must hold an epoch guard.
+  Frame* ProbeTable(const Table* table, PageId page) const;
+
+  // Slow path: miss handling and writable fetches, under write_mu_.
+  Result<PageGuard> FetchLocked(PageId page, bool writable);
+  // Pins `frame` (no seqlock validation — caller holds write_mu_, which
+  // excludes eviction) and stamps recency.
   PageGuard PinLocked(Frame* frame, bool writable);
-  // Evicts the least-recently-used unpinned frame; requires the
-  // exclusive latch. Sets *evicted=false when every frame is pinned.
+  // Inserts `frame` under write_mu_, reusing the first tombstone on the
+  // probe path; rebuilds the table first when too loaded.
+  void InsertLocked(Frame* frame);
+  // Evicts the least-recently-used unpinned frame; requires write_mu_.
+  // Sets *evicted=false when every frame is pinned (or kept losing the
+  // pin race).
   Status EvictOneLocked(bool* evicted);
+  // Seqlock-evicts the frame in `slot`; *evicted=false on a lost pin
+  // race. `count=false` suppresses the eviction counters (DropAll is
+  // not capacity pressure). Requires write_mu_.
+  Status EvictFrameLocked(size_t slot, bool count, bool* evicted);
   Status FlushLocked();
 
   PageFile* file_;
   size_t capacity_;
+  EpochManager* epochs_;
+  RetireList retired_;  // Evicted frames + superseded tables.
 
-  mutable std::shared_mutex latch_;
-  std::unordered_map<PageId, std::unique_ptr<Frame>> frames_;
+  // Serialises misses, eviction, flush, DropAll and writable fetches.
+  // Never taken by the read-hit path.
+  mutable std::mutex write_mu_;
+  std::atomic<Table*> table_{nullptr};
+  size_t live_frames_ = 0;  // Under write_mu_.
+  size_t tombstones_ = 0;   // Under write_mu_.
 
   std::atomic<uint64_t> clock_{0};  // Logical time for LRU recency.
   std::atomic<uint64_t> fetches_{0};
@@ -193,6 +250,7 @@ class BufferPool {
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> evictions_{0};
   std::atomic<uint64_t> bytes_read_{0};
+  std::atomic<uint64_t> pin_retries_{0};
 
   // Process-wide registry series (sama_buffer_pool_*), summed over all
   // pools; resolved once in the constructor. Local Stats stay the

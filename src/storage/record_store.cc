@@ -95,7 +95,7 @@ Status RecordStore::Close() {
 }
 
 Result<RecordId> RecordStore::Append(const std::vector<uint8_t>& data) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (file_ == nullptr) {
     RecordId id = mem_records_.size();
     mem_records_.push_back(data);
@@ -126,9 +126,10 @@ Result<RecordId> RecordStore::Append(const std::vector<uint8_t>& data) {
 
 Status RecordStore::Read(RecordId id, std::vector<uint8_t>* out) const {
   if (file_ == nullptr) {
-    // The memory backend's vector reallocates on Append, so reads
-    // serialise with writers.
-    std::lock_guard<std::mutex> lock(mu_);
+    // The memory backend's vector reallocates on Append, so reads must
+    // exclude writers — but not each other: the shared side lets any
+    // number of readers copy records concurrently.
+    std::shared_lock<std::shared_mutex> lock(mu_);
     if (id >= mem_records_.size()) {
       return Status::OutOfRange("record " + std::to_string(id));
     }
@@ -159,7 +160,7 @@ Status RecordStore::Read(RecordId id, std::vector<uint8_t>* out) const {
 }
 
 Status RecordStore::Flush() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (pool_ == nullptr) return Status::Ok();
   SAMA_RETURN_IF_ERROR(WriteStoreHeader());
   SAMA_RETURN_IF_ERROR(pool_->Flush());
@@ -167,7 +168,7 @@ Status RecordStore::Flush() {
 }
 
 Status RecordStore::DropCaches() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (pool_ == nullptr) return Status::Ok();
   SAMA_RETURN_IF_ERROR(WriteStoreHeader());
   return pool_->DropAll();

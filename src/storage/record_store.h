@@ -3,7 +3,7 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -24,12 +24,13 @@ using RecordId = uint64_t;
 // Records never span pages, so one record is limited to
 // kPageDataSize - kMaxHeader bytes in the disk backend.
 //
-// Thread safety: writers (Append/Flush/DropCaches) serialise on an
-// internal mutex. Disk-backend reads take no store-level lock at all —
-// they ride the BufferPool's latch-and-pin protocol, so parallel query
-// workers (clustering, forest search) fetch pages concurrently;
-// memory-backend reads serialise with Append because the backing
-// vector reallocates.
+// Thread safety: writers (Append/Flush/DropCaches) serialise on the
+// exclusive side of an internal shared_mutex. Disk-backend reads take
+// no store-level lock at all — they ride the BufferPool's lock-free
+// probe-and-pin protocol, so parallel query workers (clustering,
+// forest search) fetch pages concurrently; memory-backend reads take
+// the shared side only (the backing vector reallocates on Append, so
+// they must exclude writers — but never each other).
 class RecordStore {
  public:
   struct Options {
@@ -83,7 +84,8 @@ class RecordStore {
   // Memory backend.
   std::vector<std::vector<uint8_t>> mem_records_;
 
-  mutable std::mutex mu_;
+  // Writers exclusive; memory-backend readers shared.
+  mutable std::shared_mutex mu_;
   uint64_t record_count_ = 0;
 };
 

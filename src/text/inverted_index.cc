@@ -106,6 +106,10 @@ CacheCounters InvertedLabelIndex::cache_counters() const {
   return semantic_cache_ ? semantic_cache_->counters() : CacheCounters{};
 }
 
+uint64_t InvertedLabelIndex::cache_lock_skips() const {
+  return semantic_cache_ ? semantic_cache_->lru_lock_skips() : 0;
+}
+
 void InvertedLabelIndex::SortDedup(std::vector<uint64_t>* v) {
   std::sort(v->begin(), v->end());
   v->erase(std::unique(v->begin(), v->end()), v->end());

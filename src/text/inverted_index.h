@@ -102,6 +102,9 @@ class InvertedLabelIndex {
   void DropLookupCache() const;
   // Lifetime hit/miss totals of the semantic-lookup memo.
   CacheCounters cache_counters() const;
+  // Memo hits that skipped the LRU touch under write contention
+  // (ShardedLruCache::lru_lock_skips).
+  uint64_t cache_lock_skips() const;
 
   // Appends a compact binary image (sorted keys, delta-coded postings)
   // to `out`. The index must be Finish()ed first.

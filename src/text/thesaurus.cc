@@ -64,6 +64,10 @@ CacheCounters Thesaurus::relatedness_cache_counters() const {
   return related_cache_ ? related_cache_->counters() : CacheCounters{};
 }
 
+uint64_t Thesaurus::relatedness_cache_lock_skips() const {
+  return related_cache_ ? related_cache_->lru_lock_skips() : 0;
+}
+
 Thesaurus::SynsetId Thesaurus::SynsetFor(const std::string& word) {
   auto it = synset_of_.find(word);
   if (it != synset_of_.end()) return it->second;

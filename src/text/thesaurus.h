@@ -65,6 +65,8 @@ class Thesaurus {
 
   // Hit/miss totals of the internal AreRelated memo (QueryStats).
   CacheCounters relatedness_cache_counters() const;
+  // Memo hits that skipped the LRU touch under write contention.
+  uint64_t relatedness_cache_lock_skips() const;
 
   // Seeds the thesaurus with a small built-in English vocabulary
   // covering the benchmark domains (people/gender/teaching/commerce),

@@ -1,0 +1,175 @@
+// Dictionary RCU read-path torture (DESIGN.md §13): N reader threads
+// Find/term() lock-free while a writer keeps interning — directly, and
+// through the engine's durable live-update path (PR 7's ApplyUpdate),
+// which interns every new term of an inserted triple. The contract
+// under race: a reader sees either "absent" (the intern has not been
+// published yet) or the correct final id — never a lost entry, a torn
+// term, a stale-forever miss, or a read of freed index-table memory
+// (the TSan/ASan CI tiers check the latter).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "datasets/govtrack.h"
+#include "index/path_index.h"
+#include "rdf/dictionary.h"
+#include "text/thesaurus.h"
+
+namespace sama {
+namespace {
+
+uint64_t TortureSeed() {
+  const char* s = std::getenv("SAMA_TORTURE_SEED");
+  return s == nullptr ? 1234u : static_cast<uint64_t>(std::atoll(s));
+}
+
+uint64_t NextRand(uint64_t* state) {
+  *state = *state * 6364136223846793005ULL + 1442695040888963407ULL;
+  return *state >> 33;
+}
+
+Term Gov(const std::string& local) {
+  return Term::Iri("http://gov.example.org/" + local);
+}
+
+TEST(DictionaryTortureTest, ConcurrentFindsSeePublishedInternsExactly) {
+  // A private manager keeps this test's epoch traffic (and the
+  // reclamation assertions below) independent of the global manager.
+  EpochManager epochs;
+  TermDictionary dict(&epochs);
+  const uint64_t seed = TortureSeed();
+  // Enough terms to force several index-table growths (1024 initial
+  // slots, 75% load): each growth retires a table under the readers.
+  const size_t kTerms = 20000;
+  const int kReaders = 4;
+
+  std::atomic<size_t> published{0};
+  std::atomic<uint64_t> wrong_ids{0};
+  std::atomic<uint64_t> torn_terms{0};
+  std::atomic<uint64_t> ghost_hits{0};
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      uint64_t rng = seed + static_cast<uint64_t>(r) * 7919;
+      while (!stop.load(std::memory_order_acquire)) {
+        size_t n = published.load(std::memory_order_acquire);
+        if (n == 0) continue;
+        size_t i = NextRand(&rng) % n;
+        Term t = Gov("torture-" + std::to_string(i));
+        // Published before we looked: a miss would be a lost (or
+        // stale-forever) read, a different id a corrupted index.
+        TermId id = dict.Find(t);
+        if (id != static_cast<TermId>(i)) {
+          wrong_ids.fetch_add(1);
+        } else if (!(dict.term(id) == t)) {
+          torn_terms.fetch_add(1);
+        }
+        // Never interned by anyone: must always miss.
+        Term ghost = Gov("ghost-" + std::to_string(NextRand(&rng)));
+        if (dict.Find(ghost) != kInvalidTermId) ghost_hits.fetch_add(1);
+      }
+    });
+  }
+
+  for (size_t i = 0; i < kTerms; ++i) {
+    TermId id = dict.Intern(Gov("torture-" + std::to_string(i)));
+    ASSERT_EQ(id, static_cast<TermId>(i));  // Single writer: dense ids.
+    published.store(i + 1, std::memory_order_release);
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(wrong_ids.load(), 0u);
+  EXPECT_EQ(torn_terms.load(), 0u);
+  EXPECT_EQ(ghost_hits.load(), 0u);
+  // The table grew several times under the readers and reclamation ran.
+  EXPECT_GT(epochs.stats().retired, 0u);
+
+  // Quiescent sweep: nothing is lost and every id round-trips.
+  EXPECT_EQ(dict.size(), kTerms);
+  for (size_t i = 0; i < kTerms; ++i) {
+    Term t = Gov("torture-" + std::to_string(i));
+    ASSERT_EQ(dict.Find(t), static_cast<TermId>(i));
+    ASSERT_TRUE(dict.term(static_cast<TermId>(i)) == t);
+  }
+}
+
+TEST(DictionaryTortureTest, LiveUpdateWriterNeverBreaksConcurrentFinds) {
+  // The PR 7 update path: ApplyUpdate interns the inserted triple's
+  // terms into the SHARED dictionary while readers Find concurrently.
+  std::string dir =
+      testing::TempDir() + "/dict_torture_updates";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  DataGraph graph = DataGraph::FromTriples(GovTrackFigure1Triples());
+  PathIndexOptions options;
+  options.dir = dir;
+  PathIndex index;
+  ASSERT_TRUE(index.Build(graph, options).ok());
+  Thesaurus thesaurus = Thesaurus::BuiltinEnglish();
+  SamaEngine engine(&graph, &index, &thesaurus);
+  UpdateOptions uo;
+  uo.checkpoint_every = 0;
+  ASSERT_TRUE(engine.EnableUpdates(&graph, &index, uo).ok());
+
+  const uint64_t seed = TortureSeed();
+  const size_t kInserts = 300;
+  const int kReaders = 4;
+  const TermDictionary& dict = graph.dict();
+
+  std::atomic<size_t> published{0};
+  std::atomic<uint64_t> violations{0};
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      uint64_t rng = seed + static_cast<uint64_t>(r) * 104729;
+      while (!stop.load(std::memory_order_acquire)) {
+        size_t n = published.load(std::memory_order_acquire);
+        if (n == 0) continue;
+        size_t i = NextRand(&rng) % n;
+        // The inserted subject was durably applied before `published`
+        // advanced past it: Find must succeed and round-trip.
+        Term t = Gov("LiveSenator" + std::to_string(i));
+        TermId id = dict.Find(t);
+        if (id == kInvalidTermId || !(dict.term(id) == t)) {
+          violations.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  for (size_t i = 0; i < kInserts; ++i) {
+    Triple triple{Gov("LiveSenator" + std::to_string(i)), Gov("gender"),
+                  Term::Literal(i % 2 == 0 ? "Male" : "Female")};
+    auto lsn = engine.InsertTriple(triple);
+    ASSERT_TRUE(lsn.ok()) << lsn.status();
+    published.store(i + 1, std::memory_order_release);
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(violations.load(), 0u);
+  // Quiescent sweep: every inserted subject resolves.
+  for (size_t i = 0; i < kInserts; ++i) {
+    Term t = Gov("LiveSenator" + std::to_string(i));
+    EXPECT_NE(dict.Find(t), kInvalidTermId);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace sama

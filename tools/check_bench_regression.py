@@ -2,7 +2,8 @@
 """Gate bench results against the committed baseline.
 
 Usage:
-    check_bench_regression.py NEW.json BASELINE.json [--mode=fig6|serve|wal]
+    check_bench_regression.py NEW.json BASELINE.json \
+        [--mode=fig6|serve|wal|read]
 
 --mode=fig6 (default) gates bench_fig6 artifacts:
   1. Warm-path latency: summary.warm_mean_ms must not exceed the
@@ -37,11 +38,25 @@ Usage:
   3. Recovery: summary.recovery_ms must not exceed the baseline by
      more than --tolerance.
 
+--mode=read gates bench_readers artifacts (the lock-free read paths):
+  1. Correctness (unconditional, never skipped): summary.mismatches
+     must be exactly zero — every lock-free read must have returned
+     the exact value its key was published with.
+  2. Reader scaling: summary.hit_scaling (combined warm dictionary +
+     cache hit throughput, 16 threads vs 1) must not fall below
+     --min-read-scaling. A lock on the hot read path flattens this to
+     ~1.0 immediately. Enforced only when the NEW artifact's
+     summary.hardware_threads >= 8 (scaling cannot physically show on
+     fewer cores) and --no-absolute is not set.
+  3. Single-thread throughput: the per-path 1-thread ops/s in the
+     summary must not fall below the baseline by more than
+     --tolerance — lock-freedom must not tax the uncontended case.
+
 Latency/throughput are machine-dependent; the correctness and ratio
 checks are not. Pass --no-absolute to skip the machine-dependent
 checks (fig6 check 1; serve checks 2 and 3, except the --min-qps hard
-floor; wal checks 2 and 3, except the --min-appends hard floor) on
-hardware that does not match the baseline machine.
+floor; wal checks 2 and 3, except the --min-appends hard floor; read
+checks 2 and 3) on hardware that does not match the baseline machine.
 """
 
 import argparse
@@ -195,11 +210,62 @@ def check_wal(new, base, args):
     return failures
 
 
+def check_read(new, base, args):
+    """The bench_readers gate; returns the list of failure strings."""
+    failures = []
+    new_sum, base_sum = new["summary"], base["summary"]
+
+    # Correctness first, and never skippable: a lock-free read that
+    # returns the wrong value is machine-independently broken.
+    mismatches = get_number(new_sum, "mismatches",
+                            f"{args.new_json} summary")
+    if mismatches != 0:
+        failures.append(f"mismatches is {mismatches:g}; every lock-free "
+                        f"read must return exactly the published value")
+
+    scaling = get_number(new_sum, "hit_scaling", f"{args.new_json} summary")
+    hw = get_number(new_sum, "hardware_threads", f"{args.new_json} summary")
+    scaling_enforced = hw >= 8 and not args.no_absolute
+    if scaling_enforced and scaling < args.min_read_scaling:
+        failures.append(
+            f"hit_scaling {scaling:.2f} below the floor "
+            f"{args.min_read_scaling:.2f} on a {hw:g}-thread machine; "
+            f"a lock snuck back onto the hot read path")
+
+    one_thread_keys = ("dict_hit_1t_ops", "dict_miss_1t_ops",
+                       "cache_hit_1t_ops", "cache_miss_1t_ops",
+                       "pool_hit_1t_ops")
+    if not args.no_absolute:
+        for key in one_thread_keys:
+            value = get_number(new_sum, key, f"{args.new_json} summary")
+            baseline = get_number(base_sum, key,
+                                  f"{args.baseline_json} summary")
+            if baseline <= 0:
+                die(f"key '{key}' in {args.baseline_json} summary is "
+                    f"{baseline}; a zero/negative baseline cannot gate "
+                    f"anything (re-record the baseline)")
+            floor = baseline * (1.0 - args.tolerance)
+            if value < floor:
+                failures.append(
+                    f"{key} {value:.0f} fell below baseline "
+                    f"{baseline:.0f} -{args.tolerance:.0%} "
+                    f"(floor {floor:.0f})")
+
+    if not failures:
+        scaling_note = (f"hit_scaling={scaling:.2f} "
+                        f"(floor {args.min_read_scaling:.2f})"
+                        if scaling_enforced else
+                        f"hit_scaling={scaling:.2f} (not enforced: "
+                        f"{hw:g} hardware thread(s))")
+        print(f"read bench ok: 0 mismatches, {scaling_note}")
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("new_json")
     parser.add_argument("baseline_json")
-    parser.add_argument("--mode", choices=("fig6", "serve", "wal"),
+    parser.add_argument("--mode", choices=("fig6", "serve", "wal", "read"),
                         default="fig6",
                         help="which bench artifact schema to gate")
     parser.add_argument("--tolerance", type=float, default=0.20,
@@ -210,6 +276,9 @@ def main():
                         help="hard floor for summary.qps (serve)")
     parser.add_argument("--min-appends", type=float, default=500.0,
                         help="hard floor for summary.appends_per_sec (wal)")
+    parser.add_argument("--min-read-scaling", type=float, default=3.0,
+                        help="hard floor for summary.hit_scaling (read), "
+                             "enforced when hardware_threads >= 8")
     parser.add_argument("--hit-rate-slack", type=float, default=0.05,
                         help="absolute slack for warm cache hit rates")
     parser.add_argument("--no-absolute", action="store_true",
@@ -227,8 +296,9 @@ def main():
             die(f"missing key 'queries' in {path}")
     new_sum, base_sum = new["summary"], base["summary"]
 
-    if args.mode in ("serve", "wal"):
-        check = check_serve if args.mode == "serve" else check_wal
+    if args.mode in ("serve", "wal", "read"):
+        check = {"serve": check_serve, "wal": check_wal,
+                 "read": check_read}[args.mode]
         failures = check(new, base, args)
         if failures:
             print("BENCH REGRESSION:", file=sys.stderr)

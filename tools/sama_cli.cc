@@ -723,6 +723,7 @@ int main(int argc, char** argv) {
       }
     }
     if (options.metrics) {
+      sama::RefreshEpochMetrics(sama::MetricsRegistry::Global());
       std::printf("-- metrics:\n%s",
                   sama::MetricsRegistry::Global()->RenderText().c_str());
     }
@@ -880,6 +881,7 @@ int main(int argc, char** argv) {
     server.Handle("/metrics", [](const sama::HttpRequest&) {
       sama::MetricsRegistry* reg = sama::MetricsRegistry::Global();
       sama::RefreshLatencyQuantiles(reg);
+      sama::RefreshEpochMetrics(reg);
       sama::HttpResponse r;
       r.content_type = "text/plain; version=0.0.4; charset=utf-8";
       r.body = reg->RenderText();
