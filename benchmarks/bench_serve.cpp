@@ -33,6 +33,7 @@
 
 #include "bench_util.h"
 #include "common/random.h"
+#include "common/zipf.h"
 #include "core/engine.h"
 #include "datasets/berlin.h"
 #include "datasets/govtrack.h"
@@ -68,6 +69,10 @@ struct Options {
   // mix is dominated by the cheap ones; 0 keeps everything).
   int max_group = 4;
   uint64_t seed = 42;
+  // Comma-separated query names restricting the mix. Selection is a
+  // set: listing the same names in a different order runs the exact
+  // same workload (weights follow canonical name rank, not list order).
+  std::string mix;
   std::string json_path;
 };
 
@@ -87,6 +92,7 @@ struct ServeEnv {
   Thesaurus thesaurus;
   std::unique_ptr<SamaEngine> engine;
   std::vector<MixEntry> mix;
+  ZipfSampler sampler;
 };
 
 void AddQuery(ServeEnv* env, const std::string& name,
@@ -121,6 +127,42 @@ void AddBenchmarkQueries(ServeEnv* env,
     if (max_group > 0 && q.group_high > max_group) continue;
     AddQuery(env, q.name, q.sparql);
   }
+}
+
+// Restricts env->mix to the comma-separated query names in `spec`
+// (empty keeps everything). Unknown names are a hard error — a typo
+// silently running the full mix would invalidate the measurement.
+void ApplyMixFilter(ServeEnv* env, const std::string& spec) {
+  if (spec.empty()) return;
+  std::vector<std::string> want;
+  for (size_t pos = 0; pos <= spec.size();) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    if (comma > pos) want.push_back(spec.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  std::vector<MixEntry> kept;
+  for (const std::string& name : want) {
+    bool known = false;
+    for (const MixEntry& entry : env->mix) {
+      if (entry.name == name) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      std::fprintf(stderr, "--mix names unknown query '%s'\n", name.c_str());
+      std::exit(2);
+    }
+  }
+  // Keep catalogue order regardless of the order names were listed in;
+  // weights are order-independent anyway, but this keeps reports stable.
+  for (MixEntry& entry : env->mix) {
+    if (std::find(want.begin(), want.end(), entry.name) != want.end()) {
+      kept.push_back(std::move(entry));
+    }
+  }
+  env->mix = std::move(kept);
 }
 
 ServeEnv MakeEnv(const Options& options) {
@@ -166,6 +208,7 @@ ServeEnv MakeEnv(const Options& options) {
     std::fprintf(stderr, "unknown dataset '%s'\n", options.dataset.c_str());
     std::exit(1);
   }
+  ApplyMixFilter(&env, options.mix);
   if (env.mix.empty()) {
     std::fprintf(stderr, "query mix is empty (max-group too low?)\n");
     std::exit(1);
@@ -173,26 +216,22 @@ ServeEnv MakeEnv(const Options& options) {
   return env;
 }
 
-// Zipfian popularity over the mix in declaration order: entry i gets
-// weight 1/(i+1)^s. With s≈1 the head query dominates the way a real
-// serving workload's hot queries do.
+// Zipfian popularity over the mix: with s≈1 the head query dominates
+// the way a real serving workload's hot queries do. Weights follow the
+// CANONICAL rank of a query (names sorted lexicographically), so
+// reordering --mix or the catalogue declaration cannot silently
+// reshape the distribution, and draws go through ZipfSampler's clamped
+// cumulative walk so floating-point round-off at the top of the
+// distribution cannot index off the end.
 void AssignZipfWeights(ServeEnv* env, double s) {
-  double total = 0;
+  std::vector<std::string> names;
+  names.reserve(env->mix.size());
+  for (const MixEntry& entry : env->mix) names.push_back(entry.name);
+  std::vector<double> weights = ZipfWeights(names, s);
   for (size_t i = 0; i < env->mix.size(); ++i) {
-    env->mix[i].weight = 1.0 / std::pow(static_cast<double>(i + 1), s);
-    total += env->mix[i].weight;
+    env->mix[i].weight = weights[i];
   }
-  for (MixEntry& entry : env->mix) entry.weight /= total;
-}
-
-size_t SampleZipf(const std::vector<MixEntry>& mix, Random* rng) {
-  double u = rng->NextDouble();
-  double acc = 0;
-  for (size_t i = 0; i < mix.size(); ++i) {
-    acc += mix[i].weight;
-    if (u < acc) return i;
-  }
-  return mix.size() - 1;
+  env->sampler = ZipfSampler(weights);
 }
 
 // The byte-exact payload a conforming server must return: the same
@@ -283,7 +322,7 @@ ClientResult RunClosedClient(const ServeEnv& env, const Options& options,
             options.requests) {
       break;
     }
-    size_t qi = SampleZipf(env.mix, &rng);
+    size_t qi = env.sampler.Sample(&rng);
     ++result.per_query_requests[qi];
     ++id;
     Clock::time_point t0 = Clock::now();
@@ -371,7 +410,7 @@ ClientResult RunOpenClient(const ServeEnv& env, const Options& options,
   Clock::time_point next = start;
   while (next < end && !receiver_dead.load(std::memory_order_acquire)) {
     std::this_thread::sleep_until(next);
-    size_t qi = SampleZipf(env.mix, &rng);
+    size_t qi = env.sampler.Sample(&rng);
     ++result.per_query_requests[qi];
     ++id;
     {
@@ -607,6 +646,8 @@ int main(int argc, char** argv) {
       options.max_group = std::atoi(v);
     } else if (const char* v = value("--seed=")) {
       options.seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--mix=")) {
+      options.mix = v;
     } else if (const char* v = value("--json=")) {
       options.json_path = v;
     } else {
@@ -616,7 +657,7 @@ int main(int argc, char** argv) {
           "[--dataset=demo|lubm|berlin|scale-free] [--clients=N] "
           "[--workers=N] [--duration-s=S] [--requests=N] [--rate=QPS] "
           "[--k=N] [--zipf-s=S] [--max-group=N] [--seed=N] "
-          "[--json=FILE]\n",
+          "[--mix=NAME,NAME,...] [--json=FILE]\n",
           argv[0]);
       return 2;
     }

@@ -1,0 +1,82 @@
+// Zipf-distributed popularity over a named catalogue, shared by the
+// load benchmarks. Two deliberate properties fix bugs the original
+// bench-local implementation had:
+//
+//   1. Weights follow the CANONICAL rank of an item (names sorted
+//      lexicographically), not its declaration position — reordering
+//      or filtering a query mix no longer silently reshapes the
+//      sampled distribution.
+//   2. Sampling walks a precomputed cumulative distribution with the
+//      final bucket clamped: a uniform draw landing in the
+//      floating-point shortfall above the last cumulative sum maps to
+//      the last index instead of falling off the end.
+
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace sama {
+
+// Normalized Zipf weights for `names`: the item with rank r in the
+// canonical order (names sorted lexicographically; ties keep their
+// original relative order) gets weight proportional to 1/(r+1)^s.
+// The returned vector is parallel to `names` and sums to 1.
+inline std::vector<double> ZipfWeights(const std::vector<std::string>& names,
+                                       double s) {
+  const size_t n = names.size();
+  std::vector<size_t> by_name(n);
+  for (size_t i = 0; i < n; ++i) by_name[i] = i;
+  std::sort(by_name.begin(), by_name.end(), [&](size_t a, size_t b) {
+    if (names[a] != names[b]) return names[a] < names[b];
+    return a < b;
+  });
+  std::vector<double> weights(n, 0.0);
+  double total = 0;
+  for (size_t r = 0; r < n; ++r) {
+    double w = 1.0 / std::pow(static_cast<double>(r + 1), s);
+    weights[by_name[r]] = w;
+    total += w;
+  }
+  for (double& w : weights) w /= total;
+  return weights;
+}
+
+// Samples indices proportionally to a fixed weight vector via its
+// cumulative distribution (O(log n) per draw).
+class ZipfSampler {
+ public:
+  ZipfSampler() = default;
+  explicit ZipfSampler(const std::vector<double>& weights) : cum_(weights) {
+    double acc = 0;
+    for (double& c : cum_) {
+      acc += c;
+      c = acc;
+    }
+  }
+
+  // The bucket a uniform draw u in [0, 1) lands in: the first index
+  // whose cumulative weight strictly exceeds u, clamped to the last
+  // bucket so round-off in the cumulative sum can never push a draw
+  // past the end. Zero-weight entries occupy an empty half-open
+  // interval and are never selected.
+  size_t IndexFor(double u) const {
+    auto it = std::upper_bound(cum_.begin(), cum_.end(), u);
+    if (it == cum_.end()) return cum_.size() - 1;
+    return static_cast<size_t>(it - cum_.begin());
+  }
+
+  size_t Sample(Random* rng) const { return IndexFor(rng->NextDouble()); }
+
+  bool empty() const { return cum_.empty(); }
+
+ private:
+  std::vector<double> cum_;
+};
+
+}  // namespace sama

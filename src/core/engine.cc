@@ -480,6 +480,61 @@ Result<std::vector<Answer>> SamaEngine::ExecuteSparql(
   return configured.Execute(qg, k, stats);
 }
 
+Result<std::vector<Cluster>> SamaEngine::ClusterQuery(const QueryGraph& query,
+                                                      QueryStats* stats) const {
+  // Same ordering guarantee as Execute: clustering sees either all of
+  // an update or none of it.
+  std::shared_lock<std::shared_mutex> update_lock;
+  if (updates_ != nullptr) {
+    update_lock = std::shared_lock<std::shared_mutex>(updates_->mu);
+  }
+  WallTimer total;
+  QueryStats local;
+  local.threads_used = threads_used();
+
+  if (label_cache_ != nullptr) {
+    uint64_t identity = thesaurus_ == nullptr ? 0 : thesaurus_->identity();
+    if (label_cache_identity_->exchange(identity) != identity) {
+      label_cache_->Clear();
+    }
+  }
+  QueryCaches caches;
+  caches.label_matches = label_cache_.get();
+  caches.alignment_memo = alignment_memo_.get();
+  QueryCacheDeltas deltas;
+  QueryObs qobs;
+  qobs.deltas = &deltas;
+
+  local.num_query_paths = query.paths().size();
+  WallTimer phase;
+  std::atomic<uint64_t> clustering_busy{0};
+  std::atomic<uint64_t> corrupt_skipped{0};
+  std::atomic<uint64_t> io_retried{0};
+  ClusteringOptions clustering_options = options_.clustering;
+  clustering_options.strict_io = options_.strict_io;
+  clustering_options.max_io_retries = options_.max_io_retries;
+  auto clusters_or =
+      BuildClusters(query, *index_, thesaurus_, options_.params,
+                    clustering_options, pool_.get(), &clustering_busy,
+                    &corrupt_skipped, &io_retried, &caches, &qobs);
+  if (!clusters_or.ok()) return clusters_or.status();
+  local.clustering_millis = phase.ElapsedMillis();
+  local.clustering_busy_millis =
+      static_cast<double>(clustering_busy.load()) / 1e6;
+  local.corrupt_records_skipped = corrupt_skipped.load();
+  local.io_retries = io_retried.load();
+  for (const Cluster& c : *clusters_or) local.num_candidate_paths += c.size();
+  local.posting_cache = deltas.postings.Snapshot();
+  local.path_lookup_cache = deltas.lookups.Snapshot();
+  local.path_record_cache = deltas.records.Snapshot();
+  local.label_match_cache = deltas.label_matches.Snapshot();
+  local.alignment_memo = deltas.alignments.Snapshot();
+  local.thesaurus_cache = deltas.thesaurus.Snapshot();
+  local.total_millis = total.ElapsedMillis();
+  if (stats != nullptr) *stats = local;
+  return clusters_or;
+}
+
 Result<std::vector<Answer>> SamaEngine::Execute(const QueryGraph& query,
                                                 size_t k,
                                                 QueryStats* stats) const {
@@ -606,6 +661,7 @@ Result<std::vector<Answer>> SamaEngine::Execute(const QueryGraph& query,
   local.search_expansions = fstats.expansions;
   local.search_bound_pruned = fstats.bound_pruned;
   local.search_roots_pruned = fstats.roots_pruned;
+  local.search_shared_bound_pruned = fstats.shared_bound_pruned;
   local.search_truncated = fstats.truncated;
 
   // Per-query cache stats come straight from this query's scoped sinks.

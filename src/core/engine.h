@@ -196,6 +196,14 @@ struct QueryStats {
   uint64_t search_expansions = 0;
   uint64_t search_bound_pruned = 0;
   uint64_t search_roots_pruned = 0;
+  // Prunes owed solely to a cross-shard shared k-th bound
+  // (ForestSearchOptions::shared_bound); 0 outside sharded execution.
+  uint64_t search_shared_bound_pruned = 0;
+  // Shards that were unusable (damaged index or sidecar) and therefore
+  // contributed no candidates to this query. Populated only by sharded
+  // execution (ShardedEngine); 0 on a healthy shard set and always 0
+  // for single-index engines.
+  uint64_t shards_degraded = 0;
   // True when the anytime budget cut the combination space short (a
   // subtree exhausted its share, or subtrees went unexamined); while
   // false the ranked answers are provably exact, pruning or not.
@@ -265,6 +273,16 @@ class SamaEngine {
   QueryGraph BuildQueryGraph(const std::vector<Triple>& patterns) const {
     return QueryGraph::FromPatterns(patterns, graph_->shared_dict());
   }
+
+  // The scatter half of sharded execution (DESIGN.md §14): runs ONLY
+  // the clustering phase of Execute over this engine's index — same
+  // update lock, caches, degraded-read policy and stats attribution —
+  // and returns the per-query-path clusters sorted (λ asc, PathId
+  // asc). Cluster path ids are LOCAL to this engine's index; the
+  // sharded coordinator rewrites them to the global id space before
+  // merging. Plain queries should keep using Execute.
+  Result<std::vector<Cluster>> ClusterQuery(const QueryGraph& query,
+                                            QueryStats* stats = nullptr) const;
 
   const EngineOptions& options() const { return options_; }
   EngineOptions& mutable_options() { return options_; }

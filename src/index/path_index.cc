@@ -92,6 +92,10 @@ Status PathIndex::Build(const DataGraph& graph,
   WallTimer timer;
   graph_ = &graph;
   options_ = options;
+  // The shard-build hooks are borrowed for the duration of this call
+  // only; the retained options must not dangle into later updates.
+  options_.start_mask = nullptr;
+  options_.per_start_counts = nullptr;
   base_fingerprint_ = GraphFingerprint(graph);
   update_journal_.clear();
   DropQueryCaches();  // A rebuild invalidates every memoized answer.
@@ -137,16 +141,40 @@ Status PathIndex::Build(const DataGraph& graph,
   // thread count — a reopened index never depends on how many cores
   // built it.
   std::vector<NodeId> starts = graph.StartNodes();
+  if (options.start_mask != nullptr) {
+    // Sharded build: this index enumerates only its owned starts. A
+    // global path cap cannot be restricted to a shard coherently (the
+    // cut point depends on the other shards' counts), so reject it.
+    if (options.enumerate.max_paths != 0) {
+      return Status::InvalidArgument(
+          "start_mask (sharded build) requires enumerate.max_paths == 0");
+    }
+    std::vector<NodeId> owned;
+    owned.reserve(starts.size());
+    for (NodeId start : starts) {
+      if (start < options.start_mask->size() &&
+          (*options.start_mask)[start] != 0) {
+        owned.push_back(start);
+      }
+    }
+    starts = std::move(owned);
+  }
+  if (options.per_start_counts != nullptr) options.per_start_counts->clear();
   std::vector<Path> paths;
   size_t threads = std::max<size_t>(1, options.num_threads);
   if (threads == 1 || starts.size() <= 1) {
     PathEnumeratorOptions enum_options = options.enumerate;
     for (NodeId start : starts) {
+      size_t before = paths.size();
       EnumeratePathsFrom(graph, start, enum_options, [&](const Path& p) {
         paths.push_back(p);
         return options.enumerate.max_paths == 0 ||
                paths.size() < options.enumerate.max_paths;
       });
+      if (options.per_start_counts != nullptr) {
+        options.per_start_counts->emplace_back(
+            start, static_cast<uint64_t>(paths.size() - before));
+      }
       if (options.enumerate.max_paths != 0 &&
           paths.size() >= options.enumerate.max_paths) {
         break;
@@ -164,8 +192,12 @@ Status PathIndex::Build(const DataGraph& graph,
                              });
           return Status::Ok();
         }));
-    for (std::vector<Path>& local : per_start) {
-      for (Path& p : local) paths.push_back(std::move(p));
+    for (size_t i = 0; i < starts.size(); ++i) {
+      if (options.per_start_counts != nullptr) {
+        options.per_start_counts->emplace_back(
+            starts[i], static_cast<uint64_t>(per_start[i].size()));
+      }
+      for (Path& p : per_start[i]) paths.push_back(std::move(p));
     }
     if (options.enumerate.max_paths != 0 &&
         paths.size() > options.enumerate.max_paths) {
@@ -447,6 +479,8 @@ Status PathIndex::Open(DataGraph* graph,
   }
   graph_ = graph;
   options_ = options;
+  options_.start_mask = nullptr;       // Build-time hooks; never
+  options_.per_start_counts = nullptr;  // retained past the call.
   DropQueryCaches();  // Opening replaces the contents wholesale.
   Env* env = OrDefault(options.env);
 

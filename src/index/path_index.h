@@ -39,6 +39,25 @@ struct PathIndexOptions {
   bool build_hypergraph = true;
   // I/O seam for fault-injection tests; nullptr = Env::Default().
   Env* env = nullptr;
+
+  // ---- Sharded builds (src/shard, DESIGN.md §14). Build-time only;
+  // both pointers must stay valid through Build and are not retained.
+  //
+  // When non-null, enumeration is restricted to the start nodes with
+  // start_mask[node] != 0 (indexed by NodeId over the full graph; the
+  // other stages — inverted label indexes, sources/sinks — still cover
+  // the whole graph, so a shard answers lookups exactly like the full
+  // index restricted to its paths). Per-start DFS emission order is
+  // untouched, so the shard's dense local PathIds enumerate in the
+  // same relative order the unfiltered build would give those paths —
+  // the monotone local→global id property the sharded merge rests on.
+  // Requires enumerate.max_paths == 0: a global truncation cap has no
+  // well-defined restriction to a shard.
+  const std::vector<uint8_t>* start_mask = nullptr;
+  // When non-null, receives one (start node, paths emitted) entry per
+  // enumerated start, in enumeration (StartNodes) order. The sharded
+  // build layer derives the global id space from these counts.
+  std::vector<std::pair<NodeId, uint64_t>>* per_start_counts = nullptr;
 };
 
 // Sizing knobs for the index's query-side caches (ConfigureQueryCache).
@@ -203,6 +222,12 @@ class PathIndex {
   static Result<uint64_t> ReadCheckpointLsn(const std::string& dir,
                                             Env* env = nullptr);
 
+  // Content identity of a graph, the value Build stamps into
+  // index.meta and Open verifies. The sharded build layer (src/shard)
+  // stamps the same fingerprint into its partition sidecars so a
+  // shard set can detect being opened over the wrong graph.
+  static uint64_t GraphFingerprint(const DataGraph& graph);
+
   // Empties every page cache AND the query-side caches (cold-cache
   // experiments).
   Status DropCaches();
@@ -258,7 +283,6 @@ class PathIndex {
   // and the four inverted indexes.
   Status SaveMetadata(const std::string& dir) const;
   Status LoadMetadata(const std::string& dir, uint64_t fingerprint);
-  static uint64_t GraphFingerprint(const DataGraph& graph);
 
   const DataGraph* graph_ = nullptr;
   // Fingerprint of the base graph (before any AddTriple), fixed at

@@ -109,13 +109,21 @@ double Histogram::Quantile(double q) const {
   }
   if (total == 0) return std::numeric_limits<double>::quiet_NaN();
   double rank = q * static_cast<double>(total);
+  // PromQL bucketQuantile semantics: select the FIRST bucket whose
+  // cumulative count reaches the rank — even an empty one (possible
+  // only when the rank lands exactly on the boundary below it, e.g.
+  // q=0 with empty leading buckets). Skipping empty buckets here
+  // would misreport such boundary ranks as the next non-empty
+  // bucket's range. An empty selected bucket has no observations to
+  // interpolate over, so its lower edge is the answer.
   uint64_t cum = 0;
   for (size_t i = 0; i < bounds_.size(); ++i) {
     uint64_t below = cum;
     cum += counts[i];
-    if (static_cast<double>(cum) >= rank && counts[i] > 0) {
+    if (static_cast<double>(cum) >= rank) {
       if (i == 0 && bounds_[0] <= 0) return bounds_[0];
       double lower = i == 0 ? 0.0 : bounds_[i - 1];
+      if (counts[i] == 0) return lower;
       double frac = (rank - static_cast<double>(below)) /
                     static_cast<double>(counts[i]);
       return lower + (bounds_[i] - lower) * frac;

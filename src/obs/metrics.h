@@ -77,11 +77,14 @@ class Histogram {
 
   // Estimates the q-quantile (q in [0,1]) with linear interpolation
   // inside the bucket the rank lands in, matching PromQL's
-  // histogram_quantile: the first bucket interpolates from 0 (or
-  // returns its bound when that bound is <= 0), and a rank in the +Inf
-  // bucket returns the largest finite bound. NaN when the histogram
-  // has no observations. Totals come from one bucket snapshot, so a
-  // concurrent Observe cannot put the rank outside the counted mass.
+  // histogram_quantile: the selected bucket is the FIRST whose
+  // cumulative count reaches the rank (an empty selected bucket —
+  // boundary-exact ranks only — yields its lower edge), the first
+  // bucket interpolates from 0 (or returns its bound when that bound
+  // is <= 0), and a rank in the +Inf bucket returns the largest
+  // finite bound. NaN when the histogram has no observations. Totals
+  // come from one bucket snapshot, so a concurrent Observe cannot put
+  // the rank outside the counted mass.
   double Quantile(double q) const;
 
   // Default latency bounds in milliseconds: 0.25ms .. ~8s, powers of two.

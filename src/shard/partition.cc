@@ -1,0 +1,175 @@
+#include "shard/partition.h"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+namespace sama {
+
+namespace {
+
+// Union-find with path halving; components of the live-edge graph.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return;
+    // Smaller root wins so representatives are deterministic.
+    if (b < a) std::swap(a, b);
+    parent_[b] = a;
+  }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+}  // namespace
+
+GraphPartition PartitionGraph(const DataGraph& graph, size_t num_shards) {
+  GraphPartition out;
+  out.num_shards = std::max<size_t>(1, num_shards);
+  const size_t n = graph.node_count();
+  out.shard_of_node.assign(n, 0);
+  out.shard_weights.assign(out.num_shards, 0);
+  if (n == 0) return out;
+
+  // Level 1: weak components over live edges.
+  UnionFind uf(n);
+  for (EdgeId e = 0; e < graph.edge_count(); ++e) {
+    if (!graph.edge_live(e)) continue;
+    uf.Union(graph.edge(e).from, graph.edge(e).to);
+  }
+  // Component weight = nodes + live out-edges (each live edge counted
+  // once, at its source).
+  struct Component {
+    NodeId root;  // Smallest node id in the component.
+    uint64_t weight = 0;
+    std::vector<NodeId> nodes;  // Ascending node id.
+  };
+  std::vector<size_t> comp_of(n);
+  std::vector<Component> comps;
+  {
+    std::vector<size_t> comp_index(n, n);
+    for (NodeId v = 0; v < n; ++v) {
+      size_t root = uf.Find(v);
+      if (comp_index[root] == n) {
+        comp_index[root] = comps.size();
+        comps.push_back(Component{static_cast<NodeId>(v), 0, {}});
+      }
+      size_t c = comp_index[root];
+      comp_of[v] = c;
+      comps[c].nodes.push_back(v);
+      uint64_t live_out = 0;
+      for (EdgeId e : graph.out_edges(v)) {
+        if (graph.edge_live(e)) ++live_out;
+      }
+      comps[c].weight += 1 + live_out;
+    }
+  }
+  out.num_components = comps.size();
+
+  uint64_t total_weight = 0;
+  for (const Component& c : comps) total_weight += c.weight;
+  const uint64_t target =
+      (total_weight + out.num_shards - 1) / out.num_shards;
+
+  // Heaviest first; ties broken on the smaller root id so the order is
+  // a pure function of the graph.
+  std::vector<size_t> by_weight(comps.size());
+  std::iota(by_weight.begin(), by_weight.end(), 0);
+  std::sort(by_weight.begin(), by_weight.end(), [&](size_t a, size_t b) {
+    if (comps[a].weight != comps[b].weight) {
+      return comps[a].weight > comps[b].weight;
+    }
+    return comps[a].root < comps[b].root;
+  });
+
+  auto least_loaded = [&]() {
+    size_t best = 0;
+    for (size_t s = 1; s < out.num_shards; ++s) {
+      if (out.shard_weights[s] < out.shard_weights[best]) best = s;
+    }
+    return best;
+  };
+  auto node_weight = [&](NodeId v) {
+    uint64_t live_out = 0;
+    for (EdgeId e : graph.out_edges(v)) {
+      if (graph.edge_live(e)) ++live_out;
+    }
+    return 1 + live_out;
+  };
+
+  for (size_t ci : by_weight) {
+    const Component& comp = comps[ci];
+    if (comp.weight <= target || out.num_shards == 1) {
+      // Level 1: the whole component rides one shard.
+      size_t s = least_loaded();
+      for (NodeId v : comp.nodes) {
+        out.shard_of_node[v] = static_cast<uint32_t>(s);
+      }
+      out.shard_weights[s] += comp.weight;
+      continue;
+    }
+    // Level 2: split along BFS discovery order from the smallest node,
+    // neighbours visited in edge-id order (out, then in) — fully
+    // deterministic, and BFS-contiguous regions keep the cut low.
+    std::vector<uint8_t> seen(n, 0);
+    std::deque<NodeId> frontier;
+    frontier.push_back(comp.root);
+    seen[comp.root] = 1;
+    size_t current = least_loaded();
+    uint64_t region = 0;
+    while (!frontier.empty()) {
+      NodeId v = frontier.front();
+      frontier.pop_front();
+      if (region >= target) {
+        // Close the region; the next one goes to the then-least-loaded
+        // shard (which can be the same one when others carry more).
+        current = least_loaded();
+        region = 0;
+      }
+      out.shard_of_node[v] = static_cast<uint32_t>(current);
+      uint64_t w = node_weight(v);
+      out.shard_weights[current] += w;
+      region += w;
+      for (EdgeId e : graph.out_edges(v)) {
+        if (!graph.edge_live(e)) continue;
+        NodeId t = graph.edge(e).to;
+        if (!seen[t]) {
+          seen[t] = 1;
+          frontier.push_back(t);
+        }
+      }
+      for (EdgeId e : graph.in_edges(v)) {
+        if (!graph.edge_live(e)) continue;
+        NodeId f = graph.edge(e).from;
+        if (!seen[f]) {
+          seen[f] = 1;
+          frontier.push_back(f);
+        }
+      }
+    }
+  }
+
+  for (EdgeId e = 0; e < graph.edge_count(); ++e) {
+    if (!graph.edge_live(e)) continue;
+    if (out.shard_of_node[graph.edge(e).from] !=
+        out.shard_of_node[graph.edge(e).to]) {
+      ++out.cut_edges;
+    }
+  }
+  return out;
+}
+
+}  // namespace sama

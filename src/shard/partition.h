@@ -1,0 +1,57 @@
+#ifndef SAMA_SHARD_PARTITION_H_
+#define SAMA_SHARD_PARTITION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/data_graph.h"
+
+namespace sama {
+
+// The edge-cut partition behind sharded index builds (DESIGN.md §14),
+// generalizing the DOGMA baseline's partition step: DOGMA cuts the
+// graph into balanced low-cut blocks for index locality; here the
+// blocks additionally fix PATH ownership — a path belongs to the shard
+// owning its start node — so the per-shard path sets are disjoint and
+// their union is exactly the unfiltered enumeration.
+//
+// Two levels, both deterministic:
+//  1. Weak connected components over the live edges. Whole components
+//     pack onto shards LPT-style (heaviest component first to the
+//     least-loaded shard; ties: smaller min node id, lower shard
+//     ordinal), so a naturally disconnected graph partitions with an
+//     edge cut of exactly zero.
+//  2. A component too heavy for the balance target is split along its
+//     BFS discovery order (from its smallest node id, neighbours in
+//     edge-id order): contiguous BFS regions of ~target weight go to
+//     the least-loaded shard in turn. BFS contiguity keeps the cut low
+//     without a full min-cut solver.
+//
+// Correctness of sharded search does NOT depend on partition quality —
+// any assignment of start nodes yields byte-identical answers (the
+// gather replays the single-engine enumeration). Quality only moves
+// locality, balance and the reported cut.
+struct GraphPartition {
+  size_t num_shards = 0;
+  // Shard of every node (size graph.node_count()); nodes of a split
+  // component follow their BFS region.
+  std::vector<uint32_t> shard_of_node;
+  // Per-shard total weight (nodes + live edges assigned).
+  std::vector<uint64_t> shard_weights;
+  size_t num_components = 0;  // Weak components over live edges.
+  // Live edges whose endpoints landed on different shards; 0 whenever
+  // no component had to be split.
+  uint64_t cut_edges = 0;
+
+  uint32_t ShardOfNode(NodeId n) const {
+    return n < shard_of_node.size() ? shard_of_node[n] : 0;
+  }
+};
+
+// Partitions `graph` into `num_shards` blocks (clamped to >= 1).
+GraphPartition PartitionGraph(const DataGraph& graph, size_t num_shards);
+
+}  // namespace sama
+
+#endif  // SAMA_SHARD_PARTITION_H_

@@ -1,0 +1,103 @@
+#ifndef SAMA_SHARD_SHARDED_ENGINE_H_
+#define SAMA_SHARD_SHARDED_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/engine.h"
+#include "shard/sharded_index.h"
+
+namespace sama {
+
+struct ShardInstruments;
+
+// In-process scatter-gather execution over a ShardedIndex (DESIGN.md
+// §14, ROADMAP item 4). One coordinator owns the thread pool; each
+// shard is an ordinary SamaEngine over its shard's PathIndex.
+//
+// A query runs in three phases:
+//   scatter — every live shard clusters the query against its own
+//     index (concurrently when the coordinator has a pool); local path
+//     ids are rewritten to the global id space.
+//   search  — the per-shard cluster lists merge into the exact
+//     single-index candidate lists (same (λ, id) order, same per-
+//     cluster cap), and each live shard runs a forest search over the
+//     MERGED clusters restricted — via ForestSearchOptions::root_filter
+//     — to subtrees rooted at the paths it owns. Searches run
+//     sequentially shard 0..N-1 (each one parallelises its waves on
+//     the coordinator pool) and exchange their k-th-best scores
+//     through one fresh SharedScoreBound, so a later shard prunes with
+//     the bound an earlier shard proved.
+//   gather  — shard answers merge by (score, enumeration key) and the
+//     engine's dedup/top-k rule replays over them.
+//
+// The root slices partition the single-engine enumeration, the shared
+// bound only prunes strictly-worse-than-θ* work, and the gather key
+// reproduces enumeration order — so answers (scores AND tie-break
+// order) are byte-identical to a single-index SamaEngine run with the
+// same options, for any shard count and thread count. The one carve-
+// out is the anytime budget: each shard spends its own max_expansions/
+// deadline, so a run the single engine would TRUNCATE may explore
+// differently here (search_truncated reports it either way).
+//
+// Degraded shards (ShardedIndex::Open non-strict) are simply absent:
+// their paths never enter the merged clusters, the remaining shards
+// still answer deterministically, and the loss is visible in
+// QueryStats::shards_degraded and the sama_shard_degraded gauge.
+//
+// Sharded indexes are read-only — there is no EnableUpdates here;
+// rebuild to change the data (the replication transport of ROADMAP
+// item 3 is the intended delivery path for shard refresh).
+class ShardedEngine {
+ public:
+  // All pointers borrowed; must outlive the engine. `index` must be
+  // ShardedIndex::Open()ed over `graph`.
+  ShardedEngine(const DataGraph* graph, const ShardedIndex* index,
+                const Thesaurus* thesaurus, EngineOptions options = {});
+  ~ShardedEngine();
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  // Same contracts as SamaEngine::ExecuteSparql / Execute.
+  Result<std::vector<Answer>> ExecuteSparql(const SparqlQuery& query,
+                                            size_t k = 0,
+                                            QueryStats* stats = nullptr) const;
+  Result<std::vector<Answer>> Execute(const QueryGraph& query, size_t k,
+                                      QueryStats* stats = nullptr) const;
+
+  QueryGraph BuildQueryGraph(const std::vector<Triple>& patterns) const {
+    return QueryGraph::FromPatterns(patterns, graph_->shared_dict());
+  }
+
+  const EngineOptions& options() const { return options_; }
+  const ShardedIndex& index() const { return *index_; }
+  size_t num_shards() const { return index_->num_shards(); }
+  size_t threads_used() const {
+    return pool_ == nullptr ? 1 : pool_->worker_count() + 1;
+  }
+  // The per-shard engine, for tests; null when the shard is degraded.
+  const SamaEngine* shard_engine(size_t s) const {
+    return engines_[s].get();
+  }
+
+  // The retained-profile ring (ObsOptions::profile); null otherwise.
+  const ProfileLog* profile_log() const { return profile_log_.get(); }
+
+ private:
+  Result<std::vector<Answer>> ExecuteWith(const QueryGraph& query, size_t k,
+                                          const ForestSearchOptions& search,
+                                          QueryStats* stats) const;
+
+  const DataGraph* graph_;
+  const ShardedIndex* index_;
+  const Thesaurus* thesaurus_;
+  EngineOptions options_;
+  std::shared_ptr<ThreadPool> pool_;
+  std::vector<std::unique_ptr<SamaEngine>> engines_;  // Null = degraded.
+  std::shared_ptr<ShardInstruments> instruments_;
+  std::shared_ptr<ProfileLog> profile_log_;
+};
+
+}  // namespace sama
+
+#endif  // SAMA_SHARD_SHARDED_ENGINE_H_

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <set>
 
 #include "testing/fixtures.h"
@@ -173,6 +174,79 @@ TEST_F(ForestSearchTest, ExpansionBudgetBoundsWork) {
   options.k = 0;
   options.max_expansions = 3;
   EXPECT_LE(Search(query, options).size(), 3u);
+}
+
+// The sharded scatter injects a k-th-score bound into each per-shard
+// search, and the server injects a per-request deadline; both can be
+// set on the SAME options struct. The composition contract: a tight
+// injected bound may only cut strictly-worse work (the leading tie
+// group always survives, byte-identical), an expired deadline under an
+// injected bound still returns Ok with a well-formed truncated list,
+// and neither run mutates anything that could leak into a later search
+// that does not inject the bound.
+TEST_F(ForestSearchTest, DeadlineComposesWithInjectedBound) {
+  QueryGraph query = env_.Query1();
+  IntersectionQueryGraph ig(query);
+  auto clusters = BuildClusters(query, env_.index(), &env_.thesaurus(),
+                                params_, ClusteringOptions());
+  ASSERT_TRUE(clusters.ok());
+
+  ForestSearchOptions base;
+  base.k = 5;
+  auto reference = ForestSearch(query, ig, *clusters, params_, base);
+  ASSERT_TRUE(reference.ok());
+  ASSERT_FALSE(reference->empty());
+  const double best = (*reference)[0].score;
+  size_t tie_group = 0;
+  while (tie_group < reference->size() &&
+         (*reference)[tie_group].score == best) {
+    ++tie_group;
+  }
+
+  // A sibling shard already published the global best score: pruning is
+  // strictly-worse-loses, so every answer tied with it must still be
+  // enumerated and rank first in canonical order.
+  SharedScoreBound bound;
+  bound.Offer(best);
+  ForestSearchOptions tight = base;
+  tight.shared_bound = &bound;
+  ForestSearchStats fs;
+  auto got = ForestSearch(query, ig, *clusters, params_, tight, nullptr,
+                          nullptr, &fs);
+  ASSERT_TRUE(got.ok());
+  EXPECT_FALSE(fs.truncated);
+  ASSERT_GE(got->size(), tie_group);
+  for (size_t i = 0; i < tie_group; ++i) {
+    EXPECT_EQ((*got)[i].score, (*reference)[i].score) << i;
+    EXPECT_EQ((*got)[i].enum_key, (*reference)[i].enum_key) << i;
+  }
+
+  // Same injected bound with an already-expired deadline: still Ok, the
+  // (possibly empty) answers stay sorted and k-capped, and the cut is
+  // reported as truncation exactly like budget exhaustion.
+  ForestSearchOptions dead = tight;
+  dead.deadline =
+      std::chrono::steady_clock::now() - std::chrono::seconds(1);
+  ForestSearchStats cut_stats;
+  auto cut = ForestSearch(query, ig, *clusters, params_, dead, nullptr,
+                          nullptr, &cut_stats);
+  ASSERT_TRUE(cut.ok());
+  EXPECT_TRUE(cut_stats.truncated);
+  EXPECT_LE(cut->size(), 5u);
+  for (size_t i = 1; i < cut->size(); ++i) {
+    EXPECT_LE((*cut)[i - 1].score, (*cut)[i].score);
+  }
+
+  // The bound lives in the caller-owned SharedScoreBound, not in any
+  // search-side state: a fresh run without the injection reproduces the
+  // reference bit for bit.
+  auto again = ForestSearch(query, ig, *clusters, params_, base);
+  ASSERT_TRUE(again.ok());
+  ASSERT_EQ(again->size(), reference->size());
+  for (size_t i = 0; i < again->size(); ++i) {
+    EXPECT_EQ((*again)[i].score, (*reference)[i].score) << i;
+    EXPECT_EQ((*again)[i].enum_key, (*reference)[i].enum_key) << i;
+  }
 }
 
 }  // namespace

@@ -139,5 +139,39 @@ TEST(ExporterTest, RefreshLatencyQuantilesSkipsEmptyHistograms) {
   EXPECT_EQ(registry.RenderText().find("quantile"), std::string::npos);
 }
 
+TEST(ExporterTest, QuantileBoundaryRanksMatchPromql) {
+  MetricsRegistry registry;
+  // Empty leading bucket with a boundary-exact rank (q=0 → rank 0):
+  // PromQL selects the FIRST bucket whose cumulative count reaches the
+  // rank — the empty (0,1] — and with nothing to interpolate over its
+  // lower edge is the answer. The old scan skipped empty buckets and
+  // misreported this as the empty bucket's UPPER bound.
+  Histogram* lead = registry.GetHistogram("q_lead", "h", {1.0, 2.0, 4.0});
+  for (int i = 0; i < 10; ++i) lead->Observe(1.5);  // All mass in (1,2].
+  EXPECT_DOUBLE_EQ(lead->Quantile(0.0), 0.0);
+  // Interior ranks still interpolate inside the occupied bucket.
+  EXPECT_DOUBLE_EQ(lead->Quantile(0.5), 1.5);
+
+  // An empty bucket BETWEEN occupied ones: the boundary-exact rank
+  // (q=0.5 → rank 4 = bucket 0's cumulative count) resolves at the top
+  // of bucket 0; past the boundary the rank skips the empty (1,2] and
+  // interpolates in (2,4].
+  Histogram* mid = registry.GetHistogram("q_mid", "h", {1.0, 2.0, 4.0});
+  for (int i = 0; i < 4; ++i) mid->Observe(0.5);
+  for (int i = 0; i < 4; ++i) mid->Observe(3.0);
+  EXPECT_DOUBLE_EQ(mid->Quantile(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(mid->Quantile(0.75), 3.0);  // rank 6 → 2 + 2·(2/4).
+
+  // A first bound <= 0 short-circuits to that bound (PromQL rule).
+  Histogram* neg = registry.GetHistogram("q_neg", "h", {0.0, 1.0});
+  neg->Observe(0.5);
+  EXPECT_DOUBLE_EQ(neg->Quantile(0.0), 0.0);
+
+  // A rank in the +Inf bucket clamps to the largest finite bound.
+  Histogram* inf = registry.GetHistogram("q_inf", "h", {1.0});
+  inf->Observe(50.0);
+  EXPECT_DOUBLE_EQ(inf->Quantile(0.99), 1.0);
+}
+
 }  // namespace
 }  // namespace sama

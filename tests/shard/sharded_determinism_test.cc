@@ -1,0 +1,344 @@
+// The sharded-search correctness contract (DESIGN.md §14): for every
+// shard count and thread count, ShardedEngine returns answers
+// byte-identical — same combinations, same score decomposition, same
+// tie-break order, same global path ids — to a single-index serial
+// SamaEngine run with the same options. Exercised over all three
+// synthetic dataset generators at several k, because tie density is
+// what breaks naive cross-shard top-k merges. Also covers the degraded
+// path (a damaged shard must cost candidates, not correctness) and the
+// freshness of the cross-shard bound (no leakage between queries).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "core/engine.h"
+#include "datasets/berlin.h"
+#include "datasets/lubm.h"
+#include "datasets/queries.h"
+#include "datasets/scale_free.h"
+#include "graph/data_graph.h"
+#include "index/path_index.h"
+#include "query/sparql.h"
+#include "shard/sharded_engine.h"
+#include "shard/sharded_index.h"
+#include "text/thesaurus.h"
+
+namespace sama {
+namespace {
+
+constexpr size_t kShardCounts[] = {2, 4, 8};
+constexpr size_t kThreadCounts[] = {1, 4};
+constexpr size_t kTopK[] = {1, 5, 20};
+
+// Byte-identity is only contractual for untruncated searches: a
+// truncated run's tie tail depends on how the anytime budget was spent,
+// and each engine spends its own (see ShardedEngine's header). The
+// suite uses a budget ample enough that every comparable query
+// completes; the few that still truncate take the carve-out branch in
+// CheckQuery instead.
+constexpr uint64_t kAmpleExpansions = 200000;
+
+// Same lossless signature as the parallel-determinism suite: %.17g
+// scores, (query path slot, data path id) parts in answer order. The
+// sharded engine reports GLOBAL path ids, so the ids must match the
+// single index literally.
+std::string Signature(const std::vector<Answer>& answers) {
+  std::string out;
+  char buf[96];
+  for (const Answer& a : answers) {
+    std::snprintf(buf, sizeof(buf), "%.17g|%.17g|%.17g|", a.score,
+                  a.lambda_total, a.psi_total);
+    out += buf;
+    for (size_t i = 0; i < a.parts.size(); ++i) {
+      out += std::to_string(a.query_path_index[i]);
+      out += ':';
+      out += std::to_string(a.parts[i].id);
+      out += ',';
+    }
+    out += a.consistent ? ";ok\n" : ";inconsistent\n";
+  }
+  return out;
+}
+
+void RemoveTree(const std::string& base) {
+  Env* env = Env::Default();
+  auto entries = env->ListDir(base);
+  if (!entries.ok()) return;
+  for (const std::string& name : *entries) {
+    std::string path = base + "/" + name;
+    auto sub = env->ListDir(path);
+    if (sub.ok()) {
+      for (const std::string& inner : *sub) {
+        env->RemoveFile(path + "/" + inner).ok();
+      }
+      env->RemoveDir(path).ok();
+    } else {
+      env->RemoveFile(path).ok();
+    }
+  }
+  env->RemoveDir(base).ok();
+}
+
+// One dataset: the single-index serial reference plus one
+// ShardedEngine per (shard count × thread count), all over one shared
+// graph/dictionary/thesaurus.
+class Env2 {
+ public:
+  Env2(const std::string& name, std::vector<Triple> triples)
+      : graph_(std::make_unique<DataGraph>(
+            DataGraph::FromTriples(std::move(triples)))) {
+    single_index_ = std::make_unique<PathIndex>();
+    Status s = single_index_->Build(*graph_, PathIndexOptions());
+    EXPECT_TRUE(s.ok()) << s;
+    thesaurus_ = Thesaurus::BuiltinEnglish();
+    EngineOptions serial_options;
+    serial_options.num_threads = 1;
+    serial_options.search.max_expansions = kAmpleExpansions;
+    serial_ = std::make_unique<SamaEngine>(graph_.get(), single_index_.get(),
+                                           &thesaurus_, serial_options);
+    for (size_t shards : kShardCounts) {
+      std::string dir = testing::TempDir() + "/sdet_" + name + "_" +
+                        std::to_string(shards);
+      RemoveTree(dir);
+      ShardedIndexOptions options;
+      options.num_shards = shards;
+      Status built = BuildShardedIndex(*graph_, dir, options);
+      EXPECT_TRUE(built.ok()) << built;
+      auto index = std::make_unique<ShardedIndex>();
+      Status opened = index->Open(graph_.get(), dir, /*strict=*/true);
+      EXPECT_TRUE(opened.ok()) << opened;
+      for (size_t threads : kThreadCounts) {
+        EngineOptions options2;
+        options2.num_threads = threads;
+        options2.obs.metrics = false;
+        options2.search.max_expansions = kAmpleExpansions;
+        engines_.push_back(std::make_unique<ShardedEngine>(
+            graph_.get(), index.get(), &thesaurus_, options2));
+        labels_.push_back(std::to_string(shards) + " shards, " +
+                          std::to_string(threads) + " threads");
+      }
+      indexes_.push_back(std::move(index));
+    }
+  }
+
+  QueryGraph Parse(const std::string& sparql) {
+    auto parsed = ParseSparql(sparql);
+    EXPECT_TRUE(parsed.ok()) << parsed.status() << "\n" << sparql;
+    return parsed->ToQueryGraph(graph_->shared_dict());
+  }
+
+  // Sharded == single-index serial, at every k, for every shard/thread
+  // combination. Accumulates the cross-shard pruning counter so the
+  // suite can assert the bound exchange actually fires somewhere.
+  void CheckQuery(const std::string& name, const QueryGraph& query) {
+    for (size_t k : kTopK) {
+      QueryStats serial_stats;
+      auto serial = serial_->Execute(query, k, &serial_stats);
+      ASSERT_TRUE(serial.ok()) << name << " k=" << k << ": "
+                               << serial.status();
+      if (serial_stats.search_truncated) {
+        // Anytime carve-out: the reference itself ran out of budget, so
+        // the tie tail is a budget artifact, not a contract. Sharded
+        // execution must still return a well-formed ranked list (it may
+        // legitimately finish — N shards have N budgets and the bound
+        // exchange prunes across them).
+        for (size_t i = 0; i < engines_.size(); ++i) {
+          QueryStats stats;
+          auto got = engines_[i]->Execute(query, k, &stats);
+          ASSERT_TRUE(got.ok()) << name << " k=" << k << " (" << labels_[i]
+                                << "): " << got.status();
+          EXPECT_LE(got->size(), k);
+          for (size_t j = 1; j < got->size(); ++j) {
+            EXPECT_LE((*got)[j - 1].score, (*got)[j].score)
+                << name << " k=" << k << " (" << labels_[i]
+                << "): truncated answers out of order";
+          }
+          EXPECT_EQ(stats.shards_degraded, 0u);
+        }
+        continue;
+      }
+      std::string expected = Signature(*serial);
+      for (size_t i = 0; i < engines_.size(); ++i) {
+        QueryStats stats;
+        auto got = engines_[i]->Execute(query, k, &stats);
+        ASSERT_TRUE(got.ok()) << name << " k=" << k << " (" << labels_[i]
+                              << "): " << got.status();
+        EXPECT_EQ(Signature(*got), expected)
+            << name << " diverges from the single index at k=" << k
+            << " with " << labels_[i];
+        EXPECT_EQ(stats.shards_degraded, 0u);
+        total_shared_pruned_ += stats.search_shared_bound_pruned;
+      }
+    }
+  }
+
+  // Same check through the SPARQL front door (dedup/filter/limit).
+  void CheckSparql(const std::string& name, const std::string& text) {
+    auto parsed = ParseSparql(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status() << "\n" << text;
+    auto serial = serial_->ExecuteSparql(*parsed, /*k=*/10);
+    ASSERT_TRUE(serial.ok()) << name << ": " << serial.status();
+    std::string expected = Signature(*serial);
+    for (size_t i = 0; i < engines_.size(); ++i) {
+      auto got = engines_[i]->ExecuteSparql(*parsed, /*k=*/10);
+      ASSERT_TRUE(got.ok()) << name << " (" << labels_[i]
+                            << "): " << got.status();
+      EXPECT_EQ(Signature(*got), expected)
+          << name << " (SPARQL) diverges with " << labels_[i];
+    }
+  }
+
+  uint64_t total_shared_pruned() const { return total_shared_pruned_; }
+  SamaEngine& serial() { return *serial_; }
+  ShardedEngine& sharded(size_t i) { return *engines_[i]; }
+
+ private:
+  std::unique_ptr<DataGraph> graph_;
+  std::unique_ptr<PathIndex> single_index_;
+  Thesaurus thesaurus_;
+  std::unique_ptr<SamaEngine> serial_;
+  std::vector<std::unique_ptr<ShardedIndex>> indexes_;
+  std::vector<std::unique_ptr<ShardedEngine>> engines_;
+  std::vector<std::string> labels_;
+  uint64_t total_shared_pruned_ = 0;
+};
+
+TEST(ShardedDeterminismTest, LubmWorkloadMatchesSingleIndex) {
+  LubmConfig config;
+  config.universities = 1;
+  Env2 env("lubm", GenerateLubm(config));
+  std::vector<BenchmarkQuery> queries = MakeLubmQueries();
+  for (size_t i = 0; i < queries.size(); i += 3) {
+    env.CheckQuery(queries[i].name, env.Parse(queries[i].sparql));
+  }
+  // The cross-shard k-th-score exchange must have pruned something
+  // over this workload — the tentpole's measurable win. (Searches run
+  // sequentially per query, so the counter is deterministic.)
+  EXPECT_GT(env.total_shared_pruned(), 0u);
+}
+
+TEST(ShardedDeterminismTest, LubmSparqlFrontDoorMatches) {
+  LubmConfig config;
+  config.universities = 1;
+  Env2 env("lubm_sparql", GenerateLubm(config));
+  std::vector<BenchmarkQuery> queries = MakeLubmQueries();
+  env.CheckSparql(queries[1].name, queries[1].sparql);
+  // DISTINCT exercises the dedup replay in the gather.
+  env.CheckSparql("distinct",
+                  "PREFIX ub: <http://lubm.example.org/univ-bench#> "
+                  "SELECT DISTINCT ?t WHERE { ?p ub:teacherOf ?c . "
+                  "?p ub:worksFor ?t }");
+}
+
+TEST(ShardedDeterminismTest, BerlinWorkloadMatchesSingleIndex) {
+  BerlinConfig config;
+  config.products = 100;
+  Env2 env("berlin", GenerateBerlin(config));
+  std::vector<BenchmarkQuery> queries = MakeBerlinQueries();
+  for (size_t i = 0; i < queries.size(); i += 2) {
+    env.CheckQuery(queries[i].name, env.Parse(queries[i].sparql));
+  }
+}
+
+TEST(ShardedDeterminismTest, ScaleFreeMatchesSingleIndex) {
+  ScaleFreeProfile profile;
+  profile.num_entities = 600;
+  profile.seed = 42;
+  Env2 env("scalefree", GenerateScaleFree(profile));
+  const std::string rel = "http://scale-free.example.org/rel#";
+  const std::string ent = "http://scale-free.example.org/";
+  env.CheckQuery(
+      "chain",
+      env.Parse("SELECT ?x WHERE { ?x <" + rel + "linksTo> ?y . ?y <" +
+                rel + "linksTo> ?z . ?z <" + rel + "tag> \"red\" }"));
+  env.CheckQuery(
+      "hub-star",
+      env.Parse("SELECT ?x WHERE { ?x <" + rel + "linksTo> <" + ent +
+                "Entity0> . ?x <" + rel + "tag> ?t }"));
+}
+
+TEST(ShardedDeterminismTest, NoCandidatesStillMatches) {
+  LubmConfig config;
+  config.universities = 1;
+  Env2 env("lubm_empty", GenerateLubm(config));
+  // Nothing in LUBM matches this vocabulary: every cluster is empty,
+  // which exercises the no-join-positions special case.
+  env.CheckQuery(
+      "no-match",
+      env.Parse("SELECT ?x WHERE { ?x <http://nowhere.example.org/p> "
+                "<http://nowhere.example.org/o> }"));
+}
+
+TEST(ShardedDeterminismTest, BoundDoesNotLeakAcrossQueries) {
+  LubmConfig config;
+  config.universities = 1;
+  Env2 env("lubm_leak", GenerateLubm(config));
+  std::vector<BenchmarkQuery> queries = MakeLubmQueries();
+  // A selective query first (publishes a tight k-th score), then a
+  // broad one: the broad query must match a fresh engine's output —
+  // i.e. the first query's bound must not survive into the second.
+  QueryGraph selective = env.Parse(queries[0].sparql);
+  QueryGraph broad = env.Parse(queries[6].sparql);
+  auto broad_serial = env.serial().Execute(broad, 20);
+  ASSERT_TRUE(broad_serial.ok());
+  std::string expected = Signature(*broad_serial);
+  ASSERT_TRUE(env.sharded(0).Execute(selective, 1).ok());
+  auto broad_after = env.sharded(0).Execute(broad, 20);
+  ASSERT_TRUE(broad_after.ok());
+  EXPECT_EQ(Signature(*broad_after), expected);
+  // And byte-stability across repeated identical executions.
+  auto again = env.sharded(0).Execute(broad, 20);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(Signature(*again), expected);
+}
+
+TEST(ShardedDeterminismTest, DegradedShardCostsCandidatesNotCorrectness) {
+  LubmConfig config;
+  config.universities = 1;
+  DataGraph graph = DataGraph::FromTriples(GenerateLubm(config));
+  Thesaurus thesaurus = Thesaurus::BuiltinEnglish();
+  std::string dir = testing::TempDir() + "/sdet_degraded";
+  RemoveTree(dir);
+  ShardedIndexOptions options;
+  options.num_shards = 2;
+  ASSERT_TRUE(BuildShardedIndex(graph, dir, options).ok());
+  ASSERT_TRUE(
+      Env::Default()->RemoveFile(dir + "/shard-0001/index.meta").ok());
+
+  ShardedIndex index;
+  ASSERT_TRUE(index.Open(&graph, dir, /*strict=*/false).ok());
+  ASSERT_EQ(index.degraded_shards(), 1u);
+  EngineOptions engine_options;
+  engine_options.obs.metrics = false;
+  ShardedEngine engine(&graph, &index, &thesaurus, engine_options);
+
+  std::vector<BenchmarkQuery> queries = MakeLubmQueries();
+  for (size_t i = 0; i < queries.size(); i += 4) {
+    auto parsed = ParseSparql(queries[i].sparql);
+    ASSERT_TRUE(parsed.ok());
+    QueryGraph qg = parsed->ToQueryGraph(graph.shared_dict());
+    QueryStats stats;
+    auto got = engine.Execute(qg, 10, &stats);
+    // A degraded shard must never fail the query...
+    ASSERT_TRUE(got.ok()) << queries[i].name << ": " << got.status();
+    EXPECT_EQ(stats.shards_degraded, 1u);
+    // ...and every returned answer must use only shard-0 paths.
+    for (const Answer& a : *got) {
+      for (const ScoredPath& sp : a.parts) {
+        EXPECT_EQ(index.OwnerOf(sp.id), 0u);
+      }
+    }
+    // Determinism holds among the survivors too.
+    auto again = engine.Execute(qg, 10);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(Signature(*again), Signature(*got));
+  }
+}
+
+}  // namespace
+}  // namespace sama

@@ -3,7 +3,7 @@
 
 Usage:
     check_bench_regression.py NEW.json BASELINE.json \
-        [--mode=fig6|serve|wal|read]
+        [--mode=fig6|serve|wal|read|shard]
 
 --mode=fig6 (default) gates bench_fig6 artifacts:
   1. Warm-path latency: summary.warm_mean_ms must not exceed the
@@ -52,11 +52,26 @@ Usage:
      summary must not fall below the baseline by more than
      --tolerance — lock-freedom must not tax the uncontended case.
 
+--mode=shard gates bench_shard artifacts (sharded scatter-gather):
+  1. Correctness (unconditional, never skipped): summary.mismatches
+     must be exactly zero — every untruncated query must be
+     byte-identical (scores AND tie-break order) to the single-index
+     run at every shard count.
+  2. Bound liveness (unconditional): summary.bound_exchange_prunes
+     must be positive — a zero means the cross-shard k-th-score bound
+     never cut anything and the exchange is dead code.
+  3. Coverage: summary.queries_compared must not fall below the
+     baseline — the identity check must not silently become vacuous
+     because more queries started truncating.
+  4. Latency: per-shard-count mean_ms must not exceed the baseline by
+     more than --tolerance (machine-dependent).
+
 Latency/throughput are machine-dependent; the correctness and ratio
 checks are not. Pass --no-absolute to skip the machine-dependent
 checks (fig6 check 1; serve checks 2 and 3, except the --min-qps hard
 floor; wal checks 2 and 3, except the --min-appends hard floor; read
-checks 2 and 3) on hardware that does not match the baseline machine.
+checks 2 and 3; shard check 4) on hardware that does not match the
+baseline machine.
 """
 
 import argparse
@@ -261,11 +276,83 @@ def check_read(new, base, args):
     return failures
 
 
+def check_shard(new, base, args):
+    """The bench_shard gate; returns the list of failure strings."""
+    failures = []
+    new_sum, base_sum = new["summary"], base["summary"]
+
+    # Correctness first, and never skippable: identity and bound
+    # liveness are machine-independent by construction.
+    mismatches = get_number(new_sum, "mismatches",
+                            f"{args.new_json} summary")
+    if mismatches != 0:
+        failures.append(f"mismatches is {mismatches:g}; sharded answers "
+                        f"must be byte-identical to the single index")
+    prunes = get_number(new_sum, "bound_exchange_prunes",
+                        f"{args.new_json} summary")
+    if prunes <= 0:
+        failures.append("bound_exchange_prunes is 0; the cross-shard "
+                        "k-th-score bound never pruned anything "
+                        "(dead exchange)")
+
+    compared = get_number(new_sum, "queries_compared",
+                          f"{args.new_json} summary")
+    base_compared = get_number(base_sum, "queries_compared",
+                               f"{args.baseline_json} summary")
+    if base_compared <= 0:
+        die(f"key 'queries_compared' in {args.baseline_json} summary is "
+            f"{base_compared}; a baseline with no byte-compared queries "
+            f"cannot gate anything (re-record the baseline)")
+    if compared < base_compared:
+        failures.append(
+            f"queries_compared {compared:g} below baseline "
+            f"{base_compared:g}; the identity check lost coverage "
+            f"(more queries truncating)")
+
+    new_runs = {int(get_number(r, "shards", f"{args.new_json} shard_runs")):
+                r for r in new.get("shard_runs", [])}
+    base_runs = {int(get_number(r, "shards",
+                                f"{args.baseline_json} shard_runs")):
+                 r for r in base.get("shard_runs", [])}
+    if not new_runs:
+        die(f"missing or empty 'shard_runs' in {args.new_json}")
+    if not args.no_absolute:
+        for shards, b in base_runs.items():
+            n = new_runs.get(shards)
+            if n is None:
+                failures.append(f"shard count {shards} present in the "
+                                f"baseline but missing from the new run")
+                continue
+            new_ms = get_number(n, "mean_ms",
+                                f"{args.new_json} shard_runs[{shards}]")
+            base_ms = get_number(
+                b, "mean_ms", f"{args.baseline_json} shard_runs[{shards}]")
+            if base_ms <= 0:
+                die(f"mean_ms for {shards} shard(s) in "
+                    f"{args.baseline_json} is {base_ms}; a zero/negative "
+                    f"baseline cannot gate anything (re-record the "
+                    f"baseline)")
+            limit = base_ms * (1.0 + args.tolerance)
+            if new_ms > limit:
+                failures.append(
+                    f"{shards}-shard mean_ms {new_ms:.2f} exceeds "
+                    f"baseline {base_ms:.2f} +{args.tolerance:.0%} "
+                    f"(limit {limit:.2f})")
+
+    if not failures:
+        print(f"shard bench ok: 0 mismatches over {compared:g} "
+              f"byte-compared queries, {prunes:.0f} bound-exchange "
+              f"prune(s), shard counts "
+              f"{sorted(new_runs)} present")
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("new_json")
     parser.add_argument("baseline_json")
-    parser.add_argument("--mode", choices=("fig6", "serve", "wal", "read"),
+    parser.add_argument("--mode",
+                        choices=("fig6", "serve", "wal", "read", "shard"),
                         default="fig6",
                         help="which bench artifact schema to gate")
     parser.add_argument("--tolerance", type=float, default=0.20,
@@ -296,9 +383,9 @@ def main():
             die(f"missing key 'queries' in {path}")
     new_sum, base_sum = new["summary"], base["summary"]
 
-    if args.mode in ("serve", "wal", "read"):
+    if args.mode in ("serve", "wal", "read", "shard"):
         check = {"serve": check_serve, "wal": check_wal,
-                 "read": check_read}[args.mode]
+                 "read": check_read, "shard": check_shard}[args.mode]
         failures = check(new, base, args)
         if failures:
             print("BENCH REGRESSION:", file=sys.stderr)

@@ -7,9 +7,18 @@
 //   sama_cli --data graph.nt --interactive
 //   sama_cli verify --index-dir DIR
 //   sama_cli update --data graph.nt --index-dir DIR --apply updates.txt
+//   sama_cli build --data graph.nt --index-dir DIR --shards 4
 //   sama_cli serve --demo --port 8080
 //
 // Subcommands:
+//   build              Partition the graph and build a sharded index
+//                      under --index-dir: N per-shard PathIndex dirs
+//                      plus the sharding sidecars (DESIGN.md §14).
+//                      Querying that directory later (--index-dir
+//                      pointing at it) automatically runs the sharded
+//                      scatter-gather engine; answers are byte-identical
+//                      to a single-index run. --shards 1 is a valid
+//                      degenerate build.
 //   verify             Scan a persisted index directory: checksum every
 //                      page of every store, check the manifests and the
 //                      commit record, and print a corruption report.
@@ -55,6 +64,9 @@
 //                      (default 1; 0 = all hardware threads). Answers
 //                      are identical for every value.
 //   --index-dir DIR    Persist the index under DIR (default: in-memory).
+//                      A directory holding a `build --shards` output is
+//                      detected and served by the sharded engine.
+//   --shards N         `build`: number of shards to partition into.
 //   --no-thesaurus     Disable semantic (synonym) matching.
 //   --thesaurus FILE   Merge a user thesaurus ("syn:"/"isa:" lines)
 //                      on top of the builtin vocabulary.
@@ -128,6 +140,8 @@
 #include "graph/loader.h"
 #include "rdf/ntriples.h"
 #include "rdf/turtle.h"
+#include "shard/sharded_engine.h"
+#include "shard/sharded_index.h"
 #include "text/thesaurus.h"
 
 namespace {
@@ -165,6 +179,9 @@ struct CliOptions {
   size_t max_conns = 64;
   size_t max_queue = 128;
   size_t deadline_ms = 0;  // Default per-query deadline; 0 = none.
+  // build subcommand (sharded index).
+  bool build = false;
+  size_t shards = 0;
   // update subcommand / serve --updates.
   bool update = false;
   std::string apply_path;  // "" or "-" = stdin.
@@ -191,6 +208,10 @@ void PrintUsage() {
                " [--apply FILE] [--no-fsync]\n"
                "                       [--checkpoint-every N]   (apply"
                " '+'/'-' statement lines through the WAL)\n"
+               "       sama_cli build --data FILE --index-dir DIR"
+               " --shards N [--threads N]\n"
+               "                      (partitioned sharded index; querying"
+               " DIR later scatter-gathers)\n"
                "       sama_cli serve (--data FILE | --demo)"
                " [--port N] [--host ADDR]\n"
                "                      [--binary [--workers N] [--max-conns N]"
@@ -210,6 +231,9 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
     first = 2;
   } else if (argc > 1 && std::strcmp(argv[1], "update") == 0) {
     options->update = true;
+    first = 2;
+  } else if (argc > 1 && std::strcmp(argv[1], "build") == 0) {
+    options->build = true;
     first = 2;
   }
   for (int i = first; i < argc; ++i) {
@@ -298,6 +322,9 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
     } else if (arg == "--deadline-ms" && next(&value)) {
       options->deadline_ms = static_cast<size_t>(std::strtoul(value.c_str(),
                                                               nullptr, 10));
+    } else if (arg == "--shards" && next(&value)) {
+      options->shards = static_cast<size_t>(std::strtoul(value.c_str(),
+                                                         nullptr, 10));
     } else if (arg == "--apply" && next(&value)) {
       options->apply_path = value;
     } else if (arg == "--no-fsync") {
@@ -320,6 +347,17 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
   if (options->verify) {
     if (options->index_dir.empty()) {
       std::fprintf(stderr, "verify requires --index-dir\n");
+      return false;
+    }
+    return true;
+  }
+  if (options->build) {
+    if (options->index_dir.empty() || options->data_path.empty()) {
+      std::fprintf(stderr, "build requires --data and --index-dir\n");
+      return false;
+    }
+    if (options->shards == 0) {
+      std::fprintf(stderr, "build requires --shards N (N >= 1)\n");
       return false;
     }
     return true;
@@ -455,8 +493,11 @@ int RunBaseline(const CliOptions& options, sama::DataGraph* graph,
   return 0;
 }
 
+// Works for both SamaEngine and ShardedEngine — the execute surface
+// and QueryStats are shared, only the type differs.
+template <typename Engine>
 int RunOneQuery(const CliOptions& options, sama::DataGraph* graph,
-                sama::SamaEngine* engine, const std::string& sparql) {
+                Engine* engine, const std::string& sparql) {
   auto query = sama::ParseSparql(sparql);
   if (!query.ok()) {
     std::fprintf(stderr, "query parse error: %s\n",
@@ -515,6 +556,13 @@ int RunOneQuery(const CliOptions& options, sama::DataGraph* graph,
         static_cast<unsigned long long>(stats.search_roots_pruned),
         100.0 * stats.SearchPruningRatio(),
         stats.search_truncated ? ", TRUNCATED by the anytime budget" : "");
+    if (stats.search_shared_bound_pruned > 0 || stats.shards_degraded > 0) {
+      std::printf(
+          "-- shards: %llu cross-shard bound-exchange prune(s), "
+          "%llu degraded shard(s)\n",
+          static_cast<unsigned long long>(stats.search_shared_bound_pruned),
+          static_cast<unsigned long long>(stats.shards_degraded));
+    }
     auto print_cache = [](const char* name,
                           const sama::CacheCounters& counters) {
       if (counters.lookups() == 0) return;
@@ -622,6 +670,124 @@ int main(int argc, char** argv) {
     std::printf("exported %zu triples to %s\n", triples.size(),
                 options.export_path.c_str());
     return 0;
+  }
+
+  if (options.build) {
+    sama::ShardedIndexOptions shard_options;
+    shard_options.num_shards = options.shards;
+    shard_options.num_threads = options.threads == 0
+                                    ? sama::ThreadPool::HardwareThreads()
+                                    : options.threads;
+    sama::ShardBuildReport report;
+    sama::Status built = sama::BuildShardedIndex(graph, options.index_dir,
+                                                 shard_options, &report);
+    if (!built.ok()) {
+      std::fprintf(stderr, "sharded build failed: %s\n",
+                   built.ToString().c_str());
+      return 1;
+    }
+    std::printf("built %zu shard(s) in %s: %llu paths, "
+                "%zu partition component(s), %llu cut edge(s)\n",
+                report.num_shards, options.index_dir.c_str(),
+                static_cast<unsigned long long>(report.total_paths),
+                report.num_components,
+                static_cast<unsigned long long>(report.cut_edges));
+    for (size_t s = 0; s < report.shard_paths.size(); ++s) {
+      std::printf("  shard-%04zu: %llu path(s)\n", s,
+                  static_cast<unsigned long long>(report.shard_paths[s]));
+    }
+    return 0;
+  }
+
+  // A directory produced by `build --shards` answers through the
+  // scatter-gather engine; everything else follows the single-index
+  // path below. Serving and live updates are single-index features.
+  if (!options.index_dir.empty() &&
+      sama::IsShardedIndexDir(options.index_dir)) {
+    if (options.serve || options.update) {
+      std::fprintf(stderr,
+                   "%s is a sharded index; `serve` and `update` require a "
+                   "single-index directory (rebuild without --shards)\n",
+                   options.index_dir.c_str());
+      return 2;
+    }
+    sama::ShardedIndex sharded_index;
+    sama::Status opened = sharded_index.Open(&graph, options.index_dir,
+                                             /*strict=*/options.strict_io);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "cannot open sharded index %s: %s\n",
+                   options.index_dir.c_str(), opened.ToString().c_str());
+      return 1;
+    }
+    if (sharded_index.degraded_shards() > 0) {
+      std::fprintf(stderr,
+                   "note: %zu of %zu shard(s) damaged; answering from the "
+                   "survivors (run `sama_cli verify` per shard dir)\n",
+                   sharded_index.degraded_shards(),
+                   sharded_index.num_shards());
+    }
+    if (options.stats) {
+      std::printf("-- sharded index: %zu shard(s), %llu paths, "
+                  "%llu cut edge(s)\n",
+                  sharded_index.num_shards(),
+                  static_cast<unsigned long long>(
+                      sharded_index.total_paths()),
+                  static_cast<unsigned long long>(
+                      sharded_index.cut_edges()));
+    }
+    sama::Thesaurus thesaurus = sama::Thesaurus::BuiltinEnglish();
+    if (!options.thesaurus_path.empty()) {
+      sama::Status loaded = thesaurus.LoadFromFile(options.thesaurus_path);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "failed to load thesaurus: %s\n",
+                     loaded.ToString().c_str());
+        return 1;
+      }
+    }
+    sama::EngineOptions engine_options;
+    engine_options.num_threads = options.threads;
+    engine_options.strict_io = options.strict_io;
+    engine_options.params.prune_search = options.prune_search;
+    engine_options.cache.enabled = options.use_cache;
+    engine_options.obs.trace = options.trace;
+    engine_options.obs.metrics = options.metrics;
+    engine_options.obs.profile =
+        options.explain || !options.profile_out.empty();
+    sama::ShardedEngine engine(&graph, &sharded_index,
+                               options.use_thesaurus ? &thesaurus : nullptr,
+                               engine_options);
+    if (options.interactive) {
+      std::printf("Enter SPARQL queries, blank line to run, EOF to quit.\n");
+      std::string buffer, line;
+      while (std::getline(std::cin, line)) {
+        if (!line.empty()) {
+          buffer += line;
+          buffer += '\n';
+          continue;
+        }
+        if (buffer.empty()) continue;
+        RunOneQuery(options, &graph, &engine, buffer);
+        buffer.clear();
+      }
+      if (!buffer.empty()) RunOneQuery(options, &graph, &engine, buffer);
+      return 0;
+    }
+    std::string sparql = options.sparql;
+    if (!options.query_path.empty()) {
+      auto text = ReadFile(options.query_path);
+      if (!text.ok()) {
+        std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+        return 1;
+      }
+      sparql = *text;
+    }
+    int rc = RunOneQuery(options, &graph, &engine, sparql);
+    if (options.metrics) {
+      sama::RefreshEpochMetrics(sama::MetricsRegistry::Global());
+      std::printf("-- metrics:\n%s",
+                  sama::MetricsRegistry::Global()->RenderText().c_str());
+    }
+    return rc;
   }
 
   sama::PathIndexOptions index_options;
