@@ -303,6 +303,12 @@ Status SamaEngine::EnableUpdates(DataGraph* graph, PathIndex* index,
 }
 
 Result<uint64_t> SamaEngine::ApplyUpdate(const TripleUpdate& update) const {
+  return ApplyUpdate(update, nullptr, 0);
+}
+
+Result<uint64_t> SamaEngine::ApplyUpdate(const TripleUpdate& update,
+                                         QueryTrace* trace,
+                                         uint64_t parent_span) const {
   if (updates_ == nullptr) {
     return Status::InvalidArgument(
         "live updates are not enabled on this engine (EnableUpdates)");
@@ -319,7 +325,12 @@ Result<uint64_t> SamaEngine::ApplyUpdate(const TripleUpdate& update) const {
   PutTriple(&payload, update.triple);
   uint8_t type = update.op == TripleUpdate::Op::kInsert ? Wal::kInsertTriple
                                                         : Wal::kDeleteTriple;
-  auto lsn_or = state->wal.Append(type, payload);
+  Result<uint64_t> lsn_or = [&]() {
+    ObsSpan append_span(trace, "wal.append", parent_span);
+    auto r = state->wal.Append(type, payload);
+    if (r.ok()) append_span.SetAttr("lsn", std::to_string(*r));
+    return r;
+  }();
   if (!lsn_or.ok()) {
     // The tail did not advance: nothing was journalled or applied, so
     // the caller can simply retry. Degraded, not fatal.
@@ -327,15 +338,23 @@ Result<uint64_t> SamaEngine::ApplyUpdate(const TripleUpdate& update) const {
     return lsn_or.status();
   }
   if (state->options.durable && update.durable) {
+    ObsSpan fsync_span(trace, "wal.fsync", parent_span);
+    fsync_span.SetAttr("lsn", std::to_string(*lsn_or));
     SAMA_RETURN_IF_ERROR(state->SyncOrSeal(*lsn_or));
   }
-  Status applied = state->Apply(update.op, update.triple, thesaurus_);
-  if (!applied.ok()) {
-    // The record is journalled but the in-memory apply died midway;
-    // memory can no longer be trusted to match what replay rebuilds.
-    state->io_errors->Increment();
-    state->Seal(applied);
-    return applied;
+  {
+    ObsSpan apply_span(trace, "wal.apply", parent_span);
+    apply_span.SetAttr("lsn", std::to_string(*lsn_or));
+    apply_span.SetAttr(
+        "op", update.op == TripleUpdate::Op::kInsert ? "insert" : "delete");
+    Status applied = state->Apply(update.op, update.triple, thesaurus_);
+    if (!applied.ok()) {
+      // The record is journalled but the in-memory apply died midway;
+      // memory can no longer be trusted to match what replay rebuilds.
+      state->io_errors->Increment();
+      state->Seal(applied);
+      return applied;
+    }
   }
   (update.op == TripleUpdate::Op::kInsert ? state->inserts : state->deletes)
       ->Increment();
@@ -345,6 +364,7 @@ Result<uint64_t> SamaEngine::ApplyUpdate(const TripleUpdate& update) const {
     // The update itself is applied (and durable when asked); an error
     // here reports checkpoint trouble, and replay + idempotent redo
     // cover a retry.
+    ObsSpan checkpoint_span(trace, "wal.checkpoint", parent_span);
     SAMA_RETURN_IF_ERROR(state->CheckpointLocked());
   }
   return *lsn_or;
@@ -577,13 +597,30 @@ Result<std::vector<Answer>> SamaEngine::Execute(const QueryGraph& query,
   // Profiling needs the span trace as raw material, so it forces span
   // recording even when obs.trace is off (QueryStats::trace still
   // stays null in that case — the spans live inside the profile).
-  const bool profiling = options_.obs.profile && profile_log_ != nullptr;
+  // An adopting query (obs.adopt_trace) appends into the propagated
+  // trace instead and skips profile assembly, whose builder assumes
+  // the trace holds exactly one query's spans.
+  const bool adopting = options_.obs.adopt_trace != nullptr;
+  const bool profiling =
+      options_.obs.profile && profile_log_ != nullptr && !adopting;
   std::shared_ptr<QueryTrace> trace;
-  if (options_.obs.trace || profiling) {
+  if (adopting) {
+    trace = options_.obs.adopt_trace;
+    qobs.trace = trace.get();
+  } else if (options_.obs.trace || profiling) {
     trace = std::make_shared<QueryTrace>();
+    if (options_.obs.trace_context.valid()) {
+      trace->SetContext(options_.obs.trace_context);
+    }
     qobs.trace = trace.get();
   }
-  ObsSpan query_span(trace.get(), "query");
+  // Adoption parents the query span explicitly: the caller's request
+  // span was opened with raw BeginSpan on another thread, so the TLS
+  // current-span slot cannot supply it.
+  ObsSpan query_span = adopting
+                           ? ObsSpan(trace.get(), "query",
+                                     options_.obs.adopt_parent)
+                           : ObsSpan(trace.get(), "query");
 
   // Preprocessing: PQ is computed by the QueryGraph itself; build the
   // intersection query graph here.
@@ -681,7 +718,7 @@ Result<std::vector<Answer>> SamaEngine::Execute(const QueryGraph& query,
     local.epoch_retired = epoch_after.retired - epoch_before.retired;
     local.epoch_reclaimed = epoch_after.reclaimed - epoch_before.reclaimed;
   }
-  if (options_.obs.trace) local.trace = trace;
+  if (options_.obs.trace || adopting) local.trace = trace;
 
   if (profiling) {
     BufferPool::Stats pages_after_search = index_->cache_stats();
@@ -777,6 +814,10 @@ Result<std::vector<Answer>> SamaEngine::Execute(const QueryGraph& query,
 
   if (slow_log_ != nullptr && slow_log_->ShouldRecord(local.total_millis)) {
     SlowQueryRecord record;
+    if (options_.obs.trace_context.valid()) {
+      record.trace_id = options_.obs.trace_context.TraceIdHex();
+    }
+    record.request_id = options_.obs.request_id;
     record.total_millis = local.total_millis;
     record.preprocess_millis = local.preprocess_millis;
     record.clustering_millis = local.clustering_millis;

@@ -18,8 +18,10 @@
 #include "index/path_index.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
+#include "obs/slo.h"
 #include "obs/slow_query_log.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 #include "query/sparql.h"
 #include "text/thesaurus.h"
 
@@ -85,6 +87,27 @@ struct ObsOptions {
   // Registry receiving the engine's instruments;
   // MetricsRegistry::Global() when null.
   MetricsRegistry* registry = nullptr;
+
+  // ---- Distributed-trace adoption (per-request; DESIGN.md §15).
+  // When `adopt_trace` is set, Execute appends this query's spans into
+  // that existing trace — the "query" span parents under
+  // `adopt_parent` (the server's request span) instead of being a root
+  // — so one propagated trace id collects the wire, shard and WAL
+  // spans of everything done on its behalf. Profiling is skipped for
+  // adopting queries (QueryProfile::Build assumes a single-query
+  // trace). Set these on the per-request engine copy, never on the
+  // shared engine.
+  std::shared_ptr<QueryTrace> adopt_trace;
+  uint64_t adopt_parent = 0;
+  // The propagated identity and server request id, stamped into
+  // slow-query records so a slow query is joinable to the client that
+  // sent it.
+  TraceContext trace_context;
+  uint64_t request_id = 0;
+
+  // Service-level objectives the serving layer's SloTracker evaluates
+  // over the telemetry ring. The engine itself never reads these.
+  SloOptions slo;
 };
 
 // Durability knobs for the live-update path (EnableUpdates). One WAL
@@ -325,6 +348,12 @@ class SamaEngine {
   // state, not the engine value (same precedent as the query caches) —
   // the server holds the engine const.
   Result<uint64_t> ApplyUpdate(const TripleUpdate& update) const;
+  // Traced variant: records wal.append / wal.fsync / wal.apply (and
+  // wal.checkpoint when one triggers) spans into `trace`, parented
+  // under `parent_span` — the server's request span, so a propagated
+  // trace shows where an update's time went. Null trace = untraced.
+  Result<uint64_t> ApplyUpdate(const TripleUpdate& update, QueryTrace* trace,
+                               uint64_t parent_span) const;
   Result<uint64_t> InsertTriple(const Triple& triple) const;
   Result<uint64_t> DeleteTriple(const Triple& triple) const;
 

@@ -231,6 +231,50 @@ std::string RenderChromeTrace(const QueryProfile& profile) {
   return out;
 }
 
+std::string RenderSpansChromeTrace(const std::vector<TraceSpan>& spans,
+                                   const std::string& trace_id) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+         "\"args\":{\"name\":\"sama trace ";
+  JsonEscapeTo(&out, trace_id);
+  out += "\"}}";
+  std::set<uint32_t> threads;
+  for (const TraceSpan& span : spans) threads.insert(span.thread);
+  for (uint32_t tid : threads) {
+    out += ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+    AppendU64(&out, tid);
+    out += ",\"args\":{\"name\":\"";
+    out += tid == 0 ? "request thread" : "worker " + std::to_string(tid);
+    out += "\"}}";
+  }
+  for (const TraceSpan& span : spans) {
+    out += ",\n{\"name\":\"";
+    JsonEscapeTo(&out, span.name);
+    out += "\",\"cat\":\"sama\",\"ph\":\"X\",\"ts\":";
+    out += Micros(span.start_millis);
+    out += ",\"dur\":";
+    out += Micros(span.duration_millis < 0 ? 0.0 : span.duration_millis);
+    out += ",\"pid\":1,\"tid\":";
+    AppendU64(&out, span.thread);
+    out += ",\"args\":{\"span_id\":";
+    AppendU64(&out, span.id);
+    if (span.parent != 0) {
+      out += ",\"parent\":";
+      AppendU64(&out, span.parent);
+    }
+    for (const auto& [key, value] : span.attrs) {
+      out += ",\"";
+      JsonEscapeTo(&out, key);
+      out += "\":\"";
+      JsonEscapeTo(&out, value);
+      out += "\"";
+    }
+    out += "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
 void RefreshLatencyQuantiles(MetricsRegistry* registry) {
   if (registry == nullptr) return;
   static constexpr struct {

@@ -26,6 +26,14 @@ std::string RenderExplainAnalyze(const QueryProfile& profile);
 // Written by sama_cli --profile-out and served by /debug/profile.
 std::string RenderChromeTrace(const QueryProfile& profile);
 
+// Same trace-event JSON for a raw span list — the shape /debug/trace
+// serves for propagated traces (DESIGN.md §15), which have no
+// QueryProfile (a trace can span several requests, so the single-query
+// profile aggregation does not apply). Span attributes become string
+// args; `trace_id` labels the Perfetto process row.
+std::string RenderSpansChromeTrace(const std::vector<TraceSpan>& spans,
+                                   const std::string& trace_id);
+
 // Recomputes the P50/P95/P99 latency quantiles from the engine's
 // latency histograms (sama_query_latency_millis and the per-phase
 // sama_query_phase_millis series) and publishes them as

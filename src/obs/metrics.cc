@@ -269,6 +269,43 @@ std::string MetricsRegistry::RenderText() const {
   return out;
 }
 
+std::vector<MetricSample> MetricsRegistry::Collect() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSample> out;
+  for (const auto& [name, fam] : families_) {
+    for (const auto& [label_text, s] : fam.series) {
+      MetricSample sample;
+      sample.name = name;
+      sample.labels = label_text;
+      switch (fam.kind) {
+        case Kind::kCounter:
+          sample.kind = MetricKind::kCounter;
+          sample.value = static_cast<double>(s.counter->Value());
+          break;
+        case Kind::kGauge:
+          sample.kind = MetricKind::kGauge;
+          sample.value = s.gauge->Value();
+          break;
+        case Kind::kHistogram: {
+          const Histogram& h = *s.histogram;
+          sample.kind = MetricKind::kHistogram;
+          sample.count = h.Count();
+          sample.sum = h.Sum();
+          sample.bounds = h.bounds();
+          sample.buckets.reserve(sample.bounds.size() + 1);
+          for (size_t i = 0; i < sample.bounds.size(); ++i) {
+            sample.buckets.push_back(h.BucketCount(i));
+          }
+          sample.buckets.push_back(h.OverflowCount());
+          break;
+        }
+      }
+      out.push_back(std::move(sample));
+    }
+  }
+  return out;
+}
+
 void MetricsRegistry::ResetValuesForTest() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, fam] : families_) {

@@ -26,6 +26,26 @@ namespace sama {
 // identity of a series) is independent of argument order.
 using MetricLabels = std::vector<std::pair<std::string, std::string>>;
 
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+// One series' state at a moment, as captured by
+// MetricsRegistry::Collect. Counters/gauges fill `value`; histograms
+// fill count/sum/buckets/bounds (buckets are NON-cumulative and carry
+// one extra trailing +Inf slot, mirroring Histogram's layout).
+struct MetricSample {
+  std::string name;
+  std::string labels;  // Rendered "{k=\"v\",...}" or "".
+  MetricKind kind = MetricKind::kCounter;
+  double value = 0.0;
+  uint64_t count = 0;
+  double sum = 0.0;
+  std::vector<uint64_t> buckets;
+  std::vector<double> bounds;
+
+  // The series key the time-series layer addresses samples by.
+  std::string Key() const { return name + labels; }
+};
+
 // Monotonic counter. Exposed as TYPE counter.
 class Counter {
  public:
@@ -121,6 +141,12 @@ class MetricsRegistry {
   // Prometheus text exposition (version 0.0.4): families sorted by
   // name, series sorted by label string, so output is deterministic.
   std::string RenderText() const;
+
+  // Value snapshot of every registered series, ordered like RenderText
+  // (family name, then label text). This is the sampling surface the
+  // TimeSeriesRing scrapes — values are relaxed-atomic reads, and the
+  // registry mutex is held only to walk the registration maps.
+  std::vector<MetricSample> Collect() const;
 
   // Zeroes every value while keeping all registrations (and the
   // pointers callers hold) valid. Test/bench isolation only.

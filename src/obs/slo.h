@@ -1,0 +1,81 @@
+#ifndef SAMA_OBS_SLO_H_
+#define SAMA_OBS_SLO_H_
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
+
+namespace sama {
+
+// Service-level objectives evaluated over the telemetry ring. Three
+// objectives, each expressed as "at most this fraction of requests may
+// be bad" over a rolling window:
+//   latency: a request is bad when it lands above `latency_millis`
+//            (bucket granularity — the threshold snaps up to the
+//            enclosing histogram bound);
+//   errors:  error frames / requests;
+//   shed:    shed responses / offered load.
+// The burn rate for an objective is observed-bad-ratio divided by the
+// allowed bad ratio: 1.0 means "consuming budget exactly as fast as
+// allowed", >= `burn_threshold` marks the objective violated and the
+// process degraded. This is the standard multiwindow-free form of SRE
+// burn-rate alerting, sized for one process.
+struct SloOptions {
+  bool enabled = true;
+  double window_seconds = 60.0;
+  double burn_threshold = 1.0;
+  double latency_millis = 250.0;   // Objective latency threshold.
+  double latency_bad_ratio = 0.01;  // <=1% of requests may exceed it.
+  double error_ratio = 0.01;       // <=1% of requests may error.
+  double shed_ratio = 0.05;        // <=5% of offered load may shed.
+};
+
+class SloTracker {
+ public:
+  // `registry` defaults to Global(); gauges are published there under
+  // sama_slo_*. The tracker does not own the ring.
+  SloTracker(SloOptions options, const TimeSeriesRing* ring,
+             MetricsRegistry* registry = nullptr);
+
+  // Recomputes burn rates from the ring's current window and publishes
+  // the sama_slo_* gauges. Wire this to TimeSeriesRing::SetOnSample so
+  // it runs once per sampling tick.
+  void Evaluate();
+
+  struct Health {
+    bool evaluated = false;  // False until the first Evaluate.
+    bool degraded = false;
+    double latency_p99_millis = 0.0;
+    double latency_burn = 0.0;
+    double error_burn = 0.0;
+    double shed_burn = 0.0;
+    double window_seconds = 0.0;
+    std::vector<std::string> violations;  // "latency", "errors", "shed".
+  };
+  Health Snapshot() const;
+
+  // {"status":"ok"|"degraded","window_seconds":...,"objectives":{...}}
+  std::string RenderJson() const;
+
+  const SloOptions& options() const { return options_; }
+
+ private:
+  SloOptions options_;
+  const TimeSeriesRing* ring_;
+
+  Gauge* degraded_gauge_;
+  Gauge* latency_p99_gauge_;
+  Gauge* latency_burn_gauge_;
+  Gauge* error_burn_gauge_;
+  Gauge* shed_burn_gauge_;
+
+  mutable std::mutex mu_;
+  Health health_;
+};
+
+}  // namespace sama
+
+#endif  // SAMA_OBS_SLO_H_

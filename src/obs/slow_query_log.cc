@@ -112,7 +112,11 @@ std::string SlowQueryLog::ToJsonLine(const SlowQueryRecord& r) {
   AppendField(&out, "unix_ms", static_cast<uint64_t>(r.unix_millis));
   out += ",\"label\":\"";
   AppendEscaped(&out, r.label);
+  out += "\",\"trace_id\":\"";
+  AppendEscaped(&out, r.trace_id);
   out += "\",";
+  AppendField(&out, "request_id", r.request_id);
+  out.push_back(',');
   AppendField(&out, "total_ms", r.total_millis);
   out.push_back(',');
   AppendField(&out, "preprocess_ms", r.preprocess_millis);

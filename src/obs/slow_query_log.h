@@ -16,6 +16,12 @@ namespace sama {
 // for the JSONL sink only and plays no part in any latency math.
 struct SlowQueryRecord {
   std::string label;  // Optional caller-provided query label.
+  // Propagated request identity (DESIGN.md §15): the trace-id hex and
+  // the wire request id the server received the query under, so a slow
+  // server-side query is joinable to the client that sent it. Empty/0
+  // for local (non-served) queries.
+  std::string trace_id;
+  uint64_t request_id = 0;
   double total_millis = 0.0;
   double preprocess_millis = 0.0;
   double clustering_millis = 0.0;

@@ -1,0 +1,136 @@
+#ifndef SAMA_OBS_TIMESERIES_H_
+#define SAMA_OBS_TIMESERIES_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace sama {
+
+// Always-on telemetry history: a background thread snapshots every
+// registry instrument at a fixed interval into a bounded ring (default
+// 1s x 900 slots = 15 minutes), so rates, windowed latency quantiles
+// and SLO burn math have something to look back over — /metrics alone
+// is a point-in-time scrape with no memory.
+//
+// Lock discipline ("lock-light"): the sampler collects from the
+// registry WITHOUT holding the ring mutex (Collect itself only holds
+// the registry's registration mutex; instrument reads are relaxed
+// atomics), then takes the ring mutex just to publish the completed
+// snapshot. Readers copy the snapshots they need under the same mutex
+// and compute outside it. Instruments mutating concurrently is always
+// safe — a snapshot is merely a consistent-enough point sample.
+class TimeSeriesRing {
+ public:
+  struct Options {
+    MetricsRegistry* registry = nullptr;  // nullptr = Global().
+    double interval_seconds = 1.0;
+    size_t capacity = 900;
+  };
+
+  TimeSeriesRing();
+  explicit TimeSeriesRing(Options options);
+  ~TimeSeriesRing();
+
+  TimeSeriesRing(const TimeSeriesRing&) = delete;
+  TimeSeriesRing& operator=(const TimeSeriesRing&) = delete;
+
+  // Spawns / joins the sampler thread. Start is idempotent; Stop is
+  // safe without Start and from the destructor.
+  void Start();
+  void Stop();
+
+  // Takes one snapshot right now (the sampler calls this; tests and
+  // benches drive it directly for determinism).
+  void SampleOnce();
+
+  // Invoked after every snapshot (sampler thread or SampleOnce
+  // caller), with the ring as argument. Set before Start. This is the
+  // SLO tracker's evaluation hook.
+  void SetOnSample(std::function<void(const TimeSeriesRing&)> cb);
+
+  // Number of snapshots currently retained (<= capacity).
+  size_t num_samples() const;
+  double interval_seconds() const { return options_.interval_seconds; }
+
+  // Series keys (name + rendered labels) present in the newest
+  // snapshot, in registry order.
+  std::vector<std::string> MetricKeys() const;
+
+  // Windowed view of one series as JSON:
+  //   counters:   {"metric","kind":"counter","window_seconds","samples",
+  //                "rate_per_sec","points":[{"t":unix_s,"v":...},...]}
+  //   gauges:     same but kind "gauge" and "last" instead of rate
+  //   histograms: {"metric","kind":"histogram",...,"rate_per_sec"
+  //                (count rate),"p50","p90","p99"} over bucket deltas
+  // Unknown metric -> {"error":"unknown metric","metrics":[...]}.
+  // window_seconds <= 0 means "everything retained".
+  std::string RenderJson(std::string_view metric, double window_seconds) const;
+
+  // The no-argument listing: sampler config plus all series keys.
+  std::string RenderIndexJson() const;
+
+  // Operator-facing rollup for `sama_cli top` and the SLO tracker.
+  struct TopSummary {
+    double window_seconds = 0.0;
+    size_t samples = 0;           // Snapshots inside the window.
+    double qps = 0.0;             // sama_server_requests_total rate
+                                  // (falls back to sama_queries_total).
+    double p50_millis = 0.0;      // Windowed request-latency quantiles
+    double p99_millis = 0.0;      // (NaN when no observations).
+    double shed_per_sec = 0.0;
+    double error_per_sec = 0.0;
+    double shed_ratio = 0.0;      // shed / requests over the window.
+    double error_ratio = 0.0;
+    double slow_ratio = 0.0;      // Latency observations above
+                                  // `slow_threshold_millis` / total.
+    double cache_hit_ratio = 0.0;  // Windowed hits / (hits+misses).
+    double epoch_pins = 0.0;       // Latest sama_epoch_pins gauge.
+    double wal_unsynced_appends = 0.0;  // appends_total - fsyncs_total.
+    uint64_t requests_in_window = 0;
+  };
+  // `slow_threshold_millis` <= 0 disables the slow_ratio computation.
+  TopSummary Summarize(double window_seconds,
+                       double slow_threshold_millis = 0.0) const;
+  std::string RenderTopJson(double window_seconds) const;
+
+ private:
+  struct Snapshot {
+    double wall_seconds = 0.0;    // Unix epoch seconds (display only).
+    double steady_seconds = 0.0;  // Monotonic; all math uses this.
+    std::vector<MetricSample> samples;
+  };
+
+  // Snapshots inside [newest - window, newest], oldest first.
+  std::vector<Snapshot> WindowLocked(double window_seconds) const;
+  std::vector<Snapshot> Window(double window_seconds) const;
+
+  void SamplerLoop();
+
+  Options options_;
+  MetricsRegistry* registry_;
+  std::chrono::steady_clock::time_point anchor_;
+
+  mutable std::mutex mu_;
+  std::vector<Snapshot> ring_;  // Circular; slot = total_ % capacity.
+  size_t total_ = 0;            // Snapshots ever taken.
+  std::function<void(const TimeSeriesRing&)> on_sample_;
+
+  std::mutex sampler_mu_;
+  std::condition_variable sampler_cv_;
+  bool stop_ = false;
+  std::thread sampler_;
+};
+
+}  // namespace sama
+
+#endif  // SAMA_OBS_TIMESERIES_H_

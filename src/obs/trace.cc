@@ -76,6 +76,23 @@ void QueryTrace::EndSpan(uint64_t id) {
   }
 }
 
+void QueryTrace::SetSpanAttr(uint64_t id, std::string_view key,
+                             std::string_view value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id == 0 || id > spans_.size()) return;
+  spans_[id - 1].attrs.emplace_back(std::string(key), std::string(value));
+}
+
+void QueryTrace::SetContext(const TraceContext& ctx) {
+  std::lock_guard<std::mutex> lock(mu_);
+  context_ = ctx;
+}
+
+TraceContext QueryTrace::context() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return context_;
+}
+
 std::vector<TraceSpan> QueryTrace::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   return spans_;
@@ -88,11 +105,16 @@ size_t QueryTrace::size() const {
 
 std::string QueryTrace::ToJson() const {
   std::vector<TraceSpan> spans = Snapshot();
+  const TraceContext ctx = context();
   // Snapshot preserves allocation order (== id order) already; keep the
   // sort so the contract survives internal changes.
   std::sort(spans.begin(), spans.end(),
             [](const TraceSpan& a, const TraceSpan& b) { return a.id < b.id; });
-  std::string out = "{\"spans\":[";
+  std::string out = "{";
+  if (ctx.valid()) {
+    out += "\"trace_id\":\"" + ctx.TraceIdHex() + "\",";
+  }
+  out += "\"spans\":[";
   for (size_t i = 0; i < spans.size(); ++i) {
     const TraceSpan& s = spans[i];
     if (i) out.push_back(',');
@@ -108,10 +130,23 @@ std::string QueryTrace::ToJson() const {
     out += "\",\"thread\":";
     std::snprintf(buf, sizeof(buf), "%u", s.thread);
     out += buf;
-    std::snprintf(buf, sizeof(buf), ",\"start_ms\":%.3f,\"dur_ms\":%.3f}",
+    std::snprintf(buf, sizeof(buf), ",\"start_ms\":%.3f,\"dur_ms\":%.3f",
                   s.start_millis,
                   s.duration_millis < 0 ? 0.0 : s.duration_millis);
     out += buf;
+    if (!s.attrs.empty()) {
+      out += ",\"attrs\":{";
+      for (size_t a = 0; a < s.attrs.size(); ++a) {
+        if (a) out.push_back(',');
+        out.push_back('"');
+        JsonEscapeTo(&out, s.attrs[a].first);
+        out += "\":\"";
+        JsonEscapeTo(&out, s.attrs[a].second);
+        out.push_back('"');
+      }
+      out.push_back('}');
+    }
+    out.push_back('}');
   }
   out += "]}";
   return out;
@@ -167,6 +202,10 @@ ObsSpan& ObsSpan::operator=(ObsSpan&& other) noexcept {
     other.id_ = 0;
   }
   return *this;
+}
+
+void ObsSpan::SetAttr(std::string_view key, std::string_view value) {
+  if (trace_) trace_->SetSpanAttr(id_, key, value);
 }
 
 uint64_t ObsSpan::CurrentId(const QueryTrace* trace) {

@@ -8,7 +8,10 @@
 #include <string>
 #include <string_view>
 #include <thread>
+#include <utility>
 #include <vector>
+
+#include "obs/trace_context.h"
 
 namespace sama {
 
@@ -16,7 +19,9 @@ namespace sama {
 // the owning trace's construction, so a trace is self-contained and
 // immune to wall-clock steps. `thread` is a per-trace ordinal (0 = the
 // first thread that recorded a span), not an OS id, so traces of the
-// same query are comparable across runs.
+// same query are comparable across runs. `attrs` carries small
+// key/value annotations (shard id, WAL lsn, request id); insertion
+// order is preserved into the JSON.
 struct TraceSpan {
   uint64_t id = 0;      // 1-based; 0 is "no span".
   uint64_t parent = 0;  // 0 = root.
@@ -24,6 +29,7 @@ struct TraceSpan {
   double start_millis = 0.0;
   double duration_millis = 0.0;  // < 0 while the span is still open.
   uint32_t thread = 0;
+  std::vector<std::pair<std::string, std::string>> attrs;
 };
 
 // Per-query span buffer. Thread-safe: ParallelFor workers append
@@ -48,12 +54,24 @@ class QueryTrace {
   uint64_t BeginSpan(std::string_view name, uint64_t parent);
   void EndSpan(uint64_t id);
 
+  // Attaches a key/value annotation to an open or closed span.
+  // Duplicate keys append (last wins in the rendered object).
+  void SetSpanAttr(uint64_t id, std::string_view key, std::string_view value);
+
+  // The propagated identity this trace collects spans for. Set once by
+  // whoever registers the trace (TraceStore / the engine); an invalid
+  // context means a purely local trace.
+  void SetContext(const TraceContext& ctx);
+  TraceContext context() const;
+
   // Snapshot of all spans (open ones have duration_millis < 0).
   std::vector<TraceSpan> Snapshot() const;
   size_t size() const;
 
-  // {"spans":[{"id":1,"parent":0,"name":"query","thread":0,
-  //            "start_ms":0.000,"dur_ms":1.234}, ...]}
+  // {"trace_id":"...", (when a context is set)
+  //  "spans":[{"id":1,"parent":0,"name":"query","thread":0,
+  //            "start_ms":0.000,"dur_ms":1.234,
+  //            "attrs":{"shard":"2"}}, ...]}
   std::string ToJson() const;
 
  private:
@@ -64,6 +82,7 @@ class QueryTrace {
   mutable std::mutex mu_;
   std::vector<TraceSpan> spans_;
   std::map<std::thread::id, uint32_t> thread_ordinals_;
+  TraceContext context_;
 };
 
 // RAII span. Two parenting modes:
@@ -89,6 +108,9 @@ class ObsSpan {
 
   // This span's id, for handing to workers as an explicit parent.
   uint64_t id() const { return id_; }
+
+  // Annotates this span; no-op when tracing is disabled.
+  void SetAttr(std::string_view key, std::string_view value);
 
   // The calling thread's current span id in `trace` (0 if none).
   static uint64_t CurrentId(const QueryTrace* trace);

@@ -1,0 +1,120 @@
+#include "obs/trace_context.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <random>
+
+#include "obs/trace.h"
+
+namespace sama {
+namespace {
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+uint64_t RandomU64() {
+  // random_device alone can be weak on some platforms; fold in a
+  // per-process counter and the clock so ids never repeat within a
+  // process even then.
+  static std::atomic<uint64_t> counter{0};
+  static const uint64_t process_seed = [] {
+    std::random_device rd;
+    return (static_cast<uint64_t>(rd()) << 32) ^ rd();
+  }();
+  uint64_t x = process_seed;
+  x ^= static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  x += counter.fetch_add(0x9e3779b97f4a7c15ULL, std::memory_order_relaxed);
+  // splitmix64 finalizer.
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+std::string TraceContext::TraceIdHex() const {
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                (unsigned long long)trace_id_hi,
+                (unsigned long long)trace_id_lo);
+  return buf;
+}
+
+bool TraceContext::ParseTraceId(std::string_view hex, TraceContext* ctx) {
+  if (hex.empty() || hex.size() > 32) return false;
+  uint64_t hi = 0, lo = 0;
+  for (char c : hex) {
+    int d = HexDigit(c);
+    if (d < 0) return false;
+    hi = (hi << 4) | (lo >> 60);
+    lo = (lo << 4) | static_cast<uint64_t>(d);
+  }
+  if (hi == 0 && lo == 0) return false;
+  ctx->trace_id_hi = hi;
+  ctx->trace_id_lo = lo;
+  return true;
+}
+
+TraceContext TraceContext::Generate() {
+  TraceContext ctx;
+  do {
+    ctx.trace_id_hi = RandomU64();
+    ctx.trace_id_lo = RandomU64();
+  } while (!ctx.valid());
+  ctx.sampled = true;
+  return ctx;
+}
+
+TraceStore::TraceStore(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::shared_ptr<QueryTrace> TraceStore::GetOrCreate(const TraceContext& ctx) {
+  if (!ctx.valid()) {
+    auto trace = std::make_shared<QueryTrace>();
+    trace->SetContext(ctx);
+    return trace;
+  }
+  const std::string key = ctx.TraceIdHex();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = traces_.find(key);
+  if (it != traces_.end()) return it->second.trace;
+  while (traces_.size() >= capacity_) {
+    traces_.erase(order_.front());
+    order_.pop_front();
+  }
+  Entry entry;
+  entry.trace = std::make_shared<QueryTrace>();
+  entry.trace->SetContext(ctx);
+  entry.where = order_.insert(order_.end(), key);
+  traces_.emplace(key, std::move(entry));
+  return traces_.find(key)->second.trace;
+}
+
+std::shared_ptr<QueryTrace> TraceStore::Find(
+    std::string_view trace_id_hex) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = traces_.find(trace_id_hex);
+  return it == traces_.end() ? nullptr : it->second.trace;
+}
+
+std::vector<std::string> TraceStore::Ids() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out(order_.rbegin(), order_.rend());
+  return out;
+}
+
+size_t TraceStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return traces_.size();
+}
+
+}  // namespace sama

@@ -1,0 +1,87 @@
+#ifndef SAMA_OBS_TRACE_CONTEXT_H_
+#define SAMA_OBS_TRACE_CONTEXT_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sama {
+
+class QueryTrace;
+
+// Propagated request identity: a 128-bit trace id, the caller's span id
+// (the parent for the first span opened on this side of the wire), and
+// a sampling flag. Carried in the v2 binary-protocol header extension
+// and settable from the CLI tools, so a client, the server request
+// handler, per-shard searches and WAL appends all stamp spans into the
+// same tree. A zero trace id means "no context" — the server generates
+// one in that case.
+struct TraceContext {
+  uint64_t trace_id_hi = 0;
+  uint64_t trace_id_lo = 0;
+  uint64_t parent_span = 0;
+  bool sampled = true;
+
+  bool valid() const { return trace_id_hi != 0 || trace_id_lo != 0; }
+
+  // 32 lowercase hex characters (hi then lo), the wire/debug spelling.
+  std::string TraceIdHex() const;
+
+  // Accepts 1..32 hex digits (short ids are zero-extended on the left,
+  // so `--trace-id=beef` works from a shell). Returns false — leaving
+  // *ctx untouched — on empty, overlong or non-hex input, and on the
+  // all-zero id, which is reserved for "absent".
+  static bool ParseTraceId(std::string_view hex, TraceContext* ctx);
+
+  // Fresh random 128-bit id, sampled. Not deterministic by design —
+  // trace ids must not collide across processes.
+  static TraceContext Generate();
+};
+
+inline bool operator==(const TraceContext& a, const TraceContext& b) {
+  return a.trace_id_hi == b.trace_id_hi && a.trace_id_lo == b.trace_id_lo &&
+         a.parent_span == b.parent_span && a.sampled == b.sampled;
+}
+
+// Bounded keep-alive map from trace-id hex to the QueryTrace collecting
+// that trace's spans. GetOrCreate returns the SAME trace for repeated
+// requests carrying one trace id, which is what stitches a client's
+// UPDATE and QUERY (or a retry fan-out) into one tree. Oldest traces
+// are evicted first once `capacity` distinct ids are live; callers
+// holding the shared_ptr keep an evicted trace readable.
+class TraceStore {
+ public:
+  explicit TraceStore(size_t capacity = 256);
+
+  // Returns the trace registered under ctx's id, creating (and
+  // stamping the context into) it on first sight. Invalid contexts
+  // yield a fresh unregistered trace so callers never branch.
+  std::shared_ptr<QueryTrace> GetOrCreate(const TraceContext& ctx);
+
+  std::shared_ptr<QueryTrace> Find(std::string_view trace_id_hex) const;
+
+  // Registered ids, most recently created first.
+  std::vector<std::string> Ids() const;
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  size_t capacity_;
+  // Insertion order, oldest at the front; entries hold their order
+  // iterator so eviction and lookup are both O(log n).
+  std::list<std::string> order_;
+  struct Entry {
+    std::shared_ptr<QueryTrace> trace;
+    std::list<std::string>::iterator where;
+  };
+  std::map<std::string, Entry, std::less<>> traces_;
+};
+
+}  // namespace sama
+
+#endif  // SAMA_OBS_TRACE_CONTEXT_H_

@@ -13,6 +13,7 @@
 #include "common/net.h"
 #include "query/sparql.h"
 #include "rdf/ntriples.h"
+#include "shard/sharded_engine.h"
 
 namespace sama {
 
@@ -146,11 +147,20 @@ struct BinaryQueryServer::Instruments {
 };
 
 BinaryQueryServer::BinaryQueryServer(const SamaEngine* engine, Options options)
-    : engine_(engine), options_(std::move(options)) {
+    : engine_(engine),
+      options_(std::move(options)),
+      trace_store_(options_.trace_store_capacity) {
   if (options_.num_workers == 0) options_.num_workers = 1;
   if (options_.max_payload == 0 || options_.max_payload > kMaxPayloadBytes) {
     options_.max_payload = kMaxPayloadBytes;
   }
+}
+
+BinaryQueryServer::BinaryQueryServer(const ShardedEngine* engine,
+                                     Options options)
+    : BinaryQueryServer(static_cast<const SamaEngine*>(nullptr),
+                        std::move(options)) {
+  sharded_engine_ = engine;
 }
 
 BinaryQueryServer::~BinaryQueryServer() { Stop(); }
@@ -450,6 +460,11 @@ void BinaryQueryServer::HandleFrame(const std::shared_ptr<Conn>& conn,
         error(WireStatus::kShuttingDown, "server is draining");
         return;
       }
+      if (engine_ == nullptr) {
+        error(WireStatus::kReadOnly,
+              "sharded serving is read-only (rebuild shards to change data)");
+        return;
+      }
       if (!engine_->updates_enabled()) {
         error(WireStatus::kReadOnly,
               "server has no write path (serve without --updates)");
@@ -491,9 +506,32 @@ void BinaryQueryServer::HandleFrame(const std::shared_ptr<Conn>& conn,
         }
         if (conn->closed) return;
       }
+      // A propagated trace context (or trace_requests) records this
+      // update as request > wal.append / wal.fsync / wal.apply under
+      // the SAME trace a sibling QUERY with that id lands in — the
+      // whole point of the shared TraceStore.
+      std::shared_ptr<QueryTrace> utrace;
+      uint64_t uroot = 0;
+      size_t spans_before = 0;
+      TraceContext ctx = frame.trace;
+      if (ctx.valid() || options_.trace_requests) {
+        if (!ctx.valid()) ctx = TraceContext::Generate();
+        utrace = trace_store_.GetOrCreate(ctx);
+        spans_before = utrace->size();
+        uroot = utrace->BeginSpan("request", ctx.parent_span);
+        utrace->SetSpanAttr(uroot, "type", "update");
+        utrace->SetSpanAttr(uroot, "request_id",
+                            std::to_string(frame.request_id));
+      }
       // Applied inline on the event-loop thread, which also gives
       // updates a cross-connection total order.
-      Result<uint64_t> lsn = engine_->ApplyUpdate(update);
+      Result<uint64_t> lsn =
+          utrace != nullptr ? engine_->ApplyUpdate(update, utrace.get(), uroot)
+                            : engine_->ApplyUpdate(update);
+      if (utrace != nullptr) {
+        utrace->EndSpan(uroot);
+        instruments_->request_spans->Increment(utrace->size() - spans_before);
+      }
       if (!lsn.ok()) {
         error(WireStatus::kInternal, lsn.status().ToString());
         return;
@@ -522,7 +560,7 @@ void BinaryQueryServer::HandleFrame(const std::shared_ptr<Conn>& conn,
       // BEFORE the ack is staged. A failed flush is reported instead of
       // acked — durability is indeterminate and the client must know —
       // but the server still drains.
-      if (engine_->updates_enabled()) {
+      if (engine_ != nullptr && engine_->updates_enabled()) {
         Status flushed = engine_->FlushUpdates();
         if (!flushed.ok()) {
           error(WireStatus::kInternal, flushed.ToString());
@@ -564,10 +602,12 @@ void BinaryQueryServer::HandleFrame(const std::shared_ptr<Conn>& conn,
       instruments_->queue_depth->Set(static_cast<double>(depth + 1));
       auto admitted = std::chrono::steady_clock::now();
       uint64_t request_id = frame.request_id;
+      TraceContext wire_ctx = frame.trace;
       std::string payload = std::move(frame.payload);
-      pool_->Submit([this, conn, seq, request_id,
+      pool_->Submit([this, conn, seq, request_id, wire_ctx,
                      payload = std::move(payload), admitted]() mutable {
-        ExecuteQuery(conn, seq, request_id, std::move(payload), admitted);
+        ExecuteQuery(conn, seq, request_id, std::move(payload), wire_ctx,
+                     admitted);
       });
       return;
     }
@@ -583,15 +623,25 @@ void BinaryQueryServer::HandleFrame(const std::shared_ptr<Conn>& conn,
 
 void BinaryQueryServer::ExecuteQuery(
     const std::shared_ptr<Conn>& conn, uint64_t seq, uint64_t request_id,
-    std::string payload, std::chrono::steady_clock::time_point admitted) {
+    std::string payload, TraceContext wire_ctx,
+    std::chrono::steady_clock::time_point admitted) {
   double queue_wait = MillisSince(admitted);
   instruments_->queue_wait_millis->Observe(queue_wait);
 
+  // A wire context always traces (the client asked); otherwise
+  // trace_requests decides and the server mints the id. Either way the
+  // trace registers in trace_store_ under its id for /debug/trace.
   std::shared_ptr<QueryTrace> trace;
   uint64_t root = 0;
-  if (options_.trace_requests) {
-    trace = std::make_shared<QueryTrace>();
-    root = trace->BeginSpan("request", 0);
+  size_t spans_before = 0;
+  TraceContext ctx = wire_ctx;
+  if (ctx.valid() || options_.trace_requests) {
+    if (!ctx.valid()) ctx = TraceContext::Generate();
+    trace = trace_store_.GetOrCreate(ctx);
+    spans_before = trace->size();
+    root = trace->BeginSpan("request", ctx.parent_span);
+    trace->SetSpanAttr(root, "type", "query");
+    trace->SetSpanAttr(root, "request_id", std::to_string(request_id));
     uint64_t queued = trace->BeginSpan("queue", root);
     trace->EndSpan(queued);
   }
@@ -611,24 +661,46 @@ void BinaryQueryServer::ExecuteQuery(
     if (!parsed.ok()) {
       finish_error(WireStatus::kParseError, parsed.status().message());
     } else {
-      // Per-request configuration rides on an engine copy, the same
-      // idiom ExecuteSparql itself uses; the shared caches/pool are
-      // shared_ptr members, so the copy is cheap.
-      SamaEngine configured = *engine_;
       uint32_t deadline_ms = request.deadline_ms != 0
                                  ? request.deadline_ms
                                  : options_.default_deadline_ms;
-      if (deadline_ms != 0) {
-        configured.mutable_options().search.deadline =
-            admitted + std::chrono::milliseconds(deadline_ms);
-      }
       size_t k = request.k != 0 ? request.k : options_.default_k;
 
       uint64_t exec_span = 0;
       if (trace) exec_span = trace->BeginSpan("execute", root);
       QueryStats stats;
-      Result<std::vector<Answer>> answers =
-          configured.ExecuteSparql(*parsed, k, &stats);
+      Result<std::vector<Answer>> answers = std::vector<Answer>();
+      if (sharded_engine_ != nullptr) {
+        // The sharded coordinator is non-copyable, so per-request
+        // settings travel in a RequestObs instead of on an engine copy.
+        ShardedEngine::RequestObs robs;
+        robs.adopt_trace = trace;
+        robs.adopt_parent = exec_span;
+        ForestSearchOptions search = sharded_engine_->options().search;
+        if (deadline_ms != 0) {
+          search.deadline = admitted + std::chrono::milliseconds(deadline_ms);
+          robs.search_override = &search;
+        }
+        answers = sharded_engine_->ExecuteSparqlTraced(*parsed, k, robs,
+                                                       &stats);
+      } else {
+        // Per-request configuration rides on an engine copy, the same
+        // idiom ExecuteSparql itself uses; the shared caches/pool are
+        // shared_ptr members, so the copy is cheap.
+        SamaEngine configured = *engine_;
+        if (deadline_ms != 0) {
+          configured.mutable_options().search.deadline =
+              admitted + std::chrono::milliseconds(deadline_ms);
+        }
+        ObsOptions& obs = configured.mutable_options().obs;
+        obs.request_id = request_id;
+        if (trace != nullptr) {
+          obs.adopt_trace = trace;
+          obs.adopt_parent = exec_span;
+          obs.trace_context = ctx;
+        }
+        answers = configured.ExecuteSparql(*parsed, k, &stats);
+      }
       if (trace) trace->EndSpan(exec_span);
 
       if (!answers.ok()) {
@@ -654,10 +726,12 @@ void BinaryQueryServer::ExecuteQuery(
 
   if (trace) {
     trace->EndSpan(root);
-    instruments_->request_spans->Increment(trace->size());
-    std::lock_guard<std::mutex> lock(traces_mu_);
-    traces_.push_back(trace);
-    while (traces_.size() > options_.trace_capacity) traces_.pop_front();
+    instruments_->request_spans->Increment(trace->size() - spans_before);
+    if (options_.trace_requests) {
+      std::lock_guard<std::mutex> lock(traces_mu_);
+      traces_.push_back(trace);
+      while (traces_.size() > options_.trace_capacity) traces_.pop_front();
+    }
   }
   instruments_->request_millis->Observe(MillisSince(admitted));
   uint64_t depth = queue_depth_.fetch_sub(1);

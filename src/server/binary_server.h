@@ -19,9 +19,12 @@
 #include "core/engine.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 #include "server/protocol.h"
 
 namespace sama {
+
+class ShardedEngine;
 
 // Serialises engine answers into the wire result. Centralised so the
 // server, the load generator and the determinism tests all produce
@@ -90,6 +93,11 @@ class BinaryQueryServer {
     // recorded when this is on.
     bool trace_requests = false;
     size_t trace_capacity = 8;
+    // Distinct propagated trace ids kept alive in trace_store()
+    // (DESIGN.md §15). A frame carrying a trace context is always
+    // collected there — even with trace_requests off — because the
+    // client explicitly asked to be traced.
+    size_t trace_store_capacity = 256;
     // Registry for the sama_server_* instruments;
     // MetricsRegistry::Global() when null. Tests pass their own.
     MetricsRegistry* registry = nullptr;
@@ -97,6 +105,11 @@ class BinaryQueryServer {
 
   // `engine` is borrowed and must outlive the server.
   BinaryQueryServer(const SamaEngine* engine, Options options);
+  // Scatter-gather serving over a sharded index. Read-only: UPDATE
+  // frames are answered kReadOnly (sharded indexes have no write path;
+  // see ShardedEngine). Everything else — admission control, tracing,
+  // deadlines — behaves identically.
+  BinaryQueryServer(const ShardedEngine* engine, Options options);
   ~BinaryQueryServer();
 
   BinaryQueryServer(const BinaryQueryServer&) = delete;
@@ -146,6 +159,10 @@ class BinaryQueryServer {
   // last. Each has spans request > queue / execute / encode.
   std::vector<std::shared_ptr<const QueryTrace>> request_traces() const;
 
+  // Propagated traces keyed by trace id, for /debug/trace?id=. Lives
+  // as long as the server; safe to read concurrently with serving.
+  const TraceStore& trace_store() const { return trace_store_; }
+
  private:
   // Per-connection state. The event loop owns fd/decoder/in-flight
   // bookkeeping; `mu` guards the fields workers touch (staged
@@ -174,6 +191,7 @@ class BinaryQueryServer {
                    uint64_t seq);
   void ExecuteQuery(const std::shared_ptr<Conn>& conn, uint64_t seq,
                     uint64_t request_id, std::string payload,
+                    TraceContext wire_ctx,
                     std::chrono::steady_clock::time_point admitted);
   // Stages `wire` as the response for `seq` and (worker context) wakes
   // the loop. Returns false when the connection is already closed.
@@ -187,7 +205,10 @@ class BinaryQueryServer {
   std::string RenderStats() const;
 
   const SamaEngine* engine_;
+  // Exactly one of engine_ / sharded_engine_ is non-null.
+  const ShardedEngine* sharded_engine_ = nullptr;
   Options options_;
+  TraceStore trace_store_;
   uint16_t port_ = 0;
 
   int listen_fd_ = -1;

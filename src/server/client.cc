@@ -15,13 +15,15 @@ BinaryClient::~BinaryClient() { Close(); }
 
 BinaryClient::BinaryClient(BinaryClient&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
-      decoder_(std::move(other.decoder_)) {}
+      decoder_(std::move(other.decoder_)),
+      trace_(other.trace_) {}
 
 BinaryClient& BinaryClient::operator=(BinaryClient&& other) noexcept {
   if (this != &other) {
     Close();
     fd_ = std::exchange(other.fd_, -1);
     decoder_ = std::move(other.decoder_);
+    trace_ = other.trace_;
   }
   return *this;
 }
@@ -71,6 +73,11 @@ Status BinaryClient::SendRaw(std::string_view bytes) {
 }
 
 Status BinaryClient::SendFrame(const Frame& frame) {
+  if (trace_.valid() && !frame.trace.valid()) {
+    Frame stamped = frame;
+    stamped.trace = trace_;
+    return SendRaw(EncodeFrame(stamped));
+  }
   return SendRaw(EncodeFrame(frame));
 }
 

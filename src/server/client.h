@@ -30,7 +30,17 @@ class BinaryClient {
   void Close();
   bool connected() const { return fd_ >= 0; }
 
+  // Trace context stamped into every subsequently sent frame's header
+  // extension (DESIGN.md §15). An invalid (all-zero) context — the
+  // default — sends plain extension-free frames. The server adopts a
+  // propagated context verbatim, so one context reused across several
+  // requests lands them all in one server-side trace tree.
+  void set_trace(const TraceContext& trace) { trace_ = trace; }
+  const TraceContext& trace() const { return trace_; }
+
   // Writes one frame (or arbitrary raw bytes — malformed-input tests).
+  // SendFrame stamps the configured trace context unless the frame
+  // already carries a valid one.
   Status SendFrame(const Frame& frame);
   Status SendRaw(std::string_view bytes);
 
@@ -63,6 +73,7 @@ class BinaryClient {
  private:
   int fd_ = -1;
   FrameDecoder decoder_;
+  TraceContext trace_;
 };
 
 }  // namespace sama

@@ -119,9 +119,19 @@ std::string EncodeFrame(const Frame& frame) {
   out.append(kFrameMagic, sizeof(kFrameMagic));
   out.push_back(static_cast<char>(kProtocolVersion));
   out.push_back(static_cast<char>(frame.type));
-  AppendU16(&out, 0);  // flags
+  const bool extended = frame.trace.valid();
+  AppendU16(&out, extended ? kFrameFlagHasExtension : 0);
   AppendU64(&out, frame.request_id);
   AppendU32(&out, static_cast<uint32_t>(frame.payload.size()));
+  if (extended) {
+    AppendU16(&out, static_cast<uint16_t>(2 + kTraceContextWireBytes));
+    out.push_back(static_cast<char>(kHeaderExtTraceContext));
+    out.push_back(static_cast<char>(kTraceContextWireBytes));
+    AppendU64(&out, frame.trace.trace_id_hi);
+    AppendU64(&out, frame.trace.trace_id_lo);
+    AppendU64(&out, frame.trace.parent_span);
+    out.push_back(frame.trace.sampled ? 1 : 0);
+  }
   out.append(frame.payload);
   return out;
 }
@@ -159,15 +169,17 @@ FrameDecoder::Next FrameDecoder::Pop(Frame* frame, WireStatus* code,
     return poison(WireStatus::kBadFrame, "bad frame magic");
   }
   uint8_t version = static_cast<uint8_t>(view[4]);
-  if (version != kProtocolVersion) {
+  if (version < kMinProtocolVersion || version > kProtocolVersion) {
     return poison(WireStatus::kVersionMismatch,
                   "unsupported protocol version " + std::to_string(version));
   }
   uint8_t type = static_cast<uint8_t>(view[5]);
-  size_t at = 8;  // Skip flags (bytes 6-7).
+  size_t at = 6;
+  uint16_t flags = 0;
   uint64_t request_id = 0;
   uint32_t payload_len = 0;
-  ReadU64(view, &at, &request_id);   // Cannot fail: header is complete.
+  ReadU16(view, &at, &flags);        // Cannot fail: header is complete.
+  ReadU64(view, &at, &request_id);   // Ditto.
   ReadU32(view, &at, &payload_len);  // Ditto.
   if (payload_len > max_payload_) {
     return poison(WireStatus::kTooLarge,
@@ -175,12 +187,59 @@ FrameDecoder::Next FrameDecoder::Pop(Frame* frame, WireStatus* code,
                       " bytes exceeds the cap of " +
                       std::to_string(max_payload_));
   }
-  if (view.size() < kFrameHeaderBytes + payload_len) return Next::kNeedMore;
+
+  // v1 has no extension and its flags are reserved noise; only a v2
+  // frame that announces the extension bit carries one.
+  TraceContext trace;
+  size_t ext_total = 0;
+  if (version >= 2 && (flags & kFrameFlagHasExtension)) {
+    if (view.size() < kFrameHeaderBytes + 2) return Next::kNeedMore;
+    uint16_t ext_len = 0;
+    ReadU16(view, &at, &ext_len);
+    if (ext_len > kMaxHeaderExtBytes) {
+      return poison(WireStatus::kBadFrame,
+                    "header extension of " + std::to_string(ext_len) +
+                        " bytes exceeds the cap of " +
+                        std::to_string(kMaxHeaderExtBytes));
+    }
+    if (view.size() < kFrameHeaderBytes + 2 + ext_len) return Next::kNeedMore;
+    const size_t ext_end = kFrameHeaderBytes + 2 + ext_len;
+    while (at < ext_end) {
+      if (at + 2 > ext_end) {
+        return poison(WireStatus::kBadFrame, "malformed header extension");
+      }
+      uint8_t tag = static_cast<uint8_t>(view[at]);
+      uint8_t len = static_cast<uint8_t>(view[at + 1]);
+      at += 2;
+      if (at + len > ext_end) {
+        return poison(WireStatus::kBadFrame, "malformed header extension");
+      }
+      if (tag == kHeaderExtTraceContext) {
+        if (len != kTraceContextWireBytes) {
+          return poison(WireStatus::kBadFrame,
+                        "malformed trace context in header extension");
+        }
+        size_t p = at;
+        ReadU64(view, &p, &trace.trace_id_hi);
+        ReadU64(view, &p, &trace.trace_id_lo);
+        ReadU64(view, &p, &trace.parent_span);
+        trace.sampled = view[p] != 0;
+      }
+      // Unknown tags: skip over len bytes, by construction in bounds.
+      at += len;
+    }
+    ext_total = 2 + ext_len;
+  }
+  if (view.size() < kFrameHeaderBytes + ext_total + payload_len) {
+    return Next::kNeedMore;
+  }
 
   frame->type = static_cast<FrameType>(type);
   frame->request_id = request_id;
-  frame->payload.assign(view.substr(kFrameHeaderBytes, payload_len));
-  pos_ += kFrameHeaderBytes + payload_len;
+  frame->trace = trace;
+  frame->payload.assign(
+      view.substr(kFrameHeaderBytes + ext_total, payload_len));
+  pos_ += kFrameHeaderBytes + ext_total + payload_len;
   return Next::kFrame;
 }
 

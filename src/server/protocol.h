@@ -7,6 +7,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/trace_context.h"
+
 namespace sama {
 
 // The compact framed binary protocol spoken by BinaryQueryServer
@@ -14,15 +16,25 @@ namespace sama {
 //
 //   offset  size  field
 //        0     4  magic "SAMA"
-//        4     1  version (kProtocolVersion)
+//        4     1  version (kProtocolVersion; v1 and v2 both accepted)
 //        5     1  type (FrameType)
-//        6     2  flags, little-endian (reserved; senders write 0,
-//                 receivers ignore — the version byte gates breaking
-//                 changes, flags carry compatible ones)
+//        6     2  flags, little-endian (compatible extensions; the
+//                 version byte gates breaking changes. v1 senders
+//                 write 0 and v1 receivers ignore them. In v2, bit
+//                 0x1 announces a header extension between the fixed
+//                 header and the payload; other bits stay reserved)
 //        8     8  request id, little-endian (echoed verbatim in the
 //                 response; clients pick ids, pipelining matches them)
 //       16     4  payload length, little-endian
-//       20     n  payload (frame-type specific, below)
+//   [ext]  2+m  only when v2 and flags bit 0x1: u16 extension length
+//                 m, then m bytes of TLV fields (u8 tag, u8 len, len
+//                 value bytes). Unknown tags are skipped; a TLV that
+//                 overruns the extension, or a known tag with the
+//                 wrong length, is a framing error. Tag 1 is the
+//                 trace context (kHeaderExtTraceContext): trace id hi
+//                 u64, trace id lo u64, parent span id u64, 1 flag
+//                 byte (bit 0x1 = sampled) — 25 bytes.
+//   20+...    n  payload (frame-type specific, below)
 //
 // All integers are little-endian fixed width; doubles are IEEE-754
 // bit patterns in little-endian byte order. The encoding is
@@ -32,12 +44,24 @@ namespace sama {
 // A connection carries any number of pipelined frames. The server
 // responds to every request frame exactly once, in request order per
 // connection. Malformed input (bad magic, unknown version, oversized
-// payload) is answered with one ERROR frame and the connection is
-// closed — after a framing error the stream cannot be resynchronised.
+// payload, a torn header extension) is answered with one ERROR frame
+// and the connection is closed — after a framing error the stream has
+// no resynchronisation point.
 
 inline constexpr char kFrameMagic[4] = {'S', 'A', 'M', 'A'};
-inline constexpr uint8_t kProtocolVersion = 1;
+inline constexpr uint8_t kProtocolVersion = 2;
+// Oldest version still decoded. v1 frames are v2 frames with no
+// extension and ignored flags.
+inline constexpr uint8_t kMinProtocolVersion = 1;
 inline constexpr size_t kFrameHeaderBytes = 20;
+// Flags (v2).
+inline constexpr uint16_t kFrameFlagHasExtension = 0x1;
+// Header-extension TLV tags.
+inline constexpr uint8_t kHeaderExtTraceContext = 1;
+inline constexpr size_t kTraceContextWireBytes = 25;
+// Cap on one frame's extension block; anything larger is a framing
+// error, keeping the pre-payload prefix small and bounded.
+inline constexpr size_t kMaxHeaderExtBytes = 1024;
 // Default cap on a frame payload; BinaryServerOptions can lower it.
 inline constexpr size_t kMaxPayloadBytes = 4 * 1024 * 1024;
 
@@ -86,6 +110,10 @@ const char* WireStatusName(WireStatus status);
 struct Frame {
   FrameType type = FrameType::kPing;
   uint64_t request_id = 0;
+  // Propagated trace context; EncodeFrame emits the header extension
+  // only when it is valid(), and the decoder leaves it zeroed for v1
+  // frames and extension-free v2 frames.
+  TraceContext trace;
   std::string payload;
 };
 

@@ -94,9 +94,17 @@ ShardedEngine::~ShardedEngine() = default;
 
 Result<std::vector<Answer>> ShardedEngine::ExecuteSparql(
     const SparqlQuery& query, size_t k, QueryStats* stats) const {
+  return ExecuteSparqlTraced(query, k, RequestObs(), stats);
+}
+
+Result<std::vector<Answer>> ShardedEngine::ExecuteSparqlTraced(
+    const SparqlQuery& query, size_t k, const RequestObs& robs,
+    QueryStats* stats) const {
   if (k == 0) k = query.limit;
   QueryGraph qg = BuildQueryGraph(query.patterns);
-  ForestSearchOptions search = options_.search;
+  ForestSearchOptions search = robs.search_override != nullptr
+                                   ? *robs.search_override
+                                   : options_.search;
   if ((options_.dedup_select_bindings || query.distinct) &&
       !query.select_all) {
     search.dedup_vars = query.select_vars;
@@ -108,27 +116,41 @@ Result<std::vector<Answer>> ShardedEngine::ExecuteSparql(
           return PassesFilters(filters, binding);
         };
   }
-  return ExecuteWith(qg, k, search, stats);
+  return ExecuteWith(qg, k, search, robs, stats);
 }
 
 Result<std::vector<Answer>> ShardedEngine::Execute(const QueryGraph& query,
                                                    size_t k,
                                                    QueryStats* stats) const {
-  return ExecuteWith(query, k, options_.search, stats);
+  return ExecuteWith(query, k, options_.search, RequestObs(), stats);
 }
 
 Result<std::vector<Answer>> ShardedEngine::ExecuteWith(
     const QueryGraph& query, size_t k, const ForestSearchOptions& search,
-    QueryStats* stats) const {
+    const RequestObs& robs, QueryStats* stats) const {
   WallTimer total;
   QueryStats local;
   local.threads_used = threads_used();
   local.shards_degraded = index_->degraded_shards();
 
-  const bool profiling = options_.obs.profile && profile_log_ != nullptr;
+  // When a server hands us a propagated trace, append into it under the
+  // request span; retained profiles are skipped in that mode because
+  // QueryProfile::Build assumes a single-query span tree.
+  const bool adopting = robs.adopt_trace != nullptr;
+  const bool profiling =
+      options_.obs.profile && profile_log_ != nullptr && !adopting;
   std::shared_ptr<QueryTrace> trace;
-  if (options_.obs.trace || profiling) trace = std::make_shared<QueryTrace>();
-  ObsSpan query_span(trace.get(), "query");
+  if (adopting) {
+    trace = robs.adopt_trace;
+  } else if (options_.obs.trace || profiling) {
+    trace = std::make_shared<QueryTrace>();
+    if (options_.obs.trace_context.valid()) {
+      trace->SetContext(options_.obs.trace_context);
+    }
+  }
+  ObsSpan query_span = adopting
+                           ? ObsSpan(trace.get(), "query", robs.adopt_parent)
+                           : ObsSpan(trace.get(), "query");
 
   WallTimer phase;
   ObsSpan preprocess_span(trace.get(), "preprocess");
@@ -151,9 +173,16 @@ Result<std::vector<Answer>> ShardedEngine::ExecuteWith(
   // and sequential paths produce identical state.
   phase.Restart();
   ObsSpan scatter_span(trace.get(), "scatter");
+  // Scatter lambdas run on pool workers, where thread-local parenting
+  // can't see the coordinator's scatter span — parent explicitly.
+  const uint64_t scatter_id = scatter_span.id();
   std::vector<std::vector<Cluster>> shard_clusters(live.size());
   std::vector<QueryStats> shard_stats(live.size());
   auto scatter_one = [&](size_t i) -> Status {
+    ObsSpan cluster_span(trace.get(),
+                         "shard-" + std::to_string(live[i]) + ".cluster",
+                         scatter_id);
+    cluster_span.SetAttr("shard", std::to_string(live[i]));
     auto clusters_or =
         engines_[live[i]]->ClusterQuery(query, &shard_stats[i]);
     if (!clusters_or.ok()) return clusters_or.status();
@@ -264,11 +293,13 @@ Result<std::vector<Answer>> ShardedEngine::ExecuteWith(
       };
       ObsSpan shard_span(trace.get(),
                          "shard-" + std::to_string(s) + ".search");
+      shard_span.SetAttr("shard", std::to_string(s));
       ForestSearchStats fs;
       auto answers_or =
           ForestSearch(query, ig, clusters, options_.params, shard_search,
                        pool_.get(), &search_busy, &fs);
       if (!answers_or.ok()) return answers_or.status();
+      shard_span.SetAttr("expansions", std::to_string(fs.expansions));
       absorb(fs);
       for (Answer& a : *answers_or) collected.push_back(std::move(a));
     }
@@ -311,13 +342,14 @@ Result<std::vector<Answer>> ShardedEngine::ExecuteWith(
     }
     answers.push_back(std::move(a));
   }
+  merge_span.SetAttr("answers", std::to_string(answers.size()));
   merge_span = ObsSpan();
   const double merge_millis = phase.ElapsedMillis();
 
   query_span = ObsSpan();
   local.total_millis = total.ElapsedMillis();
   local.num_answers = answers.size();
-  if (options_.obs.trace) local.trace = trace;
+  if (options_.obs.trace || adopting) local.trace = trace;
 
   if (profiling) {
     ProfileSummary summary;

@@ -65,6 +65,26 @@ class ShardedEngine {
   Result<std::vector<Answer>> Execute(const QueryGraph& query, size_t k,
                                       QueryStats* stats = nullptr) const;
 
+  // Per-request execution context for servers. SamaEngine's per-request
+  // idiom is "copy the engine, tweak the copy" — this engine is
+  // non-copyable (it owns the per-shard engines), so request-scoped
+  // settings ride in explicitly instead (DESIGN.md §15).
+  struct RequestObs {
+    // Append this query's spans into an existing trace, parented under
+    // adopt_parent (the server's request span). The scatter/per-shard
+    // search/merge spans then land in the propagated trace tree, each
+    // shard span carrying a "shard" attribute.
+    std::shared_ptr<QueryTrace> adopt_trace;
+    uint64_t adopt_parent = 0;
+    // When set, replaces options().search as the base search options —
+    // the hook for per-request deadlines.
+    const ForestSearchOptions* search_override = nullptr;
+  };
+  Result<std::vector<Answer>> ExecuteSparqlTraced(const SparqlQuery& query,
+                                                  size_t k,
+                                                  const RequestObs& robs,
+                                                  QueryStats* stats) const;
+
   QueryGraph BuildQueryGraph(const std::vector<Triple>& patterns) const {
     return QueryGraph::FromPatterns(patterns, graph_->shared_dict());
   }
@@ -86,6 +106,7 @@ class ShardedEngine {
  private:
   Result<std::vector<Answer>> ExecuteWith(const QueryGraph& query, size_t k,
                                           const ForestSearchOptions& search,
+                                          const RequestObs& robs,
                                           QueryStats* stats) const;
 
   const DataGraph* graph_;

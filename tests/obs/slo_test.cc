@@ -1,0 +1,187 @@
+// SLO tier: burn-rate evaluation over a synthetic telemetry ring — a
+// healthy window stays "ok", error/shed/latency budget overruns flip
+// the tracker to degraded with the right violation list and publish
+// the sama_slo_* gauges, and recovery clears the state once the bad
+// window ages out.
+#include "obs/slo.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
+
+namespace sama {
+namespace {
+
+// One registry + ring + tracker per test, with the server-shaped
+// instruments the rollup math reads.
+struct Fixture {
+  MetricsRegistry registry;
+  Counter* requests;
+  Counter* shed;
+  Counter* errors;
+  Histogram* latency;
+  TimeSeriesRing ring;
+  SloTracker slo;
+
+  explicit Fixture(SloOptions options)
+      : requests(registry.GetCounter("sama_server_requests_total", "r",
+                                     {{"type", "query"}})),
+        shed(registry.GetCounter("sama_server_shed_total", "s")),
+        errors(registry.GetCounter("sama_server_errors_total", "e")),
+        latency(registry.GetHistogram("sama_server_request_millis", "l",
+                                      Histogram::LatencyBucketsMillis())),
+        ring([this] {
+          TimeSeriesRing::Options o;
+          o.registry = &registry;
+          return o;
+        }()),
+        slo(options, &ring, &registry) {
+    ring.SampleOnce();  // Baseline snapshot.
+  }
+
+  void Tick() { ring.SampleOnce(); }
+};
+
+TEST(SloTrackerTest, UnevaluatedUntilFirstEvaluate) {
+  Fixture f{SloOptions{}};
+  SloTracker::Health h = f.slo.Snapshot();
+  EXPECT_FALSE(h.evaluated);
+  EXPECT_FALSE(h.degraded);
+  f.slo.Evaluate();
+  h = f.slo.Snapshot();
+  EXPECT_TRUE(h.evaluated);
+  EXPECT_FALSE(h.degraded);
+}
+
+TEST(SloTrackerTest, HealthyTrafficStaysOk) {
+  Fixture f{SloOptions{}};
+  f.requests->Increment(1000);
+  for (int i = 0; i < 1000; ++i) f.latency->Observe(1.0);
+  f.Tick();
+  f.slo.Evaluate();
+  SloTracker::Health h = f.slo.Snapshot();
+  EXPECT_FALSE(h.degraded);
+  EXPECT_EQ(h.violations.size(), 0u);
+  EXPECT_LT(h.error_burn, 1.0);
+  std::string json = f.slo.RenderJson();
+  EXPECT_NE(json.find("\"status\":\"ok\""), std::string::npos) << json;
+}
+
+TEST(SloTrackerTest, ErrorBudgetOverrunDegrades) {
+  SloOptions options;
+  options.error_ratio = 0.01;  // 1% allowed; we push 10%.
+  Fixture f{options};
+  f.requests->Increment(100);
+  f.errors->Increment(10);
+  f.Tick();
+  f.slo.Evaluate();
+  SloTracker::Health h = f.slo.Snapshot();
+  EXPECT_TRUE(h.degraded);
+  ASSERT_EQ(h.violations.size(), 1u);
+  EXPECT_EQ(h.violations[0], "errors");
+  EXPECT_NEAR(h.error_burn, 10.0, 1e-6);  // 10% observed / 1% allowed.
+  std::string json = f.slo.RenderJson();
+  EXPECT_NE(json.find("\"status\":\"degraded\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"violations\":[\"errors\"]"), std::string::npos)
+      << json;
+}
+
+TEST(SloTrackerTest, ShedBudgetOverrunDegrades) {
+  SloOptions options;
+  options.shed_ratio = 0.05;
+  Fixture f{options};
+  f.requests->Increment(80);
+  f.shed->Increment(20);  // 20% of offered load shed.
+  f.Tick();
+  f.slo.Evaluate();
+  SloTracker::Health h = f.slo.Snapshot();
+  EXPECT_TRUE(h.degraded);
+  ASSERT_EQ(h.violations.size(), 1u);
+  EXPECT_EQ(h.violations[0], "shed");
+  EXPECT_NEAR(h.shed_burn, 4.0, 1e-6);  // 20% observed / 5% allowed.
+}
+
+TEST(SloTrackerTest, LatencyBudgetOverrunDegrades) {
+  SloOptions options;
+  options.latency_millis = 250.0;
+  options.latency_bad_ratio = 0.01;
+  Fixture f{options};
+  f.requests->Increment(100);
+  // 5% of requests above the objective: 5x the allowed bad ratio.
+  for (int i = 0; i < 100; ++i) f.latency->Observe(i < 95 ? 1.0 : 900.0);
+  f.Tick();
+  f.slo.Evaluate();
+  SloTracker::Health h = f.slo.Snapshot();
+  EXPECT_TRUE(h.degraded);
+  ASSERT_EQ(h.violations.size(), 1u);
+  EXPECT_EQ(h.violations[0], "latency");
+  EXPECT_NEAR(h.latency_burn, 5.0, 1e-6);
+  EXPECT_GT(h.latency_p99_millis, 250.0);
+}
+
+TEST(SloTrackerTest, BurnThresholdScalesSensitivity) {
+  SloOptions options;
+  options.error_ratio = 0.01;
+  options.burn_threshold = 20.0;  // Tolerate up to 20x budget burn.
+  Fixture f{options};
+  f.requests->Increment(100);
+  f.errors->Increment(10);  // Burn 10x: below the 20x threshold.
+  f.Tick();
+  f.slo.Evaluate();
+  EXPECT_FALSE(f.slo.Snapshot().degraded);
+}
+
+TEST(SloTrackerTest, DisabledTrackerNeverEvaluates) {
+  SloOptions options;
+  options.enabled = false;
+  Fixture f{options};
+  f.requests->Increment(10);
+  f.errors->Increment(10);
+  f.Tick();
+  f.slo.Evaluate();
+  EXPECT_FALSE(f.slo.Snapshot().evaluated);
+}
+
+TEST(SloTrackerTest, PublishesGaugesToRegistry) {
+  SloOptions options;
+  options.error_ratio = 0.01;
+  Fixture f{options};
+  f.requests->Increment(100);
+  f.errors->Increment(10);
+  f.Tick();
+  f.slo.Evaluate();
+  std::string text = f.registry.RenderText();
+  EXPECT_NE(text.find("sama_slo_degraded 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("sama_slo_error_burn_rate 10"), std::string::npos)
+      << text;
+}
+
+TEST(SloTrackerTest, RecoversOnceTheWindowIsClean) {
+  SloOptions options;
+  options.error_ratio = 0.01;
+  options.window_seconds = 0.05;  // Tiny window so the bad tick ages out.
+  Fixture f{options};
+  f.requests->Increment(100);
+  f.errors->Increment(10);
+  f.Tick();
+  f.slo.Evaluate();
+  EXPECT_TRUE(f.slo.Snapshot().degraded);
+  // New clean samples push the bad delta out of the rolling window.
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  f.requests->Increment(100);
+  f.Tick();
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  f.requests->Increment(100);
+  f.Tick();
+  f.slo.Evaluate();
+  SloTracker::Health h = f.slo.Snapshot();
+  EXPECT_FALSE(h.degraded) << f.slo.RenderJson();
+}
+
+}  // namespace
+}  // namespace sama

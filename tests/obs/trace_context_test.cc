@@ -1,0 +1,192 @@
+// Propagated-trace identity tier: TraceContext parsing/rendering (the
+// --trace-id surface), random-id generation, and the TraceStore's
+// stitching contract — one trace id must map to ONE QueryTrace across
+// repeated requests, with FIFO eviction bounding memory (DESIGN.md
+// §15).
+#include "obs/trace_context.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace sama {
+namespace {
+
+TEST(TraceContextTest, ParseAndRenderRoundTrip) {
+  TraceContext ctx;
+  ASSERT_TRUE(
+      TraceContext::ParseTraceId("0123456789abcdef0123456789abcdef", &ctx));
+  EXPECT_EQ(ctx.trace_id_hi, 0x0123456789abcdefULL);
+  EXPECT_EQ(ctx.trace_id_lo, 0x0123456789abcdefULL);
+  EXPECT_EQ(ctx.TraceIdHex(), "0123456789abcdef0123456789abcdef");
+}
+
+TEST(TraceContextTest, ShortIdsZeroExtendOnTheLeft) {
+  TraceContext ctx;
+  ASSERT_TRUE(TraceContext::ParseTraceId("beef", &ctx));
+  EXPECT_EQ(ctx.trace_id_hi, 0u);
+  EXPECT_EQ(ctx.trace_id_lo, 0xbeefULL);
+  EXPECT_EQ(ctx.TraceIdHex(), "000000000000000000000000" "0000beef");
+
+  // 17 digits spill into the hi word.
+  ASSERT_TRUE(TraceContext::ParseTraceId("f0000000000000001", &ctx));
+  EXPECT_EQ(ctx.trace_id_hi, 0xfULL);
+  EXPECT_EQ(ctx.trace_id_lo, 1u);
+}
+
+TEST(TraceContextTest, UppercaseHexAccepted) {
+  TraceContext ctx;
+  ASSERT_TRUE(TraceContext::ParseTraceId("DEADBEEF", &ctx));
+  EXPECT_EQ(ctx.trace_id_lo, 0xdeadbeefULL);
+  EXPECT_EQ(ctx.TraceIdHex().substr(24), "deadbeef");
+}
+
+TEST(TraceContextTest, BadInputsRejectedAndLeaveContextUntouched) {
+  TraceContext ctx;
+  ctx.trace_id_lo = 7;
+  EXPECT_FALSE(TraceContext::ParseTraceId("", &ctx));
+  EXPECT_FALSE(TraceContext::ParseTraceId("xyz", &ctx));
+  EXPECT_FALSE(TraceContext::ParseTraceId("12 34", &ctx));
+  EXPECT_FALSE(TraceContext::ParseTraceId(  // 33 digits: overlong.
+      "123456789012345678901234567890123", &ctx));
+  EXPECT_FALSE(TraceContext::ParseTraceId("0", &ctx));  // Reserved.
+  EXPECT_FALSE(TraceContext::ParseTraceId(
+      "00000000000000000000000000000000", &ctx));
+  EXPECT_EQ(ctx.trace_id_lo, 7u);  // Untouched by every failure.
+}
+
+TEST(TraceContextTest, ValidityIsNonZeroId) {
+  TraceContext ctx;
+  EXPECT_FALSE(ctx.valid());
+  ctx.trace_id_hi = 1;
+  EXPECT_TRUE(ctx.valid());
+  ctx = TraceContext();
+  ctx.trace_id_lo = 1;
+  EXPECT_TRUE(ctx.valid());
+}
+
+TEST(TraceContextTest, GeneratedIdsAreValidAndDistinct) {
+  std::set<std::string> seen;
+  for (int i = 0; i < 64; ++i) {
+    TraceContext ctx = TraceContext::Generate();
+    EXPECT_TRUE(ctx.valid());
+    EXPECT_TRUE(ctx.sampled);
+    seen.insert(ctx.TraceIdHex());
+  }
+  EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(TraceStoreTest, SameIdYieldsSameTrace) {
+  TraceStore store(8);
+  TraceContext ctx;
+  ASSERT_TRUE(TraceContext::ParseTraceId("cafe", &ctx));
+  std::shared_ptr<QueryTrace> first = store.GetOrCreate(ctx);
+  std::shared_ptr<QueryTrace> second = store.GetOrCreate(ctx);
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(store.size(), 1u);
+
+  // Spans from "both requests" accumulate in the one trace.
+  uint64_t a = first->BeginSpan("request", 0);
+  first->EndSpan(a);
+  uint64_t b = second->BeginSpan("request", 0);
+  second->EndSpan(b);
+  EXPECT_EQ(first->size(), 2u);
+}
+
+TEST(TraceStoreTest, FindByHexAndIdsNewestFirst) {
+  TraceStore store(8);
+  TraceContext a, b;
+  ASSERT_TRUE(TraceContext::ParseTraceId("aa", &a));
+  ASSERT_TRUE(TraceContext::ParseTraceId("bb", &b));
+  store.GetOrCreate(a);
+  store.GetOrCreate(b);
+  EXPECT_NE(store.Find(a.TraceIdHex()), nullptr);
+  EXPECT_EQ(store.Find("00ff"), nullptr);
+  std::vector<std::string> ids = store.Ids();
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], b.TraceIdHex());  // Newest first.
+  EXPECT_EQ(ids[1], a.TraceIdHex());
+}
+
+TEST(TraceStoreTest, InvalidContextYieldsFreshUnregisteredTrace) {
+  TraceStore store(8);
+  TraceContext invalid;
+  std::shared_ptr<QueryTrace> one = store.GetOrCreate(invalid);
+  std::shared_ptr<QueryTrace> two = store.GetOrCreate(invalid);
+  EXPECT_NE(one, nullptr);
+  EXPECT_NE(one.get(), two.get());
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(TraceStoreTest, EvictsOldestBeyondCapacity) {
+  TraceStore store(3);
+  std::vector<TraceContext> ctxs;
+  for (int i = 1; i <= 5; ++i) {
+    TraceContext ctx;
+    ctx.trace_id_lo = static_cast<uint64_t>(i);
+    ctxs.push_back(ctx);
+    store.GetOrCreate(ctx);
+  }
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_EQ(store.Find(ctxs[0].TraceIdHex()), nullptr);
+  EXPECT_EQ(store.Find(ctxs[1].TraceIdHex()), nullptr);
+  EXPECT_NE(store.Find(ctxs[2].TraceIdHex()), nullptr);
+  EXPECT_NE(store.Find(ctxs[4].TraceIdHex()), nullptr);
+
+  // A holder's shared_ptr keeps an evicted trace readable.
+  std::shared_ptr<QueryTrace> held = store.GetOrCreate(ctxs[2]);
+  TraceContext extra;
+  extra.trace_id_lo = 99;
+  store.GetOrCreate(extra);
+  extra.trace_id_lo = 100;
+  store.GetOrCreate(extra);
+  extra.trace_id_lo = 101;
+  store.GetOrCreate(extra);
+  EXPECT_EQ(store.Find(ctxs[2].TraceIdHex()), nullptr);
+  uint64_t span = held->BeginSpan("late", 0);
+  held->EndSpan(span);
+  EXPECT_GE(held->size(), 1u);
+}
+
+TEST(TraceStoreTest, ConcurrentGetOrCreateIsRaceFree) {
+  // Hammer one store from several threads over a small id space; TSan
+  // (CI's sanitizer matrix runs this binary) verifies the locking, and
+  // every thread must observe the same trace object per id.
+  TraceStore store(64);
+  constexpr int kThreads = 4;
+  constexpr int kIters = 500;
+  std::vector<std::shared_ptr<QueryTrace>> first_seen(8);
+  std::mutex first_mu;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store, &first_seen, &first_mu, t] {
+      for (int i = 0; i < kIters; ++i) {
+        TraceContext ctx;
+        ctx.trace_id_lo = 1 + static_cast<uint64_t>((i + t) % 8);
+        std::shared_ptr<QueryTrace> trace = store.GetOrCreate(ctx);
+        uint64_t span = trace->BeginSpan("op", 0);
+        trace->EndSpan(span);
+        std::lock_guard<std::mutex> lock(first_mu);
+        std::shared_ptr<QueryTrace>& slot =
+            first_seen[(i + t) % 8];
+        if (slot == nullptr) {
+          slot = trace;
+        } else {
+          EXPECT_EQ(slot.get(), trace.get());
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(store.size(), 8u);
+}
+
+}  // namespace
+}  // namespace sama

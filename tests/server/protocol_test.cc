@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -37,14 +38,15 @@ Frame MustPop(FrameDecoder* decoder) {
 
 TEST(ProtocolTest, GoldenFrameBytes) {
   // The wire format is an external contract: these exact bytes must
-  // never change within protocol version 1.
+  // never change within protocol version 2. An untraced frame carries
+  // no extension — only the version byte differs from the v1 wire.
   Frame frame = MakeFrame(FrameType::kPing, 0x0123456789abcdefULL, "hi");
   std::string wire = EncodeFrame(frame);
   const unsigned char expected[] = {
       'S',  'A',  'M',  'A',         // magic
-      0x01,                          // version
+      0x02,                          // version
       0x02,                          // type = kPing
-      0x00, 0x00,                    // flags
+      0x00, 0x00,                    // flags (no extension)
       0xef, 0xcd, 0xab, 0x89, 0x67, 0x45, 0x23, 0x01,  // request id LE
       0x02, 0x00, 0x00, 0x00,        // payload length
       'h',  'i',
@@ -53,6 +55,189 @@ TEST(ProtocolTest, GoldenFrameBytes) {
   for (size_t i = 0; i < sizeof(expected); ++i) {
     EXPECT_EQ(static_cast<unsigned char>(wire[i]), expected[i])
         << "byte " << i;
+  }
+}
+
+TEST(ProtocolTest, GoldenTracedFrameBytes) {
+  // A valid trace context sets the extension flag and prepends one
+  // TLV (tag 1, 25 bytes) to the payload. These bytes are the v2
+  // contract for trace propagation.
+  Frame frame = MakeFrame(FrameType::kPing, 0x0123456789abcdefULL, "hi");
+  frame.trace.trace_id_hi = 0x1111222233334444ULL;
+  frame.trace.trace_id_lo = 0x5555666677778888ULL;
+  frame.trace.parent_span = 0x0000000000000042ULL;
+  frame.trace.sampled = true;
+  std::string wire = EncodeFrame(frame);
+  const unsigned char expected[] = {
+      'S',  'A',  'M',  'A',         // magic
+      0x02,                          // version
+      0x02,                          // type = kPing
+      0x01, 0x00,                    // flags: has extension
+      0xef, 0xcd, 0xab, 0x89, 0x67, 0x45, 0x23, 0x01,  // request id LE
+      0x02, 0x00, 0x00, 0x00,        // payload length (payload only)
+      0x1b, 0x00,                    // ext length: 2 TLV bytes + 25
+      0x01, 0x19,                    // tag=trace context, len=25
+      0x44, 0x44, 0x33, 0x33, 0x22, 0x22, 0x11, 0x11,  // trace id hi LE
+      0x88, 0x88, 0x77, 0x77, 0x66, 0x66, 0x55, 0x55,  // trace id lo LE
+      0x42, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // parent span LE
+      0x01,                          // sampled
+      'h',  'i',
+  };
+  ASSERT_EQ(wire.size(), sizeof(expected));
+  for (size_t i = 0; i < sizeof(expected); ++i) {
+    EXPECT_EQ(static_cast<unsigned char>(wire[i]), expected[i])
+        << "byte " << i;
+  }
+  // And it round-trips.
+  FrameDecoder decoder;
+  decoder.Feed(wire);
+  Frame back = MustPop(&decoder);
+  EXPECT_EQ(back.trace.trace_id_hi, frame.trace.trace_id_hi);
+  EXPECT_EQ(back.trace.trace_id_lo, frame.trace.trace_id_lo);
+  EXPECT_EQ(back.trace.parent_span, frame.trace.parent_span);
+  EXPECT_TRUE(back.trace.sampled);
+  EXPECT_EQ(back.payload, "hi");
+}
+
+TEST(ProtocolTest, V1FramesStillDecode) {
+  // Old clients speak v1: no flags, no extension. The v2 decoder must
+  // accept the exact v1 bytes unchanged.
+  const unsigned char v1_wire[] = {
+      'S',  'A',  'M',  'A',         // magic
+      0x01,                          // version 1
+      0x02,                          // type = kPing
+      0xff, 0xff,                    // v1 flags are reserved noise
+      0xef, 0xcd, 0xab, 0x89, 0x67, 0x45, 0x23, 0x01,  // request id LE
+      0x02, 0x00, 0x00, 0x00,        // payload length
+      'h',  'i',
+  };
+  FrameDecoder decoder;
+  decoder.Feed(std::string_view(reinterpret_cast<const char*>(v1_wire),
+                                sizeof(v1_wire)));
+  Frame frame = MustPop(&decoder);
+  EXPECT_EQ(frame.type, FrameType::kPing);
+  EXPECT_EQ(frame.request_id, 0x0123456789abcdefULL);
+  EXPECT_EQ(frame.payload, "hi");
+  // Even a v1 flags field with the extension bit set reads no
+  // extension bytes — the bit is only meaningful from v2 on.
+  EXPECT_FALSE(frame.trace.valid());
+}
+
+TEST(ProtocolTest, UnknownExtensionTagsSkipped) {
+  // Forward compatibility: a v2 frame carrying TLV tags this decoder
+  // has never heard of must decode cleanly, keeping any tags it does
+  // know. Hand-build ext = [tag 9 len 3 xyz][trace TLV][tag 7 len 0].
+  Frame frame = MakeFrame(FrameType::kPing, 7, "ok");
+  frame.trace.trace_id_hi = 1;
+  frame.trace.trace_id_lo = 2;
+  std::string traced = EncodeFrame(frame);
+  // Extract the 27 ext bytes EncodeFrame produced (after the 2-byte
+  // ext length at offset 20).
+  std::string trace_tlv = traced.substr(22, 27);
+  std::string ext;
+  ext += "\x09\x03xyz";           // unknown tag 9
+  ext += trace_tlv;               // known trace TLV
+  ext += '\x07';                  // unknown tag 7 ...
+  ext += '\x00';                  // ... empty value
+  std::string wire = traced.substr(0, 20);
+  wire[6] = 0x01;                 // flags: has extension
+  wire += static_cast<char>(ext.size());
+  wire += '\x00';
+  wire += ext;
+  wire += "ok";
+  FrameDecoder decoder;
+  decoder.Feed(wire);
+  Frame back = MustPop(&decoder);
+  EXPECT_EQ(back.payload, "ok");
+  EXPECT_EQ(back.trace.trace_id_hi, 1u);
+  EXPECT_EQ(back.trace.trace_id_lo, 2u);
+}
+
+TEST(ProtocolTest, MalformedExtensionPoisonsDecoder) {
+  struct Case {
+    const char* name;
+    std::function<void(std::string*)> corrupt;
+  };
+  Frame frame = MakeFrame(FrameType::kPing, 7, "ok");
+  frame.trace.trace_id_hi = 1;
+  frame.trace.trace_id_lo = 2;
+  const std::string good = EncodeFrame(frame);
+  const Case cases[] = {
+      {"trace TLV with truncated value",
+       [](std::string* w) { (*w)[23] = 0x05; }},  // len 25 -> 5
+      {"TLV overrunning the extension",
+       [](std::string* w) { (*w)[23] = 0x7f; }},  // len 25 -> 127
+      {"extension length above the cap",
+       [](std::string* w) {
+         (*w)[20] = static_cast<char>(0xff);
+         (*w)[21] = static_cast<char>(0xff);
+       }},
+  };
+  for (const Case& c : cases) {
+    std::string wire = good;
+    c.corrupt(&wire);
+    FrameDecoder decoder;
+    decoder.Feed(wire);
+    Frame out;
+    WireStatus code = WireStatus::kOk;
+    std::string message;
+    // Either the frame is rejected outright or the decoder wants more
+    // bytes it will never get (oversized ext length); feeding garbage
+    // afterwards must then fail, not fabricate a frame.
+    FrameDecoder::Next next = decoder.Pop(&out, &code, &message);
+    if (next == FrameDecoder::Next::kNeedMore) {
+      decoder.Feed(std::string(512, '\0'));
+      next = decoder.Pop(&out, &code, &message);
+    }
+    EXPECT_EQ(next, FrameDecoder::Next::kBad) << c.name;
+    EXPECT_EQ(code, WireStatus::kBadFrame) << c.name;
+  }
+}
+
+TEST(ProtocolTest, RandomTracedFramesSurviveChunkedRoundTrip) {
+  // Fuzz the v2 extension path: random frames, ~half traced, fed in
+  // random chunk sizes, must all round-trip with their trace context
+  // intact.
+  Random rng(4242);
+  FrameDecoder decoder;
+  std::vector<Frame> sent;
+  std::string wire;
+  for (int i = 0; i < 500; ++i) {
+    Frame frame;
+    frame.type = static_cast<FrameType>(1 + rng.Uniform(6));
+    frame.request_id = rng.Next();
+    frame.payload.assign(rng.Uniform(64), 'x');
+    if (rng.Bernoulli(0.5)) {
+      frame.trace.trace_id_hi = rng.Next();
+      frame.trace.trace_id_lo = rng.Next() | 1;  // Keep it valid.
+      frame.trace.parent_span = rng.Next();
+      frame.trace.sampled = rng.Bernoulli(0.5);
+    }
+    wire += EncodeFrame(frame);
+    sent.push_back(std::move(frame));
+  }
+  size_t fed = 0, popped = 0;
+  while (popped < sent.size()) {
+    if (fed < wire.size()) {
+      size_t n = std::min<size_t>(1 + rng.Uniform(97), wire.size() - fed);
+      decoder.Feed(std::string_view(wire).substr(fed, n));
+      fed += n;
+    }
+    Frame frame;
+    WireStatus code = WireStatus::kOk;
+    std::string message;
+    while (decoder.Pop(&frame, &code, &message) ==
+           FrameDecoder::Next::kFrame) {
+      const Frame& want = sent[popped];
+      ASSERT_EQ(frame.request_id, want.request_id);
+      ASSERT_EQ(frame.payload, want.payload);
+      ASSERT_EQ(frame.trace.trace_id_hi, want.trace.trace_id_hi);
+      ASSERT_EQ(frame.trace.trace_id_lo, want.trace.trace_id_lo);
+      ASSERT_EQ(frame.trace.parent_span, want.trace.parent_span);
+      ASSERT_EQ(frame.trace.sampled, want.trace.sampled);
+      ++popped;
+    }
+    ASSERT_NE(code, WireStatus::kBadFrame) << message;
   }
 }
 
@@ -166,7 +351,7 @@ TEST(ProtocolTest, GarbageHeaderPoisonsDecoder) {
 
 TEST(ProtocolTest, VersionMismatchRejected) {
   std::string wire = EncodeFrame(MakeFrame(FrameType::kPing, 1, "hello"));
-  wire[4] = 2;  // Future version.
+  wire[4] = 3;  // Future version.
   FrameDecoder decoder;
   decoder.Feed(wire);
   Frame frame;

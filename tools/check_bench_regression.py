@@ -66,6 +66,20 @@ Usage:
   4. Latency: per-shard-count mean_ms must not exceed the baseline by
      more than --tolerance (machine-dependent).
 
+--mode=obs gates bench_obs artifacts (tracing/telemetry overhead):
+  1. Correctness (unconditional, never skipped): summary.mismatches
+     must be exactly zero — a traced query must return byte-identical
+     answers to its untraced twin; tracing is observation, never
+     behaviour.
+  2. Span liveness (unconditional): summary.spans_per_query must be
+     positive — a traced run that recorded no spans measured nothing.
+  3. Tracing overhead (unconditional — it is a same-machine ratio):
+     summary.traced_over_untraced must not exceed
+     1 + --max-trace-overhead (default 5%). This is the PR's headline
+     observability contract: always-on tracing must be nearly free.
+  4. Sampler cost: summary.sample_mean_us must not exceed the baseline
+     by more than --tolerance (machine-dependent).
+
 Latency/throughput are machine-dependent; the correctness and ratio
 checks are not. Pass --no-absolute to skip the machine-dependent
 checks (fig6 check 1; serve checks 2 and 3, except the --min-qps hard
@@ -347,12 +361,70 @@ def check_shard(new, base, args):
     return failures
 
 
+def check_obs(new, base, args):
+    """The bench_obs gate; returns the list of failure strings."""
+    failures = []
+    new_sum, base_sum = new["summary"], base["summary"]
+
+    # Correctness first, and never skippable: tracing must not change
+    # answers, and a span-free "traced" run measured nothing.
+    mismatches = get_number(new_sum, "mismatches",
+                            f"{args.new_json} summary")
+    if mismatches != 0:
+        failures.append(f"mismatches is {mismatches:g}; traced answers "
+                        f"must be byte-identical to untraced answers")
+    spans = get_number(new_sum, "spans_per_query",
+                       f"{args.new_json} summary")
+    if spans <= 0:
+        failures.append("spans_per_query is 0; the traced run recorded "
+                        "no spans, so the overhead ratio is vacuous")
+
+    # The headline contract: a same-machine ratio, so it is NOT skipped
+    # by --no-absolute.
+    ratio = get_number(new_sum, "traced_over_untraced",
+                       f"{args.new_json} summary")
+    limit = 1.0 + args.max_trace_overhead
+    if ratio > limit:
+        failures.append(
+            f"traced_over_untraced {ratio:.4f} exceeds "
+            f"{limit:.4f} (+{args.max_trace_overhead:.0%}); end-to-end "
+            f"tracing must stay nearly free")
+    if ratio <= 0:
+        failures.append(f"traced_over_untraced is {ratio:g}; a "
+                        f"zero/negative ratio means the bench timed "
+                        f"nothing")
+
+    new_us = get_number(new_sum, "sample_mean_us",
+                        f"{args.new_json} summary")
+    base_us = get_number(base_sum, "sample_mean_us",
+                         f"{args.baseline_json} summary")
+    if base_us <= 0:
+        die(f"key 'sample_mean_us' in {args.baseline_json} summary is "
+            f"{base_us}; a zero/negative baseline cannot gate anything "
+            f"(re-record the baseline)")
+    if not args.no_absolute:
+        us_limit = base_us * (1.0 + args.tolerance)
+        if new_us > us_limit:
+            failures.append(
+                f"sample_mean_us {new_us:.2f} exceeds baseline "
+                f"{base_us:.2f} +{args.tolerance:.0%} "
+                f"(limit {us_limit:.2f})")
+
+    if not failures:
+        print(f"obs bench ok: 0 mismatches, "
+              f"traced/untraced={ratio:.4f} (limit {limit:.4f}), "
+              f"{spans:.1f} spans/query, "
+              f"sampler {new_us:.2f}us (baseline {base_us:.2f}us)")
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("new_json")
     parser.add_argument("baseline_json")
     parser.add_argument("--mode",
-                        choices=("fig6", "serve", "wal", "read", "shard"),
+                        choices=("fig6", "serve", "wal", "read", "shard",
+                                 "obs"),
                         default="fig6",
                         help="which bench artifact schema to gate")
     parser.add_argument("--tolerance", type=float, default=0.20,
@@ -366,6 +438,9 @@ def main():
     parser.add_argument("--min-read-scaling", type=float, default=3.0,
                         help="hard floor for summary.hit_scaling (read), "
                              "enforced when hardware_threads >= 8")
+    parser.add_argument("--max-trace-overhead", type=float, default=0.05,
+                        help="ceiling for summary.traced_over_untraced "
+                             "above 1.0 (obs; 0.05 = 5%%)")
     parser.add_argument("--hit-rate-slack", type=float, default=0.05,
                         help="absolute slack for warm cache hit rates")
     parser.add_argument("--no-absolute", action="store_true",
@@ -383,9 +458,10 @@ def main():
             die(f"missing key 'queries' in {path}")
     new_sum, base_sum = new["summary"], base["summary"]
 
-    if args.mode in ("serve", "wal", "read", "shard"):
+    if args.mode in ("serve", "wal", "read", "shard", "obs"):
         check = {"serve": check_serve, "wal": check_wal,
-                 "read": check_read, "shard": check_shard}[args.mode]
+                 "read": check_read, "shard": check_shard,
+                 "obs": check_obs}[args.mode]
         failures = check(new, base, args)
         if failures:
             print("BENCH REGRESSION:", file=sys.stderr)

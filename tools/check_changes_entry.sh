@@ -21,6 +21,7 @@ baselines=(
   benchmarks/BENCH_pr7_baseline.json
   benchmarks/BENCH_pr8_baseline.json
   benchmarks/BENCH_pr9_baseline.json
+  benchmarks/BENCH_pr10_baseline.json
 )
 for artifact in "${baselines[@]}"; do
   if [ ! -f "$artifact" ]; then

@@ -6,6 +6,9 @@ Usage:
     check_obs_output.py --perfetto TRACE_JSON
     check_obs_output.py --metrics METRICS_TXT
     check_obs_output.py --queries QUERIES_JSON
+    check_obs_output.py --trace TRACE_JSON
+    check_obs_output.py --timeseries SERIES_JSON
+    check_obs_output.py --slo SLO_JSON
 
 Default mode reads a capture of `sama_cli --trace --stats --metrics
 --slow-query-ms ...` and checks the three inline observability
@@ -35,6 +38,21 @@ The flag modes validate the profiler/HTTP surfaces:
               latency histogram has observations.
   --queries   A GET /debug/queries capture: {"queries": [...]} where
               every record passes the slow-query key/finiteness checks.
+  --trace     A GET /debug/trace?id= capture (the distributed trace
+              tree): the same Perfetto envelope checks, but rooted at
+              one or more "request" spans (a client can stitch several
+              requests into one trace) with no query-summary args
+              required on the roots.
+  --timeseries  A GET /debug/timeseries capture — either the index
+              shape ({"interval_seconds",...,"metrics":[...]}) or one
+              series ({"metric","kind","points":[{"t","v"},...]}) with
+              kind-specific keys: counters carry non-negative
+              rate_per_sec/increase, gauges carry "last", histograms
+              carry rate_per_sec/count and p50/p90/p99 (null allowed
+              when the window has no observations).
+  --slo       A GET /debug/slo capture: status ok|degraded consistent
+              with the violations list, three objectives each carrying
+              a finite non-negative burn_rate.
 
 Structure only, never timings: the checker must pass on any machine.
 """
@@ -199,12 +217,25 @@ def check_metrics_file(path):
     return len(values)
 
 
-def check_perfetto(path):
+def load_json(path):
     with open(path) as f:
         try:
-            doc = json.load(f)
+            return json.load(f)
         except ValueError as e:
             fail(f"{path} is not valid JSON: {e}")
+
+
+def check_trace_events(path, root_name, allow_multiple_roots,
+                       require_summary_args):
+    """Shared Perfetto/trace-event walker.
+
+    The profiler export (--perfetto) has exactly one root "query" event
+    carrying the query-level summary args; the distributed-trace export
+    (--trace) is rooted at one or more "request" events — a client that
+    reuses a trace id across requests stitches several roots into one
+    tree.
+    """
+    doc = load_json(path)
     if not isinstance(doc, dict):
         fail("trace-event file is not a JSON object")
     if doc.get("displayTimeUnit") != "ms":
@@ -254,16 +285,140 @@ def check_perfetto(path):
         parent = e["args"].get("parent")
         if parent is not None and parent not in span_ids:
             fail(f"event {e['name']} has dangling parent {parent}")
-    if len(roots) != 1 or roots[0]["name"] != "query":
-        fail(f"expected one root 'query' event, got "
+    if not roots:
+        fail(f"no root event (every event has a parent)")
+    if not allow_multiple_roots and len(roots) != 1:
+        fail(f"expected one root '{root_name}' event, got "
              f"{[r['name'] for r in roots]}")
-    for key in ("answers", "query_paths", "candidate_paths", "truncated"):
-        if key not in roots[0]["args"]:
-            fail(f"root query event missing summary arg '{key}'")
+    for r in roots:
+        if r["name"] != root_name:
+            fail(f"expected root event(s) named '{root_name}', got "
+                 f"{[x['name'] for x in roots]}")
+    if require_summary_args:
+        for key in ("answers", "query_paths", "candidate_paths",
+                    "truncated"):
+            if key not in roots[0]["args"]:
+                fail(f"root {root_name} event missing summary arg "
+                     f"'{key}'")
     missing = used_tids - named_tids
     if missing:
         fail(f"tids without thread_name metadata: {sorted(missing)}")
-    return len(complete)
+    return len(complete), len(roots)
+
+
+def check_perfetto(path):
+    events, _ = check_trace_events(path, "query",
+                                   allow_multiple_roots=False,
+                                   require_summary_args=True)
+    return events
+
+
+def finite_number(doc, key, source, allow_null=False):
+    if key not in doc:
+        fail(f"{source} missing key '{key}'")
+    value = doc[key]
+    if value is None and allow_null:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        fail(f"{source} key '{key}' is not a number: {value!r}")
+    if not math.isfinite(value):
+        fail(f"{source} key '{key}' is non-finite: {value!r}")
+    return value
+
+
+def check_timeseries_file(path):
+    doc = load_json(path)
+    if not isinstance(doc, dict):
+        fail("/debug/timeseries payload is not a JSON object")
+    if "error" in doc:
+        fail(f"/debug/timeseries answered an error: {doc['error']!r} "
+             f"(metric {doc.get('metric')!r})")
+
+    # The no-metric index shape.
+    if "metrics" in doc and "metric" not in doc:
+        for key in ("interval_seconds", "capacity", "samples"):
+            finite_number(doc, key, "/debug/timeseries index")
+        metrics = doc["metrics"]
+        if not isinstance(metrics, list) or not metrics:
+            fail("/debug/timeseries index has no metrics")
+        for m in metrics:
+            if not isinstance(m, str):
+                fail(f"/debug/timeseries index metric is not a string: "
+                     f"{m!r}")
+        return f"index of {len(metrics)} metric(s)"
+
+    kind = doc.get("kind")
+    if kind not in ("counter", "gauge", "histogram"):
+        fail(f"/debug/timeseries kind is {kind!r}")
+    source = f"/debug/timeseries {doc.get('metric')!r}"
+    finite_number(doc, "window_seconds", source)
+    samples = finite_number(doc, "samples", source)
+    if samples < 1:
+        fail(f"{source} retained no samples")
+    if kind == "counter":
+        for key in ("rate_per_sec", "increase"):
+            if finite_number(doc, key, source) < 0:
+                fail(f"{source} {key} is negative (the reset clamp "
+                     f"must floor it at 0)")
+    elif kind == "gauge":
+        finite_number(doc, "last", source)
+    else:
+        if finite_number(doc, "rate_per_sec", source) < 0:
+            fail(f"{source} rate_per_sec is negative")
+        if finite_number(doc, "count", source) < 0:
+            fail(f"{source} count is negative")
+        for key in ("p50", "p90", "p99"):
+            v = finite_number(doc, key, source, allow_null=True)
+            if v is not None and v < 0:
+                fail(f"{source} {key} is negative: {v}")
+        # Histogram series render windowed quantiles, not raw points.
+        return f"histogram series over {samples:g} sample(s)"
+    points = doc.get("points")
+    if not isinstance(points, list) or not points:
+        fail(f"{source} has no points array")
+    last_t = None
+    for p in points:
+        t = finite_number(p, "t", f"{source} point")
+        finite_number(p, "v", f"{source} point")
+        if last_t is not None and t < last_t:
+            fail(f"{source} points are not time-ordered")
+        last_t = t
+    return f"{kind} series with {len(points)} point(s)"
+
+
+def check_slo_file(path):
+    doc = load_json(path)
+    if not isinstance(doc, dict):
+        fail("/debug/slo payload is not a JSON object")
+    status = doc.get("status")
+    if status not in ("ok", "degraded"):
+        fail(f"/debug/slo status is {status!r}")
+    if not isinstance(doc.get("evaluated"), bool):
+        fail(f"/debug/slo evaluated is not a bool: "
+             f"{doc.get('evaluated')!r}")
+    finite_number(doc, "window_seconds", "/debug/slo")
+    finite_number(doc, "burn_threshold", "/debug/slo")
+    objectives = doc.get("objectives")
+    if not isinstance(objectives, dict):
+        fail("/debug/slo has no objectives object")
+    for name in ("latency", "errors", "shed"):
+        obj = objectives.get(name)
+        if not isinstance(obj, dict):
+            fail(f"/debug/slo objective '{name}' is missing")
+        if finite_number(obj, "burn_rate", f"/debug/slo {name}") < 0:
+            fail(f"/debug/slo {name} burn_rate is negative")
+        finite_number(obj, "allowed_bad_ratio", f"/debug/slo {name}")
+    violations = doc.get("violations")
+    if not isinstance(violations, list):
+        fail("/debug/slo has no violations array")
+    for v in violations:
+        if v not in ("latency", "errors", "shed"):
+            fail(f"/debug/slo unknown violation {v!r}")
+    if status == "degraded" and not violations:
+        fail("/debug/slo is degraded with an empty violations list")
+    if status == "ok" and violations:
+        fail(f"/debug/slo is ok but lists violations: {violations}")
+    return status, violations
 
 
 def check_queries_file(path):
@@ -315,6 +470,13 @@ def main():
                       help="validate a bare /metrics exposition capture")
     mode.add_argument("--queries", metavar="QUERIES_JSON",
                       help="validate a /debug/queries capture")
+    mode.add_argument("--trace", metavar="TRACE_JSON",
+                      help="validate a /debug/trace?id= distributed "
+                           "trace capture")
+    mode.add_argument("--timeseries", metavar="SERIES_JSON",
+                      help="validate a /debug/timeseries capture")
+    mode.add_argument("--slo", metavar="SLO_JSON",
+                      help="validate a /debug/slo capture")
     parser.add_argument("output", nargs="?",
                         help="combined CLI capture (default mode)")
     args = parser.parse_args()
@@ -328,6 +490,19 @@ def main():
     elif args.queries:
         records = check_queries_file(args.queries)
         print(f"obs ok: /debug/queries with {records} record(s)")
+    elif args.trace:
+        events, roots = check_trace_events(args.trace, "request",
+                                           allow_multiple_roots=True,
+                                           require_summary_args=False)
+        print(f"obs ok: distributed trace with {events} span event(s) "
+              f"under {roots} request root(s)")
+    elif args.timeseries:
+        what = check_timeseries_file(args.timeseries)
+        print(f"obs ok: /debug/timeseries {what}")
+    elif args.slo:
+        status, violations = check_slo_file(args.slo)
+        print(f"obs ok: /debug/slo status={status} "
+              f"violations={violations}")
     elif args.output:
         check_default(args.output)
     else:

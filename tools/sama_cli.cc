@@ -43,15 +43,35 @@
 //   serve              Load the data, run an optional warmup query, and
 //                      serve diagnostics over HTTP until killed:
 //                        GET  /metrics         Prometheus text format
-//                        GET  /healthz         liveness probe
+//                        GET  /healthz         liveness probe; 503 +
+//                             "degraded" once an SLO burn rate crosses
+//                             its threshold, ?verbose=1 for the full
+//                             SLO JSON (DESIGN.md §15)
 //                        GET  /debug/queries   slow-query ring as JSON
+//                             (?limit=N caps the rows, newest kept)
 //                        GET  /debug/profile   retained query profiles
 //                             ?id=N (default latest), ?format=text for
 //                             EXPLAIN ANALYZE instead of trace JSON
+//                        GET  /debug/timeseries telemetry history:
+//                             ?metric=NAME&window=S windowed series,
+//                             no params for the metric listing
+//                        GET  /debug/top       the `sama_cli top` rollup
+//                        GET  /debug/trace     propagated traces:
+//                             ?id=HEX Perfetto trace-event JSON
+//                             (?format=raw for the span tree), no
+//                             params for the known-id listing
 //                        POST /query           SPARQL body -> answers
-//                      Profiling and metrics are always on under serve;
+//                      Profiling, metrics, the 1s telemetry sampler and
+//                      the SLO tracker are always on under serve;
 //                      --slow-query-ms defaults to 100 so /debug/queries
-//                      has a live ring.
+//                      has a live ring. `serve --binary` accepts a
+//                      sharded --index-dir (read-only scatter-gather
+//                      serving) and co-hosts the same diagnostics
+//                      endpoints when --http-port is given.
+//   top                Live terminal view of a serving process: QPS,
+//                      P50/P99, shed/error rates, cache hit ratio,
+//                      epoch pins and WAL lag, polled from
+//                      /debug/top every --interval seconds.
 //
 // Options:
 //   --data FILE        N-Triples (.nt) or Turtle (.ttl) input (required).
@@ -100,8 +120,24 @@
 //   --profile-out F    Write the last query's profile as Chrome
 //                      trace-event JSON to F (open in Perfetto or
 //                      chrome://tracing). Implies profiling.
+//   --trace-id HEX     Stamp queries with this 1..32-hex-digit trace id
+//                      (the trace JSON then carries it, and a server
+//                      joins spans under it; see --trace-id on
+//                      sama_client for the wire side).
 //   --port N           Port for `serve` (default 8080; 0 = ephemeral).
 //   --host ADDR        Listen address for `serve` (default 127.0.0.1).
+//   --http-port N      `serve --binary`: also serve the diagnostics
+//                      HTTP endpoints on this port (0 = ephemeral;
+//                      omitted = no HTTP listener).
+//   --interval S       `top`: refresh period in seconds (default 2).
+//   --window S         `top` / SLO evaluation window (default 60).
+//   --iterations N     `top`: stop after N refreshes (0 = forever).
+//   --slo-latency-ms N     SLO: latency objective threshold (250).
+//   --slo-latency-ratio R  SLO: allowed slow fraction (0.01).
+//   --slo-error-ratio R    SLO: allowed error fraction (0.01).
+//   --slo-shed-ratio R     SLO: allowed shed fraction (0.05).
+//   --slo-burn R           SLO: degraded at burn rate >= R (1.0).
+//   --no-slo               Disable SLO evaluation (healthz always ok).
 //   --apply FILE       Update statements for `update` ("-" = stdin).
 //   --no-fsync         `update`: defer fsyncs to the final checkpoint.
 //   --updates          `serve --binary`: enable the UPDATE opcode
@@ -112,6 +148,8 @@
 //
 // Flags accept both `--flag value` and `--flag=value`.
 
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -120,7 +158,11 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include "baselines/bounded.h"
@@ -175,6 +217,22 @@ struct CliOptions {
   std::string host = "127.0.0.1";
   // serve --binary: the framed binary protocol instead of HTTP.
   bool binary = false;
+  // serve --binary: co-hosted diagnostics HTTP port (-1 = none).
+  long http_port = -1;
+  // Propagated trace id (--trace-id), empty = none.
+  std::string trace_id;
+  // top subcommand.
+  bool top = false;
+  double top_interval = 2.0;
+  double window_seconds = 60.0;
+  size_t top_iterations = 0;  // 0 = until killed.
+  // SLO objectives (serve).
+  bool slo_enabled = true;
+  double slo_latency_ms = 250.0;
+  double slo_latency_ratio = 0.01;
+  double slo_error_ratio = 0.01;
+  double slo_shed_ratio = 0.05;
+  double slo_burn = 1.0;
   size_t workers = 1;
   size_t max_conns = 64;
   size_t max_queue = 128;
@@ -216,8 +274,14 @@ void PrintUsage() {
                " [--port N] [--host ADDR]\n"
                "                      [--binary [--workers N] [--max-conns N]"
                " [--max-queue N]\n"
-               "                       [--deadline-ms N]]   (framed binary"
-               " protocol instead of HTTP)\n"
+               "                       [--deadline-ms N] [--http-port N]]"
+               "   (framed binary\n"
+               "                      protocol; --http-port co-hosts the"
+               " diagnostics endpoints)\n"
+               "       sama_cli top [--host ADDR] [--port N] [--interval S]"
+               " [--window S]\n"
+               "                    [--iterations N]   (live QPS/P99/shed"
+               " view of a serving process)\n"
                "       sama_cli --demo   (built-in Figure-1 walkthrough)\n");
 }
 
@@ -234,6 +298,9 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
     first = 2;
   } else if (argc > 1 && std::strcmp(argv[1], "build") == 0) {
     options->build = true;
+    first = 2;
+  } else if (argc > 1 && std::strcmp(argv[1], "top") == 0) {
+    options->top = true;
     first = 2;
   }
   for (int i = first; i < argc; ++i) {
@@ -308,6 +375,29 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
                                                        nullptr, 10));
     } else if (arg == "--host" && next(&value)) {
       options->host = value;
+    } else if (arg == "--http-port" && next(&value)) {
+      options->http_port = std::strtol(value.c_str(), nullptr, 10);
+    } else if (arg == "--trace-id" && next(&value)) {
+      options->trace_id = value;
+    } else if (arg == "--interval" && next(&value)) {
+      options->top_interval = std::strtod(value.c_str(), nullptr);
+    } else if (arg == "--window" && next(&value)) {
+      options->window_seconds = std::strtod(value.c_str(), nullptr);
+    } else if (arg == "--iterations" && next(&value)) {
+      options->top_iterations = static_cast<size_t>(
+          std::strtoul(value.c_str(), nullptr, 10));
+    } else if (arg == "--slo-latency-ms" && next(&value)) {
+      options->slo_latency_ms = std::strtod(value.c_str(), nullptr);
+    } else if (arg == "--slo-latency-ratio" && next(&value)) {
+      options->slo_latency_ratio = std::strtod(value.c_str(), nullptr);
+    } else if (arg == "--slo-error-ratio" && next(&value)) {
+      options->slo_error_ratio = std::strtod(value.c_str(), nullptr);
+    } else if (arg == "--slo-shed-ratio" && next(&value)) {
+      options->slo_shed_ratio = std::strtod(value.c_str(), nullptr);
+    } else if (arg == "--slo-burn" && next(&value)) {
+      options->slo_burn = std::strtod(value.c_str(), nullptr);
+    } else if (arg == "--no-slo") {
+      options->slo_enabled = false;
     } else if (arg == "--binary") {
       options->binary = true;
     } else if (arg == "--workers" && next(&value)) {
@@ -344,6 +434,15 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       return false;
     }
   }
+  if (options->top) {
+    if (options->port > 65535) {
+      std::fprintf(stderr, "--port must be in [0, 65535]\n");
+      return false;
+    }
+    if (options->top_interval <= 0) options->top_interval = 2.0;
+    if (options->window_seconds <= 0) options->window_seconds = 60.0;
+    return true;
+  }
   if (options->verify) {
     if (options->index_dir.empty()) {
       std::fprintf(stderr, "verify requires --index-dir\n");
@@ -378,6 +477,16 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
   if (options->serve) {
     if (options->port > 65535) {
       std::fprintf(stderr, "--port must be in [0, 65535]\n");
+      return false;
+    }
+    if (options->http_port > 65535) {
+      std::fprintf(stderr, "--http-port must be in [0, 65535]\n");
+      return false;
+    }
+    if (options->http_port >= 0 && !options->binary) {
+      std::fprintf(stderr,
+                   "--http-port applies to serve --binary (plain serve "
+                   "already listens on --port)\n");
       return false;
     }
     if (!options->demo && options->data_path.empty()) {
@@ -437,6 +546,364 @@ sama::Result<std::string> ReadFile(const std::string& path) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return buffer.str();
+}
+
+// ---- Shared diagnostics endpoints (DESIGN.md §15). One registration
+// helper serves both the plain `serve` HTTP listener and the --http-port
+// co-host next to `serve --binary`; the struct carries whichever
+// sources the serving mode has (null members answer 404/empty).
+struct ObsState {
+  const sama::SlowQueryLog* slow = nullptr;
+  const sama::ProfileLog* profiles = nullptr;
+  const sama::TimeSeriesRing* ring = nullptr;
+  sama::SloTracker* slo = nullptr;
+  const sama::TraceStore* traces = nullptr;
+  double window_seconds = 60.0;  // Default window for top/timeseries.
+};
+
+void RegisterObsEndpoints(sama::ObsHttpServer* server, ObsState state) {
+  server->Handle("/healthz", [state](const sama::HttpRequest& req) {
+    sama::HttpResponse r;
+    if (state.slo == nullptr) {
+      r.body = "ok\n";
+      return r;
+    }
+    state.slo->Evaluate();
+    sama::SloTracker::Health health = state.slo->Snapshot();
+    if (health.degraded) r.status = 503;
+    auto verbose = req.params.find("verbose");
+    if (verbose != req.params.end() && verbose->second != "0") {
+      r.content_type = "application/json";
+      r.body = state.slo->RenderJson();
+    } else {
+      r.body = health.degraded ? "degraded\n" : "ok\n";
+    }
+    return r;
+  });
+  server->Handle("/metrics", [](const sama::HttpRequest&) {
+    sama::MetricsRegistry* reg = sama::MetricsRegistry::Global();
+    sama::RefreshLatencyQuantiles(reg);
+    sama::RefreshEpochMetrics(reg);
+    sama::HttpResponse r;
+    r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    r.body = reg->RenderText();
+    return r;
+  });
+  server->Handle("/debug/queries", [state](const sama::HttpRequest& req) {
+    sama::HttpResponse r;
+    r.content_type = "application/json";
+    std::vector<sama::SlowQueryRecord> records;
+    if (state.slow != nullptr) records = state.slow->Snapshot();
+    // ?limit=N keeps the newest N rows — the ring is oldest-first, so
+    // a bounded scrape still sees the most recent slow queries.
+    size_t limit = records.size();
+    auto it = req.params.find("limit");
+    if (it != req.params.end()) {
+      limit = static_cast<size_t>(
+          std::strtoul(it->second.c_str(), nullptr, 10));
+      if (limit > records.size()) limit = records.size();
+    }
+    r.body = "{\"total\":" + std::to_string(records.size()) +
+             ",\"returned\":" + std::to_string(limit) + ",\"queries\":[";
+    for (size_t i = records.size() - limit; i < records.size(); ++i) {
+      if (i != records.size() - limit) r.body += ",";
+      r.body += "\n";
+      r.body += sama::SlowQueryLog::ToJsonLine(records[i]);
+    }
+    r.body += "\n]}\n";
+    return r;
+  });
+  server->Handle("/debug/profile", [state](const sama::HttpRequest& req) {
+    std::shared_ptr<const sama::QueryProfile> profile;
+    if (state.profiles != nullptr) {
+      auto it = req.params.find("id");
+      profile = it == req.params.end()
+                    ? state.profiles->Latest()
+                    : state.profiles->Get(std::strtoull(it->second.c_str(),
+                                                        nullptr, 10));
+    }
+    sama::HttpResponse r;
+    if (profile == nullptr) {
+      r.status = 404;
+      r.body = "no such profile\n";
+      return r;
+    }
+    auto fmt = req.params.find("format");
+    if (fmt != req.params.end() && fmt->second == "text") {
+      r.body = sama::RenderExplainAnalyze(*profile);
+    } else {
+      r.content_type = "application/json";
+      r.body = sama::RenderChromeTrace(*profile);
+    }
+    return r;
+  });
+  server->Handle("/debug/timeseries", [state](const sama::HttpRequest& req) {
+    sama::HttpResponse r;
+    r.content_type = "application/json";
+    if (state.ring == nullptr) {
+      r.status = 503;
+      r.body = "{\"error\":\"telemetry sampler not running\"}\n";
+      return r;
+    }
+    double window = state.window_seconds;
+    auto w = req.params.find("window");
+    if (w != req.params.end()) window = std::strtod(w->second.c_str(),
+                                                    nullptr);
+    auto metric = req.params.find("metric");
+    r.body = metric == req.params.end()
+                 ? state.ring->RenderIndexJson()
+                 : state.ring->RenderJson(metric->second, window);
+    return r;
+  });
+  server->Handle("/debug/top", [state](const sama::HttpRequest& req) {
+    sama::HttpResponse r;
+    r.content_type = "application/json";
+    if (state.ring == nullptr) {
+      r.status = 503;
+      r.body = "{\"error\":\"telemetry sampler not running\"}\n";
+      return r;
+    }
+    double window = state.window_seconds;
+    auto w = req.params.find("window");
+    if (w != req.params.end()) window = std::strtod(w->second.c_str(),
+                                                    nullptr);
+    r.body = state.ring->RenderTopJson(window);
+    return r;
+  });
+  server->Handle("/debug/trace", [state](const sama::HttpRequest& req) {
+    sama::HttpResponse r;
+    r.content_type = "application/json";
+    if (state.traces == nullptr) {
+      r.status = 404;
+      r.body = "{\"error\":\"trace store only exists under serve "
+               "--binary\"}\n";
+      return r;
+    }
+    auto it = req.params.find("id");
+    if (it == req.params.end()) {
+      r.body = "{\"traces\":[";
+      std::vector<std::string> ids = state.traces->Ids();
+      for (size_t i = 0; i < ids.size(); ++i) {
+        if (i) r.body += ",";
+        r.body += "\"" + ids[i] + "\"";
+      }
+      r.body += "]}\n";
+      return r;
+    }
+    // Accept short ids too (the store keys on the full 32-hex form):
+    // parse and re-render so "?id=beef" finds "000...beef".
+    std::string id = it->second;
+    sama::TraceContext parsed;
+    if (sama::TraceContext::ParseTraceId(id, &parsed)) {
+      id = parsed.TraceIdHex();
+    }
+    std::shared_ptr<sama::QueryTrace> trace = state.traces->Find(id);
+    if (trace == nullptr) {
+      r.status = 404;
+      r.body = "{\"error\":\"no such trace\",\"id\":\"" +
+               JsonEscape(it->second) + "\"}\n";
+      return r;
+    }
+    auto fmt = req.params.find("format");
+    if (fmt != req.params.end() && fmt->second == "raw") {
+      r.body = trace->ToJson();
+      r.body += "\n";
+    } else {
+      // Perfetto/chrome://tracing loadable trace-event JSON.
+      r.body = sama::RenderSpansChromeTrace(trace->Snapshot(), id);
+    }
+    return r;
+  });
+}
+
+// ---- `sama_cli top`: poll /debug/top and redraw.
+
+// Minimal one-shot HTTP GET (Connection: close). Returns the body
+// whatever the status code — a degraded /healthz is still an answer.
+sama::Result<std::string> HttpGet(const std::string& host, uint16_t port,
+                                  const std::string& target) {
+  int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return sama::Status::IoError("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return sama::Status::InvalidArgument("unparseable host: " + host);
+  }
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return sama::Status::IoError("cannot connect to " + host + ":" +
+                                 std::to_string(port));
+  }
+  std::string request = "GET " + target + " HTTP/1.1\r\nHost: " + host +
+                        "\r\nConnection: close\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    ssize_t n = write(fd, request.data() + sent, request.size() - sent);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      close(fd);
+      return sama::Status::IoError("write failed");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[8192];
+  while (true) {
+    ssize_t n = read(fd, buf, sizeof(buf));
+    if (n > 0) {
+      response.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    break;
+  }
+  close(fd);
+  size_t split = response.find("\r\n\r\n");
+  if (split == std::string::npos) {
+    return sama::Status::IoError("malformed HTTP response");
+  }
+  return response.substr(split + 4);
+}
+
+// Pulls `"key":<number>` out of a flat JSON object; NaN when absent.
+double FindJsonNumber(const std::string& json, const std::string& key) {
+  std::string needle = "\"" + key + "\":";
+  size_t at = json.find(needle);
+  if (at == std::string::npos) return std::nan("");
+  return std::strtod(json.c_str() + at + needle.size(), nullptr);
+}
+
+int RunTop(const CliOptions& options) {
+  uint16_t port = static_cast<uint16_t>(options.port);
+  const bool redraw = isatty(STDOUT_FILENO) != 0;
+  char window_arg[64];
+  std::snprintf(window_arg, sizeof(window_arg), "/debug/top?window=%g",
+                options.window_seconds);
+  for (size_t iter = 0;; ++iter) {
+    auto body = HttpGet(options.host, port, window_arg);
+    if (!body.ok()) {
+      std::fprintf(stderr, "top: %s\n", body.status().ToString().c_str());
+      return 1;
+    }
+    std::string health = "unknown";
+    auto health_body = HttpGet(options.host, port, "/healthz");
+    if (health_body.ok()) {
+      health = *health_body;
+      while (!health.empty() &&
+             (health.back() == '\n' || health.back() == '\r')) {
+        health.pop_back();
+      }
+    }
+    double qps = FindJsonNumber(*body, "qps");
+    double p50 = FindJsonNumber(*body, "p50_ms");
+    double p99 = FindJsonNumber(*body, "p99_ms");
+    double shed = FindJsonNumber(*body, "shed_per_sec");
+    double errors = FindJsonNumber(*body, "error_per_sec");
+    double shed_ratio = FindJsonNumber(*body, "shed_ratio");
+    double error_ratio = FindJsonNumber(*body, "error_ratio");
+    double cache = FindJsonNumber(*body, "cache_hit_ratio");
+    double pins = FindJsonNumber(*body, "epoch_pins");
+    double wal_lag = FindJsonNumber(*body, "wal_unsynced_appends");
+    double samples = FindJsonNumber(*body, "samples");
+    if (redraw && iter > 0) std::printf("\x1b[H\x1b[2J");
+    std::printf("sama top — %s:%u  window %gs  samples %.0f  health %s\n",
+                options.host.c_str(), static_cast<unsigned>(port),
+                options.window_seconds, samples, health.c_str());
+    std::printf("  qps %8.1f    p50 %8.2f ms    p99 %8.2f ms\n", qps, p50,
+                p99);
+    std::printf("  shed %6.1f/s (%5.2f%%)    errors %6.1f/s (%5.2f%%)\n",
+                shed, 100.0 * shed_ratio, errors, 100.0 * error_ratio);
+    std::printf("  cache hit %5.1f%%    epoch pins %.0f    "
+                "wal unsynced %.0f\n",
+                100.0 * cache, pins, wal_lag);
+    std::fflush(stdout);
+    if (options.top_iterations != 0 && iter + 1 >= options.top_iterations) {
+      return 0;
+    }
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(options.top_interval));
+  }
+}
+
+sama::SloOptions MakeSloOptions(const CliOptions& options) {
+  sama::SloOptions slo;
+  slo.enabled = options.slo_enabled;
+  slo.window_seconds = options.window_seconds;
+  slo.burn_threshold = options.slo_burn;
+  slo.latency_millis = options.slo_latency_ms;
+  slo.latency_bad_ratio = options.slo_latency_ratio;
+  slo.error_ratio = options.slo_error_ratio;
+  slo.shed_ratio = options.slo_shed_ratio;
+  return slo;
+}
+
+// Runs a constructed binary-protocol server until a SHUTDOWN frame:
+// starts the 1s telemetry sampler and the SLO tracker it feeds,
+// optionally co-hosts the diagnostics HTTP endpoints on --http-port
+// (sharing the same ring/SLO/trace-store state), and tears everything
+// down once the server drains. `state.slow`/`state.profiles` come
+// from the caller, which knows which engine flavour is serving.
+int RunBinaryServer(const CliOptions& options,
+                    sama::BinaryQueryServer* server, ObsState state,
+                    bool updates_enabled,
+                    const sama::SloOptions& slo_options) {
+  sama::TimeSeriesRing ring{sama::TimeSeriesRing::Options()};
+  sama::SloTracker slo(slo_options, &ring);
+  if (slo_options.enabled) {
+    ring.SetOnSample(
+        [&slo](const sama::TimeSeriesRing&) { slo.Evaluate(); });
+  }
+  ring.Start();
+  state.ring = &ring;
+  state.slo = slo_options.enabled ? &slo : nullptr;
+  state.traces = &server->trace_store();
+  state.window_seconds = options.window_seconds;
+
+  std::unique_ptr<sama::ObsHttpServer> http;
+  if (options.http_port >= 0) {
+    sama::ObsHttpServer::Options http_options;
+    http_options.host = options.host;
+    http_options.port = static_cast<uint16_t>(options.http_port);
+    http = std::make_unique<sama::ObsHttpServer>(http_options);
+    RegisterObsEndpoints(http.get(), state);
+    sama::Status started = http->Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "diagnostics server failed: %s\n",
+                   started.ToString().c_str());
+      ring.Stop();
+      return 1;
+    }
+  }
+  sama::Status started = server->Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "serve failed: %s\n", started.ToString().c_str());
+    if (http != nullptr) http->Stop();
+    ring.Stop();
+    return 1;
+  }
+  std::printf("serving binary protocol on %s:%u"
+              " (workers=%zu max-conns=%zu max-queue=%zu deadline-ms=%zu"
+              " updates=%s)\n",
+              server->host().c_str(),
+              static_cast<unsigned>(server->port()), options.workers,
+              options.max_conns, options.max_queue, options.deadline_ms,
+              updates_enabled ? "on" : "off");
+  if (http != nullptr) {
+    std::printf("diagnostics on http://%s:%u — /metrics /healthz"
+                " /debug/queries /debug/profile /debug/timeseries"
+                " /debug/top /debug/trace\n",
+                http->host().c_str(),
+                static_cast<unsigned>(http->port()));
+  }
+  std::fflush(stdout);
+  server->WaitForShutdown();  // A SHUTDOWN frame ends the process.
+  server->Stop();             // Flushes journalled updates too.
+  if (http != nullptr) http->Stop();
+  ring.Stop();
+  std::printf("shutdown requested; server drained\n");
+  return 0;
 }
 
 void PrintAnswer(const sama::DataGraph& graph, size_t rank,
@@ -596,6 +1063,23 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (options.top) return RunTop(options);
+
+  // A propagated trace identity (--trace-id) forces tracing on and is
+  // stamped into every trace the run produces, so client-side output
+  // and server-side /debug/trace agree on the id.
+  sama::TraceContext trace_ctx;
+  if (!options.trace_id.empty()) {
+    if (!sama::TraceContext::ParseTraceId(options.trace_id, &trace_ctx)) {
+      std::fprintf(stderr,
+                   "invalid --trace-id '%s' (want 1..32 hex digits, "
+                   "nonzero)\n",
+                   options.trace_id.c_str());
+      return 2;
+    }
+    options.trace = true;
+  }
+
   if (options.verify) {
     auto report = sama::VerifyIndexDir(options.index_dir);
     if (!report.ok()) {
@@ -701,14 +1185,23 @@ int main(int argc, char** argv) {
 
   // A directory produced by `build --shards` answers through the
   // scatter-gather engine; everything else follows the single-index
-  // path below. Serving and live updates are single-index features.
+  // path below. Binary serving works over shards (read-only — UPDATE
+  // frames are refused with kReadOnly); plain-HTTP serving and live
+  // updates remain single-index features.
   if (!options.index_dir.empty() &&
       sama::IsShardedIndexDir(options.index_dir)) {
-    if (options.serve || options.update) {
+    if ((options.serve && !options.binary) || options.update) {
       std::fprintf(stderr,
-                   "%s is a sharded index; `serve` and `update` require a "
-                   "single-index directory (rebuild without --shards)\n",
+                   "%s is a sharded index; plain `serve` and `update` "
+                   "require a single-index directory (rebuild without "
+                   "--shards, or use `serve --binary`)\n",
                    options.index_dir.c_str());
+      return 2;
+    }
+    if (options.serve && options.serve_updates) {
+      std::fprintf(stderr,
+                   "--updates is not available over a sharded index "
+                   "(sharded serving is read-only)\n");
       return 2;
     }
     sama::ShardedIndex sharded_index;
@@ -750,12 +1243,44 @@ int main(int argc, char** argv) {
     engine_options.params.prune_search = options.prune_search;
     engine_options.cache.enabled = options.use_cache;
     engine_options.obs.trace = options.trace;
-    engine_options.obs.metrics = options.metrics;
+    engine_options.obs.metrics = options.metrics || options.serve;
+    engine_options.obs.trace_context = trace_ctx;
+    engine_options.obs.slo = MakeSloOptions(options);
     engine_options.obs.profile =
-        options.explain || !options.profile_out.empty();
+        options.explain || !options.profile_out.empty() || options.serve;
     sama::ShardedEngine engine(&graph, &sharded_index,
                                options.use_thesaurus ? &thesaurus : nullptr,
                                engine_options);
+    if (options.serve) {
+      // Warmup so /metrics and the telemetry ring have content from
+      // the start, matching the single-index serve path.
+      std::string warmup = options.sparql;
+      if (!options.query_path.empty()) {
+        auto text = ReadFile(options.query_path);
+        if (!text.ok()) {
+          std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+          return 1;
+        }
+        warmup = *text;
+      }
+      if (!warmup.empty()) RunOneQuery(options, &graph, &engine, warmup);
+      sama::BinaryQueryServer::Options server_options;
+      server_options.host = options.host;
+      server_options.port = static_cast<uint16_t>(options.port);
+      server_options.num_workers = options.workers;
+      server_options.max_connections = options.max_conns;
+      server_options.max_queue = options.max_queue;
+      server_options.default_k = options.k;
+      server_options.default_deadline_ms =
+          static_cast<uint32_t>(options.deadline_ms);
+      server_options.trace_requests = options.trace;
+      sama::BinaryQueryServer server(&engine, server_options);
+      ObsState state;
+      state.profiles = engine.profile_log();
+      return RunBinaryServer(options, &server, state,
+                             /*updates_enabled=*/false,
+                             engine.options().obs.slo);
+    }
     if (options.interactive) {
       std::printf("Enter SPARQL queries, blank line to run, EOF to quit.\n");
       std::string buffer, line;
@@ -855,6 +1380,8 @@ int main(int argc, char** argv) {
   engine_options.params.prune_search = options.prune_search;
   engine_options.cache.enabled = options.use_cache;
   engine_options.obs.trace = options.trace;
+  engine_options.obs.trace_context = trace_ctx;
+  engine_options.obs.slo = MakeSloOptions(options);
   engine_options.obs.slow_query_millis = options.slow_query_ms;
   engine_options.obs.slow_query_path = options.slow_query_log_path;
   engine_options.obs.profile =
@@ -1001,23 +1528,13 @@ int main(int argc, char** argv) {
           static_cast<uint32_t>(options.deadline_ms);
       server_options.trace_requests = options.trace;
       sama::BinaryQueryServer server(&engine, server_options);
-      sama::Status started = server.Start();
-      if (!started.ok()) {
-        std::fprintf(stderr, "serve failed: %s\n",
-                     started.ToString().c_str());
-        return 1;
-      }
-      std::printf("serving binary protocol on %s:%u"
-                  " (workers=%zu max-conns=%zu max-queue=%zu"
-                  " deadline-ms=%zu updates=%s)\n",
-                  server.host().c_str(),
-                  static_cast<unsigned>(server.port()), options.workers,
-                  options.max_conns, options.max_queue,
-                  options.deadline_ms,
-                  engine.updates_enabled() ? "on" : "off");
-      std::fflush(stdout);
-      server.WaitForShutdown();  // A SHUTDOWN frame ends the process.
-      server.Stop();             // Flushes journalled updates too.
+      ObsState state;
+      state.slow = engine.slow_query_log();
+      state.profiles = engine.profile_log();
+      int rc = RunBinaryServer(options, &server, state,
+                               engine.updates_enabled(),
+                               engine.options().obs.slo);
+      if (rc != 0) return rc;
       if (engine.updates_enabled()) {
         // Fold the WAL into the index so the next open skips replay.
         // Failure is not fatal: the flushed WAL already holds
@@ -1030,70 +1547,32 @@ int main(int argc, char** argv) {
                        checkpointed.ToString().c_str());
         }
       }
-      std::printf("shutdown requested; server drained\n");
       dump_obs();
       return 0;
     }
 
+    // Plain-HTTP serving: the shared diagnostics endpoints plus POST
+    // /query. The 1s sampler and SLO tracker run for the lifetime of
+    // the server, so /debug/timeseries and the SLO-aware /healthz work
+    // here exactly as they do under `serve --binary --http-port`.
+    sama::TimeSeriesRing ring{sama::TimeSeriesRing::Options()};
+    sama::SloTracker slo(engine.options().obs.slo, &ring);
+    if (engine.options().obs.slo.enabled) {
+      ring.SetOnSample(
+          [&slo](const sama::TimeSeriesRing&) { slo.Evaluate(); });
+    }
+    ring.Start();
     sama::ObsHttpServer::Options server_options;
     server_options.host = options.host;
     server_options.port = static_cast<uint16_t>(options.port);
     sama::ObsHttpServer server(server_options);
-    server.Handle("/healthz", [](const sama::HttpRequest&) {
-      sama::HttpResponse r;
-      r.body = "ok\n";
-      return r;
-    });
-    server.Handle("/metrics", [](const sama::HttpRequest&) {
-      sama::MetricsRegistry* reg = sama::MetricsRegistry::Global();
-      sama::RefreshLatencyQuantiles(reg);
-      sama::RefreshEpochMetrics(reg);
-      sama::HttpResponse r;
-      r.content_type = "text/plain; version=0.0.4; charset=utf-8";
-      r.body = reg->RenderText();
-      return r;
-    });
-    server.Handle("/debug/queries", [&engine](const sama::HttpRequest&) {
-      sama::HttpResponse r;
-      r.content_type = "application/json";
-      r.body = "{\"queries\":[";
-      const sama::SlowQueryLog* slow = engine.slow_query_log();
-      if (slow != nullptr) {
-        auto records = slow->Snapshot();
-        for (size_t i = 0; i < records.size(); ++i) {
-          if (i) r.body += ",";
-          r.body += "\n";
-          r.body += sama::SlowQueryLog::ToJsonLine(records[i]);
-        }
-      }
-      r.body += "\n]}\n";
-      return r;
-    });
-    server.Handle("/debug/profile", [&engine](const sama::HttpRequest& req) {
-      const sama::ProfileLog* log = engine.profile_log();
-      std::shared_ptr<const sama::QueryProfile> profile;
-      if (log != nullptr) {
-        auto it = req.params.find("id");
-        profile = it == req.params.end()
-                      ? log->Latest()
-                      : log->Get(std::strtoull(it->second.c_str(),
-                                               nullptr, 10));
-      }
-      sama::HttpResponse r;
-      if (profile == nullptr) {
-        r.status = 404;
-        r.body = "no such profile\n";
-        return r;
-      }
-      auto fmt = req.params.find("format");
-      if (fmt != req.params.end() && fmt->second == "text") {
-        r.body = sama::RenderExplainAnalyze(*profile);
-      } else {
-        r.content_type = "application/json";
-        r.body = sama::RenderChromeTrace(*profile);
-      }
-      return r;
-    });
+    ObsState state;
+    state.slow = engine.slow_query_log();
+    state.profiles = engine.profile_log();
+    state.ring = &ring;
+    state.slo = engine.options().obs.slo.enabled ? &slo : nullptr;
+    state.window_seconds = options.window_seconds;
+    RegisterObsEndpoints(&server, state);
     server.Handle("/query", [&engine, &options](const sama::HttpRequest& req) {
       sama::HttpResponse r;
       r.content_type = "application/json";
@@ -1154,7 +1633,8 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("serving on http://%s:%u — endpoints: /metrics /healthz"
-                " /debug/queries /debug/profile, POST /query\n",
+                " /debug/queries /debug/profile /debug/timeseries"
+                " /debug/top /debug/trace, POST /query\n",
                 server.host().c_str(),
                 static_cast<unsigned>(server.port()));
     std::fflush(stdout);

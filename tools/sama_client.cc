@@ -30,10 +30,15 @@ void PrintUsage() {
   std::fprintf(stderr,
                "usage: sama_client --port N [--host ADDR] [--k N]"
                " [--deadline-ms N]\n"
+               "                   [--trace-id HEX]\n"
                "                   (ping TEXT | stats | query SPARQL |"
                " insert STMT |\n"
                "                    delete STMT | malformed |"
-               " shutdown)...\n");
+               " shutdown)...\n"
+               "  --trace-id HEX   propagate a distributed-trace id"
+               " (1..32 hex digits)\n"
+               "                   on every frame; fetch the tree from"
+               " /debug/trace?id=HEX\n");
 }
 
 }  // namespace
@@ -43,6 +48,7 @@ int main(int argc, char** argv) {
   uint16_t port = 0;
   uint32_t k = 0;
   uint32_t deadline_ms = 0;
+  sama::TraceContext trace_ctx;
   int i = 1;
   for (; i < argc; ++i) {
     std::string arg = argv[i];
@@ -55,6 +61,14 @@ int main(int argc, char** argv) {
     } else if (arg == "--deadline-ms" && i + 1 < argc) {
       deadline_ms =
           static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--trace-id" && i + 1 < argc) {
+      if (!sama::TraceContext::ParseTraceId(argv[++i], &trace_ctx)) {
+        std::fprintf(stderr,
+                     "invalid --trace-id '%s' (want 1..32 hex digits,"
+                     " nonzero)\n",
+                     argv[i]);
+        return 2;
+      }
     } else if (arg == "--help" || arg == "-h") {
       PrintUsage();
       return 0;
@@ -68,6 +82,10 @@ int main(int argc, char** argv) {
   }
 
   sama::BinaryClient client;
+  if (trace_ctx.valid()) {
+    client.set_trace(trace_ctx);
+    std::printf("trace id %s\n", trace_ctx.TraceIdHex().c_str());
+  }
   sama::Status connected = client.Connect(host, port);
   if (!connected.ok()) {
     std::fprintf(stderr, "connect failed: %s\n",
